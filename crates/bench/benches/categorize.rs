@@ -1,0 +1,87 @@
+//! Categorization benchmarks — the Criterion counterpart of the
+//! paper's Figure 13 (execution time vs `M`) plus a per-technique
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcat_bench::{bench_env, sample_query};
+use qcat_core::Categorizer;
+use qcat_exec::execute_normalized;
+use qcat_study::Technique;
+use std::hint::black_box;
+
+/// Figure 13: cost-based categorization time for M ∈ {10,20,50,100}.
+fn categorize_by_m(c: &mut Criterion) {
+    let fixture = bench_env();
+    let query = sample_query(fixture);
+    let result = execute_normalized(&fixture.env.relation, &query).expect("query runs");
+    let mut group = c.benchmark_group("categorize_by_m");
+    group.throughput(criterion::Throughput::Elements(result.len() as u64));
+    for m in [10usize, 20, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let config = fixture.env.config.with_max_leaf_tuples(m);
+            let categorizer = Categorizer::new(&fixture.stats, config);
+            b.iter(|| black_box(categorizer.categorize(&result, Some(&query))).node_count());
+        });
+    }
+    group.finish();
+}
+
+/// Tree construction time per technique on the same result set.
+fn categorize_by_technique(c: &mut Criterion) {
+    let fixture = bench_env();
+    let query = sample_query(fixture);
+    let result = execute_normalized(&fixture.env.relation, &query).expect("query runs");
+    let mut group = c.benchmark_group("categorize_by_technique");
+    for technique in Technique::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.name()),
+            &technique,
+            |b, &technique| {
+                b.iter(|| {
+                    black_box(fixture.env.categorize(
+                        &fixture.stats,
+                        technique,
+                        &result,
+                        Some(&query),
+                    ))
+                    .node_count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Scaling with result size: categorize broadened workload queries of
+/// increasing result cardinality.
+fn categorize_by_result_size(c: &mut Criterion) {
+    let fixture = bench_env();
+    let mut cases: Vec<_> = fixture.cases.iter().collect();
+    cases.sort_by_key(|(_, r)| r.len());
+    let picks = [
+        cases.first().copied(),
+        cases.get(cases.len() / 2).copied(),
+        cases.last().copied(),
+    ];
+    let mut group = c.benchmark_group("categorize_by_result_size");
+    for case in picks.into_iter().flatten() {
+        let (qw, result) = case;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(result.len()),
+            &(qw, result),
+            |b, (qw, result)| {
+                let categorizer = Categorizer::new(&fixture.stats, fixture.env.config);
+                b.iter(|| black_box(categorizer.categorize(result, Some(qw))).node_count());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    categorize_by_m,
+    categorize_by_technique,
+    categorize_by_result_size
+);
+criterion_main!(benches);

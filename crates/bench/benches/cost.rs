@@ -1,0 +1,55 @@
+//! Cost-model evaluation benchmarks: Equations (1) and (2) over real
+//! trees, plus the exploration replays that measure actual cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcat_bench::{bench_env, sample_query};
+use qcat_core::cost::{cost_all, cost_one};
+use qcat_core::Categorizer;
+use qcat_exec::execute_normalized;
+use qcat_explore::{actual_cost_all, actual_cost_one, RelevanceJudge};
+use std::hint::black_box;
+
+fn tree_fixture() -> (qcat_core::CategoryTree, qcat_sql::NormalizedQuery) {
+    let fixture = bench_env();
+    let query = sample_query(fixture);
+    let result = execute_normalized(&fixture.env.relation, &query).expect("query runs");
+    let tree =
+        Categorizer::new(&fixture.stats, fixture.env.config).categorize(&result, Some(&query));
+    (tree, query)
+}
+
+fn estimated_costs(c: &mut Criterion) {
+    let (tree, _) = tree_fixture();
+    let mut group = c.benchmark_group("estimated_cost");
+    group.throughput(criterion::Throughput::Elements(tree.node_count() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("cost_all"), &tree, |b, tree| {
+        b.iter(|| black_box(cost_all(tree, 1.0)).total());
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("cost_one"), &tree, |b, tree| {
+        b.iter(|| black_box(cost_one(tree, 1.0, 0.5)).total());
+    });
+    group.finish();
+}
+
+fn actual_cost_replays(c: &mut Criterion) {
+    let fixture = bench_env();
+    let (tree, _) = tree_fixture();
+    let need = qcat_sql::parse_and_normalize(
+        "SELECT * FROM listproperty WHERE neighborhood IN ('Redmond','Bellevue') \
+         AND price BETWEEN 225000 AND 275000",
+        fixture.env.relation.schema(),
+    )
+    .expect("valid need");
+    let judge = RelevanceJudge::from_query(&need, &fixture.env.relation).expect("compiles");
+    let mut group = c.benchmark_group("actual_cost_replay");
+    group.bench_function("all_scenario", |b| {
+        b.iter(|| black_box(actual_cost_all(&tree, &need, &judge)).items());
+    });
+    group.bench_function("one_scenario", |b| {
+        b.iter(|| black_box(actual_cost_one(&tree, &need, &judge)).items());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, estimated_costs, actual_cost_replays);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! SQL front-end and executor benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcat_bench::{bench_env, sample_query};
+use qcat_exec::execute_normalized;
+use qcat_sql::{parse_and_normalize, parse_select};
+use std::hint::black_box;
+
+const HOMES_SQL: &str = "SELECT * FROM listproperty \
+    WHERE neighborhood IN ('Redmond', 'Bellevue', 'Kirkland', 'Issaquah') \
+    AND price BETWEEN 200000 AND 300000 AND bedroomcount BETWEEN 3 AND 4";
+
+fn parse(c: &mut Criterion) {
+    c.bench_function("parse_select_homes_query", |b| {
+        b.iter(|| black_box(parse_select(HOMES_SQL)).unwrap().table.len());
+    });
+}
+
+fn normalize(c: &mut Criterion) {
+    let fixture = bench_env();
+    let schema = fixture.env.relation.schema();
+    c.bench_function("parse_and_normalize_homes_query", |b| {
+        b.iter(|| {
+            black_box(parse_and_normalize(HOMES_SQL, schema))
+                .unwrap()
+                .conditions
+                .len()
+        });
+    });
+}
+
+fn execute(c: &mut Criterion) {
+    let fixture = bench_env();
+    let queries = [
+        (
+            "narrow",
+            parse_and_normalize(HOMES_SQL, fixture.env.relation.schema()).unwrap(),
+        ),
+        ("broad", sample_query(fixture)),
+    ];
+    let mut group = c.benchmark_group("execute_selection");
+    group.throughput(criterion::Throughput::Elements(
+        fixture.env.relation.len() as u64
+    ));
+    for (name, q) in &queries {
+        group.bench_with_input(BenchmarkId::from_parameter(name), q, |b, q| {
+            b.iter(|| {
+                black_box(execute_normalized(&fixture.env.relation, q))
+                    .unwrap()
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parse, normalize, execute);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks for the opt-in extensions: workload ranking, query
+//! refinement, statistics persistence, and the conditional-probability
+//! estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcat_bench::{bench_env, sample_query};
+use qcat_core::{refined_sql, Categorizer, WorkloadRanker};
+use qcat_exec::execute_normalized;
+use qcat_workload::{load_statistics, save_statistics, WorkloadStatistics};
+use std::hint::black_box;
+
+fn ranking(c: &mut Criterion) {
+    let fixture = bench_env();
+    let ranker = WorkloadRanker::new(&fixture.stats);
+    let mut group = c.benchmark_group("workload_rank");
+    for len in [200usize, 2_000] {
+        let rows: Vec<u32> = (0..len as u32).collect();
+        group.throughput(criterion::Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &rows, |b, rows| {
+            b.iter(|| black_box(ranker.rank(&fixture.env.relation, rows)).len());
+        });
+    }
+    group.finish();
+}
+
+fn refinement(c: &mut Criterion) {
+    let fixture = bench_env();
+    let query = sample_query(fixture);
+    let result = execute_normalized(&fixture.env.relation, &query).expect("query runs");
+    let tree =
+        Categorizer::new(&fixture.stats, fixture.env.config).categorize(&result, Some(&query));
+    // A deep-ish node.
+    let mut node = tree.root();
+    while let Some(&child) = tree.node(node).children.first() {
+        node = child;
+    }
+    c.bench_function("refined_sql_deep_node", |b| {
+        b.iter(|| black_box(refined_sql(&tree, node, Some(&query), "listproperty")).len());
+    });
+}
+
+fn persistence(c: &mut Criterion) {
+    let fixture = bench_env();
+    let mut buf = Vec::new();
+    save_statistics(&fixture.stats, &mut buf).expect("serializes");
+    let mut group = c.benchmark_group("stats_persistence");
+    group.throughput(criterion::Throughput::Bytes(buf.len() as u64));
+    group.bench_function("save", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            save_statistics(&fixture.stats, &mut out).expect("serializes");
+            black_box(out.len())
+        });
+    });
+    group.bench_function("load", |b| {
+        b.iter(|| {
+            black_box(
+                load_statistics(buf.as_slice(), fixture.env.relation.schema())
+                    .expect("round trips"),
+            )
+            .n_queries()
+        });
+    });
+    group.finish();
+}
+
+fn conditional_estimator(c: &mut Criterion) {
+    let fixture = bench_env();
+    let stats = WorkloadStatistics::build_with_correlation(
+        &fixture.env.log,
+        fixture.env.relation.schema(),
+        &fixture.env.prep,
+    );
+    let query = sample_query(fixture);
+    let result = execute_normalized(&fixture.env.relation, &query).expect("query runs");
+    let config = fixture.env.config.with_conditional_probabilities(true);
+    c.bench_function("categorize_conditional_probabilities", |b| {
+        let categorizer = Categorizer::new(&stats, config);
+        b.iter(|| black_box(categorizer.categorize(&result, Some(&query))).node_count());
+    });
+}
+
+criterion_group!(
+    benches,
+    ranking,
+    refinement,
+    persistence,
+    conditional_estimator
+);
+criterion_main!(benches);

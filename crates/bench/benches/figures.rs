@@ -1,0 +1,63 @@
+//! End-to-end benchmarks tracking the paper's experiment pipelines:
+//! one synthetic exploration of the Figure 7/8 inner loop, and one
+//! noisy-subject task of the Figure 9–12 loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcat_bench::bench_env;
+use qcat_core::cost::cost_all;
+use qcat_explore::{actual_cost_all, noisy_explore_all, NoisyUser, RelevanceJudge};
+use qcat_study::Technique;
+use std::hint::black_box;
+
+/// One iteration of the simulated-study inner loop: build all three
+/// trees for a broadened query, estimate, and replay the synthetic
+/// exploration.
+fn simulated_inner_loop(c: &mut Criterion) {
+    let fixture = bench_env();
+    let (qw, result) = &fixture.cases[0];
+    // The held-out W: reuse a raw workload query matching this case.
+    let w = fixture
+        .env
+        .log
+        .queries()
+        .iter()
+        .find(|w| w.conditions.len() >= 2)
+        .expect("workload has selective queries");
+    let judge = RelevanceJudge::from_query(w, &fixture.env.relation).expect("compiles");
+    c.bench_function("simulated_study_inner_loop", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for technique in Technique::ALL {
+                let tree = fixture
+                    .env
+                    .categorize(&fixture.stats, technique, result, Some(qw));
+                total += cost_all(&tree, 1.0).total();
+                total += actual_cost_all(&tree, w, &judge).items() as f64;
+            }
+            black_box(total)
+        });
+    });
+}
+
+/// One noisy-subject exploration of a prebuilt tree.
+fn noisy_subject_replay(c: &mut Criterion) {
+    let fixture = bench_env();
+    let (qw, result) = &fixture.cases[0];
+    let tree = fixture
+        .env
+        .categorize(&fixture.stats, Technique::CostBased, result, Some(qw));
+    let need = qcat_sql::parse_and_normalize(
+        "SELECT * FROM listproperty WHERE neighborhood IN ('Redmond','Bellevue') \
+         AND price BETWEEN 200000 AND 300000",
+        fixture.env.relation.schema(),
+    )
+    .expect("valid need");
+    let judge = RelevanceJudge::from_query(&need, &fixture.env.relation).expect("compiles");
+    let user = NoisyUser::new(17);
+    c.bench_function("noisy_subject_replay", |b| {
+        b.iter(|| black_box(noisy_explore_all(&tree, &need, &judge, &user)).items());
+    });
+}
+
+criterion_group!(benches, simulated_inner_loop, noisy_subject_replay);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Partitioner micro-benchmarks: single-value categorical splits,
+//! cost-based numeric splitpoint selection, and the equi-width
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcat_bench::bench_env;
+use qcat_core::partition::categorical::{CategoricalPlan, ValueOrder};
+use qcat_core::partition::equiwidth::equiwidth_split;
+use qcat_core::partition::numeric::NumericPlan;
+use qcat_core::ProbabilityEstimator;
+use std::hint::black_box;
+
+fn attr(name: &str) -> qcat_data::AttrId {
+    bench_env()
+        .env
+        .relation
+        .schema()
+        .resolve(name)
+        .expect("listproperty attribute")
+}
+
+fn tset_of(len: usize) -> Vec<u32> {
+    let n = bench_env().env.relation.len() as u32;
+    (0..n).take(len).collect()
+}
+
+fn categorical_split(c: &mut Criterion) {
+    let fixture = bench_env();
+    let nb = attr("neighborhood");
+    let plan = CategoricalPlan::build(
+        &fixture.env.relation,
+        nb,
+        &fixture.stats,
+        ValueOrder::ByOccurrence,
+    );
+    let mut group = c.benchmark_group("categorical_split");
+    for len in [500usize, 2_000, 6_000] {
+        let tset = tset_of(len);
+        group.throughput(criterion::Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &tset, |b, tset| {
+            b.iter(|| black_box(plan.split(&fixture.env.relation, tset)).len());
+        });
+    }
+    group.finish();
+}
+
+fn categorical_plan_build(c: &mut Criterion) {
+    let fixture = bench_env();
+    let nb = attr("neighborhood");
+    c.bench_function("categorical_plan_build", |b| {
+        b.iter(|| {
+            black_box(CategoricalPlan::build(
+                &fixture.env.relation,
+                nb,
+                &fixture.stats,
+                ValueOrder::ByOccurrence,
+            ))
+            .code_order()
+            .len()
+        });
+    });
+}
+
+fn numeric_split(c: &mut Criterion) {
+    let fixture = bench_env();
+    let price = attr("price");
+    let estimator = ProbabilityEstimator::new(&fixture.stats);
+    let plan = NumericPlan::build(&fixture.stats, price, 50_000.0, 2_000_000.0);
+    let mut group = c.benchmark_group("numeric_split");
+    for len in [500usize, 2_000, 6_000] {
+        let tset = tset_of(len);
+        group.throughput(criterion::Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &tset, |b, tset| {
+            b.iter(|| {
+                plan.split(
+                    &fixture.env.relation,
+                    tset,
+                    &fixture.env.config,
+                    &estimator,
+                    0.4,
+                )
+                .map(|p| black_box(p).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn equiwidth_baseline(c: &mut Criterion) {
+    let fixture = bench_env();
+    let price = attr("price");
+    let tset = tset_of(6_000);
+    c.bench_function("equiwidth_split_6000", |b| {
+        b.iter(|| {
+            equiwidth_split(&fixture.env.relation, price, &tset, 25_000.0)
+                .map(|p| black_box(p).len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    categorical_split,
+    categorical_plan_build,
+    numeric_split,
+    equiwidth_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Workload preprocessing benchmarks: log parsing, statistics table
+//! construction, and `NOverlap` probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcat_bench::bench_env;
+use qcat_datagen::{generate_workload, Geography, WorkloadGenConfig};
+use qcat_sql::NumericRange;
+use qcat_workload::{WorkloadLog, WorkloadStatistics};
+use std::hint::black_box;
+
+fn parse_log(c: &mut Criterion) {
+    let geo = Geography::standard();
+    let mut group = c.benchmark_group("workload_parse");
+    for n in [1_000usize, 5_000] {
+        let strings = generate_workload(&WorkloadGenConfig::with_queries(n).with_seed(7), &geo);
+        let schema = qcat_datagen::homes::listproperty_schema();
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &strings, |b, strings| {
+            b.iter(|| {
+                black_box(WorkloadLog::parse(
+                    strings.iter().map(String::as_str),
+                    &schema,
+                    None,
+                ))
+                .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn build_statistics(c: &mut Criterion) {
+    let fixture = bench_env();
+    c.bench_function("workload_statistics_build", |b| {
+        b.iter(|| {
+            black_box(WorkloadStatistics::build(
+                &fixture.env.log,
+                fixture.env.relation.schema(),
+                &fixture.env.prep,
+            ))
+            .n_queries()
+        });
+    });
+}
+
+fn n_overlap_probe(c: &mut Criterion) {
+    let fixture = bench_env();
+    let price = fixture
+        .env
+        .relation
+        .schema()
+        .resolve("price")
+        .expect("attr");
+    c.bench_function("n_overlap_range_probe", |b| {
+        let mut lo = 100_000.0;
+        b.iter(|| {
+            lo = if lo > 900_000.0 {
+                100_000.0
+            } else {
+                lo + 5_000.0
+            };
+            black_box(
+                fixture
+                    .stats
+                    .n_overlap_range(price, &NumericRange::half_open(lo, lo + 50_000.0)),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, parse_log, build_statistics, n_overlap_probe);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use qcat_exec::ResultSet;
+use qcat_sql::{parse_and_normalize, NormalizedQuery};
+use qcat_study::{broaden_query, StudyEnv, StudyScale};
+use qcat_workload::WorkloadStatistics;
+use std::sync::OnceLock;
+
+/// A benchmark environment: generated dataset, workload statistics,
+/// and a set of broadened queries with their results, built once per
+/// process.
+pub struct BenchEnv {
+    /// The study environment (relation, log, geography, config).
+    pub env: StudyEnv,
+    /// Statistics over the full log.
+    pub stats: WorkloadStatistics,
+    /// `(broadened query, result)` cases spanning a range of result
+    /// sizes.
+    pub cases: Vec<(NormalizedQuery, ResultSet)>,
+}
+
+/// The process-wide benchmark environment (Smoke scale keeps
+/// `cargo bench` minutes, not hours; the `repro` binary covers the
+/// paper-scale runs).
+pub fn bench_env() -> &'static BenchEnv {
+    static ENV: OnceLock<BenchEnv> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let env = StudyEnv::generate(StudyScale::Smoke, 1234);
+        let stats = env.stats_for(&env.log);
+        let schema = env.relation.schema().clone();
+        let mut cases = Vec::new();
+        for w in env.log.queries() {
+            if cases.len() >= 24 {
+                break;
+            }
+            let Some(qw) = broaden_query(w, &schema, &env.geography) else {
+                continue;
+            };
+            let Ok(result) = qcat_exec::execute_normalized(&env.relation, &qw) else {
+                continue;
+            };
+            if result.len() > env.config.max_leaf_tuples {
+                cases.push((qw, result));
+            }
+        }
+        assert!(!cases.is_empty(), "bench fixture produced no cases");
+        BenchEnv { env, stats, cases }
+    })
+}
+
+/// A medium-selectivity query against the fixture relation.
+pub fn sample_query(env: &BenchEnv) -> NormalizedQuery {
+    let seattle = env
+        .env
+        .geography
+        .region_of("Bellevue")
+        .expect("standard geography")
+        .neighborhoods
+        .iter()
+        .map(|h| format!("'{h}'"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    parse_and_normalize(
+        &format!(
+            "SELECT * FROM listproperty WHERE neighborhood IN ({seattle}) \
+             AND price BETWEEN 150000 AND 600000"
+        ),
+        env.env.relation.schema(),
+    )
+    .expect("valid query")
+}

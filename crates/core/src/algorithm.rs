@@ -1,0 +1,787 @@
+//! The cost-based multilevel categorization algorithm (paper
+//! Figure 6).
+//!
+//! Levels are created one at a time. For level `l`, every retained,
+//! not-yet-used attribute is a candidate; each candidate is used to
+//! partition every level-`(l−1)` node holding more than `M` tuples,
+//! the resulting one-level subtrees are priced with Equation (1)
+//! (children priced as leaves, since deeper levels do not exist yet),
+//! and the attribute with minimum `Σ_C P(C)·CostAll(Tree(C,A))` wins.
+//! Shared per-level work (sorting values by `occ`, ranking splitpoints
+//! by goodness) is done once per (attribute, level); only necessity
+//! filtering is per node.
+
+use crate::config::CategorizeConfig;
+use crate::cost::one_level_cost_all;
+use crate::label::CategoryLabel;
+use crate::partition::categorical::{CategoricalPlan, ValueOrder};
+use crate::partition::numeric::{value_window, NumericPlan};
+use crate::partition::Partitioning;
+use crate::probability::ProbabilityEstimator;
+use crate::tree::{CategoryTree, NodeId};
+use qcat_data::{AttrId, AttrType, Relation};
+use qcat_exec::ResultSet;
+use qcat_sql::{NormalizedQuery, NumericRange};
+use qcat_workload::WorkloadStatistics;
+
+/// The winning candidate of one level: its cost, attribute, and the
+/// per-node partitionings to attach.
+type LevelChoice = (f64, AttrId, Vec<(NodeId, Partitioning)>);
+
+/// One level's decision record in a [`CategorizeTrace`].
+#[derive(Debug, Clone)]
+pub struct LevelDecision {
+    /// The level created (1-based).
+    pub level: usize,
+    /// The winning categorizing attribute.
+    pub chosen: AttrId,
+    /// `Σ P(C)·CostAll(Tree(C,A))` for every candidate, in evaluation
+    /// order.
+    pub candidate_costs: Vec<(AttrId, f64)>,
+    /// Nodes with more than `M` tuples that were partitioned.
+    pub nodes_partitioned: usize,
+    /// Categories created at this level.
+    pub categories_created: usize,
+}
+
+/// Why the tree looks the way it does: the per-level candidate costs
+/// the Figure-6 loop compared. Produced by
+/// [`Categorizer::categorize_traced`]; render with `to_string()`.
+#[derive(Debug, Clone, Default)]
+pub struct CategorizeTrace {
+    /// One record per created level.
+    pub levels: Vec<LevelDecision>,
+}
+
+impl CategorizeTrace {
+    /// Render with attribute names resolved against `schema`.
+    pub fn render(&self, schema: &qcat_data::Schema) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.levels {
+            let _ = writeln!(
+                out,
+                "level {} ({}): partitioned {} nodes into {} categories",
+                d.level,
+                schema.name_of(d.chosen),
+                d.nodes_partitioned,
+                d.categories_created
+            );
+            for (attr, cost) in &d.candidate_costs {
+                let marker = if *attr == d.chosen { " <- chosen" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {:<16} cost {cost:>10.1}{marker}",
+                    schema.name_of(*attr)
+                );
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CategorizeTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.levels {
+            writeln!(
+                f,
+                "level {}: partitioned {} nodes into {} categories",
+                d.level, d.nodes_partitioned, d.categories_created
+            )?;
+            for (attr, cost) in &d.candidate_costs {
+                let marker = if *attr == d.chosen { " <- chosen" } else { "" };
+                writeln!(f, "    attr {attr}: cost {cost:.1}{marker}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The cost-based categorizer.
+///
+/// Holds a reference to the preprocessed workload statistics (shared
+/// across queries) and a configuration. See the crate docs for a full
+/// example.
+#[derive(Debug, Clone, Copy)]
+pub struct Categorizer<'a> {
+    stats: &'a WorkloadStatistics,
+    config: CategorizeConfig,
+}
+
+impl<'a> Categorizer<'a> {
+    /// Create a categorizer.
+    pub fn new(stats: &'a WorkloadStatistics, config: CategorizeConfig) -> Self {
+        Categorizer { stats, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CategorizeConfig {
+        &self.config
+    }
+
+    /// Candidate categorizing attributes after the Section 5.1.1
+    /// elimination step, in schema order.
+    pub fn candidate_attrs(&self) -> Vec<AttrId> {
+        self.stats
+            .retained_attrs(self.config.attr_threshold)
+            .into_iter()
+            .filter(|&a| self.stats.partitionable(a))
+            .collect()
+    }
+
+    /// Build the min-cost category tree for `result`.
+    ///
+    /// `query` is the user query that produced `result`; when present,
+    /// its range condition on a numeric attribute supplies the value
+    /// window for partitioning the root (Section 5.1.3).
+    pub fn categorize(&self, result: &ResultSet, query: Option<&NormalizedQuery>) -> CategoryTree {
+        self.categorize_inner(result, query, None)
+    }
+
+    /// Like [`Categorizer::categorize`], but also returns the
+    /// per-level decision trace — the candidate attributes considered,
+    /// their estimated costs, and the winner (an `EXPLAIN` for the
+    /// Figure-6 loop).
+    pub fn categorize_traced(
+        &self,
+        result: &ResultSet,
+        query: Option<&NormalizedQuery>,
+    ) -> (CategoryTree, CategorizeTrace) {
+        let mut trace = CategorizeTrace::default();
+        let tree = self.categorize_inner(result, query, Some(&mut trace));
+        (tree, trace)
+    }
+
+    fn categorize_inner(
+        &self,
+        result: &ResultSet,
+        query: Option<&NormalizedQuery>,
+        mut trace: Option<&mut CategorizeTrace>,
+    ) -> CategoryTree {
+        let relation = result.relation().clone();
+        let estimator = ProbabilityEstimator::new(self.stats);
+        let mut tree = CategoryTree::new(relation.clone(), result.rows().to_vec());
+        let mut candidates = self.candidate_attrs();
+
+        for _ in 0..self.config.max_levels {
+            let current_level = tree.level_attrs().len();
+            let s: Vec<NodeId> = tree
+                .nodes_at_level(current_level)
+                .into_iter()
+                .filter(|&id| tree.node(id).tuple_count() > self.config.max_leaf_tuples)
+                .collect();
+            if s.is_empty() || candidates.is_empty() {
+                break;
+            }
+
+            let mut best: Option<LevelChoice> = None;
+            let mut candidate_costs = Vec::with_capacity(candidates.len());
+            for &attr in &candidates {
+                let (cost, parts) =
+                    self.evaluate_attribute(&tree, &relation, &s, attr, query, &estimator);
+                candidate_costs.push((attr, cost));
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, attr, parts));
+                }
+            }
+            let Some((_, attr, parts)) = best else { break };
+            if let Some(t) = trace.as_deref_mut() {
+                t.levels.push(LevelDecision {
+                    level: current_level + 1,
+                    chosen: attr,
+                    candidate_costs,
+                    nodes_partitioned: s.len(),
+                    categories_created: parts.iter().map(|(_, p)| p.len()).sum(),
+                });
+            }
+
+            tree.push_level(attr);
+            let pw = estimator.p_showtuples(attr);
+            let conditional =
+                self.config.conditional_probabilities && self.stats.correlation_index().is_some();
+            for (node, partitioning) in parts {
+                // Path labels are cloned out because attaching children
+                // mutates the tree.
+                let path: Vec<crate::label::CategoryLabel> = if conditional {
+                    tree.path_labels(node).into_iter().cloned().collect()
+                } else {
+                    Vec::new()
+                };
+                let path_refs: Vec<&crate::label::CategoryLabel> = path.iter().collect();
+                for (label, tset) in partitioning.parts {
+                    let p = if conditional {
+                        estimator.p_explore_conditional(&label, &path_refs, &relation)
+                    } else {
+                        estimator.p_explore(&label, &relation)
+                    };
+                    tree.add_child(node, label, tset, p);
+                }
+                let node_pw = if conditional {
+                    estimator.p_showtuples_conditional(attr, &path_refs, &relation)
+                } else {
+                    pw
+                };
+                tree.set_p_showtuples(node, node_pw);
+            }
+            candidates.retain(|&a| a != attr);
+        }
+        if self.config.ordering == crate::config::OrderingMode::OptimalOne {
+            self.apply_optimal_ordering(&mut tree);
+        }
+        tree
+    }
+
+    /// Post-pass for [`crate::config::OrderingMode::OptimalOne`]:
+    /// re-sort categorical sibling lists bottom-up by the Appendix-A
+    /// criterion. Numeric levels keep ascending value order.
+    fn apply_optimal_ordering(&self, tree: &mut CategoryTree) {
+        let mut parents: Vec<NodeId> = tree
+            .dfs()
+            .into_iter()
+            .filter(|&id| !tree.node(id).children.is_empty())
+            .collect();
+        // Deepest parents first so child CostOne values are final when
+        // a parent reorders.
+        parents.sort_by_key(|&id| std::cmp::Reverse(tree.node(id).level));
+        for id in parents {
+            let child_attr = tree
+                .subcategorizing_attr(id)
+                .expect("non-leaf nodes have a child level");
+            if tree.relation().schema().type_of(child_attr) == AttrType::Categorical {
+                crate::order::apply_optimal_one_order(
+                    tree,
+                    id,
+                    self.config.label_cost,
+                    self.config.frac,
+                );
+            }
+        }
+    }
+
+    /// Price one candidate attribute for a level: partition every node
+    /// of `s`, return `(Σ P(C)·CostAll(Tree(C,A)), partitionings)`.
+    fn evaluate_attribute(
+        &self,
+        tree: &CategoryTree,
+        relation: &Relation,
+        s: &[NodeId],
+        attr: AttrId,
+        query: Option<&NormalizedQuery>,
+        estimator: &ProbabilityEstimator<'_>,
+    ) -> (f64, Vec<(NodeId, Partitioning)>) {
+        let pw = estimator.p_showtuples(attr);
+        let mut total_cost = 0.0;
+        let mut out = Vec::with_capacity(s.len());
+        match relation.schema().type_of(attr) {
+            AttrType::Categorical => {
+                // Shared per-level work: sort values by occurrence.
+                let plan =
+                    CategoricalPlan::build(relation, attr, self.stats, ValueOrder::ByOccurrence);
+                for &id in s {
+                    let node = tree.node(id);
+                    let partitioning = plan.split_grouped(
+                        relation,
+                        &node.tset,
+                        self.config.categorical_group_threshold,
+                        self.config.grouping_top_k,
+                    );
+                    total_cost += node.p_explore
+                        * self.price_partitioning(
+                            relation,
+                            node.tuple_count(),
+                            pw,
+                            &partitioning,
+                            estimator,
+                        );
+                    out.push((id, partitioning));
+                }
+            }
+            AttrType::Int | AttrType::Float => {
+                // Shared per-level work: rank splitpoints over the
+                // union window of all nodes; per-node selection
+                // filters to the node's own window.
+                let window = self.level_window(tree, relation, s, attr, query);
+                let Some((wmin, wmax)) = window else {
+                    // Attribute has no spread anywhere: every node
+                    // stays a leaf under this candidate.
+                    let cost = s
+                        .iter()
+                        .map(|&id| {
+                            let n = tree.node(id);
+                            n.p_explore * n.tuple_count() as f64
+                        })
+                        .sum();
+                    return (cost, Vec::new());
+                };
+                let plan = NumericPlan::build(self.stats, attr, wmin, wmax);
+                for &id in s {
+                    let node = tree.node(id);
+                    let node_window = if id == NodeId::ROOT {
+                        value_window(relation, attr, &node.tset, query)
+                    } else {
+                        None
+                    };
+                    let partitioning = plan
+                        .split_in_window(
+                            relation,
+                            &node.tset,
+                            &self.config,
+                            estimator,
+                            pw,
+                            node_window,
+                        )
+                        .unwrap_or_else(|| single_bucket(relation, attr, &node.tset));
+                    total_cost += node.p_explore
+                        * self.price_partitioning(
+                            relation,
+                            node.tuple_count(),
+                            pw,
+                            &partitioning,
+                            estimator,
+                        );
+                    out.push((id, partitioning));
+                }
+            }
+        }
+        (total_cost, out)
+    }
+
+    /// `CostAll(Tree(C, A))` with the would-be children priced as
+    /// leaves.
+    fn price_partitioning(
+        &self,
+        relation: &Relation,
+        parent_tuples: usize,
+        pw: f64,
+        partitioning: &Partitioning,
+        estimator: &ProbabilityEstimator<'_>,
+    ) -> f64 {
+        if partitioning.len() < 2 {
+            // A 0/1-way split leaves the user scanning the tuples.
+            return parent_tuples as f64;
+        }
+        let children: Vec<(f64, usize)> = partitioning
+            .parts
+            .iter()
+            .map(|(label, tset)| (estimator.p_explore(label, relation), tset.len()))
+            .collect();
+        one_level_cost_all(parent_tuples, pw, self.config.label_cost, &children)
+    }
+
+    /// The candidate-splitpoint window for a whole level: the union of
+    /// the nodes' data windows, widened by the user query's range on
+    /// the attribute when the root is among the nodes.
+    fn level_window(
+        &self,
+        tree: &CategoryTree,
+        relation: &Relation,
+        s: &[NodeId],
+        attr: AttrId,
+        query: Option<&NormalizedQuery>,
+    ) -> Option<(f64, f64)> {
+        let mut acc: Option<(f64, f64)> = None;
+        for &id in s {
+            let q = if id == NodeId::ROOT { query } else { None };
+            if let Some((lo, hi)) = value_window(relation, attr, &tree.node(id).tset, q) {
+                acc = Some(match acc {
+                    None => (lo, hi),
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                });
+            }
+        }
+        acc
+    }
+}
+
+/// Fallback single-bucket partitioning for a numeric attribute with no
+/// usable splitpoint: the node gets one child covering its full
+/// window, keeping it eligible for deeper levels (Figure 6 always
+/// creates the level's categories).
+fn single_bucket(relation: &Relation, attr: AttrId, tset: &[u32]) -> Partitioning {
+    let (lo, hi) = relation
+        .column(attr)
+        .numeric_min_max(tset)
+        .unwrap_or((0.0, 0.0));
+    Partitioning {
+        attr,
+        parts: vec![(
+            CategoryLabel::range(attr, NumericRange::closed(lo, hi)),
+            tset.to_vec(),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BucketCount;
+    use qcat_data::{Field, RelationBuilder, Schema};
+    use qcat_exec::execute_normalized;
+    use qcat_sql::parse_and_normalize;
+    use qcat_workload::{PreprocessConfig, WorkloadLog};
+
+    /// A small homes table: 3 neighborhoods × prices.
+    fn homes(n: usize) -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::with_capacity(schema, n);
+        let hoods = ["Redmond", "Bellevue", "Seattle", "Issaquah"];
+        for i in 0..n {
+            let hood = hoods[i % hoods.len()];
+            let price = 200_000.0 + (i as f64 * 1_37.0) % 100_000.0;
+            let beds = (i % 5 + 1) as i64;
+            b.push_row(&[hood.into(), price.into(), beds.into()])
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn stats(rel: &Relation, queries: &[impl AsRef<str>]) -> WorkloadStatistics {
+        let schema = rel.schema().clone();
+        let log = WorkloadLog::parse(queries.iter().map(AsRef::as_ref), &schema, None);
+        let cfg = PreprocessConfig::new()
+            .with_interval(AttrId(1), 5_000.0)
+            .with_interval(AttrId(2), 1.0)
+            .infer_missing(rel, 100);
+        WorkloadStatistics::build(&log, &schema, &cfg)
+    }
+
+    fn hot_workload() -> Vec<String> {
+        let mut w = Vec::new();
+        for _ in 0..60 {
+            w.push("SELECT * FROM homes WHERE neighborhood IN ('Redmond','Bellevue')".to_string());
+        }
+        // Diverse price ranges so interior splitpoints carry signal.
+        for i in 0..50 {
+            let lo = 200_000 + (i % 10) * 10_000;
+            let hi = lo + 20_000 + (i % 3) * 15_000;
+            w.push(format!(
+                "SELECT * FROM homes WHERE price BETWEEN {lo} AND {hi}"
+            ));
+        }
+        for _ in 0..20 {
+            w.push("SELECT * FROM homes WHERE bedroomcount BETWEEN 3 AND 4".to_string());
+        }
+        for _ in 0..10 {
+            w.push("SELECT * FROM homes".to_string());
+        }
+        w
+    }
+
+    #[test]
+    fn builds_a_valid_multilevel_tree() {
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE price BETWEEN 200000 AND 300000",
+            rel.schema(),
+        )
+        .unwrap();
+        let result = execute_normalized(&rel, &q).unwrap();
+        let config = CategorizeConfig::default()
+            .with_max_leaf_tuples(20)
+            .with_attr_threshold(0.1)
+            .with_bucket_count(BucketCount::Fixed(5));
+        let tree = Categorizer::new(&st, config).categorize(&result, Some(&q));
+        tree.check_invariants().unwrap();
+        assert!(tree.depth() >= 2, "expected a multilevel tree");
+        // Every leaf respects M — enough attributes exist here.
+        for id in tree.dfs() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                assert!(
+                    node.tuple_count() <= 20,
+                    "leaf {id} has {} tuples",
+                    node.tuple_count()
+                );
+            }
+        }
+        // No attribute repeats across levels.
+        let attrs = tree.level_attrs();
+        let mut dedup = attrs.to_vec();
+        dedup.dedup();
+        assert_eq!(attrs.len(), dedup.len());
+    }
+
+    #[test]
+    fn first_level_uses_the_hottest_attribute() {
+        let rel = homes(300);
+        // Neighborhood constrained by nearly all queries → usage
+        // fraction near 1; expect it at level 1.
+        let mut w = Vec::new();
+        w.extend(std::iter::repeat_n(
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond')",
+            95,
+        ));
+        w.extend(std::iter::repeat_n(
+            "SELECT * FROM homes WHERE price BETWEEN 200000 AND 220000",
+            30,
+        ));
+        let st = stats(&rel, &w);
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default().with_attr_threshold(0.1);
+        let tree = Categorizer::new(&st, config).categorize(&result, None);
+        assert_eq!(tree.level_attr(1), Some(AttrId(0)));
+    }
+
+    #[test]
+    fn small_results_stay_flat() {
+        let rel = homes(15);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let tree = Categorizer::new(&st, CategorizeConfig::default()).categorize(&result, None);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn empty_result_is_just_a_root() {
+        let rel = homes(50);
+        let st = stats(&rel, &hot_workload());
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE price BETWEEN 1 AND 2",
+            rel.schema(),
+        )
+        .unwrap();
+        let result = execute_normalized(&rel, &q).unwrap();
+        assert!(result.is_empty());
+        let tree = Categorizer::new(&st, CategorizeConfig::default()).categorize(&result, Some(&q));
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn attribute_elimination_respected() {
+        let rel = homes(300);
+        // bedroomcount almost never queried; with x=0.4 it must never
+        // categorize a level.
+        let st = stats(&rel, &hot_workload()); // beds in 20/140 ≈ 0.14
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default().with_attr_threshold(0.4);
+        let cat = Categorizer::new(&st, config);
+        assert!(!cat.candidate_attrs().contains(&AttrId(2)));
+        let tree = cat.categorize(&result, None);
+        assert!(!tree.level_attrs().contains(&AttrId(2)));
+    }
+
+    #[test]
+    fn max_levels_caps_depth() {
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default()
+            .with_attr_threshold(0.05)
+            .with_max_leaf_tuples(5)
+            .with_max_levels(1);
+        let tree = Categorizer::new(&st, config).categorize(&result, None);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn categorization_is_deterministic() {
+        let rel = homes(250);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default().with_attr_threshold(0.1);
+        let t1 = Categorizer::new(&st, config).categorize(&result, None);
+        let t2 = Categorizer::new(&st, config).categorize(&result, None);
+        assert_eq!(t1.node_count(), t2.node_count());
+        assert_eq!(t1.level_attrs(), t2.level_attrs());
+        for (a, b) in t1.dfs().iter().zip(t2.dfs().iter()) {
+            assert_eq!(t1.node(*a).tset, t2.node(*b).tset);
+        }
+    }
+
+    #[test]
+    fn optimal_ordering_never_hurts_cost_one() {
+        use crate::config::OrderingMode;
+        use crate::cost::cost_one;
+        let rel = homes(300);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let base = CategorizeConfig::default().with_attr_threshold(0.1);
+        let heuristic = Categorizer::new(&st, base).categorize(&result, None);
+        let optimal = Categorizer::new(&st, base.with_ordering(OrderingMode::OptimalOne))
+            .categorize(&result, None);
+        optimal.check_invariants().unwrap();
+        // Same structure, possibly different sibling order.
+        assert_eq!(heuristic.node_count(), optimal.node_count());
+        let h = cost_one(&heuristic, base.label_cost, base.frac).total();
+        let o = cost_one(&optimal, base.label_cost, base.frac).total();
+        assert!(o <= h + 1e-9, "optimal {o} vs heuristic {h}");
+        // CostAll is order-independent.
+        let ha = crate::cost::cost_all(&heuristic, base.label_cost).total();
+        let oa = crate::cost::cost_all(&optimal, base.label_cost).total();
+        assert!((ha - oa).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_grouping_caps_fanout() {
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default()
+            .with_attr_threshold(0.1)
+            .with_categorical_grouping(3, 2);
+        let tree = Categorizer::new(&st, config).categorize(&result, None);
+        tree.check_invariants().unwrap();
+        // Wherever a categorical level fans out, at most top_k + 1
+        // children.
+        for id in tree.dfs() {
+            let node = tree.node(id);
+            if node.children.is_empty() {
+                continue;
+            }
+            let attr = tree.subcategorizing_attr(id).unwrap();
+            if rel.schema().type_of(attr) == AttrType::Categorical {
+                assert!(
+                    node.children.len() <= 3,
+                    "{id} has {} categorical children",
+                    node.children.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_probabilities_capture_regional_correlation() {
+        // Two regions with disjoint price interest: workload queries
+        // about hood A want cheap homes, about hood B expensive ones.
+        let rel = {
+            let schema = Schema::new(vec![
+                Field::new("neighborhood", AttrType::Categorical),
+                Field::new("price", AttrType::Float),
+            ])
+            .unwrap();
+            let mut b = RelationBuilder::new(schema);
+            for i in 0..200 {
+                let (hood, base) = if i % 2 == 0 {
+                    ("A", 100_000.0)
+                } else {
+                    ("B", 800_000.0)
+                };
+                b.push_row(&[hood.into(), (base + (i as f64) * 321.0).into()])
+                    .unwrap();
+            }
+            b.finish().unwrap()
+        };
+        let schema = rel.schema().clone();
+        let mut w = Vec::new();
+        for i in 0..40 {
+            let lo = 100_000 + (i % 4) * 10_000;
+            w.push(format!(
+                "SELECT * FROM t WHERE neighborhood IN ('A') AND price BETWEEN {lo} AND {}",
+                lo + 20_000
+            ));
+            let hi_lo = 800_000 + (i % 4) * 10_000;
+            w.push(format!(
+                "SELECT * FROM t WHERE neighborhood IN ('B') AND price BETWEEN {hi_lo} AND {}",
+                hi_lo + 20_000
+            ));
+        }
+        let log = qcat_workload::WorkloadLog::parse(w.iter().map(String::as_str), &schema, None);
+        let prep = PreprocessConfig::new().with_interval(AttrId(1), 5_000.0);
+        let stats = WorkloadStatistics::build_with_correlation(&log, &schema, &prep);
+        let config = CategorizeConfig::default()
+            .with_max_leaf_tuples(10)
+            .with_attr_threshold(0.1)
+            .with_conditional_probabilities(true);
+        let result = ResultSet::whole(rel.clone());
+        let tree = Categorizer::new(&stats, config).categorize(&result, None);
+        tree.check_invariants().unwrap();
+        // The estimator is the unit under test: conditioned on hood A,
+        // cheap price buckets must look hot and expensive ones cold,
+        // while the unconditional estimate cannot tell them apart.
+        let est = ProbabilityEstimator::new(&stats);
+        let code_a = rel
+            .column(AttrId(0))
+            .categorical()
+            .unwrap()
+            .0
+            .lookup("A")
+            .unwrap();
+        let hood_a = CategoryLabel::single_value(AttrId(0), code_a);
+        let cheap = CategoryLabel::range(AttrId(1), NumericRange::half_open(100_000.0, 200_000.0));
+        let rich = CategoryLabel::range(AttrId(1), NumericRange::half_open(800_000.0, 900_000.0));
+        let path = [&hood_a];
+        let p_cheap_a = est.p_explore_conditional(&cheap, &path, &rel);
+        let p_rich_a = est.p_explore_conditional(&rich, &path, &rel);
+        assert!(
+            p_cheap_a > 0.9 && p_rich_a < 0.1,
+            "conditioned on A: cheap {p_cheap_a}, rich {p_rich_a}"
+        );
+        // Unconditional: both bucket kinds overlap ~half the queries.
+        let p_cheap = est.p_explore(&cheap, &rel);
+        let p_rich = est.p_explore(&rich, &rel);
+        assert!((p_cheap - 0.5).abs() < 0.2, "{p_cheap}");
+        assert!((p_rich - 0.5).abs() < 0.2, "{p_rich}");
+    }
+
+    #[test]
+    fn trace_records_level_decisions() {
+        let rel = homes(300);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default().with_attr_threshold(0.1);
+        let cat = Categorizer::new(&st, config);
+        let (tree, trace) = cat.categorize_traced(&result, None);
+        // One decision per created level, matching the tree.
+        assert_eq!(trace.levels.len(), tree.level_attrs().len());
+        for (i, d) in trace.levels.iter().enumerate() {
+            assert_eq!(d.level, i + 1);
+            assert_eq!(Some(d.chosen), tree.level_attr(i + 1));
+            // The chosen attribute has the minimum recorded cost.
+            let min = d
+                .candidate_costs
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert_eq!(min.0, d.chosen);
+            assert!(d.nodes_partitioned >= 1);
+            assert!(d.categories_created >= 1);
+        }
+        // Level 1 considered every candidate.
+        assert_eq!(
+            trace.levels[0].candidate_costs.len(),
+            cat.candidate_attrs().len()
+        );
+        // The rendering names the chosen attribute.
+        let text = trace.to_string();
+        assert!(text.contains("<- chosen"), "{text}");
+        // Traced and untraced runs build the same tree.
+        let plain = cat.categorize(&result, None);
+        assert_eq!(plain.node_count(), tree.node_count());
+    }
+
+    #[test]
+    fn cost_of_chosen_tree_not_worse_than_alternatives() {
+        // The level-1 attribute choice minimizes the one-level cost:
+        // verify by brute-forcing the other attribute choices with the
+        // same partitioning machinery.
+        let rel = homes(300);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default()
+            .with_attr_threshold(0.1)
+            .with_max_levels(1);
+        let cat = Categorizer::new(&st, config);
+        let tree = cat.categorize(&result, None);
+        let chosen = tree.level_attr(1).unwrap();
+        let est = ProbabilityEstimator::new(&st);
+        let s = vec![NodeId::ROOT];
+        let base = CategoryTree::new(rel.clone(), result.rows().to_vec());
+        let mut best_cost = f64::INFINITY;
+        let mut best_attr = None;
+        for attr in cat.candidate_attrs() {
+            let (cost, _) = cat.evaluate_attribute(&base, &rel, &s, attr, None, &est);
+            if cost < best_cost {
+                best_cost = cost;
+                best_attr = Some(attr);
+            }
+        }
+        assert_eq!(best_attr, Some(chosen));
+    }
+}

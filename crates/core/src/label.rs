@@ -1,0 +1,323 @@
+//! Category labels (paper Section 3.1).
+//!
+//! A label solely and unambiguously describes which tuples of the
+//! parent's tuple-set fall under a category:
+//!
+//! - categorical attribute `A`: `A ∈ B` with `B ⊂ dom_R(A)`, stored as
+//!   dictionary codes of the base relation;
+//! - numeric attribute `A`: an interval, normally `a1 ≤ A < a2`
+//!   ([`qcat_sql::NumericRange::half_open`]), closed on the right for
+//!   the last bucket of a partitioning.
+
+use qcat_data::{AttrId, Relation};
+use qcat_sql::{AttrCondition, NormalizedQuery, NumericRange};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The predicate content of a label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelKind {
+    /// `A ∈ B`, as dictionary codes of the label's relation.
+    In(BTreeSet<u32>),
+    /// Numeric interval.
+    Range(NumericRange),
+}
+
+/// A category label: an attribute plus its predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryLabel {
+    /// The categorizing attribute.
+    pub attr: AttrId,
+    /// The predicate.
+    pub kind: LabelKind,
+}
+
+impl CategoryLabel {
+    /// Single-value categorical label `A = v` (the only categorical
+    /// shape the cost-based partitioner produces, Section 5.1.2).
+    pub fn single_value(attr: AttrId, code: u32) -> Self {
+        CategoryLabel {
+            attr,
+            kind: LabelKind::In(BTreeSet::from([code])),
+        }
+    }
+
+    /// Multi-value categorical label `A ∈ B`.
+    pub fn value_set(attr: AttrId, codes: impl IntoIterator<Item = u32>) -> Self {
+        CategoryLabel {
+            attr,
+            kind: LabelKind::In(codes.into_iter().collect()),
+        }
+    }
+
+    /// Numeric interval label.
+    pub fn range(attr: AttrId, range: NumericRange) -> Self {
+        CategoryLabel {
+            attr,
+            kind: LabelKind::Range(range),
+        }
+    }
+
+    /// Does `row` of `relation` satisfy the label predicate?
+    pub fn matches_row(&self, relation: &Relation, row: u32) -> bool {
+        let column = relation.column(self.attr);
+        match &self.kind {
+            LabelKind::In(codes) => column
+                .code_at(row as usize)
+                .is_some_and(|c| codes.contains(&c)),
+            LabelKind::Range(r) => column
+                .numeric_at(row as usize)
+                .is_some_and(|v| r.contains(v)),
+        }
+    }
+
+    /// The paper's overlap test (Section 4.2): does a workload query's
+    /// selection condition on this attribute overlap the label?
+    ///
+    /// - categorical: the IN-sets are not disjoint;
+    /// - numeric: the intervals overlap.
+    ///
+    /// Conditions of the wrong type never overlap (they cannot arise
+    /// from a well-typed workload).
+    pub fn overlaps_condition(&self, condition: &AttrCondition, relation: &Relation) -> bool {
+        match (&self.kind, condition) {
+            (LabelKind::In(codes), AttrCondition::InStr(values)) => {
+                let (dict, _) = relation
+                    .column(self.attr)
+                    .categorical()
+                    .expect("In label on categorical column");
+                values
+                    .iter()
+                    .any(|v| dict.lookup(v).is_some_and(|c| codes.contains(&c)))
+            }
+            (LabelKind::Range(r), AttrCondition::Range(q)) => r.overlaps(q),
+            (LabelKind::Range(r), AttrCondition::InNum(values)) => {
+                values.iter().any(|&v| r.contains(v))
+            }
+            _ => false,
+        }
+    }
+
+    /// Does a whole normalized query overlap this label? True when the
+    /// query places no condition on the label's attribute (the user
+    /// did not rule the category out) or when its condition overlaps.
+    ///
+    /// This is how the synthetic explorations of Section 6.2 decide
+    /// which categories to drill into.
+    pub fn query_overlaps(&self, query: &NormalizedQuery, relation: &Relation) -> bool {
+        match query.condition(self.attr) {
+            None => true,
+            Some(cond) => self.overlaps_condition(cond, relation),
+        }
+    }
+
+    /// Express this label in workload terms for the correlation index
+    /// (codes become strings via the relation's dictionary).
+    pub fn to_predicate(&self, relation: &Relation) -> qcat_workload::LabelPredicate {
+        match &self.kind {
+            LabelKind::In(codes) => {
+                let (dict, _) = relation
+                    .column(self.attr)
+                    .categorical()
+                    .expect("In label on categorical column");
+                qcat_workload::LabelPredicate::InValues(
+                    self.attr,
+                    codes
+                        .iter()
+                        .filter_map(|&c| dict.value(c).map(|v| v.as_ref().to_string()))
+                        .collect(),
+                )
+            }
+            LabelKind::Range(r) => qcat_workload::LabelPredicate::Range(self.attr, *r),
+        }
+    }
+
+    /// Render the label the way Figure 1 does: `Neighborhood:
+    /// Redmond, Bellevue` or `Price: 200000 - 225000`.
+    pub fn render(&self, relation: &Relation) -> String {
+        let name = relation.schema().name_of(self.attr);
+        let mut out = String::new();
+        match &self.kind {
+            LabelKind::In(codes) => {
+                let (dict, _) = relation
+                    .column(self.attr)
+                    .categorical()
+                    .expect("In label on categorical column");
+                let _ = write!(out, "{name}: ");
+                for (i, &c) in codes.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(dict.value(c).map(|v| v.as_ref()).unwrap_or("?"));
+                }
+            }
+            LabelKind::Range(r) => {
+                let _ = write!(out, "{name}: {}", render_range(r));
+            }
+        }
+        out
+    }
+}
+
+/// Human-readable interval rendering.
+fn render_range(r: &NumericRange) -> String {
+    let fmt = |v: f64| {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    };
+    match (r.lo.is_finite(), r.hi.is_finite()) {
+        (true, true) => format!("{} - {}", fmt(r.lo), fmt(r.hi)),
+        (true, false) => format!("\u{2265} {}", fmt(r.lo)),
+        (false, true) => {
+            if r.hi_inclusive {
+                format!("\u{2264} {}", fmt(r.hi))
+            } else {
+                format!("< {}", fmt(r.hi))
+            }
+        }
+        (false, false) => "all".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+    use qcat_sql::parse_and_normalize;
+
+    fn homes() -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::new(schema);
+        for (n, p) in [
+            ("Redmond", 210_000.0),
+            ("Bellevue", 260_000.0),
+            ("Seattle", 305_000.0),
+        ] {
+            b.push_row(&[n.into(), p.into()]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn code(rel: &Relation, v: &str) -> u32 {
+        rel.column(AttrId(0))
+            .categorical()
+            .unwrap()
+            .0
+            .lookup(v)
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_rows_categorical() {
+        let rel = homes();
+        let label = CategoryLabel::single_value(AttrId(0), code(&rel, "Redmond"));
+        assert!(label.matches_row(&rel, 0));
+        assert!(!label.matches_row(&rel, 1));
+        let both =
+            CategoryLabel::value_set(AttrId(0), [code(&rel, "Redmond"), code(&rel, "Bellevue")]);
+        assert!(both.matches_row(&rel, 0));
+        assert!(both.matches_row(&rel, 1));
+        assert!(!both.matches_row(&rel, 2));
+    }
+
+    #[test]
+    fn matches_rows_numeric_half_open() {
+        let rel = homes();
+        let label = CategoryLabel::range(AttrId(1), NumericRange::half_open(200_000.0, 260_000.0));
+        assert!(label.matches_row(&rel, 0));
+        assert!(!label.matches_row(&rel, 1)); // 260000 excluded
+        assert!(!label.matches_row(&rel, 2));
+    }
+
+    #[test]
+    fn overlap_with_in_condition() {
+        let rel = homes();
+        let schema = rel.schema().clone();
+        let q = parse_and_normalize(
+            "SELECT * FROM t WHERE neighborhood IN ('Redmond','Kirkland')",
+            &schema,
+        )
+        .unwrap();
+        let cond = q.condition(AttrId(0)).unwrap();
+        let label = CategoryLabel::single_value(AttrId(0), code(&rel, "Redmond"));
+        assert!(label.overlaps_condition(cond, &rel));
+        let label2 = CategoryLabel::single_value(AttrId(0), code(&rel, "Seattle"));
+        assert!(!label2.overlaps_condition(cond, &rel));
+    }
+
+    #[test]
+    fn overlap_with_range_condition_matches_paper_semantics() {
+        let rel = homes();
+        let schema = rel.schema().clone();
+        let q = parse_and_normalize(
+            "SELECT * FROM t WHERE price BETWEEN 100000 AND 200000",
+            &schema,
+        )
+        .unwrap();
+        let cond = q.condition(AttrId(1)).unwrap();
+        // Label [200000, 225000): the query's closed upper end touches it.
+        let touching =
+            CategoryLabel::range(AttrId(1), NumericRange::half_open(200_000.0, 225_000.0));
+        assert!(touching.overlaps_condition(cond, &rel));
+        // Label [225000, 250000): disjoint.
+        let disjoint =
+            CategoryLabel::range(AttrId(1), NumericRange::half_open(225_000.0, 250_000.0));
+        assert!(!disjoint.overlaps_condition(cond, &rel));
+    }
+
+    #[test]
+    fn query_overlap_defaults_to_true_without_condition() {
+        let rel = homes();
+        let schema = rel.schema().clone();
+        let q = parse_and_normalize("SELECT * FROM t WHERE price < 250000", &schema).unwrap();
+        let label = CategoryLabel::single_value(AttrId(0), code(&rel, "Seattle"));
+        assert!(label.query_overlaps(&q, &rel));
+        let price_label =
+            CategoryLabel::range(AttrId(1), NumericRange::half_open(300_000.0, 400_000.0));
+        assert!(!price_label.query_overlaps(&q, &rel));
+    }
+
+    #[test]
+    fn mismatched_condition_types_never_overlap() {
+        let rel = homes();
+        let label = CategoryLabel::range(AttrId(1), NumericRange::closed(0.0, 1.0));
+        let cond = AttrCondition::InStr(["x".to_string()].into());
+        assert!(!label.overlaps_condition(&cond, &rel));
+    }
+
+    #[test]
+    fn rendering_matches_figure1_style() {
+        let rel = homes();
+        let label =
+            CategoryLabel::value_set(AttrId(0), [code(&rel, "Redmond"), code(&rel, "Bellevue")]);
+        // BTreeSet orders by code: Redmond interned first.
+        assert_eq!(label.render(&rel), "neighborhood: Redmond, Bellevue");
+        let price = CategoryLabel::range(AttrId(1), NumericRange::half_open(200_000.0, 225_000.0));
+        assert_eq!(price.render(&rel), "price: 200000 - 225000");
+        let open = CategoryLabel::range(
+            AttrId(1),
+            NumericRange {
+                lo: f64::NEG_INFINITY,
+                lo_inclusive: false,
+                hi: 1_000_000.0,
+                hi_inclusive: false,
+            },
+        );
+        assert_eq!(open.render(&rel), "price: < 1000000");
+    }
+
+    #[test]
+    fn numeric_in_condition_overlap() {
+        let rel = homes();
+        let label = CategoryLabel::range(AttrId(1), NumericRange::half_open(3.0, 5.0));
+        assert!(label.overlaps_condition(&AttrCondition::InNum(vec![4.0]), &rel));
+        assert!(!label.overlaps_condition(&AttrCondition::InNum(vec![5.0]), &rel));
+    }
+}

@@ -1,0 +1,289 @@
+//! Single-value categorical partitioning (paper Section 5.1.2).
+//!
+//! The cost-based partitioner produces one category per attribute
+//! value — single-value categories keep labels simple — and presents
+//! them in decreasing order of the workload occurrence count `occ(v)`,
+//! the paper's heuristic approximation of the optimal
+//! `1/P(Cᵢ) + CostOne(Cᵢ)` ordering (Appendix A). The `No cost`
+//! baseline instead presents values in arbitrary (dictionary) order.
+
+use crate::label::CategoryLabel;
+use crate::partition::Partitioning;
+use qcat_data::{AttrId, Relation};
+use qcat_workload::WorkloadStatistics;
+
+/// Presentation order for single-value categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueOrder {
+    /// Decreasing `occ(v)`, ties broken by dictionary code — the
+    /// cost-based order.
+    ByOccurrence,
+    /// Dictionary-code order — the baseline's "arbitrary" order,
+    /// deterministic for reproducibility.
+    Arbitrary,
+}
+
+/// A level-wide plan: the sorted single-value category list (the
+/// algorithm's `SCL`), computed once per (attribute, level) and
+/// applied to every node of the level.
+#[derive(Debug, Clone)]
+pub struct CategoricalPlan {
+    attr: AttrId,
+    /// Dictionary codes in presentation order.
+    order: Vec<u32>,
+}
+
+impl CategoricalPlan {
+    /// Build the plan for `attr` over `relation`'s dictionary.
+    pub fn build(
+        relation: &Relation,
+        attr: AttrId,
+        stats: &WorkloadStatistics,
+        order: ValueOrder,
+    ) -> Self {
+        let (dict, _) = relation
+            .column(attr)
+            .categorical()
+            .expect("categorical partitioning requires a categorical column");
+        let mut codes: Vec<u32> = (0..dict.len() as u32).collect();
+        if order == ValueOrder::ByOccurrence {
+            // occ per code; stable sort keeps code order on ties.
+            let occ: Vec<usize> = codes
+                .iter()
+                .map(|&c| stats.occ(attr, dict.value_unchecked(c)))
+                .collect();
+            codes.sort_by(|&a, &b| occ[b as usize].cmp(&occ[a as usize]).then(a.cmp(&b)));
+        }
+        CategoricalPlan { attr, order: codes }
+    }
+
+    /// The attribute being partitioned.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The presentation order of codes.
+    pub fn code_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Partition one node's tuple-set: one single-value category per
+    /// code present in `tset`, in plan order; empty categories are
+    /// dropped (Figure 6: "each non-empty cat C' ∈ SCL").
+    pub fn split(&self, relation: &Relation, tset: &[u32]) -> Partitioning {
+        self.split_grouped(relation, tset, None, 0)
+    }
+
+    /// Like [`CategoricalPlan::split`], but with optional tail
+    /// grouping: when the node would get more than `threshold`
+    /// categories, keep the first `top_k` (hottest, in plan order) as
+    /// single-value categories and pool the remainder into one
+    /// multi-value `A ∈ B` category presented last.
+    ///
+    /// This extends the paper, whose partitioner is single-value only;
+    /// the tail label stays "solely and unambiguously" descriptive
+    /// (Section 3.1 allows `A ∈ B` labels), it just lists more values.
+    pub fn split_grouped(
+        &self,
+        relation: &Relation,
+        tset: &[u32],
+        threshold: Option<usize>,
+        top_k: usize,
+    ) -> Partitioning {
+        let (dict, codes) = relation
+            .column(self.attr)
+            .categorical()
+            .expect("categorical partitioning requires a categorical column");
+        // Bucket rows by code, preserving table order within buckets.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); dict.len()];
+        for &row in tset {
+            buckets[codes[row as usize] as usize].push(row);
+        }
+        let non_empty: Vec<u32> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&code| !buckets[code as usize].is_empty())
+            .collect();
+        let group_tail = matches!(threshold, Some(t) if non_empty.len() > t) && top_k >= 1;
+        let singles = if group_tail {
+            top_k.min(non_empty.len())
+        } else {
+            non_empty.len()
+        };
+        let mut parts: Vec<(CategoryLabel, Vec<u32>)> = non_empty[..singles]
+            .iter()
+            .map(|&code| {
+                (
+                    CategoryLabel::single_value(self.attr, code),
+                    std::mem::take(&mut buckets[code as usize]),
+                )
+            })
+            .collect();
+        if group_tail && singles < non_empty.len() {
+            let tail_codes = &non_empty[singles..];
+            let mut rows: Vec<u32> = tail_codes
+                .iter()
+                .flat_map(|&code| std::mem::take(&mut buckets[code as usize]))
+                .collect();
+            rows.sort_unstable(); // restore table order across pooled values
+            parts.push((
+                CategoryLabel::value_set(self.attr, tail_codes.iter().copied()),
+                rows,
+            ));
+        }
+        Partitioning {
+            attr: self.attr,
+            parts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+    use qcat_workload::{PreprocessConfig, WorkloadLog};
+
+    fn setup() -> (Relation, WorkloadStatistics) {
+        let schema = Schema::new(vec![Field::new("neighborhood", AttrType::Categorical)]).unwrap();
+        let mut b = RelationBuilder::new(schema.clone());
+        for n in [
+            "Seattle", "Redmond", "Bellevue", "Redmond", "Seattle", "Seattle",
+        ] {
+            b.push_row(&[n.into()]).unwrap();
+        }
+        let rel = b.finish().unwrap();
+        // Workload: Bellevue hottest, then Redmond, Seattle cold.
+        let log = WorkloadLog::parse(
+            [
+                "SELECT * FROM t WHERE neighborhood IN ('Bellevue')",
+                "SELECT * FROM t WHERE neighborhood IN ('Bellevue','Redmond')",
+                "SELECT * FROM t WHERE neighborhood IN ('Bellevue')",
+            ],
+            &schema,
+            None,
+        );
+        let stats = WorkloadStatistics::build(&log, &schema, &PreprocessConfig::new());
+        (rel, stats)
+    }
+
+    #[test]
+    fn occurrence_order_puts_hot_values_first() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        let p = plan.split(&rel, &[0, 1, 2, 3, 4, 5]);
+        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "neighborhood: Bellevue",
+                "neighborhood: Redmond",
+                "neighborhood: Seattle"
+            ]
+        );
+        // Tuple-sets keep table order.
+        assert_eq!(p.parts[0].1, vec![2]);
+        assert_eq!(p.parts[1].1, vec![1, 3]);
+        assert_eq!(p.parts[2].1, vec![0, 4, 5]);
+        assert_eq!(p.total_tuples(), 6);
+    }
+
+    #[test]
+    fn arbitrary_order_is_dictionary_order() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::Arbitrary);
+        // Dictionary order = first-seen: Seattle, Redmond, Bellevue.
+        let p = plan.split(&rel, &[0, 1, 2, 3, 4, 5]);
+        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "neighborhood: Seattle",
+                "neighborhood: Redmond",
+                "neighborhood: Bellevue"
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_categories_dropped_per_node() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        // Node containing only Seattle rows.
+        let p = plan.split(&rel, &[0, 4]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.parts[0].1, vec![0, 4]);
+    }
+
+    #[test]
+    fn empty_tset_gives_empty_partitioning() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        let p = plan.split(&rel, &[]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn grouping_pools_rare_values_into_a_tail() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        // 3 distinct values; threshold 2 with top_k 1 → Bellevue stays
+        // single, Redmond+Seattle pool.
+        let p = plan.split_grouped(&rel, &[0, 1, 2, 3, 4, 5], Some(2), 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.parts[0].0.render(&rel), "neighborhood: Bellevue");
+        let tail = &p.parts[1];
+        assert_eq!(tail.0.render(&rel), "neighborhood: Seattle, Redmond");
+        // Pooled rows are back in table order.
+        assert_eq!(tail.1, vec![0, 1, 3, 4, 5]);
+        assert_eq!(p.total_tuples(), 6);
+    }
+
+    #[test]
+    fn grouping_inactive_below_threshold() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        // 3 distinct values ≤ threshold 3 → plain single-value split.
+        let p = plan.split_grouped(&rel, &[0, 1, 2, 3, 4, 5], Some(3), 1);
+        assert_eq!(p.len(), 3);
+        assert!(p.parts.iter().all(|(l, _)| matches!(
+            &l.kind,
+            crate::label::LabelKind::In(codes) if codes.len() == 1
+        )));
+    }
+
+    #[test]
+    fn grouped_rows_satisfy_their_labels() {
+        let (rel, stats) = setup();
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        let p = plan.split_grouped(&rel, &[0, 1, 2, 3, 4, 5], Some(1), 1);
+        for (label, rows) in &p.parts {
+            for &r in rows {
+                assert!(label.matches_row(&rel, r), "{}", label.render(&rel));
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_by_code_for_determinism() {
+        let (rel, _) = setup();
+        let schema = rel.schema().clone();
+        // Workload where Redmond and Seattle tie at 1.
+        let log = WorkloadLog::parse(
+            [
+                "SELECT * FROM t WHERE neighborhood IN ('Redmond')",
+                "SELECT * FROM t WHERE neighborhood IN ('Seattle')",
+            ],
+            &schema,
+            None,
+        );
+        let stats = WorkloadStatistics::build(&log, &schema, &PreprocessConfig::new());
+        let plan = CategoricalPlan::build(&rel, AttrId(0), &stats, ValueOrder::ByOccurrence);
+        // Seattle has code 0, Redmond code 1: tie → Seattle first.
+        let p = plan.split(&rel, &[0, 1]);
+        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        assert_eq!(labels[0], "neighborhood: Seattle");
+    }
+}

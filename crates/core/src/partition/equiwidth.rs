@@ -1,0 +1,150 @@
+//! Equi-width numeric partitioning — the `No cost` baseline of
+//! Section 6.1: buckets of width 5× the splitpoint separation interval
+//! aligned to multiples of the width, with empty buckets removed.
+
+use crate::label::CategoryLabel;
+use crate::partition::Partitioning;
+use qcat_data::{AttrId, Relation};
+use qcat_sql::NumericRange;
+
+/// Split `tset` into equal-width buckets of `width`, aligned so bucket
+/// boundaries are multiples of `width` (the paper splits price at
+/// every multiple of 25000, square footage at every 500, …).
+///
+/// Returns `None` when the attribute has no spread in `tset`.
+pub fn equiwidth_split(
+    relation: &Relation,
+    attr: AttrId,
+    tset: &[u32],
+    width: f64,
+) -> Option<Partitioning> {
+    assert!(width > 0.0 && width.is_finite(), "width must be positive");
+    let column = relation.column(attr);
+    let (vmin, vmax) = column.numeric_min_max(tset)?;
+    if vmin >= vmax {
+        return None;
+    }
+    let first = (vmin / width).floor();
+    let bucket_of = |v: f64| -> usize { ((v / width).floor() - first) as usize };
+    let n_buckets = bucket_of(vmax) + 1;
+    if n_buckets < 2 {
+        return None;
+    }
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_buckets];
+    for &row in tset {
+        let v = column.numeric_at(row as usize).expect("numeric column");
+        buckets[bucket_of(v)].push(row);
+    }
+    let parts = buckets
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, rows)| {
+            if rows.is_empty() {
+                return None;
+            }
+            let lo = (first + i as f64) * width;
+            let range = if i + 1 == n_buckets {
+                // Close the final bucket so vmax itself is covered.
+                NumericRange::closed(lo, vmax.max(lo))
+            } else {
+                NumericRange::half_open(lo, lo + width)
+            };
+            Some((CategoryLabel::range(attr, range), rows))
+        })
+        .collect();
+    Some(Partitioning { attr, parts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+
+    fn price_relation(values: &[f64]) -> Relation {
+        let schema = Schema::new(vec![Field::new("price", AttrType::Float)]).unwrap();
+        let mut b = RelationBuilder::new(schema);
+        for &v in values {
+            b.push_row(&[v.into()]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn aligned_buckets() {
+        // Width 25000; prices from 210k to 260k → buckets [200k,225k),
+        // [225k,250k), [250k,260k].
+        let rel = price_relation(&[210_000.0, 230_000.0, 226_000.0, 260_000.0]);
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 25_000.0).unwrap();
+        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "price: 200000 - 225000",
+                "price: 225000 - 250000",
+                "price: 250000 - 260000"
+            ]
+        );
+        assert_eq!(p.parts[0].1, vec![0]);
+        assert_eq!(p.parts[1].1, vec![1, 2]);
+        assert_eq!(p.parts[2].1, vec![3]);
+    }
+
+    #[test]
+    fn empty_buckets_removed() {
+        let rel = price_relation(&[10.0, 990.0]); // width 100 → gap in the middle
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_tuples(), 2);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let rel = price_relation(&[5.0, 5.0]);
+        assert!(equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 10.0).is_none());
+        // All values in one bucket.
+        let rel = price_relation(&[12.0, 17.0]);
+        assert!(equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0).is_none());
+        // Empty tset.
+        assert!(equiwidth_split(&rel, AttrId(0), &[], 100.0).is_none());
+    }
+
+    #[test]
+    fn negative_values_align() {
+        let rel = price_relation(&[-150.0, -20.0, 40.0]);
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0).unwrap();
+        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        assert_eq!(
+            labels,
+            vec!["price: -200 - -100", "price: -100 - 0", "price: 0 - 40"]
+        );
+    }
+
+    proptest! {
+        /// Buckets always partition the tset and every row satisfies
+        /// its bucket label.
+        #[test]
+        fn prop_partition_invariants(
+            values in proptest::collection::vec(-1e4..1e4f64, 2..60),
+            width in 1.0..500.0f64,
+        ) {
+            let rel = price_relation(&values);
+            let tset = rel.all_row_ids();
+            if let Some(p) = equiwidth_split(&rel, AttrId(0), &tset, width) {
+                prop_assert_eq!(p.total_tuples(), values.len());
+                let mut seen: Vec<u32> = Vec::new();
+                for (label, rows) in &p.parts {
+                    prop_assert!(!rows.is_empty());
+                    for &r in rows {
+                        prop_assert!(label.matches_row(&rel, r));
+                        seen.push(r);
+                    }
+                }
+                seen.sort_unstable();
+                let mut expect = tset.clone();
+                expect.sort_unstable();
+                prop_assert_eq!(seen, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Domain partitioning for one categorizing attribute (paper
+//! Sections 5.1.2, 5.1.3 and the Section 6.1 baselines).
+
+pub mod categorical;
+pub mod equiwidth;
+pub mod numeric;
+
+use crate::label::CategoryLabel;
+use qcat_data::AttrId;
+
+/// A proposed partitioning of one node's tuple-set: the would-be
+/// children in presentation order. Every row of the node appears in
+/// exactly one part; parts are non-empty.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// The categorizing attribute.
+    pub attr: AttrId,
+    /// `(label, tset)` pairs in presentation order.
+    pub parts: Vec<(CategoryLabel, Vec<u32>)>,
+}
+
+impl Partitioning {
+    /// Number of would-be children.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the partitioning produced no categories.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Total tuples across parts (must equal the node's tuple count).
+    pub fn total_tuples(&self) -> usize {
+        self.parts.iter().map(|(_, t)| t.len()).sum()
+    }
+}

@@ -1,0 +1,677 @@
+//! The category tree (paper Section 3.1).
+//!
+//! An arena of nodes rooted at the implicit "ALL" node. Each node
+//! carries its label, its tuple-set as row ids into the base relation,
+//! and the two workload-derived probabilities the cost model needs:
+//! `P(C)` (exploration probability, fixed at creation) and `Pw(C)`
+//! (SHOWTUPLES probability, fixed when the node's children are
+//! attached because it depends on the subcategorizing attribute; 1 for
+//! leaves).
+
+use crate::label::CategoryLabel;
+use qcat_data::{AttrId, Relation};
+use std::fmt;
+
+/// Index of a node in its [`CategoryTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root's id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// As a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One category.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The label; `None` only for the root.
+    pub label: Option<CategoryLabel>,
+    /// Parent id; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in presentation order (the order the user examines).
+    pub children: Vec<NodeId>,
+    /// `tset(C)`: row ids of the base relation, in table order.
+    pub tset: Vec<u32>,
+    /// Depth: root is level 0, its categories level 1, …
+    pub level: usize,
+    /// `P(C)`: probability the user explores this node upon examining
+    /// its label. 1.0 for the root (the user always starts there).
+    pub p_explore: f64,
+    /// `Pw(C)`: probability of SHOWTUPLES given exploration. 1.0 for
+    /// leaves; otherwise `1 − NAttr(SA(C))/N`.
+    pub p_showtuples: f64,
+}
+
+impl Node {
+    /// True when the node has no subcategories.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// `|tset(C)|`.
+    pub fn tuple_count(&self) -> usize {
+        self.tset.len()
+    }
+}
+
+/// Structural diagnostics produced by [`CategoryTree::summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSummary {
+    /// Depth of the deepest node (root = 0).
+    pub depth: usize,
+    /// Total nodes including the root.
+    pub node_count: usize,
+    /// Number of leaves.
+    pub leaf_count: usize,
+    /// Node count at each level, `0..=depth`.
+    pub nodes_per_level: Vec<usize>,
+    /// Mean fan-out of non-leaf nodes at each level.
+    pub avg_fanout: Vec<f64>,
+    /// Largest leaf tuple-set.
+    pub max_leaf_size: usize,
+    /// Median leaf tuple-set size.
+    pub median_leaf_size: usize,
+}
+
+/// A labeled hierarchical categorization of one result set.
+#[derive(Debug, Clone)]
+pub struct CategoryTree {
+    relation: Relation,
+    nodes: Vec<Node>,
+    /// `level_attrs[l]` is the categorizing attribute of level `l+1`
+    /// (the attribute whose values partition level-`l` nodes).
+    level_attrs: Vec<AttrId>,
+}
+
+impl CategoryTree {
+    /// A tree containing only the root ("ALL") node over `root_tset`.
+    pub fn new(relation: Relation, root_tset: Vec<u32>) -> Self {
+        CategoryTree {
+            relation,
+            nodes: vec![Node {
+                label: None,
+                parent: None,
+                children: Vec::new(),
+                tset: root_tset,
+                level: 0,
+                p_explore: 1.0,
+                p_showtuples: 1.0,
+            }],
+            level_attrs: Vec::new(),
+        }
+    }
+
+    /// The base relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Depth of the deepest node (root = 0).
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// The categorizing attribute of `level` (1-based: level 1 nodes
+    /// partition the root).
+    pub fn level_attr(&self, level: usize) -> Option<AttrId> {
+        if level == 0 {
+            None
+        } else {
+            self.level_attrs.get(level - 1).copied()
+        }
+    }
+
+    /// All categorizing attributes, level 1 outward.
+    pub fn level_attrs(&self) -> &[AttrId] {
+        &self.level_attrs
+    }
+
+    /// The subcategorizing attribute of `id` — the categorizing
+    /// attribute of its children's level, if that level exists.
+    pub fn subcategorizing_attr(&self, id: NodeId) -> Option<AttrId> {
+        self.level_attr(self.node(id).level + 1)
+    }
+
+    /// Declare the categorizing attribute of the next level. Must be
+    /// called once per level before children at that level are added;
+    /// repeating an attribute violates the paper's 1:1
+    /// level↔attribute association and panics.
+    pub fn push_level(&mut self, attr: AttrId) {
+        assert!(
+            !self.level_attrs.contains(&attr),
+            "attribute {attr:?} already categorizes an earlier level"
+        );
+        self.level_attrs.push(attr);
+    }
+
+    /// Attach a child category under `parent`.
+    ///
+    /// The child's level must be the most recently pushed level, its
+    /// label's attribute must be that level's categorizing attribute,
+    /// and `p_explore` is `P(C)` from the workload estimator.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        label: CategoryLabel,
+        tset: Vec<u32>,
+        p_explore: f64,
+    ) -> NodeId {
+        let level = self.node(parent).level + 1;
+        assert_eq!(
+            Some(label.attr),
+            self.level_attr(level),
+            "child label attribute must match the level's categorizing attribute"
+        );
+        debug_assert!(
+            tset.len() <= self.node(parent).tset.len(),
+            "child tset cannot exceed the parent's"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: Some(label),
+            parent: Some(parent),
+            children: Vec::new(),
+            tset,
+            level,
+            p_explore: p_explore.clamp(0.0, 1.0),
+            p_showtuples: 1.0,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Set `Pw` of a node (done by the builder when the node gains
+    /// children; leaves keep 1.0).
+    pub fn set_p_showtuples(&mut self, id: NodeId, pw: f64) {
+        self.nodes[id.index()].p_showtuples = pw.clamp(0.0, 1.0);
+    }
+
+    /// Reorder the children of `id` (used by the ordering heuristics;
+    /// `order` must be a permutation of the current children).
+    pub fn reorder_children(&mut self, id: NodeId, order: Vec<NodeId>) {
+        let current = &self.nodes[id.index()].children;
+        assert_eq!(order.len(), current.len(), "order must be a permutation");
+        debug_assert!({
+            let mut a = order.clone();
+            let mut b = current.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        });
+        self.nodes[id.index()].children = order;
+    }
+
+    /// Node ids at `level`.
+    pub fn nodes_at_level(&self, level: usize) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&id| self.node(id).level == level)
+            .collect()
+    }
+
+    /// All node ids in depth-first, presentation order (the order a
+    /// top-to-bottom rendering shows them).
+    pub fn dfs(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children reversed so the first child pops first.
+            for &c in self.node(id).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The conjunction of labels from the root to `id` (exclusive of
+    /// the root): the node's full path predicate.
+    pub fn path_labels(&self, id: NodeId) -> Vec<&CategoryLabel> {
+        let mut labels = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let node = self.node(c);
+            if let Some(l) = &node.label {
+                labels.push(l);
+            }
+            cur = node.parent;
+        }
+        labels.reverse();
+        labels
+    }
+
+    /// Structural diagnostics for one tree: per-level node counts and
+    /// fan-out, leaf-size distribution — the numbers an operator wants
+    /// when judging whether a configuration produces browsable trees.
+    pub fn summary(&self) -> TreeSummary {
+        let depth = self.depth();
+        let mut nodes_per_level = vec![0usize; depth + 1];
+        let mut fanout_sum = vec![0usize; depth + 1];
+        let mut parents_per_level = vec![0usize; depth + 1];
+        let mut leaf_sizes = Vec::new();
+        for node in &self.nodes {
+            nodes_per_level[node.level] += 1;
+            if node.is_leaf() {
+                leaf_sizes.push(node.tuple_count());
+            } else {
+                fanout_sum[node.level] += node.children.len();
+                parents_per_level[node.level] += 1;
+            }
+        }
+        leaf_sizes.sort_unstable();
+        let avg_fanout = (0..=depth)
+            .map(|l| {
+                if parents_per_level[l] == 0 {
+                    0.0
+                } else {
+                    fanout_sum[l] as f64 / parents_per_level[l] as f64
+                }
+            })
+            .collect();
+        TreeSummary {
+            depth,
+            node_count: self.node_count(),
+            leaf_count: leaf_sizes.len(),
+            nodes_per_level,
+            avg_fanout,
+            max_leaf_size: leaf_sizes.last().copied().unwrap_or(0),
+            median_leaf_size: leaf_sizes.get(leaf_sizes.len() / 2).copied().unwrap_or(0),
+        }
+    }
+
+    /// Verify the structural invariants of Section 3.1; used by tests
+    /// and debug builds. Returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            // Children partition the parent's tset.
+            if !node.children.is_empty() {
+                let mut union: Vec<u32> = Vec::new();
+                for &c in &node.children {
+                    let child = self.node(c);
+                    if child.parent != Some(id) {
+                        return Err(format!("{c} has wrong parent"));
+                    }
+                    if child.level != node.level + 1 {
+                        return Err(format!("{c} has wrong level"));
+                    }
+                    union.extend_from_slice(&child.tset);
+                }
+                let mut parent_sorted = node.tset.clone();
+                parent_sorted.sort_unstable();
+                union.sort_unstable();
+                let dup = union.windows(2).any(|w| w[0] == w[1]);
+                if dup {
+                    return Err(format!("children of {id} overlap"));
+                }
+                if union != parent_sorted {
+                    return Err(format!(
+                        "children of {id} do not cover its tset ({} vs {})",
+                        union.len(),
+                        parent_sorted.len()
+                    ));
+                }
+            }
+            // Labels match levels.
+            match (&node.label, node.level) {
+                (None, 0) => {}
+                (Some(l), lv) if lv >= 1 => {
+                    if Some(l.attr) != self.level_attr(lv) {
+                        return Err(format!("{id} label attr mismatches level {lv}"));
+                    }
+                    // Every tuple in tset satisfies the label.
+                    for &row in &node.tset {
+                        if !l.matches_row(&self.relation, row) {
+                            return Err(format!("{id} contains row {row} violating its label"));
+                        }
+                    }
+                }
+                _ => return Err(format!("{id} has inconsistent label/level")),
+            }
+            // Probability sanity.
+            if !(0.0..=1.0).contains(&node.p_explore) || !(0.0..=1.0).contains(&node.p_showtuples) {
+                return Err(format!("{id} has probabilities outside [0,1]"));
+            }
+            if node.is_leaf() && node.p_showtuples != 1.0 {
+                return Err(format!("leaf {id} must have Pw = 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+    use qcat_sql::NumericRange;
+
+    fn homes() -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::new(schema);
+        for (n, p) in [
+            ("Redmond", 210_000.0),
+            ("Bellevue", 260_000.0),
+            ("Seattle", 305_000.0),
+            ("Redmond", 220_000.0),
+        ] {
+            b.push_row(&[n.into(), p.into()]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn code(rel: &Relation, v: &str) -> u32 {
+        rel.column(AttrId(0))
+            .categorical()
+            .unwrap()
+            .0
+            .lookup(v)
+            .unwrap()
+    }
+
+    /// Build: root → {Redmond(0,3), Bellevue(1), Seattle(2)}; Redmond
+    /// further split by price.
+    fn sample_tree() -> CategoryTree {
+        let rel = homes();
+        let (red, bel, sea) = (
+            code(&rel, "Redmond"),
+            code(&rel, "Bellevue"),
+            code(&rel, "Seattle"),
+        );
+        let mut t = CategoryTree::new(rel, vec![0, 1, 2, 3]);
+        t.push_level(AttrId(0));
+        let r = t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::single_value(AttrId(0), red),
+            vec![0, 3],
+            0.6,
+        );
+        t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::single_value(AttrId(0), bel),
+            vec![1],
+            0.3,
+        );
+        t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::single_value(AttrId(0), sea),
+            vec![2],
+            0.1,
+        );
+        t.push_level(AttrId(1));
+        t.add_child(
+            r,
+            CategoryLabel::range(AttrId(1), NumericRange::half_open(200_000.0, 215_000.0)),
+            vec![0],
+            0.5,
+        );
+        t.add_child(
+            r,
+            CategoryLabel::range(AttrId(1), NumericRange::closed(215_000.0, 230_000.0)),
+            vec![3],
+            0.5,
+        );
+        t.set_p_showtuples(NodeId::ROOT, 0.2);
+        t.set_p_showtuples(r, 0.4);
+        t
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let t = sample_tree();
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.level_attr(1), Some(AttrId(0)));
+        assert_eq!(t.level_attr(2), Some(AttrId(1)));
+        assert_eq!(t.level_attr(0), None);
+        assert_eq!(t.level_attr(3), None);
+        assert_eq!(t.subcategorizing_attr(NodeId::ROOT), Some(AttrId(0)));
+        assert_eq!(t.nodes_at_level(1).len(), 3);
+        assert_eq!(t.nodes_at_level(2).len(), 2);
+    }
+
+    #[test]
+    fn invariants_hold_on_sample() {
+        let t = sample_tree();
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dfs_is_presentation_order() {
+        let t = sample_tree();
+        let order = t.dfs();
+        // root, Redmond, its two price children, Bellevue, Seattle.
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], NodeId::ROOT);
+        assert_eq!(t.node(order[1]).tset, vec![0, 3]);
+        assert_eq!(t.node(order[2]).tset, vec![0]);
+        assert_eq!(t.node(order[3]).tset, vec![3]);
+        assert_eq!(t.node(order[4]).tset, vec![1]);
+    }
+
+    #[test]
+    fn path_labels_conjunction() {
+        let t = sample_tree();
+        let deep = t.nodes_at_level(2)[0];
+        let path = t.path_labels(deep);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].attr, AttrId(0));
+        assert_eq!(path[1].attr, AttrId(1));
+        assert!(t.path_labels(NodeId::ROOT).is_empty());
+    }
+
+    #[test]
+    fn reorder_children() {
+        let mut t = sample_tree();
+        let mut kids = t.node(NodeId::ROOT).children.clone();
+        kids.reverse();
+        t.reorder_children(NodeId::ROOT, kids.clone());
+        assert_eq!(t.node(NodeId::ROOT).children, kids);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn reorder_requires_permutation() {
+        let mut t = sample_tree();
+        t.reorder_children(NodeId::ROOT, vec![NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already categorizes")]
+    fn repeated_level_attr_panics() {
+        let rel = homes();
+        let mut t = CategoryTree::new(rel, vec![0, 1, 2, 3]);
+        t.push_level(AttrId(0));
+        t.push_level(AttrId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "categorizing attribute")]
+    fn label_attr_must_match_level() {
+        let rel = homes();
+        let mut t = CategoryTree::new(rel, vec![0, 1, 2, 3]);
+        t.push_level(AttrId(0));
+        t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::range(AttrId(1), NumericRange::closed(0.0, 1.0)),
+            vec![0],
+            1.0,
+        );
+    }
+
+    #[test]
+    fn invariant_checker_catches_violations() {
+        let rel = homes();
+        let red = code(&rel, "Redmond");
+        // Children that do not cover the root tset.
+        let mut t = CategoryTree::new(rel.clone(), vec![0, 1]);
+        t.push_level(AttrId(0));
+        t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::single_value(AttrId(0), red),
+            vec![0],
+            1.0,
+        );
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.contains("cover"), "{err}");
+
+        // A tuple that violates its label.
+        let mut t = CategoryTree::new(rel, vec![0, 1]);
+        t.push_level(AttrId(0));
+        t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::single_value(AttrId(0), red),
+            vec![0, 1], // row 1 is Bellevue
+            1.0,
+        );
+        let err = t.check_invariants().unwrap_err();
+        assert!(err.contains("violating"), "{err}");
+    }
+
+    proptest! {
+        /// Random two-level trees built through the public API always
+        /// satisfy the invariants, and dfs() visits every node exactly
+        /// once with parents before children.
+        #[test]
+        fn prop_random_trees_are_valid(
+            splits in proptest::collection::vec(1usize..5, 1..6),
+            probs in proptest::collection::vec(0.0f64..1.0, 32),
+        ) {
+            // One numeric attribute per level; rows valued by index.
+            let total: usize = splits.iter().sum::<usize>().max(1) * 4;
+            let schema = Schema::new(vec![
+                Field::new("a", AttrType::Float),
+                Field::new("b", AttrType::Float),
+            ])
+            .unwrap();
+            let mut b = RelationBuilder::new(schema);
+            for i in 0..total {
+                b.push_row(&[(i as f64).into(), ((i % 7) as f64).into()])
+                    .unwrap();
+            }
+            let rel = b.finish().unwrap();
+            let mut t = CategoryTree::new(rel, (0..total as u32).collect());
+            t.push_level(AttrId(0));
+            // Level 1: contiguous index ranges sized 4·splits[k].
+            let mut next = 0u32;
+            let mut pi = 0;
+            let mut level1 = Vec::new();
+            for (k, &s) in splits.iter().enumerate() {
+                let size = (4 * s) as u32;
+                let lo = next as f64;
+                let hi = (next + size) as f64;
+                let range = if k + 1 == splits.len() {
+                    NumericRange::closed(lo, total as f64)
+                } else {
+                    NumericRange::half_open(lo, hi)
+                };
+                let id = t.add_child(
+                    NodeId::ROOT,
+                    CategoryLabel::range(AttrId(0), range),
+                    (next..next + size).collect(),
+                    probs[pi % probs.len()],
+                );
+                pi += 1;
+                level1.push(id);
+                next += size;
+            }
+            t.set_p_showtuples(NodeId::ROOT, probs[pi % probs.len()]);
+            prop_assert!(t.check_invariants().is_ok(), "{:?}", t.check_invariants());
+            // dfs is a permutation with parents first.
+            let order = t.dfs();
+            prop_assert_eq!(order.len(), t.node_count());
+            let mut seen = vec![false; t.node_count()];
+            for id in &order {
+                prop_assert!(!seen[id.index()]);
+                seen[id.index()] = true;
+                if let Some(p) = t.node(*id).parent {
+                    prop_assert!(seen[p.index()], "parent after child");
+                }
+            }
+            // Levels are consistent with level_attr bookkeeping.
+            for &id in &level1 {
+                prop_assert_eq!(t.node(id).level, 1);
+                prop_assert_eq!(t.level_attr(1), Some(AttrId(0)));
+                prop_assert!(t.subcategorizing_attr(id).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn summary_reports_shape() {
+        let t = sample_tree();
+        let s = t.summary();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.node_count, 6);
+        assert_eq!(s.leaf_count, 4);
+        assert_eq!(s.nodes_per_level, vec![1, 3, 2]);
+        // Root fans out to 3; the one non-leaf level-1 node to 2.
+        assert!((s.avg_fanout[0] - 3.0).abs() < 1e-12);
+        assert!((s.avg_fanout[1] - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_leaf_size, 1);
+        assert_eq!(s.median_leaf_size, 1);
+        // A root-only tree.
+        let rel = homes();
+        let flat = CategoryTree::new(rel, vec![0, 1]);
+        let fs = flat.summary();
+        assert_eq!(fs.depth, 0);
+        assert_eq!(fs.leaf_count, 1);
+        assert_eq!(fs.max_leaf_size, 2);
+    }
+
+    #[test]
+    fn probabilities_clamped() {
+        let rel = homes();
+        let red = code(&rel, "Redmond");
+        let mut t = CategoryTree::new(rel, vec![0, 3]);
+        t.push_level(AttrId(0));
+        let c = t.add_child(
+            NodeId::ROOT,
+            CategoryLabel::single_value(AttrId(0), red),
+            vec![0, 3],
+            1.7,
+        );
+        assert_eq!(t.node(c).p_explore, 1.0);
+        t.set_p_showtuples(NodeId::ROOT, -0.5);
+        assert_eq!(t.node(NodeId::ROOT).p_showtuples, 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A small thread-safe table catalog.
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Name → relation registry.
+///
+/// Tables are registered once and read many times (every query
+/// execution resolves the `FROM` table here), so a `RwLock` around a
+/// `HashMap` of cheaply-cloneable [`Relation`] handles suffices.
+/// Lookups are case-insensitive, matching the SQL layer.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Relation>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `relation` under `name`; errors if the name is taken.
+    pub fn register(&self, name: &str, relation: Relation) -> Result<(), DataError> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(DataError::DuplicateTable(name.to_string()));
+        }
+        tables.insert(key, relation);
+        Ok(())
+    }
+
+    /// Replace or insert `relation` under `name`.
+    pub fn register_or_replace(&self, name: &str, relation: Relation) {
+        self.tables
+            .write()
+            .insert(name.to_ascii_lowercase(), relation);
+    }
+
+    /// Fetch a handle to the named table.
+    pub fn get(&self, name: &str) -> Result<Relation, DataError> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn drop_table(&self, name: &str) -> Option<Relation> {
+        self.tables.write().remove(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::types::{AttrType, Field, Schema};
+
+    fn tiny() -> Relation {
+        let schema = Schema::new(vec![Field::new("x", AttrType::Int)]).unwrap();
+        let mut b = RelationBuilder::new(schema);
+        b.push_row(&[1.into()]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn register_and_get_case_insensitive() {
+        let cat = Catalog::new();
+        cat.register("ListProperty", tiny()).unwrap();
+        assert_eq!(cat.get("listproperty").unwrap().len(), 1);
+        assert_eq!(cat.get("LISTPROPERTY").unwrap().len(), 1);
+        assert!(cat.get("other").is_err());
+    }
+
+    #[test]
+    fn duplicate_register_rejected_replace_allowed() {
+        let cat = Catalog::new();
+        cat.register("t", tiny()).unwrap();
+        assert!(matches!(
+            cat.register("T", tiny()),
+            Err(DataError::DuplicateTable(_))
+        ));
+        cat.register_or_replace("T", tiny());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let cat = Catalog::new();
+        cat.register("t", tiny()).unwrap();
+        assert!(cat.drop_table("T").is_some());
+        assert!(cat.drop_table("t").is_none());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let cat = Catalog::new();
+        cat.register("b", tiny()).unwrap();
+        cat.register("a", tiny()).unwrap();
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn catalog_is_sync_and_shareable() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Catalog>();
+        let cat = std::sync::Arc::new(Catalog::new());
+        cat.register("t", tiny()).unwrap();
+        let cat2 = cat.clone();
+        let handle = std::thread::spawn(move || cat2.get("t").unwrap().len());
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! Typed columnar storage.
+//!
+//! Columns are non-nullable: the paper's evaluation dataset uses the
+//! non-null attributes of the listing table, and categorization labels
+//! partition the full domain, so the storage layer rejects nulls at
+//! build time rather than threading validity bitmaps through every
+//! partitioner.
+
+use crate::dictionary::Dictionary;
+use crate::error::DataError;
+use crate::types::AttrType;
+use crate::value::Value;
+
+/// One column of a relation.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Dictionary-encoded strings.
+    Categorical {
+        /// Distinct values of the column.
+        dict: Dictionary,
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+    },
+    /// Integer data.
+    Int(Vec<i64>),
+    /// Float data.
+    Float(Vec<f64>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Categorical { codes, .. } => codes.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Declared type of the column.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Column::Categorical { .. } => AttrType::Categorical,
+            Column::Int(_) => AttrType::Int,
+            Column::Float(_) => AttrType::Float,
+        }
+    }
+
+    /// Cell value at `row` (clones out of the dictionary cheaply).
+    pub fn get(&self, row: usize) -> Option<Value> {
+        match self {
+            Column::Categorical { dict, codes } => codes
+                .get(row)
+                .map(|&c| Value::Str(dict.value(c).expect("code in range").clone())),
+            Column::Int(v) => v.get(row).map(|&i| Value::Int(i)),
+            Column::Float(v) => v.get(row).map(|&x| Value::Float(x)),
+        }
+    }
+
+    /// Numeric value at `row` (`Int` widens to `f64`); `None` for
+    /// categorical columns or out-of-range rows.
+    #[inline]
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Categorical { .. } => None,
+            Column::Int(v) => v.get(row).map(|&i| i as f64),
+            Column::Float(v) => v.get(row).copied(),
+        }
+    }
+
+    /// Dictionary code at `row` for categorical columns.
+    #[inline]
+    pub fn code_at(&self, row: usize) -> Option<u32> {
+        match self {
+            Column::Categorical { codes, .. } => codes.get(row).copied(),
+            _ => None,
+        }
+    }
+
+    /// Dictionary + codes view for categorical columns.
+    pub fn categorical(&self) -> Option<(&Dictionary, &[u32])> {
+        match self {
+            Column::Categorical { dict, codes } => Some((dict, codes)),
+            _ => None,
+        }
+    }
+
+    /// Integer slice view.
+    pub fn ints(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Float slice view.
+    pub fn floats(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Minimum and maximum numeric value over a set of rows.
+    ///
+    /// Returns `None` for categorical columns or an empty row set.
+    pub fn numeric_min_max(&self, rows: &[u32]) -> Option<(f64, f64)> {
+        let mut it = rows.iter().filter_map(|&r| self.numeric_at(r as usize));
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Number of distinct values over a set of rows.
+    pub fn distinct_count(&self, rows: &[u32]) -> usize {
+        match self {
+            Column::Categorical { dict, codes } => {
+                let mut seen = vec![false; dict.len()];
+                let mut n = 0;
+                for &r in rows {
+                    let c = codes[r as usize] as usize;
+                    if !seen[c] {
+                        seen[c] = true;
+                        n += 1;
+                    }
+                }
+                n
+            }
+            Column::Int(v) => {
+                let mut vals: Vec<i64> = rows.iter().map(|&r| v[r as usize]).collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals.len()
+            }
+            Column::Float(v) => {
+                let mut vals: Vec<f64> = rows.iter().map(|&r| v[r as usize]).collect();
+                vals.sort_unstable_by(f64::total_cmp);
+                vals.dedup_by(|a, b| a == b);
+                vals.len()
+            }
+        }
+    }
+}
+
+/// Incremental, type-checked column construction.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    /// Builds a [`Column::Categorical`].
+    Categorical {
+        /// Dictionary under construction.
+        dict: Dictionary,
+        /// Codes appended so far.
+        codes: Vec<u32>,
+    },
+    /// Builds a [`Column::Int`].
+    Int(Vec<i64>),
+    /// Builds a [`Column::Float`].
+    Float(Vec<f64>),
+}
+
+impl ColumnBuilder {
+    /// Builder for the given type, pre-sized for `capacity` rows.
+    pub fn with_capacity(ty: AttrType, capacity: usize) -> Self {
+        match ty {
+            AttrType::Categorical => ColumnBuilder::Categorical {
+                dict: Dictionary::new(),
+                codes: Vec::with_capacity(capacity),
+            },
+            AttrType::Int => ColumnBuilder::Int(Vec::with_capacity(capacity)),
+            AttrType::Float => ColumnBuilder::Float(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Append one value, checking type compatibility.
+    ///
+    /// `Int` values are accepted into `Float` columns (widening);
+    /// everything else must match exactly. Nulls are rejected — see the
+    /// module docs.
+    pub fn push(&mut self, attribute: &str, v: &Value) -> Result<(), DataError> {
+        let mismatch = |expected: &'static str| DataError::TypeMismatch {
+            attribute: attribute.to_string(),
+            expected,
+            actual: v.type_name(),
+        };
+        match self {
+            ColumnBuilder::Categorical { dict, codes } => match v {
+                Value::Str(s) => {
+                    codes.push(dict.intern(s));
+                    Ok(())
+                }
+                _ => Err(mismatch("categorical")),
+            },
+            ColumnBuilder::Int(out) => match v {
+                Value::Int(i) => {
+                    out.push(*i);
+                    Ok(())
+                }
+                _ => Err(mismatch("int")),
+            },
+            ColumnBuilder::Float(out) => match v.as_f64() {
+                Some(x) if !x.is_nan() => {
+                    out.push(x);
+                    Ok(())
+                }
+                Some(_) => Err(DataError::TypeMismatch {
+                    attribute: attribute.to_string(),
+                    expected: "float",
+                    actual: "NaN (not storable: labels partition a totally ordered domain)",
+                }),
+                None => Err(mismatch("float")),
+            },
+        }
+    }
+
+    /// Typed fast path: append a string to a categorical builder.
+    pub fn push_str(&mut self, s: &str) -> Result<(), DataError> {
+        match self {
+            ColumnBuilder::Categorical { dict, codes } => {
+                codes.push(dict.intern(s));
+                Ok(())
+            }
+            _ => Err(DataError::TypeMismatch {
+                attribute: String::new(),
+                expected: "categorical",
+                actual: "string push on numeric column",
+            }),
+        }
+    }
+
+    /// Typed fast path: append an integer.
+    pub fn push_i64(&mut self, v: i64) -> Result<(), DataError> {
+        match self {
+            ColumnBuilder::Int(out) => {
+                out.push(v);
+                Ok(())
+            }
+            ColumnBuilder::Float(out) => {
+                out.push(v as f64);
+                Ok(())
+            }
+            _ => Err(DataError::TypeMismatch {
+                attribute: String::new(),
+                expected: "numeric",
+                actual: "int push on categorical column",
+            }),
+        }
+    }
+
+    /// Typed fast path: append a float (NaN rejected — numeric labels
+    /// partition a totally ordered domain).
+    pub fn push_f64(&mut self, v: f64) -> Result<(), DataError> {
+        if v.is_nan() {
+            return Err(DataError::TypeMismatch {
+                attribute: String::new(),
+                expected: "float",
+                actual: "NaN",
+            });
+        }
+        match self {
+            ColumnBuilder::Float(out) => {
+                out.push(v);
+                Ok(())
+            }
+            _ => Err(DataError::TypeMismatch {
+                attribute: String::new(),
+                expected: "float",
+                actual: "float push on non-float column",
+            }),
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Categorical { codes, .. } => codes.len(),
+            ColumnBuilder::Int(v) => v.len(),
+            ColumnBuilder::Float(v) => v.len(),
+        }
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::Categorical { dict, codes } => Column::Categorical { dict, codes },
+            ColumnBuilder::Int(v) => Column::Int(v),
+            ColumnBuilder::Float(v) => Column::Float(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat_column(vals: &[&str]) -> Column {
+        let mut b = ColumnBuilder::with_capacity(AttrType::Categorical, vals.len());
+        for v in vals {
+            b.push_str(v).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn categorical_roundtrip() {
+        let c = cat_column(&["a", "b", "a", "c"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.attr_type(), AttrType::Categorical);
+        assert_eq!(c.get(0), Some(Value::from("a")));
+        assert_eq!(c.get(2), Some(Value::from("a")));
+        assert_eq!(c.code_at(0), c.code_at(2));
+        assert_ne!(c.code_at(0), c.code_at(1));
+        assert_eq!(c.get(9), None);
+        let (dict, codes) = c.categorical().unwrap();
+        assert_eq!(dict.len(), 3);
+        assert_eq!(codes.len(), 4);
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut b = ColumnBuilder::with_capacity(AttrType::Float, 2);
+        b.push("price", &Value::Int(200_000)).unwrap();
+        b.push("price", &Value::Float(250_000.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.numeric_at(0), Some(200_000.0));
+        assert_eq!(c.numeric_at(1), Some(250_000.5));
+        assert_eq!(c.floats().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut b = ColumnBuilder::with_capacity(AttrType::Int, 1);
+        let err = b.push("beds", &Value::from("three")).unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        let err = b.push("beds", &Value::Null).unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        let err = b.push("beds", &Value::Float(3.0)).unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn numeric_min_max_over_rows() {
+        let c = Column::Int(vec![5, 1, 9, 3]);
+        assert_eq!(c.numeric_min_max(&[0, 1, 2, 3]), Some((1.0, 9.0)));
+        assert_eq!(c.numeric_min_max(&[2]), Some((9.0, 9.0)));
+        assert_eq!(c.numeric_min_max(&[]), None);
+        let cat = cat_column(&["a"]);
+        assert_eq!(cat.numeric_min_max(&[0]), None);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let c = cat_column(&["a", "b", "a", "c", "b"]);
+        assert_eq!(c.distinct_count(&[0, 1, 2, 3, 4]), 3);
+        assert_eq!(c.distinct_count(&[0, 2]), 1);
+        let i = Column::Int(vec![1, 1, 2, 3]);
+        assert_eq!(i.distinct_count(&[0, 1, 2, 3]), 3);
+        let f = Column::Float(vec![1.5, 1.5, 2.0]);
+        assert_eq!(f.distinct_count(&[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut b = ColumnBuilder::with_capacity(AttrType::Float, 1);
+        assert!(b.push("price", &Value::Float(f64::NAN)).is_err());
+        assert!(b.push_f64(f64::NAN).is_err());
+        assert!(b.push_f64(f64::INFINITY).is_ok(), "infinities are ordered");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn typed_push_fast_paths() {
+        let mut b = ColumnBuilder::with_capacity(AttrType::Int, 2);
+        b.push_i64(7).unwrap();
+        assert!(b.push_f64(1.0).is_err());
+        assert!(b.push_str("x").is_err());
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        let c = b.finish();
+        assert_eq!(c.ints().unwrap(), &[7]);
+        assert!(c.floats().is_none());
+        assert!(c.categorical().is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Minimal CSV/TSV import and export.
+//!
+//! Good enough to round-trip generated datasets and to let examples
+//! load ad-hoc files. Supports a configurable delimiter, a header row,
+//! and double-quote escaping (`""` inside a quoted field). No external
+//! dependency is warranted for this subset.
+
+use crate::error::DataError;
+use crate::relation::{Relation, RelationBuilder};
+use crate::types::{AttrType, Schema};
+use crate::value::Value;
+use std::io::{BufRead, Write};
+
+/// Options for CSV reading/writing.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first row is a header (default true). On read the
+    /// header is validated against the schema order.
+    pub header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            header: true,
+        }
+    }
+}
+
+/// Split one CSV record honoring double-quote escaping.
+fn split_record(line: &str, delim: char) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delim {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Malformed(format!(
+            "unterminated quoted field in record: {line:?}"
+        )));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quote a field if it contains the delimiter, a quote, or whitespace
+/// padding that must survive.
+fn quote_field(s: &str, delim: char) -> String {
+    if s.contains(delim) || s.contains('"') || s.contains('\n') {
+        let escaped = s.replace('"', "\"\"");
+        format!("\"{escaped}\"")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Read a relation with the given schema from CSV text.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    schema: Schema,
+    opts: CsvOptions,
+) -> Result<Relation, DataError> {
+    let mut builder = RelationBuilder::new(schema.clone());
+    let mut lines = reader.lines();
+    if opts.header {
+        let header = lines
+            .next()
+            .ok_or_else(|| DataError::Malformed("missing header row".into()))?
+            .map_err(|e| DataError::Malformed(e.to_string()))?;
+        let names = split_record(&header, opts.delimiter)?;
+        if names.len() != schema.len() {
+            return Err(DataError::Malformed(format!(
+                "header has {} fields, schema has {}",
+                names.len(),
+                schema.len()
+            )));
+        }
+        for (name, field) in names.iter().zip(schema.fields()) {
+            if !name.eq_ignore_ascii_case(&field.name) {
+                return Err(DataError::Malformed(format!(
+                    "header field `{name}` does not match schema field `{}`",
+                    field.name
+                )));
+            }
+        }
+    }
+    let mut row_values: Vec<Value> = Vec::with_capacity(schema.len());
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| DataError::Malformed(e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let raw = split_record(&line, opts.delimiter)?;
+        if raw.len() != schema.len() {
+            return Err(DataError::Malformed(format!(
+                "record {} has {} fields, expected {}",
+                lineno + 1,
+                raw.len(),
+                schema.len()
+            )));
+        }
+        row_values.clear();
+        for (text, field) in raw.iter().zip(schema.fields()) {
+            let v = match field.ty {
+                AttrType::Categorical => Value::from(text.as_str()),
+                AttrType::Int => Value::Int(text.trim().parse::<i64>().map_err(|_| {
+                    DataError::Malformed(format!(
+                        "record {}: `{text}` is not an int for `{}`",
+                        lineno + 1,
+                        field.name
+                    ))
+                })?),
+                AttrType::Float => Value::Float(text.trim().parse::<f64>().map_err(|_| {
+                    DataError::Malformed(format!(
+                        "record {}: `{text}` is not a float for `{}`",
+                        lineno + 1,
+                        field.name
+                    ))
+                })?),
+            };
+            row_values.push(v);
+        }
+        builder.push_row(&row_values)?;
+    }
+    builder.finish()
+}
+
+/// Write a relation as CSV text.
+pub fn write_csv<W: Write>(
+    writer: &mut W,
+    relation: &Relation,
+    opts: CsvOptions,
+) -> Result<(), DataError> {
+    let io_err = |e: std::io::Error| DataError::Malformed(e.to_string());
+    let delim = opts.delimiter;
+    if opts.header {
+        let header: Vec<String> = relation
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| quote_field(&f.name, delim))
+            .collect();
+        writeln!(writer, "{}", header.join(&delim.to_string())).map_err(io_err)?;
+    }
+    for row in 0..relation.len() {
+        let values = relation.row(row).expect("row in range");
+        let fields: Vec<String> = values
+            .iter()
+            .map(|v| quote_field(&v.to_string(), delim))
+            .collect();
+        writeln!(writer, "{}", fields.join(&delim.to_string())).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("beds", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let csv = "neighborhood,price,beds\nRedmond,250000,3\n\"Queen Anne, North\",300000.5,4\n";
+        let rel = read_csv(csv.as_bytes(), schema(), CsvOptions::default()).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(
+            rel.value(1, crate::types::AttrId(0)).unwrap(),
+            Value::from("Queen Anne, North")
+        );
+        let mut out = Vec::new();
+        write_csv(&mut out, &rel, CsvOptions::default()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let rel2 = read_csv(text.as_bytes(), schema(), CsvOptions::default()).unwrap();
+        assert_eq!(rel2.len(), 2);
+        assert_eq!(
+            rel2.value(1, crate::types::AttrId(0)).unwrap(),
+            Value::from("Queen Anne, North")
+        );
+        assert_eq!(
+            rel2.value(1, crate::types::AttrId(1)).unwrap(),
+            Value::Float(300000.5)
+        );
+    }
+
+    #[test]
+    fn quote_escaping() {
+        let fields = split_record("a,\"b\"\"c\",d", ',').unwrap();
+        assert_eq!(fields, vec!["a", "b\"c", "d"]);
+        assert_eq!(quote_field("plain", ','), "plain");
+        assert_eq!(quote_field("a,b", ','), "\"a,b\"");
+        assert_eq!(quote_field("say \"hi\"", ','), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(split_record("\"oops", ',').is_err());
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "a,b,c\nRedmond,1,2\n";
+        let err = read_csv(csv.as_bytes(), schema(), CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Malformed(_)));
+    }
+
+    #[test]
+    fn bad_number_reports_record() {
+        let csv = "neighborhood,price,beds\nRedmond,abc,3\n";
+        let err = read_csv(csv.as_bytes(), schema(), CsvOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("record 1"), "{msg}");
+        assert!(msg.contains("price"), "{msg}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let csv = "neighborhood,price,beds\nRedmond,1\n";
+        assert!(read_csv(csv.as_bytes(), schema(), CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn tsv_delimiter() {
+        let opts = CsvOptions {
+            delimiter: '\t',
+            header: false,
+        };
+        let rel = read_csv("Redmond\t1\t2\n".as_bytes(), schema(), opts).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "neighborhood,price,beds\nRedmond,1,2\n\nBellevue,2,3\n";
+        let rel = read_csv(csv.as_bytes(), schema(), CsvOptions::default()).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared by the data layer.
+
+use std::fmt;
+
+/// Errors raised while building or accessing relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column name was not present in the schema.
+    UnknownAttribute(String),
+    /// An attribute id was out of range for the schema.
+    AttributeIdOutOfRange(usize),
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Attribute the value was destined for.
+        attribute: String,
+        /// Declared type of the column.
+        expected: &'static str,
+        /// Type of the offending value.
+        actual: &'static str,
+    },
+    /// Two columns of the same relation had different lengths.
+    ColumnLengthMismatch {
+        /// Attribute whose length disagreed.
+        attribute: String,
+        /// Length of the first column.
+        expected: usize,
+        /// Length found.
+        actual: usize,
+    },
+    /// A row index was past the end of the relation.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the relation.
+        len: usize,
+    },
+    /// A duplicate attribute name appeared in a schema.
+    DuplicateAttribute(String),
+    /// A table name was not present in the catalog.
+    UnknownTable(String),
+    /// A table name was already present in the catalog.
+    DuplicateTable(String),
+    /// Malformed input while parsing external data (e.g. CSV).
+    Malformed(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::AttributeIdOutOfRange(id) => {
+                write!(f, "attribute id {id} out of range for schema")
+            }
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on `{attribute}`: expected {expected}, got {actual}"
+            ),
+            DataError::ColumnLengthMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{attribute}` has {actual} rows but relation has {expected}"
+            ),
+            DataError::RowOutOfRange { row, len } => {
+                write!(f, "row {row} out of range for relation of {len} rows")
+            }
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute `{name}` in schema")
+            }
+            DataError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DataError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            DataError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::UnknownAttribute("price".into());
+        assert_eq!(e.to_string(), "unknown attribute `price`");
+        let e = DataError::TypeMismatch {
+            attribute: "price".into(),
+            expected: "float",
+            actual: "string",
+        };
+        assert!(e.to_string().contains("price"));
+        assert!(e.to_string().contains("float"));
+        let e = DataError::RowOutOfRange { row: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<DataError>();
+    }
+}

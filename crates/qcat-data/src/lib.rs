@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! In-memory data substrate for the qcat workspace.
+//!
+//! This crate provides the storage layer that the SIGMOD 2004 paper
+//! *Automatic Categorization of Query Results* assumes from the host
+//! DBMS: typed schemas, dictionary-encoded categorical columns, numeric
+//! columns, immutable columnar relations addressed by row id, and a
+//! small thread-safe catalog.
+//!
+//! Design notes:
+//! - Relations are **immutable once built** ([`RelationBuilder`] /
+//!   [`Relation::freeze`]); every downstream structure (result sets,
+//!   category trees) refers to rows by `u32` row id, so categorization
+//!   never copies tuples.
+//! - Categorical values are interned per column in a [`Dictionary`];
+//!   all set operations in the categorizer work on `u32` codes.
+//! - Numeric attributes may be integer- or float-typed; both expose an
+//!   `f64` view because splitpoint partitioning operates on a numeric
+//!   line.
+
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod relation;
+pub mod types;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::{Column, ColumnBuilder};
+pub use dictionary::Dictionary;
+pub use error::DataError;
+pub use relation::{Relation, RelationBuilder};
+pub use types::{AttrId, AttrType, Field, Schema};
+pub use value::Value;

@@ -1,0 +1,343 @@
+//! Immutable columnar relations and their builder.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::DataError;
+use crate::types::{AttrId, Schema};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable table: a schema plus one column per attribute, all the
+/// same length.
+///
+/// Relations are wrapped in `Arc` internally so cloning is cheap and
+/// result sets / category trees can hold a handle without lifetimes.
+#[derive(Clone)]
+pub struct Relation {
+    inner: Arc<RelationInner>,
+}
+
+struct RelationInner {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Relation {
+    /// Build a relation from pre-built columns; validates lengths.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self, DataError> {
+        if columns.len() != schema.len() {
+            return Err(DataError::ColumnLengthMismatch {
+                attribute: "<schema>".into(),
+                expected: schema.len(),
+                actual: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if col.len() != rows {
+                return Err(DataError::ColumnLengthMismatch {
+                    attribute: field.name.clone(),
+                    expected: rows,
+                    actual: col.len(),
+                });
+            }
+        }
+        Ok(Relation {
+            inner: Arc::new(RelationInner {
+                schema,
+                columns,
+                rows,
+            }),
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.rows
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.inner.rows == 0
+    }
+
+    /// Column of attribute `id`.
+    pub fn column(&self, id: AttrId) -> &Column {
+        &self.inner.columns[id.index()]
+    }
+
+    /// Column by attribute name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, DataError> {
+        Ok(self.column(self.inner.schema.resolve(name)?))
+    }
+
+    /// Cell value.
+    pub fn value(&self, row: usize, id: AttrId) -> Result<Value, DataError> {
+        self.column(id).get(row).ok_or(DataError::RowOutOfRange {
+            row,
+            len: self.inner.rows,
+        })
+    }
+
+    /// One full row as values, in schema order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>, DataError> {
+        if row >= self.inner.rows {
+            return Err(DataError::RowOutOfRange {
+                row,
+                len: self.inner.rows,
+            });
+        }
+        Ok(self
+            .inner
+            .columns
+            .iter()
+            .map(|c| c.get(row).expect("row checked"))
+            .collect())
+    }
+
+    /// All row ids, `0..len`, as the `u32` ids used throughout qcat.
+    pub fn all_row_ids(&self) -> Vec<u32> {
+        (0..self.inner.rows as u32).collect()
+    }
+
+    /// True when the two handles share storage.
+    pub fn same_table(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Relation({} rows x {} cols)",
+            self.inner.rows,
+            self.inner.schema.len()
+        )
+    }
+}
+
+/// Row-at-a-time relation construction.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: Schema,
+    builders: Vec<ColumnBuilder>,
+}
+
+impl RelationBuilder {
+    /// New builder for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self::with_capacity(schema, 0)
+    }
+
+    /// New builder pre-sized for `capacity` rows.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::with_capacity(f.ty, capacity))
+            .collect();
+        RelationBuilder { schema, builders }
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Append one row given values in schema order.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<(), DataError> {
+        if values.len() != self.schema.len() {
+            return Err(DataError::ColumnLengthMismatch {
+                attribute: "<row>".into(),
+                expected: self.schema.len(),
+                actual: values.len(),
+            });
+        }
+        // Validate the whole row before mutating any builder so a
+        // failed push cannot leave columns at different lengths.
+        for (field, v) in self.schema.fields().iter().zip(values) {
+            let ok = matches!(
+                (field.ty, v),
+                (crate::types::AttrType::Categorical, Value::Str(_))
+                    | (crate::types::AttrType::Int, Value::Int(_))
+                    | (
+                        crate::types::AttrType::Float,
+                        Value::Int(_) | Value::Float(_)
+                    )
+            ) && !matches!(v, Value::Float(x) if x.is_nan());
+            if !ok {
+                return Err(DataError::TypeMismatch {
+                    attribute: field.name.clone(),
+                    expected: field.ty.name(),
+                    actual: v.type_name(),
+                });
+            }
+        }
+        for (i, v) in values.iter().enumerate() {
+            self.builders[i]
+                .push(&self.schema.fields()[i].name, v)
+                .expect("row pre-validated");
+        }
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.builders.first().map_or(0, ColumnBuilder::len)
+    }
+
+    /// True when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direct mutable access to a column builder, for bulk typed loads
+    /// (the data generator fills columns one at a time). The caller
+    /// must keep all columns the same length; [`RelationBuilder::finish`]
+    /// re-validates.
+    pub fn column_builder(&mut self, id: AttrId) -> &mut ColumnBuilder {
+        &mut self.builders[id.index()]
+    }
+
+    /// Freeze into an immutable [`Relation`].
+    pub fn finish(self) -> Result<Relation, DataError> {
+        let columns: Vec<Column> = self
+            .builders
+            .into_iter()
+            .map(ColumnBuilder::finish)
+            .collect();
+        Relation::from_columns(self.schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AttrType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Relation {
+        let mut b = RelationBuilder::with_capacity(schema(), 3);
+        b.push_row(&["Redmond".into(), 250_000.0.into(), 3.into()])
+            .unwrap();
+        b.push_row(&["Bellevue".into(), Value::Int(300_000), 4.into()])
+            .unwrap();
+        b.push_row(&["Seattle".into(), 199_999.5.into(), 2.into()])
+            .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.value(0, AttrId(0)).unwrap(), Value::from("Redmond"));
+        assert_eq!(r.value(1, AttrId(1)).unwrap(), Value::Float(300_000.0));
+        assert_eq!(r.value(2, AttrId(2)).unwrap(), Value::Int(2));
+        assert_eq!(
+            r.row(1).unwrap(),
+            vec![
+                Value::from("Bellevue"),
+                Value::Float(300_000.0),
+                Value::Int(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_range_row_errors() {
+        let r = sample();
+        assert!(matches!(
+            r.row(5),
+            Err(DataError::RowOutOfRange { row: 5, len: 3 })
+        ));
+        assert!(r.value(5, AttrId(0)).is_err());
+    }
+
+    #[test]
+    fn row_arity_checked() {
+        let mut b = RelationBuilder::new(schema());
+        let err = b.push_row(&["x".into()]).unwrap_err();
+        assert!(matches!(err, DataError::ColumnLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_row_leaves_builder_consistent() {
+        let mut b = RelationBuilder::new(schema());
+        b.push_row(&["Redmond".into(), 1.0.into(), 1.into()])
+            .unwrap();
+        // Second value is the wrong type; third is fine. Nothing may be
+        // appended.
+        let err = b
+            .push_row(&["Bellevue".into(), "oops".into(), 2.into()])
+            .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        assert_eq!(b.len(), 1);
+        let r = b.finish().unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn column_by_name_resolves() {
+        let r = sample();
+        assert_eq!(r.column_by_name("PRICE").unwrap().len(), 3);
+        assert!(r.column_by_name("zip").is_err());
+    }
+
+    #[test]
+    fn mismatched_column_lengths_rejected() {
+        let cols = vec![Column::Int(vec![1, 2, 3]), Column::Float(vec![1.0])];
+        let s = Schema::new(vec![
+            Field::new("a", AttrType::Int),
+            Field::new("b", AttrType::Float),
+        ])
+        .unwrap();
+        assert!(matches!(
+            Relation::from_columns(s, cols),
+            Err(DataError::ColumnLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_column_count_rejected() {
+        let s = Schema::new(vec![Field::new("a", AttrType::Int)]).unwrap();
+        assert!(Relation::from_columns(s, vec![]).is_err());
+    }
+
+    #[test]
+    fn all_row_ids_covers_relation() {
+        let r = sample();
+        assert_eq!(r.all_row_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn same_table_identity() {
+        let r = sample();
+        let r2 = r.clone();
+        assert!(r.same_table(&r2));
+        assert!(!r.same_table(&sample()));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = RelationBuilder::new(schema()).finish().unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.all_row_ids(), Vec::<u32>::new());
+    }
+}

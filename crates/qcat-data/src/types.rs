@@ -1,0 +1,244 @@
+//! Schemas, fields, and attribute types.
+
+use crate::error::DataError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within its [`Schema`].
+///
+/// A thin newtype so attribute indices cannot be confused with row ids
+/// or splitpoint indices in the categorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Dictionary-encoded string attribute (e.g. `neighborhood`).
+    Categorical,
+    /// Integer-valued numeric attribute (e.g. `bedroomcount`).
+    Int,
+    /// Float-valued numeric attribute (e.g. `price`).
+    Float,
+}
+
+impl AttrType {
+    /// True for `Int` and `Float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Float)
+    }
+
+    /// Lower-case type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Categorical => "categorical",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name; matched case-insensitively by the SQL layer.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered set of named, typed attributes.
+///
+/// Schemas are cheaply cloneable (`Arc` inside) because every relation,
+/// result set and category tree carries one.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug)]
+struct SchemaInner {
+    fields: Vec<Field>,
+    /// Lower-cased name → attribute index.
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Build a schema from fields, rejecting duplicate names
+    /// (case-insensitively).
+    pub fn new(fields: Vec<Field>) -> Result<Self, DataError> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            let key = f.name.to_ascii_lowercase();
+            if by_name.insert(key, AttrId(i as u32)).is_some() {
+                return Err(DataError::DuplicateAttribute(f.name.clone()));
+            }
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner { fields, by_name }),
+        })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.inner.fields.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.inner.fields
+    }
+
+    /// Field by id.
+    pub fn field(&self, id: AttrId) -> Result<&Field, DataError> {
+        self.inner
+            .fields
+            .get(id.index())
+            .ok_or(DataError::AttributeIdOutOfRange(id.index()))
+    }
+
+    /// Resolve a (case-insensitive) attribute name.
+    pub fn resolve(&self, name: &str) -> Result<AttrId, DataError> {
+        self.inner
+            .by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Attribute ids in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.inner.fields.len() as u32).map(AttrId)
+    }
+
+    /// Convenience: the name of an attribute (panics on bad id; ids
+    /// produced by [`Schema::resolve`] are always valid for the same
+    /// schema).
+    pub fn name_of(&self, id: AttrId) -> &str {
+        &self.inner.fields[id.index()].name
+    }
+
+    /// Convenience: type of an attribute.
+    pub fn type_of(&self, id: AttrId) -> AttrType {
+        self.inner.fields[id.index()].ty
+    }
+
+    /// True when two schemas are the same underlying object or have
+    /// identical fields.
+    pub fn compatible_with(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.fields == other.inner.fields
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.compatible_with(other)
+    }
+}
+
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn homes_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        let s = homes_schema();
+        assert_eq!(s.resolve("PRICE").unwrap(), AttrId(1));
+        assert_eq!(s.resolve("Price").unwrap(), AttrId(1));
+        assert_eq!(s.resolve("price").unwrap(), AttrId(1));
+    }
+
+    #[test]
+    fn resolve_unknown_errors() {
+        let s = homes_schema();
+        assert_eq!(
+            s.resolve("zip"),
+            Err(DataError::UnknownAttribute("zip".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", AttrType::Int),
+            Field::new("A", AttrType::Float),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("A".into()));
+    }
+
+    #[test]
+    fn field_lookup_and_names() {
+        let s = homes_schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.name_of(AttrId(0)), "neighborhood");
+        assert_eq!(s.type_of(AttrId(2)), AttrType::Int);
+        assert!(s.field(AttrId(9)).is_err());
+        let ids: Vec<_> = s.attr_ids().collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(AttrType::Int.is_numeric());
+        assert!(AttrType::Float.is_numeric());
+        assert!(!AttrType::Categorical.is_numeric());
+    }
+
+    #[test]
+    fn schema_equality_by_fields() {
+        let a = homes_schema();
+        let b = homes_schema();
+        assert_eq!(a, b);
+        let c = Schema::new(vec![Field::new("x", AttrType::Int)]).unwrap();
+        assert_ne!(a, c);
+    }
+}

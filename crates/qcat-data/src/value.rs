@@ -1,0 +1,205 @@
+//! Dynamically-typed cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single cell value.
+///
+/// `Value` is used at API boundaries (row construction, literals coming
+/// out of the SQL parser, label rendering). Hot paths operate on the
+/// typed columnar storage instead.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value. Predicates never match nulls (simplified SQL
+    /// three-valued logic collapsed to false).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned string; `Arc` so values can be cloned cheaply out of
+    /// dictionaries.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Human-readable name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: integers widen to `f64`, floats pass through,
+    /// everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no float truncation; a float is not an int).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-ish comparison between two values.
+    ///
+    /// Numeric values compare numerically across `Int`/`Float`. Strings
+    /// compare lexicographically. Nulls and cross-kind comparisons
+    /// (string vs number) return `None`, which predicate evaluation
+    /// treats as "no match".
+    pub fn partial_cmp_sql(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                // Whole floats print without a trailing `.0` so labels
+                // like `Price: 200000-225000` stay readable.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.0).as_i64(), None);
+    }
+
+    #[test]
+    fn cross_kind_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_ne!(Value::from("3"), Value::Int(3));
+    }
+
+    #[test]
+    fn null_never_equals_anything_but_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Null, Value::from(""));
+    }
+
+    #[test]
+    fn sql_comparison() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).partial_cmp_sql(&Value::Int(2)), Some(Less));
+        assert_eq!(
+            Value::Int(3).partial_cmp_sql(&Value::Float(2.5)),
+            Some(Greater)
+        );
+        assert_eq!(
+            Value::from("a").partial_cmp_sql(&Value::from("b")),
+            Some(Less)
+        );
+        assert_eq!(Value::from("a").partial_cmp_sql(&Value::Int(1)), None);
+        assert_eq!(Value::Null.partial_cmp_sql(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(42.0).to_string(), "42");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::from("Bellevue").to_string(), "Bellevue");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Float(0.0).type_name(), "float");
+        assert_eq!(Value::from("").type_name(), "string");
+    }
+}

@@ -1,0 +1,254 @@
+//! Metro regions and neighborhoods.
+//!
+//! Real home searches are region-scoped ("Seattle/Bellevue",
+//! "NYC – Manhattan, Bronx" in the paper's tasks), with Zipf-skewed
+//! neighborhood popularity. The standard geography carries a handful
+//! of named metros plus synthetic ones for scale; each region has a
+//! price level so price correlates with location like real listings.
+
+use std::collections::HashMap;
+
+/// One metro region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region display name (used by study task definitions).
+    pub name: String,
+    /// The city listings report.
+    pub city: String,
+    /// Two-letter state.
+    pub state: String,
+    /// Base zipcode prefix (3 digits as an integer, e.g. 980).
+    pub zip_prefix: u32,
+    /// Neighborhood names, most popular first.
+    pub neighborhoods: Vec<String>,
+    /// Regional price multiplier (1.0 = national median).
+    pub price_scale: f64,
+}
+
+/// The full geography with reverse lookup from neighborhood to region.
+#[derive(Debug, Clone)]
+pub struct Geography {
+    regions: Vec<Region>,
+    by_neighborhood: HashMap<String, usize>,
+}
+
+impl Geography {
+    /// Build from regions; neighborhood names must be globally unique.
+    pub fn new(regions: Vec<Region>) -> Self {
+        let mut by_neighborhood = HashMap::new();
+        for (i, r) in regions.iter().enumerate() {
+            for n in &r.neighborhoods {
+                let prev = by_neighborhood.insert(n.clone(), i);
+                assert!(prev.is_none(), "duplicate neighborhood {n}");
+            }
+        }
+        Geography {
+            regions,
+            by_neighborhood,
+        }
+    }
+
+    /// The standard evaluation geography: three named metros matching
+    /// the paper's user-study tasks plus nine synthetic metros.
+    pub fn standard() -> Self {
+        let mut regions = vec![
+            Region {
+                name: "Seattle/Bellevue".into(),
+                city: "Seattle".into(),
+                state: "WA".into(),
+                zip_prefix: 980,
+                neighborhoods: [
+                    "Bellevue",
+                    "Redmond",
+                    "Kirkland",
+                    "Issaquah",
+                    "Sammamish",
+                    "Seattle",
+                    "Renton",
+                    "Bothell",
+                    "Woodinville",
+                    "Mercer Island",
+                    "Queen Anne",
+                    "Ballard",
+                    "Capitol Hill",
+                    "Fremont",
+                    "Green Lake",
+                    "Kent",
+                    "Newcastle",
+                    "Shoreline",
+                    "Edmonds",
+                    "Burien",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                price_scale: 1.25,
+            },
+            Region {
+                name: "Bay Area - Penin/SanJose".into(),
+                city: "San Jose".into(),
+                state: "CA".into(),
+                zip_prefix: 950,
+                neighborhoods: [
+                    "San Jose",
+                    "Palo Alto",
+                    "Sunnyvale",
+                    "Mountain View",
+                    "Cupertino",
+                    "Santa Clara",
+                    "Menlo Park",
+                    "Redwood City",
+                    "Campbell",
+                    "Los Gatos",
+                    "Milpitas",
+                    "Saratoga",
+                    "Los Altos",
+                    "Foster City",
+                    "San Mateo",
+                    "Burlingame",
+                    "Fremont CA",
+                    "Union City",
+                    "East Palo Alto",
+                    "Belmont",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                price_scale: 1.8,
+            },
+            Region {
+                name: "NYC - Manhattan, Bronx".into(),
+                city: "New York".into(),
+                state: "NY".into(),
+                zip_prefix: 100,
+                neighborhoods: [
+                    "Upper East Side",
+                    "Upper West Side",
+                    "Midtown",
+                    "Chelsea",
+                    "SoHo",
+                    "Tribeca",
+                    "Harlem",
+                    "Greenwich Village",
+                    "Riverdale",
+                    "Fordham",
+                    "Pelham Bay",
+                    "Morris Park",
+                    "Kingsbridge",
+                    "Inwood",
+                    "Washington Heights",
+                    "East Village",
+                    "Murray Hill",
+                    "Battery Park",
+                    "Mott Haven",
+                    "Throgs Neck",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                price_scale: 2.1,
+            },
+        ];
+        // Synthetic metros to reach national scale.
+        let synth = [
+            ("Austin Metro", "Austin", "TX", 787u32, 0.9),
+            ("Denver Metro", "Denver", "CO", 802, 1.0),
+            ("Chicago North", "Chicago", "IL", 606, 0.95),
+            ("Atlanta Metro", "Atlanta", "GA", 303, 0.8),
+            ("Phoenix Valley", "Phoenix", "AZ", 850, 0.75),
+            ("Boston Metro", "Boston", "MA", 21, 1.4),
+            ("Portland Metro", "Portland", "OR", 972, 0.95),
+            ("Raleigh-Durham", "Raleigh", "NC", 276, 0.7),
+            ("Twin Cities", "Minneapolis", "MN", 554, 0.85),
+        ];
+        for (name, city, state, zip, scale) in synth {
+            let neighborhoods = (1..=16).map(|k| format!("{city} District {k}")).collect();
+            regions.push(Region {
+                name: name.into(),
+                city: city.into(),
+                state: state.into(),
+                zip_prefix: zip,
+                neighborhoods,
+                price_scale: scale,
+            });
+        }
+        Geography::new(regions)
+    }
+
+    /// All regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Region by index.
+    pub fn region(&self, idx: usize) -> &Region {
+        &self.regions[idx]
+    }
+
+    /// Region index by name.
+    pub fn region_index(&self, name: &str) -> Option<usize> {
+        self.regions.iter().position(|r| r.name == name)
+    }
+
+    /// The region a neighborhood belongs to.
+    pub fn region_of(&self, neighborhood: &str) -> Option<&Region> {
+        self.by_neighborhood
+            .get(neighborhood)
+            .map(|&i| &self.regions[i])
+    }
+
+    /// Total number of neighborhoods.
+    pub fn neighborhood_count(&self) -> usize {
+        self.by_neighborhood.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_geography_shape() {
+        let g = Geography::standard();
+        assert_eq!(g.regions().len(), 12);
+        assert_eq!(g.neighborhood_count(), 3 * 20 + 9 * 16);
+        assert!(g.region_index("Seattle/Bellevue").is_some());
+        assert!(g.region_index("Atlantis").is_none());
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let g = Geography::standard();
+        assert_eq!(g.region_of("Redmond").unwrap().name, "Seattle/Bellevue");
+        assert_eq!(
+            g.region_of("Riverdale").unwrap().name,
+            "NYC - Manhattan, Bronx"
+        );
+        assert!(g.region_of("Nowhere").is_none());
+    }
+
+    #[test]
+    fn price_scales_reflect_markets() {
+        let g = Geography::standard();
+        let seattle = g.region_of("Bellevue").unwrap().price_scale;
+        let nyc = g.region_of("SoHo").unwrap().price_scale;
+        let raleigh = g.region_of("Raleigh District 1").unwrap().price_scale;
+        assert!(nyc > seattle && seattle > raleigh);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate neighborhood")]
+    fn duplicate_neighborhoods_rejected() {
+        let r = Region {
+            name: "A".into(),
+            city: "A".into(),
+            state: "AA".into(),
+            zip_prefix: 1,
+            neighborhoods: vec!["X".into()],
+            price_scale: 1.0,
+        };
+        let mut r2 = r.clone();
+        r2.name = "B".into();
+        let _ = Geography::new(vec![r, r2]);
+    }
+}

@@ -1,0 +1,260 @@
+//! The synthetic `listproperty` relation.
+
+use crate::distributions::{clamped_normal, snap, Zipf};
+use crate::geography::Geography;
+use qcat_data::{AttrType, Field, Relation, RelationBuilder, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for home generation.
+#[derive(Debug, Clone)]
+pub struct HomesConfig {
+    /// Number of listings (the paper's table has 1.7 M; studies here
+    /// default to a laptop-scale sample).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HomesConfig {
+    fn default() -> Self {
+        HomesConfig {
+            rows: 100_000,
+            seed: 0x05EE_DCA7,
+        }
+    }
+}
+
+impl HomesConfig {
+    /// Config with a row count.
+    pub fn with_rows(rows: usize) -> Self {
+        HomesConfig {
+            rows,
+            ..Default::default()
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The property types with their sampling weights.
+pub const PROPERTY_TYPES: [(&str, f64); 5] = [
+    ("Single Family", 0.55),
+    ("Condo", 0.25),
+    ("Townhouse", 0.12),
+    ("Multi-Family", 0.05),
+    ("Mobile", 0.03),
+];
+
+/// The `listproperty` schema (the paper's non-null attributes).
+pub fn listproperty_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("neighborhood", AttrType::Categorical),
+        Field::new("city", AttrType::Categorical),
+        Field::new("state", AttrType::Categorical),
+        Field::new("zipcode", AttrType::Categorical),
+        Field::new("price", AttrType::Float),
+        Field::new("bedroomcount", AttrType::Int),
+        Field::new("bathcount", AttrType::Int),
+        Field::new("year_built", AttrType::Int),
+        Field::new("property_type", AttrType::Categorical),
+        Field::new("square_footage", AttrType::Float),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Generate the listings table.
+///
+/// Correlations: region sets the price level and zip prefix;
+/// property type sets the size distribution; bedrooms/baths follow
+/// size; price follows `region_scale × (base + rate × sqft)` with
+/// noise. Everything is driven by `config.seed`.
+pub fn generate_homes(config: &HomesConfig, geography: &Geography) -> Relation {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = listproperty_schema();
+    let mut b = RelationBuilder::with_capacity(schema, config.rows);
+
+    let region_zipf = Zipf::new(geography.regions().len(), 0.8);
+    let hood_zipfs: Vec<Zipf> = geography
+        .regions()
+        .iter()
+        .map(|r| Zipf::new(r.neighborhoods.len(), 1.0))
+        .collect();
+    let type_cumulative: Vec<f64> = PROPERTY_TYPES
+        .iter()
+        .scan(0.0, |acc, (_, w)| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+
+    let mut row: Vec<Value> = Vec::with_capacity(10);
+    for _ in 0..config.rows {
+        let region_idx = region_zipf.sample(&mut rng);
+        let region = geography.region(region_idx);
+        let hood_idx = hood_zipfs[region_idx].sample(&mut rng);
+        let neighborhood = &region.neighborhoods[hood_idx];
+
+        let tx: f64 = rng.gen::<f64>() * type_cumulative.last().expect("non-empty");
+        let type_idx = type_cumulative.partition_point(|&c| c < tx).min(4);
+        let (ptype, _) = PROPERTY_TYPES[type_idx];
+
+        // Size by type: condos smaller, single-family larger.
+        let (mean_sqft, sd_sqft) = match ptype {
+            "Condo" => (1_100.0, 350.0),
+            "Townhouse" => (1_500.0, 400.0),
+            "Mobile" => (1_000.0, 250.0),
+            "Multi-Family" => (2_600.0, 700.0),
+            _ => (2_100.0, 650.0),
+        };
+        let sqft = snap(
+            clamped_normal(&mut rng, mean_sqft, sd_sqft, 350.0, 8_000.0),
+            10.0,
+        );
+
+        // Bedrooms track size; 1–9 like the real attribute.
+        let beds = ((sqft / 700.0) + clamped_normal(&mut rng, 0.5, 0.8, -1.0, 2.0))
+            .round()
+            .clamp(1.0, 9.0) as i64;
+        let baths = ((beds as f64) * 0.7 + clamped_normal(&mut rng, 0.3, 0.5, -0.5, 1.5))
+            .round()
+            .clamp(1.0, 6.0) as i64;
+
+        // Year built: skewed toward recent construction.
+        let year = {
+            let u: f64 = rng.gen();
+            (1_900.0 + 104.0 * u.powf(0.6)).round() as i64
+        };
+
+        // Price: region level × (base + rate × sqft), log-normal-ish
+        // noise, snapped to $500 like listing prices.
+        let base = 40_000.0 + 95.0 * sqft;
+        let noise = clamped_normal(&mut rng, 1.0, 0.18, 0.55, 1.9);
+        let price = snap(
+            (base * region.price_scale * noise).clamp(30_000.0, 4_000_000.0),
+            500.0,
+        );
+
+        let zipcode = format!("{:03}{:02}", region.zip_prefix, hood_idx as u32 % 100);
+
+        row.clear();
+        row.push(neighborhood.as_str().into());
+        row.push(region.city.as_str().into());
+        row.push(region.state.as_str().into());
+        row.push(zipcode.into());
+        row.push(price.into());
+        row.push(beds.into());
+        row.push(baths.into());
+        row.push(year.into());
+        row.push(ptype.into());
+        row.push(sqft.into());
+        b.push_row(&row).expect("generated row matches schema");
+    }
+    b.finish().expect("columns built in lockstep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::AttrId;
+
+    fn small() -> (Relation, Geography) {
+        let geo = Geography::standard();
+        let rel = generate_homes(&HomesConfig::with_rows(5_000).with_seed(7), &geo);
+        (rel, geo)
+    }
+
+    #[test]
+    fn schema_and_row_count() {
+        let (rel, _) = small();
+        assert_eq!(rel.len(), 5_000);
+        assert_eq!(rel.schema().len(), 10);
+        assert_eq!(rel.schema().resolve("price").unwrap(), AttrId(4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let geo = Geography::standard();
+        let a = generate_homes(&HomesConfig::with_rows(500).with_seed(3), &geo);
+        let b = generate_homes(&HomesConfig::with_rows(500).with_seed(3), &geo);
+        for i in [0usize, 100, 499] {
+            assert_eq!(a.row(i).unwrap(), b.row(i).unwrap());
+        }
+        let c = generate_homes(&HomesConfig::with_rows(500).with_seed(4), &geo);
+        let differs = (0..500).any(|i| a.row(i).unwrap() != c.row(i).unwrap());
+        assert!(differs);
+    }
+
+    #[test]
+    fn value_ranges_sane() {
+        let (rel, _) = small();
+        let rows = rel.all_row_ids();
+        let (pmin, pmax) = rel.column(AttrId(4)).numeric_min_max(&rows).unwrap();
+        assert!(pmin >= 30_000.0 && pmax <= 4_000_000.0);
+        let (bmin, bmax) = rel.column(AttrId(5)).numeric_min_max(&rows).unwrap();
+        assert!((1.0..=9.0).contains(&bmin) && (1.0..=9.0).contains(&bmax));
+        let (ymin, ymax) = rel.column(AttrId(7)).numeric_min_max(&rows).unwrap();
+        assert!(ymin >= 1_900.0 && ymax <= 2_004.0);
+        let (smin, smax) = rel.column(AttrId(9)).numeric_min_max(&rows).unwrap();
+        assert!(smin >= 350.0 && smax <= 8_000.0);
+    }
+
+    #[test]
+    fn neighborhoods_belong_to_their_region() {
+        let (rel, geo) = small();
+        for i in (0..rel.len()).step_by(97) {
+            let hood = rel.value(i, AttrId(0)).unwrap().to_string();
+            let city = rel.value(i, AttrId(1)).unwrap().to_string();
+            let region = geo.region_of(&hood).expect("known neighborhood");
+            assert_eq!(region.city, city);
+        }
+    }
+
+    #[test]
+    fn price_correlates_with_region_scale() {
+        let (rel, geo) = small();
+        let mut sums: std::collections::HashMap<String, (f64, usize)> = Default::default();
+        for i in 0..rel.len() {
+            let hood = rel.value(i, AttrId(0)).unwrap().to_string();
+            let price = rel.value(i, AttrId(4)).unwrap().as_f64().unwrap();
+            let region = geo.region_of(&hood).unwrap();
+            let e = sums.entry(region.name.clone()).or_insert((0.0, 0));
+            e.0 += price;
+            e.1 += 1;
+        }
+        let avg = |name: &str| {
+            let (s, n) = sums[name];
+            s / n as f64
+        };
+        assert!(avg("NYC - Manhattan, Bronx") > avg("Seattle/Bellevue"));
+        assert!(avg("Seattle/Bellevue") > avg("Raleigh-Durham"));
+    }
+
+    #[test]
+    fn popular_neighborhoods_dominate() {
+        let (rel, geo) = small();
+        // Rank-0 Seattle neighborhood (Bellevue) should appear more
+        // often than the rank-last one (Burien).
+        let count = |hood: &str| {
+            (0..rel.len())
+                .filter(|&i| rel.value(i, AttrId(0)).unwrap().to_string() == hood)
+                .count()
+        };
+        let _ = geo;
+        assert!(count("Bellevue") > count("Burien"));
+    }
+
+    #[test]
+    fn property_type_mix_plausible() {
+        let (rel, _) = small();
+        let sf = (0..rel.len())
+            .filter(|&i| rel.value(i, AttrId(8)).unwrap().to_string() == "Single Family")
+            .count() as f64
+            / rel.len() as f64;
+        assert!((0.45..0.65).contains(&sf), "single-family share {sf}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic buyer-query workload.
+//!
+//! Each generated query mimics a home-search form submission: a
+//! region-scoped set of neighborhoods plus optional price / bedroom /
+//! square-footage / year / property-type constraints. Per-attribute
+//! inclusion rates default to the shape of the paper's Figure 4(a)
+//! (neighborhood > bedrooms > price > square footage > year built),
+//! so the attribute-elimination threshold `x = 0.4` retains the same
+//! six attributes the paper reports.
+
+use crate::distributions::{clamped_normal, snap, Zipf};
+use crate::geography::Geography;
+use crate::homes::PROPERTY_TYPES;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-attribute inclusion probabilities and shape knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenConfig {
+    /// Number of query strings (the paper's log has 176,262).
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// P(neighborhood condition).
+    pub p_neighborhood: f64,
+    /// P(bedroomcount condition).
+    pub p_bedrooms: f64,
+    /// P(price condition).
+    pub p_price: f64,
+    /// P(square_footage condition).
+    pub p_sqft: f64,
+    /// P(property_type condition).
+    pub p_property_type: f64,
+    /// P(bathcount condition).
+    pub p_baths: f64,
+    /// P(year_built condition).
+    pub p_year: f64,
+    /// P(zipcode condition) — rare; keeps zipcode under the paper's
+    /// elimination threshold.
+    pub p_zipcode: f64,
+    /// Max neighborhoods in an IN clause.
+    pub max_neighborhoods: usize,
+}
+
+impl Default for WorkloadGenConfig {
+    fn default() -> Self {
+        WorkloadGenConfig {
+            queries: 20_000,
+            seed: 0xB0B_CAFE,
+            p_neighborhood: 0.73,
+            p_bedrooms: 0.65,
+            p_price: 0.52,
+            p_sqft: 0.44,
+            p_property_type: 0.45,
+            p_baths: 0.41,
+            p_year: 0.23,
+            p_zipcode: 0.06,
+            max_neighborhoods: 5,
+        }
+    }
+}
+
+impl WorkloadGenConfig {
+    /// Config with a query count.
+    pub fn with_queries(queries: usize) -> Self {
+        WorkloadGenConfig {
+            queries,
+            ..Default::default()
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate SQL query strings against `listproperty`.
+pub fn generate_workload(config: &WorkloadGenConfig, geography: &Geography) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let region_zipf = Zipf::new(geography.regions().len(), 0.8);
+    let hood_zipfs: Vec<Zipf> = geography
+        .regions()
+        .iter()
+        .map(|r| Zipf::new(r.neighborhoods.len(), 1.0))
+        .collect();
+    (0..config.queries)
+        .map(|_| one_query(config, geography, &region_zipf, &hood_zipfs, &mut rng))
+        .collect()
+}
+
+fn one_query(
+    config: &WorkloadGenConfig,
+    geography: &Geography,
+    region_zipf: &Zipf,
+    hood_zipfs: &[Zipf],
+    rng: &mut StdRng,
+) -> String {
+    let region_idx = region_zipf.sample(rng);
+    let region = geography.region(region_idx);
+    let mut conds: Vec<String> = Vec::new();
+
+    if rng.gen_bool(config.p_neighborhood) {
+        let k = rng.gen_range(1..=config.max_neighborhoods);
+        let mut picked: Vec<&str> = Vec::with_capacity(k);
+        for _ in 0..k * 3 {
+            if picked.len() >= k {
+                break;
+            }
+            let h = &region.neighborhoods[hood_zipfs[region_idx].sample(rng)];
+            if !picked.contains(&h.as_str()) {
+                picked.push(h);
+            }
+        }
+        let list = picked
+            .iter()
+            .map(|h| format!("'{}'", h.replace('\'', "''")))
+            .collect::<Vec<_>>()
+            .join(", ");
+        conds.push(format!("neighborhood IN ({list})"));
+    }
+    if rng.gen_bool(config.p_bedrooms) {
+        let lo = rng.gen_range(1..=4);
+        let hi = (lo + rng.gen_range(0..=2)).min(9);
+        if lo == hi {
+            conds.push(format!("bedroomcount = {lo}"));
+        } else {
+            conds.push(format!("bedroomcount BETWEEN {lo} AND {hi}"));
+        }
+    }
+    if rng.gen_bool(config.p_price) {
+        // Center near the regional price level; snap to the $5000 grid
+        // like a search form's dropdown.
+        let center = clamped_normal(
+            rng,
+            240_000.0 * region.price_scale,
+            90_000.0,
+            60_000.0,
+            2_500_000.0,
+        );
+        let width = clamped_normal(rng, 90_000.0, 40_000.0, 20_000.0, 400_000.0);
+        let lo = snap((center - width / 2.0).max(0.0), 5_000.0);
+        let hi = snap(center + width / 2.0, 5_000.0).max(lo + 5_000.0);
+        conds.push(format!("price BETWEEN {lo:.0} AND {hi:.0}"));
+    }
+    if rng.gen_bool(config.p_sqft) {
+        let lo = snap(clamped_normal(rng, 1_300.0, 500.0, 400.0, 4_000.0), 100.0);
+        let hi = snap(
+            lo + clamped_normal(rng, 900.0, 400.0, 200.0, 3_000.0),
+            100.0,
+        );
+        conds.push(format!("square_footage BETWEEN {lo:.0} AND {hi:.0}"));
+    }
+    if rng.gen_bool(config.p_property_type) {
+        let k = if rng.gen_bool(0.75) { 1 } else { 2 };
+        let mut picked: Vec<&str> = Vec::new();
+        while picked.len() < k {
+            let idx = rng.gen_range(0..PROPERTY_TYPES.len());
+            let t = PROPERTY_TYPES[idx].0;
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        let list = picked
+            .iter()
+            .map(|t| format!("'{t}'"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        conds.push(format!("property_type IN ({list})"));
+    }
+    if rng.gen_bool(config.p_baths) {
+        let lo = rng.gen_range(1..=3);
+        conds.push(format!("bathcount >= {lo}"));
+    }
+    if rng.gen_bool(config.p_year) {
+        let year = snap(clamped_normal(rng, 1_975.0, 20.0, 1_900.0, 2_000.0), 5.0);
+        conds.push(format!("year_built >= {year:.0}"));
+    }
+    if rng.gen_bool(config.p_zipcode) {
+        let hood_idx = hood_zipfs[region_idx].sample(rng) as u32 % 100;
+        conds.push(format!(
+            "zipcode IN ('{:03}{:02}')",
+            region.zip_prefix, hood_idx
+        ));
+    }
+    if conds.is_empty() {
+        // Every logged search constrained something; default to the
+        // region's most popular neighborhood.
+        conds.push(format!(
+            "neighborhood IN ('{}')",
+            region.neighborhoods[0].replace('\'', "''")
+        ));
+    }
+    format!("SELECT * FROM listproperty WHERE {}", conds.join(" AND "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homes::listproperty_schema;
+    use qcat_data::AttrId;
+    use qcat_workload::{AttributeUsageCounts, WorkloadLog};
+
+    #[test]
+    fn queries_parse_against_the_schema() {
+        let geo = Geography::standard();
+        let w = generate_workload(&WorkloadGenConfig::with_queries(2_000).with_seed(1), &geo);
+        assert_eq!(w.len(), 2_000);
+        let schema = listproperty_schema();
+        let log = WorkloadLog::parse(w.iter().map(String::as_str), &schema, None);
+        assert_eq!(
+            log.len(),
+            2_000,
+            "all generated queries must parse; skipped: {:?}",
+            log.skipped().first()
+        );
+    }
+
+    #[test]
+    fn usage_fractions_match_figure_4a_shape() {
+        let geo = Geography::standard();
+        let cfg = WorkloadGenConfig::with_queries(8_000).with_seed(2);
+        let w = generate_workload(&cfg, &geo);
+        let schema = listproperty_schema();
+        let log = WorkloadLog::parse(w.iter().map(String::as_str), &schema, None);
+        let usage = AttributeUsageCounts::build(log.queries(), &schema);
+        let frac = |name: &str| usage.usage_fraction(schema.resolve(name).unwrap());
+        // Paper order: neighborhood > bedrooms > price > sqft > year.
+        assert!(frac("neighborhood") > frac("bedroomcount"));
+        assert!(frac("bedroomcount") > frac("price"));
+        assert!(frac("price") > frac("square_footage"));
+        assert!(frac("square_footage") > frac("year_built"));
+        // Six attributes above the paper's x = 0.4 threshold.
+        let retained = usage.attrs_above(0.4);
+        assert_eq!(retained.len(), 6, "retained: {retained:?}");
+        assert!(retained.contains(&schema.resolve("neighborhood").unwrap()));
+        assert!(retained.contains(&schema.resolve("property_type").unwrap()));
+        assert!(!retained.contains(&schema.resolve("zipcode").unwrap()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let geo = Geography::standard();
+        let a = generate_workload(&WorkloadGenConfig::with_queries(50).with_seed(9), &geo);
+        let b = generate_workload(&WorkloadGenConfig::with_queries(50).with_seed(9), &geo);
+        assert_eq!(a, b);
+        let c = generate_workload(&WorkloadGenConfig::with_queries(50).with_seed(10), &geo);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn price_bounds_are_grid_aligned() {
+        let geo = Geography::standard();
+        let w = generate_workload(&WorkloadGenConfig::with_queries(500).with_seed(3), &geo);
+        let schema = listproperty_schema();
+        let log = WorkloadLog::parse(w.iter().map(String::as_str), &schema, None);
+        let price = schema.resolve("price").unwrap();
+        let mut saw_price = false;
+        for q in log.queries() {
+            if let Some(cond) = q.condition(price) {
+                let r = cond.covering_range().unwrap();
+                saw_price = true;
+                assert_eq!(r.lo.rem_euclid(5_000.0), 0.0, "lo {}", r.lo);
+                assert_eq!(r.hi.rem_euclid(5_000.0), 0.0, "hi {}", r.hi);
+            }
+        }
+        assert!(saw_price);
+    }
+
+    #[test]
+    fn every_query_has_a_condition() {
+        let geo = Geography::standard();
+        let w = generate_workload(&WorkloadGenConfig::with_queries(300).with_seed(4), &geo);
+        let schema = listproperty_schema();
+        let log = WorkloadLog::parse(w.iter().map(String::as_str), &schema, None);
+        for q in log.queries() {
+            assert!(!q.conditions.is_empty());
+        }
+        let _ = AttrId(0);
+    }
+
+    #[test]
+    fn neighborhood_lists_stay_regional() {
+        let geo = Geography::standard();
+        let w = generate_workload(&WorkloadGenConfig::with_queries(400).with_seed(5), &geo);
+        let schema = listproperty_schema();
+        let log = WorkloadLog::parse(w.iter().map(String::as_str), &schema, None);
+        let nb = schema.resolve("neighborhood").unwrap();
+        for q in log.queries() {
+            if let Some(qcat_sql::AttrCondition::InStr(set)) = q.condition(nb) {
+                let regions: std::collections::HashSet<&str> = set
+                    .iter()
+                    .map(|h| geo.region_of(h).expect("known neighborhood").name.as_str())
+                    .collect();
+                assert_eq!(regions.len(), 1, "multi-region IN list: {set:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The selection executor.
+
+use crate::result::ResultSet;
+use qcat_data::Relation;
+use qcat_data::{Catalog, DataError};
+use qcat_sql::eval::CompiledPredicate;
+use qcat_sql::{parse_select, NormalizedQuery, SqlError};
+use std::fmt;
+
+/// Errors from query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// SQL front-end failure.
+    Sql(SqlError),
+    /// Catalog or storage failure.
+    Data(DataError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sql(e) => write!(f, "sql error: {e}"),
+            ExecError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SqlError> for ExecError {
+    fn from(e: SqlError) -> Self {
+        ExecError::Sql(e)
+    }
+}
+
+impl From<DataError> for ExecError {
+    fn from(e: DataError) -> Self {
+        ExecError::Data(e)
+    }
+}
+
+impl From<qcat_sql::ParseError> for ExecError {
+    fn from(e: qcat_sql::ParseError) -> Self {
+        ExecError::Sql(e.into())
+    }
+}
+
+impl From<qcat_sql::NormalizeError> for ExecError {
+    fn from(e: qcat_sql::NormalizeError) -> Self {
+        ExecError::Sql(e.into())
+    }
+}
+
+/// Execute a SQL string against a catalog.
+pub fn execute(catalog: &Catalog, sql: &str) -> Result<ResultSet, ExecError> {
+    let ast = parse_select(sql)?;
+    let relation = catalog.get(&ast.table)?;
+    let normalized = qcat_sql::normalize::normalize(&ast, relation.schema())?;
+    execute_normalized(&relation, &normalized)
+}
+
+/// Execute an already-normalized query against its relation.
+pub fn execute_normalized(
+    relation: &Relation,
+    query: &NormalizedQuery,
+) -> Result<ResultSet, ExecError> {
+    let predicate = CompiledPredicate::compile(query, relation)?;
+    let mut rows = predicate.filter(relation, None);
+    if !query.order_by.is_empty() {
+        sort_rows(relation, &mut rows, &query.order_by);
+    }
+    if let Some(n) = query.limit {
+        rows.truncate(n);
+    }
+    Ok(ResultSet::new(
+        relation.clone(),
+        rows,
+        query.projection.clone(),
+    ))
+}
+
+/// Stable multi-key sort of row ids: numeric columns compare
+/// numerically, categorical columns lexicographically by value.
+fn sort_rows(relation: &Relation, rows: &mut [u32], keys: &[(qcat_data::AttrId, bool)]) {
+    use std::cmp::Ordering;
+    rows.sort_by(|&a, &b| {
+        for &(attr, desc) in keys {
+            let column = relation.column(attr);
+            let ord = match column.categorical() {
+                Some((dict, codes)) => dict
+                    .value_unchecked(codes[a as usize])
+                    .cmp(dict.value_unchecked(codes[b as usize])),
+                None => {
+                    let va = column.numeric_at(a as usize).expect("numeric column");
+                    let vb = column.numeric_at(b as usize).expect("numeric column");
+                    va.total_cmp(&vb)
+                }
+            };
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b) // stable tiebreak on table order
+    });
+}
+
+/// A convenience wrapper owning a catalog; the "database" handle the
+/// examples use.
+#[derive(Debug, Default)]
+pub struct Executor {
+    catalog: Catalog,
+}
+
+impl Executor {
+    /// Empty executor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a table.
+    pub fn register(&self, name: &str, relation: Relation) -> Result<(), DataError> {
+        self.catalog.register(name, relation)
+    }
+
+    /// Run a query.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, ExecError> {
+        execute(&self.catalog, sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema, Value};
+
+    fn setup() -> Executor {
+        let schema = Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+        ])
+        .unwrap();
+        let rows: &[(&str, f64, i64)] = &[
+            ("Redmond", 210_000.0, 3),
+            ("Bellevue", 260_000.0, 4),
+            ("Seattle", 305_000.0, 2),
+            ("Redmond", 199_000.0, 5),
+        ];
+        let mut b = RelationBuilder::with_capacity(schema, rows.len());
+        for (n, p, beds) in rows {
+            b.push_row(&[(*n).into(), (*p).into(), (*beds).into()])
+                .unwrap();
+        }
+        let exec = Executor::new();
+        exec.register("listproperty", b.finish().unwrap()).unwrap();
+        exec
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let exec = setup();
+        let rs = exec
+            .query(
+                "SELECT * FROM ListProperty WHERE neighborhood IN ('Redmond') \
+                 AND price BETWEEN 200000 AND 300000",
+            )
+            .unwrap();
+        assert_eq!(rs.rows(), &[0]);
+        assert_eq!(rs.row_values(0).unwrap()[0], Value::from("Redmond"));
+    }
+
+    #[test]
+    fn unknown_table_is_data_error() {
+        let exec = setup();
+        let err = exec.query("SELECT * FROM nope").unwrap_err();
+        assert!(matches!(err, ExecError::Data(DataError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let exec = setup();
+        let err = exec.query("SELEC * FROM t").unwrap_err();
+        assert!(matches!(err, ExecError::Sql(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn normalize_error_propagates() {
+        let exec = setup();
+        let err = exec
+            .query("SELECT * FROM listproperty WHERE zip = 1")
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Sql(SqlError::Normalize(_))));
+    }
+
+    #[test]
+    fn projection_carries_through() {
+        let exec = setup();
+        let rs = exec
+            .query("SELECT price FROM listproperty WHERE bedroomcount >= 4")
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.row_values(0).unwrap(), vec![Value::Float(260_000.0)]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let exec = setup();
+        let rs = exec
+            .query("SELECT * FROM listproperty ORDER BY price DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(rs.rows(), &[2, 1]); // 305k, 260k
+        let rs = exec
+            .query("SELECT * FROM listproperty ORDER BY neighborhood, price")
+            .unwrap();
+        // Bellevue(260k), Redmond(199k), Redmond(210k), Seattle(305k)
+        assert_eq!(rs.rows(), &[1, 3, 0, 2]);
+        let rs = exec.query("SELECT * FROM listproperty LIMIT 0").unwrap();
+        assert!(rs.is_empty());
+        // LIMIT larger than the result is harmless.
+        let rs = exec.query("SELECT * FROM listproperty LIMIT 99").unwrap();
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn bad_order_by_attribute_rejected() {
+        let exec = setup();
+        let err = exec
+            .query("SELECT * FROM listproperty ORDER BY zip")
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Sql(SqlError::Normalize(_))));
+        let err = exec
+            .query("SELECT * FROM listproperty LIMIT -3")
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Sql(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn no_where_returns_everything() {
+        let exec = setup();
+        assert_eq!(exec.query("SELECT * FROM listproperty").unwrap().len(), 4);
+    }
+}

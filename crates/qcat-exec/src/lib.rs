@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Query execution for the qcat workspace.
+//!
+//! The paper categorizes *the result set of a query Q*. This crate
+//! turns a SQL string (or a pre-normalized query) into a
+//! [`ResultSet`]: the base relation plus the matching row ids, which
+//! is precisely the representation the categorizer consumes as the
+//! root `tset`.
+
+pub mod executor;
+pub mod result;
+
+pub use executor::{execute, execute_normalized, ExecError, Executor};
+pub use result::ResultSet;

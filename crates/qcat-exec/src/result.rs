@@ -1,0 +1,135 @@
+//! Result sets: a relation handle plus matching row ids.
+
+use qcat_data::{AttrId, DataError, Relation, Schema, Value};
+
+/// The result of a selection query.
+///
+/// Holds the *base* relation (cheap `Arc` clone) and the ids of the
+/// rows that matched, in table order. The categorizer's root node is
+/// exactly `rows()`.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    relation: Relation,
+    rows: Vec<u32>,
+    projection: Option<Vec<AttrId>>,
+}
+
+impl ResultSet {
+    /// Build a result set. Row ids must be valid for `relation`.
+    pub fn new(relation: Relation, rows: Vec<u32>, projection: Option<Vec<AttrId>>) -> Self {
+        debug_assert!(rows.iter().all(|&r| (r as usize) < relation.len()));
+        ResultSet {
+            relation,
+            rows,
+            projection,
+        }
+    }
+
+    /// A result set covering the whole relation.
+    pub fn whole(relation: Relation) -> Self {
+        let rows = relation.all_row_ids();
+        ResultSet {
+            relation,
+            rows,
+            projection: None,
+        }
+    }
+
+    /// The base relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Schema of the base relation.
+    pub fn schema(&self) -> &Schema {
+        self.relation.schema()
+    }
+
+    /// Matching row ids in table order.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of matching rows — the paper's `|Result(Q)|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The projected attributes (`None` = all).
+    pub fn projection(&self) -> Option<&[AttrId]> {
+        self.projection.as_deref()
+    }
+
+    /// Attributes visible in this result, honoring the projection.
+    pub fn visible_attrs(&self) -> Vec<AttrId> {
+        match &self.projection {
+            Some(p) => p.clone(),
+            None => self.relation.schema().attr_ids().collect(),
+        }
+    }
+
+    /// The `i`th matching row's visible values.
+    pub fn row_values(&self, i: usize) -> Result<Vec<Value>, DataError> {
+        let row = *self.rows.get(i).ok_or(DataError::RowOutOfRange {
+            row: i,
+            len: self.rows.len(),
+        })? as usize;
+        self.visible_attrs()
+            .iter()
+            .map(|&a| self.relation.value(row, a))
+            .collect()
+    }
+
+    /// Consume into the row-id vector.
+    pub fn into_rows(self) -> Vec<u32> {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, RelationBuilder};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("n", AttrType::Categorical),
+            Field::new("p", AttrType::Float),
+        ])
+        .unwrap();
+        let mut b = RelationBuilder::new(schema);
+        for (n, p) in [("a", 1.0), ("b", 2.0), ("c", 3.0)] {
+            b.push_row(&[n.into(), p.into()]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn whole_covers_everything() {
+        let rs = ResultSet::whole(rel());
+        assert_eq!(rs.len(), 3);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.rows(), &[0, 1, 2]);
+        assert_eq!(rs.visible_attrs(), vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn projection_limits_visible_values() {
+        let rs = ResultSet::new(rel(), vec![1, 2], Some(vec![AttrId(1)]));
+        assert_eq!(rs.row_values(0).unwrap(), vec![Value::Float(2.0)]);
+        assert_eq!(rs.row_values(1).unwrap(), vec![Value::Float(3.0)]);
+        assert!(rs.row_values(2).is_err());
+        assert_eq!(rs.projection(), Some(&[AttrId(1)][..]));
+    }
+
+    #[test]
+    fn into_rows_consumes() {
+        let rs = ResultSet::new(rel(), vec![2, 0], None);
+        assert_eq!(rs.into_rows(), vec![2, 0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Tuple-level relevance judgment.
+
+use qcat_data::Relation;
+use qcat_sql::eval::CompiledPredicate;
+use qcat_sql::{NormalizeError, NormalizedQuery};
+use std::collections::HashSet;
+
+/// Decides whether a tuple is relevant to the (simulated) user.
+#[derive(Debug, Clone)]
+pub enum RelevanceJudge {
+    /// A tuple is relevant iff it satisfies the user's true
+    /// information-need query — the synthetic-exploration rule of
+    /// Section 6.2.
+    Predicate(CompiledPredicate),
+    /// A tuple is relevant iff its row id is in the user's hidden
+    /// relevant set — how the noisy real-life simulation models
+    /// individual taste.
+    Set(HashSet<u32>),
+}
+
+impl RelevanceJudge {
+    /// Judge from a normalized query compiled against `relation`.
+    pub fn from_query(
+        query: &NormalizedQuery,
+        relation: &Relation,
+    ) -> Result<Self, NormalizeError> {
+        Ok(RelevanceJudge::Predicate(CompiledPredicate::compile(
+            query, relation,
+        )?))
+    }
+
+    /// Judge from an explicit relevant-row set.
+    pub fn from_set(rows: impl IntoIterator<Item = u32>) -> Self {
+        RelevanceJudge::Set(rows.into_iter().collect())
+    }
+
+    /// Is `row` relevant?
+    pub fn is_relevant(&self, relation: &Relation, row: u32) -> bool {
+        match self {
+            RelevanceJudge::Predicate(p) => p.matches_row(relation, row),
+            RelevanceJudge::Set(s) => s.contains(&row),
+        }
+    }
+
+    /// Count relevant rows in `rows`.
+    pub fn count_relevant(&self, relation: &Relation, rows: &[u32]) -> usize {
+        rows.iter()
+            .filter(|&&r| self.is_relevant(relation, r))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+    use qcat_sql::parse_and_normalize;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![Field::new("price", AttrType::Float)]).unwrap();
+        let mut b = RelationBuilder::new(schema);
+        for p in [100.0, 200.0, 300.0] {
+            b.push_row(&[p.into()]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn predicate_judge() {
+        let r = rel();
+        let q = parse_and_normalize("SELECT * FROM t WHERE price >= 200", r.schema()).unwrap();
+        let judge = RelevanceJudge::from_query(&q, &r).unwrap();
+        assert!(!judge.is_relevant(&r, 0));
+        assert!(judge.is_relevant(&r, 1));
+        assert_eq!(judge.count_relevant(&r, &[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn set_judge() {
+        let r = rel();
+        let judge = RelevanceJudge::from_set([2]);
+        assert!(!judge.is_relevant(&r, 0));
+        assert!(judge.is_relevant(&r, 2));
+        assert_eq!(judge.count_relevant(&r, &[0, 1, 2]), 1);
+    }
+}

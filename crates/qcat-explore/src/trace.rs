@@ -1,0 +1,97 @@
+//! Counters produced by an exploration replay.
+
+use std::ops::AddAssign;
+
+/// What one exploration examined.
+///
+/// The paper's actual cost `CostAll(X, T)` is the total number of
+/// items — category labels **and** data tuples — the user examined
+/// ([`ExplorationStats::items`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Category labels read.
+    pub labels_examined: usize,
+    /// Data tuples read (all fields of a tuple = one item).
+    pub tuples_examined: usize,
+    /// Relevant tuples the user actually recognized.
+    pub relevant_found: usize,
+    /// Categories explored (SHOWTUPLES or SHOWCAT).
+    pub nodes_explored: usize,
+    /// Times the user chose SHOWTUPLES.
+    pub showtuples_choices: usize,
+    /// Whether the user gave up (noisy users only; patience ran out).
+    pub gave_up: bool,
+}
+
+impl ExplorationStats {
+    /// Total items examined — the information-overload cost.
+    pub fn items(&self) -> usize {
+        self.labels_examined + self.tuples_examined
+    }
+
+    /// Items per relevant tuple found — the normalized cost of
+    /// Figure 11. Returns `None` when nothing relevant was found.
+    pub fn normalized_cost(&self) -> Option<f64> {
+        (self.relevant_found > 0).then(|| self.items() as f64 / self.relevant_found as f64)
+    }
+}
+
+impl AddAssign for ExplorationStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.labels_examined += rhs.labels_examined;
+        self.tuples_examined += rhs.tuples_examined;
+        self.relevant_found += rhs.relevant_found;
+        self.nodes_explored += rhs.nodes_explored;
+        self.showtuples_choices += rhs.showtuples_choices;
+        self.gave_up |= rhs.gave_up;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_sums_labels_and_tuples() {
+        let s = ExplorationStats {
+            labels_examined: 6,
+            tuples_examined: 20,
+            relevant_found: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.items(), 26);
+        assert_eq!(s.normalized_cost(), Some(6.5));
+    }
+
+    #[test]
+    fn normalized_cost_none_when_nothing_found() {
+        let s = ExplorationStats::default();
+        assert_eq!(s.normalized_cost(), None);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = ExplorationStats {
+            labels_examined: 1,
+            tuples_examined: 2,
+            relevant_found: 1,
+            nodes_explored: 1,
+            showtuples_choices: 0,
+            gave_up: false,
+        };
+        a += ExplorationStats {
+            labels_examined: 3,
+            tuples_examined: 4,
+            relevant_found: 0,
+            nodes_explored: 2,
+            showtuples_choices: 1,
+            gave_up: true,
+        };
+        assert_eq!(a.labels_examined, 4);
+        assert_eq!(a.tuples_examined, 6);
+        assert_eq!(a.relevant_found, 1);
+        assert_eq!(a.nodes_explored, 3);
+        assert_eq!(a.showtuples_choices, 1);
+        assert!(a.gave_up);
+    }
+}

@@ -1,0 +1,286 @@
+//! Abstract syntax for the SQL subset, plus SQL rendering.
+
+use crate::token::CompareOp;
+use std::fmt;
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl Literal {
+    /// Numeric view (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Literal::Int(i) => Some(*i as f64),
+            Literal::Float(x) => Some(*x),
+            Literal::Str(_) => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Literal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep a decimal point so the literal re-lexes as a
+                    // float, preserving parse→display→parse round trips.
+                    write!(f, "{}.0", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Predicate expression: a conjunction of per-attribute conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `a AND b AND ...` (flattened).
+    And(Vec<Expr>),
+    /// `attr op literal`.
+    Compare {
+        /// Attribute name.
+        attr: String,
+        /// Operator.
+        op: CompareOp,
+        /// Right-hand literal.
+        literal: Literal,
+    },
+    /// `attr IN (l1, l2, ...)`.
+    InList {
+        /// Attribute name.
+        attr: String,
+        /// The IN-list, in source order.
+        list: Vec<Literal>,
+    },
+    /// `attr BETWEEN lo AND hi` (inclusive on both ends).
+    Between {
+        /// Attribute name.
+        attr: String,
+        /// Lower bound.
+        lo: Literal,
+        /// Upper bound.
+        hi: Literal,
+    },
+}
+
+impl Expr {
+    /// Flatten into the list of leaf conditions (AND-conjuncts).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(parts) => parts.iter().flat_map(|p| p.conjuncts()).collect(),
+            leaf => vec![leaf],
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Expr::Compare { attr, op, literal } => write!(f, "{attr} {op} {literal}"),
+            Expr::InList { attr, list } => {
+                write!(f, "{attr} IN (")?;
+                for (i, l) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between { attr, lo, hi } => write!(f, "{attr} BETWEEN {lo} AND {hi}"),
+        }
+    }
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderItem {
+    /// Attribute to sort by.
+    pub attr: String,
+    /// `DESC` when true, `ASC` otherwise.
+    pub descending: bool,
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.attr)?;
+        if self.descending {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// The SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`
+    Star,
+    /// Explicit column list.
+    Columns(Vec<String>),
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::Star => write!(f, "*"),
+            Projection::Columns(cols) => write!(f, "{}", cols.join(", ")),
+        }
+    }
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Projection list.
+    pub projection: Projection,
+    /// The `FROM` table.
+    pub table: String,
+    /// The `WHERE` predicate, if any.
+    pub predicate: Option<Expr>,
+    /// `ORDER BY` items, in priority order (empty = table order).
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT`, if any.
+    pub limit: Option<u64>,
+}
+
+impl SelectQuery {
+    /// A bare `SELECT <projection> FROM <table> [WHERE ...]` without
+    /// ordering or limit.
+    pub fn simple(
+        projection: Projection,
+        table: impl Into<String>,
+        predicate: Option<Expr>,
+    ) -> Self {
+        SelectQuery {
+            projection,
+            table: table.into(),
+            predicate,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {} FROM {}", self.projection, self.table)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_views() {
+        assert_eq!(Literal::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Literal::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Literal::Str("x".into()).as_f64(), None);
+        assert_eq!(Literal::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Literal::Int(3).as_str(), None);
+    }
+
+    #[test]
+    fn literal_display_escapes_and_roundtrips_floats() {
+        assert_eq!(Literal::Str("O'Brien".into()).to_string(), "'O''Brien'");
+        assert_eq!(Literal::Float(3.0).to_string(), "3.0");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+        assert_eq!(Literal::Int(3).to_string(), "3");
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_and() {
+        let leaf = |a: &str| Expr::Compare {
+            attr: a.into(),
+            op: CompareOp::Eq,
+            literal: Literal::Int(1),
+        };
+        let e = Expr::And(vec![leaf("a"), Expr::And(vec![leaf("b"), leaf("c")])]);
+        let flat = e.conjuncts();
+        assert_eq!(flat.len(), 3);
+    }
+
+    #[test]
+    fn query_display() {
+        let q = SelectQuery {
+            projection: Projection::Star,
+            table: "homes".into(),
+            order_by: vec![OrderItem {
+                attr: "price".into(),
+                descending: true,
+            }],
+            limit: Some(50),
+            predicate: Some(Expr::And(vec![
+                Expr::InList {
+                    attr: "neighborhood".into(),
+                    list: vec![Literal::Str("Redmond".into())],
+                },
+                Expr::Between {
+                    attr: "price".into(),
+                    lo: Literal::Int(200000),
+                    hi: Literal::Int(300000),
+                },
+            ])),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond') \
+             AND price BETWEEN 200000 AND 300000 ORDER BY price DESC LIMIT 50"
+        );
+    }
+
+    #[test]
+    fn projection_display() {
+        assert_eq!(Projection::Star.to_string(), "*");
+        assert_eq!(
+            Projection::Columns(vec!["a".into(), "b".into()]).to_string(),
+            "a, b"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Errors for the SQL front-end.
+
+use std::fmt;
+
+/// A lexing or parsing failure, with the byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the SQL string where the problem was detected.
+    pub position: usize,
+}
+
+impl ParseError {
+    /// Construct an error at `position`.
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A failure while resolving a parsed query against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormalizeError {
+    /// Attribute not found in the schema.
+    UnknownAttribute(String),
+    /// Projection column not found in the schema.
+    UnknownProjection(String),
+    /// Predicate type does not suit the attribute's type (e.g. a string
+    /// IN-list on a numeric column).
+    ConditionTypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Two conditions on the same attribute are contradictory
+    /// (e.g. `price < 10 AND price > 20`). The query is still valid —
+    /// it selects nothing — so this is informational; normalization
+    /// keeps an empty condition rather than failing. This variant is
+    /// reserved for future strict modes.
+    EmptyCondition(String),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::UnknownAttribute(a) => {
+                write!(f, "unknown attribute `{a}` in predicate")
+            }
+            NormalizeError::UnknownProjection(a) => {
+                write!(f, "unknown attribute `{a}` in SELECT list")
+            }
+            NormalizeError::ConditionTypeMismatch { attribute, detail } => {
+                write!(f, "condition on `{attribute}` has the wrong type: {detail}")
+            }
+            NormalizeError::EmptyCondition(a) => {
+                write!(f, "conditions on `{a}` are contradictory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Either stage of the front-end can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lex/parse failure.
+    Parse(ParseError),
+    /// Schema resolution failure.
+    Normalize(NormalizeError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => e.fmt(f),
+            SqlError::Normalize(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+impl From<NormalizeError> for SqlError {
+    fn from(e: NormalizeError) -> Self {
+        SqlError::Normalize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected `;`", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected `;`");
+    }
+
+    #[test]
+    fn sql_error_wraps_both() {
+        let p: SqlError = ParseError::new("x", 0).into();
+        assert!(matches!(p, SqlError::Parse(_)));
+        let n: SqlError = NormalizeError::UnknownAttribute("zip".into()).into();
+        assert!(n.to_string().contains("zip"));
+    }
+}

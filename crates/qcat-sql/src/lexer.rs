@@ -1,0 +1,336 @@
+//! Hand-written lexer for the SQL subset.
+
+use crate::error::ParseError;
+use crate::token::{CompareOp, Keyword, Token, TokenKind};
+
+/// Tokenize `sql` into a vector ending with an `Eof` token.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: i,
+                });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: i,
+                });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position: i,
+                });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Op(CompareOp::Eq),
+                    position: i,
+                });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Op(CompareOp::Le),
+                        position: i,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    return Err(ParseError::new(
+                        "`<>` is not supported: the workload model defines overlap only \
+                         for IN-lists and ranges (paper Section 4.2)",
+                        i,
+                    ));
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Op(CompareOp::Lt),
+                        position: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Op(CompareOp::Ge),
+                        position: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Op(CompareOp::Gt),
+                        position: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(sql, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::StrLit(s),
+                    position: i,
+                });
+                i = next;
+            }
+            b'0'..=b'9' | b'.' | b'-' | b'+' => {
+                let (kind, next) = lex_number(sql, i)?;
+                tokens.push(Token { kind, position: i });
+                i = next;
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' || b == b'"' => {
+                let (name, next) = lex_ident(sql, i)?;
+                let kind = match Keyword::from_ident(&name) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(name),
+                };
+                tokens.push(Token { kind, position: i });
+                i = next;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    i,
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: bytes.len(),
+    });
+    Ok(tokens)
+}
+
+/// Lex a single-quoted string with `''` escaping. Returns the unescaped
+/// contents and the index just past the closing quote.
+fn lex_string(sql: &str, start: usize) -> Result<(String, usize), ParseError> {
+    let bytes = sql.as_bytes();
+    debug_assert_eq!(bytes[start], b'\'');
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&sql[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(ParseError::new("unterminated string literal", start))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Lex a number (optional sign, digits, optional fraction, optional
+/// exponent). Returns `IntLit` when it fits an i64 with no fraction.
+fn lex_number(sql: &str, start: usize) -> Result<(TokenKind, usize), ParseError> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' || bytes[i] == b'+' {
+        i += 1;
+    }
+    let digits_start = i;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !saw_dot && !saw_exp => {
+                saw_dot = true;
+                i += 1;
+            }
+            b'e' | b'E' if !saw_exp && i > digits_start => {
+                saw_exp = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'-' || bytes[i] == b'+') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &sql[start..i];
+    if i == digits_start || text == "-" || text == "+" || text == "." {
+        return Err(ParseError::new("malformed number", start));
+    }
+    if !saw_dot && !saw_exp {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok((TokenKind::IntLit(v), i));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| (TokenKind::FloatLit(v), i))
+        .map_err(|_| ParseError::new(format!("malformed number `{text}`"), start))
+}
+
+/// Lex a bare or double-quoted identifier. Returns the name and the
+/// index just past it.
+fn lex_ident(sql: &str, start: usize) -> Result<(String, usize), ParseError> {
+    let bytes = sql.as_bytes();
+    if bytes[start] == b'"' {
+        // Delimited identifier: everything up to the closing quote.
+        let mut i = start + 1;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += utf8_len(bytes[i]);
+        }
+        if i >= bytes.len() {
+            return Err(ParseError::new("unterminated quoted identifier", start));
+        }
+        return Ok((sql[start + 1..i].to_string(), i + 1));
+    }
+    let mut i = start;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    Ok((sql[start..i].to_string(), i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = kinds(
+            "SELECT * FROM listproperty WHERE neighborhood IN ('Redmond','Bellevue') \
+             AND price BETWEEN 200000 AND 300000",
+        );
+        assert_eq!(toks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(toks[1], TokenKind::Star);
+        assert!(toks.contains(&TokenKind::StrLit("Redmond".into())));
+        assert!(toks.contains(&TokenKind::IntLit(200000)));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_escape() {
+        assert_eq!(
+            kinds("'O''Brien'"),
+            vec![TokenKind::StrLit("O'Brien".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("WHERE a = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.position, 10);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("-7")[0], TokenKind::IntLit(-7));
+        assert_eq!(kinds("2.5")[0], TokenKind::FloatLit(2.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds("-1.5e-2")[0], TokenKind::FloatLit(-0.015));
+        // i64 overflow falls back to float
+        assert!(matches!(
+            kinds("99999999999999999999")[0],
+            TokenKind::FloatLit(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_number_errors() {
+        assert!(tokenize("price = .").is_err());
+        assert!(tokenize("price = -").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= 1 >= < > ="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Op(CompareOp::Le),
+                TokenKind::IntLit(1),
+                TokenKind::Op(CompareOp::Ge),
+                TokenKind::Op(CompareOp::Lt),
+                TokenKind::Op(CompareOp::Gt),
+                TokenKind::Op(CompareOp::Eq),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn not_equal_rejected_with_reason() {
+        let err = tokenize("a <> 1").unwrap_err();
+        assert!(err.message.contains("<>"));
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(
+            kinds("\"year built\""),
+            vec![TokenKind::Ident("year built".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("\"oops").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("a = 1 ; b").unwrap_err();
+        assert_eq!(err.position, 6);
+        assert!(err.message.contains(';'));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'Zürich'")[0],
+            TokenKind::StrLit("Zürich".to_string())
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// Keywords of the supported SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `IN`
+    In,
+    /// `BETWEEN`
+    Between,
+    /// `ORDER`
+    Order,
+    /// `BY`
+    By,
+    /// `LIMIT`
+    Limit,
+    /// `ASC`
+    Asc,
+    /// `DESC`
+    Desc,
+}
+
+impl Keyword {
+    /// Match a case-insensitive identifier against the keyword table.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Some(Keyword::Select),
+            "FROM" => Some(Keyword::From),
+            "WHERE" => Some(Keyword::Where),
+            "AND" => Some(Keyword::And),
+            "IN" => Some(Keyword::In),
+            "BETWEEN" => Some(Keyword::Between),
+            "ORDER" => Some(Keyword::Order),
+            "BY" => Some(Keyword::By),
+            "LIMIT" => Some(Keyword::Limit),
+            "ASC" => Some(Keyword::Asc),
+            "DESC" => Some(Keyword::Desc),
+            _ => None,
+        }
+    }
+
+    /// Canonical (upper-case) spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::And => "AND",
+            Keyword::In => "IN",
+            Keyword::Between => "BETWEEN",
+            Keyword::Order => "ORDER",
+            Keyword::By => "BY",
+            Keyword::Limit => "LIMIT",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (see [`Keyword`]).
+    Keyword(Keyword),
+    /// Bare identifier (attribute or table name).
+    Ident(String),
+    /// Single-quoted string literal, unescaped.
+    StrLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// A comparison operator.
+    Op(CompareOp),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword {}", k.as_str()),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::StrLit(s) => format!("string '{s}'"),
+            TokenKind::IntLit(i) => format!("integer {i}"),
+            TokenKind::FloatLit(x) => format!("number {x}"),
+            TokenKind::Op(op) => format!("operator {op}"),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub position: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_match_case_insensitively() {
+        assert_eq!(Keyword::from_ident("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_ident("BeTwEeN"), Some(Keyword::Between));
+        assert_eq!(Keyword::from_ident("price"), None);
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Select,
+            Keyword::From,
+            Keyword::Where,
+            Keyword::And,
+            Keyword::In,
+            Keyword::Between,
+            Keyword::Order,
+            Keyword::By,
+            Keyword::Limit,
+            Keyword::Asc,
+            Keyword::Desc,
+        ] {
+            assert_eq!(Keyword::from_ident(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn compare_op_flip() {
+        assert_eq!(CompareOp::Lt.flipped(), CompareOp::Gt);
+        assert_eq!(CompareOp::Ge.flipped(), CompareOp::Le);
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(TokenKind::Comma.describe(), "`,`");
+        assert_eq!(
+            TokenKind::Ident("price".into()).describe(),
+            "identifier `price`"
+        );
+        assert!(TokenKind::Op(CompareOp::Le).describe().contains("<="));
+    }
+}

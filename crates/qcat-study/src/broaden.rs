@@ -1,0 +1,125 @@
+//! Query broadening (paper Section 6.2).
+//!
+//! Each held-out workload query `W` is a synthetic exploration; the
+//! *user query* `Q_W` it explores is obtained by broadening `W`:
+//! the neighborhood IN-list expands to **all** neighborhoods of the
+//! region, and every other selection condition is dropped. The tree
+//! for `Q_W`'s result then subsumes `W`.
+
+use qcat_data::Schema;
+use qcat_datagen::Geography;
+use qcat_sql::{AttrCondition, NormalizedQuery};
+use std::collections::BTreeMap;
+
+/// Broaden `w` per the paper's strategy. Returns `None` when `w` has
+/// no neighborhood condition or names a neighborhood outside
+/// `geography` (such queries are not eligible synthetic explorations).
+pub fn broaden_query(
+    w: &NormalizedQuery,
+    schema: &Schema,
+    geography: &Geography,
+) -> Option<NormalizedQuery> {
+    let nb = schema.resolve("neighborhood").ok()?;
+    let cond = w.condition(nb)?;
+    let AttrCondition::InStr(hoods) = cond else {
+        return None;
+    };
+    let first = hoods.iter().next()?;
+    let region = geography.region_of(first)?;
+    // All named neighborhoods must be in the same region (the
+    // generator guarantees it; real logs might not).
+    if !hoods.iter().all(|h| {
+        geography
+            .region_of(h)
+            .is_some_and(|r| r.name == region.name)
+    }) {
+        return None;
+    }
+    let mut conditions = BTreeMap::new();
+    conditions.insert(
+        nb,
+        AttrCondition::InStr(region.neighborhoods.iter().cloned().collect()),
+    );
+    Some(NormalizedQuery {
+        table: w.table.clone(),
+        projection: None,
+        conditions,
+        order_by: Vec::new(),
+        limit: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_datagen::homes::listproperty_schema;
+    use qcat_sql::parse_and_normalize;
+
+    #[test]
+    fn broadens_to_whole_region() {
+        let schema = listproperty_schema();
+        let geo = Geography::standard();
+        let w = parse_and_normalize(
+            "SELECT * FROM listproperty WHERE neighborhood IN ('Redmond','Bellevue') \
+             AND price BETWEEN 200000 AND 300000",
+            &schema,
+        )
+        .unwrap();
+        let q = broaden_query(&w, &schema, &geo).unwrap();
+        assert_eq!(q.conditions.len(), 1, "other conditions dropped");
+        let nb = schema.resolve("neighborhood").unwrap();
+        match q.condition(nb).unwrap() {
+            AttrCondition::InStr(set) => {
+                assert_eq!(set.len(), 20);
+                assert!(set.contains("Issaquah"));
+                assert!(set.contains("Seattle"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_queries_without_neighborhoods() {
+        let schema = listproperty_schema();
+        let geo = Geography::standard();
+        let w = parse_and_normalize(
+            "SELECT * FROM listproperty WHERE price BETWEEN 1 AND 2",
+            &schema,
+        )
+        .unwrap();
+        assert!(broaden_query(&w, &schema, &geo).is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_neighborhoods() {
+        let schema = listproperty_schema();
+        let geo = Geography::standard();
+        let w = parse_and_normalize(
+            "SELECT * FROM listproperty WHERE neighborhood IN ('Atlantis')",
+            &schema,
+        )
+        .unwrap();
+        assert!(broaden_query(&w, &schema, &geo).is_none());
+    }
+
+    #[test]
+    fn broadened_query_subsumes_w() {
+        // Every tuple matching W matches Q_W: Q_W's only condition is
+        // a superset IN-list.
+        let schema = listproperty_schema();
+        let geo = Geography::standard();
+        let w = parse_and_normalize(
+            "SELECT * FROM listproperty WHERE neighborhood IN ('Kirkland') AND bedroomcount = 3",
+            &schema,
+        )
+        .unwrap();
+        let q = broaden_query(&w, &schema, &geo).unwrap();
+        let nb = schema.resolve("neighborhood").unwrap();
+        let (AttrCondition::InStr(ws), AttrCondition::InStr(qs)) =
+            (w.condition(nb).unwrap(), q.condition(nb).unwrap())
+        else {
+            panic!("expected string sets");
+        };
+        assert!(ws.is_subset(qs));
+    }
+}

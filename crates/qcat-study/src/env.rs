@@ -1,0 +1,210 @@
+//! Shared study environment: dataset, workload, statistics, and the
+//! three categorization techniques under comparison.
+
+use qcat_core::{
+    attr_cost_categorize, no_cost_categorize, BaselineConfig, CategorizeConfig, Categorizer,
+    CategoryTree,
+};
+use qcat_data::{AttrId, Relation};
+use qcat_datagen::{generate_dataset, Geography, HomesConfig, WorkloadGenConfig};
+use qcat_exec::ResultSet;
+use qcat_sql::NormalizedQuery;
+use qcat_workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
+
+/// How big to run a study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyScale {
+    /// Unit-test scale: seconds.
+    Smoke,
+    /// Default repro scale: a couple of minutes in release mode.
+    Standard,
+    /// Close to the paper's data volume (1.7 M homes, 176 K queries).
+    Paper,
+}
+
+impl StudyScale {
+    /// Rows in the homes table.
+    pub fn home_rows(self) -> usize {
+        match self {
+            StudyScale::Smoke => 6_000,
+            StudyScale::Standard => 120_000,
+            StudyScale::Paper => 1_700_000,
+        }
+    }
+
+    /// Queries in the workload log.
+    pub fn workload_queries(self) -> usize {
+        match self {
+            StudyScale::Smoke => 2_000,
+            StudyScale::Standard => 25_000,
+            StudyScale::Paper => 176_262,
+        }
+    }
+}
+
+/// The techniques compared throughout Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// The paper's contribution (Figure 6 + cost-based partitioning).
+    CostBased,
+    /// Cost-based attribute choice, No-cost partitioning.
+    AttrCost,
+    /// Arbitrary attribute choice, arbitrary/equi-width partitioning.
+    NoCost,
+}
+
+impl Technique {
+    /// All three, in the paper's reporting order.
+    pub const ALL: [Technique; 3] = [Technique::CostBased, Technique::AttrCost, Technique::NoCost];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::CostBased => "Cost-based",
+            Technique::AttrCost => "Attr-cost",
+            Technique::NoCost => "No cost",
+        }
+    }
+}
+
+/// A generated dataset plus everything needed to categorize against
+/// it.
+#[derive(Debug)]
+pub struct StudyEnv {
+    /// The listings relation.
+    pub relation: Relation,
+    /// The full parsed workload.
+    pub log: WorkloadLog,
+    /// Geography backing datagen and broadening.
+    pub geography: Geography,
+    /// Preprocessing intervals.
+    pub prep: PreprocessConfig,
+    /// Categorizer configuration (paper defaults: M=20, x=0.4).
+    pub config: CategorizeConfig,
+}
+
+impl StudyEnv {
+    /// Generate an environment at `scale` with the given seed.
+    pub fn generate(scale: StudyScale, seed: u64) -> Self {
+        let homes_cfg = HomesConfig::with_rows(scale.home_rows()).with_seed(seed);
+        let wl_cfg = WorkloadGenConfig::with_queries(scale.workload_queries())
+            .with_seed(seed.wrapping_add(1));
+        let (relation, workload, geography) = generate_dataset(&homes_cfg, &wl_cfg);
+        let schema = relation.schema().clone();
+        let log = WorkloadLog::parse(
+            workload.iter().map(String::as_str),
+            &schema,
+            Some("listproperty"),
+        );
+        // The paper's separation intervals: price 5000, square footage
+        // 100, year built 5; bedrooms/baths are integer-granular.
+        let prep = PreprocessConfig::new()
+            .with_interval(attr(&relation, "price"), 5_000.0)
+            .with_interval(attr(&relation, "square_footage"), 100.0)
+            .with_interval(attr(&relation, "year_built"), 5.0)
+            .with_interval(attr(&relation, "bedroomcount"), 1.0)
+            .with_interval(attr(&relation, "bathcount"), 1.0);
+        StudyEnv {
+            relation,
+            log,
+            geography,
+            prep,
+            // Paper defaults (M=20, K=1, x=0.4) plus the automatic-m
+            // extension of Section 5.1.3: bucket counts are chosen by
+            // the cost model instead of being fixed externally.
+            config: CategorizeConfig::default()
+                .with_bucket_count(qcat_core::BucketCount::Auto { max: 20 }),
+        }
+    }
+
+    /// Build workload statistics from a (possibly reduced) log.
+    pub fn stats_for(&self, log: &WorkloadLog) -> WorkloadStatistics {
+        WorkloadStatistics::build(log, self.relation.schema(), &self.prep)
+    }
+
+    /// The paper's predefined baseline attribute set: neighborhood,
+    /// property-type, bedroomcount, price, year-built, square-footage.
+    pub fn baseline_attrs(&self) -> Vec<AttrId> {
+        [
+            "neighborhood",
+            "property_type",
+            "bedroomcount",
+            "price",
+            "year_built",
+            "square_footage",
+        ]
+        .iter()
+        .map(|n| attr(&self.relation, n))
+        .collect()
+    }
+
+    /// Categorize `result` with `technique`.
+    pub fn categorize(
+        &self,
+        stats: &WorkloadStatistics,
+        technique: Technique,
+        result: &ResultSet,
+        query: Option<&NormalizedQuery>,
+    ) -> CategoryTree {
+        match technique {
+            Technique::CostBased => Categorizer::new(stats, self.config).categorize(result, query),
+            Technique::AttrCost => {
+                let b = BaselineConfig::new(self.baseline_attrs(), &self.config);
+                attr_cost_categorize(stats, &b, result)
+            }
+            Technique::NoCost => {
+                let b = BaselineConfig::new(self.baseline_attrs(), &self.config);
+                no_cost_categorize(stats, &b, result)
+            }
+        }
+    }
+}
+
+fn attr(relation: &Relation, name: &str) -> AttrId {
+    relation
+        .schema()
+        .resolve(name)
+        .expect("listproperty attribute")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_exec::execute_normalized;
+    use qcat_sql::parse_and_normalize;
+
+    #[test]
+    fn smoke_env_generates_and_categorizes() {
+        let env = StudyEnv::generate(StudyScale::Smoke, 42);
+        assert_eq!(env.relation.len(), 6_000);
+        assert!(env.log.len() > 1_900, "parsed {}", env.log.len());
+        let stats = env.stats_for(&env.log);
+        // Six attributes retained at the paper's threshold.
+        assert_eq!(stats.retained_attrs(0.4).len(), 6);
+
+        let q = parse_and_normalize(
+            "SELECT * FROM listproperty WHERE neighborhood IN ('Bellevue','Redmond','Kirkland')",
+            env.relation.schema(),
+        )
+        .unwrap();
+        let result = execute_normalized(&env.relation, &q).unwrap();
+        assert!(result.len() > 100);
+        for t in Technique::ALL {
+            let tree = env.categorize(&stats, t, &result, Some(&q));
+            tree.check_invariants().unwrap();
+            assert!(tree.node_count() > 1, "{:?} built a trivial tree", t);
+        }
+    }
+
+    #[test]
+    fn technique_names() {
+        assert_eq!(Technique::CostBased.name(), "Cost-based");
+        assert_eq!(Technique::ALL.len(), 3);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(StudyScale::Smoke.home_rows() < StudyScale::Standard.home_rows());
+        assert!(StudyScale::Standard.workload_queries() < StudyScale::Paper.workload_queries());
+    }
+}

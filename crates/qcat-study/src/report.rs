@@ -1,0 +1,124 @@
+//! Plain-text table rendering for study output.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with a header row.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numerics, left-align text.
+                if cell.parse::<f64>().is_ok() {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimals, trimming to a compact form.
+pub fn fnum(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Subset", "Correlation"]);
+        t.row(vec!["1".to_string(), fnum(0.39, 2)]);
+        t.row(vec!["All".to_string(), fnum(0.9, 2)]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Subset"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("0.39"));
+        assert!(lines[3].contains("All"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn numeric_cells_right_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["x", "5"]);
+        t.row(vec!["longer", "123"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // "value" column width 5; 5 → right aligned with leading spaces.
+        assert!(lines[2].ends_with("    5"), "{:?}", lines[2]);
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(0.123456, 2), "0.12");
+        assert_eq!(fnum(1234.0, 0), "1234");
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal SVG scatter plots — enough to regenerate Figure 7 as a
+//! picture without a plotting dependency.
+
+use std::fmt::Write as _;
+
+/// A scatter plot specification.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    /// Plot title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Optional origin-line slope to overlay (Figure 7's trend line).
+    pub slope: Option<f64>,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl ScatterPlot {
+    /// A 720×480 plot with the given content.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        ScatterPlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points,
+            slope: None,
+            width: 720,
+            height: 480,
+        }
+    }
+
+    /// Overlay `y = slope·x`.
+    pub fn with_slope(mut self, slope: f64) -> Self {
+        self.slope = Some(slope);
+        self
+    }
+
+    /// Render to an SVG document string.
+    pub fn render(&self) -> String {
+        const MARGIN: f64 = 60.0;
+        let w = self.width as f64;
+        let h = self.height as f64;
+        let (plot_w, plot_h) = (w - 2.0 * MARGIN, h - 2.0 * MARGIN);
+        let max_x = self
+            .points
+            .iter()
+            .map(|p| p.0)
+            .fold(1e-9_f64, f64::max)
+            .max(1e-9);
+        let max_y = self
+            .points
+            .iter()
+            .map(|p| p.1)
+            .fold(1e-9_f64, f64::max)
+            .max(1e-9);
+        let sx = |x: f64| MARGIN + (x / max_x) * plot_w;
+        let sy = |y: f64| h - MARGIN - (y / max_y) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+            self.width, self.height, self.width, self.height
+        );
+        let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<line x1="{m}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>"#,
+            m = MARGIN,
+            y0 = h - MARGIN,
+            x1 = w - MARGIN
+        );
+        let _ = writeln!(
+            out,
+            r#"<line x1="{m}" y1="{m}" x2="{m}" y2="{y0}" stroke="black"/>"#,
+            m = MARGIN,
+            y0 = h - MARGIN
+        );
+        // Ticks: quarters of each axis.
+        for i in 0..=4 {
+            let fx = max_x * i as f64 / 4.0;
+            let fy = max_y * i as f64 / 4.0;
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                sx(fx),
+                h - MARGIN + 16.0,
+                format_tick(fx)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN - 6.0,
+                sy(fy) + 4.0,
+                format_tick(fy)
+            );
+        }
+        // Trend line.
+        if let Some(slope) = self.slope {
+            let x_end = max_x.min(max_y / slope.max(1e-12));
+            let _ = writeln!(
+                out,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#c33" stroke-width="1.5"/>"##,
+                sx(0.0),
+                sy(0.0),
+                sx(x_end),
+                sy(slope * x_end)
+            );
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.1}" y="{:.1}" font-size="12" fill="#c33">y = {:.4}x</text>"##,
+                sx(x_end * 0.75),
+                sy(slope * x_end * 0.75) - 8.0,
+                slope
+            );
+        }
+        // Points.
+        for &(x, y) in &self.points {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="2.2" fill="#1f6fb2" fill-opacity="0.55"/>"##,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Labels.
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="24" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            h - 14.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            h / 2.0,
+            h / 2.0,
+            xml_escape(&self.y_label)
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_axes_and_trend() {
+        let plot = ScatterPlot::new(
+            "Figure 7",
+            "Estimated Cost",
+            "Actual Cost",
+            vec![(100.0, 120.0), (400.0, 380.0), (900.0, 1000.0)],
+        )
+        .with_slope(1.1);
+        let svg = plot.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("y = 1.1000x"));
+        assert!(svg.contains("Figure 7"));
+        assert!(svg.contains("Estimated Cost"));
+        // All circle coordinates inside the canvas.
+        for line in svg.lines().filter(|l| l.contains("<circle")) {
+            let cx: f64 = extract(line, "cx");
+            let cy: f64 = extract(line, "cy");
+            assert!((0.0..=720.0).contains(&cx), "{line}");
+            assert!((0.0..=480.0).contains(&cy), "{line}");
+        }
+    }
+
+    fn extract(line: &str, attr: &str) -> f64 {
+        let pat = format!("{attr}=\"");
+        let start = line.find(&pat).unwrap() + pat.len();
+        let end = line[start..].find('"').unwrap() + start;
+        line[start..end].parse().unwrap()
+    }
+
+    #[test]
+    fn empty_plot_is_still_valid() {
+        let svg = ScatterPlot::new("t", "x", "y", vec![]).render();
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = ScatterPlot::new("a < b & c", "x", "y", vec![]).render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(25_000.0), "25k");
+        assert_eq!(format_tick(250.0), "250");
+        assert_eq!(format_tick(2.5), "2.5");
+    }
+}

@@ -1,0 +1,274 @@
+//! Correlation-aware conditional counts — the paper's stated future
+//! work ("the quality of the categorization can be improved by
+//! weakening this independence assumption and leveraging the
+//! correlations captured in the workload", Section 5.2).
+//!
+//! The base estimator assumes a user's interest in one attribute's
+//! values is independent of her interest in another's. Real workloads
+//! violate that (NYC searchers ask for NYC prices). This index keeps
+//! the normalized queries and answers *conditional* overlap counts:
+//! among queries that overlap every label on a node's path, how many
+//! constrain / overlap the attribute being partitioned.
+
+use qcat_data::AttrId;
+use qcat_sql::{AttrCondition, NormalizedQuery, NumericRange};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// A label predicate expressed in workload terms, so the index can be
+/// queried without depending on `qcat-core`'s label type.
+#[derive(Debug, Clone)]
+pub enum LabelPredicate {
+    /// Categorical `A ∈ B`, as strings.
+    InValues(AttrId, BTreeSet<String>),
+    /// Numeric interval on `A`.
+    Range(AttrId, NumericRange),
+}
+
+impl LabelPredicate {
+    /// The attribute this predicate constrains.
+    pub fn attr(&self) -> AttrId {
+        match self {
+            LabelPredicate::InValues(a, _) => *a,
+            LabelPredicate::Range(a, _) => *a,
+        }
+    }
+
+    /// The paper's overlap test against one workload query: true when
+    /// the query has no condition on the attribute (nothing rules the
+    /// category out) or its condition overlaps.
+    pub fn query_overlaps(&self, query: &NormalizedQuery) -> bool {
+        let Some(cond) = query.condition(self.attr()) else {
+            return true;
+        };
+        self.condition_overlaps(cond)
+    }
+
+    /// Overlap against the query's condition itself.
+    pub fn condition_overlaps(&self, cond: &AttrCondition) -> bool {
+        match (self, cond) {
+            (LabelPredicate::InValues(_, values), AttrCondition::InStr(set)) => {
+                values.iter().any(|v| set.contains(v))
+            }
+            (LabelPredicate::Range(_, r), AttrCondition::Range(q)) => r.overlaps(q),
+            (LabelPredicate::Range(_, r), AttrCondition::InNum(vals)) => {
+                vals.iter().any(|&v| r.contains(v))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Index over the workload's normalized queries for conditional
+/// counting.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationIndex {
+    queries: Vec<NormalizedQuery>,
+    /// attr → indices of queries constraining it.
+    by_attr: HashMap<AttrId, Vec<u32>>,
+}
+
+impl CorrelationIndex {
+    /// Build from normalized queries (clones them; built once per
+    /// workload).
+    pub fn build(queries: &[NormalizedQuery]) -> Self {
+        let mut by_attr: HashMap<AttrId, Vec<u32>> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            for &attr in q.conditions.keys() {
+                by_attr.entry(attr).or_default().push(i as u32);
+            }
+        }
+        CorrelationIndex {
+            queries: queries.to_vec(),
+            by_attr,
+        }
+    }
+
+    /// Number of indexed queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the index holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Conditional exploration probability:
+    ///
+    /// ```text
+    /// P(C | path) = #{q : q constrains CA(C),
+    ///                    q overlaps every path label,
+    ///                    q overlaps label(C)}
+    ///             / #{q : q constrains CA(C),
+    ///                    q overlaps every path label}
+    /// ```
+    ///
+    /// Falls back to `None` when no query satisfies the denominator
+    /// (the caller should then use the unconditional estimate).
+    pub fn conditional_p_explore(
+        &self,
+        label: &LabelPredicate,
+        path: &[LabelPredicate],
+    ) -> Option<f64> {
+        let candidates = self.by_attr.get(&label.attr())?;
+        let mut denom = 0usize;
+        let mut num = 0usize;
+        for &qi in candidates {
+            let q = &self.queries[qi as usize];
+            if !path.iter().all(|p| p.query_overlaps(q)) {
+                continue;
+            }
+            denom += 1;
+            if label.query_overlaps(q) {
+                num += 1;
+            }
+        }
+        (denom > 0).then(|| num as f64 / denom as f64)
+    }
+
+    /// Conditional SHOWTUPLES probability: among queries overlapping
+    /// every path label, the fraction *not* constraining `sub_attr`.
+    /// `None` when no query overlaps the path.
+    pub fn conditional_p_showtuples(
+        &self,
+        sub_attr: AttrId,
+        path: &[LabelPredicate],
+    ) -> Option<f64> {
+        let mut denom = 0usize;
+        let mut constrained = 0usize;
+        for q in &self.queries {
+            if !path.iter().all(|p| p.query_overlaps(q)) {
+                continue;
+            }
+            denom += 1;
+            if q.constrains(sub_attr) {
+                constrained += 1;
+            }
+        }
+        (denom > 0).then(|| 1.0 - constrained as f64 / denom as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, Schema};
+    use qcat_sql::parse_and_normalize;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn index(sqls: &[&str]) -> CorrelationIndex {
+        let s = schema();
+        let qs: Vec<NormalizedQuery> = sqls
+            .iter()
+            .map(|q| parse_and_normalize(q, &s).unwrap())
+            .collect();
+        CorrelationIndex::build(&qs)
+    }
+
+    fn hood(name: &str) -> LabelPredicate {
+        LabelPredicate::InValues(AttrId(0), BTreeSet::from([name.to_string()]))
+    }
+
+    fn price(lo: f64, hi: f64) -> LabelPredicate {
+        LabelPredicate::Range(AttrId(1), NumericRange::half_open(lo, hi))
+    }
+
+    /// A correlated workload: NYC searchers want expensive homes,
+    /// Austin searchers cheap ones.
+    fn correlated() -> CorrelationIndex {
+        index(&[
+            "SELECT * FROM t WHERE neighborhood IN ('SoHo') AND price BETWEEN 800000 AND 1200000",
+            "SELECT * FROM t WHERE neighborhood IN ('SoHo') AND price BETWEEN 900000 AND 1500000",
+            "SELECT * FROM t WHERE neighborhood IN ('Austin') AND price BETWEEN 100000 AND 200000",
+            "SELECT * FROM t WHERE neighborhood IN ('Austin') AND price BETWEEN 150000 AND 250000",
+            "SELECT * FROM t WHERE price BETWEEN 100000 AND 1500000",
+        ])
+    }
+
+    #[test]
+    fn conditional_probability_tracks_correlation() {
+        let idx = correlated();
+        // Unconditional: cheap bucket overlaps 3 of 5 price queries.
+        let cheap = price(100_000.0, 260_000.0);
+        let p_uncond = idx.conditional_p_explore(&cheap, &[]).unwrap();
+        assert!((p_uncond - 3.0 / 5.0).abs() < 1e-12);
+        // Conditioned on SoHo: only the unconstrained-neighborhood
+        // query and the SoHo queries survive the path filter; of those
+        // 3, only the broad one overlaps the cheap bucket.
+        let p_soho = idx.conditional_p_explore(&cheap, &[hood("SoHo")]).unwrap();
+        assert!((p_soho - 1.0 / 3.0).abs() < 1e-12, "{p_soho}");
+        // Conditioned on Austin the cheap bucket is hot.
+        let p_austin = idx
+            .conditional_p_explore(&cheap, &[hood("Austin")])
+            .unwrap();
+        assert!((p_austin - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_showtuples() {
+        let idx = correlated();
+        // All 5 queries constrain price → Pw(price | empty path) = 0.
+        assert_eq!(idx.conditional_p_showtuples(AttrId(1), &[]).unwrap(), 0.0);
+        // Conditioned on SoHo: queries 1, 2 and 5 overlap; all
+        // constrain price.
+        assert_eq!(
+            idx.conditional_p_showtuples(AttrId(1), &[hood("SoHo")])
+                .unwrap(),
+            0.0
+        );
+        // Neighborhood constrained by 4 of 5 → Pw = 0.2.
+        let pw = idx.conditional_p_showtuples(AttrId(0), &[]).unwrap();
+        assert!((pw - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_denominator_returns_none() {
+        let idx = correlated();
+        let far = price(9e9, 9.5e9);
+        // Path that no query overlaps (impossible neighborhood).
+        let p = idx.conditional_p_explore(&far, &[hood("Atlantis")]);
+        // Queries without a neighborhood condition still overlap the
+        // Atlantis label (they don't rule it out); the broad query 5
+        // constrains price, so a denominator exists but the numerator
+        // is 0.
+        assert_eq!(p, Some(0.0));
+        // An attribute never constrained → None.
+        let idx2 = index(&["SELECT * FROM t WHERE price > 0"]);
+        assert_eq!(idx2.conditional_p_explore(&hood("SoHo"), &[]), None);
+    }
+
+    #[test]
+    fn label_predicate_overlap_semantics() {
+        let s = schema();
+        let q = parse_and_normalize(
+            "SELECT * FROM t WHERE neighborhood IN ('SoHo') AND price BETWEEN 100 AND 200",
+            &s,
+        )
+        .unwrap();
+        assert!(hood("SoHo").query_overlaps(&q));
+        assert!(!hood("Austin").query_overlaps(&q));
+        assert!(price(150.0, 300.0).query_overlaps(&q));
+        assert!(!price(300.0, 400.0).query_overlaps(&q));
+        // Unconstrained attribute in the query → overlap by default.
+        let q2 = parse_and_normalize("SELECT * FROM t WHERE price > 0", &s).unwrap();
+        assert!(hood("Anything").query_overlaps(&q2));
+    }
+
+    #[test]
+    fn index_shape() {
+        let idx = correlated();
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        let empty = CorrelationIndex::build(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.conditional_p_showtuples(AttrId(0), &[]), None);
+    }
+}

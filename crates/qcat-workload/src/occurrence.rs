@@ -1,0 +1,181 @@
+//! OccurrenceCounts tables (paper Figure 4b), one per categorical
+//! attribute.
+
+use qcat_data::{AttrId, AttrType, Schema};
+use qcat_sql::{AttrCondition, NormalizedQuery};
+use std::collections::HashMap;
+
+/// Per-value occurrence counts for the categorical attributes.
+///
+/// `occ(v)` is the number of workload queries whose IN-clause on the
+/// attribute contains `v`. Because the cost-based partitioner only
+/// builds *single-value* categories (Section 5.1.2), `occ(v)` is
+/// exactly `NOverlap(C_v)` for the category labeled `A = v`.
+#[derive(Debug, Clone, Default)]
+pub struct OccurrenceCounts {
+    /// attr → (value → count). Only categorical attrs have entries.
+    tables: HashMap<AttrId, HashMap<String, usize>>,
+}
+
+impl OccurrenceCounts {
+    /// Scan `queries`, tallying occurrence counts for every
+    /// categorical attribute of `schema`.
+    pub fn build<'a, I>(queries: I, schema: &Schema) -> Self
+    where
+        I: IntoIterator<Item = &'a NormalizedQuery>,
+    {
+        let mut tables: HashMap<AttrId, HashMap<String, usize>> = schema
+            .attr_ids()
+            .filter(|&a| schema.type_of(a) == AttrType::Categorical)
+            .map(|a| (a, HashMap::new()))
+            .collect();
+        for q in queries {
+            for (&attr, cond) in &q.conditions {
+                if let (AttrCondition::InStr(values), Some(table)) = (cond, tables.get_mut(&attr)) {
+                    for v in values {
+                        *table.entry(v.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        OccurrenceCounts { tables }
+    }
+
+    /// `occ(v)` for attribute `attr`.
+    pub fn occ(&self, attr: AttrId, value: &str) -> usize {
+        self.tables
+            .get(&attr)
+            .and_then(|t| t.get(value))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `occ(v)` over a set of values — `NOverlap` for a
+    /// multi-value categorical label. Exact for single-value labels;
+    /// an upper bound otherwise (a query listing two values of the set
+    /// is counted twice), which is the granularity the paper's
+    /// materialized tables support.
+    pub fn occ_set<'a, I>(&self, attr: AttrId, values: I) -> usize
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        values.into_iter().map(|v| self.occ(attr, v)).sum()
+    }
+
+    /// All `(value, count)` pairs for an attribute, sorted by
+    /// descending count then value (the presentation order of the
+    /// categorical partitioner).
+    pub fn sorted_by_count(&self, attr: AttrId) -> Vec<(&str, usize)> {
+        let mut pairs: Vec<(&str, usize)> = self
+            .tables
+            .get(&attr)
+            .map(|t| t.iter().map(|(v, &c)| (v.as_str(), c)).collect())
+            .unwrap_or_default();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        pairs
+    }
+
+    /// All `(attr, value, count)` triples, for persistence
+    /// (deterministic order).
+    pub fn entries(&self) -> Vec<(AttrId, &str, usize)> {
+        let mut out: Vec<(AttrId, &str, usize)> = self
+            .tables
+            .iter()
+            .flat_map(|(&a, t)| t.iter().map(move |(v, &c)| (a, v.as_str(), c)))
+            .collect();
+        out.sort_by(|x, y| x.0.cmp(&y.0).then_with(|| x.1.cmp(y.1)));
+        out
+    }
+
+    /// Rebuild from persisted triples; `attrs` declares which
+    /// attributes get (possibly empty) tables.
+    pub fn from_entries(
+        attrs: impl IntoIterator<Item = AttrId>,
+        entries: impl IntoIterator<Item = (AttrId, String, usize)>,
+    ) -> Self {
+        let mut tables: HashMap<AttrId, HashMap<String, usize>> =
+            attrs.into_iter().map(|a| (a, HashMap::new())).collect();
+        for (a, v, c) in entries {
+            tables.entry(a).or_default().insert(v, c);
+        }
+        OccurrenceCounts { tables }
+    }
+
+    /// Number of distinct values seen for `attr`.
+    pub fn distinct_values(&self, attr: AttrId) -> usize {
+        self.tables.get(&attr).map_or(0, HashMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::Field;
+    use qcat_sql::parse_and_normalize;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn build(sqls: &[&str]) -> OccurrenceCounts {
+        let s = schema();
+        let qs: Vec<NormalizedQuery> = sqls
+            .iter()
+            .map(|q| parse_and_normalize(q, &s).unwrap())
+            .collect();
+        OccurrenceCounts::build(&qs, &s)
+    }
+
+    #[test]
+    fn counts_in_clause_values() {
+        let o = build(&[
+            "SELECT * FROM t WHERE neighborhood IN ('Bellevue','Redmond')",
+            "SELECT * FROM t WHERE neighborhood IN ('Bellevue')",
+            "SELECT * FROM t WHERE neighborhood = 'Bellevue'",
+            "SELECT * FROM t WHERE price < 100",
+        ]);
+        assert_eq!(o.occ(AttrId(0), "Bellevue"), 3);
+        assert_eq!(o.occ(AttrId(0), "Redmond"), 1);
+        assert_eq!(o.occ(AttrId(0), "Seattle"), 0);
+        assert_eq!(o.distinct_values(AttrId(0)), 2);
+    }
+
+    #[test]
+    fn duplicate_values_in_one_query_count_once() {
+        // The normalizer folds IN-sets, so 'a' appears once per query.
+        let o = build(&["SELECT * FROM t WHERE neighborhood IN ('a','a','a')"]);
+        assert_eq!(o.occ(AttrId(0), "a"), 1);
+    }
+
+    #[test]
+    fn occ_set_sums() {
+        let o = build(&[
+            "SELECT * FROM t WHERE neighborhood IN ('a','b')",
+            "SELECT * FROM t WHERE neighborhood IN ('b')",
+        ]);
+        assert_eq!(o.occ_set(AttrId(0), ["a", "b"]), 3);
+        assert_eq!(o.occ_set(AttrId(0), ["c"]), 0);
+    }
+
+    #[test]
+    fn sorted_by_count_desc_then_value() {
+        let o = build(&[
+            "SELECT * FROM t WHERE neighborhood IN ('b','c')",
+            "SELECT * FROM t WHERE neighborhood IN ('b','a')",
+            "SELECT * FROM t WHERE neighborhood IN ('c')",
+        ]);
+        let sorted = o.sorted_by_count(AttrId(0));
+        assert_eq!(sorted, vec![("b", 2), ("c", 2), ("a", 1)]);
+    }
+
+    #[test]
+    fn numeric_attr_has_no_table() {
+        let o = build(&["SELECT * FROM t WHERE price < 100"]);
+        assert_eq!(o.occ(AttrId(1), "100"), 0);
+        assert!(o.sorted_by_count(AttrId(1)).is_empty());
+    }
+}

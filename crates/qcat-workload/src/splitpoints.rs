@@ -1,0 +1,290 @@
+//! SplitPoints tables (paper Figure 5b), one per numeric attribute.
+
+use qcat_sql::NumericRange;
+use std::collections::BTreeMap;
+
+/// One potential splitpoint with its workload counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitPoint {
+    /// The splitpoint value (a multiple of the separation interval).
+    pub value: f64,
+    /// Number of workload query ranges starting at this point.
+    pub start: usize,
+    /// Number of workload query ranges ending at this point.
+    pub end: usize,
+}
+
+impl SplitPoint {
+    /// The paper's goodness score `SUM(start_v, end_v)`.
+    pub fn goodness(&self) -> usize {
+        self.start + self.end
+    }
+}
+
+/// The splitpoint table of one numeric attribute.
+///
+/// Potential splitpoints sit on a fixed grid (`value = index ×
+/// interval`); query-range endpoints are snapped to the nearest grid
+/// point when counted, which is exact for workloads whose ranges are
+/// grid-aligned (like MSN House&Home's price inputs) and a rounding
+/// approximation otherwise.
+#[derive(Debug, Clone)]
+pub struct SplitPointTable {
+    interval: f64,
+    /// grid index → (start count, end count).
+    counts: BTreeMap<i64, (usize, usize)>,
+    /// Total ranges recorded (with at least one finite endpoint).
+    ranges_recorded: usize,
+}
+
+impl SplitPointTable {
+    /// Empty table with the given separation interval.
+    pub fn new(interval: f64) -> Self {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "separation interval must be positive and finite"
+        );
+        SplitPointTable {
+            interval,
+            counts: BTreeMap::new(),
+            ranges_recorded: 0,
+        }
+    }
+
+    /// The separation interval.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Snap `v` to the nearest grid index.
+    fn grid_index(&self, v: f64) -> i64 {
+        (v / self.interval).round() as i64
+    }
+
+    /// Record one workload query range: its finite lower endpoint
+    /// increments a `start` counter, its finite upper endpoint an
+    /// `end` counter.
+    pub fn record_range(&mut self, range: &NumericRange) {
+        let mut recorded = false;
+        if let Some(lo) = range.finite_lo() {
+            self.counts.entry(self.grid_index(lo)).or_insert((0, 0)).0 += 1;
+            recorded = true;
+        }
+        if let Some(hi) = range.finite_hi() {
+            self.counts.entry(self.grid_index(hi)).or_insert((0, 0)).1 += 1;
+            recorded = true;
+        }
+        if recorded {
+            self.ranges_recorded += 1;
+        }
+    }
+
+    /// The splitpoint at the grid point nearest to `v` (zero counts if
+    /// never seen).
+    pub fn at(&self, v: f64) -> SplitPoint {
+        let idx = self.grid_index(v);
+        let (start, end) = self.counts.get(&idx).copied().unwrap_or((0, 0));
+        SplitPoint {
+            value: idx as f64 * self.interval,
+            start,
+            end,
+        }
+    }
+
+    /// All potential splitpoints strictly inside `(vmin, vmax)` that
+    /// have a nonzero goodness score, in ascending value order.
+    ///
+    /// Grid points with zero counts are legal splitpoints too, but
+    /// carry no workload signal; callers that need them (equi-width
+    /// baselines) generate them directly from the interval.
+    pub fn splitpoints_between(&self, vmin: f64, vmax: f64) -> Vec<SplitPoint> {
+        if vmin >= vmax || vmin.is_nan() || vmax.is_nan() {
+            return Vec::new();
+        }
+        let lo_idx = self.grid_index(vmin);
+        let hi_idx = self.grid_index(vmax);
+        self.counts
+            .range(lo_idx..=hi_idx)
+            .filter_map(|(&idx, &(start, end))| {
+                let value = idx as f64 * self.interval;
+                (value > vmin && value < vmax && start + end > 0).then_some(SplitPoint {
+                    value,
+                    start,
+                    end,
+                })
+            })
+            .collect()
+    }
+
+    /// Splitpoints inside `(vmin, vmax)` sorted by descending goodness
+    /// (ties broken by ascending value for determinism) — the
+    /// candidate order of the paper's greedy selection (Example 5.1).
+    pub fn by_goodness(&self, vmin: f64, vmax: f64) -> Vec<SplitPoint> {
+        let mut pts = self.splitpoints_between(vmin, vmax);
+        pts.sort_by(|a, b| {
+            b.goodness()
+                .cmp(&a.goodness())
+                .then_with(|| a.value.total_cmp(&b.value))
+        });
+        pts
+    }
+
+    /// Number of ranges recorded.
+    pub fn ranges_recorded(&self) -> usize {
+        self.ranges_recorded
+    }
+
+    /// All `(grid index, start, end)` entries, for persistence.
+    pub fn entries(&self) -> impl Iterator<Item = (i64, usize, usize)> + '_ {
+        self.counts.iter().map(|(&i, &(s, e))| (i, s, e))
+    }
+
+    /// Rebuild from persisted entries.
+    pub fn from_entries(
+        interval: f64,
+        ranges_recorded: usize,
+        entries: impl IntoIterator<Item = (i64, usize, usize)>,
+    ) -> Self {
+        let mut t = SplitPointTable::new(interval);
+        t.ranges_recorded = ranges_recorded;
+        t.counts = entries.into_iter().map(|(i, s, e)| (i, (s, e))).collect();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed(lo: f64, hi: f64) -> NumericRange {
+        NumericRange::closed(lo, hi)
+    }
+
+    /// Reproduce the paper's Figure 5(b) example: interval 1000,
+    /// splitpoints at 2000 (10/40), 5000 (40/90), 8000 (80/20).
+    fn figure5b() -> SplitPointTable {
+        let mut t = SplitPointTable::new(1000.0);
+        for _ in 0..10 {
+            t.record_range(&closed(2000.0, 5000.0));
+        }
+        for _ in 0..30 {
+            t.record_range(&closed(5000.0, 8000.0));
+        }
+        for _ in 0..30 {
+            t.record_range(&closed(0.0, 5000.0));
+        }
+        for _ in 0..40 {
+            t.record_range(&closed(0.0, 2000.0));
+        }
+        for _ in 0..60 {
+            t.record_range(&closed(5000.0, 10_000.0));
+        }
+        for _ in 0..50 {
+            t.record_range(&closed(8000.0, 9_000.0));
+        }
+        for _ in 0..20 {
+            t.record_range(&closed(0.0, 8000.0));
+        }
+        t
+    }
+
+    #[test]
+    fn figure5b_counts() {
+        let t = figure5b();
+        assert_eq!(
+            t.at(2000.0),
+            SplitPoint {
+                value: 2000.0,
+                start: 10,
+                end: 40
+            }
+        );
+        assert_eq!(
+            t.at(5000.0),
+            SplitPoint {
+                value: 5000.0,
+                start: 90,
+                end: 40
+            }
+        );
+        assert_eq!(
+            t.at(8000.0),
+            SplitPoint {
+                value: 8000.0,
+                start: 50,
+                end: 50
+            }
+        );
+        assert_eq!(t.at(3000.0).goodness(), 0);
+        // The paper's ordering: 5000 (130) best, then 8000 (100), then 2000 (50).
+        let ranked = t.by_goodness(0.0, 10_000.0);
+        let values: Vec<f64> = ranked.iter().map(|p| p.value).collect();
+        assert_eq!(values[..3], [5000.0, 8000.0, 2000.0]);
+    }
+
+    #[test]
+    fn endpoints_snap_to_grid() {
+        let mut t = SplitPointTable::new(1000.0);
+        t.record_range(&closed(1_400.0, 2_600.0)); // snaps to 1000 / 3000
+        assert_eq!(t.at(1000.0).start, 1);
+        assert_eq!(t.at(3000.0).end, 1);
+        assert_eq!(t.at(2000.0).goodness(), 0);
+    }
+
+    #[test]
+    fn open_ends_are_not_counted() {
+        let mut t = SplitPointTable::new(10.0);
+        t.record_range(&NumericRange {
+            lo: f64::NEG_INFINITY,
+            lo_inclusive: false,
+            hi: 50.0,
+            hi_inclusive: true,
+        });
+        assert_eq!(t.at(50.0).end, 1);
+        assert_eq!(t.at(50.0).start, 0);
+        assert_eq!(t.ranges_recorded(), 1);
+        t.record_range(&NumericRange::unbounded());
+        assert_eq!(t.ranges_recorded(), 1);
+    }
+
+    #[test]
+    fn splitpoints_between_excludes_bounds() {
+        let t = figure5b();
+        // vmin=2000 excludes the 2000 splitpoint itself.
+        let pts = t.splitpoints_between(2000.0, 8000.0);
+        let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![5000.0]);
+        // Degenerate window.
+        assert!(t.splitpoints_between(5000.0, 5000.0).is_empty());
+        assert!(t.splitpoints_between(9.0, 3.0).is_empty());
+    }
+
+    #[test]
+    fn goodness_ties_break_by_value() {
+        let mut t = SplitPointTable::new(1.0);
+        t.record_range(&closed(5.0, 7.0));
+        t.record_range(&closed(7.0, 9.0));
+        t.record_range(&closed(3.0, 5.0));
+        // 5 and 7 both have goodness 2.
+        let ranked = t.by_goodness(0.0, 10.0);
+        assert_eq!(ranked[0].value, 5.0);
+        assert_eq!(ranked[1].value, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = SplitPointTable::new(0.0);
+    }
+
+    #[test]
+    fn negative_values_supported() {
+        let mut t = SplitPointTable::new(10.0);
+        t.record_range(&closed(-25.0, 14.0)); // snaps to -30 / 10
+        assert_eq!(t.at(-30.0).start, 1);
+        assert_eq!(t.at(10.0).end, 1);
+        let pts = t.splitpoints_between(-100.0, 100.0);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].value, -30.0);
+    }
+}

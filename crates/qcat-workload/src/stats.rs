@@ -1,0 +1,344 @@
+//! The aggregate workload statistics object.
+
+use crate::config::PreprocessConfig;
+use crate::correlation::CorrelationIndex;
+use crate::log::WorkloadLog;
+use crate::occurrence::OccurrenceCounts;
+use crate::range_index::RangeIndex;
+use crate::splitpoints::{SplitPoint, SplitPointTable};
+use crate::usage::AttributeUsageCounts;
+use qcat_data::{AttrId, AttrType, Schema};
+use qcat_sql::NumericRange;
+use std::collections::HashMap;
+
+/// Everything the categorizer needs to know about past user behavior.
+///
+/// Built once per workload (the paper's offline preprocessing phase);
+/// immutable and cheap to query afterwards. One instance serves every
+/// categorization request until the workload is refreshed.
+#[derive(Debug, Clone)]
+pub struct WorkloadStatistics {
+    schema: Schema,
+    usage: AttributeUsageCounts,
+    occurrence: OccurrenceCounts,
+    splitpoints: HashMap<AttrId, SplitPointTable>,
+    ranges: HashMap<AttrId, RangeIndex>,
+    correlation: Option<CorrelationIndex>,
+}
+
+impl WorkloadStatistics {
+    /// Scan the workload once and materialize all count tables.
+    ///
+    /// Numeric attributes missing a separation interval in `config`
+    /// get no splitpoint table (and therefore can never be chosen by
+    /// the cost-based numeric partitioner); call
+    /// [`PreprocessConfig::infer_missing`] first to avoid that.
+    pub fn build(log: &WorkloadLog, schema: &Schema, config: &PreprocessConfig) -> Self {
+        Self::build_inner(log, schema, config, false)
+    }
+
+    /// Like [`WorkloadStatistics::build`], but additionally retains a
+    /// [`CorrelationIndex`] over the normalized queries so estimators
+    /// can condition probabilities on a node's path (the paper's
+    /// future-work extension; costs one clone of the query log).
+    pub fn build_with_correlation(
+        log: &WorkloadLog,
+        schema: &Schema,
+        config: &PreprocessConfig,
+    ) -> Self {
+        Self::build_inner(log, schema, config, true)
+    }
+
+    fn build_inner(
+        log: &WorkloadLog,
+        schema: &Schema,
+        config: &PreprocessConfig,
+        correlation: bool,
+    ) -> Self {
+        let usage = AttributeUsageCounts::build(log.queries(), schema);
+        let occurrence = OccurrenceCounts::build(log.queries(), schema);
+
+        let mut splitpoints: HashMap<AttrId, SplitPointTable> = schema
+            .attr_ids()
+            .filter(|&a| schema.type_of(a).is_numeric())
+            .filter_map(|a| config.interval(a).map(|iv| (a, SplitPointTable::new(iv))))
+            .collect();
+        let mut ranges: HashMap<AttrId, RangeIndex> = schema
+            .attr_ids()
+            .filter(|&a| schema.type_of(a).is_numeric())
+            .map(|a| (a, RangeIndex::new()))
+            .collect();
+
+        for q in log.queries() {
+            for (&attr, cond) in &q.conditions {
+                if schema.type_of(attr).is_numeric() {
+                    if let Some(range) = cond.covering_range() {
+                        if range.is_empty() {
+                            continue;
+                        }
+                        if let Some(t) = splitpoints.get_mut(&attr) {
+                            t.record_range(&range);
+                        }
+                        if let Some(idx) = ranges.get_mut(&attr) {
+                            idx.record(&range);
+                        }
+                    }
+                }
+            }
+        }
+        for idx in ranges.values_mut() {
+            idx.seal();
+        }
+        WorkloadStatistics {
+            schema: schema.clone(),
+            usage,
+            occurrence,
+            splitpoints,
+            ranges,
+            correlation: correlation.then(|| CorrelationIndex::build(log.queries())),
+        }
+    }
+
+    /// The correlation index, when built with
+    /// [`WorkloadStatistics::build_with_correlation`].
+    pub fn correlation_index(&self) -> Option<&CorrelationIndex> {
+        self.correlation.as_ref()
+    }
+
+    /// The schema the statistics were built against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The usage-count component (persistence).
+    pub fn usage_counts(&self) -> &AttributeUsageCounts {
+        &self.usage
+    }
+
+    /// The occurrence-count component (persistence).
+    pub fn occurrence_counts(&self) -> &OccurrenceCounts {
+        &self.occurrence
+    }
+
+    /// All splitpoint tables, by attribute (persistence).
+    pub fn splitpoint_tables(&self) -> impl Iterator<Item = (AttrId, &SplitPointTable)> {
+        self.splitpoints.iter().map(|(&a, t)| (a, t))
+    }
+
+    /// All range indexes, by attribute (persistence).
+    pub fn range_indexes(&self) -> impl Iterator<Item = (AttrId, &RangeIndex)> {
+        self.ranges.iter().map(|(&a, i)| (a, i))
+    }
+
+    /// Reassemble statistics from persisted components. The
+    /// correlation index is not persisted (rebuild from the log with
+    /// [`WorkloadStatistics::build_with_correlation`] when needed).
+    pub fn from_parts(
+        schema: Schema,
+        usage: AttributeUsageCounts,
+        occurrence: OccurrenceCounts,
+        splitpoints: HashMap<AttrId, SplitPointTable>,
+        ranges: HashMap<AttrId, RangeIndex>,
+    ) -> Self {
+        WorkloadStatistics {
+            schema,
+            usage,
+            occurrence,
+            splitpoints,
+            ranges,
+            correlation: None,
+        }
+    }
+
+    /// Workload size `N`.
+    pub fn n_queries(&self) -> usize {
+        self.usage.n_total()
+    }
+
+    /// `NAttr(A)`.
+    pub fn n_attr(&self, attr: AttrId) -> usize {
+        self.usage.n_attr(attr)
+    }
+
+    /// `NAttr(A) / N`.
+    pub fn usage_fraction(&self, attr: AttrId) -> f64 {
+        self.usage.usage_fraction(attr)
+    }
+
+    /// The attribute-elimination step (Section 5.1.1): attributes with
+    /// usage fraction ≥ `threshold`, in schema order.
+    pub fn retained_attrs(&self, threshold: f64) -> Vec<AttrId> {
+        self.usage.attrs_above(threshold)
+    }
+
+    /// `occ(v)` for a categorical attribute.
+    pub fn occ(&self, attr: AttrId, value: &str) -> usize {
+        self.occurrence.occ(attr, value)
+    }
+
+    /// `NOverlap` for a categorical label `A ∈ B` (sum of per-value
+    /// occurrence counts; exact for singletons).
+    pub fn n_overlap_values<'a, I>(&self, attr: AttrId, values: I) -> usize
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        self.occurrence.occ_set(attr, values)
+    }
+
+    /// `NOverlap` for a numeric label interval.
+    pub fn n_overlap_range(&self, attr: AttrId, label: &NumericRange) -> usize {
+        self.ranges
+            .get(&attr)
+            .map_or(0, |idx| idx.count_overlapping_sealed(label))
+    }
+
+    /// Values of a categorical attribute sorted by descending
+    /// occurrence count.
+    pub fn values_by_occurrence(&self, attr: AttrId) -> Vec<(&str, usize)> {
+        self.occurrence.sorted_by_count(attr)
+    }
+
+    /// The splitpoint table of a numeric attribute, if configured.
+    pub fn splitpoint_table(&self, attr: AttrId) -> Option<&SplitPointTable> {
+        self.splitpoints.get(&attr)
+    }
+
+    /// Candidate splitpoints inside `(vmin, vmax)` by descending
+    /// goodness.
+    pub fn splitpoints_by_goodness(&self, attr: AttrId, vmin: f64, vmax: f64) -> Vec<SplitPoint> {
+        self.splitpoints
+            .get(&attr)
+            .map(|t| t.by_goodness(vmin, vmax))
+            .unwrap_or_default()
+    }
+
+    /// True when the attribute can be partitioned by the cost-based
+    /// partitioner: categorical attributes always, numeric attributes
+    /// only when a splitpoint table exists.
+    pub fn partitionable(&self, attr: AttrId) -> bool {
+        match self.schema.type_of(attr) {
+            AttrType::Categorical => true,
+            AttrType::Int | AttrType::Float => self.splitpoints.contains_key(&attr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("beds", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn stats(sqls: &[&str]) -> WorkloadStatistics {
+        let s = schema();
+        let log = WorkloadLog::parse(sqls.iter().copied(), &s, None);
+        let cfg = PreprocessConfig::new()
+            .with_interval(AttrId(1), 1000.0)
+            .with_interval(AttrId(2), 1.0);
+        WorkloadStatistics::build(&log, &s, &cfg)
+    }
+
+    #[test]
+    fn end_to_end_counts() {
+        let st = stats(&[
+            "SELECT * FROM t WHERE neighborhood IN ('Bellevue','Redmond') AND price BETWEEN 2000 AND 5000",
+            "SELECT * FROM t WHERE price BETWEEN 5000 AND 8000",
+            "SELECT * FROM t WHERE neighborhood = 'Bellevue'",
+            "SELECT * FROM t",
+        ]);
+        assert_eq!(st.n_queries(), 4);
+        assert_eq!(st.n_attr(AttrId(0)), 2);
+        assert_eq!(st.n_attr(AttrId(1)), 2);
+        assert_eq!(st.n_attr(AttrId(2)), 0);
+        assert_eq!(st.occ(AttrId(0), "Bellevue"), 2);
+        assert_eq!(st.n_overlap_values(AttrId(0), ["Bellevue", "Redmond"]), 3);
+        // Splitpoint 5000 has start=1 end=1.
+        let sp = st.splitpoint_table(AttrId(1)).unwrap().at(5000.0);
+        assert_eq!((sp.start, sp.end), (1, 1));
+        // Ranges overlapping [4000, 6000): both price queries.
+        assert_eq!(
+            st.n_overlap_range(AttrId(1), &NumericRange::half_open(4000.0, 6000.0)),
+            2
+        );
+        // [8000, 9000]: only the second (closed at 8000).
+        assert_eq!(
+            st.n_overlap_range(AttrId(1), &NumericRange::closed(8000.0, 9000.0)),
+            1
+        );
+    }
+
+    #[test]
+    fn retained_attrs_by_threshold() {
+        let st = stats(&[
+            "SELECT * FROM t WHERE price > 0",
+            "SELECT * FROM t WHERE price > 0 AND neighborhood = 'a'",
+        ]);
+        assert_eq!(st.retained_attrs(0.6), vec![AttrId(1)]);
+        assert_eq!(st.retained_attrs(0.4), vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn partitionable_requires_splitpoint_table() {
+        let s = schema();
+        let log = WorkloadLog::parse(["SELECT * FROM t WHERE beds = 3"], &s, None);
+        // No interval configured for beds.
+        let cfg = PreprocessConfig::new().with_interval(AttrId(1), 1000.0);
+        let st = WorkloadStatistics::build(&log, &s, &cfg);
+        assert!(st.partitionable(AttrId(0)));
+        assert!(st.partitionable(AttrId(1)));
+        assert!(!st.partitionable(AttrId(2)));
+    }
+
+    #[test]
+    fn values_by_occurrence_order() {
+        let st = stats(&[
+            "SELECT * FROM t WHERE neighborhood IN ('a','b')",
+            "SELECT * FROM t WHERE neighborhood IN ('b')",
+        ]);
+        let vals = st.values_by_occurrence(AttrId(0));
+        assert_eq!(vals, vec![("b", 2), ("a", 1)]);
+    }
+
+    #[test]
+    fn numeric_in_list_contributes_covering_range() {
+        let st = stats(&["SELECT * FROM t WHERE beds IN (2, 4)"]);
+        // Covering range [2,4] starts at 2, ends at 4 on the beds grid.
+        let t = st.splitpoint_table(AttrId(2)).unwrap();
+        assert_eq!(t.at(2.0).start, 1);
+        assert_eq!(t.at(4.0).end, 1);
+        assert_eq!(
+            st.n_overlap_range(AttrId(2), &NumericRange::closed(3.0, 5.0)),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_workload_statistics() {
+        let st = stats(&[]);
+        assert_eq!(st.n_queries(), 0);
+        assert_eq!(st.usage_fraction(AttrId(0)), 0.0);
+        assert_eq!(
+            st.n_overlap_range(AttrId(1), &NumericRange::closed(0.0, 1.0)),
+            0
+        );
+        assert!(st.splitpoints_by_goodness(AttrId(1), 0.0, 1e9).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_conditions_skipped() {
+        // price < 10 AND price > 20 folds to an empty range; it still
+        // counts for NAttr (the user expressed interest in price) but
+        // contributes no endpoints.
+        let st = stats(&["SELECT * FROM t WHERE price < 10 AND price > 20"]);
+        assert_eq!(st.n_attr(AttrId(1)), 1);
+        assert_eq!(st.splitpoint_table(AttrId(1)).unwrap().ranges_recorded(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The AttributeUsageCounts table (paper Figure 4a).
+
+use qcat_data::{AttrId, Schema};
+use qcat_sql::NormalizedQuery;
+
+/// Per-attribute selection-condition counts.
+///
+/// `NAttr(A)` is the number of workload queries that place *any*
+/// selection condition on `A`; `N` is the workload size. Their ratio
+/// is the probability that a random user is interested in only a few
+/// values of `A` — the SHOWCAT probability of a node subcategorized by
+/// `A` (Section 4.2).
+#[derive(Debug, Clone)]
+pub struct AttributeUsageCounts {
+    counts: Vec<usize>,
+    total_queries: usize,
+}
+
+impl AttributeUsageCounts {
+    /// Scan `queries` and tally usage per attribute of `schema`.
+    pub fn build<'a, I>(queries: I, schema: &Schema) -> Self
+    where
+        I: IntoIterator<Item = &'a NormalizedQuery>,
+    {
+        let mut counts = vec![0usize; schema.len()];
+        let mut total = 0usize;
+        for q in queries {
+            total += 1;
+            for &attr in q.conditions.keys() {
+                if attr.index() < counts.len() {
+                    counts[attr.index()] += 1;
+                }
+            }
+        }
+        AttributeUsageCounts {
+            counts,
+            total_queries: total,
+        }
+    }
+
+    /// `NAttr(A)`.
+    pub fn n_attr(&self, attr: AttrId) -> usize {
+        self.counts.get(attr.index()).copied().unwrap_or(0)
+    }
+
+    /// The workload size `N`.
+    pub fn n_total(&self) -> usize {
+        self.total_queries
+    }
+
+    /// `NAttr(A) / N`, the fraction of queries constraining `A`
+    /// (0 when the workload is empty).
+    pub fn usage_fraction(&self, attr: AttrId) -> f64 {
+        if self.total_queries == 0 {
+            0.0
+        } else {
+            self.n_attr(attr) as f64 / self.total_queries as f64
+        }
+    }
+
+    /// Raw per-attribute counts, for persistence.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Rebuild from persisted counts.
+    pub fn from_counts(counts: Vec<usize>, total_queries: usize) -> Self {
+        AttributeUsageCounts {
+            counts,
+            total_queries,
+        }
+    }
+
+    /// Attributes whose usage fraction is at least `threshold` — the
+    /// attribute-elimination step of Section 5.1.1 keeps exactly
+    /// these.
+    pub fn attrs_above(&self, threshold: f64) -> Vec<AttrId> {
+        (0..self.counts.len() as u32)
+            .map(AttrId)
+            .filter(|&a| self.usage_fraction(a) >= threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field};
+    use qcat_sql::parse_and_normalize;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("beds", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn queries(sqls: &[&str]) -> Vec<NormalizedQuery> {
+        let s = schema();
+        sqls.iter()
+            .map(|q| parse_and_normalize(q, &s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn counts_presence_not_multiplicity() {
+        // Two conditions on price in one query still count once.
+        let qs = queries(&[
+            "SELECT * FROM t WHERE price > 1 AND price < 9",
+            "SELECT * FROM t WHERE neighborhood IN ('a') AND price < 5",
+            "SELECT * FROM t",
+        ]);
+        let u = AttributeUsageCounts::build(&qs, &schema());
+        assert_eq!(u.n_total(), 3);
+        assert_eq!(u.n_attr(AttrId(0)), 1);
+        assert_eq!(u.n_attr(AttrId(1)), 2);
+        assert_eq!(u.n_attr(AttrId(2)), 0);
+        assert!((u.usage_fraction(AttrId(1)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attrs_above_threshold() {
+        let qs = queries(&[
+            "SELECT * FROM t WHERE price > 1",
+            "SELECT * FROM t WHERE price > 1 AND neighborhood = 'a'",
+        ]);
+        let u = AttributeUsageCounts::build(&qs, &schema());
+        assert_eq!(u.attrs_above(0.9), vec![AttrId(1)]);
+        assert_eq!(u.attrs_above(0.5), vec![AttrId(0), AttrId(1)]);
+        assert_eq!(u.attrs_above(0.0).len(), 3);
+    }
+
+    #[test]
+    fn empty_workload_is_all_zeros() {
+        let u = AttributeUsageCounts::build(&[], &schema());
+        assert_eq!(u.n_total(), 0);
+        assert_eq!(u.usage_fraction(AttrId(0)), 0.0);
+        assert!(u.attrs_above(0.1).is_empty());
+    }
+}

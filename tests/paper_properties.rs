@@ -1,0 +1,161 @@
+//! The paper's headline claims, checked as assertions at smoke scale:
+//! who wins, in which direction, with sane magnitudes.
+
+use qcat::study::reallife::{RealLifeStudy, RealLifeStudyConfig};
+use qcat::study::simulated::{SimulatedStudy, SimulatedStudyConfig};
+use qcat::study::timing::{run_timing_study, TimingConfig};
+use qcat::study::{pearson, StudyEnv, StudyScale, Technique};
+
+fn env() -> StudyEnv {
+    StudyEnv::generate(StudyScale::Smoke, 777)
+}
+
+#[test]
+fn simulated_study_reproduces_section_6_2_shape() {
+    let env = env();
+    let study = SimulatedStudy::run(
+        &env,
+        &SimulatedStudyConfig {
+            n_subsets: 4,
+            subset_size: 20,
+        },
+    );
+    assert_eq!(study.observations.len(), 4 * 20 * 3);
+
+    // Claim 1 (Fig. 7 / Table 1): estimated and actual costs correlate
+    // positively.
+    let pts = study.figure7_points();
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let r = pearson(&xs, &ys).expect("enough points");
+    assert!(r > 0.1, "Pearson correlation too weak: {r}");
+    let slope = study.figure7_slope().expect("non-degenerate");
+    assert!(slope > 0.0, "trend slope must be positive: {slope}");
+
+    // Claim 2 (Fig. 8): cost-based beats the baselines on fractional
+    // cost, and users examine well under the full result set.
+    let cb = study.mean_fractional_cost(Technique::CostBased);
+    let ac = study.mean_fractional_cost(Technique::AttrCost);
+    let nc = study.mean_fractional_cost(Technique::NoCost);
+    assert!(cb < ac, "cost-based {cb:.3} must beat attr-cost {ac:.3}");
+    assert!(cb < nc, "cost-based {cb:.3} must beat no-cost {nc:.3}");
+    assert!(
+        nc / cb > 2.0,
+        "paper reports a 3-8x gap; got {:.1}x",
+        nc / cb
+    );
+    assert!(
+        cb < 0.5,
+        "cost-based explorations should examine a minority of the result: {cb:.3}"
+    );
+}
+
+#[test]
+fn real_life_study_reproduces_section_6_3_shape() {
+    let env = env();
+    let study = RealLifeStudy::run(
+        &env,
+        &RealLifeStudyConfig {
+            subjects: 7,
+            seed: 31,
+        },
+    );
+
+    // Claim (Fig. 10): subjects find at least as many relevant tuples
+    // with cost-based trees as with no-cost trees.
+    let found = |t| study.mean_metric(t, |o| Some(o.relevant_found as f64));
+    assert!(
+        found(Technique::CostBased) >= found(Technique::NoCost),
+        "cost-based recall {:.2} < no-cost recall {:.2}",
+        found(Technique::CostBased),
+        found(Technique::NoCost)
+    );
+
+    // Claim (Fig. 11): normalized cost is far lower for cost-based.
+    let norm = |t| {
+        study.mean_metric(t, |o| {
+            (o.relevant_found > 0).then(|| o.actual_all / o.relevant_found as f64)
+        })
+    };
+    let cb = norm(Technique::CostBased);
+    let nc = norm(Technique::NoCost);
+    assert!(
+        cb > 0.0 && cb < nc,
+        "normalized: cost-based {cb:.1} vs no-cost {nc:.1}"
+    );
+
+    // Claim (Table 3): items-per-relevant-tuple is orders of magnitude
+    // below the result-set size.
+    let mean_result: f64 = study
+        .outcomes
+        .iter()
+        .map(|o| o.result_size as f64)
+        .sum::<f64>()
+        / study.outcomes.len() as f64;
+    assert!(
+        cb * 10.0 < mean_result,
+        "normalized cost {cb:.1} should be far below result size {mean_result:.0}"
+    );
+
+    // Claim (Table 4): subjects overwhelmingly prefer cost-aware
+    // categorization. (In the paper 8/9 name Cost-based outright; in
+    // our reproduction Attr-cost with fine equi-width buckets is a
+    // stronger contender — see EXPERIMENTS.md — so the robust claim
+    // is that No-cost gets essentially no votes.)
+    let t4 = study.table4().render();
+    let votes = |name: &str| -> usize {
+        t4.lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .expect("table renders votes")
+    };
+    let cb = votes("Cost-based");
+    let ac = votes("Attr-cost");
+    let nc = votes("No cost");
+    assert!(nc <= 1, "no-cost should win almost nobody: {nc}/7\n{t4}");
+    assert!(
+        cb + ac >= 6,
+        "cost-aware techniques should dominate: {cb}+{ac}/7\n{t4}"
+    );
+    assert!(cb >= 1, "cost-based should win some subjects\n{t4}");
+}
+
+#[test]
+fn timing_study_stays_interactive() {
+    let env = env();
+    let rows = run_timing_study(
+        &env,
+        &TimingConfig {
+            m_values: vec![10, 20, 50, 100],
+            queries: 20,
+            result_size_range: (100, 6_000),
+            ..Default::default()
+        },
+    );
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        assert!(r.queries > 0);
+        // The paper reports ~1s on 2004 hardware; anything under 250ms
+        // per query at smoke scale is comfortably interactive.
+        assert!(
+            r.avg_ms < 250.0,
+            "M={}: {:.1}ms per categorization",
+            r.m,
+            r.avg_ms
+        );
+    }
+}
+
+#[test]
+fn six_attributes_survive_elimination_like_the_paper() {
+    let env = env();
+    let stats = env.stats_for(&env.log);
+    let retained = stats.retained_attrs(0.4);
+    assert_eq!(
+        retained.len(),
+        6,
+        "the paper retains 6 of 53 attributes at x=0.4; we retain {} of 10",
+        retained.len()
+    );
+}
