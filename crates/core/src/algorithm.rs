@@ -244,9 +244,11 @@ impl<'a> Categorizer<'a> {
         // a parent reorders.
         parents.sort_by_key(|&id| std::cmp::Reverse(tree.node(id).level));
         for id in parents {
-            let child_attr = tree
-                .subcategorizing_attr(id)
-                .expect("non-leaf nodes have a child level");
+            // Non-leaf nodes always have a child level; skip rather
+            // than panic if that invariant is ever broken.
+            let Some(child_attr) = tree.subcategorizing_attr(id) else {
+                continue;
+            };
             if tree.relation().schema().type_of(child_attr) == AttrType::Categorical {
                 crate::order::apply_optimal_one_order(
                     tree,

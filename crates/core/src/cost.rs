@@ -22,9 +22,27 @@ pub struct CostReport {
 }
 
 impl CostReport {
+    /// Build a report from a raw per-node cost table (indexed by
+    /// `NodeId`). Exists so auditors and tests can construct reports —
+    /// including deliberately corrupted ones — without running the
+    /// evaluators; production code should use [`cost_all`]/[`cost_one`].
+    pub fn from_costs(costs: Vec<f64>) -> Self {
+        CostReport { costs }
+    }
+
     /// Cost of the subtree rooted at `id`.
     pub fn cost(&self, id: NodeId) -> f64 {
         self.costs[id.index()]
+    }
+
+    /// Number of per-node entries (equals the tree's node count).
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True when the report covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
     }
 
     /// Cost of the whole tree, `Cost(root)`.
@@ -109,7 +127,6 @@ pub fn one_level_cost_all(
 mod tests {
     use super::*;
     use crate::label::CategoryLabel;
-    use proptest::prelude::*;
     use qcat_data::{AttrId, AttrType, Field, Relation, RelationBuilder, Schema};
     use qcat_sql::NumericRange;
 
@@ -271,24 +288,33 @@ mod tests {
         assert_eq!(one_level_cost_all(42, 0.3, 1.0, &[]), 42.0);
     }
 
-    proptest! {
-        /// CostAll is bounded below by the pure-SHOWTUPLES component
-        /// and CostOne never exceeds CostAll for the same tree when
-        /// frac ≤ 1 (finding one tuple is no harder than finding all).
-        #[test]
-        fn prop_cost_sanity(
-            sizes in proptest::collection::vec(1usize..40, 1..6),
-            seed_probs in proptest::collection::vec(0.0f64..1.0, 6),
-            pw in 0.0f64..1.0,
-            k in 0.0f64..3.0,
-        ) {
-            let probs: Vec<f64> = sizes.iter().enumerate().map(|(i, _)| seed_probs[i % seed_probs.len()]).collect();
-            let t = one_level_tree(&sizes, &probs, pw);
-            let all = cost_all(&t, k).total();
-            let one = cost_one(&t, k, 0.5).total();
-            prop_assert!(all >= 0.0 && one >= 0.0);
-            prop_assert!(one <= all + 1e-9,
-                "one={one} all={all} sizes={sizes:?} probs={probs:?} pw={pw}");
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// CostAll is bounded below by the pure-SHOWTUPLES component
+            /// and CostOne never exceeds CostAll for the same tree when
+            /// frac ≤ 1 (finding one tuple is no harder than finding all).
+            #[test]
+            fn prop_cost_sanity(
+                sizes in proptest::collection::vec(1usize..40, 1..6),
+                seed_probs in proptest::collection::vec(0.0f64..1.0, 6),
+                pw in 0.0f64..1.0,
+                k in 0.0f64..3.0,
+            ) {
+                let probs: Vec<f64> = sizes.iter().enumerate().map(|(i, _)| seed_probs[i % seed_probs.len()]).collect();
+                let t = one_level_tree(&sizes, &probs, pw);
+                let all = cost_all(&t, k).total();
+                let one = cost_one(&t, k, 0.5).total();
+                prop_assert!(all >= 0.0 && one >= 0.0);
+                prop_assert!(one <= all + 1e-9,
+                    "one={one} all={all} sizes={sizes:?} probs={probs:?} pw={pw}");
+            }
         }
     }
 }

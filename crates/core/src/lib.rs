@@ -71,6 +71,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod config;
 pub mod cost;
+pub mod float;
 pub mod label;
 pub mod order;
 pub mod partition;

@@ -66,7 +66,6 @@ pub fn apply_probability_order(tree: &mut CategoryTree, parent: NodeId) {
 mod tests {
     use super::*;
     use crate::label::CategoryLabel;
-    use proptest::prelude::*;
     use qcat_data::{AttrId, AttrType, Field, Relation, RelationBuilder, Schema};
     use qcat_sql::NumericRange;
 
@@ -188,32 +187,41 @@ mod tests {
         out
     }
 
-    proptest! {
-        /// Appendix A as a property: for random sibling sets, the
-        /// 1/P + CostOne ordering is never beaten by a random
-        /// permutation.
-        #[test]
-        fn prop_appendix_a(
-            sizes in proptest::collection::vec(1usize..40, 2..6),
-            probs in proptest::collection::vec(0.01f64..1.0, 6),
-            shuffle_seed in any::<u64>(),
-        ) {
-            let probs = &probs[..sizes.len()];
-            let mut t = one_level_tree(&sizes, probs);
-            apply_optimal_one_order(&mut t, NodeId::ROOT, 1.0, 0.5);
-            let best = cost_one(&t, 1.0, 0.5).total();
-            // Pseudo-random permutation from the seed.
-            let mut order = t.node(NodeId::ROOT).children.clone();
-            let n = order.len();
-            let mut s = shuffle_seed;
-            for i in (1..n).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let j = (s >> 33) as usize % (i + 1);
-                order.swap(i, j);
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Appendix A as a property: for random sibling sets, the
+            /// 1/P + CostOne ordering is never beaten by a random
+            /// permutation.
+            #[test]
+            fn prop_appendix_a(
+                sizes in proptest::collection::vec(1usize..40, 2..6),
+                probs in proptest::collection::vec(0.01f64..1.0, 6),
+                shuffle_seed in any::<u64>(),
+            ) {
+                let probs = &probs[..sizes.len()];
+                let mut t = one_level_tree(&sizes, probs);
+                apply_optimal_one_order(&mut t, NodeId::ROOT, 1.0, 0.5);
+                let best = cost_one(&t, 1.0, 0.5).total();
+                // Pseudo-random permutation from the seed.
+                let mut order = t.node(NodeId::ROOT).children.clone();
+                let n = order.len();
+                let mut s = shuffle_seed;
+                for i in (1..n).rev() {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let j = (s >> 33) as usize % (i + 1);
+                    order.swap(i, j);
+                }
+                t.reorder_children(NodeId::ROOT, order);
+                let shuffled = cost_one(&t, 1.0, 0.5).total();
+                prop_assert!(best <= shuffled + 1e-9);
             }
-            t.reorder_children(NodeId::ROOT, order);
-            let shuffled = cost_one(&t, 1.0, 0.5).total();
-            prop_assert!(best <= shuffled + 1e-9);
         }
     }
 }

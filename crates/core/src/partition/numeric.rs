@@ -10,6 +10,7 @@
 
 use crate::config::{BucketCount, CategorizeConfig};
 use crate::cost::one_level_cost_all;
+use crate::float;
 use crate::label::CategoryLabel;
 use crate::partition::Partitioning;
 use crate::probability::ProbabilityEstimator;
@@ -113,7 +114,7 @@ impl NumericPlan {
         // Sorted values for O(log n) bucket-population queries.
         let mut sorted: Vec<f64> = tset
             .iter()
-            .map(|&r| column.numeric_at(r as usize).expect("numeric column"))
+            .filter_map(|&r| column.numeric_at(r as usize))
             .collect();
         sorted.sort_unstable_by(f64::total_cmp);
 
@@ -181,7 +182,7 @@ fn select_necessary_splits(
             continue;
         }
         let idx = bounds.partition_point(|&b| b < v);
-        if bounds[idx] == v {
+        if float::same(bounds[idx], v) {
             continue; // duplicate candidate
         }
         let (lo, hi) = (bounds[idx - 1], bounds[idx]);
@@ -189,7 +190,7 @@ fn select_necessary_splits(
         // rightmost bucket also holds values equal to vmax.
         let left = count_in(lo, v);
         let mut right = count_in(v, hi);
-        if hi == vmax {
+        if float::same(hi, vmax) {
             right += sorted.len() - sorted.partition_point(|&x| x < vmax);
         }
         if left >= min_bucket && right >= min_bucket {
@@ -273,7 +274,9 @@ fn build_buckets(
     let column = relation.column(attr);
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); splits.len() + 1];
     for &row in tset {
-        let v = column.numeric_at(row as usize).expect("numeric column");
+        let Some(v) = column.numeric_at(row as usize) else {
+            continue; // non-numeric cell: cannot be bucketed
+        };
         // Index of the first split > v gives the bucket.
         let idx = splits.partition_point(|&s| s <= v);
         buckets[idx].push(row);

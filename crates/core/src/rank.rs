@@ -49,27 +49,25 @@ impl<'a> WorkloadRanker<'a> {
                 continue;
             }
             let weight = n_attr as f64 / n as f64;
+            // A type-confused column or out-of-range row contributes
+            // zero demand rather than panicking mid-ranking.
             let demand = match relation.schema().type_of(attr) {
-                AttrType::Categorical => {
-                    let (dict, _) = relation
-                        .column(attr)
-                        .categorical()
-                        .expect("categorical column");
-                    let code = relation
-                        .column(attr)
-                        .code_at(row as usize)
-                        .expect("row in range");
-                    self.stats.occ(attr, dict.value_unchecked(code)) as f64 / n_attr as f64
-                }
+                AttrType::Categorical => relation
+                    .column(attr)
+                    .categorical()
+                    .and_then(|(dict, codes)| {
+                        let &code = codes.get(row as usize)?;
+                        Some(self.stats.occ(attr, dict.value_unchecked(code)) as f64)
+                    })
+                    .map_or(0.0, |occ| occ / n_attr as f64),
                 AttrType::Int | AttrType::Float => {
-                    let v = relation
-                        .column(attr)
-                        .numeric_at(row as usize)
-                        .expect("numeric column");
-                    self.stats
-                        .n_overlap_range(attr, &NumericRange::closed(v, v))
-                        as f64
-                        / n_attr as f64
+                    match relation.column(attr).numeric_at(row as usize) {
+                        Some(v) => {
+                            self.stats.n_overlap_range(attr, &NumericRange::closed(v, v)) as f64
+                                / n_attr as f64
+                        }
+                        None => 0.0,
+                    }
                 }
             };
             total += weight * demand;

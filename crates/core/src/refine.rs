@@ -158,7 +158,7 @@ pub fn refined_sql(
     }
     let predicate = match conjuncts.len() {
         0 => None,
-        1 => Some(conjuncts.pop().expect("one conjunct")),
+        1 => conjuncts.pop(),
         _ => Some(Expr::And(conjuncts)),
     };
     SelectQuery::simple(Projection::Star, table, predicate).to_string()

@@ -128,6 +128,15 @@ impl CategoryTree {
         &self.nodes[id.index()]
     }
 
+    /// Mutable node access that bypasses every construction-time
+    /// invariant (probability clamping, tset/label consistency). This
+    /// exists so auditors and tests can *seed* violations and verify
+    /// they are detected — production code must build trees through
+    /// [`CategoryTree::add_child`] and friends instead.
+    pub fn raw_node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
     /// Number of nodes including the root.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -375,7 +384,6 @@ impl CategoryTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use qcat_data::{AttrType, Field, RelationBuilder, Schema};
     use qcat_sql::NumericRange;
 
@@ -567,71 +575,80 @@ mod tests {
         assert!(err.contains("violating"), "{err}");
     }
 
-    proptest! {
-        /// Random two-level trees built through the public API always
-        /// satisfy the invariants, and dfs() visits every node exactly
-        /// once with parents before children.
-        #[test]
-        fn prop_random_trees_are_valid(
-            splits in proptest::collection::vec(1usize..5, 1..6),
-            probs in proptest::collection::vec(0.0f64..1.0, 32),
-        ) {
-            // One numeric attribute per level; rows valued by index.
-            let total: usize = splits.iter().sum::<usize>().max(1) * 4;
-            let schema = Schema::new(vec![
-                Field::new("a", AttrType::Float),
-                Field::new("b", AttrType::Float),
-            ])
-            .unwrap();
-            let mut b = RelationBuilder::new(schema);
-            for i in 0..total {
-                b.push_row(&[(i as f64).into(), ((i % 7) as f64).into()])
-                    .unwrap();
-            }
-            let rel = b.finish().unwrap();
-            let mut t = CategoryTree::new(rel, (0..total as u32).collect());
-            t.push_level(AttrId(0));
-            // Level 1: contiguous index ranges sized 4·splits[k].
-            let mut next = 0u32;
-            let mut pi = 0;
-            let mut level1 = Vec::new();
-            for (k, &s) in splits.iter().enumerate() {
-                let size = (4 * s) as u32;
-                let lo = next as f64;
-                let hi = (next + size) as f64;
-                let range = if k + 1 == splits.len() {
-                    NumericRange::closed(lo, total as f64)
-                } else {
-                    NumericRange::half_open(lo, hi)
-                };
-                let id = t.add_child(
-                    NodeId::ROOT,
-                    CategoryLabel::range(AttrId(0), range),
-                    (next..next + size).collect(),
-                    probs[pi % probs.len()],
-                );
-                pi += 1;
-                level1.push(id);
-                next += size;
-            }
-            t.set_p_showtuples(NodeId::ROOT, probs[pi % probs.len()]);
-            prop_assert!(t.check_invariants().is_ok(), "{:?}", t.check_invariants());
-            // dfs is a permutation with parents first.
-            let order = t.dfs();
-            prop_assert_eq!(order.len(), t.node_count());
-            let mut seen = vec![false; t.node_count()];
-            for id in &order {
-                prop_assert!(!seen[id.index()]);
-                seen[id.index()] = true;
-                if let Some(p) = t.node(*id).parent {
-                    prop_assert!(seen[p.index()], "parent after child");
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Random two-level trees built through the public API always
+            /// satisfy the invariants, and dfs() visits every node exactly
+            /// once with parents before children.
+            #[test]
+            fn prop_random_trees_are_valid(
+                splits in proptest::collection::vec(1usize..5, 1..6),
+                probs in proptest::collection::vec(0.0f64..1.0, 32),
+            ) {
+                // One numeric attribute per level; rows valued by index.
+                let total: usize = splits.iter().sum::<usize>().max(1) * 4;
+                let schema = Schema::new(vec![
+                    Field::new("a", AttrType::Float),
+                    Field::new("b", AttrType::Float),
+                ])
+                .unwrap();
+                let mut b = RelationBuilder::new(schema);
+                for i in 0..total {
+                    b.push_row(&[(i as f64).into(), ((i % 7) as f64).into()])
+                        .unwrap();
                 }
-            }
-            // Levels are consistent with level_attr bookkeeping.
-            for &id in &level1 {
-                prop_assert_eq!(t.node(id).level, 1);
-                prop_assert_eq!(t.level_attr(1), Some(AttrId(0)));
-                prop_assert!(t.subcategorizing_attr(id).is_none());
+                let rel = b.finish().unwrap();
+                let mut t = CategoryTree::new(rel, (0..total as u32).collect());
+                t.push_level(AttrId(0));
+                // Level 1: contiguous index ranges sized 4·splits[k].
+                let mut next = 0u32;
+                let mut pi = 0;
+                let mut level1 = Vec::new();
+                for (k, &s) in splits.iter().enumerate() {
+                    let size = (4 * s) as u32;
+                    let lo = next as f64;
+                    let hi = (next + size) as f64;
+                    let range = if k + 1 == splits.len() {
+                        NumericRange::closed(lo, total as f64)
+                    } else {
+                        NumericRange::half_open(lo, hi)
+                    };
+                    let id = t.add_child(
+                        NodeId::ROOT,
+                        CategoryLabel::range(AttrId(0), range),
+                        (next..next + size).collect(),
+                        probs[pi % probs.len()],
+                    );
+                    pi += 1;
+                    level1.push(id);
+                    next += size;
+                }
+                t.set_p_showtuples(NodeId::ROOT, probs[pi % probs.len()]);
+                prop_assert!(t.check_invariants().is_ok(), "{:?}", t.check_invariants());
+                // dfs is a permutation with parents first.
+                let order = t.dfs();
+                prop_assert_eq!(order.len(), t.node_count());
+                let mut seen = vec![false; t.node_count()];
+                for id in &order {
+                    prop_assert!(!seen[id.index()]);
+                    seen[id.index()] = true;
+                    if let Some(p) = t.node(*id).parent {
+                        prop_assert!(seen[p.index()], "parent after child");
+                    }
+                }
+                // Levels are consistent with level_attr bookkeeping.
+                for &id in &level1 {
+                    prop_assert_eq!(t.node(id).level, 1);
+                    prop_assert_eq!(t.level_attr(1), Some(AttrId(0)));
+                    prop_assert!(t.subcategorizing_attr(id).is_none());
+                }
             }
         }
     }

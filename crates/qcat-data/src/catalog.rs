@@ -2,8 +2,8 @@
 
 use crate::error::DataError;
 use crate::relation::Relation;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Name → relation registry.
 ///
@@ -17,6 +17,18 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// Read access, recovering from poisoning: a panicking writer can
+    /// at worst leave a fully-applied insert/remove behind, and every
+    /// mutation keeps the map valid, so the data is safe to read.
+    fn read_tables(&self) -> RwLockReadGuard<'_, HashMap<String, Relation>> {
+        self.tables.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write access with the same poison recovery as `read_tables`.
+    fn write_tables(&self) -> RwLockWriteGuard<'_, HashMap<String, Relation>> {
+        self.tables.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Empty catalog.
     pub fn new() -> Self {
         Self::default()
@@ -25,7 +37,7 @@ impl Catalog {
     /// Register `relation` under `name`; errors if the name is taken.
     pub fn register(&self, name: &str, relation: Relation) -> Result<(), DataError> {
         let key = name.to_ascii_lowercase();
-        let mut tables = self.tables.write();
+        let mut tables = self.write_tables();
         if tables.contains_key(&key) {
             return Err(DataError::DuplicateTable(name.to_string()));
         }
@@ -35,15 +47,13 @@ impl Catalog {
 
     /// Replace or insert `relation` under `name`.
     pub fn register_or_replace(&self, name: &str, relation: Relation) {
-        self.tables
-            .write()
+        self.write_tables()
             .insert(name.to_ascii_lowercase(), relation);
     }
 
     /// Fetch a handle to the named table.
     pub fn get(&self, name: &str) -> Result<Relation, DataError> {
-        self.tables
-            .read()
+        self.read_tables()
             .get(&name.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| DataError::UnknownTable(name.to_string()))
@@ -51,24 +61,24 @@ impl Catalog {
 
     /// Remove a table, returning it if present.
     pub fn drop_table(&self, name: &str) -> Option<Relation> {
-        self.tables.write().remove(&name.to_ascii_lowercase())
+        self.write_tables().remove(&name.to_ascii_lowercase())
     }
 
     /// Names of all registered tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.read_tables().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of registered tables.
     pub fn len(&self) -> usize {
-        self.tables.read().len()
+        self.read_tables().len()
     }
 
     /// True when no tables are registered.
     pub fn is_empty(&self) -> bool {
-        self.tables.read().is_empty()
+        self.read_tables().is_empty()
     }
 }
 

@@ -56,7 +56,8 @@ impl Column {
         match self {
             Column::Categorical { dict, codes } => codes
                 .get(row)
-                .map(|&c| Value::Str(dict.value(c).expect("code in range").clone())),
+                .and_then(|&c| dict.value(c))
+                .map(|s| Value::Str(s.clone())),
             Column::Int(v) => v.get(row).map(|&i| Value::Int(i)),
             Column::Float(v) => v.get(row).map(|&x| Value::Float(x)),
         }

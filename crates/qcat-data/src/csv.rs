@@ -165,7 +165,7 @@ pub fn write_csv<W: Write>(
         writeln!(writer, "{}", header.join(&delim.to_string())).map_err(io_err)?;
     }
     for row in 0..relation.len() {
-        let values = relation.row(row).expect("row in range");
+        let values = relation.row(row)?;
         let fields: Vec<String> = values
             .iter()
             .map(|v| quote_field(&v.to_string(), delim))

@@ -69,7 +69,6 @@ impl Dictionary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn intern_is_idempotent() {
@@ -109,20 +108,29 @@ mod tests {
         assert!(d.values().is_empty());
     }
 
-    proptest! {
-        /// Interning any sequence of strings round-trips: every string
-        /// maps to a code whose stored value equals the string.
-        #[test]
-        fn prop_roundtrip(strings in proptest::collection::vec(".{0,12}", 0..64)) {
-            let mut d = Dictionary::new();
-            let codes: Vec<u32> = strings.iter().map(|s| d.intern(s)).collect();
-            for (s, c) in strings.iter().zip(&codes) {
-                prop_assert_eq!(d.value_unchecked(*c), s.as_str());
-                prop_assert_eq!(d.lookup(s), Some(*c));
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Interning any sequence of strings round-trips: every string
+            /// maps to a code whose stored value equals the string.
+            #[test]
+            fn prop_roundtrip(strings in proptest::collection::vec(".{0,12}", 0..64)) {
+                let mut d = Dictionary::new();
+                let codes: Vec<u32> = strings.iter().map(|s| d.intern(s)).collect();
+                for (s, c) in strings.iter().zip(&codes) {
+                    prop_assert_eq!(d.value_unchecked(*c), s.as_str());
+                    prop_assert_eq!(d.lookup(s), Some(*c));
+                }
+                // Distinct strings get distinct codes.
+                let uniq: std::collections::HashSet<_> = strings.iter().collect();
+                prop_assert_eq!(d.len(), uniq.len());
             }
-            // Distinct strings get distinct codes.
-            let uniq: std::collections::HashSet<_> = strings.iter().collect();
-            prop_assert_eq!(d.len(), uniq.len());
         }
     }
 }

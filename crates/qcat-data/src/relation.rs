@@ -93,12 +93,16 @@ impl Relation {
                 len: self.inner.rows,
             });
         }
-        Ok(self
-            .inner
+        self.inner
             .columns
             .iter()
-            .map(|c| c.get(row).expect("row checked"))
-            .collect())
+            .map(|c| {
+                c.get(row).ok_or(DataError::RowOutOfRange {
+                    row,
+                    len: self.inner.rows,
+                })
+            })
+            .collect()
     }
 
     /// All row ids, `0..len`, as the `u32` ids used throughout qcat.
@@ -181,9 +185,7 @@ impl RelationBuilder {
             }
         }
         for (i, v) in values.iter().enumerate() {
-            self.builders[i]
-                .push(&self.schema.fields()[i].name, v)
-                .expect("row pre-validated");
+            self.builders[i].push(&self.schema.fields()[i].name, v)?;
         }
         Ok(())
     }

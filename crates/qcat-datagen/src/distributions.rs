@@ -1,6 +1,6 @@
 //! Small seeded samplers used by the generators.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A Zipf-like sampler over `n` ranks: rank `k` (0-based) has weight
 /// `1 / (k+1)^s`. Sampling is O(log n) via a cumulative table.
@@ -34,9 +34,9 @@ impl Zipf {
     }
 
     /// Draw a rank in `0..n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
-        let x = rng.gen::<f64>() * total;
+        let x = rng.gen_f64() * total;
         self.cumulative
             .partition_point(|&c| c < x)
             .min(self.cumulative.len() - 1)
@@ -51,17 +51,17 @@ impl Zipf {
 }
 
 /// One draw from a normal distribution via Box–Muller.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+pub fn normal(rng: &mut Rng, mean: f64, std_dev: f64) -> f64 {
     // Avoid ln(0).
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
+    let u1: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen_f64();
     let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     mean + std_dev * z
 }
 
 /// A normal draw clamped to `[lo, hi]`.
-pub fn clamped_normal<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn clamped_normal(
+    rng: &mut Rng,
     mean: f64,
     std_dev: f64,
     lo: f64,
@@ -78,13 +78,12 @@ pub fn snap(v: f64, grid: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
 
     #[test]
     fn zipf_is_skewed_toward_low_ranks() {
         let z = Zipf::new(20, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut counts = [0usize; 20];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -114,7 +113,7 @@ mod tests {
     #[test]
     fn zipf_samples_in_range() {
         let z = Zipf::new(3, 2.0);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }
@@ -128,7 +127,7 @@ mod tests {
 
     #[test]
     fn normal_moments_are_plausible() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let n = 20_000;
         let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
@@ -139,7 +138,7 @@ mod tests {
 
     #[test]
     fn clamped_normal_respects_bounds() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         for _ in 0..1000 {
             let v = clamped_normal(&mut rng, 0.0, 100.0, -5.0, 5.0);
             assert!((-5.0..=5.0).contains(&v));

@@ -3,8 +3,7 @@
 use crate::distributions::{clamped_normal, snap, Zipf};
 use crate::geography::Geography;
 use qcat_data::{AttrType, Field, Relation, RelationBuilder, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Configuration for home generation.
 #[derive(Debug, Clone)]
@@ -74,7 +73,7 @@ pub fn listproperty_schema() -> Schema {
 /// size; price follows `region_scale × (base + rate × sqft)` with
 /// noise. Everything is driven by `config.seed`.
 pub fn generate_homes(config: &HomesConfig, geography: &Geography) -> Relation {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let schema = listproperty_schema();
     let mut b = RelationBuilder::with_capacity(schema, config.rows);
 
@@ -99,7 +98,7 @@ pub fn generate_homes(config: &HomesConfig, geography: &Geography) -> Relation {
         let hood_idx = hood_zipfs[region_idx].sample(&mut rng);
         let neighborhood = &region.neighborhoods[hood_idx];
 
-        let tx: f64 = rng.gen::<f64>() * type_cumulative.last().expect("non-empty");
+        let tx: f64 = rng.gen_f64() * type_cumulative.last().expect("non-empty");
         let type_idx = type_cumulative.partition_point(|&c| c < tx).min(4);
         let (ptype, _) = PROPERTY_TYPES[type_idx];
 
@@ -126,7 +125,7 @@ pub fn generate_homes(config: &HomesConfig, geography: &Geography) -> Relation {
 
         // Year built: skewed toward recent construction.
         let year = {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             (1_900.0 + 104.0 * u.powf(0.6)).round() as i64
         };
 

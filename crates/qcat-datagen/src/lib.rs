@@ -19,15 +19,20 @@
 //!   bedrooms > price > square footage > … ), with grid-aligned price
 //!   ranges like real search forms produce;
 //! - [`distributions`]: small seeded samplers (Zipf, normal) so
-//!   everything is reproducible.
+//!   everything is reproducible;
+//! - [`rng`]: the first-party SplitMix64/xoshiro256\*\* generator the
+//!   samplers draw from (no external RNG crate, so the workspace
+//!   builds with no network access).
 
 pub mod distributions;
 pub mod geography;
 pub mod homes;
+pub mod rng;
 pub mod workload;
 
 pub use geography::{Geography, Region};
 pub use homes::{generate_homes, HomesConfig};
+pub use rng::Rng;
 pub use workload::{generate_workload, WorkloadGenConfig};
 
 use qcat_data::Relation;

@@ -1,0 +1,259 @@
+//! First-party seeded pseudo-random number generation.
+//!
+//! The generators and studies need reproducible, seedable randomness
+//! but nothing cryptographic, so instead of an external crate we ship
+//! the two tiny, well-studied generators the Rust ecosystem itself
+//! builds on: SplitMix64 (used to expand a 64-bit seed into state) and
+//! xoshiro256\*\* (the general-purpose generator; Blackman & Vigna,
+//! <https://prng.di.unimi.it>). Both are public-domain algorithms.
+//!
+//! The API mirrors the subset of `rand` the workspace used —
+//! `seed_from_u64`, `gen_f64`, `gen_bool`, `gen_range` over integer
+//! and float ranges — so call sites read the same as before the
+//! dependency was dropped.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: expands a 64-bit seed into a well-mixed stream. Used
+/// here to seed [`Rng`]; also usable directly where a tiny generator
+/// suffices.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* — the workspace's deterministic RNG.
+///
+/// One seed = one reproducible stream; every generator, noisy user,
+/// and study subject carries its own instance so runs are replayable.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the full 256-bit state from a 64-bit seed via SplitMix64
+    /// (the seeding procedure recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        Rng {
+            s: [
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+            ],
+        }
+    }
+
+    /// Next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from an integer or float range, e.g.
+    /// `rng.gen_range(0..10)`, `rng.gen_range(1..=4i64)`,
+    /// `rng.gen_range(0.0..0.5)`. Empty ranges panic, matching the
+    /// convention of the `rand` API this replaces.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` below `bound` (> 0) without modulo bias, via
+    /// Lemire's multiply-shift with rejection.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the mapping exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.bounded_u64(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let v = self.start + rng.gen_f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; fold back in.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference output for seed 1234567 from the public-domain C
+        // implementation (prng.di.unimi.it/splitmix64.c).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_plausible() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_respects_probability() {
+        let mut r = Rng::seed_from_u64(13);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac {frac}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.1));
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = r.gen_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = r.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&v));
+        }
+        // Single-value inclusive range.
+        assert_eq!(r.gen_range(9..=9u32), 9);
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(19);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((4_300..=5_700).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(23);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-4.0..18.0);
+            assert!((-4.0..18.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng::seed_from_u64(1);
+        let _ = r.gen_range(5..5usize);
+    }
+}

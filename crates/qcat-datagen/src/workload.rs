@@ -11,8 +11,7 @@
 use crate::distributions::{clamped_normal, snap, Zipf};
 use crate::geography::Geography;
 use crate::homes::PROPERTY_TYPES;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Per-attribute inclusion probabilities and shape knobs.
 #[derive(Debug, Clone)]
@@ -78,7 +77,7 @@ impl WorkloadGenConfig {
 
 /// Generate SQL query strings against `listproperty`.
 pub fn generate_workload(config: &WorkloadGenConfig, geography: &Geography) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let region_zipf = Zipf::new(geography.regions().len(), 0.8);
     let hood_zipfs: Vec<Zipf> = geography
         .regions()
@@ -95,7 +94,7 @@ fn one_query(
     geography: &Geography,
     region_zipf: &Zipf,
     hood_zipfs: &[Zipf],
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> String {
     let region_idx = region_zipf.sample(rng);
     let region = geography.region(region_idx);
@@ -121,8 +120,8 @@ fn one_query(
         conds.push(format!("neighborhood IN ({list})"));
     }
     if rng.gen_bool(config.p_bedrooms) {
-        let lo = rng.gen_range(1..=4);
-        let hi = (lo + rng.gen_range(0..=2)).min(9);
+        let lo = rng.gen_range(1..=4i64);
+        let hi = (lo + rng.gen_range(0..=2i64)).min(9);
         if lo == hi {
             conds.push(format!("bedroomcount = {lo}"));
         } else {
@@ -170,7 +169,7 @@ fn one_query(
         conds.push(format!("property_type IN ({list})"));
     }
     if rng.gen_bool(config.p_baths) {
-        let lo = rng.gen_range(1..=3);
+        let lo = rng.gen_range(1..=3i64);
         conds.push(format!("bathcount >= {lo}"));
     }
     if rng.gen_bool(config.p_year) {

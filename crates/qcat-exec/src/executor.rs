@@ -91,8 +91,10 @@ fn sort_rows(relation: &Relation, rows: &mut [u32], keys: &[(qcat_data::AttrId, 
                     .value_unchecked(codes[a as usize])
                     .cmp(dict.value_unchecked(codes[b as usize])),
                 None => {
-                    let va = column.numeric_at(a as usize).expect("numeric column");
-                    let vb = column.numeric_at(b as usize).expect("numeric column");
+                    // total_cmp gives missing values (NaN) a stable
+                    // position instead of panicking mid-sort.
+                    let va = column.numeric_at(a as usize).unwrap_or(f64::NAN);
+                    let vb = column.numeric_at(b as usize).unwrap_or(f64::NAN);
                     va.total_cmp(&vb)
                 }
             };

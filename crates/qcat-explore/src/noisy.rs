@@ -22,8 +22,7 @@ use crate::relevance::RelevanceJudge;
 use crate::trace::ExplorationStats;
 use qcat_core::{CategoryTree, NodeId};
 use qcat_sql::NormalizedQuery;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qcat_datagen::rng::Rng;
 
 /// A simulated human subject.
 #[derive(Debug, Clone)]
@@ -76,7 +75,7 @@ struct Session<'a> {
     need: &'a NormalizedQuery,
     judge: &'a RelevanceJudge,
     user: &'a NoisyUser,
-    rng: StdRng,
+    rng: Rng,
     stats: ExplorationStats,
 }
 
@@ -214,7 +213,7 @@ pub fn noisy_explore_all(
         need,
         judge,
         user,
-        rng: StdRng::seed_from_u64(user.seed),
+        rng: Rng::seed_from_u64(user.seed),
         stats: ExplorationStats::default(),
     };
     session.explore_all(NodeId::ROOT);
@@ -233,7 +232,7 @@ pub fn noisy_explore_one(
         need,
         judge,
         user,
-        rng: StdRng::seed_from_u64(user.seed),
+        rng: Rng::seed_from_u64(user.seed),
         stats: ExplorationStats::default(),
     };
     session.explore_one(NodeId::ROOT);

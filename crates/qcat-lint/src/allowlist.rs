@@ -1,0 +1,182 @@
+//! The L1 grandfather allowlist and its ratchet.
+//!
+//! `lint-allowlist.txt` at the repo root records, per file, how many
+//! L1 (panic-site) violations are grandfathered from the seed. The
+//! counts are exact: more violations than allowed fails the lint, and
+//! *fewer* fails too (rule `ALLOW`) — when a panic site is fixed the
+//! allowlist entry must shrink with it, so the budget can never be
+//! silently reused. Only L1 may be allowlisted.
+
+use crate::diag::{Diagnostic, Rule};
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: file → grandfathered L1 count.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    entries: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format: one `L1 <path> <count>` per line,
+    /// `#` comments and blank lines ignored. Unknown rules or
+    /// malformed lines produce `ALLOW` diagnostics rather than being
+    /// dropped silently.
+    pub fn parse(text: &str, origin: &str) -> (Allowlist, Vec<Diagnostic>) {
+        let mut list = Allowlist::default();
+        let mut diags = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let parsed = match fields.as_slice() {
+                ["L1", path, count] => count.parse::<usize>().ok().map(|c| (*path, c)),
+                [rule, ..] if *rule != "L1" => {
+                    diags.push(Diagnostic::at(
+                        origin,
+                        idx + 1,
+                        Rule::AllowlistStale,
+                        format!("only L1 may be allowlisted, found `{rule}`"),
+                    ));
+                    continue;
+                }
+                _ => None,
+            };
+            match parsed {
+                Some((path, count)) if count > 0 => {
+                    list.entries.insert(path.to_string(), count);
+                }
+                Some((path, _)) => {
+                    diags.push(Diagnostic::at(
+                        origin,
+                        idx + 1,
+                        Rule::AllowlistStale,
+                        format!("zero-count entry for {path}; delete the line"),
+                    ));
+                }
+                None => {
+                    diags.push(Diagnostic::at(
+                        origin,
+                        idx + 1,
+                        Rule::AllowlistStale,
+                        format!("malformed allowlist line: `{line}`"),
+                    ));
+                }
+            }
+        }
+        (list, diags)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no file is grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Apply the ratchet: suppress exactly-allowed L1 findings, pass
+    /// everything else through, and emit `ALLOW` diagnostics for
+    /// over- and under-consumed entries.
+    pub fn apply(&self, origin: &str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &diags {
+            if d.rule == Rule::L1Panic {
+                *counts.entry(d.file.as_str()).or_default() += 1;
+            }
+        }
+        let mut out = Vec::new();
+        for d in diags.iter() {
+            if d.rule == Rule::L1Panic {
+                let allowed = self.entries.get(&d.file).copied().unwrap_or(0);
+                let actual = counts[d.file.as_str()];
+                if actual <= allowed {
+                    continue; // grandfathered (stale check below)
+                }
+            }
+            out.push(d.clone());
+        }
+        for (file, &allowed) in &self.entries {
+            let actual = counts.get(file.as_str()).copied().unwrap_or(0);
+            if actual < allowed {
+                out.push(Diagnostic::file_level(
+                    origin,
+                    Rule::AllowlistStale,
+                    format!(
+                        "stale allowlist: {file} allows {allowed} L1 sites but only {actual} remain; \
+                         shrink the entry (the allowlist may only ratchet down)"
+                    ),
+                ));
+            } else if actual > allowed {
+                out.push(Diagnostic::file_level(
+                    origin,
+                    Rule::AllowlistStale,
+                    format!(
+                        "{file} has {actual} L1 sites but only {allowed} are grandfathered; \
+                         fix the new sites (the allowlist may not grow)"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1(file: &str, line: usize) -> Diagnostic {
+        Diagnostic::at(file, line, Rule::L1Panic, "call to unwrap()")
+    }
+
+    #[test]
+    fn parse_accepts_l1_and_rejects_others() {
+        let (list, diags) = Allowlist::parse(
+            "# seed debt\nL1 crates/core/src/a.rs 3\n\nL2 crates/core/src/b.rs 1\nL1 x 0\ngarbage\n",
+            "lint-allowlist.txt",
+        );
+        assert_eq!(list.len(), 1);
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.rule == Rule::AllowlistStale));
+    }
+
+    #[test]
+    fn exact_count_suppresses() {
+        let (list, _) = Allowlist::parse("L1 f.rs 2\n", "allow");
+        let out = list.apply("allow", vec![l1("f.rs", 1), l1("f.rs", 9)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn over_budget_reports_everything() {
+        let (list, _) = Allowlist::parse("L1 f.rs 1\n", "allow");
+        let out = list.apply("allow", vec![l1("f.rs", 1), l1("f.rs", 9)]);
+        // Both L1 sites resurface plus the ALLOW explanation.
+        assert_eq!(out.iter().filter(|d| d.rule == Rule::L1Panic).count(), 2);
+        assert_eq!(
+            out.iter().filter(|d| d.rule == Rule::AllowlistStale).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn under_budget_is_stale() {
+        let (list, _) = Allowlist::parse("L1 f.rs 3\n", "allow");
+        let out = list.apply("allow", vec![l1("f.rs", 1)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::AllowlistStale);
+        assert!(out[0].message.contains("shrink"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn unlisted_files_pass_through() {
+        let (list, _) = Allowlist::parse("L1 f.rs 1\n", "allow");
+        let out = list.apply("allow", vec![l1("f.rs", 1), l1("g.rs", 2)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file, "g.rs");
+    }
+}

@@ -1,0 +1,142 @@
+//! Diagnostics shared by both lint engines.
+
+use std::fmt;
+
+/// A lint or audit rule. Source rules carry file:line positions;
+/// audit rules refer to tree nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// L1: `unwrap()`/`expect()`/`panic!` in non-test library code.
+    L1Panic,
+    /// L2: NaN-unsafe float comparison (`partial_cmp().unwrap()`, or
+    /// `==`/`!=` against a float) in cost/order/rank/partition code.
+    L2FloatCmp,
+    /// L3: forbidden inter-crate dependency (layering violation).
+    L3Layering,
+    /// L4: public item in `qcat-core` without a doc comment.
+    L4MissingDocs,
+    /// A1: `P(C)` or `Pw(C)` outside `[0, 1]` (or NaN).
+    A1Probability,
+    /// A2: leaf node with `Pw != 1`.
+    A2LeafPw,
+    /// A3: sibling tuple-sets overlap.
+    A3TsetDisjoint,
+    /// A4: children do not cover the parent tuple-set.
+    A4TsetCover,
+    /// A5: a tuple violates the root→C label conjunction.
+    A5LabelPath,
+    /// A6: negative or non-finite CostAll/CostOne.
+    A6CostSign,
+    /// A7: CostAll report disagrees with brute-force Eq. 1 (> 1e-9).
+    A7CostEq1,
+    /// ALLOW: the L1 allowlist itself is invalid or stale.
+    AllowlistStale,
+}
+
+impl Rule {
+    /// The stable identifier printed in diagnostics and matched by
+    /// tests, e.g. `L1`, `A3`, `ALLOW`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1Panic => "L1",
+            Rule::L2FloatCmp => "L2",
+            Rule::L3Layering => "L3",
+            Rule::L4MissingDocs => "L4",
+            Rule::A1Probability => "A1",
+            Rule::A2LeafPw => "A2",
+            Rule::A3TsetDisjoint => "A3",
+            Rule::A4TsetCover => "A4",
+            Rule::A5LabelPath => "A5",
+            Rule::A6CostSign => "A6",
+            Rule::A7CostEq1 => "A7",
+            Rule::AllowlistStale => "ALLOW",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One violation, printable as `file:line: [RULE] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path of the offending file (or a pseudo-path
+    /// like `<tree>` for audit findings).
+    pub file: String,
+    /// 1-based line, 0 when the finding has no line (manifest- or
+    /// tree-level rules).
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Diagnostic at a source position.
+    pub fn at(file: impl Into<String>, line: usize, rule: Rule, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Diagnostic with no meaningful line number.
+    pub fn file_level(file: impl Into<String>, rule: Rule, message: impl Into<String>) -> Self {
+        Self::at(file, 0, rule, message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::at("crates/core/src/cost.rs", 12, Rule::L1Panic, "call to unwrap()");
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/cost.rs:12: [L1] call to unwrap()"
+        );
+        let f = Diagnostic::file_level("crates/qcat-sql/Cargo.toml", Rule::L3Layering, "depends on qcat-core");
+        assert_eq!(
+            f.to_string(),
+            "crates/qcat-sql/Cargo.toml: [L3] depends on qcat-core"
+        );
+    }
+
+    #[test]
+    fn rule_ids_are_stable() {
+        for (rule, id) in [
+            (Rule::L1Panic, "L1"),
+            (Rule::L2FloatCmp, "L2"),
+            (Rule::L3Layering, "L3"),
+            (Rule::L4MissingDocs, "L4"),
+            (Rule::A1Probability, "A1"),
+            (Rule::A2LeafPw, "A2"),
+            (Rule::A3TsetDisjoint, "A3"),
+            (Rule::A4TsetCover, "A4"),
+            (Rule::A5LabelPath, "A5"),
+            (Rule::A6CostSign, "A6"),
+            (Rule::A7CostEq1, "A7"),
+            (Rule::AllowlistStale, "ALLOW"),
+        ] {
+            assert_eq!(rule.id(), id);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! First-party static analysis for the qcat workspace.
+//!
+//! Two engines (see `docs/LINTS.md` for the full catalog):
+//!
+//! - **Engine 1 — source lint** ([`scan`], [`manifest`],
+//!   [`allowlist`], [`workspace`]): rules L1 (no panic sites in
+//!   library code), L2 (no NaN-unsafe float comparisons in
+//!   cost/order/rank/partition code), L3 (layering, from Cargo.toml),
+//!   L4 (public items in `qcat-core` need docs). L1 carries a
+//!   shrink-only allowlist for sites grandfathered from the seed.
+//! - **Engine 2 — invariant auditor** ([`audit`]): given any built
+//!   [`qcat_core::CategoryTree`], verifies the paper's Section 4
+//!   invariants (A1–A5) and that [`qcat_core::cost::cost_all`] agrees
+//!   with an independent brute-force evaluation of Eq. 1 (A6–A7).
+//!
+//! The binary (`cargo run -p qcat-lint -- --workspace`, or the
+//! `cargo lint` alias) runs both engines and exits nonzero on any
+//! violation; the integration test under `tests/` does the same so
+//! plain `cargo test` gates regressions.
+
+pub mod allowlist;
+pub mod audit;
+pub mod diag;
+pub mod manifest;
+pub mod scan;
+pub mod workspace;
+
+pub use allowlist::Allowlist;
+pub use diag::{Diagnostic, Rule};
+pub use scan::{lint_source, CleanSource, ScanOptions};
+pub use workspace::lint_workspace;

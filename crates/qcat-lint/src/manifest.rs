@@ -1,0 +1,159 @@
+//! Engine 1, rule L3: layering checks read from `Cargo.toml` files.
+//!
+//! The dependency direction the workspace commits to (see
+//! `docs/LINTS.md`):
+//!
+//! ```text
+//! qcat-data, qcat-sql        (foundations: no view of the model)
+//!    ↑
+//! qcat-core                  (the paper's algorithms)
+//!    ↑
+//! qcat-exec, qcat-datagen, qcat-explore, qcat-study   (drivers)
+//! ```
+//!
+//! A tiny TOML subset reader suffices: dependency names are the keys
+//! of `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`
+//! tables in the non-inline form the workspace uses.
+
+use crate::diag::{Diagnostic, Rule};
+
+/// Dependency names declared by one manifest, split by section.
+#[derive(Debug, Default, Clone)]
+pub struct ManifestDeps {
+    /// `[dependencies]` keys.
+    pub normal: Vec<String>,
+    /// `[dev-dependencies]` keys.
+    pub dev: Vec<String>,
+}
+
+/// Parse the dependency tables out of Cargo.toml text.
+pub fn parse_manifest_deps(toml: &str) -> ManifestDeps {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Normal,
+        Dev,
+        Other,
+    }
+    let mut deps = ManifestDeps::default();
+    let mut section = Section::Other;
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line.trim_matches(['[', ']']) {
+                "dependencies" => Section::Normal,
+                "dev-dependencies" => Section::Dev,
+                s if s.starts_with("target.") && s.ends_with(".dependencies") => Section::Normal,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        if section == Section::Other {
+            continue;
+        }
+        // `name = ...` or `name.workspace = true`; the dependency name
+        // is the first dotted segment of the key.
+        let Some(key) = line.split('=').next() else {
+            continue;
+        };
+        let name = key.trim().split('.').next().unwrap_or("").trim_matches('"');
+        if !name.is_empty() {
+            let target = match section {
+                Section::Normal => &mut deps.normal,
+                Section::Dev => &mut deps.dev,
+                Section::Other => unreachable!(),
+            };
+            target.push(name.to_string());
+        }
+    }
+    deps
+}
+
+/// The layering contract: crate → dependencies it must not declare
+/// (in `[dependencies]`; dev-dependencies are exempt so foundations
+/// can be *tested* against upper layers if ever needed).
+pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
+    match crate_name {
+        // Foundations must not see the model or the studies.
+        "qcat-data" | "qcat-sql" => &["qcat-core", "qcat-study", "qcat-exec", "qcat-explore"],
+        // The model must not depend on data generation or studies.
+        "qcat-core" => &["qcat-datagen", "qcat-study", "qcat-explore"],
+        _ => &[],
+    }
+}
+
+/// Check one crate's manifest against the layering contract.
+pub fn check_layering(
+    crate_name: &str,
+    manifest_path: &str,
+    toml: &str,
+) -> Vec<Diagnostic> {
+    let deps = parse_manifest_deps(toml);
+    let mut diags = Vec::new();
+    for banned in forbidden_deps(crate_name) {
+        if deps.normal.iter().any(|d| d == banned) {
+            diags.push(Diagnostic::file_level(
+                manifest_path,
+                Rule::L3Layering,
+                format!("`{crate_name}` must not depend on `{banned}` (layering)"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "qcat-sql"
+version.workspace = true
+
+# a comment
+[dependencies]
+qcat-data.workspace = true
+something = { version = "1", features = ["x"] }
+
+[dev-dependencies]
+qcat-core.workspace = true
+
+[features]
+slow-tests = []
+"#;
+
+    #[test]
+    fn parses_sections() {
+        let deps = parse_manifest_deps(SAMPLE);
+        assert_eq!(deps.normal, vec!["qcat-data", "something"]);
+        assert_eq!(deps.dev, vec!["qcat-core"]);
+    }
+
+    #[test]
+    fn dev_deps_are_exempt() {
+        // qcat-core appears only under dev-dependencies: allowed.
+        assert_eq!(check_layering("qcat-sql", "x/Cargo.toml", SAMPLE), vec![]);
+    }
+
+    #[test]
+    fn forbidden_dep_is_flagged() {
+        let bad = "[dependencies]\nqcat-core = { path = \"../core\" }\n";
+        let diags = check_layering("qcat-data", "crates/qcat-data/Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::L3Layering);
+        assert!(diags[0].message.contains("qcat-core"), "{}", diags[0].message);
+        // And the clean direction passes.
+        assert_eq!(check_layering("qcat-exec", "x", bad), vec![]);
+    }
+
+    #[test]
+    fn core_cannot_use_datagen() {
+        let bad = "[dependencies]\nqcat-datagen.workspace = true\nqcat-data.workspace = true\n";
+        let diags = check_layering("qcat-core", "crates/core/Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("qcat-datagen"));
+    }
+}

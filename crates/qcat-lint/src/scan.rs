@@ -1,0 +1,859 @@
+//! Engine 1: a lightweight Rust token scanner for rules L1, L2, L4.
+//!
+//! This is deliberately not a parser. The preprocessing pass blanks
+//! out comments, string/char literals, and raw strings while
+//! preserving line structure; a second pass masks `#[cfg(test)]` /
+//! `#[test]` regions by brace matching. The rule passes then work on
+//! clean text where substring searches cannot be fooled by `"panic!"`
+//! inside a string or an `unwrap()` in a comment.
+
+use crate::diag::{Diagnostic, Rule};
+
+/// Which rule families to run on a file. The workspace driver sets
+/// these per crate/file; tests set them directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// L1: flag `unwrap()`/`expect()`/`panic!` outside test code.
+    pub check_panics: bool,
+    /// L2: flag `partial_cmp().unwrap()` anywhere in the file and
+    /// float `==`/`!=` (this half only fires when
+    /// [`ScanOptions::float_eq_sensitive`] is also set).
+    pub check_float_cmp: bool,
+    /// L2 (second half): the file is cost/order/rank/partition code,
+    /// where float `==`/`!=` is banned outright.
+    pub float_eq_sensitive: bool,
+    /// L4: flag undocumented `pub` items.
+    pub check_docs: bool,
+}
+
+/// Source text after comment/literal blanking, with per-line facts
+/// the rule passes need.
+#[derive(Debug)]
+pub struct CleanSource {
+    /// The code with comments and literal contents replaced by
+    /// spaces; same line count and column positions as the input.
+    pub lines: Vec<String>,
+    /// Line is (part of) a doc comment: `///`, `//!`, `/** */`.
+    pub doc_line: Vec<bool>,
+    /// Line lies inside a `#[cfg(test)]` item or `#[test]` function.
+    pub test_line: Vec<bool>,
+    /// Line is (part of) an outer attribute `#[...]`.
+    pub attr_line: Vec<bool>,
+}
+
+impl CleanSource {
+    /// Preprocess `source`.
+    pub fn parse(source: &str) -> CleanSource {
+        let (cleaned, doc_line) = blank_noncode(source);
+        let lines: Vec<String> = cleaned.split('\n').map(str::to_string).collect();
+        let doc_line = resize(doc_line, lines.len());
+        let attr_line = mark_attr_lines(&lines);
+        let test_line = mark_test_regions(&lines);
+        CleanSource {
+            lines,
+            doc_line,
+            test_line,
+            attr_line,
+        }
+    }
+}
+
+fn resize(mut v: Vec<bool>, n: usize) -> Vec<bool> {
+    v.resize(n, false);
+    v
+}
+
+/// Replace comments and the contents of string/char literals with
+/// spaces, preserving newlines and column positions. Returns the
+/// cleaned text and a per-line "is doc comment" flag.
+fn blank_noncode(source: &str) -> (String, Vec<bool>) {
+    let b = source.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut doc = vec![false; source.split('\n').count()];
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Push one input byte as blanked-or-kept output, tracking lines.
+    macro_rules! emit {
+        ($keep:expr) => {{
+            if b[i] == b'\n' {
+                out.push(b'\n');
+                line += 1;
+            } else if $keep {
+                out.push(b[i]);
+            } else {
+                // Multibyte UTF-8 continuation bytes collapse to one
+                // space via the leading byte; skip continuations.
+                if b[i] & 0xC0 != 0x80 {
+                    out.push(b' ');
+                }
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let rest = &b[i..];
+        if rest.starts_with(b"//") {
+            let is_doc = rest.starts_with(b"///") && !rest.starts_with(b"////")
+                || rest.starts_with(b"//!");
+            while i < b.len() && b[i] != b'\n' {
+                if is_doc {
+                    doc[line] = true;
+                }
+                emit!(false);
+            }
+        } else if rest.starts_with(b"/*") {
+            let is_doc = rest.starts_with(b"/**") && !rest.starts_with(b"/***")
+                || rest.starts_with(b"/*!");
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i..].starts_with(b"/*") {
+                    depth += 1;
+                    if is_doc {
+                        doc[line] = true;
+                    }
+                    emit!(false);
+                    emit!(false);
+                } else if b[i..].starts_with(b"*/") {
+                    depth -= 1;
+                    emit!(false);
+                    emit!(false);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if is_doc {
+                        doc[line] = true;
+                    }
+                    emit!(false);
+                }
+            }
+        } else if let Some(hashes) = raw_string_start(b, i) {
+            // r"..." / r#"..."# / br##"..."## — consume prefix, then
+            // content until `"` followed by `hashes` `#`s.
+            while i < b.len() && b[i] != b'"' {
+                emit!(false); // the r/b and # prefix
+            }
+            emit!(false); // opening quote
+            loop {
+                if i >= b.len() {
+                    break;
+                }
+                if b[i] == b'"' && b[i + 1..].len() >= hashes && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#') {
+                    emit!(false); // closing quote
+                    for _ in 0..hashes {
+                        emit!(false);
+                    }
+                    break;
+                }
+                emit!(false);
+            }
+        } else if b[i] == b'"' {
+            emit!(false); // opening quote
+            while i < b.len() && b[i] != b'"' {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    emit!(false);
+                }
+                if i < b.len() {
+                    emit!(false);
+                }
+            }
+            if i < b.len() {
+                emit!(false); // closing quote
+            }
+        } else if b[i] == b'\'' {
+            // Char literal vs lifetime: 'x' or '\..' is a literal;
+            // 'ident (no closing quote right after) is a lifetime.
+            let is_char = match rest.get(1) {
+                Some(b'\\') => true,
+                Some(_) => rest.get(2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                emit!(false); // opening quote
+                if i < b.len() && b[i] == b'\\' {
+                    emit!(false);
+                }
+                if i < b.len() {
+                    emit!(false); // the char
+                }
+                if i < b.len() && b[i] == b'\'' {
+                    emit!(false); // closing quote
+                }
+            } else {
+                emit!(true); // lifetime tick
+            }
+        } else {
+            emit!(true);
+        }
+    }
+    // emit! replaces multibyte chars with a single space, so the
+    // output is pure ASCII; from_utf8 cannot fail.
+    let cleaned = String::from_utf8(out).unwrap_or_default();
+    (cleaned, doc)
+}
+
+/// If a raw (byte) string literal starts at `i`, return its `#` count.
+fn raw_string_start(b: &[u8], i: usize) -> Option<usize> {
+    let ident_before = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+    if ident_before {
+        return None;
+    }
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Mark lines belonging to outer attributes `#[...]`, including
+/// multi-line attributes, by bracket counting.
+fn mark_attr_lines(lines: &[String]) -> Vec<bool> {
+    let mut attr = vec![false; lines.len()];
+    let mut depth = 0i32;
+    for (idx, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if depth > 0 {
+            attr[idx] = true;
+            depth += bracket_delta(line);
+            continue;
+        }
+        if t.starts_with("#[") || t.starts_with("#![") {
+            attr[idx] = true;
+            depth = bracket_delta(line);
+        }
+    }
+    attr
+}
+
+fn bracket_delta(line: &str) -> i32 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '[' => d += 1,
+            ']' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items and `#[test]`
+/// functions by brace matching from the attribute.
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; lines.len()];
+    let mut idx = 0;
+    while idx < lines.len() {
+        let t = lines[idx].trim_start();
+        let is_test_attr = t.starts_with("#[cfg(test)]")
+            || t.starts_with("#[cfg(all(test")
+            || t.starts_with("#[cfg(any(test")
+            || t.starts_with("#[test]");
+        if !is_test_attr {
+            idx += 1;
+            continue;
+        }
+        // Mark from the attribute through the end of the item it
+        // gates: the first `{` onward until braces balance, or a `;`
+        // before any `{` (e.g. `mod tests;`).
+        let start = idx;
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = lines.len() - 1;
+        'item: for (j, line) in lines.iter().enumerate().skip(start) {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'item;
+                        }
+                    }
+                    ';' if !opened => {
+                        end = j;
+                        break 'item;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for flag in test.iter_mut().take(end + 1).skip(start) {
+            *flag = true;
+        }
+        idx = end + 1;
+    }
+    test
+}
+
+/// Run the enabled rule passes over one file.
+pub fn lint_source(path: &str, source: &str, opts: ScanOptions) -> Vec<Diagnostic> {
+    let clean = CleanSource::parse(source);
+    let mut diags = Vec::new();
+    if opts.check_panics {
+        lint_panics(path, &clean, &mut diags);
+    }
+    if opts.check_float_cmp {
+        lint_partial_cmp_unwrap(path, &clean, &mut diags);
+        if opts.float_eq_sensitive {
+            lint_float_eq(path, &clean, &mut diags);
+        }
+    }
+    if opts.check_docs {
+        lint_missing_docs(path, &clean, &mut diags);
+    }
+    diags.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
+    diags
+}
+
+/// L1: panic-capable calls in non-test code.
+fn lint_panics(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if clean.test_line[idx] {
+            continue;
+        }
+        for (needle, what) in [
+            (".unwrap()", "call to unwrap()"),
+            (".expect(", "call to expect()"),
+            ("panic!", "panic! invocation"),
+        ] {
+            for pos in find_all(line, needle) {
+                // `panic!` must not be the tail of a longer macro name.
+                if needle == "panic!" && pos > 0 {
+                    let prev = line.as_bytes()[pos - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' {
+                        continue;
+                    }
+                }
+                diags.push(Diagnostic::at(path, idx + 1, Rule::L1Panic, what));
+            }
+        }
+    }
+}
+
+/// L2 (first half): `.partial_cmp(..).unwrap()` — NaN panics at a
+/// distance. Matched across line breaks.
+fn lint_partial_cmp_unwrap(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    // Concatenate with newlines so offsets map back to lines.
+    let text = clean.lines.join("\n");
+    let line_of = |byte: usize| text[..byte].bytes().filter(|&c| c == b'\n').count();
+    for pos in find_all(&text, ".partial_cmp") {
+        if clean.test_line[line_of(pos)] {
+            continue;
+        }
+        let b = text.as_bytes();
+        let mut j = pos + ".partial_cmp".len();
+        // Skip the argument list.
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if b.get(j) != Some(&b'(') {
+            continue;
+        }
+        let mut depth = 0i32;
+        while j < b.len() {
+            match b[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if text[j..].starts_with(".unwrap()") || text[j..].starts_with(".expect(") {
+            diags.push(Diagnostic::at(
+                path,
+                line_of(pos) + 1,
+                Rule::L2FloatCmp,
+                "partial_cmp().unwrap() panics on NaN; use f64::total_cmp",
+            ));
+        }
+    }
+}
+
+/// L2 (second half): `==` / `!=` where either operand is visibly a
+/// float — a float literal, an `f64::` constant, an `f32`/`f64`-
+/// suffixed number, or an identifier annotated `: f64`/`: f32`
+/// somewhere in the same file (parameters, lets, fields).
+fn lint_float_eq(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    let float_ids = float_annotated_idents(clean);
+    let floaty = |tok: &str| {
+        is_float_token(tok) || {
+            let last = tok.rsplit(|c| c == '.' || c == ':').next().unwrap_or(tok);
+            float_ids.contains(last)
+        }
+    };
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if clean.test_line[idx] {
+            continue;
+        }
+        let b = line.as_bytes();
+        for op in ["==", "!="] {
+            for pos in find_all(line, op) {
+                // Exclude `<=`, `>=`, `=>`, `===`-ish neighbors.
+                if pos > 0 && matches!(b[pos - 1], b'=' | b'!' | b'<' | b'>') {
+                    continue;
+                }
+                if b.get(pos + 2) == Some(&b'=') {
+                    continue;
+                }
+                let before = trailing_token(&line[..pos]);
+                let after = leading_token(&line[pos + 2..]);
+                if floaty(before) || floaty(after) {
+                    diags.push(Diagnostic::at(
+                        path,
+                        idx + 1,
+                        Rule::L2FloatCmp,
+                        format!(
+                            "float `{op}` comparison ({}) in cost/order/rank/partition code; \
+                             use qcat_core::float::{{same, approx_eq}}",
+                            if floaty(before) { before } else { after }
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers annotated `: f64` / `: f32` anywhere in the file —
+/// function parameters, `let` bindings, struct fields. Purely
+/// lexical, so a float that arrives via iteration or destructuring is
+/// invisible; the rule errs toward missing those rather than
+/// flagging integer comparisons.
+fn float_annotated_idents(clean: &CleanSource) -> std::collections::HashSet<String> {
+    let mut ids = std::collections::HashSet::new();
+    for line in &clean.lines {
+        for marker in [": f64", ": f32"] {
+            for pos in find_all(line, marker) {
+                let next = line.as_bytes().get(pos + marker.len());
+                if matches!(next, Some(c) if c.is_ascii_alphanumeric() || *c == b'_') {
+                    continue; // e.g. `: f64x4`
+                }
+                let ident = trailing_token(&line[..pos]);
+                if !ident.is_empty()
+                    && ident
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !ident.starts_with(|c: char| c.is_ascii_digit())
+                {
+                    ids.insert(ident.to_string());
+                }
+            }
+        }
+    }
+    ids
+}
+
+/// The maximal operand-ish token ending `s` (after trailing spaces).
+fn trailing_token(s: &str) -> &str {
+    let s = s.trim_end();
+    let start = s
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':')))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &s[start..]
+}
+
+/// The maximal operand-ish token starting `s` (after leading spaces),
+/// allowing a unary minus.
+fn leading_token(s: &str) -> &str {
+    let s = s.trim_start();
+    let body = s.strip_prefix('-').unwrap_or(s);
+    let end = body
+        .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':')))
+        .unwrap_or(body.len());
+    let taken = s.len() - body.len() + end;
+    &s[..taken]
+}
+
+/// True when `tok` is visibly a float expression: a float literal
+/// (`0.0`, `1.`, `1e9`, `2f64`), an `f64::`/`f32::` path, or a
+/// `.fract()`-style tail ending in a float literal.
+fn is_float_token(tok: &str) -> bool {
+    let tok = tok.strip_prefix('-').unwrap_or(tok);
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    // The literal may be the last path/field segment: `x.y` splits as
+    // idents, but `bounds[idx]` was already cut at `]`. Examine the
+    // final segment after any `::`.
+    let last = tok.rsplit("::").next().unwrap_or(tok);
+    float_literal(last)
+}
+
+/// Does `s` parse as a Rust float literal?
+fn float_literal(s: &str) -> bool {
+    let (s, suffixed) = match s.strip_suffix("f64").or_else(|| s.strip_suffix("f32")) {
+        Some(body) => (body, true),
+        None => (s, false),
+    };
+    let b = s.as_bytes();
+    if b.is_empty() || !b[0].is_ascii_digit() {
+        return false;
+    }
+    let mut i = 0;
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    if i == b.len() {
+        // Pure digits: only floaty with an explicit f32/f64 suffix.
+        return suffixed;
+    }
+    let mut has_point_or_exp = false;
+    if b[i] == b'.' {
+        has_point_or_exp = true;
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        has_point_or_exp = true;
+        i += 1;
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+            i += 1;
+        }
+        if i == b.len() || !b[i].is_ascii_digit() {
+            return false;
+        }
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    has_point_or_exp && i == b.len()
+}
+
+/// L4: `pub` items need a doc comment (or `#[doc = ..]`) above them.
+fn lint_missing_docs(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    const ITEM_KEYWORDS: &[&str] = &[
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "unsafe",
+        "async", "extern",
+    ];
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if clean.test_line[idx] || clean.attr_line[idx] {
+            continue;
+        }
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("pub ") else {
+            continue;
+        };
+        let second = rest.split_whitespace().next().unwrap_or("");
+        if !ITEM_KEYWORDS.contains(&second) {
+            continue; // pub use, pub(crate), pub fields, …
+        }
+        if second == "mod" && t.trim_end().ends_with(';') {
+            continue; // out-of-line module: docs are `//!` in its file
+        }
+        // Walk up over the item's attributes to the would-be docs.
+        let mut above = idx;
+        while above > 0 && clean.attr_line[above - 1] {
+            above -= 1;
+        }
+        let documented = above > 0
+            && (clean.doc_line[above - 1]
+                || clean.lines[above - 1].trim_start().starts_with("#[doc"));
+        // An attribute line may itself be `#[doc = "…"]`.
+        let attr_doc = (above..idx)
+            .any(|a| clean.lines[a].trim_start().starts_with("#[doc"));
+        if !documented && !attr_doc {
+            let name = rest
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .filter(|w| !w.is_empty())
+                .find(|w| !ITEM_KEYWORDS.contains(w))
+                .unwrap_or("<unnamed>");
+            diags.push(Diagnostic::at(
+                path,
+                idx + 1,
+                Rule::L4MissingDocs,
+                format!("public item `{name}` lacks a doc comment"),
+            ));
+        }
+    }
+}
+
+/// All byte offsets where `needle` occurs in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        out.push(from + p);
+        from += p + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str, opts: ScanOptions) -> Vec<(usize, &'static str)> {
+        lint_source("t.rs", src, opts)
+            .into_iter()
+            .map(|d| (d.line, d.rule.id()))
+            .collect()
+    }
+
+    const ALL: ScanOptions = ScanOptions {
+        check_panics: true,
+        check_float_cmp: true,
+        float_eq_sensitive: true,
+        check_docs: false,
+    };
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic() {
+        let src = "fn f() {\n    let x = y.unwrap();\n    z.expect(\"msg\");\n    panic!(\"boom\");\n}\n";
+        assert_eq!(rules(src, ALL), vec![(2, "L1"), (3, "L1"), (4, "L1")]);
+    }
+
+    #[test]
+    fn l1_ignores_strings_comments_and_tests() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // this .unwrap() is a comment\n",
+            "    let s = \"panic! .unwrap()\";\n",
+            "    let c = '\"'; let u = s.trim(); // ' tricky\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { x.unwrap(); panic!(); }\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, ALL), vec![]);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_variants_and_doc_examples() {
+        let src = concat!(
+            "/// call .unwrap() like this: `x.unwrap()`\n",
+            "fn f() {\n",
+            "    let a = lock.read().unwrap_or_else(|e| e.into_inner());\n",
+            "    let b = x.unwrap_or(0); let c = y.unwrap_or_default();\n",
+            "    let d = debug_panic_flag; // not a panic! call\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, ALL), vec![]);
+    }
+
+    #[test]
+    fn l1_raw_strings_do_not_confuse() {
+        let src = "fn f() {\n    let s = r#\"contains \"quotes\" and .unwrap()\"#;\n    real.unwrap();\n}\n";
+        assert_eq!(rules(src, ALL), vec![(3, "L1")]);
+    }
+
+    #[test]
+    fn l2_partial_cmp_unwrap_even_across_lines() {
+        let src = "fn f() {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    let o = x.partial_cmp(&y)\n        .unwrap();\n}\n";
+        let r = rules(
+            src,
+            ScanOptions {
+                check_panics: false,
+                ..ALL
+            },
+        );
+        assert_eq!(r, vec![(2, "L2"), (3, "L2")]);
+    }
+
+    #[test]
+    fn l2_float_eq_flags_literals_and_constants() {
+        let src = concat!(
+            "fn f(x: f64) {\n",
+            "    if x == 0.0 { }\n",
+            "    if x != 1e-9 { }\n",
+            "    if x == f64::INFINITY { }\n",
+            "    if x.fract() == 0.0 { }\n",
+            "    if 2f64 == x { }\n",
+            "}\n",
+        );
+        let r = rules(
+            src,
+            ScanOptions {
+                check_panics: false,
+                ..ALL
+            },
+        );
+        assert_eq!(
+            r,
+            vec![(2, "L2"), (3, "L2"), (4, "L2"), (5, "L2"), (6, "L2")]
+        );
+    }
+
+    #[test]
+    fn l2_float_eq_ignores_ints_and_non_sensitive_files() {
+        let src = concat!(
+            "fn f(i: usize, s: &str) {\n",
+            "    if i == 0 { }\n",
+            "    if i + 1 == names.len() { }\n",
+            "    if s == \"0.0\" { }\n",
+            "    if i <= 9 || i >= 2 { }\n",
+            "}\n",
+        );
+        assert_eq!(
+            rules(
+                src,
+                ScanOptions {
+                    check_panics: false,
+                    ..ALL
+                }
+            ),
+            vec![]
+        );
+        // Same float code, but the file is not cost/order/rank/partition.
+        let floaty = "fn f(x: f64) { if x == 0.0 { } }\n";
+        let r = rules(
+            floaty,
+            ScanOptions {
+                check_panics: false,
+                check_float_cmp: true,
+                float_eq_sensitive: false,
+                check_docs: false,
+            },
+        );
+        assert_eq!(r, vec![]);
+    }
+
+    #[test]
+    fn l2_float_eq_tracks_f64_annotations() {
+        let src = concat!(
+            "fn f(vmin: f64, vmax: f64, n: usize) {\n",
+            "    let hi: f64 = pick();\n",
+            "    if hi == vmax { }\n",
+            "    if n == 3 { }\n",
+            "}\n",
+        );
+        let r = rules(
+            src,
+            ScanOptions {
+                check_panics: false,
+                ..ALL
+            },
+        );
+        assert_eq!(r, vec![(3, "L2")]);
+    }
+
+    #[test]
+    fn l2_total_cmp_is_clean() {
+        let src = "fn f() {\n    v.sort_by(|a, b| a.total_cmp(b));\n    let m = xs.iter().copied().fold(f64::MIN, f64::max);\n}\n";
+        assert_eq!(
+            rules(
+                src,
+                ScanOptions {
+                    check_panics: false,
+                    ..ALL
+                }
+            ),
+            vec![]
+        );
+    }
+
+    const DOCS: ScanOptions = ScanOptions {
+        check_panics: false,
+        check_float_cmp: false,
+        float_eq_sensitive: false,
+        check_docs: true,
+    };
+
+    #[test]
+    fn l4_flags_undocumented_pub_items() {
+        let src = concat!(
+            "/// Documented.\n",
+            "pub fn good() {}\n",
+            "pub fn bad() {}\n",
+            "/// Documented struct.\n",
+            "#[derive(Debug)]\n",
+            "pub struct Good;\n",
+            "#[derive(Debug)]\n",
+            "pub struct Bad;\n",
+            "pub use other::Thing;\n",
+            "pub(crate) fn internal() {}\n",
+        );
+        assert_eq!(rules(src, DOCS), vec![(3, "L4"), (8, "L4")]);
+    }
+
+    #[test]
+    fn l4_accepts_doc_attribute_and_inner_docs() {
+        let src = concat!(
+            "#[doc = \"machine docs\"]\n",
+            "pub fn attr_documented() {}\n",
+            "//! module docs\n",
+            "pub mod documented_by_inner {}\n",
+        );
+        assert_eq!(rules(src, DOCS), vec![]);
+    }
+
+    #[test]
+    fn l4_exempts_out_of_line_modules() {
+        // `pub mod x;` carries its docs as `//!` inside x.rs, which a
+        // single-file scan cannot see; inline undocumented modules
+        // are still flagged.
+        let src = "pub mod tree;\npub mod cost;\npub mod inline_bad { }\n";
+        assert_eq!(rules(src, DOCS), vec![(3, "L4")]);
+    }
+
+    #[test]
+    fn l4_skips_test_modules() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    pub fn helper() {}\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, DOCS), vec![]);
+    }
+
+    #[test]
+    fn test_region_ends_at_matching_brace() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { x.unwrap(); }\n",
+            "}\n",
+            "fn after() { y.unwrap(); }\n",
+        );
+        assert_eq!(rules(src, ALL), vec![(5, "L1")]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str {\n    x\n}\nfn g() { h.unwrap(); }\n";
+        assert_eq!(rules(src, ALL), vec![(4, "L1")]);
+    }
+
+    #[test]
+    fn float_literal_matcher() {
+        for good in ["0.0", "1.", "1.5e3", "1e9", "1E-9", "2f64", "3.25f32", "1_000.0"] {
+            assert!(float_literal(good), "{good}");
+        }
+        for bad in ["0", "10", "x", "len", "1_000", "v0", "e9", "1.2.3"] {
+            assert!(!float_literal(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Walking the real workspace: applies the source rules to the right
+//! crates/files, the layering rule to every manifest, and the L1
+//! allowlist ratchet.
+
+use crate::allowlist::Allowlist;
+use crate::diag::Diagnostic;
+use crate::manifest::check_layering;
+use crate::scan::{lint_source, ScanOptions};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources are scanned for L1/L2 (the library layers
+/// the cost model's correctness rests on). `(crate name, repo-relative
+/// source dir)`.
+pub const SCANNED_CRATES: &[(&str, &str)] = &[
+    ("qcat-core", "crates/core"),
+    ("qcat-data", "crates/qcat-data"),
+    ("qcat-sql", "crates/qcat-sql"),
+    ("qcat-exec", "crates/qcat-exec"),
+];
+
+/// Repo-relative path of the L1 allowlist.
+pub const ALLOWLIST_PATH: &str = "lint-allowlist.txt";
+
+/// Run Engine 1 (L1–L4 with the allowlist ratchet) over the
+/// workspace rooted at `root`. Returns the surviving diagnostics;
+/// an empty vector means the tree is clean.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    // A root with no crates/ would "pass" by scanning zero files;
+    // refuse it instead so a mistyped --root is an error, not a
+    // silent clean run.
+    if !root.join("crates").is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory", root.display()),
+        ));
+    }
+    let mut diags = Vec::new();
+    for &(crate_name, rel_dir) in SCANNED_CRATES {
+        let src = root.join(rel_dir).join("src");
+        for file in rust_files(&src)? {
+            let source = fs::read_to_string(&file)?;
+            let rel = relative(root, &file);
+            let opts = options_for(crate_name, &rel);
+            diags.extend(lint_source(&rel, &source, opts));
+        }
+    }
+    diags.extend(lint_manifests(root)?);
+    let allow_path = root.join(ALLOWLIST_PATH);
+    if allow_path.exists() {
+        let text = fs::read_to_string(&allow_path)?;
+        let (allow, mut parse_diags) = Allowlist::parse(&text, ALLOWLIST_PATH);
+        parse_diags.extend(allow.apply(ALLOWLIST_PATH, diags));
+        diags = parse_diags;
+    }
+    diags.sort_by(|a, b| (a.file.clone(), a.line).cmp(&(b.file.clone(), b.line)));
+    Ok(diags)
+}
+
+/// Rule selection for one file: L1 everywhere; the float-equality
+/// half of L2 only in cost/order/rank/partition code; L4 only in
+/// `qcat-core`.
+fn options_for(crate_name: &str, rel_path: &str) -> ScanOptions {
+    let sensitive = ["cost", "order", "rank", "partition"]
+        .iter()
+        .any(|k| {
+            rel_path
+                .rsplit('/')
+                .next()
+                .is_some_and(|f| f.contains(k))
+                || rel_path.contains("/partition/")
+        });
+    ScanOptions {
+        check_panics: true,
+        check_float_cmp: true,
+        float_eq_sensitive: sensitive,
+        check_docs: crate_name == "qcat-core",
+    }
+}
+
+/// L3 over every crate manifest in `crates/*`.
+fn lint_manifests(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Ok(diags);
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for dir in entries {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let toml = fs::read_to_string(&manifest)?;
+        let name = package_name(&toml).unwrap_or_default();
+        diags.extend(check_layering(&name, &relative(root, &manifest), &toml));
+    }
+    Ok(diags)
+}
+
+/// The `[package] name` of a manifest.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, with `/` separators, for display.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitive_file_selection() {
+        assert!(options_for("qcat-core", "crates/core/src/cost.rs").float_eq_sensitive);
+        assert!(options_for("qcat-core", "crates/core/src/order.rs").float_eq_sensitive);
+        assert!(options_for("qcat-core", "crates/core/src/rank.rs").float_eq_sensitive);
+        assert!(
+            options_for("qcat-core", "crates/core/src/partition/numeric.rs").float_eq_sensitive
+        );
+        assert!(!options_for("qcat-core", "crates/core/src/tree.rs").float_eq_sensitive);
+        assert!(!options_for("qcat-sql", "crates/qcat-sql/src/parser.rs").float_eq_sensitive);
+    }
+
+    #[test]
+    fn docs_only_in_core() {
+        assert!(options_for("qcat-core", "crates/core/src/tree.rs").check_docs);
+        assert!(!options_for("qcat-sql", "crates/qcat-sql/src/ast.rs").check_docs);
+    }
+
+    #[test]
+    fn missing_root_is_an_error_not_a_clean_run() {
+        let err = lint_workspace(Path::new("/nonexistent-qcat-root"))
+            .expect_err("a root with no crates/ must not lint clean");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn package_name_parses() {
+        assert_eq!(
+            package_name("[package]\nname = \"qcat-data\"\nversion = \"0.1\"\n").as_deref(),
+            Some("qcat-data")
+        );
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+}

@@ -379,7 +379,6 @@ fn type_mismatch(attr: &str, detail: &str) -> NormalizeError {
 mod tests {
     use super::*;
     use crate::parser::parse_select;
-    use proptest::prelude::*;
     use qcat_data::Field;
 
     fn schema() -> Schema {
@@ -562,33 +561,42 @@ mod tests {
         assert!(!NumericRange::closed(100.0, 200.0).overlaps(&label));
     }
 
-    proptest! {
-        /// Intersection is sound: a point is in the intersection iff it
-        /// is in both ranges.
-        #[test]
-        fn prop_range_intersection_pointwise(
-            a_lo in -100.0..100.0f64, a_len in 0.0..50.0f64,
-            b_lo in -100.0..100.0f64, b_len in 0.0..50.0f64,
-            probe in -150.0..150.0f64,
-            inc in any::<[bool; 4]>(),
-        ) {
-            let a = NumericRange { lo: a_lo, lo_inclusive: inc[0], hi: a_lo + a_len, hi_inclusive: inc[1] };
-            let b = NumericRange { lo: b_lo, lo_inclusive: inc[2], hi: b_lo + b_len, hi_inclusive: inc[3] };
-            let i = a.intersect(&b);
-            prop_assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
-        }
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        /// Overlap is symmetric and consistent with emptiness of the
-        /// intersection.
-        #[test]
-        fn prop_overlap_symmetric(
-            a_lo in -100.0..100.0f64, a_len in 0.0..50.0f64,
-            b_lo in -100.0..100.0f64, b_len in 0.0..50.0f64,
-        ) {
-            let a = NumericRange::closed(a_lo, a_lo + a_len);
-            let b = NumericRange::closed(b_lo, b_lo + b_len);
-            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-            prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+        proptest! {
+            /// Intersection is sound: a point is in the intersection iff it
+            /// is in both ranges.
+            #[test]
+            fn prop_range_intersection_pointwise(
+                a_lo in -100.0..100.0f64, a_len in 0.0..50.0f64,
+                b_lo in -100.0..100.0f64, b_len in 0.0..50.0f64,
+                probe in -150.0..150.0f64,
+                inc in any::<[bool; 4]>(),
+            ) {
+                let a = NumericRange { lo: a_lo, lo_inclusive: inc[0], hi: a_lo + a_len, hi_inclusive: inc[1] };
+                let b = NumericRange { lo: b_lo, lo_inclusive: inc[2], hi: b_lo + b_len, hi_inclusive: inc[3] };
+                let i = a.intersect(&b);
+                prop_assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
+            }
+
+            /// Overlap is symmetric and consistent with emptiness of the
+            /// intersection.
+            #[test]
+            fn prop_overlap_symmetric(
+                a_lo in -100.0..100.0f64, a_len in 0.0..50.0f64,
+                b_lo in -100.0..100.0f64, b_len in 0.0..50.0f64,
+            ) {
+                let a = NumericRange::closed(a_lo, a_lo + a_len);
+                let b = NumericRange::closed(b_lo, b_lo + b_len);
+                prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+                prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+            }
         }
     }
 }

@@ -152,13 +152,16 @@ impl Parser {
     }
 
     fn conjunction(&mut self) -> Result<Expr, ParseError> {
-        let mut parts = vec![self.condition()?];
+        let first = self.condition()?;
+        let mut rest = Vec::new();
         while self.eat_keyword(Keyword::And) {
-            parts.push(self.condition()?);
+            rest.push(self.condition()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one part")
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.append(&mut rest);
             Expr::And(parts)
         })
     }
@@ -238,7 +241,6 @@ impl Parser {
 mod tests {
     use super::*;
     use crate::token::CompareOp;
-    use proptest::prelude::*;
 
     #[test]
     fn parses_the_homes_query() {
@@ -352,106 +354,115 @@ mod tests {
         assert!(parse_select("SELECT * FROM where").is_err());
     }
 
-    // --- display/parse round-trip property ---------------------------------
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-    fn arb_literal() -> impl Strategy<Value = Literal> {
-        prop_oneof![
-            any::<i32>().prop_map(|i| Literal::Int(i as i64)),
-            (-1.0e6..1.0e6f64).prop_map(Literal::Float),
-            "[a-zA-Z '][a-zA-Z0-9 ']{0,10}".prop_map(Literal::Str),
-        ]
-    }
+        // --- display/parse round-trip property ---------------------------------
 
-    fn arb_attr() -> impl Strategy<Value = String> {
-        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-            crate::token::Keyword::from_ident(s).is_none()
-        })
-    }
+        fn arb_literal() -> impl Strategy<Value = Literal> {
+            prop_oneof![
+                any::<i32>().prop_map(|i| Literal::Int(i as i64)),
+                (-1.0e6..1.0e6f64).prop_map(Literal::Float),
+                "[a-zA-Z '][a-zA-Z0-9 ']{0,10}".prop_map(Literal::Str),
+            ]
+        }
 
-    fn arb_condition() -> impl Strategy<Value = Expr> {
-        prop_oneof![
-            (arb_attr(), arb_literal()).prop_map(|(attr, literal)| Expr::Compare {
-                attr,
-                op: CompareOp::Le,
-                literal
-            }),
-            (arb_attr(), proptest::collection::vec(arb_literal(), 1..4))
-                .prop_map(|(attr, list)| Expr::InList { attr, list }),
-            (arb_attr(), arb_literal(), arb_literal())
-                .prop_map(|(attr, lo, hi)| { Expr::Between { attr, lo, hi } }),
-        ]
-    }
+        fn arb_attr() -> impl Strategy<Value = String> {
+            "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+                crate::token::Keyword::from_ident(s).is_none()
+            })
+        }
 
-    proptest! {
-        /// Fuzz: the front-end never panics on arbitrary input — it
-        /// parses or returns a positioned error.
-        #[test]
-        fn prop_parser_total_on_garbage(input in ".{0,160}") {
-            match parse_select(&input) {
-                Ok(q) => {
-                    // Anything that parses must re-render and re-parse.
-                    let again = parse_select(&q.to_string()).unwrap();
-                    prop_assert_eq!(again, q);
+        fn arb_condition() -> impl Strategy<Value = Expr> {
+            prop_oneof![
+                (arb_attr(), arb_literal()).prop_map(|(attr, literal)| Expr::Compare {
+                    attr,
+                    op: CompareOp::Le,
+                    literal
+                }),
+                (arb_attr(), proptest::collection::vec(arb_literal(), 1..4))
+                    .prop_map(|(attr, list)| Expr::InList { attr, list }),
+                (arb_attr(), arb_literal(), arb_literal())
+                    .prop_map(|(attr, lo, hi)| { Expr::Between { attr, lo, hi } }),
+            ]
+        }
+
+        proptest! {
+            /// Fuzz: the front-end never panics on arbitrary input — it
+            /// parses or returns a positioned error.
+            #[test]
+            fn prop_parser_total_on_garbage(input in ".{0,160}") {
+                match parse_select(&input) {
+                    Ok(q) => {
+                        // Anything that parses must re-render and re-parse.
+                        let again = parse_select(&q.to_string()).unwrap();
+                        prop_assert_eq!(again, q);
+                    }
+                    Err(e) => prop_assert!(e.position <= input.len()),
                 }
-                Err(e) => prop_assert!(e.position <= input.len()),
             }
-        }
 
-        /// Fuzz with SQL-shaped fragments for deeper grammar coverage.
-        #[test]
-        fn prop_parser_total_on_sqlish(
-            pieces in proptest::collection::vec(
-                prop_oneof![
-                    Just("SELECT".to_string()),
-                    Just("FROM".to_string()),
-                    Just("WHERE".to_string()),
-                    Just("AND".to_string()),
-                    Just("IN".to_string()),
-                    Just("BETWEEN".to_string()),
-                    Just("*".to_string()),
-                    Just("(".to_string()),
-                    Just(")".to_string()),
-                    Just(",".to_string()),
-                    Just("<=".to_string()),
-                    Just("'x'".to_string()),
-                    Just("42".to_string()),
-                    Just("2.5".to_string()),
-                    Just("price".to_string()),
-                    Just("t".to_string()),
-                ],
-                0..24,
-            )
-        ) {
-            let input = pieces.join(" ");
-            let _ = parse_select(&input); // must not panic
-        }
+            /// Fuzz with SQL-shaped fragments for deeper grammar coverage.
+            #[test]
+            fn prop_parser_total_on_sqlish(
+                pieces in proptest::collection::vec(
+                    prop_oneof![
+                        Just("SELECT".to_string()),
+                        Just("FROM".to_string()),
+                        Just("WHERE".to_string()),
+                        Just("AND".to_string()),
+                        Just("IN".to_string()),
+                        Just("BETWEEN".to_string()),
+                        Just("*".to_string()),
+                        Just("(".to_string()),
+                        Just(")".to_string()),
+                        Just(",".to_string()),
+                        Just("<=".to_string()),
+                        Just("'x'".to_string()),
+                        Just("42".to_string()),
+                        Just("2.5".to_string()),
+                        Just("price".to_string()),
+                        Just("t".to_string()),
+                    ],
+                    0..24,
+                )
+            ) {
+                let input = pieces.join(" ");
+                let _ = parse_select(&input); // must not panic
+            }
 
-        /// Rendering any query to SQL and re-parsing yields the same AST.
-        #[test]
-        fn prop_display_parse_roundtrip(
-            table in arb_attr(),
-            conds in proptest::collection::vec(arb_condition(), 0..5),
-            order_attrs in proptest::collection::vec((arb_attr(), any::<bool>()), 0..3),
-            limit in proptest::option::of(0u64..1000),
-        ) {
-            let predicate = match conds.len() {
-                0 => None,
-                1 => Some(conds[0].clone()),
-                _ => Some(Expr::And(conds)),
-            };
-            let q = SelectQuery {
-                projection: Projection::Star,
-                table,
-                predicate,
-                order_by: order_attrs
-                    .into_iter()
-                    .map(|(attr, descending)| crate::ast::OrderItem { attr, descending })
-                    .collect(),
-                limit,
-            };
-            let sql = q.to_string();
-            let back = parse_select(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
-            prop_assert_eq!(back, q);
+            /// Rendering any query to SQL and re-parsing yields the same AST.
+            #[test]
+            fn prop_display_parse_roundtrip(
+                table in arb_attr(),
+                conds in proptest::collection::vec(arb_condition(), 0..5),
+                order_attrs in proptest::collection::vec((arb_attr(), any::<bool>()), 0..3),
+                limit in proptest::option::of(0u64..1000),
+            ) {
+                let predicate = match conds.len() {
+                    0 => None,
+                    1 => Some(conds[0].clone()),
+                    _ => Some(Expr::And(conds)),
+                };
+                let q = SelectQuery {
+                    projection: Projection::Star,
+                    table,
+                    predicate,
+                    order_by: order_attrs
+                        .into_iter()
+                        .map(|(attr, descending)| crate::ast::OrderItem { attr, descending })
+                        .collect(),
+                    limit,
+                };
+                let sql = q.to_string();
+                let back = parse_select(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+                prop_assert_eq!(back, q);
+            }
         }
     }
 }

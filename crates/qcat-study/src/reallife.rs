@@ -16,8 +16,7 @@ use qcat_core::cost::cost_all;
 use qcat_exec::execute_normalized;
 use qcat_explore::{noisy_explore_all, noisy_explore_one, NoisyUser, RelevanceJudge};
 use qcat_sql::{parse_and_normalize, NormalizedQuery};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qcat_datagen::rng::Rng;
 
 /// Study shape.
 #[derive(Debug, Clone, Copy)]
@@ -153,7 +152,7 @@ pub fn paper_tasks(env: &StudyEnv) -> Vec<Task> {
 
 /// Derive a subject's personal information need from a task: a private
 /// narrowing of the task's constraints.
-fn personal_need(env: &StudyEnv, task: &Task, rng: &mut StdRng) -> NormalizedQuery {
+fn personal_need(env: &StudyEnv, task: &Task, rng: &mut Rng) -> NormalizedQuery {
     let schema = env.relation.schema();
     let nb = schema.resolve("neighborhood").expect("attr");
     let price = schema.resolve("price").expect("attr");
@@ -200,7 +199,7 @@ fn personal_need(env: &StudyEnv, task: &Task, rng: &mut StdRng) -> NormalizedQue
     // behavior the workload recorded — the paper's footnote-4
     // assumption that users conform to past behavior).
     if rng.gen_bool(0.65) {
-        let beds = rng.gen_range(2..=4);
+        let beds = rng.gen_range(2..=4i64);
         conds.push(format!("bedroomcount BETWEEN {beds} AND {}", beds + 1));
     }
     if rng.gen_bool(0.45) {
@@ -211,10 +210,10 @@ fn personal_need(env: &StudyEnv, task: &Task, rng: &mut StdRng) -> NormalizedQue
         ));
     }
     if rng.gen_bool(0.44) {
-        let lo = (rng.gen_range(6..=18) * 100) as i64;
+        let lo = rng.gen_range(6..=18i64) * 100;
         conds.push(format!(
             "square_footage BETWEEN {lo} AND {}",
-            lo + rng.gen_range(4..=12) * 100
+            lo + rng.gen_range(4..=12i64) * 100
         ));
     }
     let sql = format!("SELECT * FROM listproperty WHERE {}", conds.join(" AND "));
@@ -264,7 +263,7 @@ impl RealLifeStudy {
                 .collect();
             for subject in 0..config.subjects {
                 let mut rng =
-                    StdRng::seed_from_u64(config.seed ^ ((subject as u64) << 32) ^ (ti as u64));
+                    Rng::seed_from_u64(config.seed ^ ((subject as u64) << 32) ^ (ti as u64));
                 let need = personal_need(env, task, &mut rng);
                 let judge =
                     RelevanceJudge::from_query(&need, &env.relation).expect("need compiles");

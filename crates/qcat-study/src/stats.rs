@@ -53,7 +53,6 @@ pub fn origin_slope(xs: &[f64], ys: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn mean_basic() {
@@ -94,33 +93,42 @@ mod tests {
         assert_eq!(origin_slope(&[0.0, 0.0], &[1.0, 2.0]), None);
     }
 
-    proptest! {
-        /// |r| ≤ 1 and r is symmetric in its arguments.
-        #[test]
-        fn prop_pearson_bounded_and_symmetric(
-            pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 2..50)
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            if let Some(r) = pearson(&xs, &ys) {
-                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
-                let r2 = pearson(&ys, &xs).unwrap();
-                prop_assert!((r - r2).abs() < 1e-9);
-            }
-        }
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        /// Correlation is invariant under positive affine transforms.
-        #[test]
-        fn prop_pearson_affine_invariant(
-            pairs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 3..30),
-            a in 0.1..10.0f64,
-            b in -5.0..5.0f64,
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
-            if let (Some(r1), Some(r2)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
-                prop_assert!((r1 - r2).abs() < 1e-6);
+        proptest! {
+            /// |r| ≤ 1 and r is symmetric in its arguments.
+            #[test]
+            fn prop_pearson_bounded_and_symmetric(
+                pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 2..50)
+            ) {
+                let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                if let Some(r) = pearson(&xs, &ys) {
+                    prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                    let r2 = pearson(&ys, &xs).unwrap();
+                    prop_assert!((r - r2).abs() < 1e-9);
+                }
+            }
+
+            /// Correlation is invariant under positive affine transforms.
+            #[test]
+            fn prop_pearson_affine_invariant(
+                pairs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 3..30),
+                a in 0.1..10.0f64,
+                b in -5.0..5.0f64,
+            ) {
+                let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+                if let (Some(r1), Some(r2)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                    prop_assert!((r1 - r2).abs() < 1e-6);
+                }
             }
         }
     }

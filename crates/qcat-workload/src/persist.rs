@@ -458,6 +458,10 @@ mod tests {
         }
     }
 
+    // Property-based tests live behind the off-by-default `slow-tests`
+    // feature: the `proptest` dev-dependency is not vendored, so the
+    // default (hermetic) build must not resolve it. See docs/LINTS.md.
+    #[cfg(feature = "slow-tests")]
     mod prop {
         use super::*;
         use proptest::prelude::*;

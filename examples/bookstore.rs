@@ -17,8 +17,7 @@ use qcat::exec::execute_normalized;
 use qcat::explore::{actual_cost_all, RelevanceJudge};
 use qcat::sql::parse_and_normalize;
 use qcat::workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qcat::datagen::rng::Rng;
 
 const GENRES: [&str; 8] = [
     "Mystery",
@@ -44,11 +43,11 @@ fn schema() -> Schema {
 }
 
 fn generate_books(n: usize, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = RelationBuilder::with_capacity(schema(), n);
     for _ in 0..n {
         // Genre popularity is skewed; price depends on format.
-        let g = (rng.gen::<f64>().powi(2) * GENRES.len() as f64) as usize;
+        let g = (rng.gen_f64().powi(2) * GENRES.len() as f64) as usize;
         let genre = GENRES[g.min(GENRES.len() - 1)];
         let format = FORMATS[rng.gen_range(0..FORMATS.len())];
         let base = match format {
@@ -58,8 +57,8 @@ fn generate_books(n: usize, seed: u64) -> Relation {
         };
         let price: f64 = (base + rng.gen_range(-4.0..18.0f64)).max(2.0);
         let price = (price * 100.0).round() / 100.0;
-        let pages = rng.gen_range(120..900);
-        let year = rng.gen_range(1975..=2004);
+        let pages = rng.gen_range(120..900i32);
+        let year = rng.gen_range(1975..=2004i32);
         b.push_row(&[
             genre.into(),
             format.into(),
@@ -73,23 +72,23 @@ fn generate_books(n: usize, seed: u64) -> Relation {
 }
 
 fn generate_workload(n: usize, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let mut conds = Vec::new();
             if rng.gen_bool(0.7) {
-                let g = (rng.gen::<f64>().powi(2) * GENRES.len() as f64) as usize;
+                let g = (rng.gen_f64().powi(2) * GENRES.len() as f64) as usize;
                 conds.push(format!("genre IN ('{}')", GENRES[g.min(GENRES.len() - 1)]));
             }
             if rng.gen_bool(0.55) {
-                let lo = rng.gen_range(0..6) * 5;
+                let lo = rng.gen_range(0..6i32) * 5;
                 conds.push(format!("price BETWEEN {lo} AND {}", lo + 10));
             }
             if rng.gen_bool(0.35) {
-                conds.push(format!("format IN ('{}')", FORMATS[rng.gen_range(0..3)]));
+                conds.push(format!("format IN ('{}')", FORMATS[rng.gen_range(0..3usize)]));
             }
             if rng.gen_bool(0.25) {
-                let y = 1975 + rng.gen_range(0..6) * 5;
+                let y = 1975 + rng.gen_range(0..6i32) * 5;
                 conds.push(format!("year >= {y}"));
             }
             if conds.is_empty() {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate, as one entry point: build, lint, test. Everything runs
+# offline — no dependency in the default build resolves from a
+# registry (see docs/LINTS.md, "Hermetic build").
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> qcat-lint (L1-L4 + audit self-check)"
+cargo run --release -p qcat-lint -- --workspace
+
+echo "==> cargo test -q (root package: integration + lint gate)"
+cargo test -q
+
+echo "==> cargo test -q --workspace (all crates)"
+cargo test -q --workspace
+
+echo "OK: build + lint + tests all green"

@@ -2,6 +2,10 @@
 //! and workloads must always yield structurally valid trees with
 //! consistent cost semantics.
 
+// Requires the non-vendored `proptest` dev-dependency; enabled only
+// with `--features slow-tests` (see docs/LINTS.md).
+#![cfg(feature = "slow-tests")]
+
 use proptest::prelude::*;
 use qcat::core::{cost_all, cost_one, CategorizeConfig, Categorizer};
 use qcat::data::{AttrType, Field, Relation, RelationBuilder, Schema};
