@@ -24,10 +24,6 @@ use qcat_exec::ResultSet;
 use qcat_sql::{NormalizedQuery, NumericRange};
 use qcat_workload::WorkloadStatistics;
 
-/// The winning candidate of one level: its cost, attribute, and the
-/// per-node partitionings to attach.
-type LevelChoice = (f64, AttrId, Vec<(NodeId, Partitioning)>);
-
 /// One level's decision record in a [`CategorizeTrace`].
 #[derive(Debug, Clone)]
 pub struct LevelDecision {
@@ -162,36 +158,113 @@ impl<'a> Categorizer<'a> {
         let estimator = ProbabilityEstimator::new(self.stats);
         let mut tree = CategoryTree::new(relation.clone(), result.rows().to_vec());
         let mut candidates = self.candidate_attrs();
+        let mut root_span = qcat_obs::span!(
+            "categorize",
+            rows = result.rows().len(),
+            max_leaf_tuples = self.config.max_leaf_tuples,
+        );
 
         for _ in 0..self.config.max_levels {
             let current_level = tree.level_attrs().len();
-            let s: Vec<NodeId> = tree
-                .nodes_at_level(current_level)
-                .into_iter()
-                .filter(|&id| tree.node(id).tuple_count() > self.config.max_leaf_tuples)
-                .collect();
+            let _level_span = qcat_obs::span!("categorize.level", level = current_level + 1);
+
+            // Phase 1 — elimination (Section 5.1.1 at the level
+            // grain): keep only nodes over M tuples; stop when no node
+            // needs subdividing or no candidate attribute remains.
+            let s: Vec<NodeId> = {
+                let mut phase = qcat_obs::span!("categorize.level.eliminate");
+                let s: Vec<NodeId> = tree
+                    .nodes_at_level(current_level)
+                    .into_iter()
+                    .filter(|&id| tree.node(id).tuple_count() > self.config.max_leaf_tuples)
+                    .collect();
+                if qcat_obs::active() {
+                    phase.set("oversized_nodes", s.len());
+                    phase.set("candidates", candidates.len());
+                }
+                s
+            };
             if s.is_empty() || candidates.is_empty() {
                 break;
             }
 
-            let mut best: Option<LevelChoice> = None;
-            let mut candidate_costs = Vec::with_capacity(candidates.len());
-            for &attr in &candidates {
-                let (cost, parts) =
-                    self.evaluate_attribute(&tree, &relation, &s, attr, query, &estimator);
-                candidate_costs.push((attr, cost));
-                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                    best = Some((cost, attr, parts));
+            // Phase 2 — partitioning: every candidate attribute splits
+            // every node of S (the paper's dominant phase).
+            let mut partitionings: Vec<Option<Vec<(NodeId, Partitioning)>>> = {
+                let mut phase = qcat_obs::span!("categorize.level.partition");
+                let parts: Vec<_> = candidates
+                    .iter()
+                    .map(|&attr| {
+                        self.partition_attribute(&tree, &relation, &s, attr, query, &estimator)
+                    })
+                    .collect();
+                if qcat_obs::active() {
+                    let created: usize = parts
+                        .iter()
+                        .flatten()
+                        .flatten()
+                        .map(|(_, p)| p.len())
+                        .sum();
+                    phase.set("candidates", candidates.len());
+                    phase.set("categories_proposed", created);
+                }
+                parts
+            };
+
+            // Phase 3 — cost estimation: price each candidate's
+            // one-level subtrees with Equation (1).
+            let candidate_costs: Vec<(AttrId, f64)> = {
+                let _phase = qcat_obs::span!("categorize.level.cost");
+                candidates
+                    .iter()
+                    .zip(&partitionings)
+                    .map(|(&attr, parts)| {
+                        let cost = self.price_attribute(
+                            &tree,
+                            &relation,
+                            &s,
+                            attr,
+                            parts.as_deref(),
+                            &estimator,
+                        );
+                        (attr, cost)
+                    })
+                    .collect()
+            };
+
+            // Phase 4 — selection: first strict minimum wins (ties keep
+            // the earlier candidate, i.e. schema order), then the
+            // chosen partitionings attach to the tree.
+            let mut phase = qcat_obs::span!("categorize.level.select");
+            let mut best_idx: Option<usize> = None;
+            for (i, (_, cost)) in candidate_costs.iter().enumerate() {
+                if best_idx.is_none_or(|b| *cost < candidate_costs[b].1) {
+                    best_idx = Some(i);
                 }
             }
-            let Some((_, attr, parts)) = best else { break };
+            let Some(best_idx) = best_idx else { break };
+            let attr = candidate_costs[best_idx].0;
+            let parts = partitionings[best_idx].take().unwrap_or_default();
+            let categories_created: usize = parts.iter().map(|(_, p)| p.len()).sum();
+            if qcat_obs::active() {
+                phase.set("chosen", relation.schema().name_of(attr).to_string());
+                phase.set("cost", candidate_costs[best_idx].1);
+                qcat_obs::event!(
+                    "categorize.level.decision",
+                    level = current_level + 1,
+                    chosen = relation.schema().name_of(attr).to_string(),
+                    cost = candidate_costs[best_idx].1,
+                    nodes_partitioned = s.len(),
+                    categories_created = categories_created,
+                );
+            }
             if let Some(t) = trace.as_deref_mut() {
                 t.levels.push(LevelDecision {
                     level: current_level + 1,
                     chosen: attr,
                     candidate_costs,
                     nodes_partitioned: s.len(),
-                    categories_created: parts.iter().map(|(_, p)| p.len()).sum(),
+                    categories_created,
                 });
             }
 
@@ -226,7 +299,12 @@ impl<'a> Categorizer<'a> {
             candidates.retain(|&a| a != attr);
         }
         if self.config.ordering == crate::config::OrderingMode::OptimalOne {
+            let _span = qcat_obs::span!("categorize.order");
             self.apply_optimal_ordering(&mut tree);
+        }
+        if qcat_obs::active() {
+            root_span.set("levels", tree.level_attrs().len());
+            root_span.set("nodes", tree.node_count());
         }
         tree
     }
@@ -262,6 +340,12 @@ impl<'a> Categorizer<'a> {
 
     /// Price one candidate attribute for a level: partition every node
     /// of `s`, return `(Σ P(C)·CostAll(Tree(C,A)), partitionings)`.
+    ///
+    /// Convenience composition of [`Self::partition_attribute`] and
+    /// [`Self::price_attribute`] — the level loop calls the two phases
+    /// separately so each shows up as its own span; tests use this
+    /// entry point to price one candidate in isolation.
+    #[cfg(test)]
     fn evaluate_attribute(
         &self,
         tree: &CategoryTree,
@@ -271,81 +355,116 @@ impl<'a> Categorizer<'a> {
         query: Option<&NormalizedQuery>,
         estimator: &ProbabilityEstimator<'_>,
     ) -> (f64, Vec<(NodeId, Partitioning)>) {
-        let pw = estimator.p_showtuples(attr);
-        let mut total_cost = 0.0;
-        let mut out = Vec::with_capacity(s.len());
+        let parts = self.partition_attribute(tree, relation, s, attr, query, estimator);
+        let cost = self.price_attribute(tree, relation, s, attr, parts.as_deref(), estimator);
+        (cost, parts.unwrap_or_default())
+    }
+
+    /// Partition every node of `s` by `attr` — a level's phase 2.
+    ///
+    /// `None` when a numeric attribute has no value spread anywhere in
+    /// `s`: no partitioning is possible and every node stays a leaf
+    /// under this candidate.
+    fn partition_attribute(
+        &self,
+        tree: &CategoryTree,
+        relation: &Relation,
+        s: &[NodeId],
+        attr: AttrId,
+        query: Option<&NormalizedQuery>,
+        estimator: &ProbabilityEstimator<'_>,
+    ) -> Option<Vec<(NodeId, Partitioning)>> {
         match relation.schema().type_of(attr) {
             AttrType::Categorical => {
                 // Shared per-level work: sort values by occurrence.
                 let plan =
                     CategoricalPlan::build(relation, attr, self.stats, ValueOrder::ByOccurrence);
-                for &id in s {
-                    let node = tree.node(id);
-                    let partitioning = plan.split_grouped(
-                        relation,
-                        &node.tset,
-                        self.config.categorical_group_threshold,
-                        self.config.grouping_top_k,
-                    );
-                    total_cost += node.p_explore
-                        * self.price_partitioning(
-                            relation,
-                            node.tuple_count(),
-                            pw,
-                            &partitioning,
-                            estimator,
-                        );
-                    out.push((id, partitioning));
-                }
+                Some(
+                    s.iter()
+                        .map(|&id| {
+                            let node = tree.node(id);
+                            let partitioning = plan.split_grouped(
+                                relation,
+                                &node.tset,
+                                self.config.categorical_group_threshold,
+                                self.config.grouping_top_k,
+                            );
+                            (id, partitioning)
+                        })
+                        .collect(),
+                )
             }
             AttrType::Int | AttrType::Float => {
                 // Shared per-level work: rank splitpoints over the
                 // union window of all nodes; per-node selection
                 // filters to the node's own window.
-                let window = self.level_window(tree, relation, s, attr, query);
-                let Some((wmin, wmax)) = window else {
-                    // Attribute has no spread anywhere: every node
-                    // stays a leaf under this candidate.
-                    let cost = s
-                        .iter()
-                        .map(|&id| {
-                            let n = tree.node(id);
-                            n.p_explore * n.tuple_count() as f64
-                        })
-                        .sum();
-                    return (cost, Vec::new());
-                };
+                let (wmin, wmax) = self.level_window(tree, relation, s, attr, query)?;
+                let pw = estimator.p_showtuples(attr);
                 let plan = NumericPlan::build(self.stats, attr, wmin, wmax);
-                for &id in s {
-                    let node = tree.node(id);
-                    let node_window = if id == NodeId::ROOT {
-                        value_window(relation, attr, &node.tset, query)
-                    } else {
-                        None
-                    };
-                    let partitioning = plan
-                        .split_in_window(
-                            relation,
-                            &node.tset,
-                            &self.config,
-                            estimator,
-                            pw,
-                            node_window,
-                        )
-                        .unwrap_or_else(|| single_bucket(relation, attr, &node.tset));
-                    total_cost += node.p_explore
-                        * self.price_partitioning(
-                            relation,
-                            node.tuple_count(),
-                            pw,
-                            &partitioning,
-                            estimator,
-                        );
-                    out.push((id, partitioning));
-                }
+                Some(
+                    s.iter()
+                        .map(|&id| {
+                            let node = tree.node(id);
+                            let node_window = if id == NodeId::ROOT {
+                                value_window(relation, attr, &node.tset, query)
+                            } else {
+                                None
+                            };
+                            let partitioning = plan
+                                .split_in_window(
+                                    relation,
+                                    &node.tset,
+                                    &self.config,
+                                    estimator,
+                                    pw,
+                                    node_window,
+                                )
+                                .unwrap_or_else(|| single_bucket(relation, attr, &node.tset));
+                            (id, partitioning)
+                        })
+                        .collect(),
+                )
             }
         }
-        (total_cost, out)
+    }
+
+    /// `Σ_C P(C)·CostAll(Tree(C, attr))` over the partitionings of one
+    /// candidate — a level's phase 3. `parts == None` (numeric, no
+    /// window) prices every node as the user scanning its tuples.
+    fn price_attribute(
+        &self,
+        tree: &CategoryTree,
+        relation: &Relation,
+        s: &[NodeId],
+        attr: AttrId,
+        parts: Option<&[(NodeId, Partitioning)]>,
+        estimator: &ProbabilityEstimator<'_>,
+    ) -> f64 {
+        let Some(parts) = parts else {
+            return s
+                .iter()
+                .map(|&id| {
+                    let n = tree.node(id);
+                    n.p_explore * n.tuple_count() as f64
+                })
+                .sum();
+        };
+        let pw = estimator.p_showtuples(attr);
+        qcat_obs::counter("categorize.cost_evals", parts.len() as i64);
+        parts
+            .iter()
+            .map(|(id, partitioning)| {
+                let node = tree.node(*id);
+                node.p_explore
+                    * self.price_partitioning(
+                        relation,
+                        node.tuple_count(),
+                        pw,
+                        partitioning,
+                        estimator,
+                    )
+            })
+            .sum()
     }
 
     /// `CostAll(Tree(C, A))` with the would-be children priced as

@@ -37,6 +37,7 @@ impl Catalog {
     /// Register `relation` under `name`; errors if the name is taken.
     pub fn register(&self, name: &str, relation: Relation) -> Result<(), DataError> {
         let key = name.to_ascii_lowercase();
+        qcat_obs::event!("data.catalog.register", table = key.as_str(), rows = relation.len());
         let mut tables = self.write_tables();
         if tables.contains_key(&key) {
             return Err(DataError::DuplicateTable(name.to_string()));
@@ -53,6 +54,7 @@ impl Catalog {
 
     /// Fetch a handle to the named table.
     pub fn get(&self, name: &str) -> Result<Relation, DataError> {
+        qcat_obs::counter("data.catalog.lookups", 1);
         self.read_tables()
             .get(&name.to_ascii_lowercase())
             .cloned()

@@ -53,9 +53,15 @@ impl From<qcat_sql::NormalizeError> for ExecError {
 
 /// Execute a SQL string against a catalog.
 pub fn execute(catalog: &Catalog, sql: &str) -> Result<ResultSet, ExecError> {
-    let ast = parse_select(sql)?;
+    let ast = {
+        let _span = qcat_obs::span!("sql.parse", bytes = sql.len());
+        parse_select(sql)?
+    };
     let relation = catalog.get(&ast.table)?;
-    let normalized = qcat_sql::normalize::normalize(&ast, relation.schema())?;
+    let normalized = {
+        let _span = qcat_obs::span!("sql.normalize", has_predicate = ast.predicate.is_some());
+        qcat_sql::normalize::normalize(&ast, relation.schema())?
+    };
     execute_normalized(&relation, &normalized)
 }
 
@@ -64,8 +70,14 @@ pub fn execute_normalized(
     relation: &Relation,
     query: &NormalizedQuery,
 ) -> Result<ResultSet, ExecError> {
+    let mut span = qcat_obs::span!("exec.execute", rows_scanned = relation.len());
     let predicate = CompiledPredicate::compile(query, relation)?;
     let mut rows = predicate.filter(relation, None);
+    if qcat_obs::active() {
+        span.set("rows_matched", rows.len());
+        qcat_obs::counter("exec.rows_scanned", relation.len() as i64);
+        qcat_obs::counter("exec.rows_matched", rows.len() as i64);
+    }
     if !query.order_by.is_empty() {
         sort_rows(relation, &mut rows, &query.order_by);
     }

@@ -21,8 +21,14 @@ pub fn actual_cost_all(
     need: &NormalizedQuery,
     judge: &RelevanceJudge,
 ) -> ExplorationStats {
+    let mut span = qcat_obs::span!("explore.all");
     let mut stats = ExplorationStats::default();
     explore_all(tree, NodeId::ROOT, need, judge, &mut stats);
+    if qcat_obs::active() {
+        span.set("nodes_explored", stats.nodes_explored);
+        span.set("tuples_examined", stats.tuples_examined);
+        span.set("relevant_found", stats.relevant_found);
+    }
     stats
 }
 
@@ -64,8 +70,14 @@ pub fn actual_cost_one(
     need: &NormalizedQuery,
     judge: &RelevanceJudge,
 ) -> ExplorationStats {
+    let mut span = qcat_obs::span!("explore.one");
     let mut stats = ExplorationStats::default();
     explore_one(tree, NodeId::ROOT, need, judge, &mut stats);
+    if qcat_obs::active() {
+        span.set("nodes_explored", stats.nodes_explored);
+        span.set("tuples_examined", stats.tuples_examined);
+        span.set("found", stats.relevant_found > 0);
+    }
     stats
 }
 

@@ -1,26 +1,34 @@
-//! The L1 grandfather allowlist and its ratchet.
+//! The grandfather allowlist and its ratchet.
 //!
-//! `lint-allowlist.txt` at the repo root records, per file, how many
-//! L1 (panic-site) violations are grandfathered from the seed. The
-//! counts are exact: more violations than allowed fails the lint, and
-//! *fewer* fails too (rule `ALLOW`) — when a panic site is fixed the
-//! allowlist entry must shrink with it, so the budget can never be
-//! silently reused. Only L1 may be allowlisted.
+//! `lint-allowlist.txt` at the repo root records, per rule and file,
+//! how many violations are grandfathered from the seed. Only the
+//! countable source rules may be allowlisted: L1 (panic sites) and L5
+//! (raw prints). The counts are exact: more violations than allowed
+//! fails the lint, and *fewer* fails too (rule `ALLOW`) — when a site
+//! is fixed the allowlist entry must shrink with it, so the budget can
+//! never be silently reused.
 
 use crate::diag::{Diagnostic, Rule};
 use std::collections::BTreeMap;
 
-/// Parsed allowlist: file → grandfathered L1 count.
+/// Rules that may carry grandfathered counts.
+const ALLOWLISTED: &[Rule] = &[Rule::L1Panic, Rule::L5RawPrint];
+
+fn rule_for_id(id: &str) -> Option<Rule> {
+    ALLOWLISTED.iter().copied().find(|r| r.id() == id)
+}
+
+/// Parsed allowlist: (rule id, file) → grandfathered count.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
-    entries: BTreeMap<String, usize>,
+    entries: BTreeMap<(&'static str, String), usize>,
 }
 
 impl Allowlist {
-    /// Parse the allowlist format: one `L1 <path> <count>` per line,
-    /// `#` comments and blank lines ignored. Unknown rules or
-    /// malformed lines produce `ALLOW` diagnostics rather than being
-    /// dropped silently.
+    /// Parse the allowlist format: one `<rule> <path> <count>` per
+    /// line where `<rule>` is `L1` or `L5`, `#` comments and blank
+    /// lines ignored. Unknown rules or malformed lines produce
+    /// `ALLOW` diagnostics rather than being dropped silently.
     pub fn parse(text: &str, origin: &str) -> (Allowlist, Vec<Diagnostic>) {
         let mut list = Allowlist::default();
         let mut diags = Vec::new();
@@ -31,23 +39,34 @@ impl Allowlist {
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
             let parsed = match fields.as_slice() {
-                ["L1", path, count] => count.parse::<usize>().ok().map(|c| (*path, c)),
-                [rule, ..] if *rule != "L1" => {
+                [rule, path, count] => match rule_for_id(rule) {
+                    Some(r) => count.parse::<usize>().ok().map(|c| (r, *path, c)),
+                    None => {
+                        diags.push(Diagnostic::at(
+                            origin,
+                            idx + 1,
+                            Rule::AllowlistStale,
+                            format!("only L1 and L5 may be allowlisted, found `{rule}`"),
+                        ));
+                        continue;
+                    }
+                },
+                [rule, ..] if rule_for_id(rule).is_none() => {
                     diags.push(Diagnostic::at(
                         origin,
                         idx + 1,
                         Rule::AllowlistStale,
-                        format!("only L1 may be allowlisted, found `{rule}`"),
+                        format!("only L1 and L5 may be allowlisted, found `{rule}`"),
                     ));
                     continue;
                 }
                 _ => None,
             };
             match parsed {
-                Some((path, count)) if count > 0 => {
-                    list.entries.insert(path.to_string(), count);
+                Some((rule, path, count)) if count > 0 => {
+                    list.entries.insert((rule.id(), path.to_string()), count);
                 }
-                Some((path, _)) => {
+                Some((_, path, _)) => {
                     diags.push(Diagnostic::at(
                         origin,
                         idx + 1,
@@ -78,35 +97,36 @@ impl Allowlist {
         self.entries.is_empty()
     }
 
-    /// Apply the ratchet: suppress exactly-allowed L1 findings, pass
-    /// everything else through, and emit `ALLOW` diagnostics for
+    /// Apply the ratchet: suppress exactly-allowed L1/L5 findings,
+    /// pass everything else through, and emit `ALLOW` diagnostics for
     /// over- and under-consumed entries.
     pub fn apply(&self, origin: &str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
-        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut counts: BTreeMap<(&'static str, &str), usize> = BTreeMap::new();
         for d in &diags {
-            if d.rule == Rule::L1Panic {
-                *counts.entry(d.file.as_str()).or_default() += 1;
+            if ALLOWLISTED.contains(&d.rule) {
+                *counts.entry((d.rule.id(), d.file.as_str())).or_default() += 1;
             }
         }
         let mut out = Vec::new();
         for d in diags.iter() {
-            if d.rule == Rule::L1Panic {
-                let allowed = self.entries.get(&d.file).copied().unwrap_or(0);
-                let actual = counts[d.file.as_str()];
+            if ALLOWLISTED.contains(&d.rule) {
+                let key = (d.rule.id(), d.file.clone());
+                let allowed = self.entries.get(&key).copied().unwrap_or(0);
+                let actual = counts[&(d.rule.id(), d.file.as_str())];
                 if actual <= allowed {
                     continue; // grandfathered (stale check below)
                 }
             }
             out.push(d.clone());
         }
-        for (file, &allowed) in &self.entries {
-            let actual = counts.get(file.as_str()).copied().unwrap_or(0);
+        for (&(rule, ref file), &allowed) in &self.entries {
+            let actual = counts.get(&(rule, file.as_str())).copied().unwrap_or(0);
             if actual < allowed {
                 out.push(Diagnostic::file_level(
                     origin,
                     Rule::AllowlistStale,
                     format!(
-                        "stale allowlist: {file} allows {allowed} L1 sites but only {actual} remain; \
+                        "stale allowlist: {file} allows {allowed} {rule} sites but only {actual} remain; \
                          shrink the entry (the allowlist may only ratchet down)"
                     ),
                 ));
@@ -115,7 +135,7 @@ impl Allowlist {
                     origin,
                     Rule::AllowlistStale,
                     format!(
-                        "{file} has {actual} L1 sites but only {allowed} are grandfathered; \
+                        "{file} has {actual} {rule} sites but only {allowed} are grandfathered; \
                          fix the new sites (the allowlist may not grow)"
                     ),
                 ));
@@ -133,13 +153,17 @@ mod tests {
         Diagnostic::at(file, line, Rule::L1Panic, "call to unwrap()")
     }
 
+    fn l5(file: &str, line: usize) -> Diagnostic {
+        Diagnostic::at(file, line, Rule::L5RawPrint, "raw `println!`")
+    }
+
     #[test]
-    fn parse_accepts_l1_and_rejects_others() {
+    fn parse_accepts_l1_l5_and_rejects_others() {
         let (list, diags) = Allowlist::parse(
-            "# seed debt\nL1 crates/core/src/a.rs 3\n\nL2 crates/core/src/b.rs 1\nL1 x 0\ngarbage\n",
+            "# seed debt\nL1 crates/core/src/a.rs 3\nL5 crates/core/src/a.rs 1\n\nL2 crates/core/src/b.rs 1\nL1 x 0\ngarbage\n",
             "lint-allowlist.txt",
         );
-        assert_eq!(list.len(), 1);
+        assert_eq!(list.len(), 2);
         assert_eq!(diags.len(), 3);
         assert!(diags.iter().all(|d| d.rule == Rule::AllowlistStale));
     }
@@ -178,5 +202,18 @@ mod tests {
         let out = list.apply("allow", vec![l1("f.rs", 1), l1("g.rs", 2)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].file, "g.rs");
+    }
+
+    #[test]
+    fn l1_and_l5_budgets_are_independent() {
+        // An L1 budget must not absorb L5 findings in the same file.
+        let (list, _) = Allowlist::parse("L1 f.rs 1\n", "allow");
+        let out = list.apply("allow", vec![l1("f.rs", 1), l5("f.rs", 2)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::L5RawPrint);
+        // And an L5 budget suppresses exactly its own rule.
+        let (list, _) = Allowlist::parse("L5 f.rs 1\n", "allow");
+        let out = list.apply("allow", vec![l5("f.rs", 2)]);
+        assert!(out.is_empty(), "{out:?}");
     }
 }

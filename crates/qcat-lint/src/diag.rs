@@ -15,6 +15,9 @@ pub enum Rule {
     L3Layering,
     /// L4: public item in `qcat-core` without a doc comment.
     L4MissingDocs,
+    /// L5: raw `println!`/`eprintln!`/`dbg!` in non-test library code
+    /// (binaries and the `qcat-obs` exporter are exempt).
+    L5RawPrint,
     /// A1: `P(C)` or `Pw(C)` outside `[0, 1]` (or NaN).
     A1Probability,
     /// A2: leaf node with `Pw != 1`.
@@ -29,8 +32,16 @@ pub enum Rule {
     A6CostSign,
     /// A7: CostAll report disagrees with brute-force Eq. 1 (> 1e-9).
     A7CostEq1,
-    /// ALLOW: the L1 allowlist itself is invalid or stale.
+    /// ALLOW: the allowlist itself is invalid or stale.
     AllowlistStale,
+    /// T1: a trace line is not valid JSONL of the documented schema,
+    /// or `seq` fails to increase.
+    T1TraceSyntax,
+    /// T2: span opens/closes are not balanced LIFO per thread.
+    T2SpanBalance,
+    /// T3: a duration is negative, disagrees with its span's
+    /// timestamps, or children outlast their parent.
+    T3Durations,
 }
 
 impl Rule {
@@ -42,6 +53,7 @@ impl Rule {
             Rule::L2FloatCmp => "L2",
             Rule::L3Layering => "L3",
             Rule::L4MissingDocs => "L4",
+            Rule::L5RawPrint => "L5",
             Rule::A1Probability => "A1",
             Rule::A2LeafPw => "A2",
             Rule::A3TsetDisjoint => "A3",
@@ -50,6 +62,9 @@ impl Rule {
             Rule::A6CostSign => "A6",
             Rule::A7CostEq1 => "A7",
             Rule::AllowlistStale => "ALLOW",
+            Rule::T1TraceSyntax => "T1",
+            Rule::T2SpanBalance => "T2",
+            Rule::T3Durations => "T3",
         }
     }
 }
@@ -127,6 +142,7 @@ mod tests {
             (Rule::L2FloatCmp, "L2"),
             (Rule::L3Layering, "L3"),
             (Rule::L4MissingDocs, "L4"),
+            (Rule::L5RawPrint, "L5"),
             (Rule::A1Probability, "A1"),
             (Rule::A2LeafPw, "A2"),
             (Rule::A3TsetDisjoint, "A3"),
@@ -135,6 +151,9 @@ mod tests {
             (Rule::A6CostSign, "A6"),
             (Rule::A7CostEq1, "A7"),
             (Rule::AllowlistStale, "ALLOW"),
+            (Rule::T1TraceSyntax, "T1"),
+            (Rule::T2SpanBalance, "T2"),
+            (Rule::T3Durations, "T3"),
         ] {
             assert_eq!(rule.id(), id);
         }

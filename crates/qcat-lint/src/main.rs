@@ -16,6 +16,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut run_workspace = false;
+    let mut trace_paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,6 +25,10 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
             },
+            "--audit-trace" => match args.next() {
+                Some(p) => trace_paths.push(PathBuf::from(p)),
+                None => return usage("--audit-trace needs a path"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -31,25 +36,43 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
-    if !run_workspace {
+    if !run_workspace && trace_paths.is_empty() {
         return usage("nothing to do");
     }
-    let root = root.unwrap_or_else(default_root);
 
-    let mut diags = match workspace::lint_workspace(&root) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("qcat-lint: cannot scan {}: {e}", root.display());
-            return ExitCode::from(2);
+    let mut diags = Vec::new();
+    if run_workspace {
+        let root = root.unwrap_or_else(default_root);
+        match workspace::lint_workspace(&root) {
+            Ok(d) => diags.extend(d),
+            Err(e) => {
+                eprintln!("qcat-lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
         }
-    };
-    diags.extend(audit_self_check());
+        diags.extend(audit_self_check());
+    }
+    for path in &trace_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("qcat-lint: cannot read trace {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        diags.extend(qcat_lint::audit_trace(&path.display().to_string(), &text));
+    }
 
     for d in &diags {
         println!("{d}");
     }
     if diags.is_empty() {
-        println!("qcat-lint: workspace clean (L1-L4 + audit self-check)");
+        let what = match (run_workspace, trace_paths.is_empty()) {
+            (true, true) => "workspace clean (L1-L5 + audit self-check)",
+            (true, false) => "workspace and trace(s) clean (L1-L5 + audit self-check + T1-T3)",
+            _ => "trace(s) clean (T1-T3)",
+        };
+        println!("qcat-lint: {what}");
         ExitCode::SUCCESS
     } else {
         println!("qcat-lint: {} violation(s)", diags.len());
@@ -57,11 +80,13 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: qcat-lint --workspace [--root <repo-root>]
+const USAGE: &str = "usage: qcat-lint [--workspace] [--root <repo-root>] [--audit-trace <trace.jsonl>]
 
-Runs the source lints (L1-L4) over the workspace and the cost-model
-auditor self-check. Exits 0 when clean, 1 on violations, 2 on I/O or
-usage errors. See docs/LINTS.md.";
+--workspace runs the source lints (L1-L5) over the workspace and the
+cost-model auditor self-check. --audit-trace checks a QCAT_TRACE=json
+capture for schema validity, span balance, and duration consistency
+(T1-T3); it may repeat. Exits 0 when clean, 1 on violations, 2 on I/O
+or usage errors. See docs/LINTS.md.";
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("qcat-lint: {problem}\n{USAGE}");

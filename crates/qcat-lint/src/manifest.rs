@@ -4,6 +4,8 @@
 //! `docs/LINTS.md`):
 //!
 //! ```text
+//! qcat-obs                   (observability: depends on nothing)
+//!    ↑
 //! qcat-data, qcat-sql        (foundations: no view of the model)
 //!    ↑
 //! qcat-core                  (the paper's algorithms)
@@ -76,6 +78,20 @@ pub fn parse_manifest_deps(toml: &str) -> ManifestDeps {
 /// can be *tested* against upper layers if ever needed).
 pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
     match crate_name {
+        // The observability substrate sits below everything: every
+        // crate may instrument itself, so qcat-obs seeing any of them
+        // would be a cycle (and would let tracing drag the model in).
+        "qcat-obs" => &[
+            "qcat-data",
+            "qcat-sql",
+            "qcat-core",
+            "qcat-exec",
+            "qcat-workload",
+            "qcat-explore",
+            "qcat-datagen",
+            "qcat-study",
+            "qcat-lint",
+        ],
         // Foundations must not see the model or the studies.
         "qcat-data" | "qcat-sql" => &["qcat-core", "qcat-study", "qcat-exec", "qcat-explore"],
         // The model must not depend on data generation or studies.
@@ -147,6 +163,15 @@ slow-tests = []
         assert!(diags[0].message.contains("qcat-core"), "{}", diags[0].message);
         // And the clean direction passes.
         assert_eq!(check_layering("qcat-exec", "x", bad), vec![]);
+    }
+
+    #[test]
+    fn obs_must_stay_dependency_free() {
+        let bad = "[dependencies]\nqcat-data.workspace = true\n";
+        let diags = check_layering("qcat-obs", "crates/qcat-obs/Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("qcat-data"));
+        assert_eq!(check_layering("qcat-obs", "x", "[dependencies]\n"), vec![]);
     }
 
     #[test]

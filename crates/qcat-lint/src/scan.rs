@@ -1,4 +1,5 @@
-//! Engine 1: a lightweight Rust token scanner for rules L1, L2, L4.
+//! Engine 1: a lightweight Rust token scanner for rules L1, L2, L4,
+//! L5.
 //!
 //! This is deliberately not a parser. The preprocessing pass blanks
 //! out comments, string/char literals, and raw strings while
@@ -24,6 +25,9 @@ pub struct ScanOptions {
     pub float_eq_sensitive: bool,
     /// L4: flag undocumented `pub` items.
     pub check_docs: bool,
+    /// L5: flag raw console output (`println!`, `eprintln!`,
+    /// `print!`, `eprint!`, `dbg!`) outside test code.
+    pub check_prints: bool,
 }
 
 /// Source text after comment/literal blanking, with per-line facts
@@ -320,6 +324,9 @@ pub fn lint_source(path: &str, source: &str, opts: ScanOptions) -> Vec<Diagnosti
     if opts.check_docs {
         lint_missing_docs(path, &clean, &mut diags);
     }
+    if opts.check_prints {
+        lint_prints(path, &clean, &mut diags);
+    }
     diags.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
     diags
 }
@@ -344,6 +351,40 @@ fn lint_panics(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
                     }
                 }
                 diags.push(Diagnostic::at(path, idx + 1, Rule::L1Panic, what));
+            }
+        }
+    }
+}
+
+/// L5: raw console writes in non-test library code. Progress and
+/// diagnostics belong in `qcat-obs` events (recorder-gated, silent by
+/// default) or on a caller-supplied sink; a library that prints
+/// unconditionally corrupts `QCAT_TRACE=json` streams and cannot be
+/// silenced. The macro name must start at an identifier boundary so
+/// `eprintln!` is one finding, not also a `println!` finding.
+fn lint_prints(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    const NEEDLES: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if clean.test_line[idx] {
+            continue;
+        }
+        for needle in NEEDLES {
+            for pos in find_all(line, needle) {
+                if pos > 0 {
+                    let prev = line.as_bytes()[pos - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' {
+                        continue; // tail of a longer name, e.g. e|println!
+                    }
+                }
+                diags.push(Diagnostic::at(
+                    path,
+                    idx + 1,
+                    Rule::L5RawPrint,
+                    format!(
+                        "raw `{needle}` in library code; emit a qcat-obs \
+                         event or take a caller-supplied sink"
+                    ),
+                ));
             }
         }
     }
@@ -625,6 +666,7 @@ mod tests {
         check_float_cmp: true,
         float_eq_sensitive: true,
         check_docs: false,
+        check_prints: false,
     };
 
     #[test]
@@ -735,6 +777,7 @@ mod tests {
                 check_float_cmp: true,
                 float_eq_sensitive: false,
                 check_docs: false,
+                check_prints: false,
             },
         );
         assert_eq!(r, vec![]);
@@ -779,6 +822,7 @@ mod tests {
         check_float_cmp: false,
         float_eq_sensitive: false,
         check_docs: true,
+        check_prints: false,
     };
 
     #[test]
@@ -827,6 +871,55 @@ mod tests {
             "}\n",
         );
         assert_eq!(rules(src, DOCS), vec![]);
+    }
+
+    const PRINTS: ScanOptions = ScanOptions {
+        check_panics: false,
+        check_float_cmp: false,
+        float_eq_sensitive: false,
+        check_docs: false,
+        check_prints: true,
+    };
+
+    #[test]
+    fn l5_flags_each_print_macro_once() {
+        let src = concat!(
+            "fn f() {\n",
+            "    println!(\"out\");\n",
+            "    eprintln!(\"err\");\n",
+            "    print!(\"out\");\n",
+            "    eprint!(\"err\");\n",
+            "    dbg!(x);\n",
+            "}\n",
+        );
+        assert_eq!(
+            rules(src, PRINTS),
+            vec![(2, "L5"), (3, "L5"), (4, "L5"), (5, "L5"), (6, "L5")]
+        );
+    }
+
+    #[test]
+    fn l5_ignores_tests_strings_comments_and_sinks() {
+        let src = concat!(
+            "fn f(w: &mut impl std::io::Write) {\n",
+            "    // a println! in a comment\n",
+            "    let s = \"println!\";\n",
+            "    writeln!(w, \"through a sink\").ok();\n",
+            "    let debug_flag = true; // dbg! mention\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { println!(\"fine in tests\"); dbg!(1); }\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, PRINTS), vec![]);
+    }
+
+    #[test]
+    fn l5_path_qualified_macros_still_fire() {
+        let src = "fn f() {\n    std::println!(\"x\");\n}\n";
+        assert_eq!(rules(src, PRINTS), vec![(2, "L5")]);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Walking the real workspace: applies the source rules to the right
-//! crates/files, the layering rule to every manifest, and the L1
+//! crates/files, the layering rule to every manifest, and the L1/L5
 //! allowlist ratchet.
 
 use crate::allowlist::Allowlist;
@@ -11,16 +11,18 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose sources are scanned for L1/L2 (the library layers
-/// the cost model's correctness rests on). `(crate name, repo-relative
-/// source dir)`.
+/// the cost model's correctness rests on, plus the observability
+/// substrate every other crate calls into). `(crate name,
+/// repo-relative source dir)`.
 pub const SCANNED_CRATES: &[(&str, &str)] = &[
     ("qcat-core", "crates/core"),
     ("qcat-data", "crates/qcat-data"),
     ("qcat-sql", "crates/qcat-sql"),
     ("qcat-exec", "crates/qcat-exec"),
+    ("qcat-obs", "crates/qcat-obs"),
 ];
 
-/// Repo-relative path of the L1 allowlist.
+/// Repo-relative path of the L1/L5 allowlist.
 pub const ALLOWLIST_PATH: &str = "lint-allowlist.txt";
 
 /// Run Engine 1 (L1–L4 with the allowlist ratchet) over the
@@ -46,6 +48,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             diags.extend(lint_source(&rel, &source, opts));
         }
     }
+    diags.extend(lint_library_prints(root)?);
     diags.extend(lint_manifests(root)?);
     let allow_path = root.join(ALLOWLIST_PATH);
     if allow_path.exists() {
@@ -62,21 +65,64 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 /// half of L2 only in cost/order/rank/partition code; L4 only in
 /// `qcat-core`.
 fn options_for(crate_name: &str, rel_path: &str) -> ScanOptions {
+    let filename = rel_path.rsplit('/').next().unwrap_or(rel_path);
     let sensitive = ["cost", "order", "rank", "partition"]
         .iter()
-        .any(|k| {
-            rel_path
-                .rsplit('/')
-                .next()
-                .is_some_and(|f| f.contains(k))
-                || rel_path.contains("/partition/")
-        });
+        .any(|k| filename_mentions(filename, k) || rel_path.contains("/partition/"));
     ScanOptions {
         check_panics: true,
         check_float_cmp: true,
         float_eq_sensitive: sensitive,
         check_docs: crate_name == "qcat-core",
+        check_prints: false, // L5 runs workspace-wide; see below
     }
+}
+
+/// Does `file` mention `key` starting at a word boundary? Plain
+/// `contains` would make `recorder.rs` ordering-sensitive (it
+/// contains "order" mid-word); `sibling_order.rs` still matches.
+fn filename_mentions(file: &str, key: &str) -> bool {
+    let bytes = file.as_bytes();
+    let mut from = 0;
+    while let Some(p) = file[from..].find(key) {
+        let pos = from + p;
+        if pos == 0 || !bytes[pos - 1].is_ascii_alphabetic() {
+            return true;
+        }
+        from = pos + 1;
+    }
+    false
+}
+
+/// L5 over every library source in the workspace: all of `crates/*`
+/// plus the facade's `src/`. Exempt: binary entry points (`src/bin/`,
+/// `main.rs`), which own stdout/stderr, and `qcat-obs` itself, whose
+/// exporters are the one sanctioned place console output is produced.
+fn lint_library_prints(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let opts = ScanOptions {
+        check_prints: true,
+        ..ScanOptions::default()
+    };
+    let mut diags = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && !p.ends_with("qcat-obs"))
+        .map(|p| p.join("src"))
+        .collect();
+    src_dirs.push(root.join("src"));
+    src_dirs.sort();
+    for src in src_dirs {
+        for file in rust_files(&src)? {
+            let rel = relative(root, &file);
+            if rel.contains("/bin/") || rel.ends_with("/main.rs") {
+                continue;
+            }
+            let source = fs::read_to_string(&file)?;
+            diags.extend(lint_source(&rel, &source, opts));
+        }
+    }
+    Ok(diags)
 }
 
 /// L3 over every crate manifest in `crates/*`.
@@ -169,8 +215,11 @@ mod tests {
         assert!(
             options_for("qcat-core", "crates/core/src/partition/numeric.rs").float_eq_sensitive
         );
+        assert!(options_for("qcat-core", "crates/core/src/sibling_order.rs").float_eq_sensitive);
         assert!(!options_for("qcat-core", "crates/core/src/tree.rs").float_eq_sensitive);
         assert!(!options_for("qcat-sql", "crates/qcat-sql/src/parser.rs").float_eq_sensitive);
+        // "recorder" contains "order" only mid-word: not ordering code.
+        assert!(!options_for("qcat-obs", "crates/qcat-obs/src/recorder.rs").float_eq_sensitive);
     }
 
     #[test]

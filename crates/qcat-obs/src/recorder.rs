@@ -1,0 +1,574 @@
+//! The [`Recorder`]: where spans, counters, gauges, and events land.
+//!
+//! Instrumentation sites write to the *current* recorder — a
+//! thread-scoped handle installed with [`with_recorder`], falling back
+//! to the process-global one a binary installs via [`install_global`]
+//! or [`init_from_env`]. When neither exists, [`active`] is false and
+//! every site returns after one thread-local read plus one relaxed
+//! atomic load.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::value::Value;
+
+/// Export mode of the process-global recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No global recorder: instrumentation is a no-op.
+    Off,
+    /// Metrics only; [`finish_global`] prints a human-readable summary.
+    Text,
+    /// Stream JSONL events as they happen, plus metrics.
+    Json,
+}
+
+/// Where emitted JSONL lines go.
+enum Sink {
+    /// Drop events (metrics still aggregate).
+    Null,
+    /// Accumulate lines in memory (tests, integration harnesses).
+    Buffer(Vec<String>),
+    /// Stream lines to a writer (file or stderr).
+    Writer(Box<dyn Write + Send>),
+}
+
+/// Mutable recorder state behind one mutex. Instrumented code only
+/// touches it when tracing is *on*, so a plain mutex (not sharded
+/// atomics) keeps the disabled path free and the enabled path simple.
+struct State {
+    sink: Sink,
+    counters: BTreeMap<String, i64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, Histogram>,
+}
+
+struct Inner {
+    /// Whether span open/close and events serialize to the sink.
+    /// `false` for metrics-only recorders: spans still aggregate into
+    /// histograms but nothing is formatted.
+    emit_events: bool,
+    start: Instant,
+    seq: AtomicU64,
+    state: Mutex<State>,
+}
+
+/// A handle to a recorder. Clones share state; the handle is `Send`
+/// and `Sync` so one recorder can collect from many threads.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("emit_events", &self.inner.emit_events)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Recover from a poisoned mutex: the state is plain aggregates, safe
+/// to keep using after another thread panicked mid-update.
+fn lock_state(inner: &Inner) -> MutexGuard<'_, State> {
+    inner.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Recorder {
+    fn with_sink(sink: Sink, emit_events: bool) -> Recorder {
+        Recorder {
+            inner: Arc::new(Inner {
+                emit_events,
+                start: Instant::now(),
+                seq: AtomicU64::new(0),
+                state: Mutex::new(State {
+                    sink,
+                    counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
+                    spans: BTreeMap::new(),
+                }),
+            }),
+        }
+    }
+
+    /// A recorder that buffers JSONL lines in memory; read them back
+    /// with [`Recorder::drain_jsonl`]. Intended for tests.
+    pub fn buffered() -> Recorder {
+        Recorder::with_sink(Sink::Buffer(Vec::new()), true)
+    }
+
+    /// A recorder that aggregates metrics and span histograms but
+    /// formats nothing — the cheapest enabled mode.
+    pub fn metrics_only() -> Recorder {
+        Recorder::with_sink(Sink::Null, false)
+    }
+
+    /// A recorder that streams JSONL lines to `w` as they happen.
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Recorder {
+        Recorder::with_sink(Sink::Writer(w), true)
+    }
+
+    /// Nanoseconds since this recorder was created (monotonic).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.inner.start.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn emits_events(&self) -> bool {
+        self.inner.emit_events
+    }
+
+    /// Serialize one trace line. `dur_ns` is present only on
+    /// `span_close`. Callers pass a pre-captured `ts_ns` so the close
+    /// duration equals exactly `close.ts_ns - open.ts_ns`.
+    pub(crate) fn emit_line(
+        &self,
+        ts_ns: u64,
+        kind: &str,
+        name: &str,
+        depth: usize,
+        dur_ns: Option<u64>,
+        fields: &[(&'static str, Value)],
+    ) {
+        if !self.inner.emit_events {
+            return;
+        }
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"seq\":");
+        line.push_str(&seq.to_string());
+        line.push_str(",\"ts_ns\":");
+        line.push_str(&ts_ns.to_string());
+        line.push_str(",\"thread\":");
+        line.push_str(&crate::json::escape(&crate::span::thread_label()));
+        line.push_str(",\"kind\":\"");
+        line.push_str(kind);
+        line.push_str("\",\"name\":");
+        line.push_str(&crate::json::escape(name));
+        line.push_str(",\"depth\":");
+        line.push_str(&depth.to_string());
+        if let Some(dur) = dur_ns {
+            line.push_str(",\"dur_ns\":");
+            line.push_str(&dur.to_string());
+        }
+        line.push_str(",\"fields\":{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&crate::json::escape(k));
+            line.push(':');
+            line.push_str(&v.to_json());
+        }
+        line.push_str("}}");
+        let mut state = lock_state(&self.inner);
+        match &mut state.sink {
+            Sink::Null => {}
+            Sink::Buffer(buf) => buf.push(line),
+            Sink::Writer(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Record a closed span's duration into its per-name histogram.
+    pub(crate) fn record_span(&self, name: &str, dur_ns: u64) {
+        let mut state = lock_state(&self.inner);
+        // get_mut-first keeps the steady state allocation-free.
+        if let Some(h) = state.spans.get_mut(name) {
+            h.record(dur_ns);
+        } else {
+            let mut h = Histogram::new();
+            h.record(dur_ns);
+            state.spans.insert(name.to_string(), h);
+        }
+    }
+
+    fn add_counter(&self, name: &str, delta: i64) {
+        let mut state = lock_state(&self.inner);
+        if let Some(v) = state.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            state.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    fn set_gauge(&self, name: &str, v: f64) {
+        let mut state = lock_state(&self.inner);
+        state.gauges.insert(name.to_string(), v);
+    }
+
+    /// Take all buffered JSONL lines, joined with newlines. Empty for
+    /// non-buffered recorders.
+    pub fn drain_jsonl(&self) -> String {
+        let mut state = lock_state(&self.inner);
+        match &mut state.sink {
+            Sink::Buffer(buf) => {
+                let lines = std::mem::take(buf);
+                lines.join("\n")
+            }
+            _ => String::new(),
+        }
+    }
+
+    /// Flush a streaming sink (no-op otherwise).
+    pub fn flush(&self) {
+        let mut state = lock_state(&self.inner);
+        if let Sink::Writer(w) = &mut state.sink {
+            let _ = w.flush();
+        }
+    }
+
+    /// Copy out the current aggregate metrics.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = lock_state(&self.inner);
+        Snapshot {
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            spans: state.spans.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of a recorder's aggregate metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, i64>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Per-span-name duration histograms (nanoseconds).
+    pub spans: BTreeMap<String, Histogram>,
+}
+
+/// Aggregate duration statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closes.
+    pub total_ns: u64,
+    /// Mean duration in nanoseconds.
+    pub mean_ns: f64,
+    /// Approximate median duration in nanoseconds.
+    pub p50_ns: u64,
+    /// Approximate 95th-percentile duration in nanoseconds.
+    pub p95_ns: u64,
+    /// Approximate 99th-percentile duration in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl Snapshot {
+    /// The metrics recorded since `baseline` was taken from the same
+    /// recorder: counters subtract, gauges keep their current value,
+    /// span histograms difference bucket-wise.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v - baseline.counters.get(k).copied().unwrap_or(0)))
+            .filter(|(_, v)| *v != 0)
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, h)| match baseline.spans.get(k) {
+                Some(b) => (k.clone(), h.delta(b)),
+                None => (k.clone(), h.clone()),
+            })
+            .filter(|(_, h)| h.count() > 0)
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            spans,
+        }
+    }
+
+    /// Per-span-name statistics, sorted by descending total time.
+    pub fn span_stats(&self) -> Vec<SpanStats> {
+        let mut stats: Vec<SpanStats> = self
+            .spans
+            .iter()
+            .map(|(name, h)| SpanStats {
+                name: name.clone(),
+                count: h.count(),
+                total_ns: h.sum(),
+                mean_ns: h.mean(),
+                p50_ns: h.quantile(0.50),
+                p95_ns: h.quantile(0.95),
+                p99_ns: h.quantile(0.99),
+            })
+            .collect();
+        stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The current recorder: thread-scoped overrides over a process global.
+// ---------------------------------------------------------------------------
+
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static GLOBAL_MODE: AtomicU8 = AtomicU8::new(0);
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: RefCell<Vec<Recorder>> = const { RefCell::new(Vec::new()) };
+    /// Mirror of `OVERRIDE.len()` readable without a RefCell borrow —
+    /// this keeps [`active`] a plain `Cell` read on the fast path.
+    static OVERRIDE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Whether any recorder is current on this thread. This is the whole
+/// disabled-path cost: one thread-local `Cell` read and one relaxed
+/// atomic load.
+#[inline]
+pub fn active() -> bool {
+    OVERRIDE_DEPTH.with(|d| d.get() > 0) || GLOBAL_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The recorder instrumentation would write to right now, if any:
+/// the innermost [`with_recorder`] scope, else the global.
+pub fn current_recorder() -> Option<Recorder> {
+    if OVERRIDE_DEPTH.with(|d| d.get() > 0) {
+        if let Some(rec) = OVERRIDE.with(|o| o.borrow().last().cloned()) {
+            return Some(rec);
+        }
+    }
+    if GLOBAL_ACTIVE.load(Ordering::Relaxed) {
+        return GLOBAL.get().cloned();
+    }
+    None
+}
+
+/// Run `f` with `rec` as this thread's current recorder, shadowing the
+/// global. Scopes nest; the previous recorder is restored even if `f`
+/// panics.
+pub fn with_recorder<T>(rec: &Recorder, f: impl FnOnce() -> T) -> T {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+            OVERRIDE_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+    OVERRIDE.with(|o| o.borrow_mut().push(rec.clone()));
+    OVERRIDE_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = PopOnDrop;
+    f()
+}
+
+/// Install `rec` as the process-global recorder. First call wins;
+/// returns `false` (leaving the existing global in place) on repeats.
+pub fn install_global(rec: Recorder, mode: TraceMode) -> bool {
+    let installed = GLOBAL.set(rec).is_ok();
+    if installed {
+        GLOBAL_MODE.store(
+            match mode {
+                TraceMode::Off => 0,
+                TraceMode::Text => 1,
+                TraceMode::Json => 2,
+            },
+            Ordering::Relaxed,
+        );
+        GLOBAL_ACTIVE.store(true, Ordering::Relaxed);
+    }
+    installed
+}
+
+/// The mode [`install_global`] / [`init_from_env`] recorded, or
+/// [`TraceMode::Off`] when no global recorder exists.
+pub fn global_mode() -> TraceMode {
+    match GLOBAL_MODE.load(Ordering::Relaxed) {
+        1 => TraceMode::Text,
+        2 => TraceMode::Json,
+        _ => TraceMode::Off,
+    }
+}
+
+/// Read `QCAT_TRACE` (`off`/`text`/`json`; unset or unknown = off) and
+/// install a matching global recorder. In `json` mode the JSONL stream
+/// goes to the path in `QCAT_TRACE_FILE`, or stderr when unset; if the
+/// file cannot be created, falls back to stderr after one warning
+/// line. Binaries call this once at startup — library crates never
+/// read the environment.
+pub fn init_from_env() -> TraceMode {
+    let mode = match std::env::var("QCAT_TRACE").ok().as_deref() {
+        Some("text") => TraceMode::Text,
+        Some("json") => TraceMode::Json,
+        _ => TraceMode::Off,
+    };
+    match mode {
+        TraceMode::Off => {}
+        TraceMode::Text => {
+            install_global(Recorder::metrics_only(), TraceMode::Text);
+        }
+        TraceMode::Json => {
+            let sink: Box<dyn Write + Send> = match std::env::var("QCAT_TRACE_FILE").ok() {
+                Some(path) => match std::fs::File::create(&path) {
+                    Ok(f) => Box::new(std::io::BufWriter::new(f)),
+                    Err(e) => {
+                        eprintln!("qcat-obs: cannot create QCAT_TRACE_FILE `{path}` ({e}); tracing to stderr");
+                        Box::new(std::io::stderr())
+                    }
+                },
+                None => Box::new(std::io::stderr()),
+            };
+            install_global(Recorder::to_writer(sink), TraceMode::Json);
+        }
+    }
+    mode
+}
+
+/// Finish the global recorder: flush a JSON stream, or render the
+/// text summary to stderr in text mode. Call once before exit.
+pub fn finish_global() {
+    let Some(rec) = GLOBAL.get() else {
+        return;
+    };
+    match global_mode() {
+        TraceMode::Off => {}
+        TraceMode::Json => rec.flush(),
+        TraceMode::Text => {
+            eprintln!("{}", crate::summary::render(&rec.snapshot()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free-function instrumentation API (used by the `event!` macro and
+// direct call sites).
+// ---------------------------------------------------------------------------
+
+/// Add `delta` to the named counter on the current recorder (no-op
+/// when tracing is disabled).
+#[inline]
+pub fn counter(name: &str, delta: i64) {
+    if !active() {
+        return;
+    }
+    if let Some(rec) = current_recorder() {
+        rec.add_counter(name, delta);
+    }
+}
+
+/// Set the named gauge on the current recorder (no-op when disabled).
+#[inline]
+pub fn gauge(name: &str, v: f64) {
+    if !active() {
+        return;
+    }
+    if let Some(rec) = current_recorder() {
+        rec.set_gauge(name, v);
+    }
+}
+
+/// Record a structured event with fields. Prefer the [`crate::event!`]
+/// macro, which skips field evaluation when tracing is disabled.
+pub fn event_with(name: &str, fields: Vec<(&'static str, Value)>) {
+    if let Some(rec) = current_recorder() {
+        let ts = rec.now_ns();
+        rec.emit_line(ts, "event", name, crate::span::current_depth(), None, &fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sites_are_no_ops() {
+        // No override on this thread; global may or may not be set by
+        // other tests, so only assert the override-free behaviour.
+        counter("t.noop", 1);
+        gauge("t.noop", 1.0);
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let rec = Recorder::buffered();
+        with_recorder(&rec, || {
+            counter("t.rows", 10);
+            counter("t.rows", 5);
+            gauge("t.frac", 0.25);
+            gauge("t.frac", 0.75);
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("t.rows"), Some(&15));
+        assert_eq!(snap.gauges.get("t.frac"), Some(&0.75));
+    }
+
+    #[test]
+    fn with_recorder_nests_and_restores() {
+        let outer = Recorder::buffered();
+        let inner = Recorder::buffered();
+        with_recorder(&outer, || {
+            counter("t.where", 1);
+            with_recorder(&inner, || counter("t.where", 10));
+            counter("t.where", 2);
+        });
+        assert_eq!(outer.snapshot().counters.get("t.where"), Some(&3));
+        assert_eq!(inner.snapshot().counters.get("t.where"), Some(&10));
+        assert!(!OVERRIDE_DEPTH.with(|d| d.get() > 0));
+    }
+
+    #[test]
+    fn with_recorder_restores_on_panic() {
+        let rec = Recorder::buffered();
+        let result = std::panic::catch_unwind(|| {
+            with_recorder(&rec, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(OVERRIDE_DEPTH.with(|d| d.get()), 0);
+        assert!(OVERRIDE.with(|o| o.borrow().is_empty()));
+    }
+
+    #[test]
+    fn events_serialize_to_jsonl() {
+        let rec = Recorder::buffered();
+        with_recorder(&rec, || {
+            event_with("t.ping", vec![("n", Value::from(3usize))]);
+        });
+        let log = rec.drain_jsonl();
+        let v = crate::json::parse(&log).unwrap();
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("event"));
+        assert_eq!(v.get("name").and_then(|k| k.as_str()), Some("t.ping"));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("n").and_then(|n| n.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let rec = Recorder::metrics_only();
+        with_recorder(&rec, || counter("t.a", 5));
+        let base = rec.snapshot();
+        with_recorder(&rec, || {
+            counter("t.a", 2);
+            counter("t.b", 1);
+        });
+        let d = rec.snapshot().delta(&base);
+        assert_eq!(d.counters.get("t.a"), Some(&2));
+        assert_eq!(d.counters.get("t.b"), Some(&1));
+    }
+
+    #[test]
+    fn span_stats_sorted_by_total() {
+        let rec = Recorder::metrics_only();
+        rec.record_span("t.fast", 10);
+        rec.record_span("t.slow", 1_000_000);
+        let stats = rec.snapshot().span_stats();
+        assert_eq!(stats[0].name, "t.slow");
+        assert_eq!(stats[1].name, "t.fast");
+        assert_eq!(stats[0].count, 1);
+        assert!(stats[0].p95_ns >= stats[1].p95_ns);
+    }
+}

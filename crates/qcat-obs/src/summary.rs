@@ -1,0 +1,121 @@
+//! Human-readable rendering of a metrics [`Snapshot`] — what
+//! `QCAT_TRACE=text` prints at process exit.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Snapshot;
+
+/// Format nanoseconds compactly (`1.234ms`, `56.7us`, `890ns`).
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Render `snap` as an aligned text report: spans sorted by total
+/// time with count/mean/p50/p95/p99, then counters, then gauges.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let stats = snap.span_stats();
+    if !stats.is_empty() {
+        out.push_str("== spans (by total time) ==\n");
+        let name_w = stats
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "span", "count", "mean", "p50", "p95", "p99", "total"
+        );
+        for s in &stats {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                s.name,
+                s.count,
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.p50_ns as f64),
+                fmt_ns(s.p95_ns as f64),
+                fmt_ns(s.p99_ns as f64),
+                fmt_ns(s.total_ns as f64),
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        let name_w = snap
+            .counters
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(4)
+            .max("counter".len());
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "{k:<name_w$}  {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        let name_w = snap
+            .gauges
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(4)
+            .max("gauge".len());
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(out, "{k:<name_w$}  {v}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{counter, gauge, with_recorder, Recorder};
+
+    #[test]
+    fn renders_all_sections() {
+        let rec = Recorder::metrics_only();
+        with_recorder(&rec, || {
+            let _s = crate::span!("t.render");
+            counter("t.rows", 42);
+            gauge("t.frac", 0.5);
+        });
+        let text = render(&rec.snapshot());
+        assert!(text.contains("== spans"));
+        assert!(text.contains("t.render"));
+        assert!(text.contains("== counters"));
+        assert!(text.contains("t.rows"));
+        assert!(text.contains("42"));
+        assert!(text.contains("== gauges"));
+        assert!(text.contains("t.frac"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let text = render(&Snapshot::default());
+        assert!(text.contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5us");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000s");
+    }
+}

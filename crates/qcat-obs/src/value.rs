@@ -1,0 +1,141 @@
+//! Field values carried by spans and events.
+
+use std::fmt;
+
+/// A typed field value. Conversions exist for the integer, float,
+/// string, and bool types the pipeline records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so large counters survive).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Render as a JSON fragment (numbers bare, strings escaped).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::UInt(v) => v.to_string(),
+            Value::Float(v) => {
+                if v.is_finite() {
+                    // Guarantee the token re-parses as a JSON number.
+                    let s = format!("{v}");
+                    if s.contains(['.', 'e', 'E']) {
+                        s
+                    } else {
+                        format!("{s}.0")
+                    }
+                } else {
+                    // JSON has no NaN/Inf; encode as a string.
+                    format!("\"{v}\"")
+                }
+            }
+            Value::Str(v) => crate::json::escape(v),
+            Value::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::UInt(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v.into())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v.into())
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3usize), Value::UInt(3));
+        assert_eq!(Value::from(-2i64), Value::Int(-2));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("x"), Value::Str("x".to_string()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn json_rendering_reparses() {
+        for (v, expect) in [
+            (Value::Int(-4), "-4"),
+            (Value::UInt(u64::MAX), "18446744073709551615"),
+            (Value::Float(2.0), "2.0"),
+            (Value::Float(0.25), "0.25"),
+            (Value::Bool(false), "false"),
+            (Value::Str("a\"b".into()), "\"a\\\"b\""),
+        ] {
+            assert_eq!(v.to_json(), expect);
+        }
+        // Non-finite floats fall back to strings, keeping lines valid.
+        assert_eq!(Value::Float(f64::NAN).to_json(), "\"NaN\"");
+    }
+}

@@ -43,6 +43,10 @@ pub fn parse_and_normalize(
     sql: &str,
     schema: &qcat_data::Schema,
 ) -> Result<NormalizedQuery, SqlError> {
-    let query = parse_select(sql)?;
+    let query = {
+        let _span = qcat_obs::span!("sql.parse", bytes = sql.len());
+        parse_select(sql)?
+    };
+    let _span = qcat_obs::span!("sql.normalize", has_predicate = query.predicate.is_some());
     Ok(normalize::normalize(&query, schema)?)
 }

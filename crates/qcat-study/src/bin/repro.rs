@@ -13,12 +13,26 @@
 
 use qcat_study::reallife::{RealLifeStudy, RealLifeStudyConfig};
 use qcat_study::simulated::{SimulatedStudy, SimulatedStudyConfig};
-use qcat_study::timing::{render_figure13, run_timing_study, TimingConfig};
+use qcat_study::timing::{
+    render_figure13, render_phase_profile, run_timing_study, TimingConfig,
+};
 use qcat_study::{StudyEnv, StudyScale, Technique};
 
 const SEED: u64 = 2004;
 
+/// Progress reporting that keeps stderr pure in JSONL mode: with
+/// `QCAT_TRACE=json` the line becomes a `repro.progress` event in the
+/// trace stream (stderr may BE that stream), otherwise plain stderr.
+fn progress(trace_mode: qcat_obs::TraceMode, msg: &str) {
+    if trace_mode == qcat_obs::TraceMode::Json {
+        qcat_obs::event!("repro.progress", msg = msg);
+    } else {
+        eprintln!("{msg}");
+    }
+}
+
 fn main() {
+    let trace_mode = qcat_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = StudyScale::Standard;
     let mut wants: Vec<String> = Vec::new();
@@ -51,17 +65,30 @@ fn main() {
     let all = wants.iter().any(|w| w == "all");
     let want = |name: &str| all || wants.iter().any(|w| w == name);
 
-    eprintln!("generating dataset at {scale:?} scale (seed {SEED})...");
-    let env = StudyEnv::generate(scale, SEED);
-    eprintln!(
-        "  {} homes, {} workload queries parsed",
-        env.relation.len(),
-        env.log.len()
+    progress(
+        trace_mode,
+        &format!("generating dataset at {scale:?} scale (seed {SEED})..."),
+    );
+    let env = {
+        let _span = qcat_obs::span!("repro.dataset");
+        StudyEnv::generate(scale, SEED)
+    };
+    progress(
+        trace_mode,
+        &format!(
+            "  {} homes, {} workload queries parsed",
+            env.relation.len(),
+            env.log.len()
+        ),
     );
 
     let simulated_wanted = ["fig7", "table1", "fig8"].iter().any(|a| want(a));
     if simulated_wanted {
-        eprintln!("running simulated cross-validated study (Section 6.2)...");
+        let _span = qcat_obs::span!("repro.simulated");
+        progress(
+            trace_mode,
+            "running simulated cross-validated study (Section 6.2)...",
+        );
         let cfg = match scale {
             StudyScale::Smoke => SimulatedStudyConfig {
                 n_subsets: 2,
@@ -71,9 +98,12 @@ fn main() {
         };
         let study = SimulatedStudy::run(&env, &cfg);
         if study.shortfall > 0 {
-            eprintln!(
-                "  note: {} requested explorations not eligible at this scale",
-                study.shortfall
+            progress(
+                trace_mode,
+                &format!(
+                    "  note: {} requested explorations not eligible at this scale",
+                    study.shortfall
+                ),
             );
         }
         if want("fig7") {
@@ -89,8 +119,8 @@ fn main() {
                 None => plot,
             };
             match std::fs::write("fig7.svg", plot.render()) {
-                Ok(()) => eprintln!("  wrote fig7.svg"),
-                Err(e) => eprintln!("  could not write fig7.svg: {e}"),
+                Ok(()) => progress(trace_mode, "  wrote fig7.svg"),
+                Err(e) => progress(trace_mode, &format!("  could not write fig7.svg: {e}")),
             }
         }
         if want("table1") {
@@ -115,7 +145,8 @@ fn main() {
     .iter()
     .any(|a| want(a));
     if reallife_wanted {
-        eprintln!("running simulated real-life study (Section 6.3)...");
+        let _span = qcat_obs::span!("repro.reallife");
+        progress(trace_mode, "running simulated real-life study (Section 6.3)...");
         let study = RealLifeStudy::run(&env, &RealLifeStudyConfig::default());
         if want("table2") {
             println!("Table 2: correlation between actual and estimated cost (per user)");
@@ -149,7 +180,8 @@ fn main() {
 
     if want("ablation") {
         use qcat_study::ablation;
-        eprintln!("running design-choice ablations...");
+        let _span = qcat_obs::span!("repro.ablation");
+        progress(trace_mode, "running design-choice ablations...");
         let stats = env.stats_for(&env.log);
         let n = match scale {
             StudyScale::Smoke => 8,
@@ -179,7 +211,8 @@ fn main() {
     }
 
     if want("fig13") {
-        eprintln!("running timing study (Figure 13)...");
+        let _span = qcat_obs::span!("repro.fig13");
+        progress(trace_mode, "running timing study (Figure 13)...");
         let cfg = match scale {
             StudyScale::Smoke => TimingConfig {
                 queries: 10,
@@ -188,8 +221,12 @@ fn main() {
             },
             _ => TimingConfig::default().scaled_to(env.relation.len()),
         };
-        let rows = run_timing_study(&env, &cfg);
+        let study = run_timing_study(&env, &cfg);
         println!("Figure 13: avg execution time of cost-based categorization");
-        println!("{}", render_figure13(&rows).render());
+        println!("{}", render_figure13(&study.rows).render());
+        println!("Figure 13 companion: per-phase profile of the sweep");
+        println!("{}", render_phase_profile(&study.profile).render());
     }
+
+    qcat_obs::finish_global();
 }

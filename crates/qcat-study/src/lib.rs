@@ -37,4 +37,4 @@ pub use reallife::{RealLifeStudy, RealLifeStudyConfig};
 pub use simulated::{SimulatedStudy, SimulatedStudyConfig};
 pub use stats::{mean, origin_slope, pearson};
 pub use svg::ScatterPlot;
-pub use timing::{run_timing_study, TimingConfig, TimingRow};
+pub use timing::{run_timing_study, TimingConfig, TimingRow, TimingStudy};

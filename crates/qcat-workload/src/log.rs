@@ -24,6 +24,7 @@ impl WorkloadLog {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        let mut span = qcat_obs::span!("workload.log.parse");
         let mut queries = Vec::new();
         let mut skipped = Vec::new();
         let filter = table_filter.map(str::to_ascii_lowercase);
@@ -36,6 +37,10 @@ impl WorkloadLog {
                 }
                 Err(e) => skipped.push((i, e)),
             }
+        }
+        if qcat_obs::active() {
+            span.set("parsed", queries.len());
+            span.set("skipped", skipped.len());
         }
         WorkloadLog { queries, skipped }
     }

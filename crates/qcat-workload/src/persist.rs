@@ -107,6 +107,7 @@ pub fn save_statistics<W: Write>(
     stats: &WorkloadStatistics,
     writer: &mut W,
 ) -> std::io::Result<()> {
+    let _span = qcat_obs::span!("workload.persist.save", queries = stats.n_queries());
     writeln!(writer, "{MAGIC}")?;
     let schema = stats.schema();
     writeln!(writer, "SCHEMA {}", schema.len())?;
@@ -162,6 +163,7 @@ pub fn load_statistics<R: BufRead>(
     reader: R,
     schema: &Schema,
 ) -> Result<WorkloadStatistics, PersistError> {
+    let _span = qcat_obs::span!("workload.persist.load");
     let mut lines = reader.lines().enumerate();
     let mut next = || -> Result<(usize, String), PersistError> {
         match lines.next() {

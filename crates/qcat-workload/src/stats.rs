@@ -55,9 +55,20 @@ impl WorkloadStatistics {
         config: &PreprocessConfig,
         correlation: bool,
     ) -> Self {
-        let usage = AttributeUsageCounts::build(log.queries(), schema);
-        let occurrence = OccurrenceCounts::build(log.queries(), schema);
+        let mut span = qcat_obs::span!(
+            "workload.stats.build",
+            queries = log.queries().len(),
+            with_correlation = correlation,
+        );
+        let (usage, occurrence) = {
+            let _s = qcat_obs::span!("workload.stats.counts");
+            (
+                AttributeUsageCounts::build(log.queries(), schema),
+                OccurrenceCounts::build(log.queries(), schema),
+            )
+        };
 
+        let range_span = qcat_obs::span!("workload.stats.ranges");
         let mut splitpoints: HashMap<AttrId, SplitPointTable> = schema
             .attr_ids()
             .filter(|&a| schema.type_of(a).is_numeric())
@@ -89,13 +100,26 @@ impl WorkloadStatistics {
         for idx in ranges.values_mut() {
             idx.seal();
         }
+        drop(range_span);
+        let correlation = correlation.then(|| {
+            let _s = qcat_obs::span!("workload.stats.correlation");
+            CorrelationIndex::build(log.queries())
+        });
+        if qcat_obs::active() {
+            span.set("numeric_attrs_indexed", ranges.len());
+            qcat_obs::event!(
+                "workload.stats.built",
+                queries = log.queries().len(),
+                splitpoint_tables = splitpoints.len(),
+            );
+        }
         WorkloadStatistics {
             schema: schema.clone(),
             usage,
             occurrence,
             splitpoints,
             ranges,
-            correlation: correlation.then(|| CorrelationIndex::build(log.queries())),
+            correlation,
         }
     }
 
@@ -173,6 +197,7 @@ impl WorkloadStatistics {
 
     /// `occ(v)` for a categorical attribute.
     pub fn occ(&self, attr: AttrId, value: &str) -> usize {
+        qcat_obs::counter("workload.occ_lookups", 1);
         self.occurrence.occ(attr, value)
     }
 
@@ -182,11 +207,13 @@ impl WorkloadStatistics {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        qcat_obs::counter("workload.overlap_value_lookups", 1);
         self.occurrence.occ_set(attr, values)
     }
 
     /// `NOverlap` for a numeric label interval.
     pub fn n_overlap_range(&self, attr: AttrId, label: &NumericRange) -> usize {
+        qcat_obs::counter("workload.overlap_range_lookups", 1);
         self.ranges
             .get(&attr)
             .map_or(0, |idx| idx.count_overlapping_sealed(label))
@@ -206,6 +233,7 @@ impl WorkloadStatistics {
     /// Candidate splitpoints inside `(vmin, vmax)` by descending
     /// goodness.
     pub fn splitpoints_by_goodness(&self, attr: AttrId, vmin: f64, vmax: f64) -> Vec<SplitPoint> {
+        qcat_obs::counter("workload.splitpoint_lookups", 1);
         self.splitpoints
             .get(&attr)
             .map(|t| t.by_goodness(vmin, vmax))

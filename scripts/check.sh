@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate, as one entry point: build, lint, test. Everything runs
-# offline — no dependency in the default build resolves from a
-# registry (see docs/LINTS.md, "Hermetic build").
+# Tier-1 gate, as one entry point: build, lint, test, traced smoke
+# run. Everything runs offline — no dependency in the default build
+# resolves from a registry (see docs/LINTS.md, "Hermetic build").
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> qcat-lint (L1-L4 + audit self-check)"
+echo "==> qcat-lint (L1-L5 + audit self-check)"
 cargo run --release -p qcat-lint -- --workspace
 
 echo "==> cargo test -q (root package: integration + lint gate)"
@@ -19,4 +19,10 @@ cargo test -q
 echo "==> cargo test -q --workspace (all crates)"
 cargo test -q --workspace
 
-echo "OK: build + lint + tests all green"
+echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T3)"
+trace=target/qcat-trace.jsonl
+QCAT_TRACE=json QCAT_TRACE_FILE="$trace" \
+    ./target/release/repro --scale smoke fig13 > /dev/null
+cargo run --release -p qcat-lint -- --audit-trace "$trace"
+
+echo "OK: build + lint + tests + traced smoke all green"

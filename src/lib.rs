@@ -6,6 +6,7 @@ pub use qcat_data as data;
 pub use qcat_datagen as datagen;
 pub use qcat_exec as exec;
 pub use qcat_explore as explore;
+pub use qcat_obs as obs;
 pub use qcat_sql as sql;
 pub use qcat_study as study;
 pub use qcat_workload as workload;

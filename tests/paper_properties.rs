@@ -124,7 +124,7 @@ fn real_life_study_reproduces_section_6_3_shape() {
 #[test]
 fn timing_study_stays_interactive() {
     let env = env();
-    let rows = run_timing_study(
+    let study = run_timing_study(
         &env,
         &TimingConfig {
             m_values: vec![10, 20, 50, 100],
@@ -133,8 +133,9 @@ fn timing_study_stays_interactive() {
             ..Default::default()
         },
     );
+    let rows = &study.rows;
     assert_eq!(rows.len(), 4);
-    for r in &rows {
+    for r in rows {
         assert!(r.queries > 0);
         // The paper reports ~1s on 2004 hardware; anything under 250ms
         // per query at smoke scale is comfortably interactive.
