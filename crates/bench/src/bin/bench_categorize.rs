@@ -1,0 +1,247 @@
+//! Hermetic categorization benchmark: times `Categorizer::categorize`
+//! over the Smoke fixture at each configured worker-thread count and
+//! writes a `BENCH_*.json` report.
+//!
+//! Everything is std-only — no criterion, no registry access — so this
+//! runs inside the tier-1 gate. Methodology and the JSON schema are
+//! documented in docs/PERFORMANCE.md.
+//!
+//! ```text
+//! bench_categorize [--runs N] [--cases N] [--seed S] [--out PATH]
+//! ```
+
+use qcat_bench::{bench_env, json_escape, json_num, summarize, BenchEnv, Summary};
+use qcat_core::Categorizer;
+use std::time::Instant;
+
+/// Upper bounds of the result-set size buckets; the last bucket is
+/// open-ended. Smoke-scale oversized results land across the first
+/// three; larger scales fill the tail.
+const SIZE_BUCKET_BOUNDS: &[usize] = &[1_000, 2_000, 5_000];
+
+fn bucket_label(size: usize) -> String {
+    let mut lo = 0usize;
+    for &hi in SIZE_BUCKET_BOUNDS {
+        if size <= hi {
+            return format!("{}-{}", lo + 1, hi);
+        }
+        lo = hi;
+    }
+    format!(">{lo}")
+}
+
+struct Args {
+    runs: usize,
+    cases: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        runs: 5,
+        cases: 8,
+        seed: 1234,
+        out: "BENCH_pr3.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--runs" => args.runs = value("--runs").parse().expect("--runs: not a number"),
+            "--cases" => args.cases = value("--cases").parse().expect("--cases: not a number"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: not a number"),
+            "--out" => args.out = value("--out"),
+            "--help" | "-h" => {
+                println!("bench_categorize [--runs N] [--cases N] [--seed S] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Wall-clock samples for one thread count: overall and per size
+/// bucket, plus the categorizer's span profile for the same calls.
+struct ThreadResult {
+    threads: usize,
+    total: Summary,
+    total_mean_ms: f64,
+    buckets: Vec<(String, usize, Summary)>,
+    phases: Vec<qcat_obs::SpanStats>,
+}
+
+fn run_at(env: &BenchEnv, threads: usize, runs: usize) -> ThreadResult {
+    let config = env.env.config.with_threads(threads);
+    let categorizer = Categorizer::new(&env.stats, config);
+    let rec = qcat_obs::Recorder::metrics_only();
+    let mut all_ns: Vec<u64> = Vec::with_capacity(runs * env.cases.len());
+    let mut by_bucket: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut warm = None;
+    qcat_obs::with_recorder(&rec, || {
+        // One untimed warmup pass so lazy allocator growth and cache
+        // warming do not land in the first run's samples; the span
+        // profile is the post-warmup delta for the same reason.
+        for (qw, result) in &env.cases {
+            std::hint::black_box(categorizer.categorize(result, Some(qw)).node_count());
+        }
+        warm = Some(rec.snapshot());
+        for _ in 0..runs {
+            for (qw, result) in &env.cases {
+                let start = Instant::now();
+                let tree = categorizer.categorize(result, Some(qw));
+                let ns = start.elapsed().as_nanos() as u64;
+                std::hint::black_box(tree.node_count());
+                all_ns.push(ns);
+                let label = bucket_label(result.len());
+                match by_bucket.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, v)) => v.push(ns),
+                    None => by_bucket.push((label, vec![ns])),
+                }
+            }
+        }
+    });
+    let measured = match warm {
+        Some(w) => rec.snapshot().delta(&w),
+        None => rec.snapshot(),
+    };
+    let phases = measured
+        .span_stats()
+        .into_iter()
+        .filter(|s| s.name.starts_with("categorize"))
+        .collect();
+    let total_mean_ms = summarize(&all_ns).mean_ms;
+    ThreadResult {
+        threads,
+        total: summarize(&all_ns),
+        total_mean_ms,
+        buckets: by_bucket
+            .into_iter()
+            .map(|(l, v)| (l, v.len() / runs, summarize(&v)))
+            .collect(),
+        phases,
+    }
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"mean_ms\": {}, \"median_ms\": {}, \"p95_ms\": {}}}",
+        json_num(s.mean_ms),
+        json_num(s.median_ms),
+        json_num(s.p95_ms)
+    )
+}
+
+fn render_json(args: &Args, env: &BenchEnv, cores: usize, results: &[ThreadResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"categorize\",\n  \"scale\": \"smoke\",\n");
+    out.push_str(&format!(
+        "  \"seed\": {}, \"runs\": {}, \"cases\": {}, \"cores\": {},\n",
+        args.seed,
+        args.runs,
+        env.cases.len(),
+        cores
+    ));
+    let serial_mean = results
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.total_mean_ms);
+    out.push_str("  \"threads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!("    {{\n      \"threads\": {},\n", r.threads));
+        out.push_str(&format!("      \"total\": {},\n", summary_json(&r.total)));
+        if let Some(serial) = serial_mean {
+            let speedup = if r.total_mean_ms > 0.0 {
+                serial / r.total_mean_ms
+            } else {
+                f64::NAN
+            };
+            out.push_str(&format!(
+                "      \"speedup_vs_serial\": {},\n",
+                json_num(speedup)
+            ));
+        }
+        out.push_str("      \"size_buckets\": [\n");
+        for (j, (label, cases, s)) in r.buckets.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"bucket\": \"{}\", \"cases\": {}, \"summary\": {}}}{}\n",
+                json_escape(label),
+                cases,
+                summary_json(s),
+                if j + 1 < r.buckets.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n      \"phases\": [\n");
+        for (j, p) in r.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"count\": {}, \"mean_ms\": {}, \"median_ms\": {}, \"p95_ms\": {}, \"total_ms\": {}}}{}\n",
+                json_escape(&p.name),
+                p.count,
+                json_num(p.mean_ns / 1e6),
+                json_num(p.p50_ns as f64 / 1e6),
+                json_num(p.p95_ns as f64 / 1e6),
+                json_num(p.total_ns as f64 / 1e6),
+                if j + 1 < r.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_categorize: smoke fixture, seed {}, {} runs, {} cores",
+        args.seed, args.runs, cores
+    );
+    let env = bench_env(args.seed, args.cases);
+    println!(
+        "  {} oversized cases (sizes {:?})",
+        env.cases.len(),
+        env.cases.iter().map(|(_, r)| r.len()).collect::<Vec<_>>()
+    );
+    // Serial baseline first, then the environment-resolved width (the
+    // production default). On a single-core host the two coincide and
+    // the sweep is just {1}.
+    let mut thread_counts = vec![1usize, qcat_pool::resolve_threads(0)];
+    thread_counts.dedup();
+    let results: Vec<ThreadResult> = thread_counts
+        .iter()
+        .map(|&t| {
+            let r = run_at(&env, t, args.runs);
+            println!(
+                "  threads={}: mean {:.2} ms, median {:.2} ms, p95 {:.2} ms",
+                t, r.total.mean_ms, r.total.median_ms, r.total.p95_ms
+            );
+            r
+        })
+        .collect();
+    if let (Some(serial), Some(wide)) = (
+        results.iter().find(|r| r.threads == 1),
+        results.iter().find(|r| r.threads > 1),
+    ) {
+        println!(
+            "  speedup threads={} vs serial: {:.2}x",
+            wide.threads,
+            serial.total_mean_ms / wide.total_mean_ms
+        );
+    }
+    let json = render_json(&args, &env, cores, &results);
+    std::fs::write(&args.out, json).expect("write bench report");
+    println!("  wrote {}", args.out);
+}

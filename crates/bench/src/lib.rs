@@ -1,14 +1,19 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! First-party benchmark harness: fixtures and summary statistics for
+//! the hermetic `bench_categorize` binary.
+//!
+//! No criterion — the tier-1 build resolves offline, so measurement is
+//! `std::time::Instant` around whole categorize calls plus the
+//! qcat-obs span profile for the per-phase breakdown. See
+//! docs/PERFORMANCE.md for the methodology and the `BENCH_*.json`
+//! schema.
 
 use qcat_exec::ResultSet;
-use qcat_sql::{parse_and_normalize, NormalizedQuery};
+use qcat_sql::NormalizedQuery;
 use qcat_study::{broaden_query, StudyEnv, StudyScale};
 use qcat_workload::WorkloadStatistics;
-use std::sync::OnceLock;
 
 /// A benchmark environment: generated dataset, workload statistics,
-/// and a set of broadened queries with their results, built once per
-/// process.
+/// and a set of broadened queries with their results.
 pub struct BenchEnv {
     /// The study environment (relation, log, geography, config).
     pub env: StudyEnv,
@@ -19,53 +24,128 @@ pub struct BenchEnv {
     pub cases: Vec<(NormalizedQuery, ResultSet)>,
 }
 
-/// The process-wide benchmark environment (Smoke scale keeps
-/// `cargo bench` minutes, not hours; the `repro` binary covers the
-/// paper-scale runs).
-pub fn bench_env() -> &'static BenchEnv {
-    static ENV: OnceLock<BenchEnv> = OnceLock::new();
-    ENV.get_or_init(|| {
-        let env = StudyEnv::generate(StudyScale::Smoke, 1234);
-        let stats = env.stats_for(&env.log);
-        let schema = env.relation.schema().clone();
-        let mut cases = Vec::new();
-        for w in env.log.queries() {
-            if cases.len() >= 24 {
-                break;
-            }
-            let Some(qw) = broaden_query(w, &schema, &env.geography) else {
-                continue;
-            };
-            let Ok(result) = qcat_exec::execute_normalized(&env.relation, &qw) else {
-                continue;
-            };
-            if result.len() > env.config.max_leaf_tuples {
-                cases.push((qw, result));
-            }
+/// Build the Smoke-scale benchmark environment: deterministic for a
+/// given `seed`, capped at `max_cases` oversized result sets.
+pub fn bench_env(seed: u64, max_cases: usize) -> BenchEnv {
+    let env = StudyEnv::generate(StudyScale::Smoke, seed);
+    let stats = env.stats_for(&env.log);
+    let schema = env.relation.schema().clone();
+    let mut cases = Vec::new();
+    for w in env.log.queries() {
+        if cases.len() >= max_cases {
+            break;
         }
-        assert!(!cases.is_empty(), "bench fixture produced no cases");
-        BenchEnv { env, stats, cases }
-    })
+        let Some(qw) = broaden_query(w, &schema, &env.geography) else {
+            continue;
+        };
+        let Ok(result) = qcat_exec::execute_normalized(&env.relation, &qw) else {
+            continue;
+        };
+        if result.len() > env.config.max_leaf_tuples {
+            cases.push((qw, result));
+        }
+    }
+    assert!(!cases.is_empty(), "bench fixture produced no cases");
+    BenchEnv { env, stats, cases }
 }
 
-/// A medium-selectivity query against the fixture relation.
-pub fn sample_query(env: &BenchEnv) -> NormalizedQuery {
-    let seattle = env
-        .env
-        .geography
-        .region_of("Bellevue")
-        .expect("standard geography")
-        .neighborhoods
-        .iter()
-        .map(|h| format!("'{h}'"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    parse_and_normalize(
-        &format!(
-            "SELECT * FROM listproperty WHERE neighborhood IN ({seattle}) \
-             AND price BETWEEN 150000 AND 600000"
-        ),
-        env.env.relation.schema(),
-    )
-    .expect("valid query")
+/// Mean / median / p95 over a set of durations, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// 50th percentile (nearest-rank).
+    pub median_ms: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ms: f64,
+}
+
+/// Summarize a sample of durations in nanoseconds. Empty samples
+/// summarize to zeros.
+pub fn summarize(samples_ns: &[u64]) -> Summary {
+    if samples_ns.is_empty() {
+        return Summary {
+            mean_ms: 0.0,
+            median_ms: 0.0,
+            p95_ms: 0.0,
+        };
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_unstable();
+    let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+    Summary {
+        mean_ms: mean / 1e6,
+        median_ms: quantile_ns(&sorted, 0.50) / 1e6,
+        p95_ms: quantile_ns(&sorted, 0.95) / 1e6,
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample.
+fn quantile_ns(sorted: &[u64], q: f64) -> f64 {
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for JSON: finite numbers as-is, everything else as
+/// `null` (JSON has no NaN/Infinity).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        // 1..=100 ms in ns.
+        let ns: Vec<u64> = (1..=100u64).map(|i| i * 1_000_000).collect();
+        let s = summarize(&ns);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!((s.median_ms - 50.0).abs() < 1e-9);
+        assert!((s.p95_ms - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(summarize(&[]).mean_ms, 0.0);
+    }
+
+    #[test]
+    fn escaping_and_numbers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert!(json_num(1.5).starts_with("1.5"));
+    }
+
+    #[test]
+    fn fixture_produces_oversized_cases() {
+        let b = bench_env(1234, 4);
+        assert!(!b.cases.is_empty());
+        for (_, r) in &b.cases {
+            assert!(r.len() > b.env.config.max_leaf_tuples);
+        }
+        assert!(b.stats.n_queries() > 0);
+    }
 }

@@ -7,22 +7,35 @@
 //! the resulting one-level subtrees are priced with Equation (1)
 //! (children priced as leaves, since deeper levels do not exist yet),
 //! and the attribute with minimum `Σ_C P(C)·CostAll(Tree(C,A))` wins.
-//! Shared per-level work (sorting values by `occ`, ranking splitpoints
-//! by goodness) is done once per (attribute, level); only necessity
-//! filtering is per node.
+//!
+//! The partition/price phases are fused and parallel: each
+//! `(candidate attribute × oversized node)` pair is one work item for
+//! the [`qcat_pool::ThreadPool`], and a work item *prices* its
+//! would-be partitioning from a counting pass
+//! ([`CategoricalPlan::priced_split`],
+//! [`NumericPlan::priced_split_in_window`]) without materializing
+//! tuple-sets — only the winning attribute's partitionings are ever
+//! built. Costs are reduced serially in (candidate, node) order, so
+//! the float sums — and therefore the tree — are byte-identical at
+//! every thread count. Shared work is cached per categorization: one
+//! occ-sorted [`CategoricalPlan`] per categorical attribute (the sort
+//! does not depend on the level) and one [`ProbCache`] memoizing `Pw`
+//! per attribute and `P(C)` per numeric interval.
 
 use crate::config::CategorizeConfig;
 use crate::cost::one_level_cost_all;
-use crate::label::CategoryLabel;
+use crate::label::{CategoricalCol, CategoryLabel};
 use crate::partition::categorical::{CategoricalPlan, ValueOrder};
 use crate::partition::numeric::{value_window, NumericPlan};
-use crate::partition::Partitioning;
-use crate::probability::ProbabilityEstimator;
+use crate::partition::{Part, Partitioning};
+use crate::probability::ProbCache;
 use crate::tree::{CategoryTree, NodeId};
 use qcat_data::{AttrId, AttrType, Relation};
 use qcat_exec::ResultSet;
+use qcat_pool::ThreadPool;
 use qcat_sql::{NormalizedQuery, NumericRange};
 use qcat_workload::WorkloadStatistics;
+use std::collections::HashMap;
 
 /// One level's decision record in a [`CategorizeTrace`].
 #[derive(Debug, Clone)]
@@ -93,6 +106,26 @@ impl std::fmt::Display for CategorizeTrace {
     }
 }
 
+/// How one candidate attribute partitions this level — the per-level
+/// plan a pool work item reads. Numeric pricing uses the node's own
+/// window, so only the plan (splitpoints ranked over the level's union
+/// window) is shared.
+enum CandPlan<'a> {
+    /// Categorical: the per-categorize cached plan plus the column
+    /// proof and `Pw`.
+    Cat {
+        col: CategoricalCol<'a>,
+        plan: &'a CategoricalPlan,
+        pw: f64,
+    },
+    /// Numeric with a usable value window.
+    Num { plan: NumericPlan, pw: f64 },
+    /// No partitioning possible (numeric attribute with no value
+    /// spread anywhere in the level): every node stays a leaf and is
+    /// priced as the user scanning its tuples.
+    Leaf,
+}
+
 /// The cost-based categorizer.
 ///
 /// Holds a reference to the preprocessed workload statistics (shared
@@ -155,13 +188,19 @@ impl<'a> Categorizer<'a> {
         mut trace: Option<&mut CategorizeTrace>,
     ) -> CategoryTree {
         let relation = result.relation().clone();
-        let estimator = ProbabilityEstimator::new(self.stats);
+        let probs = ProbCache::new(self.stats);
+        let estimator = probs.estimator();
+        let pool = ThreadPool::new(self.config.threads);
+        // Occ-sorted categorical plans are level-independent: build
+        // each at most once per categorization.
+        let mut plan_cache: HashMap<AttrId, CategoricalPlan> = HashMap::new();
         let mut tree = CategoryTree::new(relation.clone(), result.rows().to_vec());
         let mut candidates = self.candidate_attrs();
         let mut root_span = qcat_obs::span!(
             "categorize",
             rows = result.rows().len(),
             max_leaf_tuples = self.config.max_leaf_tuples,
+            threads = pool.threads(),
         );
 
         for _ in 0..self.config.max_levels {
@@ -188,45 +227,82 @@ impl<'a> Categorizer<'a> {
                 break;
             }
 
-            // Phase 2 — partitioning: every candidate attribute splits
-            // every node of S (the paper's dominant phase).
-            let mut partitionings: Vec<Option<Vec<(NodeId, Partitioning)>>> = {
+            // Phase 2 — partitioning (the paper's dominant phase),
+            // fused with per-item pricing: every (candidate, node)
+            // pair becomes one pool work item that *counts* the
+            // would-be partitioning and prices it with Equation (1).
+            // Workers record counters only — never spans or events —
+            // so the trace line stream stays single-threaded.
+            for &attr in &candidates {
+                if relation.schema().type_of(attr) == AttrType::Categorical
+                    && !plan_cache.contains_key(&attr)
+                {
+                    if let Some(col) = CategoricalCol::of(&relation, attr) {
+                        plan_cache.insert(
+                            attr,
+                            CategoricalPlan::build(&col, self.stats, ValueOrder::ByOccurrence),
+                        );
+                    }
+                }
+            }
+            let (plans, priced): (Vec<CandPlan<'_>>, Vec<(f64, usize)>) = {
                 let mut phase = qcat_obs::span!("categorize.level.partition");
-                let parts: Vec<_> = candidates
+                let plans: Vec<CandPlan<'_>> = candidates
                     .iter()
-                    .map(|&attr| {
-                        self.partition_attribute(&tree, &relation, &s, attr, query, &estimator)
+                    .map(|&attr| match relation.schema().type_of(attr) {
+                        AttrType::Categorical => {
+                            match (CategoricalCol::of(&relation, attr), plan_cache.get(&attr)) {
+                                (Some(col), Some(plan)) => CandPlan::Cat {
+                                    col,
+                                    plan,
+                                    pw: probs.p_showtuples(attr),
+                                },
+                                _ => CandPlan::Leaf,
+                            }
+                        }
+                        AttrType::Int | AttrType::Float => {
+                            match self.level_window(&tree, &relation, &s, attr, query) {
+                                Some((wmin, wmax)) => CandPlan::Num {
+                                    plan: NumericPlan::build(self.stats, attr, wmin, wmax),
+                                    pw: probs.p_showtuples(attr),
+                                },
+                                None => CandPlan::Leaf,
+                            }
+                        }
                     })
                     .collect();
+                let items: Vec<(usize, NodeId)> = (0..plans.len())
+                    .flat_map(|ci| s.iter().map(move |&id| (ci, id)))
+                    .collect();
+                let priced = pool.map(&items, |_, &(ci, id)| {
+                    self.price_item(&tree, &relation, &plans[ci], id, query, &probs)
+                });
                 if qcat_obs::active() {
-                    let created: usize = parts
-                        .iter()
-                        .flatten()
-                        .flatten()
-                        .map(|(_, p)| p.len())
-                        .sum();
                     phase.set("candidates", candidates.len());
-                    phase.set("categories_proposed", created);
+                    phase.set(
+                        "categories_proposed",
+                        priced.iter().map(|&(_, n)| n).sum::<usize>(),
+                    );
                 }
-                parts
+                (plans, priced)
             };
 
-            // Phase 3 — cost estimation: price each candidate's
-            // one-level subtrees with Equation (1).
+            // Phase 3 — cost estimation: serial reduction of the
+            // priced items in (candidate, node) order, reproducing the
+            // serial algorithm's float sums exactly.
             let candidate_costs: Vec<(AttrId, f64)> = {
                 let _phase = qcat_obs::span!("categorize.level.cost");
                 candidates
                     .iter()
-                    .zip(&partitionings)
-                    .map(|(&attr, parts)| {
-                        let cost = self.price_attribute(
-                            &tree,
-                            &relation,
-                            &s,
-                            attr,
-                            parts.as_deref(),
-                            &estimator,
-                        );
+                    .enumerate()
+                    .map(|(ci, &attr)| {
+                        if !matches!(plans[ci], CandPlan::Leaf) {
+                            qcat_obs::counter("categorize.cost_evals", s.len() as i64);
+                        }
+                        let cost: f64 = priced[ci * s.len()..(ci + 1) * s.len()]
+                            .iter()
+                            .map(|&(term, _)| term)
+                            .sum();
                         (attr, cost)
                     })
                     .collect()
@@ -234,7 +310,7 @@ impl<'a> Categorizer<'a> {
 
             // Phase 4 — selection: first strict minimum wins (ties keep
             // the earlier candidate, i.e. schema order), then the
-            // chosen partitionings attach to the tree.
+            // winner's partitionings are materialized and attached.
             let mut phase = qcat_obs::span!("categorize.level.select");
             let mut best_idx: Option<usize> = None;
             for (i, (_, cost)) in candidate_costs.iter().enumerate() {
@@ -244,7 +320,45 @@ impl<'a> Categorizer<'a> {
             }
             let Some(best_idx) = best_idx else { break };
             let attr = candidate_costs[best_idx].0;
-            let parts = partitionings[best_idx].take().unwrap_or_default();
+            // Only the winner is materialized: the losers were priced
+            // from counting passes and never allocated tuple-sets.
+            let parts: Vec<(NodeId, Partitioning)> = {
+                let _mspan = qcat_obs::span!("categorize.level.select.materialize");
+                match &plans[best_idx] {
+                    CandPlan::Leaf => Vec::new(),
+                    CandPlan::Cat { col, plan, .. } => {
+                        let split = pool.map(&s, |_, &id| {
+                            plan.split_grouped(
+                                col,
+                                &tree.node(id).tset,
+                                self.config.categorical_group_threshold,
+                                self.config.grouping_top_k,
+                            )
+                        });
+                        s.iter().copied().zip(split).collect()
+                    }
+                    CandPlan::Num { plan, pw } => {
+                        let split = pool.map(&s, |_, &id| {
+                            let node = tree.node(id);
+                            let node_window = if id == NodeId::ROOT {
+                                value_window(&relation, attr, &node.tset, query)
+                            } else {
+                                None
+                            };
+                            plan.split_in_window(
+                                &relation,
+                                &node.tset,
+                                &self.config,
+                                &probs,
+                                *pw,
+                                node_window,
+                            )
+                            .unwrap_or_else(|| single_bucket(&relation, attr, &node.tset, &probs))
+                        });
+                        s.iter().copied().zip(split).collect()
+                    }
+                }
+            };
             let categories_created: usize = parts.iter().map(|(_, p)| p.len()).sum();
             if qcat_obs::active() {
                 phase.set("chosen", relation.schema().name_of(attr).to_string());
@@ -269,28 +383,31 @@ impl<'a> Categorizer<'a> {
             }
 
             tree.push_level(attr);
-            let pw = estimator.p_showtuples(attr);
+            let pw = probs.p_showtuples(attr);
             let conditional =
                 self.config.conditional_probabilities && self.stats.correlation_index().is_some();
             for (node, partitioning) in parts {
                 // Path labels are cloned out because attaching children
                 // mutates the tree.
-                let path: Vec<crate::label::CategoryLabel> = if conditional {
+                let path: Vec<CategoryLabel> = if conditional {
                     tree.path_labels(node).into_iter().cloned().collect()
                 } else {
                     Vec::new()
                 };
-                let path_refs: Vec<&crate::label::CategoryLabel> = path.iter().collect();
-                for (label, tset) in partitioning.parts {
+                let path_refs: Vec<&CategoryLabel> = path.iter().collect();
+                for part in partitioning.parts {
+                    // Parts carry the unconditional P(C) the
+                    // partitioner derived; conditional mode replaces
+                    // it with P(C | path).
                     let p = if conditional {
-                        estimator.p_explore_conditional(&label, &path_refs, &relation)
+                        estimator.p_explore_conditional(&part.label, &path_refs)
                     } else {
-                        estimator.p_explore(&label, &relation)
+                        part.p_explore
                     };
-                    tree.add_child(node, label, tset, p);
+                    tree.add_child(node, part.label, part.tset, p);
                 }
                 let node_pw = if conditional {
-                    estimator.p_showtuples_conditional(attr, &path_refs, &relation)
+                    estimator.p_showtuples_conditional(attr, &path_refs)
                 } else {
                     pw
                 };
@@ -307,6 +424,76 @@ impl<'a> Categorizer<'a> {
             root_span.set("nodes", tree.node_count());
         }
         tree
+    }
+
+    /// Price one `(candidate, node)` work item: the node's
+    /// contribution `P(node)·CostAll(Tree(C, A))` to the candidate's
+    /// level cost, plus the number of categories the split would
+    /// create. Runs on pool workers — counting passes only, no
+    /// materialized tuple-sets, no spans.
+    fn price_item(
+        &self,
+        tree: &CategoryTree,
+        relation: &Relation,
+        plan: &CandPlan<'_>,
+        id: NodeId,
+        query: Option<&NormalizedQuery>,
+        probs: &ProbCache<'_>,
+    ) -> (f64, usize) {
+        let node = tree.node(id);
+        let scan = node.tuple_count() as f64; // 0/1-way split: user scans
+        match plan {
+            CandPlan::Leaf => (node.p_explore * scan, 0),
+            CandPlan::Cat { col, plan, pw } => {
+                let children = plan.priced_split(
+                    col,
+                    &node.tset,
+                    self.config.categorical_group_threshold,
+                    self.config.grouping_top_k,
+                );
+                let price = if children.len() < 2 {
+                    scan
+                } else {
+                    one_level_cost_all(
+                        node.tuple_count(),
+                        *pw,
+                        self.config.label_cost,
+                        &children,
+                    )
+                };
+                (node.p_explore * price, children.len())
+            }
+            CandPlan::Num { plan, pw } => {
+                let node_window = if id == NodeId::ROOT {
+                    value_window(relation, plan.attr(), &node.tset, query)
+                } else {
+                    None
+                };
+                match plan.priced_split_in_window(
+                    relation,
+                    &node.tset,
+                    &self.config,
+                    probs,
+                    *pw,
+                    node_window,
+                ) {
+                    Some(children) if children.len() >= 2 => (
+                        node.p_explore
+                            * one_level_cost_all(
+                                node.tuple_count(),
+                                *pw,
+                                self.config.label_cost,
+                                &children,
+                            ),
+                        children.len(),
+                    ),
+                    Some(children) => (node.p_explore * scan, children.len()),
+                    // No usable splitpoint: the winner would fall back
+                    // to a single covering bucket (one category).
+                    None => (node.p_explore * scan, 1),
+                }
+            }
+        }
     }
 
     /// Post-pass for [`crate::config::OrderingMode::OptimalOne`]:
@@ -338,13 +525,9 @@ impl<'a> Categorizer<'a> {
         }
     }
 
-    /// Price one candidate attribute for a level: partition every node
-    /// of `s`, return `(Σ P(C)·CostAll(Tree(C,A)), partitionings)`.
-    ///
-    /// Convenience composition of [`Self::partition_attribute`] and
-    /// [`Self::price_attribute`] — the level loop calls the two phases
-    /// separately so each shows up as its own span; tests use this
-    /// entry point to price one candidate in isolation.
+    /// Materialize and price one candidate attribute for a level —
+    /// the reference composition the fused pool path must agree with;
+    /// tests use it to evaluate one candidate in isolation.
     #[cfg(test)]
     fn evaluate_attribute(
         &self,
@@ -353,55 +536,30 @@ impl<'a> Categorizer<'a> {
         s: &[NodeId],
         attr: AttrId,
         query: Option<&NormalizedQuery>,
-        estimator: &ProbabilityEstimator<'_>,
+        probs: &ProbCache<'_>,
     ) -> (f64, Vec<(NodeId, Partitioning)>) {
-        let parts = self.partition_attribute(tree, relation, s, attr, query, estimator);
-        let cost = self.price_attribute(tree, relation, s, attr, parts.as_deref(), estimator);
-        (cost, parts.unwrap_or_default())
-    }
-
-    /// Partition every node of `s` by `attr` — a level's phase 2.
-    ///
-    /// `None` when a numeric attribute has no value spread anywhere in
-    /// `s`: no partitioning is possible and every node stays a leaf
-    /// under this candidate.
-    fn partition_attribute(
-        &self,
-        tree: &CategoryTree,
-        relation: &Relation,
-        s: &[NodeId],
-        attr: AttrId,
-        query: Option<&NormalizedQuery>,
-        estimator: &ProbabilityEstimator<'_>,
-    ) -> Option<Vec<(NodeId, Partitioning)>> {
-        match relation.schema().type_of(attr) {
-            AttrType::Categorical => {
-                // Shared per-level work: sort values by occurrence.
-                let plan =
-                    CategoricalPlan::build(relation, attr, self.stats, ValueOrder::ByOccurrence);
-                Some(
-                    s.iter()
-                        .map(|&id| {
-                            let node = tree.node(id);
-                            let partitioning = plan.split_grouped(
-                                relation,
-                                &node.tset,
+        let parts: Option<Vec<(NodeId, Partitioning)>> = match relation.schema().type_of(attr) {
+            AttrType::Categorical => CategoricalCol::of(relation, attr).map(|col| {
+                let plan = CategoricalPlan::build(&col, self.stats, ValueOrder::ByOccurrence);
+                s.iter()
+                    .map(|&id| {
+                        (
+                            id,
+                            plan.split_grouped(
+                                &col,
+                                &tree.node(id).tset,
                                 self.config.categorical_group_threshold,
                                 self.config.grouping_top_k,
-                            );
-                            (id, partitioning)
-                        })
-                        .collect(),
-                )
-            }
-            AttrType::Int | AttrType::Float => {
-                // Shared per-level work: rank splitpoints over the
-                // union window of all nodes; per-node selection
-                // filters to the node's own window.
-                let (wmin, wmax) = self.level_window(tree, relation, s, attr, query)?;
-                let pw = estimator.p_showtuples(attr);
-                let plan = NumericPlan::build(self.stats, attr, wmin, wmax);
-                Some(
+                            ),
+                        )
+                    })
+                    .collect()
+            }),
+            AttrType::Int | AttrType::Float => self
+                .level_window(tree, relation, s, attr, query)
+                .map(|(wmin, wmax)| {
+                    let pw = probs.p_showtuples(attr);
+                    let plan = NumericPlan::build(self.stats, attr, wmin, wmax);
                     s.iter()
                         .map(|&id| {
                             let node = tree.node(id);
@@ -415,78 +573,48 @@ impl<'a> Categorizer<'a> {
                                     relation,
                                     &node.tset,
                                     &self.config,
-                                    estimator,
+                                    probs,
                                     pw,
                                     node_window,
                                 )
-                                .unwrap_or_else(|| single_bucket(relation, attr, &node.tset));
+                                .unwrap_or_else(|| {
+                                    single_bucket(relation, attr, &node.tset, probs)
+                                });
                             (id, partitioning)
                         })
-                        .collect(),
-                )
-            }
-        }
-    }
-
-    /// `Σ_C P(C)·CostAll(Tree(C, attr))` over the partitionings of one
-    /// candidate — a level's phase 3. `parts == None` (numeric, no
-    /// window) prices every node as the user scanning its tuples.
-    fn price_attribute(
-        &self,
-        tree: &CategoryTree,
-        relation: &Relation,
-        s: &[NodeId],
-        attr: AttrId,
-        parts: Option<&[(NodeId, Partitioning)]>,
-        estimator: &ProbabilityEstimator<'_>,
-    ) -> f64 {
-        let Some(parts) = parts else {
-            return s
+                        .collect()
+                }),
+        };
+        let cost = match &parts {
+            None => s
                 .iter()
                 .map(|&id| {
                     let n = tree.node(id);
                     n.p_explore * n.tuple_count() as f64
                 })
-                .sum();
+                .sum(),
+            Some(parts) => {
+                let pw = probs.p_showtuples(attr);
+                parts
+                    .iter()
+                    .map(|(id, p)| {
+                        let node = tree.node(*id);
+                        let price = if p.len() < 2 {
+                            node.tuple_count() as f64
+                        } else {
+                            one_level_cost_all(
+                                node.tuple_count(),
+                                pw,
+                                self.config.label_cost,
+                                &p.children_for_pricing(),
+                            )
+                        };
+                        node.p_explore * price
+                    })
+                    .sum()
+            }
         };
-        let pw = estimator.p_showtuples(attr);
-        qcat_obs::counter("categorize.cost_evals", parts.len() as i64);
-        parts
-            .iter()
-            .map(|(id, partitioning)| {
-                let node = tree.node(*id);
-                node.p_explore
-                    * self.price_partitioning(
-                        relation,
-                        node.tuple_count(),
-                        pw,
-                        partitioning,
-                        estimator,
-                    )
-            })
-            .sum()
-    }
-
-    /// `CostAll(Tree(C, A))` with the would-be children priced as
-    /// leaves.
-    fn price_partitioning(
-        &self,
-        relation: &Relation,
-        parent_tuples: usize,
-        pw: f64,
-        partitioning: &Partitioning,
-        estimator: &ProbabilityEstimator<'_>,
-    ) -> f64 {
-        if partitioning.len() < 2 {
-            // A 0/1-way split leaves the user scanning the tuples.
-            return parent_tuples as f64;
-        }
-        let children: Vec<(f64, usize)> = partitioning
-            .parts
-            .iter()
-            .map(|(label, tset)| (estimator.p_explore(label, relation), tset.len()))
-            .collect();
-        one_level_cost_all(parent_tuples, pw, self.config.label_cost, &children)
+        (cost, parts.unwrap_or_default())
     }
 
     /// The candidate-splitpoint window for a whole level: the union of
@@ -518,17 +646,24 @@ impl<'a> Categorizer<'a> {
 /// usable splitpoint: the node gets one child covering its full
 /// window, keeping it eligible for deeper levels (Figure 6 always
 /// creates the level's categories).
-fn single_bucket(relation: &Relation, attr: AttrId, tset: &[u32]) -> Partitioning {
+fn single_bucket(
+    relation: &Relation,
+    attr: AttrId,
+    tset: &[u32],
+    probs: &ProbCache<'_>,
+) -> Partitioning {
     let (lo, hi) = relation
         .column(attr)
         .numeric_min_max(tset)
         .unwrap_or((0.0, 0.0));
+    let range = NumericRange::closed(lo, hi);
     Partitioning {
         attr,
-        parts: vec![(
-            CategoryLabel::range(attr, NumericRange::closed(lo, hi)),
-            tset.to_vec(),
-        )],
+        parts: vec![Part {
+            p_explore: probs.p_explore_range(attr, &range),
+            label: CategoryLabel::range(attr, range),
+            tset: tset.to_vec(),
+        }],
     }
 }
 
@@ -536,6 +671,7 @@ fn single_bucket(relation: &Relation, attr: AttrId, tset: &[u32]) -> Partitionin
 mod tests {
     use super::*;
     use crate::config::BucketCount;
+    use crate::probability::ProbabilityEstimator;
     use qcat_data::{Field, RelationBuilder, Schema};
     use qcat_exec::execute_normalized;
     use qcat_sql::parse_and_normalize;
@@ -717,6 +853,29 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_the_tree() {
+        let rel = homes(350);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let base = CategorizeConfig::default().with_attr_threshold(0.1);
+        let reference = Categorizer::new(&st, base.with_threads(1)).categorize(&result, None);
+        for threads in [2, 3, 8] {
+            let tree =
+                Categorizer::new(&st, base.with_threads(threads)).categorize(&result, None);
+            assert_eq!(tree.node_count(), reference.node_count(), "threads={threads}");
+            assert_eq!(tree.level_attrs(), reference.level_attrs());
+            for (a, b) in tree.dfs().iter().zip(reference.dfs().iter()) {
+                assert_eq!(tree.node(*a).tset, reference.node(*b).tset);
+                assert_eq!(
+                    tree.node(*a).p_explore.to_bits(),
+                    reference.node(*b).p_explore.to_bits(),
+                    "P(C) must be bit-identical across thread counts"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn optimal_ordering_never_hurts_cost_one() {
         use crate::config::OrderingMode;
         use crate::cost::cost_one;
@@ -817,26 +976,22 @@ mod tests {
         // cheap price buckets must look hot and expensive ones cold,
         // while the unconditional estimate cannot tell them apart.
         let est = ProbabilityEstimator::new(&stats);
-        let code_a = rel
-            .column(AttrId(0))
-            .categorical()
+        let hood_a = CategoricalCol::of(&rel, AttrId(0))
             .unwrap()
-            .0
-            .lookup("A")
+            .label_of_value("A")
             .unwrap();
-        let hood_a = CategoryLabel::single_value(AttrId(0), code_a);
         let cheap = CategoryLabel::range(AttrId(1), NumericRange::half_open(100_000.0, 200_000.0));
         let rich = CategoryLabel::range(AttrId(1), NumericRange::half_open(800_000.0, 900_000.0));
         let path = [&hood_a];
-        let p_cheap_a = est.p_explore_conditional(&cheap, &path, &rel);
-        let p_rich_a = est.p_explore_conditional(&rich, &path, &rel);
+        let p_cheap_a = est.p_explore_conditional(&cheap, &path);
+        let p_rich_a = est.p_explore_conditional(&rich, &path);
         assert!(
             p_cheap_a > 0.9 && p_rich_a < 0.1,
             "conditioned on A: cheap {p_cheap_a}, rich {p_rich_a}"
         );
         // Unconditional: both bucket kinds overlap ~half the queries.
-        let p_cheap = est.p_explore(&cheap, &rel);
-        let p_rich = est.p_explore(&rich, &rel);
+        let p_cheap = est.p_explore(&cheap);
+        let p_rich = est.p_explore(&rich);
         assert!((p_cheap - 0.5).abs() < 0.2, "{p_cheap}");
         assert!((p_rich - 0.5).abs() < 0.2, "{p_rich}");
     }
@@ -881,7 +1036,7 @@ mod tests {
     fn cost_of_chosen_tree_not_worse_than_alternatives() {
         // The level-1 attribute choice minimizes the one-level cost:
         // verify by brute-forcing the other attribute choices with the
-        // same partitioning machinery.
+        // reference (materializing) evaluation path.
         let rel = homes(300);
         let st = stats(&rel, &hot_workload());
         let result = ResultSet::whole(rel.clone());
@@ -891,18 +1046,75 @@ mod tests {
         let cat = Categorizer::new(&st, config);
         let tree = cat.categorize(&result, None);
         let chosen = tree.level_attr(1).unwrap();
-        let est = ProbabilityEstimator::new(&st);
+        let probs = ProbCache::new(&st);
         let s = vec![NodeId::ROOT];
         let base = CategoryTree::new(rel.clone(), result.rows().to_vec());
         let mut best_cost = f64::INFINITY;
         let mut best_attr = None;
         for attr in cat.candidate_attrs() {
-            let (cost, _) = cat.evaluate_attribute(&base, &rel, &s, attr, None, &est);
+            let (cost, _) = cat.evaluate_attribute(&base, &rel, &s, attr, None, &probs);
             if cost < best_cost {
                 best_cost = cost;
                 best_attr = Some(attr);
             }
         }
         assert_eq!(best_attr, Some(chosen));
+    }
+
+    #[test]
+    fn fused_pricing_agrees_with_materialized_evaluation() {
+        // price_item (counting pass) and evaluate_attribute
+        // (materializing reference) must produce bit-identical costs
+        // for every candidate.
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default().with_attr_threshold(0.1);
+        let cat = Categorizer::new(&st, config);
+        let probs = ProbCache::new(&st);
+        let s = vec![NodeId::ROOT];
+        let base = CategoryTree::new(rel.clone(), result.rows().to_vec());
+        for attr in cat.candidate_attrs() {
+            let (reference, _) = cat.evaluate_attribute(&base, &rel, &s, attr, None, &probs);
+            let plan = match rel.schema().type_of(attr) {
+                AttrType::Categorical => {
+                    let col = CategoricalCol::of(&rel, attr).unwrap();
+                    let plan = CategoricalPlan::build(&col, &st, ValueOrder::ByOccurrence);
+                    let (cost, _) = cat.price_item(
+                        &base,
+                        &rel,
+                        &CandPlan::Cat {
+                            col,
+                            plan: &plan,
+                            pw: probs.p_showtuples(attr),
+                        },
+                        NodeId::ROOT,
+                        None,
+                        &probs,
+                    );
+                    cost
+                }
+                AttrType::Int | AttrType::Float => {
+                    let (wmin, wmax) = cat.level_window(&base, &rel, &s, attr, None).unwrap();
+                    let (cost, _) = cat.price_item(
+                        &base,
+                        &rel,
+                        &CandPlan::Num {
+                            plan: NumericPlan::build(&st, attr, wmin, wmax),
+                            pw: probs.p_showtuples(attr),
+                        },
+                        NodeId::ROOT,
+                        None,
+                        &probs,
+                    );
+                    cost
+                }
+            };
+            assert_eq!(
+                plan.to_bits(),
+                reference.to_bits(),
+                "attr {attr:?}: fused {plan} vs reference {reference}"
+            );
+        }
     }
 }

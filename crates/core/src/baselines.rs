@@ -17,11 +17,11 @@
 
 use crate::config::CategorizeConfig;
 use crate::cost::one_level_cost_all;
-use crate::label::CategoryLabel;
+use crate::label::{CategoricalCol, CategoryLabel};
 use crate::partition::categorical::{CategoricalPlan, ValueOrder};
 use crate::partition::equiwidth::equiwidth_split;
-use crate::partition::Partitioning;
-use crate::probability::ProbabilityEstimator;
+use crate::partition::{Part, Partitioning};
+use crate::probability::ProbCache;
 use crate::tree::{CategoryTree, NodeId};
 use qcat_data::{AttrId, AttrType, Relation};
 use qcat_exec::ResultSet;
@@ -119,7 +119,7 @@ fn build(
     policy: AttrPolicy,
 ) -> CategoryTree {
     let relation = result.relation().clone();
-    let estimator = ProbabilityEstimator::new(stats);
+    let probs = ProbCache::new(stats);
     let mut tree = CategoryTree::new(relation.clone(), result.rows().to_vec());
     let mut candidates = baseline.attrs.clone();
     if policy == AttrPolicy::Arbitrary {
@@ -142,17 +142,18 @@ fn build(
         let pick = match policy {
             AttrPolicy::Arbitrary => {
                 let attr = candidates[0];
-                partition_level(stats, baseline, &tree, &relation, &s, attr)
+                partition_level(stats, baseline, &tree, &relation, &s, attr, &probs)
                     .map(|parts| (attr, parts))
             }
             AttrPolicy::MinCost => {
                 let mut best: Option<LevelChoice> = None;
                 for &attr in &candidates {
-                    let Some(parts) = partition_level(stats, baseline, &tree, &relation, &s, attr)
+                    let Some(parts) =
+                        partition_level(stats, baseline, &tree, &relation, &s, attr, &probs)
                     else {
                         continue;
                     };
-                    let cost = level_cost(&tree, &relation, &parts, attr, &estimator);
+                    let cost = level_cost(&tree, &parts, attr, &probs);
                     if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                         best = Some((cost, attr, parts));
                     }
@@ -171,11 +172,10 @@ fn build(
             break;
         };
         tree.push_level(attr);
-        let pw = estimator.p_showtuples(attr);
+        let pw = probs.p_showtuples(attr);
         for (node, partitioning) in parts {
-            for (label, tset) in partitioning.parts {
-                let p = estimator.p_explore(&label, &relation);
-                tree.add_child(node, label, tset, p);
+            for part in partitioning.parts {
+                tree.add_child(node, part.label, part.tset, part.p_explore);
             }
             tree.set_p_showtuples(node, pw);
         }
@@ -186,6 +186,7 @@ fn build(
 
 /// Partition every node of `s` the No-cost way; `None` when the
 /// attribute cannot split any node into ≥ 2 categories.
+#[allow(clippy::too_many_arguments)]
 fn partition_level(
     stats: &WorkloadStatistics,
     baseline: &BaselineConfig,
@@ -193,14 +194,16 @@ fn partition_level(
     relation: &Relation,
     s: &[NodeId],
     attr: AttrId,
+    probs: &ProbCache<'_>,
 ) -> Option<Vec<(NodeId, Partitioning)>> {
     let mut out = Vec::with_capacity(s.len());
     let mut any_real_split = false;
     match relation.schema().type_of(attr) {
         AttrType::Categorical => {
-            let plan = CategoricalPlan::build(relation, attr, stats, ValueOrder::Arbitrary);
+            let col = CategoricalCol::of(relation, attr)?;
+            let plan = CategoricalPlan::build(&col, stats, ValueOrder::Arbitrary);
             for &id in s {
-                let p = plan.split(relation, &tree.node(id).tset);
+                let p = plan.split(&col, &tree.node(id).tset);
                 any_real_split |= p.len() >= 2;
                 out.push((id, p));
             }
@@ -213,8 +216,8 @@ fn partition_level(
                     .unwrap_or_else(|| default_interval(relation, attr));
             for &id in s {
                 let tset = &tree.node(id).tset;
-                let p = equiwidth_split(relation, attr, tset, width)
-                    .unwrap_or_else(|| numeric_single(relation, attr, tset));
+                let p = equiwidth_split(relation, attr, tset, width, probs)
+                    .unwrap_or_else(|| numeric_single(relation, attr, tset, probs));
                 any_real_split |= p.len() >= 2;
                 out.push((id, p));
             }
@@ -233,29 +236,35 @@ fn default_interval(relation: &Relation, attr: AttrId) -> f64 {
     }
 }
 
-fn numeric_single(relation: &Relation, attr: AttrId, tset: &[u32]) -> Partitioning {
+fn numeric_single(
+    relation: &Relation,
+    attr: AttrId,
+    tset: &[u32],
+    probs: &ProbCache<'_>,
+) -> Partitioning {
     let (lo, hi) = relation
         .column(attr)
         .numeric_min_max(tset)
         .unwrap_or((0.0, 0.0));
+    let range = NumericRange::closed(lo, hi);
     Partitioning {
         attr,
-        parts: vec![(
-            CategoryLabel::range(attr, NumericRange::closed(lo, hi)),
-            tset.to_vec(),
-        )],
+        parts: vec![Part {
+            p_explore: probs.p_explore_range(attr, &range),
+            label: CategoryLabel::range(attr, range),
+            tset: tset.to_vec(),
+        }],
     }
 }
 
 /// `Σ_C P(C)·CostAll(Tree(C, A))` over a level's partitionings.
 fn level_cost(
     tree: &CategoryTree,
-    relation: &Relation,
     parts: &[(NodeId, Partitioning)],
     attr: AttrId,
-    estimator: &ProbabilityEstimator<'_>,
+    probs: &ProbCache<'_>,
 ) -> f64 {
-    let pw = estimator.p_showtuples(attr);
+    let pw = probs.p_showtuples(attr);
     parts
         .iter()
         .map(|(id, partitioning)| {
@@ -263,12 +272,12 @@ fn level_cost(
             let cost = if partitioning.len() < 2 {
                 node.tuple_count() as f64
             } else {
-                let children: Vec<(f64, usize)> = partitioning
-                    .parts
-                    .iter()
-                    .map(|(label, tset)| (estimator.p_explore(label, relation), tset.len()))
-                    .collect();
-                one_level_cost_all(node.tuple_count(), pw, 1.0, &children)
+                one_level_cost_all(
+                    node.tuple_count(),
+                    pw,
+                    1.0,
+                    &partitioning.children_for_pricing(),
+                )
             };
             node.p_explore * cost
         })

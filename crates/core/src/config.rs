@@ -83,6 +83,12 @@ pub struct CategorizeConfig {
     /// with `WorkloadStatistics::build_with_correlation`; silently
     /// falls back to unconditional estimates otherwise.
     pub conditional_probabilities: bool,
+    /// Worker threads for the Figure-6 partition/price fan-out.
+    /// `0` (the default) resolves through the `QCAT_THREADS`
+    /// environment variable, then the machine's available parallelism
+    /// (see `qcat_pool::resolve_threads`). The categorization result is
+    /// byte-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for CategorizeConfig {
@@ -99,6 +105,7 @@ impl Default for CategorizeConfig {
             categorical_group_threshold: None,
             grouping_top_k: 10,
             conditional_probabilities: false,
+            threads: 0,
         }
     }
 }
@@ -167,6 +174,13 @@ impl CategorizeConfig {
         self
     }
 
+    /// Set the worker-thread count (`0` = resolve from the
+    /// environment/machine).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Enable tail grouping of rare categorical values: nodes with
     /// more than `threshold` distinct values keep `top_k` single-value
     /// categories and pool the rest.
@@ -204,11 +218,14 @@ mod tests {
             .with_attr_threshold(0.3)
             .with_bucket_count(BucketCount::Auto { max: 8 })
             .with_min_bucket_size(3)
-            .with_max_levels(2);
+            .with_max_levels(2)
+            .with_threads(4);
         assert_eq!(c.max_leaf_tuples, 50);
         assert_eq!(c.bucket_count, BucketCount::Auto { max: 8 });
         assert_eq!(c.min_bucket_size, 3);
         assert_eq!(c.max_levels, 2);
+        assert_eq!(c.threads, 4);
+        assert_eq!(CategorizeConfig::default().threads, 0);
     }
 
     #[test]

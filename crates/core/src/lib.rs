@@ -85,8 +85,8 @@ pub use algorithm::{CategorizeTrace, Categorizer, LevelDecision};
 pub use baselines::{attr_cost_categorize, no_cost_categorize, BaselineConfig};
 pub use config::{BucketCount, CategorizeConfig, OrderingMode};
 pub use cost::{cost_all, cost_one, CostReport};
-pub use label::CategoryLabel;
-pub use probability::ProbabilityEstimator;
+pub use label::{CategoricalCol, CategoryLabel};
+pub use probability::{ProbCache, ProbabilityEstimator};
 pub use rank::WorkloadRanker;
 pub use refine::{refine_query, refined_sql};
 pub use render::render_tree;

@@ -3,7 +3,8 @@
 //! aligned to multiples of the width, with empty buckets removed.
 
 use crate::label::CategoryLabel;
-use crate::partition::Partitioning;
+use crate::partition::{Part, Partitioning};
+use crate::probability::ProbCache;
 use qcat_data::{AttrId, Relation};
 use qcat_sql::NumericRange;
 
@@ -11,12 +12,16 @@ use qcat_sql::NumericRange;
 /// boundaries are multiples of `width` (the paper splits price at
 /// every multiple of 25000, square footage at every 500, …).
 ///
+/// Bucket probabilities come from `probs` so downstream pricing and
+/// attachment can read them off the parts directly.
+///
 /// Returns `None` when the attribute has no spread in `tset`.
 pub fn equiwidth_split(
     relation: &Relation,
     attr: AttrId,
     tset: &[u32],
     width: f64,
+    probs: &ProbCache<'_>,
 ) -> Option<Partitioning> {
     assert!(width > 0.0 && width.is_finite(), "width must be positive");
     let column = relation.column(attr);
@@ -51,7 +56,11 @@ pub fn equiwidth_split(
             } else {
                 NumericRange::half_open(lo, lo + width)
             };
-            Some((CategoryLabel::range(attr, range), rows))
+            Some(Part {
+                p_explore: probs.p_explore_range(attr, &range),
+                label: CategoryLabel::range(attr, range),
+                tset: rows,
+            })
         })
         .collect();
     Some(Partitioning { attr, parts })
@@ -61,6 +70,7 @@ pub fn equiwidth_split(
 mod tests {
     use super::*;
     use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+    use qcat_workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
 
     fn price_relation(values: &[f64]) -> Relation {
         let schema = Schema::new(vec![Field::new("price", AttrType::Float)]).unwrap();
@@ -71,13 +81,21 @@ mod tests {
         b.finish().unwrap()
     }
 
+    fn empty_stats(rel: &Relation) -> WorkloadStatistics {
+        let schema = rel.schema().clone();
+        let log = WorkloadLog::parse([], &schema, None);
+        WorkloadStatistics::build(&log, &schema, &PreprocessConfig::new())
+    }
+
     #[test]
     fn aligned_buckets() {
         // Width 25000; prices from 210k to 260k → buckets [200k,225k),
         // [225k,250k), [250k,260k].
         let rel = price_relation(&[210_000.0, 230_000.0, 226_000.0, 260_000.0]);
-        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 25_000.0).unwrap();
-        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        let stats = empty_stats(&rel);
+        let probs = ProbCache::new(&stats);
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 25_000.0, &probs).unwrap();
+        let labels: Vec<String> = p.parts.iter().map(|p| p.label.render(&rel)).collect();
         assert_eq!(
             labels,
             vec![
@@ -86,15 +104,19 @@ mod tests {
                 "price: 250000 - 260000"
             ]
         );
-        assert_eq!(p.parts[0].1, vec![0]);
-        assert_eq!(p.parts[1].1, vec![1, 2]);
-        assert_eq!(p.parts[2].1, vec![3]);
+        assert_eq!(p.parts[0].tset, vec![0]);
+        assert_eq!(p.parts[1].tset, vec![1, 2]);
+        assert_eq!(p.parts[2].tset, vec![3]);
+        // Empty workload → nobody drills in.
+        assert!(p.parts.iter().all(|p| p.p_explore == 0.0));
     }
 
     #[test]
     fn empty_buckets_removed() {
         let rel = price_relation(&[10.0, 990.0]); // width 100 → gap in the middle
-        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0).unwrap();
+        let stats = empty_stats(&rel);
+        let probs = ProbCache::new(&stats);
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0, &probs).unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p.total_tuples(), 2);
     }
@@ -102,23 +124,50 @@ mod tests {
     #[test]
     fn degenerate_cases() {
         let rel = price_relation(&[5.0, 5.0]);
-        assert!(equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 10.0).is_none());
+        let stats = empty_stats(&rel);
+        let probs = ProbCache::new(&stats);
+        assert!(equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 10.0, &probs).is_none());
         // All values in one bucket.
         let rel = price_relation(&[12.0, 17.0]);
-        assert!(equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0).is_none());
+        let stats = empty_stats(&rel);
+        let probs = ProbCache::new(&stats);
+        assert!(equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0, &probs).is_none());
         // Empty tset.
-        assert!(equiwidth_split(&rel, AttrId(0), &[], 100.0).is_none());
+        assert!(equiwidth_split(&rel, AttrId(0), &[], 100.0, &probs).is_none());
     }
 
     #[test]
     fn negative_values_align() {
         let rel = price_relation(&[-150.0, -20.0, 40.0]);
-        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0).unwrap();
-        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        let stats = empty_stats(&rel);
+        let probs = ProbCache::new(&stats);
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0, &probs).unwrap();
+        let labels: Vec<String> = p.parts.iter().map(|p| p.label.render(&rel)).collect();
         assert_eq!(
             labels,
             vec!["price: -200 - -100", "price: -100 - 0", "price: 0 - 40"]
         );
+    }
+
+    #[test]
+    fn bucket_probabilities_match_the_estimator() {
+        let rel = price_relation(&[10.0, 120.0, 260.0]);
+        let schema = rel.schema().clone();
+        let log = WorkloadLog::parse(
+            ["SELECT * FROM t WHERE price BETWEEN 100 AND 200"],
+            &schema,
+            None,
+        );
+        let cfg = PreprocessConfig::new().with_interval(AttrId(0), 100.0);
+        let stats = WorkloadStatistics::build(&log, &schema, &cfg);
+        let probs = ProbCache::new(&stats);
+        let p = equiwidth_split(&rel, AttrId(0), &rel.all_row_ids(), 100.0, &probs).unwrap();
+        let est = probs.estimator();
+        for part in &p.parts {
+            assert_eq!(part.p_explore, est.p_explore(&part.label));
+        }
+        // The middle bucket [100,200) overlaps the lone query.
+        assert_eq!(p.parts[1].p_explore, 1.0);
     }
 
     // Property-based tests live behind the off-by-default `slow-tests`
@@ -138,14 +187,16 @@ mod tests {
                 width in 1.0..500.0f64,
             ) {
                 let rel = price_relation(&values);
+                let stats = empty_stats(&rel);
+                let probs = ProbCache::new(&stats);
                 let tset = rel.all_row_ids();
-                if let Some(p) = equiwidth_split(&rel, AttrId(0), &tset, width) {
+                if let Some(p) = equiwidth_split(&rel, AttrId(0), &tset, width, &probs) {
                     prop_assert_eq!(p.total_tuples(), values.len());
                     let mut seen: Vec<u32> = Vec::new();
-                    for (label, rows) in &p.parts {
-                        prop_assert!(!rows.is_empty());
-                        for &r in rows {
-                            prop_assert!(label.matches_row(&rel, r));
+                    for part in &p.parts {
+                        prop_assert!(!part.tset.is_empty());
+                        for &r in &part.tset {
+                            prop_assert!(part.label.matches_row(&rel, r));
                             seen.push(r);
                         }
                     }

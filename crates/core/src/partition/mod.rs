@@ -8,6 +8,23 @@ pub mod numeric;
 use crate::label::CategoryLabel;
 use qcat_data::AttrId;
 
+/// One would-be child of a partitioning: its label, tuple-set, and the
+/// exploration probability `P(C)` the partitioner already derived from
+/// workload statistics. Carrying `p_explore` here is what lets pricing
+/// (Equation 1) and tree attachment consume the partitioner's work
+/// instead of re-deriving it through the estimator.
+#[derive(Debug, Clone)]
+pub struct Part {
+    /// The category label.
+    pub label: CategoryLabel,
+    /// Row ids of the parent's tuples that fall under the label.
+    pub tset: Vec<u32>,
+    /// Estimated exploration probability `P(C)` for the label,
+    /// identical to what [`crate::probability::ProbabilityEstimator`]
+    /// would return for it.
+    pub p_explore: f64,
+}
+
 /// A proposed partitioning of one node's tuple-set: the would-be
 /// children in presentation order. Every row of the node appears in
 /// exactly one part; parts are non-empty.
@@ -15,8 +32,8 @@ use qcat_data::AttrId;
 pub struct Partitioning {
     /// The categorizing attribute.
     pub attr: AttrId,
-    /// `(label, tset)` pairs in presentation order.
-    pub parts: Vec<(CategoryLabel, Vec<u32>)>,
+    /// Parts in presentation order.
+    pub parts: Vec<Part>,
 }
 
 impl Partitioning {
@@ -32,6 +49,15 @@ impl Partitioning {
 
     /// Total tuples across parts (must equal the node's tuple count).
     pub fn total_tuples(&self) -> usize {
-        self.parts.iter().map(|(_, t)| t.len()).sum()
+        self.parts.iter().map(|p| p.tset.len()).sum()
+    }
+
+    /// `(p_explore, size)` pairs in part order — the exact shape
+    /// Equation 1 pricing consumes.
+    pub fn children_for_pricing(&self) -> Vec<(f64, usize)> {
+        self.parts
+            .iter()
+            .map(|p| (p.p_explore, p.tset.len()))
+            .collect()
     }
 }

@@ -7,13 +7,19 @@
 //! least `min_bucket_size` tuples (Example 5.1's skip rule) — until
 //! `m − 1` are selected. Buckets are presented in ascending value
 //! order; all are `[lo, hi)` except the last, which closes at `vmax`.
+//!
+//! Split selection and pricing are decoupled: [`NumericPlan::priced_split_in_window`]
+//! runs the same selection but returns only `(P(C), size)` pairs from a
+//! counting pass over the node's sorted values, so the Figure-6 loop
+//! can price every candidate attribute without materializing losing
+//! partitionings.
 
 use crate::config::{BucketCount, CategorizeConfig};
 use crate::cost::one_level_cost_all;
 use crate::float;
 use crate::label::CategoryLabel;
-use crate::partition::Partitioning;
-use crate::probability::ProbabilityEstimator;
+use crate::partition::{Part, Partitioning};
+use crate::probability::ProbCache;
 use qcat_data::{AttrId, Relation};
 use qcat_sql::{NormalizedQuery, NumericRange};
 use qcat_workload::WorkloadStatistics;
@@ -40,6 +46,16 @@ pub fn value_window(
     }
     let (lo, hi) = relation.column(attr).numeric_min_max(tset)?;
     (lo < hi).then_some((lo, hi))
+}
+
+/// The outcome of splitpoint selection for one node: the accepted
+/// splits (sorted ascending), the effective window, and the node's
+/// values sorted for `O(log n)` population queries.
+struct ChosenSplits {
+    splits: Vec<f64>,
+    vmin: f64,
+    vmax: f64,
+    sorted: Vec<f64>,
 }
 
 /// A level-wide numeric plan: the candidate splitpoints for the
@@ -83,10 +99,10 @@ impl NumericPlan {
         relation: &Relation,
         tset: &[u32],
         config: &CategorizeConfig,
-        estimator: &ProbabilityEstimator<'_>,
+        probs: &ProbCache<'_>,
         p_showtuples: f64,
     ) -> Option<Partitioning> {
-        self.split_in_window(relation, tset, config, estimator, p_showtuples, None)
+        self.split_in_window(relation, tset, config, probs, p_showtuples, None)
     }
 
     /// Like [`NumericPlan::split`], but with an explicit value window
@@ -98,10 +114,59 @@ impl NumericPlan {
         relation: &Relation,
         tset: &[u32],
         config: &CategorizeConfig,
-        estimator: &ProbabilityEstimator<'_>,
+        probs: &ProbCache<'_>,
         p_showtuples: f64,
         window: Option<(f64, f64)>,
     ) -> Option<Partitioning> {
+        let chosen = self.choose_splits(relation, tset, config, probs, p_showtuples, window)?;
+        Some(build_buckets(
+            relation,
+            self.attr,
+            tset,
+            &chosen.splits,
+            chosen.vmin,
+            chosen.vmax,
+            probs,
+        ))
+    }
+
+    /// Price the split without materializing it: run the same
+    /// splitpoint selection as [`NumericPlan::split_in_window`] and
+    /// return the `(P(C), size)` pairs its buckets would have, counted
+    /// against the node's sorted values. Bucket membership boundaries
+    /// are shared with [`build_buckets`], so sizes agree exactly.
+    pub fn priced_split_in_window(
+        &self,
+        relation: &Relation,
+        tset: &[u32],
+        config: &CategorizeConfig,
+        probs: &ProbCache<'_>,
+        p_showtuples: f64,
+        window: Option<(f64, f64)>,
+    ) -> Option<Vec<(f64, usize)>> {
+        let chosen = self.choose_splits(relation, tset, config, probs, p_showtuples, window)?;
+        let children = bucket_ranges(&chosen.splits, chosen.vmin, chosen.vmax)
+            .map(|range| {
+                let count = count_in_range(&chosen.sorted, &range);
+                (probs.p_explore_range(self.attr, &range), count)
+            })
+            .filter(|&(_, count)| count > 0)
+            .collect();
+        Some(children)
+    }
+
+    /// Shared front half of splitting and pricing: window resolution,
+    /// value sorting, greedy necessary-splitpoint selection, and (for
+    /// `Auto` bucket counts) the best-prefix cost search.
+    fn choose_splits(
+        &self,
+        relation: &Relation,
+        tset: &[u32],
+        config: &CategorizeConfig,
+        probs: &ProbCache<'_>,
+        p_showtuples: f64,
+        window: Option<(f64, f64)>,
+    ) -> Option<ChosenSplits> {
         let column = relation.column(self.attr);
         let (dmin, dmax) = column.numeric_min_max(tset)?;
         let (vmin, vmax) = match window {
@@ -133,7 +198,7 @@ impl NumericPlan {
         if chosen.is_empty() {
             return None;
         }
-        let chosen = match config.bucket_count {
+        let mut splits = match config.bucket_count {
             BucketCount::Fixed(_) => chosen,
             BucketCount::Auto { .. } => best_prefix_by_cost(
                 &sorted,
@@ -142,14 +207,17 @@ impl NumericPlan {
                 vmax,
                 self.attr,
                 config,
-                estimator,
-                relation,
+                probs,
                 p_showtuples,
             ),
         };
-        Some(build_buckets(
-            relation, self.attr, tset, &chosen, vmin, vmax,
-        ))
+        splits.sort_unstable_by(f64::total_cmp);
+        Some(ChosenSplits {
+            splits,
+            vmin,
+            vmax,
+            sorted,
+        })
     }
 }
 
@@ -211,8 +279,7 @@ fn best_prefix_by_cost(
     vmax: f64,
     attr: AttrId,
     config: &CategorizeConfig,
-    estimator: &ProbabilityEstimator<'_>,
-    relation: &Relation,
+    probs: &ProbCache<'_>,
     p_showtuples: f64,
 ) -> Vec<f64> {
     let mut best: (f64, usize) = (f64::INFINITY, 1);
@@ -221,16 +288,8 @@ fn best_prefix_by_cost(
         splits.sort_unstable_by(f64::total_cmp);
         let children: Vec<(f64, usize)> = bucket_ranges(&splits, vmin, vmax)
             .map(|range| {
-                let label = CategoryLabel::range(attr, range);
-                let p = estimator.p_explore(&label, relation);
-                // Ranges are contiguous over sorted values.
-                let a = sorted.partition_point(|&v| v < range.lo);
-                let b = if range.hi_inclusive {
-                    sorted.partition_point(|&v| v <= range.hi)
-                } else {
-                    sorted.partition_point(|&v| v < range.hi)
-                };
-                (p, b - a)
+                let p = probs.p_explore_range(attr, &range);
+                (p, count_in_range(sorted, &range))
             })
             .collect();
         let cost = one_level_cost_all(sorted.len(), p_showtuples, config.label_cost, &children);
@@ -239,6 +298,18 @@ fn best_prefix_by_cost(
         }
     }
     accepted[..best.1].to_vec()
+}
+
+/// Population of `range` among `sorted` values. Ranges are contiguous
+/// over sorted values, so two binary searches suffice.
+fn count_in_range(sorted: &[f64], range: &NumericRange) -> usize {
+    let a = sorted.partition_point(|&v| v < range.lo);
+    let b = if range.hi_inclusive {
+        sorted.partition_point(|&v| v <= range.hi)
+    } else {
+        sorted.partition_point(|&v| v < range.hi)
+    };
+    b - a
 }
 
 /// Iterate the bucket ranges induced by sorted `splits` over
@@ -260,17 +331,16 @@ fn bucket_ranges<'a>(
 }
 
 /// Materialize the bucket partitioning, preserving table order within
-/// buckets.
+/// buckets. `splits` must be sorted ascending.
 fn build_buckets(
     relation: &Relation,
     attr: AttrId,
     tset: &[u32],
-    accepted: &[f64],
+    splits: &[f64],
     vmin: f64,
     vmax: f64,
+    probs: &ProbCache<'_>,
 ) -> Partitioning {
-    let mut splits: Vec<f64> = accepted.to_vec();
-    splits.sort_unstable_by(f64::total_cmp);
     let column = relation.column(attr);
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); splits.len() + 1];
     for &row in tset {
@@ -281,10 +351,14 @@ fn build_buckets(
         let idx = splits.partition_point(|&s| s <= v);
         buckets[idx].push(row);
     }
-    let parts = bucket_ranges(&splits, vmin, vmax)
+    let parts = bucket_ranges(splits, vmin, vmax)
         .zip(buckets)
         .filter_map(|(range, rows)| {
-            (!rows.is_empty()).then(|| (CategoryLabel::range(attr, range), rows))
+            (!rows.is_empty()).then(|| Part {
+                p_explore: probs.p_explore_range(attr, &range),
+                label: CategoryLabel::range(attr, range),
+                tset: rows,
+            })
         })
         .collect();
     Partitioning { attr, parts }
@@ -336,15 +410,15 @@ mod tests {
             5,
         ));
         let stats = stats_for(&queries, &rel);
-        let est = ProbabilityEstimator::new(&stats);
+        let probs = ProbCache::new(&stats);
         let plan = NumericPlan::build(&stats, AttrId(0), 0.0, 9900.0);
         // m=3 → 2 splits: 5000 (goodness 13) and 8000 (goodness 10).
         let config = CategorizeConfig::default().with_bucket_count(BucketCount::Fixed(3));
         let p = plan
-            .split(&rel, &all_rows(&rel), &config, &est, 0.5)
+            .split(&rel, &all_rows(&rel), &config, &probs, 0.5)
             .unwrap();
         assert_eq!(p.len(), 3);
-        let labels: Vec<String> = p.parts.iter().map(|(l, _)| l.render(&rel)).collect();
+        let labels: Vec<String> = p.parts.iter().map(|p| p.label.render(&rel)).collect();
         assert_eq!(labels[0], "price: 0 - 5000");
         assert_eq!(labels[1], "price: 5000 - 8000");
         assert_eq!(labels[2], "price: 8000 - 9900");
@@ -370,7 +444,7 @@ mod tests {
             10,
         ));
         let stats = stats_for(&queries, &rel);
-        let est = ProbabilityEstimator::new(&stats);
+        let probs = ProbCache::new(&stats);
         let plan = NumericPlan::build(&stats, AttrId(0), 0.0, 9000.0);
         // Require ≥ 5 tuples per bucket: split at 8000 leaves 1 tuple
         // on the right → unnecessary; 1000 is selected instead.
@@ -378,21 +452,21 @@ mod tests {
             .with_bucket_count(BucketCount::Fixed(2))
             .with_min_bucket_size(5);
         let p = plan
-            .split(&rel, &all_rows(&rel), &config, &est, 0.5)
+            .split(&rel, &all_rows(&rel), &config, &probs, 0.5)
             .unwrap();
         assert_eq!(p.len(), 2);
-        assert_eq!(p.parts[0].0.render(&rel), "price: 0 - 1000");
+        assert_eq!(p.parts[0].label.render(&rel), "price: 0 - 1000");
     }
 
     #[test]
     fn no_candidates_returns_none() {
         let rel = price_relation(&[1.0, 2.0, 3.0]);
         let stats = stats_for(&[], &rel);
-        let est = ProbabilityEstimator::new(&stats);
+        let probs = ProbCache::new(&stats);
         let plan = NumericPlan::build(&stats, AttrId(0), 1.0, 3.0);
         let config = CategorizeConfig::default();
         assert!(plan
-            .split(&rel, &all_rows(&rel), &config, &est, 0.5)
+            .split(&rel, &all_rows(&rel), &config, &probs, 0.5)
             .is_none());
     }
 
@@ -400,11 +474,14 @@ mod tests {
     fn degenerate_domain_returns_none() {
         let rel = price_relation(&[5000.0, 5000.0, 5000.0]);
         let stats = stats_for(&["SELECT * FROM t WHERE price BETWEEN 0 AND 5000"], &rel);
-        let est = ProbabilityEstimator::new(&stats);
+        let probs = ProbCache::new(&stats);
         let plan = NumericPlan::build(&stats, AttrId(0), 0.0, 10_000.0);
         let config = CategorizeConfig::default();
         assert!(plan
-            .split(&rel, &all_rows(&rel), &config, &est, 0.5)
+            .split(&rel, &all_rows(&rel), &config, &probs, 0.5)
+            .is_none());
+        assert!(plan
+            .priced_split_in_window(&rel, &all_rows(&rel), &config, &probs, 0.5, None)
             .is_none());
     }
 
@@ -419,17 +496,49 @@ mod tests {
             ],
             &rel,
         );
-        let est = ProbabilityEstimator::new(&stats);
+        let probs = ProbCache::new(&stats);
         let plan = NumericPlan::build(&stats, AttrId(0), 0.0, 3000.0);
         let config = CategorizeConfig::default().with_bucket_count(BucketCount::Fixed(3));
         let p = plan
-            .split(&rel, &all_rows(&rel), &config, &est, 0.5)
+            .split(&rel, &all_rows(&rel), &config, &probs, 0.5)
             .unwrap();
         // Splits at 1000 and 2000. Bucket membership: [0,1000) → rows
         // 0,1; [1000,2000) → 2,3; [2000,3000] → 4,5 (vmax closed).
-        assert_eq!(p.parts[0].1, vec![0, 1]);
-        assert_eq!(p.parts[1].1, vec![2, 3]);
-        assert_eq!(p.parts[2].1, vec![4, 5]);
+        assert_eq!(p.parts[0].tset, vec![0, 1]);
+        assert_eq!(p.parts[1].tset, vec![2, 3]);
+        assert_eq!(p.parts[2].tset, vec![4, 5]);
+        // Carried P(C) matches the estimator for each bucket label.
+        let est = probs.estimator();
+        for part in &p.parts {
+            assert_eq!(part.p_explore, est.p_explore(&part.label));
+        }
+    }
+
+    #[test]
+    fn priced_split_matches_materialized_split() {
+        let values: Vec<f64> = (0..60).map(|i| i as f64 * 50.0).collect();
+        let rel = price_relation(&values);
+        let mut queries = vec![];
+        queries.extend(std::iter::repeat_n(
+            "SELECT * FROM t WHERE price BETWEEN 0 AND 1000",
+            20,
+        ));
+        queries.push("SELECT * FROM t WHERE price BETWEEN 2000 AND 2500");
+        let stats = stats_for(&queries, &rel);
+        let probs = ProbCache::new(&stats);
+        let plan = NumericPlan::build(&stats, AttrId(0), 0.0, 2950.0);
+        for config in [
+            CategorizeConfig::default().with_bucket_count(BucketCount::Fixed(3)),
+            CategorizeConfig::default().with_bucket_count(BucketCount::Auto { max: 6 }),
+        ] {
+            let full = plan
+                .split_in_window(&rel, &all_rows(&rel), &config, &probs, 0.2, None)
+                .unwrap();
+            let priced = plan
+                .priced_split_in_window(&rel, &all_rows(&rel), &config, &probs, 0.2, None)
+                .unwrap();
+            assert_eq!(full.children_for_pricing(), priced);
+        }
     }
 
     #[test]
@@ -445,16 +554,19 @@ mod tests {
         ));
         queries.push("SELECT * FROM t WHERE price BETWEEN 2000 AND 2500");
         let stats = stats_for(&queries, &rel);
-        let est = ProbabilityEstimator::new(&stats);
+        let probs = ProbCache::new(&stats);
         let plan = NumericPlan::build(&stats, AttrId(0), 0.0, 2950.0);
         let config = CategorizeConfig::default().with_bucket_count(BucketCount::Auto { max: 6 });
         let p = plan
-            .split(&rel, &all_rows(&rel), &config, &est, 0.2)
+            .split(&rel, &all_rows(&rel), &config, &probs, 0.2)
             .unwrap();
         // The plan must at least keep the dominant 1000 split and stay
         // within the Auto cap.
         assert!(p.len() >= 2 && p.len() <= 6);
-        assert!(p.parts.iter().any(|(l, _)| l.render(&rel).contains("1000")));
+        assert!(p
+            .parts
+            .iter()
+            .any(|p| p.label.render(&rel).contains("1000")));
         assert_eq!(p.total_tuples(), 60);
     }
 

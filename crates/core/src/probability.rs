@@ -1,8 +1,12 @@
 //! Workload-based probability estimation (paper Section 4.2).
 
 use crate::label::{CategoryLabel, LabelKind};
-use qcat_data::{AttrId, Relation};
+use qcat_data::AttrId;
+use qcat_sql::NumericRange;
 use qcat_workload::WorkloadStatistics;
+use std::collections::HashMap;
+use std::sync::PoisonError;
+use std::sync::RwLock;
 
 /// Estimates `P(C)` and `Pw(C)` from workload statistics.
 ///
@@ -13,6 +17,10 @@ use qcat_workload::WorkloadStatistics;
 /// - `P(C) = NOverlap(C) / NAttr(CA(C))`: among users who constrained
 ///   the categorizing attribute, the fraction whose condition overlaps
 ///   this label.
+///
+/// Categorical labels carry their value strings (see
+/// [`crate::label::CategoricalCol`]), so estimation never consults the
+/// relation.
 #[derive(Debug, Clone, Copy)]
 pub struct ProbabilityEstimator<'a> {
     stats: &'a WorkloadStatistics,
@@ -40,20 +48,11 @@ impl<'a> ProbabilityEstimator<'a> {
     }
 
     /// `NOverlap(C)` for a label.
-    pub fn n_overlap(&self, label: &CategoryLabel, relation: &Relation) -> usize {
+    pub fn n_overlap(&self, label: &CategoryLabel) -> usize {
         match &label.kind {
-            LabelKind::In(codes) => {
-                let (dict, _) = relation
-                    .column(label.attr)
-                    .categorical()
-                    .expect("In label on categorical column");
-                self.stats.n_overlap_values(
-                    label.attr,
-                    codes
-                        .iter()
-                        .filter_map(|&c| dict.value(c).map(|v| v.as_ref())),
-                )
-            }
+            LabelKind::In(_) => self
+                .stats
+                .n_overlap_values(label.attr, label.in_values()),
             LabelKind::Range(r) => self.stats.n_overlap_range(label.attr, r),
         }
     }
@@ -62,12 +61,12 @@ impl<'a> ProbabilityEstimator<'a> {
     /// (multi-value categorical labels can overcount `NOverlap`, see
     /// `qcat-workload`). When nobody ever constrained the attribute,
     /// no workload user would drill in; `P = 0`.
-    pub fn p_explore(&self, label: &CategoryLabel, relation: &Relation) -> f64 {
+    pub fn p_explore(&self, label: &CategoryLabel) -> f64 {
         let n_attr = self.stats.n_attr(label.attr);
         if n_attr == 0 {
             return 0.0;
         }
-        (self.n_overlap(label, relation) as f64 / n_attr as f64).clamp(0.0, 1.0)
+        (self.n_overlap(label) as f64 / n_attr as f64).clamp(0.0, 1.0)
     }
 
     /// Correlation-aware `P(C | path)` (the paper's future-work
@@ -77,31 +76,21 @@ impl<'a> ProbabilityEstimator<'a> {
     /// `WorkloadStatistics::build_with_correlation`; falls back to the
     /// unconditional [`ProbabilityEstimator::p_explore`] when the
     /// index is absent or no query matches the path.
-    pub fn p_explore_conditional(
-        &self,
-        label: &CategoryLabel,
-        path: &[&CategoryLabel],
-        relation: &Relation,
-    ) -> f64 {
+    pub fn p_explore_conditional(&self, label: &CategoryLabel, path: &[&CategoryLabel]) -> f64 {
         if let Some(index) = self.stats.correlation_index() {
-            let predicate = label.to_predicate(relation);
-            let path_preds: Vec<_> = path.iter().map(|l| l.to_predicate(relation)).collect();
+            let predicate = label.to_predicate();
+            let path_preds: Vec<_> = path.iter().map(|l| l.to_predicate()).collect();
             if let Some(p) = index.conditional_p_explore(&predicate, &path_preds) {
                 return p.clamp(0.0, 1.0);
             }
         }
-        self.p_explore(label, relation)
+        self.p_explore(label)
     }
 
     /// Correlation-aware `Pw(C | path)`, same fallback rules.
-    pub fn p_showtuples_conditional(
-        &self,
-        sub_attr: qcat_data::AttrId,
-        path: &[&CategoryLabel],
-        relation: &Relation,
-    ) -> f64 {
+    pub fn p_showtuples_conditional(&self, sub_attr: AttrId, path: &[&CategoryLabel]) -> f64 {
         if let Some(index) = self.stats.correlation_index() {
-            let path_preds: Vec<_> = path.iter().map(|l| l.to_predicate(relation)).collect();
+            let path_preds: Vec<_> = path.iter().map(|l| l.to_predicate()).collect();
             if let Some(pw) = index.conditional_p_showtuples(sub_attr, &path_preds) {
                 return pw.clamp(0.0, 1.0);
             }
@@ -110,11 +99,98 @@ impl<'a> ProbabilityEstimator<'a> {
     }
 }
 
+/// Cache key for a range probability: the attribute plus the interval
+/// identity, with the float bounds compared by bit pattern.
+type RangeKey = (AttrId, u64, u64, bool, bool);
+
+/// Per-categorize memo over [`ProbabilityEstimator`]: `Pw` per
+/// attribute precomputed up front, `P(C)` for numeric interval labels
+/// cached by interval identity. The numeric partitioner prices the
+/// same candidate intervals repeatedly (prefix search, then final
+/// bucket construction, then Equation-1 pricing); the cache makes each
+/// distinct interval cost one range-index probe per categorization.
+///
+/// Values are bit-identical to the estimator's (a hit returns exactly
+/// what the miss computed), so caching cannot perturb tie-breaking,
+/// and the cache is `Sync` — pool workers share one instance.
+#[derive(Debug)]
+pub struct ProbCache<'a> {
+    est: ProbabilityEstimator<'a>,
+    p_show: Vec<f64>,
+    range_p: RwLock<HashMap<RangeKey, f64>>,
+}
+
+impl<'a> ProbCache<'a> {
+    /// Build a cache over `stats`, precomputing `Pw` for every
+    /// attribute of the schema.
+    pub fn new(stats: &'a WorkloadStatistics) -> Self {
+        let est = ProbabilityEstimator::new(stats);
+        let p_show = stats
+            .schema()
+            .attr_ids()
+            .map(|a| est.p_showtuples(a))
+            .collect();
+        ProbCache {
+            est,
+            p_show,
+            range_p: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped estimator.
+    pub fn estimator(&self) -> ProbabilityEstimator<'a> {
+        self.est
+    }
+
+    /// Precomputed `Pw(C)` for a node subcategorized by `sub_attr`.
+    pub fn p_showtuples(&self, sub_attr: AttrId) -> f64 {
+        match self.p_show.get(sub_attr.0 as usize) {
+            Some(&p) => p,
+            None => self.est.p_showtuples(sub_attr),
+        }
+    }
+
+    /// Cached `P(C)` for the numeric interval label `attr ∈ r`.
+    pub fn p_explore_range(&self, attr: AttrId, r: &NumericRange) -> f64 {
+        let key: RangeKey = (
+            attr,
+            r.lo.to_bits(),
+            r.hi.to_bits(),
+            r.lo_inclusive,
+            r.hi_inclusive,
+        );
+        if let Some(&p) = self
+            .range_p
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return p;
+        }
+        let p = self.est.p_explore(&CategoryLabel::range(attr, *r));
+        self.range_p
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, p);
+        p
+    }
+
+    /// `P(C)` for any label: numeric intervals go through the cache,
+    /// categorical labels straight to the estimator (the categorical
+    /// partitioner keeps its own code-indexed table).
+    pub fn p_explore(&self, label: &CategoryLabel) -> f64 {
+        match &label.kind {
+            LabelKind::Range(r) => self.p_explore_range(label.attr, r),
+            LabelKind::In(_) => self.est.p_explore(label),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
-    use qcat_sql::NumericRange;
+    use crate::label::CategoricalCol;
+    use qcat_data::{AttrType, Field, Relation, RelationBuilder, Schema};
     use qcat_workload::{PreprocessConfig, WorkloadLog};
 
     fn setup() -> (Relation, WorkloadStatistics) {
@@ -150,12 +226,10 @@ mod tests {
         (rel, WorkloadStatistics::build(&log, &schema, &cfg))
     }
 
-    fn code(rel: &Relation, v: &str) -> u32 {
-        rel.column(AttrId(0))
-            .categorical()
+    fn hood(rel: &Relation, v: &str) -> CategoryLabel {
+        CategoricalCol::of(rel, AttrId(0))
             .unwrap()
-            .0
-            .lookup(v)
+            .label_of_value(v)
             .unwrap()
     }
 
@@ -175,46 +249,38 @@ mod tests {
         let (rel, stats) = setup();
         let est = ProbabilityEstimator::new(&stats);
         // occ(Redmond)=2, NAttr(neighborhood)=2 → P = 1.0
-        let l = CategoryLabel::single_value(AttrId(0), code(&rel, "Redmond"));
-        assert_eq!(est.p_explore(&l, &rel), 1.0);
+        assert_eq!(est.p_explore(&hood(&rel, "Redmond")), 1.0);
         // occ(Bellevue)=1 → 0.5
-        let l = CategoryLabel::single_value(AttrId(0), code(&rel, "Bellevue"));
-        assert_eq!(est.p_explore(&l, &rel), 0.5);
+        assert_eq!(est.p_explore(&hood(&rel, "Bellevue")), 0.5);
         // Seattle never queried → 0.
-        let l = CategoryLabel::single_value(AttrId(0), code(&rel, "Seattle"));
-        assert_eq!(est.p_explore(&l, &rel), 0.0);
+        assert_eq!(est.p_explore(&hood(&rel, "Seattle")), 0.0);
     }
 
     #[test]
     fn explore_probability_numeric() {
-        let (rel, stats) = setup();
+        let (_, stats) = setup();
         let est = ProbabilityEstimator::new(&stats);
         // Label [200k, 240k): overlaps query [200k,250k] only → 1/2.
         let l = CategoryLabel::range(AttrId(1), NumericRange::half_open(200_000.0, 240_000.0));
-        assert_eq!(est.p_explore(&l, &rel), 0.5);
+        assert_eq!(est.p_explore(&l), 0.5);
         // Label [240k, 260k): overlaps both price queries → 1.0.
         let l = CategoryLabel::range(AttrId(1), NumericRange::half_open(240_000.0, 260_000.0));
-        assert_eq!(est.p_explore(&l, &rel), 1.0);
+        assert_eq!(est.p_explore(&l), 1.0);
         // Label [400k, 500k): overlaps none.
         let l = CategoryLabel::range(AttrId(1), NumericRange::half_open(400_000.0, 500_000.0));
-        assert_eq!(est.p_explore(&l, &rel), 0.0);
+        assert_eq!(est.p_explore(&l), 0.0);
     }
 
     #[test]
     fn unconstrained_attr_gives_zero_explore() {
-        let (rel, stats) = setup();
-        let est = ProbabilityEstimator::new(&stats);
-        // Make stats where beds never appears: reuse, but query a label
-        // on an attr with NAttr>0 is covered above; test the n_attr=0
-        // branch with a fresh workload.
+        let (rel, _) = setup();
+        // A workload where neighborhood never appears: NAttr = 0.
         let schema = rel.schema().clone();
         let log = WorkloadLog::parse(["SELECT * FROM t WHERE price > 0"], &schema, None);
         let cfg = PreprocessConfig::new().with_interval(AttrId(1), 5000.0);
         let stats2 = WorkloadStatistics::build(&log, &schema, &cfg);
         let est2 = ProbabilityEstimator::new(&stats2);
-        let l = CategoryLabel::single_value(AttrId(0), code(&rel, "Redmond"));
-        assert_eq!(est2.p_explore(&l, &rel), 0.0);
-        let _ = est; // silence unused in this branch
+        assert_eq!(est2.p_explore(&hood(&rel, "Redmond")), 0.0);
     }
 
     #[test]
@@ -225,17 +291,35 @@ mod tests {
         let stats = WorkloadStatistics::build(&log, &schema, &PreprocessConfig::new());
         let est = ProbabilityEstimator::new(&stats);
         assert_eq!(est.p_showtuples(AttrId(0)), 1.0);
-        let l = CategoryLabel::single_value(AttrId(0), code(&rel, "Redmond"));
-        assert_eq!(est.p_explore(&l, &rel), 0.0);
+        assert_eq!(est.p_explore(&hood(&rel, "Redmond")), 0.0);
     }
 
     #[test]
     fn multi_value_label_clamps() {
         let (rel, stats) = setup();
         let est = ProbabilityEstimator::new(&stats);
-        let l =
-            CategoryLabel::value_set(AttrId(0), [code(&rel, "Redmond"), code(&rel, "Bellevue")]);
+        let l = CategoricalCol::of(&rel, AttrId(0))
+            .unwrap()
+            .label_of_values(["Redmond", "Bellevue"])
+            .unwrap();
         // occ sums to 3 > NAttr=2; clamp to 1.
-        assert_eq!(est.p_explore(&l, &rel), 1.0);
+        assert_eq!(est.p_explore(&l), 1.0);
+    }
+
+    #[test]
+    fn cache_is_bit_identical_to_the_estimator() {
+        let (rel, stats) = setup();
+        let est = ProbabilityEstimator::new(&stats);
+        let cache = ProbCache::new(&stats);
+        for attr in [AttrId(0), AttrId(1), AttrId(2)] {
+            assert_eq!(cache.p_showtuples(attr), est.p_showtuples(attr));
+        }
+        let r = NumericRange::half_open(200_000.0, 240_000.0);
+        let direct = est.p_explore(&CategoryLabel::range(AttrId(1), r));
+        // Miss, then hit: both must equal the estimator's answer.
+        assert_eq!(cache.p_explore_range(AttrId(1), &r), direct);
+        assert_eq!(cache.p_explore_range(AttrId(1), &r), direct);
+        let l = hood(&rel, "Bellevue");
+        assert_eq!(cache.p_explore(&l), est.p_explore(&l));
     }
 }

@@ -29,22 +29,14 @@ pub fn refine_query(
     base: Option<&NormalizedQuery>,
     table: &str,
 ) -> NormalizedQuery {
-    let relation = tree.relation();
     let mut conditions: BTreeMap<_, AttrCondition> =
         base.map(|q| q.conditions.clone()).unwrap_or_default();
     for label in tree.path_labels(node) {
         let cond = match &label.kind {
-            LabelKind::In(codes) => {
-                let (dict, _) = relation
-                    .column(label.attr)
-                    .categorical()
-                    .expect("In label on categorical column");
-                AttrCondition::InStr(
-                    codes
-                        .iter()
-                        .filter_map(|&c| dict.value(c).map(|v| v.as_ref().to_string()))
-                        .collect(),
-                )
+            // `In` labels carry their value strings, so no dictionary
+            // round-trip is needed.
+            LabelKind::In(values) => {
+                AttrCondition::InStr(values.values().map(|v| v.as_ref().to_string()).collect())
             }
             LabelKind::Range(r) => AttrCondition::Range(*r),
         };

@@ -47,7 +47,6 @@ fn render_node(tree: &CategoryTree, id: NodeId, depth: usize, max_depth: usize, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::label::CategoryLabel;
     use qcat_data::{AttrId, AttrType, Field, RelationBuilder, Schema};
 
     fn tree() -> CategoryTree {
@@ -57,34 +56,13 @@ mod tests {
             b.push_row(&[v.into()]).unwrap();
         }
         let rel = b.finish().unwrap();
-        let code_a = rel
-            .column(AttrId(0))
-            .categorical()
-            .unwrap()
-            .0
-            .lookup("a")
-            .unwrap();
-        let code_b = rel
-            .column(AttrId(0))
-            .categorical()
-            .unwrap()
-            .0
-            .lookup("b")
-            .unwrap();
+        let col = crate::label::CategoricalCol::of(&rel, AttrId(0)).unwrap();
+        let label_a = col.label_of_value("a").unwrap();
+        let label_b = col.label_of_value("b").unwrap();
         let mut t = CategoryTree::new(rel, vec![0, 1, 2]);
         t.push_level(AttrId(0));
-        t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), code_a),
-            vec![0, 1],
-            0.75,
-        );
-        t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), code_b),
-            vec![2],
-            0.25,
-        );
+        t.add_child(NodeId::ROOT, label_a, vec![0, 1], 0.75);
+        t.add_child(NodeId::ROOT, label_b, vec![2], 0.25);
         t.set_p_showtuples(NodeId::ROOT, 0.3);
         t
     }

@@ -405,12 +405,10 @@ mod tests {
         b.finish().unwrap()
     }
 
-    fn code(rel: &Relation, v: &str) -> u32 {
-        rel.column(AttrId(0))
-            .categorical()
+    fn hood(rel: &Relation, v: &str) -> CategoryLabel {
+        crate::label::CategoricalCol::of(rel, AttrId(0))
             .unwrap()
-            .0
-            .lookup(v)
+            .label_of_value(v)
             .unwrap()
     }
 
@@ -419,30 +417,15 @@ mod tests {
     fn sample_tree() -> CategoryTree {
         let rel = homes();
         let (red, bel, sea) = (
-            code(&rel, "Redmond"),
-            code(&rel, "Bellevue"),
-            code(&rel, "Seattle"),
+            hood(&rel, "Redmond"),
+            hood(&rel, "Bellevue"),
+            hood(&rel, "Seattle"),
         );
         let mut t = CategoryTree::new(rel, vec![0, 1, 2, 3]);
         t.push_level(AttrId(0));
-        let r = t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), red),
-            vec![0, 3],
-            0.6,
-        );
-        t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), bel),
-            vec![1],
-            0.3,
-        );
-        t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), sea),
-            vec![2],
-            0.1,
-        );
+        let r = t.add_child(NodeId::ROOT, red, vec![0, 3], 0.6);
+        t.add_child(NodeId::ROOT, bel, vec![1], 0.3);
+        t.add_child(NodeId::ROOT, sea, vec![2], 0.1);
         t.push_level(AttrId(1));
         t.add_child(
             r,
@@ -549,16 +532,11 @@ mod tests {
     #[test]
     fn invariant_checker_catches_violations() {
         let rel = homes();
-        let red = code(&rel, "Redmond");
+        let red = hood(&rel, "Redmond");
         // Children that do not cover the root tset.
         let mut t = CategoryTree::new(rel.clone(), vec![0, 1]);
         t.push_level(AttrId(0));
-        t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), red),
-            vec![0],
-            1.0,
-        );
+        t.add_child(NodeId::ROOT, red.clone(), vec![0], 1.0);
         let err = t.check_invariants().unwrap_err();
         assert!(err.contains("cover"), "{err}");
 
@@ -567,7 +545,7 @@ mod tests {
         t.push_level(AttrId(0));
         t.add_child(
             NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), red),
+            red,
             vec![0, 1], // row 1 is Bellevue
             1.0,
         );
@@ -678,15 +656,10 @@ mod tests {
     #[test]
     fn probabilities_clamped() {
         let rel = homes();
-        let red = code(&rel, "Redmond");
+        let red = hood(&rel, "Redmond");
         let mut t = CategoryTree::new(rel, vec![0, 3]);
         t.push_level(AttrId(0));
-        let c = t.add_child(
-            NodeId::ROOT,
-            CategoryLabel::single_value(AttrId(0), red),
-            vec![0, 3],
-            1.7,
-        );
+        let c = t.add_child(NodeId::ROOT, red, vec![0, 3], 1.7);
         assert_eq!(t.node(c).p_explore, 1.0);
         t.set_p_showtuples(NodeId::ROOT, -0.5);
         assert_eq!(t.node(NodeId::ROOT).p_showtuples, 0.0);

@@ -147,7 +147,7 @@ impl Session<'_> {
                 .label
                 .as_ref()
                 .expect("non-root labeled")
-                .query_overlaps(self.need, self.tree.relation());
+                .query_overlaps(self.need);
             if self.decides_to_explore(overlaps) {
                 self.explore_all(child);
             }
@@ -192,7 +192,7 @@ impl Session<'_> {
                 .label
                 .as_ref()
                 .expect("non-root labeled")
-                .query_overlaps(self.need, self.tree.relation());
+                .query_overlaps(self.need);
             if self.decides_to_explore(overlaps) && self.explore_one(child) {
                 return true;
             }

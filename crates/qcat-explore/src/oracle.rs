@@ -56,7 +56,7 @@ fn explore_all(
             .label
             .as_ref()
             .expect("non-root nodes are labeled");
-        if label.query_overlaps(need, tree.relation()) {
+        if label.query_overlaps(need) {
             explore_all(tree, child, need, judge, stats);
         }
     }
@@ -109,7 +109,7 @@ fn explore_one(
             .label
             .as_ref()
             .expect("non-root nodes are labeled");
-        if label.query_overlaps(need, tree.relation())
+        if label.query_overlaps(need)
             && explore_one(tree, child, need, judge, stats)
         {
             // Paper model: once a drilled-into subcategory yields the
@@ -173,7 +173,7 @@ fn explore_one_ordered(
             .label
             .as_ref()
             .expect("non-root nodes are labeled");
-        if label.query_overlaps(need, tree.relation())
+        if label.query_overlaps(need)
             && explore_one_ordered(tree, child, need, judge, order, stats)
         {
             return true;

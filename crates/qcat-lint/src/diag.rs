@@ -18,6 +18,12 @@ pub enum Rule {
     /// L5: raw `println!`/`eprintln!`/`dbg!` in non-test library code
     /// (binaries and the `qcat-obs` exporter are exempt).
     L5RawPrint,
+    /// L6: raw `std::thread` spawning (`thread::spawn`,
+    /// `thread::scope`, `thread::Builder`) outside `qcat-pool`, the
+    /// one crate sanctioned to create threads. Ad-hoc threads bypass
+    /// `QCAT_THREADS` sizing, recorder propagation, and the
+    /// deterministic result order the pool guarantees.
+    L6RawSpawn,
     /// A1: `P(C)` or `Pw(C)` outside `[0, 1]` (or NaN).
     A1Probability,
     /// A2: leaf node with `Pw != 1`.
@@ -54,6 +60,7 @@ impl Rule {
             Rule::L3Layering => "L3",
             Rule::L4MissingDocs => "L4",
             Rule::L5RawPrint => "L5",
+            Rule::L6RawSpawn => "L6",
             Rule::A1Probability => "A1",
             Rule::A2LeafPw => "A2",
             Rule::A3TsetDisjoint => "A3",
@@ -143,6 +150,7 @@ mod tests {
             (Rule::L3Layering, "L3"),
             (Rule::L4MissingDocs, "L4"),
             (Rule::L5RawPrint, "L5"),
+            (Rule::L6RawSpawn, "L6"),
             (Rule::A1Probability, "A1"),
             (Rule::A2LeafPw, "A2"),
             (Rule::A3TsetDisjoint, "A3"),

@@ -6,6 +6,8 @@
 //! ```text
 //! qcat-obs                   (observability: depends on nothing)
 //!    ↑
+//! qcat-pool                  (threading substrate: sees only qcat-obs)
+//!    ↑
 //! qcat-data, qcat-sql        (foundations: no view of the model)
 //!    ↑
 //! qcat-core                  (the paper's algorithms)
@@ -82,6 +84,21 @@ pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
         // crate may instrument itself, so qcat-obs seeing any of them
         // would be a cycle (and would let tracing drag the model in).
         "qcat-obs" => &[
+            "qcat-pool",
+            "qcat-data",
+            "qcat-sql",
+            "qcat-core",
+            "qcat-exec",
+            "qcat-workload",
+            "qcat-explore",
+            "qcat-datagen",
+            "qcat-study",
+            "qcat-lint",
+        ],
+        // The threading substrate sits just above qcat-obs (workers
+        // propagate the recorder) and below everything else: it must
+        // never see the model, data, or drivers.
+        "qcat-pool" => &[
             "qcat-data",
             "qcat-sql",
             "qcat-core",
@@ -172,6 +189,21 @@ slow-tests = []
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("qcat-data"));
         assert_eq!(check_layering("qcat-obs", "x", "[dependencies]\n"), vec![]);
+    }
+
+    #[test]
+    fn pool_sees_only_obs() {
+        let bad = "[dependencies]\nqcat-obs.workspace = true\nqcat-data.workspace = true\n";
+        let diags = check_layering("qcat-pool", "crates/qcat-pool/Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("qcat-data"));
+        let good = "[dependencies]\nqcat-obs.workspace = true\n";
+        assert_eq!(check_layering("qcat-pool", "x", good), vec![]);
+        // And qcat-obs must not complete a cycle back into the pool.
+        let cycle = "[dependencies]\nqcat-pool.workspace = true\n";
+        let diags = check_layering("qcat-obs", "crates/qcat-obs/Cargo.toml", cycle);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("qcat-pool"));
     }
 
     #[test]

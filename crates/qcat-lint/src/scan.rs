@@ -28,6 +28,9 @@ pub struct ScanOptions {
     /// L5: flag raw console output (`println!`, `eprintln!`,
     /// `print!`, `eprint!`, `dbg!`) outside test code.
     pub check_prints: bool,
+    /// L6: flag raw `std::thread` spawning (`thread::spawn`,
+    /// `thread::scope`, `thread::Builder`) outside test code.
+    pub check_spawns: bool,
 }
 
 /// Source text after comment/literal blanking, with per-line facts
@@ -327,6 +330,9 @@ pub fn lint_source(path: &str, source: &str, opts: ScanOptions) -> Vec<Diagnosti
     if opts.check_prints {
         lint_prints(path, &clean, &mut diags);
     }
+    if opts.check_spawns {
+        lint_spawns(path, &clean, &mut diags);
+    }
     diags.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
     diags
 }
@@ -384,6 +390,40 @@ fn lint_prints(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
                         "raw `{needle}` in library code; emit a qcat-obs \
                          event or take a caller-supplied sink"
                     ),
+                ));
+            }
+        }
+    }
+}
+
+/// L6: raw `std::thread` spawning in non-test code. All parallelism
+/// goes through `qcat_pool::ThreadPool`: ad-hoc threads ignore
+/// `QCAT_THREADS`/`CategorizeConfig::threads` sizing, drop the
+/// qcat-obs recorder (their metrics vanish), and reintroduce
+/// scheduling-dependent result order. The pool crate itself is the
+/// one place these primitives are legal; the workspace driver exempts
+/// it. Matched at an identifier boundary so a method named
+/// `my_thread::spawn`-alike cannot slip through while `spawner` etc.
+/// stay clean.
+fn lint_spawns(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    const NEEDLES: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if clean.test_line[idx] {
+            continue;
+        }
+        for needle in NEEDLES {
+            for pos in find_all(line, needle) {
+                if pos > 0 {
+                    let prev = line.as_bytes()[pos - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' {
+                        continue; // tail of a longer path segment
+                    }
+                }
+                diags.push(Diagnostic::at(
+                    path,
+                    idx + 1,
+                    Rule::L6RawSpawn,
+                    format!("raw `{needle}` outside qcat-pool; use qcat_pool::ThreadPool"),
                 ));
             }
         }
@@ -667,6 +707,7 @@ mod tests {
         float_eq_sensitive: true,
         check_docs: false,
         check_prints: false,
+        check_spawns: false,
     };
 
     #[test]
@@ -776,8 +817,7 @@ mod tests {
                 check_panics: false,
                 check_float_cmp: true,
                 float_eq_sensitive: false,
-                check_docs: false,
-                check_prints: false,
+                ..ScanOptions::default()
             },
         );
         assert_eq!(r, vec![]);
@@ -823,6 +863,7 @@ mod tests {
         float_eq_sensitive: false,
         check_docs: true,
         check_prints: false,
+        check_spawns: false,
     };
 
     #[test]
@@ -879,6 +920,7 @@ mod tests {
         float_eq_sensitive: false,
         check_docs: false,
         check_prints: true,
+        check_spawns: false,
     };
 
     #[test]
@@ -920,6 +962,45 @@ mod tests {
     fn l5_path_qualified_macros_still_fire() {
         let src = "fn f() {\n    std::println!(\"x\");\n}\n";
         assert_eq!(rules(src, PRINTS), vec![(2, "L5")]);
+    }
+
+    const SPAWNS: ScanOptions = ScanOptions {
+        check_panics: false,
+        check_float_cmp: false,
+        float_eq_sensitive: false,
+        check_docs: false,
+        check_prints: false,
+        check_spawns: true,
+    };
+
+    #[test]
+    fn l6_flags_every_spawn_primitive() {
+        let src = concat!(
+            "fn f() {\n",
+            "    let h = std::thread::spawn(|| 1);\n",
+            "    thread::scope(|s| { });\n",
+            "    let b = thread::Builder::new();\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, SPAWNS), vec![(2, "L6"), (3, "L6"), (4, "L6")]);
+    }
+
+    #[test]
+    fn l6_ignores_tests_strings_comments_and_lookalikes() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // thread::spawn in a comment\n",
+            "    let s = \"thread::spawn\";\n",
+            "    my_thread::spawn();\n",
+            "    pool.map(&items, |_, it| work(it));\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { std::thread::spawn(|| 1).join().unwrap(); }\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, SPAWNS), vec![]);
     }
 
     #[test]

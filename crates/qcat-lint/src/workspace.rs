@@ -49,6 +49,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         }
     }
     diags.extend(lint_library_prints(root)?);
+    diags.extend(lint_thread_spawns(root)?);
     diags.extend(lint_manifests(root)?);
     let allow_path = root.join(ALLOWLIST_PATH);
     if allow_path.exists() {
@@ -75,6 +76,7 @@ fn options_for(crate_name: &str, rel_path: &str) -> ScanOptions {
         float_eq_sensitive: sensitive,
         check_docs: crate_name == "qcat-core",
         check_prints: false, // L5 runs workspace-wide; see below
+        check_spawns: false, // L6 too; see lint_thread_spawns
     }
 }
 
@@ -120,6 +122,35 @@ fn lint_library_prints(root: &Path) -> io::Result<Vec<Diagnostic>> {
             }
             let source = fs::read_to_string(&file)?;
             diags.extend(lint_source(&rel, &source, opts));
+        }
+    }
+    Ok(diags)
+}
+
+/// L6 over every source in the workspace: all of `crates/*` plus the
+/// facade's `src/`. Unlike L5, binaries are NOT exempt — a binary
+/// that spawns its own threads bypasses `QCAT_THREADS` sizing and
+/// recorder propagation just as thoroughly as a library would. The
+/// single exemption is `crates/qcat-pool`, the sanctioned home of the
+/// raw primitives.
+fn lint_thread_spawns(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let opts = ScanOptions {
+        check_spawns: true,
+        ..ScanOptions::default()
+    };
+    let mut diags = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && !p.ends_with("qcat-pool"))
+        .map(|p| p.join("src"))
+        .collect();
+    src_dirs.push(root.join("src"));
+    src_dirs.sort();
+    for src in src_dirs {
+        for file in rust_files(&src)? {
+            let source = fs::read_to_string(&file)?;
+            diags.extend(lint_source(&relative(root, &file), &source, opts));
         }
     }
     Ok(diags)

@@ -1,0 +1,241 @@
+//! A std-only scoped thread pool with deterministic result
+//! collection.
+//!
+//! The tier-1 build is hermetic — no rayon — so fan-out is built on
+//! [`std::thread::scope`] and an [`mpsc`] channel. The contract that
+//! matters to the categorizer:
+//!
+//! - **Determinism.** [`ThreadPool::map`] returns results in input
+//!   order regardless of which worker computed what, so any caller
+//!   that is deterministic per item is deterministic end to end at
+//!   every thread count, including 1.
+//! - **Serial fast path.** One resolved thread (or one item) runs the
+//!   closure inline on the calling thread: no spawns, no channels, no
+//!   allocation beyond the output vector. `threads = 1` is the serial
+//!   algorithm, not a degenerate parallel one.
+//! - **Scoped workers.** Workers live only for the duration of one
+//!   `map` call, so item slices and the mapping closure may borrow
+//!   freely from the caller's stack. A panicking worker propagates to
+//!   the caller when the scope joins.
+//! - **Observer plumbing.** Workers run under the caller's `qcat-obs`
+//!   recorder (via [`qcat_obs::with_recorder`]) so counters and
+//!   gauges recorded inside worker closures aggregate into the same
+//!   snapshot as the rest of the categorization. Workers must not
+//!   open spans or emit events — the trace line stream is
+//!   single-threaded by contract (see docs/OBSERVABILITY.md).
+//!
+//! Sizing: an explicit request wins; `0` means "auto", which reads
+//! `QCAT_THREADS` once per process and otherwise uses
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::OnceLock;
+use std::thread;
+
+/// Resolve a requested thread count to an effective one.
+///
+/// `requested > 0` is taken literally. `0` means auto: `QCAT_THREADS`
+/// when set to a positive integer (read once per process — library
+/// code otherwise never consults the environment), else the machine's
+/// available parallelism, else 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(v) = std::env::var("QCAT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// A fixed-width fan-out primitive. Holds no threads while idle —
+/// workers are spawned per [`map`](ThreadPool::map) call inside a
+/// [`std::thread::scope`], which is what lets the mapped closure
+/// borrow from the caller's stack without `'static` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Build a pool sized by [`resolve_threads`].
+    pub fn new(requested: usize) -> Self {
+        ThreadPool {
+            threads: resolve_threads(requested),
+        }
+    }
+
+    /// The effective thread count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, in parallel across the pool's
+    /// threads, and return the results **in input order**.
+    ///
+    /// `f` receives the item's index and the item. Work is pulled
+    /// from a shared atomic cursor, so long and short items balance
+    /// across workers; the calling thread participates, so a pool of
+    /// `n` threads spawns only `n - 1` workers. If any invocation of
+    /// `f` panics the panic propagates to the caller after the scope
+    /// joins.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        qcat_obs::counter("pool.tasks", n as i64);
+        qcat_obs::gauge("pool.queue_depth", n as f64);
+        let recorder = qcat_obs::current_recorder();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let run = |tx: mpsc::Sender<(usize, R)>| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let r = f(i, &items[i]);
+            qcat_obs::gauge("pool.queue_depth", (n - (i + 1).min(n)) as f64);
+            if tx.send((i, r)).is_err() {
+                break;
+            }
+        };
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        thread::scope(|scope| {
+            for w in 1..workers {
+                let tx = tx.clone();
+                let run = &run;
+                let recorder = recorder.clone();
+                let builder = thread::Builder::new().name(format!("qcat-pool-{w}"));
+                builder
+                    .spawn_scoped(scope, move || match &recorder {
+                        Some(rec) => qcat_obs::with_recorder(rec, || run(tx)),
+                        None => run(tx),
+                    })
+                    .expect("spawning a pool worker thread failed");
+            }
+            run(tx);
+            // All senders are dropped once the workers finish; drain
+            // whatever they produced. If a worker panicked the scope
+            // re-raises after this closure, and partially-filled
+            // results are discarded with the scope.
+            for (i, r) in rx.iter() {
+                out[i] = Some(r);
+            }
+        });
+        out.into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Some(r) => r,
+                None => unreachable!("pool worker dropped result for item {i}"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_land_in_input_order() {
+        let items: Vec<usize> = (0..997).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = ThreadPool::new(8);
+        let out: Vec<u64> = pool.map(&[] as &[u32], |_, _| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let pool = ThreadPool::new(8);
+        let caller = thread::current().id();
+        let out = pool.map(&[41], |_, &x| {
+            assert_eq!(thread::current().id(), caller, "fast path must not spawn");
+            x + 1
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("boom at 13");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn closure_borrows_from_caller_stack() {
+        let weights = [2.0f64, 4.0, 8.0];
+        let items: Vec<usize> = (0..300).collect();
+        let pool = ThreadPool::new(3);
+        let out = pool.map(&items, |_, &x| weights[x % weights.len()] * x as f64);
+        assert_eq!(out[5], 8.0 * 5.0);
+        assert_eq!(out.len(), 300);
+    }
+
+    #[test]
+    fn counters_from_workers_reach_the_callers_recorder() {
+        let rec = qcat_obs::Recorder::metrics_only();
+        let items: Vec<usize> = (0..200).collect();
+        let total: i64 = qcat_obs::with_recorder(&rec, || {
+            let pool = ThreadPool::new(4);
+            let out = pool.map(&items, |_, &x| {
+                qcat_obs::counter("pool.test_work", 1);
+                x as i64
+            });
+            out.iter().sum()
+        });
+        assert_eq!(total, (0..200).sum::<i64>());
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("pool.test_work"), Some(&200));
+        assert_eq!(snap.counters.get("pool.tasks"), Some(&200));
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn pool_reports_resolved_width() {
+        assert_eq!(ThreadPool::new(5).threads(), 5);
+        assert!(ThreadPool::new(0).threads() >= 1);
+    }
+}

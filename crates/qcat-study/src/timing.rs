@@ -36,6 +36,11 @@ pub struct TimingConfig {
     /// scales small windows may simply not exist — without a cap the
     /// collection phase would scan the whole workload).
     pub max_candidates: usize,
+    /// Worker-thread counts to sweep; every `M` is measured once per
+    /// entry. `0` means "resolve from the environment" (see
+    /// `qcat_core::CategorizerConfig::threads`), so the default sweep
+    /// measures exactly what a production call would run.
+    pub thread_counts: Vec<usize>,
 }
 
 impl Default for TimingConfig {
@@ -45,6 +50,7 @@ impl Default for TimingConfig {
             queries: 100,
             result_size_range: (500, 5_000),
             max_candidates: 2_000,
+            thread_counts: vec![0],
         }
     }
 }
@@ -68,6 +74,9 @@ impl TimingConfig {
 pub struct TimingRow {
     /// The `M` value.
     pub m: usize,
+    /// The configured worker-thread count (0 = resolved from the
+    /// environment).
+    pub threads: usize,
     /// Average categorization time in milliseconds.
     pub avg_ms: f64,
     /// Exact median per-query time in milliseconds.
@@ -80,11 +89,12 @@ pub struct TimingRow {
     pub avg_result_size: f64,
 }
 
-/// The timing sweep's output: one [`TimingRow`] per `M`, plus the
-/// per-phase metrics the categorizer recorded while the sweep ran.
+/// The timing sweep's output: one [`TimingRow`] per `(M, thread
+/// count)` pair, plus the per-phase metrics the categorizer recorded
+/// while the sweep ran.
 #[derive(Debug, Clone)]
 pub struct TimingStudy {
-    /// Figure 13 rows, in `m_values` order.
+    /// Figure 13 rows: `m_values` outer, `thread_counts` inner.
     pub rows: Vec<TimingRow>,
     /// Span histograms and counters covering exactly the measurement
     /// loops (render with [`render_phase_profile`]).
@@ -160,11 +170,10 @@ pub fn run_timing_study(env: &StudyEnv, config: &TimingConfig) -> TimingStudy {
     };
     let measure = || {
         let _span = qcat_obs::span!("study.timing.sweep", cases = cases.len());
-        config
-            .m_values
-            .iter()
-            .map(|&m| {
-                let cat_config = env.config.with_max_leaf_tuples(m);
+        let mut rows = Vec::with_capacity(config.m_values.len() * config.thread_counts.len());
+        for &m in &config.m_values {
+            for &threads in &config.thread_counts {
+                let cat_config = env.config.with_max_leaf_tuples(m).with_threads(threads);
                 let categorizer = Categorizer::new(&stats, cat_config);
                 let mut per_query_ms = Vec::with_capacity(cases.len());
                 for (qw, result) in &cases {
@@ -176,8 +185,9 @@ pub fn run_timing_study(env: &StudyEnv, config: &TimingConfig) -> TimingStudy {
                 let n = per_query_ms.len();
                 let mut sorted = per_query_ms;
                 sorted.sort_by(f64::total_cmp);
-                TimingRow {
+                rows.push(TimingRow {
                     m,
+                    threads,
                     avg_ms: if n == 0 {
                         0.0
                     } else {
@@ -187,9 +197,10 @@ pub fn run_timing_study(env: &StudyEnv, config: &TimingConfig) -> TimingStudy {
                     p95_ms: sorted_quantile(&sorted, 0.95),
                     queries: n,
                     avg_result_size: avg_size,
-                }
-            })
-            .collect()
+                });
+            }
+        }
+        rows
     };
     match qcat_obs::current_recorder() {
         Some(rec) => {
@@ -215,6 +226,7 @@ pub fn run_timing_study(env: &StudyEnv, config: &TimingConfig) -> TimingStudy {
 pub fn render_figure13(rows: &[TimingRow]) -> TextTable {
     let mut t = TextTable::new(vec![
         "M",
+        "Threads",
         "Avg time (ms)",
         "Median (ms)",
         "p95 (ms)",
@@ -224,6 +236,11 @@ pub fn render_figure13(rows: &[TimingRow]) -> TextTable {
     for r in rows {
         t.row(vec![
             r.m.to_string(),
+            if r.threads == 0 {
+                "auto".to_string()
+            } else {
+                r.threads.to_string()
+            },
             fnum(r.avg_ms, 2),
             fnum(r.median_ms, 2),
             fnum(r.p95_ms, 2),
@@ -285,10 +302,20 @@ mod tests {
             m_values: vec![10, 50],
             queries: 5,
             result_size_range: (50, 6_000),
+            thread_counts: vec![1, 2],
             ..Default::default()
         };
         let study = run_timing_study(&env, &config);
-        assert_eq!(study.rows.len(), 2);
+        // One row per (M, thread count): m_values outer, threads inner.
+        assert_eq!(study.rows.len(), 4);
+        assert_eq!(
+            study
+                .rows
+                .iter()
+                .map(|r| (r.m, r.threads))
+                .collect::<Vec<_>>(),
+            vec![(10, 1), (10, 2), (50, 1), (50, 2)]
+        );
         for r in &study.rows {
             assert!(r.queries > 0, "no measurement queries found");
             assert!(r.avg_ms > 0.0);

@@ -62,6 +62,36 @@ impl OccurrenceCounts {
         values.into_iter().map(|v| self.occ(attr, v)).sum()
     }
 
+    /// Occurrence counts keyed by interned dictionary code: one pass
+    /// over the attribute's `(value, count)` table, resolving each
+    /// workload value through `resolve` (typically a dictionary
+    /// lookup). Codes the workload never mentions stay 0; workload
+    /// values outside the dictionary are ignored.
+    ///
+    /// This is the bulk, cache-friendly alternative to calling
+    /// [`OccurrenceCounts::occ`] once per dictionary value: cost is
+    /// O(distinct workload values) string hashes instead of
+    /// O(dictionary size), and the caller gets a code-indexed table it
+    /// can keep for the whole categorization.
+    pub fn occ_by_code(
+        &self,
+        attr: AttrId,
+        resolve: impl Fn(&str) -> Option<u32>,
+        n_codes: usize,
+    ) -> Vec<usize> {
+        let mut out = vec![0usize; n_codes];
+        if let Some(table) = self.tables.get(&attr) {
+            for (v, &c) in table {
+                if let Some(code) = resolve(v) {
+                    if let Some(slot) = out.get_mut(code as usize) {
+                        *slot = c;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// All `(value, count)` pairs for an attribute, sorted by
     /// descending count then value (the presentation order of the
     /// categorical partitioner).
@@ -170,6 +200,26 @@ mod tests {
         ]);
         let sorted = o.sorted_by_count(AttrId(0));
         assert_eq!(sorted, vec![("b", 2), ("c", 2), ("a", 1)]);
+    }
+
+    #[test]
+    fn occ_by_code_matches_per_value_lookups() {
+        let o = build(&[
+            "SELECT * FROM t WHERE neighborhood IN ('a','b')",
+            "SELECT * FROM t WHERE neighborhood IN ('b')",
+        ]);
+        // A 3-entry "dictionary": a=0, b=1, z=2 ('z' never queried);
+        // the workload also never mentions code 2's value.
+        let resolve = |v: &str| match v {
+            "a" => Some(0u32),
+            "b" => Some(1),
+            "z" => Some(2),
+            _ => None,
+        };
+        assert_eq!(o.occ_by_code(AttrId(0), resolve, 3), vec![1, 2, 0]);
+        // Out-of-range codes and unknown attrs are harmless.
+        assert_eq!(o.occ_by_code(AttrId(0), |_| Some(99), 2), vec![0, 0]);
+        assert_eq!(o.occ_by_code(AttrId(1), resolve, 2), vec![0, 0]);
     }
 
     #[test]

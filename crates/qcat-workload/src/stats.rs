@@ -201,6 +201,21 @@ impl WorkloadStatistics {
         self.occurrence.occ(attr, value)
     }
 
+    /// Occurrence counts for every code of an interned dictionary in
+    /// one bulk pass (see [`OccurrenceCounts::occ_by_code`]). The
+    /// categorizer's hot path builds this once per attribute and then
+    /// reads counts by code, instead of hashing a value string per
+    /// dictionary entry per level.
+    pub fn occ_by_code(
+        &self,
+        attr: AttrId,
+        resolve: impl Fn(&str) -> Option<u32>,
+        n_codes: usize,
+    ) -> Vec<usize> {
+        qcat_obs::counter("workload.occ_bulk_lookups", 1);
+        self.occurrence.occ_by_code(attr, resolve, n_codes)
+    }
+
     /// `NOverlap` for a categorical label `A ∈ B` (sum of per-value
     /// occurrence counts; exact for singletons).
     pub fn n_overlap_values<'a, I>(&self, attr: AttrId, values: I) -> usize

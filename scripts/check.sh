@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> qcat-lint (L1-L5 + audit self-check)"
+echo "==> qcat-lint (L1-L6 + audit self-check)"
 cargo run --release -p qcat-lint -- --workspace
 
 echo "==> cargo test -q (root package: integration + lint gate)"
@@ -19,10 +19,15 @@ cargo test -q
 echo "==> cargo test -q --workspace (all crates)"
 cargo test -q --workspace
 
+echo "==> bench smoke (hermetic categorize benchmark)"
+./target/release/bench_categorize --runs 2 --cases 4 \
+    --out target/BENCH_smoke.json > /dev/null
+test -s target/BENCH_smoke.json
+
 echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T3)"
 trace=target/qcat-trace.jsonl
 QCAT_TRACE=json QCAT_TRACE_FILE="$trace" \
     ./target/release/repro --scale smoke fig13 > /dev/null
 cargo run --release -p qcat-lint -- --audit-trace "$trace"
 
-echo "OK: build + lint + tests + traced smoke all green"
+echo "OK: build + lint + tests + bench smoke + traced smoke all green"
