@@ -71,6 +71,10 @@ fn parse_args() -> Args {
 /// Wall-clock samples for one thread count: overall and per size
 /// bucket, plus the categorizer's span profile for the same calls.
 struct ThreadResult {
+    /// `"serial"` or `"auto"`: which sweep entry this is. Both are
+    /// always emitted, even when they resolve to the same width, so
+    /// report consumers never have to guess which one is missing.
+    mode: &'static str,
     threads: usize,
     total: Summary,
     total_mean_ms: f64,
@@ -78,7 +82,7 @@ struct ThreadResult {
     phases: Vec<qcat_obs::SpanStats>,
 }
 
-fn run_at(env: &BenchEnv, threads: usize, runs: usize) -> ThreadResult {
+fn run_at(env: &BenchEnv, mode: &'static str, threads: usize, runs: usize) -> ThreadResult {
     let config = env.env.config.with_threads(threads);
     let categorizer = Categorizer::new(&env.stats, config);
     let rec = qcat_obs::Recorder::metrics_only();
@@ -119,6 +123,7 @@ fn run_at(env: &BenchEnv, threads: usize, runs: usize) -> ThreadResult {
         .collect();
     let total_mean_ms = summarize(&all_ns).mean_ms;
     ThreadResult {
+        mode,
         threads,
         total: summarize(&all_ns),
         total_mean_ms,
@@ -150,13 +155,24 @@ fn render_json(args: &Args, env: &BenchEnv, cores: usize, results: &[ThreadResul
         env.cases.len(),
         cores
     ));
+    // One visible core means the "auto" entry measured a serial run:
+    // any speedup column is meaningless, and consumers must not read
+    // this report as evidence about the parallel pool.
+    out.push_str(&format!(
+        "  \"degraded\": {},\n",
+        if cores <= 1 { "true" } else { "false" }
+    ));
     let serial_mean = results
         .iter()
-        .find(|r| r.threads == 1)
+        .find(|r| r.mode == "serial")
         .map(|r| r.total_mean_ms);
     out.push_str("  \"threads\": [\n");
     for (i, r) in results.iter().enumerate() {
-        out.push_str(&format!("    {{\n      \"threads\": {},\n", r.threads));
+        out.push_str(&format!(
+            "    {{\n      \"mode\": \"{}\",\n      \"threads\": {},\n",
+            json_escape(r.mode),
+            r.threads
+        ));
         out.push_str(&format!("      \"total\": {},\n", summary_json(&r.total)));
         if let Some(serial) = serial_mean {
             let speedup = if r.total_mean_ms > 0.0 {
@@ -204,42 +220,52 @@ fn render_json(args: &Args, env: &BenchEnv, cores: usize, results: &[ThreadResul
 
 fn main() {
     let args = parse_args();
+    // Detect hardware parallelism exactly once; everything downstream
+    // (sweep, JSON, warnings) keys off this one observation.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "bench_categorize: smoke fixture, seed {}, {} runs, {} cores",
         args.seed, args.runs, cores
     );
+    if cores <= 1 {
+        println!(
+            "  WARNING: only one core visible — the \"auto\" entry runs \
+             serially and the report is marked \"degraded\": true"
+        );
+    }
     let env = bench_env(args.seed, args.cases);
     println!(
         "  {} oversized cases (sizes {:?})",
         env.cases.len(),
         env.cases.iter().map(|(_, r)| r.len()).collect::<Vec<_>>()
     );
-    // Serial baseline first, then the environment-resolved width (the
-    // production default). On a single-core host the two coincide and
-    // the sweep is just {1}.
-    let mut thread_counts = vec![1usize, qcat_pool::resolve_threads(0)];
-    thread_counts.dedup();
-    let results: Vec<ThreadResult> = thread_counts
+    // Serial baseline, then the environment-resolved width (the
+    // production default). Both entries are always emitted — on a
+    // single-core host they coincide, and the "degraded" flag says so.
+    let sweep: [(&'static str, usize); 2] =
+        [("serial", 1), ("auto", qcat_pool::resolve_threads(0))];
+    let results: Vec<ThreadResult> = sweep
         .iter()
-        .map(|&t| {
-            let r = run_at(&env, t, args.runs);
+        .map(|&(mode, t)| {
+            let r = run_at(&env, mode, t, args.runs);
             println!(
-                "  threads={}: mean {:.2} ms, median {:.2} ms, p95 {:.2} ms",
-                t, r.total.mean_ms, r.total.median_ms, r.total.p95_ms
+                "  {}(threads={}): mean {:.2} ms, median {:.2} ms, p95 {:.2} ms",
+                mode, t, r.total.mean_ms, r.total.median_ms, r.total.p95_ms
             );
             r
         })
         .collect();
-    if let (Some(serial), Some(wide)) = (
-        results.iter().find(|r| r.threads == 1),
-        results.iter().find(|r| r.threads > 1),
+    if let (Some(serial), Some(auto)) = (
+        results.iter().find(|r| r.mode == "serial"),
+        results.iter().find(|r| r.mode == "auto"),
     ) {
-        println!(
-            "  speedup threads={} vs serial: {:.2}x",
-            wide.threads,
-            serial.total_mean_ms / wide.total_mean_ms
-        );
+        if auto.threads > 1 {
+            println!(
+                "  speedup threads={} vs serial: {:.2}x",
+                auto.threads,
+                serial.total_mean_ms / auto.total_mean_ms
+            );
+        }
     }
     let json = render_json(&args, &env, cores, &results);
     std::fs::write(&args.out, json).expect("write bench report");

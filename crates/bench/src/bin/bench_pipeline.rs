@@ -1,0 +1,314 @@
+//! Hermetic end-to-end pipeline benchmark: parse → execute →
+//! categorize over the Smoke fixture, comparing the scan and index
+//! access paths and the cold/warm serving path, and writing a
+//! `BENCH_pr4.json` report.
+//!
+//! Std-only like `bench_categorize` (same schema conventions; see
+//! docs/PERFORMANCE.md). Besides timings, the report carries a
+//! `differential` section: every sampled workload query is executed
+//! along scan, auto, and forced-index paths and the row sets must be
+//! identical — `"status": "ok"` is asserted by `scripts/check.sh`.
+//!
+//! ```text
+//! bench_pipeline [--runs N] [--seed S] [--queries N] [--out PATH]
+//! ```
+
+use qcat_bench::{bench_env, json_num, summarize, Summary};
+use qcat_exec::{execute_normalized_with, AccessPath};
+use qcat_serve::{ServeOutcome, Server, ServerConfig};
+use qcat_sql::normalize::{AttrCondition, NormalizedQuery};
+use qcat_data::Schema;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    runs: usize,
+    seed: u64,
+    queries: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        runs: 30,
+        seed: 1234,
+        queries: 200,
+        out: "BENCH_pr4.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--runs" => args.runs = value("--runs").parse().expect("--runs: not a number"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: not a number"),
+            "--queries" => {
+                args.queries = value("--queries").parse().expect("--queries: not a number")
+            }
+            "--out" => args.out = value("--out"),
+            "--help" | "-h" => {
+                println!("bench_pipeline [--runs N] [--seed S] [--queries N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Render a normalized query back to the SQL subset, so the serving
+/// layer (which takes SQL strings) can replay workload queries.
+fn sql_of(query: &NormalizedQuery, schema: &Schema) -> String {
+    let mut conjuncts = Vec::new();
+    for (attr, cond) in &query.conditions {
+        let name = schema.name_of(*attr);
+        match cond {
+            AttrCondition::InStr(values) => {
+                let list = values
+                    .iter()
+                    .map(|v| format!("'{}'", v.replace('\'', "''")))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                conjuncts.push(format!("{name} IN ({list})"));
+            }
+            AttrCondition::InNum(values) => {
+                let list = values
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                conjuncts.push(format!("{name} IN ({list})"));
+            }
+            AttrCondition::Range(r) => {
+                if let Some(lo) = r.finite_lo() {
+                    let op = if r.lo_inclusive { ">=" } else { ">" };
+                    conjuncts.push(format!("{name} {op} {lo}"));
+                }
+                if let Some(hi) = r.finite_hi() {
+                    let op = if r.hi_inclusive { "<=" } else { "<" };
+                    conjuncts.push(format!("{name} {op} {hi}"));
+                }
+            }
+        }
+    }
+    let mut sql = format!("SELECT * FROM {}", query.table);
+    if !conjuncts.is_empty() {
+        let _ = write!(sql, " WHERE {}", conjuncts.join(" AND "));
+    }
+    sql
+}
+
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as u64
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"mean_ms\": {}, \"median_ms\": {}, \"p95_ms\": {}}}",
+        json_num(s.mean_ms),
+        json_num(s.median_ms),
+        json_num(s.p95_ms)
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_pipeline: smoke fixture, seed {}, {} runs, {} cores",
+        args.seed, args.runs, cores
+    );
+    let env = bench_env(args.seed, 8);
+    let relation = env.env.relation.clone();
+    let schema = relation.schema().clone();
+    let n = relation.len();
+    relation.build_indexes();
+    let index_bytes = relation.indexes().map_or(0, |ix| ix.heap_bytes());
+    println!("  {} rows, index heap {} bytes", n, index_bytes);
+
+    // ---- Differential: scan / auto / forced-index row-set equality
+    // over a slice of real workload queries.
+    let sample: Vec<&NormalizedQuery> =
+        env.env.log.queries().iter().take(args.queries).collect();
+    let mut mismatches = 0usize;
+    for q in &sample {
+        let scan = execute_normalized_with(&relation, q, AccessPath::ForceScan)
+            .expect("scan path failed");
+        for path in [AccessPath::Auto, AccessPath::ForceIndex] {
+            let other =
+                execute_normalized_with(&relation, q, path).expect("index path failed");
+            if other.rows() != scan.rows() {
+                mismatches += 1;
+                eprintln!("  MISMATCH ({path:?}): {}", sql_of(q, &schema));
+            }
+        }
+    }
+    let diff_status = if mismatches == 0 { "ok" } else { "mismatch" };
+    println!(
+        "  differential: {} queries x 2 paths, {} mismatches ({})",
+        sample.len(),
+        mismatches,
+        diff_status
+    );
+
+    // ---- Two probes from the selective (<5%) workload slice. The
+    // exec probe is the *most* selective query — where the index
+    // path's advantage over a full scan is the point being measured.
+    // The serve probe is the *largest* result still under 5%, so the
+    // cold path (execute + categorize + render) does representative
+    // work for the cold/warm cache comparison.
+    let selective: Vec<(&NormalizedQuery, usize)> = sample
+        .iter()
+        .filter_map(|q| {
+            let rs = execute_normalized_with(&relation, q, AccessPath::ForceScan).ok()?;
+            let len = rs.len();
+            (len > 0 && (len as f64) < 0.05 * n as f64).then_some((*q, len))
+        })
+        .collect();
+    let &(exec_probe, exec_rows) = selective
+        .iter()
+        .min_by_key(|&&(_, len)| len)
+        .expect("no selective non-empty workload query in the sample");
+    let &(serve_probe, serve_rows) = selective
+        .iter()
+        .max_by_key(|&&(_, len)| len)
+        .expect("no selective non-empty workload query in the sample");
+    let exec_sel = exec_rows as f64 / n as f64;
+    let serve_sel = serve_rows as f64 / n as f64;
+    println!(
+        "  exec probe:  {} ({} rows, {:.2}% selectivity)",
+        sql_of(exec_probe, &schema),
+        exec_rows,
+        100.0 * exec_sel
+    );
+    println!(
+        "  serve probe: {} ({} rows, {:.2}% selectivity)",
+        sql_of(serve_probe, &schema),
+        serve_rows,
+        100.0 * serve_sel
+    );
+
+    let mut scan_ns = Vec::with_capacity(args.runs);
+    let mut index_ns = Vec::with_capacity(args.runs);
+    for _ in 0..args.runs {
+        scan_ns.push(time_ns(|| {
+            let rs = execute_normalized_with(&relation, exec_probe, AccessPath::ForceScan)
+                .expect("scan failed");
+            std::hint::black_box(rs.len());
+        }));
+        index_ns.push(time_ns(|| {
+            let rs = execute_normalized_with(&relation, exec_probe, AccessPath::Auto)
+                .expect("index failed");
+            std::hint::black_box(rs.len());
+        }));
+    }
+    let scan = summarize(&scan_ns);
+    let index = summarize(&index_ns);
+    // Speedups are median-based: on a busy single-core host one
+    // scheduler hiccup in N runs can double a mean, and the summary
+    // already reports mean/median/p95 for anyone who wants the rest.
+    let index_speedup = scan.median_ms / index.median_ms;
+    println!(
+        "  exec scan median {:.4} ms | index median {:.4} ms | speedup {:.1}x",
+        scan.median_ms, index.median_ms, index_speedup
+    );
+
+    // ---- Serving: cold (caches cleared every run) vs. warm (tree
+    // cache hit) on the same probe query.
+    let server = Server::new(ServerConfig::default());
+    server
+        .register_table(
+            &serve_probe.table,
+            relation.clone(),
+            env.env.log.clone(),
+            env.env.prep.clone(),
+        )
+        .expect("register study table");
+    let probe_sql = sql_of(serve_probe, &schema);
+    let mut cold_ns = Vec::with_capacity(args.runs);
+    let mut warm_ns = Vec::with_capacity(args.runs);
+    for _ in 0..args.runs {
+        server.clear_caches();
+        cold_ns.push(time_ns(|| {
+            let served = server.serve(&probe_sql).expect("cold serve");
+            assert_eq!(served.outcome, ServeOutcome::Cold);
+            std::hint::black_box(served.rows);
+        }));
+        warm_ns.push(time_ns(|| {
+            let served = server.serve(&probe_sql).expect("warm serve");
+            assert_eq!(served.outcome, ServeOutcome::TreeCacheHit);
+            std::hint::black_box(served.rows);
+        }));
+    }
+    let cold = summarize(&cold_ns);
+    let warm = summarize(&warm_ns);
+    let warm_speedup = cold.median_ms / warm.median_ms;
+    println!(
+        "  serve cold median {:.4} ms | warm median {:.4} ms | speedup {:.1}x",
+        cold.median_ms, warm.median_ms, warm_speedup
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pipeline\",\n  \"scale\": \"smoke\",\n");
+    let _ = write!(
+        out,
+        "  \"seed\": {}, \"runs\": {}, \"cores\": {}, \"rows\": {},\n",
+        args.seed, args.runs, cores, n
+    );
+    let _ = write!(out, "  \"index_heap_bytes\": {},\n", index_bytes);
+    let _ = write!(
+        out,
+        "  \"exec_probe\": {{\"rows\": {}, \"selectivity\": {}}},\n",
+        exec_rows,
+        json_num(exec_sel)
+    );
+    let _ = write!(
+        out,
+        "  \"serve_probe\": {{\"rows\": {}, \"selectivity\": {}}},\n",
+        serve_rows,
+        json_num(serve_sel)
+    );
+    out.push_str("  \"access_path\": [\n");
+    let _ = write!(
+        out,
+        "    {{\"path\": \"scan\", \"summary\": {}}},\n",
+        summary_json(&scan)
+    );
+    let _ = write!(
+        out,
+        "    {{\"path\": \"index\", \"summary\": {}, \"speedup_vs_scan\": {}}}\n",
+        summary_json(&index),
+        json_num(index_speedup)
+    );
+    out.push_str("  ],\n");
+    out.push_str("  \"serve\": {\n");
+    let _ = write!(out, "    \"cold\": {},\n", summary_json(&cold));
+    let _ = write!(
+        out,
+        "    \"warm\": {},\n    \"warm_speedup\": {}\n",
+        summary_json(&warm),
+        json_num(warm_speedup)
+    );
+    out.push_str("  },\n");
+    let _ = write!(
+        out,
+        "  \"differential\": {{\"queries\": {}, \"paths\": [\"auto\", \"force_index\"], \"mismatches\": {}, \"status\": \"{}\"}}\n",
+        sample.len(),
+        mismatches,
+        diff_status
+    );
+    out.push_str("}\n");
+    std::fs::write(&args.out, out).expect("write bench report");
+    println!("  wrote {}", args.out);
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

@@ -18,12 +18,17 @@
 //! - Numeric attributes may be integer- or float-typed; both expose an
 //!   `f64` view because splitpoint partitioning operates on a numeric
 //!   line.
+//! - Relations can carry an opt-in [`IndexSet`] (postings per
+//!   categorical code, a sorted projection per numeric column) so the
+//!   executor can answer selective predicates without scanning; see
+//!   the [`index`] module.
 
 pub mod catalog;
 pub mod column;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
+pub mod index;
 pub mod relation;
 pub mod types;
 pub mod value;
@@ -32,6 +37,7 @@ pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder};
 pub use dictionary::Dictionary;
 pub use error::DataError;
+pub use index::{intersect_sorted, union_sorted, AttrIndex, IndexSet, PostingsIndex, SortedIndex};
 pub use relation::{Relation, RelationBuilder};
 pub use types::{AttrId, AttrType, Field, Schema};
 pub use value::Value;

@@ -2,10 +2,11 @@
 
 use crate::column::{Column, ColumnBuilder};
 use crate::error::DataError;
+use crate::index::IndexSet;
 use crate::types::{AttrId, Schema};
 use crate::value::Value;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable table: a schema plus one column per attribute, all the
 /// same length.
@@ -21,6 +22,10 @@ struct RelationInner {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    /// Secondary indexes, built at freeze time (builder opt-in) or on
+    /// first [`Relation::build_indexes`] call; absent until then so
+    /// plain relations pay nothing.
+    indexes: OnceLock<IndexSet>,
 }
 
 impl Relation {
@@ -48,8 +53,26 @@ impl Relation {
                 schema,
                 columns,
                 rows,
+                indexes: OnceLock::new(),
             }),
         })
+    }
+
+    /// The relation's secondary indexes, when they have been built.
+    pub fn indexes(&self) -> Option<&IndexSet> {
+        self.inner.indexes.get()
+    }
+
+    /// Build (or fetch) the secondary indexes for every column.
+    ///
+    /// Idempotent and thread-safe: the first caller pays one pass per
+    /// categorical column and one sort per numeric column; everyone
+    /// else gets the cached [`IndexSet`]. All handles to the same
+    /// table share the result.
+    pub fn build_indexes(&self) -> &IndexSet {
+        self.inner
+            .indexes
+            .get_or_init(|| IndexSet::build(&self.inner.columns))
     }
 
     /// The schema.
@@ -132,6 +155,7 @@ impl fmt::Debug for Relation {
 pub struct RelationBuilder {
     schema: Schema,
     builders: Vec<ColumnBuilder>,
+    build_indexes: bool,
 }
 
 impl RelationBuilder {
@@ -147,7 +171,18 @@ impl RelationBuilder {
             .iter()
             .map(|f| ColumnBuilder::with_capacity(f.ty, capacity))
             .collect();
-        RelationBuilder { schema, builders }
+        RelationBuilder {
+            schema,
+            builders,
+            build_indexes: false,
+        }
+    }
+
+    /// Opt in to building the [`IndexSet`] when the relation is
+    /// frozen, so it is ready before the first query arrives.
+    pub fn with_indexes(mut self) -> Self {
+        self.build_indexes = true;
+        self
     }
 
     /// The schema being built against.
@@ -208,14 +243,20 @@ impl RelationBuilder {
         &mut self.builders[id.index()]
     }
 
-    /// Freeze into an immutable [`Relation`].
+    /// Freeze into an immutable [`Relation`]. When
+    /// [`RelationBuilder::with_indexes`] was requested, the
+    /// [`IndexSet`] is built here, at freeze time.
     pub fn finish(self) -> Result<Relation, DataError> {
         let columns: Vec<Column> = self
             .builders
             .into_iter()
             .map(ColumnBuilder::finish)
             .collect();
-        Relation::from_columns(self.schema, columns)
+        let relation = Relation::from_columns(self.schema, columns)?;
+        if self.build_indexes {
+            relation.build_indexes();
+        }
+        Ok(relation)
     }
 }
 
@@ -341,5 +382,39 @@ mod tests {
         let r = RelationBuilder::new(schema()).finish().unwrap();
         assert!(r.is_empty());
         assert_eq!(r.all_row_ids(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn indexes_opt_in_at_freeze() {
+        let r = sample();
+        assert!(r.indexes().is_none(), "plain freeze builds no indexes");
+        let mut b = RelationBuilder::with_capacity(schema(), 1);
+        b.push_row(&["Redmond".into(), 250_000.0.into(), 3.into()])
+            .unwrap();
+        let indexed = b.with_indexes().finish().unwrap();
+        assert!(indexed.indexes().is_some());
+        assert_eq!(
+            indexed
+                .indexes()
+                .unwrap()
+                .postings(AttrId(0))
+                .unwrap()
+                .rows_for_code(0),
+            &[0]
+        );
+    }
+
+    #[test]
+    fn build_indexes_is_idempotent_and_shared() {
+        let r = sample();
+        let first = r.build_indexes() as *const _;
+        let again = r.build_indexes() as *const _;
+        assert_eq!(first, again);
+        let clone = r.clone();
+        assert!(clone.indexes().is_some(), "handles share the index set");
+        assert_eq!(
+            r.build_indexes().sorted(AttrId(1)).unwrap().len(),
+            r.len()
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! The selection executor.
 
+use crate::plan::{self, AccessPath};
 use crate::result::ResultSet;
 use qcat_data::Relation;
 use qcat_data::{Catalog, DataError};
-use qcat_sql::eval::CompiledPredicate;
 use qcat_sql::{parse_select, NormalizedQuery, SqlError};
 use std::fmt;
 
@@ -51,8 +51,18 @@ impl From<qcat_sql::NormalizeError> for ExecError {
     }
 }
 
-/// Execute a SQL string against a catalog.
+/// Execute a SQL string against a catalog, choosing scan vs. index
+/// automatically.
 pub fn execute(catalog: &Catalog, sql: &str) -> Result<ResultSet, ExecError> {
+    execute_with(catalog, sql, AccessPath::Auto)
+}
+
+/// Execute a SQL string against a catalog along a chosen access path.
+pub fn execute_with(
+    catalog: &Catalog,
+    sql: &str,
+    path: AccessPath,
+) -> Result<ResultSet, ExecError> {
     let ast = {
         let _span = qcat_obs::span!("sql.parse", bytes = sql.len());
         parse_select(sql)?
@@ -62,20 +72,35 @@ pub fn execute(catalog: &Catalog, sql: &str) -> Result<ResultSet, ExecError> {
         let _span = qcat_obs::span!("sql.normalize", has_predicate = ast.predicate.is_some());
         qcat_sql::normalize::normalize(&ast, relation.schema())?
     };
-    execute_normalized(&relation, &normalized)
+    execute_normalized_with(&relation, &normalized, path)
 }
 
-/// Execute an already-normalized query against its relation.
+/// Execute an already-normalized query against its relation, choosing
+/// scan vs. index automatically.
 pub fn execute_normalized(
     relation: &Relation,
     query: &NormalizedQuery,
 ) -> Result<ResultSet, ExecError> {
-    let mut span = qcat_obs::span!("exec.execute", rows_scanned = relation.len());
-    let predicate = CompiledPredicate::compile(query, relation)?;
-    let mut rows = predicate.filter(relation, None);
+    execute_normalized_with(relation, query, AccessPath::Auto)
+}
+
+/// Execute an already-normalized query along a chosen access path.
+///
+/// All paths produce the same result set; `path` only changes how the
+/// matching row ids are found (see [`plan`]).
+pub fn execute_normalized_with(
+    relation: &Relation,
+    query: &NormalizedQuery,
+    path: AccessPath,
+) -> Result<ResultSet, ExecError> {
+    let mut span = qcat_obs::span!("exec.execute", rows_total = relation.len());
+    let (mut rows, explain) = plan::select_rows(relation, query, path)?;
     if qcat_obs::active() {
         span.set("rows_matched", rows.len());
-        qcat_obs::counter("exec.rows_scanned", relation.len() as i64);
+        span.set("used_index", explain.used_index);
+        if !explain.used_index {
+            qcat_obs::counter("exec.rows_scanned", relation.len() as i64);
+        }
         qcat_obs::counter("exec.rows_matched", rows.len() as i64);
     }
     if !query.order_by.is_empty() {
@@ -145,6 +170,11 @@ impl Executor {
     /// Run a query.
     pub fn query(&self, sql: &str) -> Result<ResultSet, ExecError> {
         execute(&self.catalog, sql)
+    }
+
+    /// Run a query along a chosen access path.
+    pub fn query_with(&self, sql: &str, path: AccessPath) -> Result<ResultSet, ExecError> {
+        execute_with(&self.catalog, sql, path)
     }
 }
 

@@ -9,7 +9,11 @@
 //! root `tset`.
 
 pub mod executor;
+pub mod plan;
 pub mod result;
 
-pub use executor::{execute, execute_normalized, ExecError, Executor};
+pub use executor::{
+    execute, execute_normalized, execute_normalized_with, execute_with, ExecError, Executor,
+};
+pub use plan::{AccessPath, PlanExplain};
 pub use result::ResultSet;

@@ -1,0 +1,471 @@
+//! Access-path planning: scan vs. index, decided per conjunct.
+//!
+//! The executor's historical strategy — compile the predicate and
+//! scan every row — costs `O(N)` per query regardless of
+//! selectivity. When the relation carries an
+//! [`IndexSet`](qcat_data::IndexSet), this planner answers each
+//! conjunct from the matching index instead:
+//!
+//! - `IN` / `=` on a categorical attribute → union of the postings
+//!   lists of the accepted dictionary codes;
+//! - a numeric interval → a binary-searched slice of the sorted
+//!   projection;
+//! - a numeric `IN` → union of per-value equal-ranges.
+//!
+//! Costing uses **exact** cardinalities, read from the indexes for
+//! free: postings lengths and slice widths. The plan is: sort the
+//! index-answerable conjuncts by cardinality; if even the cheapest
+//! selects more than [`SCAN_FALLBACK_NUM`]/[`SCAN_FALLBACK_DEN`] of
+//! the relation, scan (the scan touches each row once; materializing
+//! near-total row-id lists costs more than it saves). Otherwise start
+//! from the smallest list and intersect larger lists smallest-first
+//! (galloping kicks in for skewed sizes); a conjunct whose list would
+//! dwarf the running candidate set ([`INTERSECT_RATIO`]×) is cheaper
+//! to apply as a **residual** row-at-a-time filter over the candidate
+//! list, exactly like any conjunct no index can answer.
+//!
+//! Every path yields ascending row ids, so index output is
+//! bit-compatible with scan output; `tests` pin that equality on
+//! every fixture.
+
+use qcat_data::{intersect_sorted, union_sorted, AttrId, IndexSet, Relation};
+use qcat_sql::eval::CompiledPredicate;
+use qcat_sql::normalize::{AttrCondition, NumericRange};
+use qcat_sql::NormalizedQuery;
+
+/// Which access path `execute_normalized_with` may take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPath {
+    /// Cost-based choice: index when present and selective, else scan.
+    #[default]
+    Auto,
+    /// Always scan, even when indexes exist (baseline / differential
+    /// testing).
+    ForceScan,
+    /// Use every index-answerable conjunct regardless of selectivity
+    /// (exercises the kernels; still falls back to scan when the
+    /// relation has no indexes).
+    ForceIndex,
+}
+
+/// Auto falls back to a scan when the cheapest index conjunct selects
+/// more than `SCAN_FALLBACK_NUM / SCAN_FALLBACK_DEN` of the relation.
+const SCAN_FALLBACK_NUM: usize = 1;
+/// See [`SCAN_FALLBACK_NUM`].
+const SCAN_FALLBACK_DEN: usize = 4;
+
+/// A further index list is intersected eagerly only while its
+/// cardinality is below this multiple of the current candidate size;
+/// beyond that, probing the candidate rows directly (residual filter)
+/// touches less memory.
+const INTERSECT_RATIO: usize = 8;
+
+/// How a query's rows were produced, for spans and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanExplain {
+    /// True when any conjunct was answered from an index.
+    pub used_index: bool,
+    /// Conjuncts answered from indexes.
+    pub index_conjuncts: usize,
+    /// Conjuncts applied as a row-at-a-time residual filter.
+    pub residual_conjuncts: usize,
+    /// Total row ids fetched from index lists.
+    pub rows_fetched: usize,
+}
+
+impl PlanExplain {
+    fn scan(conjuncts: usize) -> PlanExplain {
+        PlanExplain {
+            used_index: false,
+            index_conjuncts: 0,
+            residual_conjuncts: conjuncts,
+            rows_fetched: 0,
+        }
+    }
+}
+
+/// One index-answerable conjunct with its exact result cardinality.
+struct IndexConjunct {
+    attr: AttrId,
+    est: usize,
+    fetch: Fetch,
+}
+
+enum Fetch {
+    /// Union of postings lists for these dictionary codes.
+    Codes(Vec<u32>),
+    /// Sorted-projection slice for this interval.
+    Range(NumericRange),
+    /// Union of per-value equal-ranges.
+    Values(Vec<f64>),
+}
+
+/// Select the matching row ids of `query` against `relation` along
+/// `path`. Rows come back ascending (table order) on every path.
+pub fn select_rows(
+    relation: &Relation,
+    query: &NormalizedQuery,
+    path: AccessPath,
+) -> Result<(Vec<u32>, PlanExplain), qcat_sql::error::NormalizeError> {
+    let indexes = match path {
+        AccessPath::ForceScan => None,
+        AccessPath::Auto | AccessPath::ForceIndex => relation.indexes(),
+    };
+    let Some(indexes) = indexes else {
+        return Ok((
+            scan_rows(relation, query, None)?,
+            PlanExplain::scan(query.conditions.len()),
+        ));
+    };
+
+    let mut plan_span = qcat_obs::span!("exec.plan", conjuncts = query.conditions.len());
+    let mut eligible: Vec<IndexConjunct> = Vec::with_capacity(query.conditions.len());
+    let mut residual: Vec<AttrId> = Vec::new();
+    for (&attr, cond) in &query.conditions {
+        match classify(relation, indexes, attr, cond) {
+            Some(c) => eligible.push(c),
+            None => residual.push(attr),
+        }
+    }
+    eligible.sort_by_key(|c| c.est);
+
+    let n = relation.len();
+    let selective = eligible.first().is_some_and(|c| {
+        c.est == 0 || c.est.saturating_mul(SCAN_FALLBACK_DEN) <= n.saturating_mul(SCAN_FALLBACK_NUM)
+    });
+    let use_index = match path {
+        AccessPath::ForceIndex => !eligible.is_empty(),
+        _ => selective,
+    };
+    if qcat_obs::active() {
+        plan_span.set("eligible", eligible.len());
+        plan_span.set("path", if use_index { "index" } else { "scan" });
+    }
+    drop(plan_span);
+    if !use_index {
+        qcat_obs::counter("exec.plan.scan_fallback", 1);
+        return Ok((
+            scan_rows(relation, query, None)?,
+            PlanExplain::scan(query.conditions.len()),
+        ));
+    }
+
+    let mut span = qcat_obs::span!("exec.index.select", conjuncts = eligible.len());
+    let mut explain = PlanExplain {
+        used_index: true,
+        index_conjuncts: 0,
+        residual_conjuncts: residual.len(),
+        rows_fetched: 0,
+    };
+    // An unsatisfiable conjunct (cardinality 0) decides the query.
+    if eligible.first().is_some_and(|c| c.est == 0) {
+        explain.index_conjuncts = 1;
+        if qcat_obs::active() {
+            span.set("rows_matched", 0usize);
+        }
+        return Ok((Vec::new(), explain));
+    }
+
+    let mut rows: Vec<u32> = Vec::new();
+    for (i, c) in eligible.iter().enumerate() {
+        let eager = i == 0
+            || path == AccessPath::ForceIndex
+            || c.est <= rows.len().saturating_mul(INTERSECT_RATIO);
+        if !eager {
+            residual.push(c.attr);
+            continue;
+        }
+        let list = fetch_rows(indexes, c);
+        explain.rows_fetched += list.len();
+        explain.index_conjuncts += 1;
+        rows = if i == 0 {
+            list
+        } else {
+            intersect_sorted(&rows, &list)
+        };
+        if rows.is_empty() {
+            break;
+        }
+    }
+    qcat_obs::counter("exec.index.used", 1);
+    qcat_obs::counter("exec.index.rows_fetched", explain.rows_fetched as i64);
+
+    explain.residual_conjuncts = residual.len();
+    if !rows.is_empty() && !residual.is_empty() {
+        rows = scan_rows(relation, query, Some((&residual, rows)))?;
+    }
+    if qcat_obs::active() {
+        span.set("rows_matched", rows.len());
+    }
+    Ok((rows, explain))
+}
+
+/// Scan-side evaluation: compile (a subset of) the conditions and
+/// filter row-at-a-time. `restrict` = `(attrs to keep, candidates)`;
+/// `None` compiles everything and scans the whole relation.
+fn scan_rows(
+    relation: &Relation,
+    query: &NormalizedQuery,
+    restrict: Option<(&[AttrId], Vec<u32>)>,
+) -> Result<Vec<u32>, qcat_sql::error::NormalizeError> {
+    match restrict {
+        None => {
+            let predicate = CompiledPredicate::compile(query, relation)?;
+            Ok(predicate.filter(relation, None))
+        }
+        Some((attrs, candidates)) => {
+            let predicate =
+                CompiledPredicate::compile_where(query, relation, |a| attrs.contains(&a))?;
+            Ok(predicate.filter(relation, Some(&candidates)))
+        }
+    }
+}
+
+/// Can `cond` be answered by an index on `attr`? Returns the conjunct
+/// with its exact cardinality; `None` routes it to the residual
+/// filter (which also surfaces any type-drift error the scan path
+/// would report).
+fn classify(
+    relation: &Relation,
+    indexes: &IndexSet,
+    attr: AttrId,
+    cond: &AttrCondition,
+) -> Option<IndexConjunct> {
+    match cond {
+        AttrCondition::InStr(values) => {
+            let postings = indexes.postings(attr)?;
+            let (dict, _) = relation.column(attr).categorical()?;
+            let codes: Vec<u32> = values.iter().filter_map(|v| dict.lookup(v)).collect();
+            let est = codes.iter().map(|&c| postings.count_for_code(c)).sum();
+            Some(IndexConjunct {
+                attr,
+                est,
+                fetch: Fetch::Codes(codes),
+            })
+        }
+        AttrCondition::Range(r) => {
+            let sorted = indexes.sorted(attr)?;
+            let est = if r.is_empty() {
+                0
+            } else {
+                sorted.count_in(r.lo, r.lo_inclusive, r.hi, r.hi_inclusive)
+            };
+            Some(IndexConjunct {
+                attr,
+                est,
+                fetch: Fetch::Range(*r),
+            })
+        }
+        AttrCondition::InNum(values) => {
+            let sorted = indexes.sorted(attr)?;
+            let est = values.iter().map(|&v| sorted.count_eq(v)).sum();
+            Some(IndexConjunct {
+                attr,
+                est,
+                fetch: Fetch::Values(values.clone()),
+            })
+        }
+    }
+}
+
+/// Materialize the ascending row-id list of one index conjunct.
+fn fetch_rows(indexes: &IndexSet, c: &IndexConjunct) -> Vec<u32> {
+    match &c.fetch {
+        Fetch::Codes(codes) => {
+            let Some(postings) = indexes.postings(c.attr) else {
+                return Vec::new();
+            };
+            // Postings of distinct codes are disjoint; union = merge.
+            let lists: Vec<&[u32]> = codes.iter().map(|&cd| postings.rows_for_code(cd)).collect();
+            union_sorted(&lists)
+        }
+        Fetch::Range(r) => {
+            let Some(sorted) = indexes.sorted(c.attr) else {
+                return Vec::new();
+            };
+            if r.is_empty() {
+                Vec::new()
+            } else {
+                sorted.rows_in(r.lo, r.lo_inclusive, r.hi, r.hi_inclusive)
+            }
+        }
+        Fetch::Values(values) => {
+            let Some(sorted) = indexes.sorted(c.attr) else {
+                return Vec::new();
+            };
+            let lists: Vec<Vec<u32>> = values.iter().map(|&v| sorted.rows_eq(v)).collect();
+            let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+            union_sorted(&refs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, RelationBuilder, Schema};
+    use qcat_sql::parse_and_normalize;
+
+    /// Small fixture with one attribute of every index shape plus a
+    /// single-distinct-value attribute (`city` is always "Seattle").
+    fn homes(indexed: bool) -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+            Field::new("city", AttrType::Categorical),
+        ])
+        .unwrap();
+        let rows: &[(&str, f64, i64)] = &[
+            ("Redmond", 210_000.0, 3),
+            ("Bellevue", 260_000.0, 4),
+            ("Seattle", 305_000.0, 2),
+            ("Redmond", 199_000.0, 5),
+            ("Issaquah", 250_000.0, 3),
+            ("Bellevue", 149_000.0, 1),
+            ("Seattle", 411_000.0, 4),
+            ("Redmond", 230_000.0, 3),
+        ];
+        let mut b = RelationBuilder::with_capacity(schema, rows.len());
+        for (n, p, beds) in rows {
+            b.push_row(&[(*n).into(), (*p).into(), (*beds).into(), "Seattle".into()])
+                .unwrap();
+        }
+        if indexed {
+            b = b.with_indexes();
+        }
+        b.finish().unwrap()
+    }
+
+    /// Every query must match the same rows on every path; `Auto` on
+    /// an indexed relation must additionally agree with `Auto` on an
+    /// unindexed one.
+    fn assert_paths_agree(sql: &str) -> Vec<u32> {
+        let plain = homes(false);
+        let indexed = homes(true);
+        let q = parse_and_normalize(sql, plain.schema()).unwrap();
+        let (scan, se) = select_rows(&plain, &q, AccessPath::Auto).unwrap();
+        assert!(!se.used_index, "unindexed relation must scan: {sql}");
+        for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
+            let (rows, _) = select_rows(&indexed, &q, path).unwrap();
+            assert_eq!(rows, scan, "path {path:?} diverged on {sql}");
+        }
+        let (_, fe) = select_rows(&indexed, &q, AccessPath::ForceIndex).unwrap();
+        assert!(
+            fe.used_index || q.conditions.is_empty(),
+            "ForceIndex should engage indexes when conjuncts exist: {sql}"
+        );
+        scan
+    }
+
+    #[test]
+    fn selective_in_list_uses_index() {
+        let rel = homes(true);
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE neighborhood IN ('Issaquah')",
+            rel.schema(),
+        )
+        .unwrap();
+        let (rows, e) = select_rows(&rel, &q, AccessPath::Auto).unwrap();
+        assert_eq!(rows, vec![4]);
+        assert!(e.used_index);
+        assert_eq!(e.index_conjuncts, 1);
+        assert_eq!(e.residual_conjuncts, 0);
+    }
+
+    #[test]
+    fn unselective_conjunct_falls_back_to_scan() {
+        // `city = 'Seattle'` matches every row; Auto must refuse the
+        // index, ForceIndex must still give identical rows.
+        let rel = homes(true);
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE city IN ('Seattle')",
+            rel.schema(),
+        )
+        .unwrap();
+        let (rows, e) = select_rows(&rel, &q, AccessPath::Auto).unwrap();
+        assert_eq!(rows.len(), rel.len());
+        assert!(!e.used_index);
+        let (rows, e) = select_rows(&rel, &q, AccessPath::ForceIndex).unwrap();
+        assert_eq!(rows.len(), rel.len());
+        assert!(e.used_index);
+    }
+
+    #[test]
+    fn conjunction_intersects_smallest_first() {
+        let rows = assert_paths_agree(
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond','Bellevue') \
+             AND price BETWEEN 200000 AND 300000 AND bedroomcount = 3",
+        );
+        assert_eq!(rows, vec![0, 7]);
+    }
+
+    #[test]
+    fn empty_result_set() {
+        let rows = assert_paths_agree(
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond') AND price > 1000000",
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn unknown_in_value_matches_nothing() {
+        let rows = assert_paths_agree("SELECT * FROM homes WHERE neighborhood IN ('Atlantis')");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn degenerate_range_matches_nothing() {
+        // lo > hi: NumericRange::is_empty, cardinality 0 on the index
+        // side, CompiledCondition::Nothing on the scan side.
+        let rows = assert_paths_agree("SELECT * FROM homes WHERE price BETWEEN 500000 AND 100000");
+        assert!(rows.is_empty());
+        let rows = assert_paths_agree("SELECT * FROM homes WHERE price < 100 AND price > 200");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn select_every_row() {
+        let rows = assert_paths_agree("SELECT * FROM homes WHERE price >= 0");
+        assert_eq!(rows.len(), homes(false).len());
+        let rows = assert_paths_agree("SELECT * FROM homes");
+        assert_eq!(rows.len(), homes(false).len());
+    }
+
+    #[test]
+    fn single_distinct_value_attribute() {
+        let rows = assert_paths_agree(
+            "SELECT * FROM homes WHERE city IN ('Seattle') AND bedroomcount >= 4",
+        );
+        assert_eq!(rows, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn numeric_in_set_via_sorted_index() {
+        let rows = assert_paths_agree("SELECT * FROM homes WHERE bedroomcount IN (2, 5)");
+        assert_eq!(rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn range_boundaries_inclusive_and_exclusive() {
+        assert_paths_agree("SELECT * FROM homes WHERE price <= 210000");
+        assert_paths_agree("SELECT * FROM homes WHERE price < 210000");
+        assert_paths_agree("SELECT * FROM homes WHERE price >= 411000");
+        assert_paths_agree("SELECT * FROM homes WHERE price > 411000");
+        assert_paths_agree("SELECT * FROM homes WHERE bedroomcount BETWEEN 3 AND 3");
+    }
+
+    #[test]
+    fn rows_are_ascending_on_every_path() {
+        let rel = homes(true);
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond','Seattle','Bellevue')",
+            rel.schema(),
+        )
+        .unwrap();
+        for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
+            let (rows, _) = select_rows(&rel, &q, path).unwrap();
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "{path:?}");
+        }
+    }
+}

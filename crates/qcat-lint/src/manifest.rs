@@ -12,6 +12,8 @@
 //!    ↑
 //! qcat-core                  (the paper's algorithms)
 //!    ↑
+//! qcat-serve                 (serving layer: pipeline + caches)
+//!    ↑
 //! qcat-exec, qcat-datagen, qcat-explore, qcat-study   (drivers)
 //! ```
 //!
@@ -90,6 +92,7 @@ pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
             "qcat-core",
             "qcat-exec",
             "qcat-workload",
+            "qcat-serve",
             "qcat-explore",
             "qcat-datagen",
             "qcat-study",
@@ -104,15 +107,46 @@ pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
             "qcat-core",
             "qcat-exec",
             "qcat-workload",
+            "qcat-serve",
             "qcat-explore",
             "qcat-datagen",
             "qcat-study",
             "qcat-lint",
         ],
-        // Foundations must not see the model or the studies.
-        "qcat-data" | "qcat-sql" => &["qcat-core", "qcat-study", "qcat-exec", "qcat-explore"],
-        // The model must not depend on data generation or studies.
-        "qcat-core" => &["qcat-datagen", "qcat-study", "qcat-explore"],
+        // Foundations must not see the model, the serving layer, or
+        // the studies. qcat-data additionally must not see the
+        // workload layer: its index module serves the executor through
+        // value-level APIs (`f64` bounds, `u32` codes), never through
+        // query types.
+        "qcat-data" => &[
+            "qcat-core",
+            "qcat-study",
+            "qcat-exec",
+            "qcat-explore",
+            "qcat-serve",
+            "qcat-workload",
+            "qcat-sql",
+        ],
+        "qcat-sql" => &[
+            "qcat-core",
+            "qcat-study",
+            "qcat-exec",
+            "qcat-explore",
+            "qcat-serve",
+        ],
+        // The model must not depend on data generation, serving, or
+        // studies.
+        "qcat-core" => &["qcat-datagen", "qcat-study", "qcat-explore", "qcat-serve"],
+        // The serving layer composes exec/core/workload (plus the
+        // data/sql/obs foundations beneath them); it must never pull
+        // in the drivers, generators, or tooling.
+        "qcat-serve" => &[
+            "qcat-datagen",
+            "qcat-study",
+            "qcat-explore",
+            "qcat-lint",
+            "qcat-bench",
+        ],
         _ => &[],
     }
 }
@@ -204,6 +238,34 @@ slow-tests = []
         let diags = check_layering("qcat-obs", "crates/qcat-obs/Cargo.toml", cycle);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("qcat-pool"));
+    }
+
+    #[test]
+    fn serve_sees_pipeline_but_not_drivers() {
+        let good = "[dependencies]\nqcat-obs.workspace = true\nqcat-data.workspace = true\n\
+                    qcat-sql.workspace = true\nqcat-exec.workspace = true\n\
+                    qcat-workload.workspace = true\nqcat-core.workspace = true\n";
+        assert_eq!(check_layering("qcat-serve", "x", good), vec![]);
+        let bad = "[dependencies]\nqcat-study.workspace = true\nqcat-bench.workspace = true\n";
+        let diags = check_layering("qcat-serve", "crates/qcat-serve/Cargo.toml", bad);
+        assert_eq!(diags.len(), 2);
+        // And no lower layer may reach back up into the server.
+        for lower in ["qcat-obs", "qcat-pool", "qcat-data", "qcat-sql", "qcat-core"] {
+            let cycle = "[dependencies]\nqcat-serve.workspace = true\n";
+            assert_eq!(check_layering(lower, "x", cycle).len(), 1, "{lower}");
+        }
+    }
+
+    #[test]
+    fn data_index_module_stays_below_the_query_layer() {
+        // The index module works on codes and f64 bounds; qcat-data
+        // seeing qcat-sql (or qcat-workload) would let query types
+        // leak into the storage layer.
+        for banned in ["qcat-sql", "qcat-workload"] {
+            let bad = format!("[dependencies]\n{banned}.workspace = true\n");
+            let diags = check_layering("qcat-data", "crates/qcat-data/Cargo.toml", &bad);
+            assert_eq!(diags.len(), 1, "{banned}");
+        }
     }
 
     #[test]

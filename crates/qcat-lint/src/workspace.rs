@@ -20,6 +20,7 @@ pub const SCANNED_CRATES: &[(&str, &str)] = &[
     ("qcat-sql", "crates/qcat-sql"),
     ("qcat-exec", "crates/qcat-exec"),
     ("qcat-obs", "crates/qcat-obs"),
+    ("qcat-serve", "crates/qcat-serve"),
 ];
 
 /// Repo-relative path of the L1/L5 allowlist.

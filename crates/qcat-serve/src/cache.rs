@@ -1,0 +1,163 @@
+//! An LRU cache whose entries expire when an epoch counter moves.
+//!
+//! The serving layer keys cached artifacts by normalized-query
+//! fingerprint, but a cached *tree* is only valid for the workload
+//! statistics it was computed under: logging new queries changes the
+//! probability estimates and therefore (potentially) every tree.
+//! Rather than enumerate and purge affected keys, each table carries
+//! a monotonically increasing **epoch**; entries remember the epoch
+//! they were inserted under, and a lookup under any other epoch is a
+//! miss that also drops the stale entry.
+//!
+//! Recency is tracked with a monotonic tick (touched on get/insert);
+//! eviction removes the smallest tick. That is `O(capacity)` per
+//! eviction, which is fine at the double-digit capacities the server
+//! uses — no intrusive list, no unsafe.
+
+use std::collections::HashMap;
+
+/// An LRU map with epoch-based invalidation.
+#[derive(Debug)]
+pub struct EpochLru<V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, Entry<V>>,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    epoch: u64,
+    last_used: u64,
+}
+
+impl<V: Clone> EpochLru<V> {
+    /// Cache holding at most `capacity` entries (`0` disables caching).
+    pub fn new(capacity: usize) -> Self {
+        EpochLru {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Look up `key` as of `epoch`. An entry inserted under a
+    /// different epoch is stale: it is removed and the lookup misses.
+    pub fn get(&mut self, key: &str, epoch: u64) -> Option<V> {
+        match self.map.get_mut(key) {
+            Some(e) if e.epoch == epoch => {
+                self.tick += 1;
+                e.last_used = self.tick;
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert `value` under `key` as of `epoch`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, key: String, value: V, epoch: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = lru {
+                self.map.remove(&k);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                epoch,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Number of live entries (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_same_epoch() {
+        let mut c = EpochLru::new(4);
+        c.insert("a".into(), 1, 0);
+        assert_eq!(c.get("a", 0), Some(1));
+        assert_eq!(c.get("b", 0), None);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let mut c = EpochLru::new(4);
+        c.insert("a".into(), 1, 0);
+        assert_eq!(c.get("a", 1), None);
+        // The stale entry was dropped, not resurrected.
+        assert_eq!(c.get("a", 0), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_recency() {
+        let mut c = EpochLru::new(2);
+        c.insert("a".into(), 1, 0);
+        c.insert("b".into(), 2, 0);
+        // Touch "a" so "b" is the LRU when "c" arrives.
+        assert_eq!(c.get("a", 0), Some(1));
+        c.insert("c".into(), 3, 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("b", 0), None);
+        assert_eq!(c.get("a", 0), Some(1));
+        assert_eq!(c.get("c", 0), Some(3));
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut c = EpochLru::new(2);
+        c.insert("a".into(), 1, 0);
+        c.insert("b".into(), 2, 0);
+        c.insert("a".into(), 9, 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a", 0), Some(9));
+        assert_eq!(c.get("b", 0), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = EpochLru::new(0);
+        c.insert("a".into(), 1, 0);
+        assert!(c.is_empty());
+        assert_eq!(c.get("a", 0), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Canonical fingerprints for normalized queries.
+//!
+//! Two SQL strings that normalize to the same [`NormalizedQuery`] —
+//! different literal spellings (`200000` vs `2e5`), reordered
+//! conjuncts, case differences — must map to the same cache key. The
+//! normalizer already canonicalizes the semantic content (conditions
+//! live in a `BTreeMap` keyed by attribute, IN-lists are sorted
+//! sets), so a deterministic serialization of the normalized form is
+//! a sound fingerprint. No hashing: collisions would silently serve
+//! the wrong tree, and the strings are short.
+
+use qcat_sql::normalize::{AttrCondition, NormalizedQuery};
+use std::fmt::Write as _;
+
+/// Serialize `query` into its canonical cache key.
+pub fn fingerprint(query: &NormalizedQuery) -> String {
+    let mut out = String::with_capacity(64);
+    let _ = write!(out, "t={};p=", query.table);
+    match &query.projection {
+        None => out.push('*'),
+        Some(attrs) => {
+            for a in attrs {
+                let _ = write!(out, "{},", a.0);
+            }
+        }
+    }
+    out.push_str(";c=");
+    for (attr, cond) in &query.conditions {
+        let _ = write!(out, "{}:", attr.0);
+        match cond {
+            AttrCondition::InStr(values) => {
+                out.push_str("s{");
+                for v in values {
+                    // Escape the delimiters so adversarial values
+                    // cannot collide two different sets.
+                    let _ = write!(out, "{v:?},");
+                }
+                out.push('}');
+            }
+            AttrCondition::InNum(values) => {
+                out.push_str("n{");
+                for v in values {
+                    // `{:?}` of f64 is shortest-roundtrip: distinct
+                    // values always print differently.
+                    let _ = write!(out, "{v:?},");
+                }
+                out.push('}');
+            }
+            AttrCondition::Range(r) => {
+                let _ = write!(
+                    out,
+                    "r{}{:?}..{:?}{}",
+                    if r.lo_inclusive { '[' } else { '(' },
+                    r.lo,
+                    r.hi,
+                    if r.hi_inclusive { ']' } else { ')' },
+                );
+            }
+        }
+        out.push('|');
+    }
+    out.push_str(";o=");
+    for (attr, desc) in &query.order_by {
+        let _ = write!(out, "{}{},", attr.0, if *desc { '-' } else { '+' });
+    }
+    match query.limit {
+        None => out.push_str(";l=_"),
+        Some(n) => {
+            let _ = write!(out, ";l={n}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, Schema};
+    use qcat_sql::parse_and_normalize;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn fp(sql: &str) -> String {
+        fingerprint(&parse_and_normalize(sql, &schema()).unwrap())
+    }
+
+    #[test]
+    fn literal_spellings_collapse() {
+        assert_eq!(
+            fp("SELECT * FROM homes WHERE price <= 200000"),
+            fp("select * from HOMES where PRICE <= 2e5"),
+        );
+        assert_eq!(
+            fp("SELECT * FROM homes WHERE neighborhood IN ('B','A')"),
+            fp("SELECT * FROM homes WHERE neighborhood IN ('A','B','A')"),
+        );
+        assert_eq!(
+            fp("SELECT * FROM homes WHERE price > 1 AND bedroomcount = 2"),
+            fp("SELECT * FROM homes WHERE bedroomcount = 2 AND price > 1"),
+        );
+    }
+
+    #[test]
+    fn semantic_differences_distinguish() {
+        let keys = [
+            fp("SELECT * FROM homes"),
+            fp("SELECT * FROM homes WHERE price <= 200000"),
+            fp("SELECT * FROM homes WHERE price < 200000"),
+            fp("SELECT * FROM homes WHERE price >= 200000"),
+            fp("SELECT * FROM homes WHERE neighborhood IN ('A')"),
+            fp("SELECT * FROM homes WHERE neighborhood IN ('A','B')"),
+            fp("SELECT * FROM homes WHERE bedroomcount IN (1, 2)"),
+            fp("SELECT * FROM homes LIMIT 5"),
+            fp("SELECT * FROM homes ORDER BY price"),
+            fp("SELECT * FROM homes ORDER BY price DESC"),
+            fp("SELECT price FROM homes"),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn quoting_prevents_value_collisions() {
+        // A value containing the set delimiters must not fuse with its
+        // neighbor.
+        assert_ne!(
+            fp("SELECT * FROM homes WHERE neighborhood IN ('a,b')"),
+            fp("SELECT * FROM homes WHERE neighborhood IN ('a','b')"),
+        );
+    }
+}

@@ -1,0 +1,202 @@
+#![warn(missing_docs)]
+
+//! Cached query → category-tree serving for the qcat workspace.
+//!
+//! The paper's system sits between a user and a DBMS: the user issues
+//! exploratory selection queries, and every result set comes back as
+//! a navigable category tree. Exploration sessions are repetitive —
+//! the same query is re-issued as the user backtracks, and small
+//! literal variations normalize to the same query — so the natural
+//! deployment shape is a **server** that owns the relation, its
+//! secondary indexes, and the workload statistics, and memoizes the
+//! two expensive stages of the pipeline:
+//!
+//! ```text
+//!   SQL ──parse/normalize──▶ fingerprint
+//!         │                      │
+//!         │              tree cache hit? ──▶ rendered CategoryTree
+//!         │                      │ miss
+//!         │            result cache hit? ──▶ categorize + render
+//!         │                      │ miss
+//!         └──▶ execute (index-accelerated) ──▶ categorize + render
+//! ```
+//!
+//! Both caches key on the [`fingerprint`](fingerprint::fingerprint)
+//! of the *normalized* query, so `price <= 2e5` and
+//! `PRICE <= 200000` share one entry. Cached trees depend on the
+//! workload statistics; [`Server::log_queries`] rebuilds them and
+//! bumps the table's **epoch**, which lazily invalidates all of that
+//! table's entries (see [`cache::EpochLru`]).
+
+pub mod cache;
+pub mod fingerprint;
+pub mod server;
+
+pub use cache::EpochLru;
+pub use fingerprint::fingerprint;
+pub use server::{Served, ServeError, ServeOutcome, Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcat_data::{AttrType, Field, Relation, RelationBuilder, Schema};
+    use qcat_sql::parse_and_normalize;
+    use qcat_workload::{PreprocessConfig, WorkloadLog};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("neighborhood", AttrType::Categorical),
+            Field::new("price", AttrType::Float),
+            Field::new("bedroomcount", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn homes(n: i64) -> Relation {
+        let hoods = ["Redmond", "Bellevue", "Seattle", "Issaquah"];
+        let mut b = RelationBuilder::new(schema());
+        for i in 0..n {
+            b.push_row(&[
+                hoods[(i % 4) as usize].into(),
+                (150_000.0 + 1_000.0 * i as f64).into(),
+                (1 + i % 5).into(),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn workload() -> WorkloadLog {
+        WorkloadLog::parse(
+            [
+                "SELECT * FROM homes WHERE neighborhood IN ('Redmond')",
+                "SELECT * FROM homes WHERE price BETWEEN 150000 AND 200000",
+                "SELECT * FROM homes WHERE neighborhood IN ('Bellevue') AND bedroomcount >= 3",
+                "SELECT * FROM homes WHERE price <= 180000",
+            ],
+            &schema(),
+            None,
+        )
+    }
+
+    fn server() -> Server {
+        let relation = homes(200);
+        let prep = PreprocessConfig::new().infer_missing(&relation, 20);
+        let server = Server::new(ServerConfig::default());
+        server
+            .register_table("homes", relation, workload(), prep)
+            .unwrap();
+        server
+    }
+
+    #[test]
+    fn cold_then_tree_hit() {
+        let s = server();
+        let sql = "SELECT * FROM homes WHERE price <= 200000";
+        let first = s.serve(sql).unwrap();
+        assert_eq!(first.outcome, ServeOutcome::Cold);
+        let second = s.serve(sql).unwrap();
+        assert_eq!(second.outcome, ServeOutcome::TreeCacheHit);
+        assert_eq!(first.rendered, second.rendered);
+        assert_eq!(first.rows, second.rows);
+    }
+
+    #[test]
+    fn literal_spellings_share_one_entry() {
+        let s = server();
+        let first = s.serve("SELECT * FROM homes WHERE price <= 200000").unwrap();
+        assert_eq!(first.outcome, ServeOutcome::Cold);
+        // Different spelling, different case, reordered conjuncts —
+        // same normalized query, so the tree cache answers.
+        let second = s
+            .serve("select * from HOMES where PRICE <= 2e5")
+            .unwrap();
+        assert_eq!(second.outcome, ServeOutcome::TreeCacheHit);
+        assert_eq!(first.rendered, second.rendered);
+        let (results, trees) = s.cache_sizes();
+        assert_eq!((results, trees), (1, 1));
+    }
+
+    #[test]
+    fn logging_queries_bumps_epoch_and_recomputes() {
+        let s = server();
+        let sql = "SELECT * FROM homes WHERE price <= 200000";
+        s.serve(sql).unwrap();
+        assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::TreeCacheHit);
+        assert_eq!(s.epoch("homes"), Some(0));
+
+        let new = parse_and_normalize(
+            "SELECT * FROM homes WHERE bedroomcount IN (4, 5)",
+            &schema(),
+        )
+        .unwrap();
+        s.log_queries("homes", vec![new]).unwrap();
+        assert_eq!(s.epoch("homes"), Some(1));
+
+        // Stale entries miss; the query is fully recomputed.
+        let again = s.serve(sql).unwrap();
+        assert_eq!(again.outcome, ServeOutcome::Cold);
+        // And the refreshed entry serves the new epoch.
+        assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::TreeCacheHit);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let relation = homes(50);
+        let prep = PreprocessConfig::new().infer_missing(&relation, 20);
+        let s = Server::new(ServerConfig {
+            result_cache_capacity: 2,
+            tree_cache_capacity: 2,
+            ..ServerConfig::default()
+        });
+        s.register_table("homes", relation, workload(), prep)
+            .unwrap();
+        for lo in [1, 2, 3, 4] {
+            s.serve(&format!("SELECT * FROM homes WHERE bedroomcount >= {lo}"))
+                .unwrap();
+        }
+        let (results, trees) = s.cache_sizes();
+        assert!(results <= 2, "result cache over capacity: {results}");
+        assert!(trees <= 2, "tree cache over capacity: {trees}");
+        // The most recent query is still cached…
+        assert_eq!(
+            s.serve("SELECT * FROM homes WHERE bedroomcount >= 4")
+                .unwrap()
+                .outcome,
+            ServeOutcome::TreeCacheHit
+        );
+        // …and the oldest was evicted.
+        assert_eq!(
+            s.serve("SELECT * FROM homes WHERE bedroomcount >= 1")
+                .unwrap()
+                .outcome,
+            ServeOutcome::Cold
+        );
+    }
+
+    #[test]
+    fn clear_caches_forces_cold() {
+        let s = server();
+        let sql = "SELECT * FROM homes WHERE neighborhood IN ('Redmond')";
+        s.serve(sql).unwrap();
+        s.clear_caches();
+        assert_eq!(s.cache_sizes(), (0, 0));
+        assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::Cold);
+    }
+
+    #[test]
+    fn unregistered_table_is_reported() {
+        let s = server();
+        let err = s.serve("SELECT * FROM cars WHERE price < 1").unwrap_err();
+        assert!(matches!(err, ServeError::UnregisteredTable(t) if t == "cars"));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let s = server();
+        assert!(matches!(
+            s.serve("SELEC nonsense").unwrap_err(),
+            ServeError::Exec(_)
+        ));
+    }
+}

@@ -1,0 +1,359 @@
+//! The serving loop: SQL in, cached category tree out.
+
+use crate::cache::EpochLru;
+use crate::fingerprint::fingerprint;
+use qcat_core::{render_tree, CategorizeConfig, Categorizer, CategoryTree};
+use qcat_data::{Catalog, DataError, Relation};
+use qcat_exec::{execute_normalized_with, AccessPath, ExecError, ResultSet};
+use qcat_sql::{parse_select, NormalizedQuery};
+use qcat_workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serving-layer errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The query references a table never passed to
+    /// [`Server::register_table`].
+    UnregisteredTable(String),
+    /// Parse, normalize, or storage failure from the layers below.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnregisteredTable(t) => {
+                write!(f, "table '{t}' is not registered with the server")
+            }
+            ServeError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+impl From<qcat_sql::ParseError> for ServeError {
+    fn from(e: qcat_sql::ParseError) -> Self {
+        ServeError::Exec(e.into())
+    }
+}
+
+impl From<qcat_sql::NormalizeError> for ServeError {
+    fn from(e: qcat_sql::NormalizeError) -> Self {
+        ServeError::Exec(e.into())
+    }
+}
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Capacity of the fingerprint → row-id cache.
+    pub result_cache_capacity: usize,
+    /// Capacity of the fingerprint → rendered-tree cache.
+    pub tree_cache_capacity: usize,
+    /// Categorization parameters, applied to every served query.
+    pub categorize: CategorizeConfig,
+    /// Depth limit for the cached ASCII rendering
+    /// (`usize::MAX` = full tree).
+    pub render_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            result_cache_capacity: 128,
+            tree_cache_capacity: 128,
+            categorize: CategorizeConfig::default(),
+            render_depth: usize::MAX,
+        }
+    }
+}
+
+/// How a [`Served`] answer was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Executed and categorized from scratch.
+    Cold,
+    /// Row ids came from the result cache; the tree was recomputed.
+    ResultCacheHit,
+    /// The fully rendered tree came straight from the tree cache.
+    TreeCacheHit,
+}
+
+/// A served answer: the category tree plus its rendering.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The categorization of the query's result set.
+    pub tree: Arc<CategoryTree>,
+    /// ASCII outline of `tree`, rendered once and shared.
+    pub rendered: Arc<String>,
+    /// `|Result(Q)|` — number of matching rows.
+    pub rows: usize,
+    /// Which cache (if any) answered.
+    pub outcome: ServeOutcome,
+}
+
+/// Everything the server knows about one registered table.
+struct TableState {
+    log: WorkloadLog,
+    prep: PreprocessConfig,
+    stats: Arc<WorkloadStatistics>,
+    /// Bumped whenever `stats` is rebuilt; cache entries from older
+    /// epochs are stale.
+    epoch: u64,
+}
+
+/// The cached artifacts, both keyed by normalized-query fingerprint.
+struct Caches {
+    results: EpochLru<Arc<ResultSet>>,
+    trees: EpochLru<(Arc<CategoryTree>, Arc<String>)>,
+}
+
+/// A query-to-category-tree server.
+///
+/// Owns a [`Catalog`] of indexed relations plus per-table workload
+/// statistics, and serves `SQL → CategoryTree` with two LRU caches in
+/// front of the pipeline:
+///
+/// 1. a **tree cache** (fingerprint → rendered tree) that skips
+///    everything, and
+/// 2. a **result cache** (fingerprint → row ids) that skips parse +
+///    execution when only the categorization inputs changed.
+///
+/// Both caches key on the *normalized* query, so literal spellings,
+/// conjunct order, and case differences all share one entry. Logging
+/// new workload queries ([`Server::log_queries`]) rebuilds the
+/// statistics and bumps the table's epoch, which invalidates every
+/// cached tree for that table (trees depend on the statistics) as
+/// well as its cached result sets (kept simple: one epoch guards
+/// both).
+pub struct Server {
+    catalog: Catalog,
+    config: ServerConfig,
+    tables: Mutex<HashMap<String, TableState>>,
+    caches: Mutex<Caches>,
+}
+
+impl Server {
+    /// Empty server.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            catalog: Catalog::new(),
+            config,
+            tables: Mutex::new(HashMap::new()),
+            caches: Mutex::new(Caches {
+                results: EpochLru::new(config.result_cache_capacity),
+                trees: EpochLru::new(config.tree_cache_capacity),
+            }),
+        }
+    }
+
+    /// The underlying catalog (read-only use; register tables through
+    /// [`Server::register_table`] so they get statistics and indexes).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutex access with poison recovery: state is only ever mutated
+    /// while structurally valid, so a panicking peer cannot leave a
+    /// half-updated map behind.
+    fn lock_tables(&self) -> MutexGuard<'_, HashMap<String, TableState>> {
+        self.tables.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_caches(&self) -> MutexGuard<'_, Caches> {
+        self.caches.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register `relation` under `name` with its workload history.
+    ///
+    /// Builds the relation's secondary indexes (the serving path is
+    /// exactly the repeated-selective-query workload indexes exist
+    /// for) and the workload statistics that drive categorization.
+    pub fn register_table(
+        &self,
+        name: &str,
+        relation: Relation,
+        log: WorkloadLog,
+        prep: PreprocessConfig,
+    ) -> Result<(), DataError> {
+        let _span = qcat_obs::span!("serve.register", rows = relation.len());
+        relation.build_indexes();
+        let stats = Arc::new(WorkloadStatistics::build(&log, relation.schema(), &prep));
+        self.catalog.register(name, relation)?;
+        self.lock_tables().insert(
+            name.to_ascii_lowercase(),
+            TableState {
+                log,
+                prep,
+                stats,
+                epoch: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Append freshly observed workload queries for `table`, rebuild
+    /// its statistics, and bump its epoch (invalidating its cached
+    /// trees and result sets).
+    pub fn log_queries(&self, table: &str, queries: Vec<NormalizedQuery>) -> Result<(), DataError> {
+        let key = table.to_ascii_lowercase();
+        let relation = self.catalog.get(&key)?;
+        let mut tables = self.lock_tables();
+        let Some(state) = tables.get_mut(&key) else {
+            return Err(DataError::UnknownTable(table.to_string()));
+        };
+        let mut merged: Vec<NormalizedQuery> = state.log.queries().to_vec();
+        merged.extend(queries);
+        state.log = WorkloadLog::from_normalized(merged);
+        state.stats = Arc::new(WorkloadStatistics::build(
+            &state.log,
+            relation.schema(),
+            &state.prep,
+        ));
+        state.epoch += 1;
+        qcat_obs::event!("serve.stats.rebuilt", table = key.as_str(), epoch = state.epoch);
+        Ok(())
+    }
+
+    /// Current statistics epoch for `table` (0 until the first
+    /// [`Server::log_queries`]).
+    pub fn epoch(&self, table: &str) -> Option<u64> {
+        self.lock_tables()
+            .get(&table.to_ascii_lowercase())
+            .map(|s| s.epoch)
+    }
+
+    /// Drop every cached result set and tree (measurement hook; the
+    /// epoch mechanism handles correctness-driven invalidation).
+    pub fn clear_caches(&self) {
+        let mut caches = self.lock_caches();
+        caches.results.clear();
+        caches.trees.clear();
+    }
+
+    /// Number of live entries in (result cache, tree cache).
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        let caches = self.lock_caches();
+        (caches.results.len(), caches.trees.len())
+    }
+
+    /// Serve `sql`: parse, normalize, execute (index-accelerated when
+    /// selective), categorize, render — returning cached artifacts
+    /// wherever the fingerprint and epoch allow.
+    pub fn serve(&self, sql: &str) -> Result<Served, ServeError> {
+        let mut span = qcat_obs::span!("serve.query", bytes = sql.len());
+        let ast = parse_select(sql)?;
+        let relation = self.catalog.get(&ast.table).map_err(|_| {
+            ServeError::UnregisteredTable(ast.table.clone())
+        })?;
+        let (stats, epoch) = {
+            // Table state is keyed by lowercased name, matching the
+            // catalog's case-insensitive lookup above.
+            let tables = self.lock_tables();
+            let Some(state) = tables.get(&ast.table.to_ascii_lowercase()) else {
+                return Err(ServeError::UnregisteredTable(ast.table.clone()));
+            };
+            (Arc::clone(&state.stats), state.epoch)
+        };
+        let query = qcat_sql::normalize::normalize(&ast, relation.schema())?;
+        let key = fingerprint(&query);
+
+        // Fast path: the finished tree is cached for this epoch. The
+        // lookup is bound to a local first so the cache `MutexGuard`
+        // (a temporary in the scrutinee) is dropped before the body
+        // runs — scrutinee temporaries live to the end of the whole
+        // `if let`/`match`, and re-locking inside would self-deadlock.
+        let tree_hit = self.lock_caches().trees.get(&key, epoch);
+        if let Some((tree, rendered)) = tree_hit {
+            qcat_obs::counter("serve.cache.hit", 1);
+            qcat_obs::counter("serve.cache.tree.hit", 1);
+            if qcat_obs::active() {
+                span.set("outcome", "tree_hit");
+            }
+            let rows = tree.node(qcat_core::NodeId::ROOT).tuple_count();
+            return Ok(Served {
+                tree,
+                rendered,
+                rows,
+                outcome: ServeOutcome::TreeCacheHit,
+            });
+        }
+        qcat_obs::counter("serve.cache.tree.miss", 1);
+
+        // Middle path: the row ids are cached; re-categorize only.
+        // Same guard-lifetime discipline as above: the `None` arm
+        // re-locks the caches to insert, so the lookup's lock must be
+        // released before the match body.
+        let result_hit = self.lock_caches().results.get(&key, epoch);
+        let (result, outcome) = match result_hit {
+            Some(result) => {
+                qcat_obs::counter("serve.cache.result.hit", 1);
+                (result, ServeOutcome::ResultCacheHit)
+            }
+            None => {
+                qcat_obs::counter("serve.cache.miss", 1);
+                qcat_obs::counter("serve.cache.result.miss", 1);
+                let result = Arc::new(execute_normalized_with(
+                    &relation,
+                    &query,
+                    AccessPath::Auto,
+                )?);
+                // Compute happened outside the lock; a racing serve of
+                // the same query at worst double-computes the same
+                // deterministic value.
+                self.lock_caches()
+                    .results
+                    .insert(key.clone(), Arc::clone(&result), epoch);
+                (result, ServeOutcome::Cold)
+            }
+        };
+        if outcome == ServeOutcome::ResultCacheHit {
+            qcat_obs::counter("serve.cache.hit", 1);
+        }
+
+        let tree = {
+            let _span = qcat_obs::span!("serve.categorize", rows = result.len());
+            Arc::new(Categorizer::new(&stats, self.config.categorize).categorize(&result, Some(&query)))
+        };
+        let rendered = Arc::new(render_tree(&tree, self.config.render_depth));
+        self.lock_caches().trees.insert(
+            key,
+            (Arc::clone(&tree), Arc::clone(&rendered)),
+            epoch,
+        );
+        if qcat_obs::active() {
+            span.set("outcome", match outcome {
+                ServeOutcome::Cold => "cold",
+                ServeOutcome::ResultCacheHit => "result_hit",
+                ServeOutcome::TreeCacheHit => "tree_hit",
+            });
+            span.set("rows", result.len());
+        }
+        Ok(Served {
+            tree,
+            rendered,
+            rows: result.len(),
+            outcome,
+        })
+    }
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (results, trees) = self.cache_sizes();
+        f.debug_struct("Server")
+            .field("tables", &self.catalog.table_names())
+            .field("result_cache", &results)
+            .field("tree_cache", &trees)
+            .finish()
+    }
+}

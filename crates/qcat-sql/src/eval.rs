@@ -38,8 +38,21 @@ impl CompiledPredicate {
     /// used, so an error here means schema drift between parse and
     /// execution).
     pub fn compile(query: &NormalizedQuery, relation: &Relation) -> Result<Self, NormalizeError> {
+        Self::compile_where(query, relation, |_| true)
+    }
+
+    /// Compile only the conditions on attributes accepted by `keep`.
+    ///
+    /// The access-path planner in `qcat-exec` answers some conjuncts
+    /// from indexes and routes the rest here as the residual
+    /// predicate; `keep` selects that residual subset.
+    pub fn compile_where(
+        query: &NormalizedQuery,
+        relation: &Relation,
+        keep: impl Fn(AttrId) -> bool,
+    ) -> Result<Self, NormalizeError> {
         let mut filters = Vec::with_capacity(query.conditions.len());
-        for (&attr, cond) in &query.conditions {
+        for (&attr, cond) in query.conditions.iter().filter(|(&a, _)| keep(a)) {
             let column = relation.column(attr);
             let compiled = match (cond, column) {
                 (AttrCondition::InStr(values), Column::Categorical { dict, .. }) => {
@@ -294,6 +307,24 @@ mod tests {
                 prop_assert_eq!(fast, slow);
             }
         }
+    }
+
+    #[test]
+    fn compile_where_selects_a_residual_subset() {
+        let rel = homes();
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond') AND bedroomcount >= 4",
+            rel.schema(),
+        )
+        .unwrap();
+        // Keep only the bedroomcount conjunct (AttrId 2).
+        let p = CompiledPredicate::compile_where(&q, &rel, |a| a == AttrId(2)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.filter(&rel, None), vec![1, 3]);
+        // Keeping nothing matches everything.
+        let p = CompiledPredicate::compile_where(&q, &rel, |_| false).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.filter(&rel, None).len(), 5);
     }
 
     #[test]

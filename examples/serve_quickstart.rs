@@ -1,0 +1,85 @@
+//! Serving quickstart: stand up a `qcat_serve::Server`, serve the same
+//! query three times (cold, cached, re-spelled), then log new workload
+//! queries and watch the caches invalidate.
+//!
+//! ```text
+//! cargo run --example serve_quickstart
+//! ```
+
+use qcat::data::{AttrType, Field, RelationBuilder, Schema};
+use qcat::serve::{ServeOutcome, Server, ServerConfig};
+use qcat::sql::parse_and_normalize;
+use qcat::workload::{PreprocessConfig, WorkloadLog};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A home-listing table. `Server::register_table` will build its
+    //    secondary indexes, so selective queries skip the scan.
+    let schema = Schema::new(vec![
+        Field::new("neighborhood", AttrType::Categorical),
+        Field::new("price", AttrType::Float),
+        Field::new("bedroomcount", AttrType::Int),
+    ])?;
+    let mut builder = RelationBuilder::new(schema.clone());
+    let hoods = ["Redmond", "Bellevue", "Issaquah", "Sammamish", "Seattle"];
+    for i in 0..2_000i64 {
+        builder.push_row(&[
+            hoods[(i % 5) as usize].into(),
+            (180_000.0 + (i as f64 * 7_919.0) % 150_000.0).into(),
+            (i % 5 + 1).into(),
+        ])?;
+    }
+    let homes = builder.finish()?;
+
+    // 2. Past searches drive the categorization statistics.
+    let mut past = Vec::new();
+    for i in 0..60 {
+        past.push(format!(
+            "SELECT * FROM homes WHERE neighborhood IN ('{}')",
+            hoods[i % 4]
+        ));
+        let lo = 180_000 + (i % 10) * 12_000;
+        past.push(format!(
+            "SELECT * FROM homes WHERE price BETWEEN {lo} AND {}",
+            lo + 30_000
+        ));
+    }
+    let log = WorkloadLog::parse(past.iter().map(String::as_str), &schema, Some("homes"));
+    let prep = PreprocessConfig::new().infer_missing(&homes, 100);
+
+    // 3. The server owns catalog + statistics + caches.
+    let server = Server::new(ServerConfig::default());
+    server.register_table("homes", homes, log, prep)?;
+
+    // 4. Serve a broad query: cold on first contact...
+    let sql = "SELECT * FROM homes WHERE price BETWEEN 200000 AND 280000";
+    let served = server.serve(sql)?;
+    println!("first serve:  {:?} ({} rows)", served.outcome, served.rows);
+    assert_eq!(served.outcome, ServeOutcome::Cold);
+
+    // ...cached on the second...
+    let again = server.serve(sql)?;
+    println!("second serve: {:?}", again.outcome);
+    assert_eq!(again.outcome, ServeOutcome::TreeCacheHit);
+
+    // ...and still cached under a different spelling of the same
+    // normalized query (case, literal format, conjunct order).
+    let respelled = server.serve("select * from HOMES where PRICE between 2e5 and 280000.0")?;
+    println!("re-spelled:   {:?}", respelled.outcome);
+    assert_eq!(respelled.outcome, ServeOutcome::TreeCacheHit);
+
+    println!("\ncategory tree:\n{}", served.rendered);
+
+    // 5. New workload arrivals rebuild statistics and bump the epoch:
+    //    every cached tree for the table is invalidated at once.
+    let fresh = parse_and_normalize(
+        "SELECT * FROM homes WHERE bedroomcount IN (4, 5)",
+        &schema,
+    )?;
+    server.log_queries("homes", vec![fresh])?;
+    println!("epoch after log_queries: {:?}", server.epoch("homes"));
+    let after = server.serve(sql)?;
+    println!("after epoch bump: {:?} (recomputed)", after.outcome);
+    assert_eq!(after.outcome, ServeOutcome::Cold);
+
+    Ok(())
+}

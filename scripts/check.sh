@@ -24,6 +24,13 @@ echo "==> bench smoke (hermetic categorize benchmark)"
     --out target/BENCH_smoke.json > /dev/null
 test -s target/BENCH_smoke.json
 
+echo "==> pipeline smoke (scan-vs-index differential + serve caches)"
+# bench_pipeline exits non-zero on any scan/index row-set mismatch;
+# the grep double-checks the committed evidence in the report.
+./target/release/bench_pipeline --runs 2 --queries 100 \
+    --out target/BENCH_pipeline_smoke.json > /dev/null
+grep -q '"status": "ok"' target/BENCH_pipeline_smoke.json
+
 echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T3)"
 trace=target/qcat-trace.jsonl
 QCAT_TRACE=json QCAT_TRACE_FILE="$trace" \

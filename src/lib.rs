@@ -8,6 +8,7 @@ pub use qcat_exec as exec;
 pub use qcat_explore as explore;
 pub use qcat_obs as obs;
 pub use qcat_pool as pool;
+pub use qcat_serve as serve;
 pub use qcat_sql as sql;
 pub use qcat_study as study;
 pub use qcat_workload as workload;
