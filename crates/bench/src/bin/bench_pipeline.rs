@@ -1,13 +1,17 @@
 //! Hermetic end-to-end pipeline benchmark: parse → execute →
 //! categorize over the Smoke fixture, comparing the scan and index
 //! access paths and the cold/warm serving path, and writing a
-//! `BENCH_pr4.json` report.
+//! `BENCH_pr5.json` report.
 //!
 //! Std-only like `bench_categorize` (same schema conventions; see
 //! docs/PERFORMANCE.md). Besides timings, the report carries a
 //! `differential` section: every sampled workload query is executed
 //! along scan, auto, and forced-index paths and the row sets must be
 //! identical — `"status": "ok"` is asserted by `scripts/check.sh`.
+//! A `chaos` section replays serves against a budgeted server under a
+//! deterministic fault plan and records how every request ended
+//! (ok / degraded / shed / structured error); nothing may fall
+//! through unaccounted.
 //!
 //! ```text
 //! bench_pipeline [--runs N] [--seed S] [--queries N] [--out PATH]
@@ -33,7 +37,7 @@ fn parse_args() -> Args {
         runs: 30,
         seed: 1234,
         queries: 200,
-        out: "BENCH_pr4.json".to_string(),
+        out: "BENCH_pr5.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -255,6 +259,50 @@ fn main() {
         cold.median_ms, warm.median_ms, warm_speedup
     );
 
+    // ---- Chaos: the serving path under a tight budget and a
+    // deterministic fault plan. Caches are cleared before every serve
+    // so each request exercises the full fill; every request must end
+    // in one of the accounted buckets or the report is marked bad.
+    let chaos_queries = sample.len().min(40);
+    let mut chaos_config = ServerConfig::default();
+    chaos_config.budget = qcat_fault::Budget::UNLIMITED.with_max_nodes(6);
+    let chaos_server = Server::new(chaos_config);
+    chaos_server
+        .register_table(
+            &serve_probe.table,
+            relation.clone(),
+            env.env.log.clone(),
+            env.env.prep.clone(),
+        )
+        .expect("register chaos table");
+    let plan = qcat_fault::FaultPlan::parse(&format!(
+        "pool.task:error:p=0.25:seed={seed};serve.fill:error:p=0.15:seed={seed}",
+        seed = args.seed
+    ))
+    .expect("chaos fault plan");
+    let (mut chaos_ok, mut chaos_degraded, mut chaos_errors) = (0usize, 0usize, 0usize);
+    for q in sample.iter().take(chaos_queries) {
+        chaos_server.clear_caches();
+        let sql = sql_of(q, &schema);
+        match qcat_fault::with_plan(&plan, || chaos_server.serve(&sql)) {
+            Ok(served) if served.tree.degraded().is_some() => chaos_degraded += 1,
+            Ok(_) => chaos_ok += 1,
+            Err(_) => chaos_errors += 1,
+        }
+    }
+    let chaos_shed = 0usize; // single-threaded replay: admission never trips
+    let chaos_status = if chaos_ok + chaos_degraded + chaos_shed + chaos_errors == chaos_queries
+        && chaos_ok > 0
+    {
+        "ok"
+    } else {
+        "unaccounted"
+    };
+    println!(
+        "  chaos: {} queries -> {} ok, {} degraded, {} shed, {} errors ({})",
+        chaos_queries, chaos_ok, chaos_degraded, chaos_shed, chaos_errors, chaos_status
+    );
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"pipeline\",\n  \"scale\": \"smoke\",\n");
@@ -300,15 +348,20 @@ fn main() {
     out.push_str("  },\n");
     let _ = write!(
         out,
-        "  \"differential\": {{\"queries\": {}, \"paths\": [\"auto\", \"force_index\"], \"mismatches\": {}, \"status\": \"{}\"}}\n",
+        "  \"differential\": {{\"queries\": {}, \"paths\": [\"auto\", \"force_index\"], \"mismatches\": {}, \"status\": \"{}\"}},\n",
         sample.len(),
         mismatches,
         diff_status
     );
+    let _ = write!(
+        out,
+        "  \"chaos\": {{\"queries\": {}, \"ok\": {}, \"degraded\": {}, \"shed\": {}, \"errors\": {}, \"status\": \"{}\"}}\n",
+        chaos_queries, chaos_ok, chaos_degraded, chaos_shed, chaos_errors, chaos_status
+    );
     out.push_str("}\n");
     std::fs::write(&args.out, out).expect("write bench report");
     println!("  wrote {}", args.out);
-    if mismatches > 0 {
+    if mismatches > 0 || chaos_status != "ok" {
         std::process::exit(1);
     }
 }

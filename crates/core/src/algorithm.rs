@@ -29,7 +29,7 @@ use crate::partition::categorical::{CategoricalPlan, ValueOrder};
 use crate::partition::numeric::{value_window, NumericPlan};
 use crate::partition::{Part, Partitioning};
 use crate::probability::ProbCache;
-use crate::tree::{CategoryTree, NodeId};
+use crate::tree::{CategoryTree, DegradeReason, NodeId};
 use qcat_data::{AttrId, AttrType, Relation};
 use qcat_exec::ResultSet;
 use qcat_pool::ThreadPool;
@@ -191,6 +191,12 @@ impl<'a> Categorizer<'a> {
         let probs = ProbCache::new(self.stats);
         let estimator = probs.estimator();
         let pool = ThreadPool::new(self.config.threads);
+        // Budget governance: exhaustion is acted on only at serial
+        // level boundaries, so a partially built level is discarded
+        // wholesale and the surviving prefix is byte-identical to an
+        // unbudgeted run's first levels at any thread count.
+        let gas = qcat_fault::current_gas();
+        let mut degraded: Option<DegradeReason> = None;
         // Occ-sorted categorical plans are level-independent: build
         // each at most once per categorization.
         let mut plan_cache: HashMap<AttrId, CategoricalPlan> = HashMap::new();
@@ -204,6 +210,16 @@ impl<'a> Categorizer<'a> {
         );
 
         for _ in 0..self.config.max_levels {
+            if let Some(g) = &gas {
+                if let Err(e) = g.check() {
+                    degraded = Some(e.into());
+                    break;
+                }
+            }
+            if qcat_fault::point("core.level").is_some() {
+                degraded = Some(DegradeReason::Internal);
+                break;
+            }
             let current_level = tree.level_attrs().len();
             let _level_span = qcat_obs::span!("categorize.level", level = current_level + 1);
 
@@ -247,7 +263,7 @@ impl<'a> Categorizer<'a> {
             }
             let (plans, priced): (Vec<CandPlan<'_>>, Vec<(f64, usize)>) = {
                 let mut phase = qcat_obs::span!("categorize.level.partition");
-                let plans: Vec<CandPlan<'_>> = candidates
+                let plans_built: Vec<CandPlan<'_>> = candidates
                     .iter()
                     .map(|&attr| match relation.schema().type_of(attr) {
                         AttrType::Categorical => {
@@ -271,12 +287,18 @@ impl<'a> Categorizer<'a> {
                         }
                     })
                     .collect();
-                let items: Vec<(usize, NodeId)> = (0..plans.len())
+                let items: Vec<(usize, NodeId)> = (0..plans_built.len())
                     .flat_map(|ci| s.iter().map(move |&id| (ci, id)))
                     .collect();
-                let priced = pool.map(&items, |_, &(ci, id)| {
-                    self.price_item(&tree, &relation, &plans[ci], id, query, &probs)
-                });
+                let priced = match pool.try_map(&items, |_, &(ci, id)| {
+                    self.price_item(&tree, &relation, &plans_built[ci], id, query, &probs)
+                }) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        degraded = Some(degrade_reason(&e));
+                        break;
+                    }
+                };
                 if qcat_obs::active() {
                     phase.set("candidates", candidates.len());
                     phase.set(
@@ -284,7 +306,7 @@ impl<'a> Categorizer<'a> {
                         priced.iter().map(|&(_, n)| n).sum::<usize>(),
                     );
                 }
-                (plans, priced)
+                (plans_built, priced)
             };
 
             // Phase 3 — cost estimation: serial reduction of the
@@ -322,23 +344,22 @@ impl<'a> Categorizer<'a> {
             let attr = candidate_costs[best_idx].0;
             // Only the winner is materialized: the losers were priced
             // from counting passes and never allocated tuple-sets.
-            let parts: Vec<(NodeId, Partitioning)> = {
+            let materialized: Result<Vec<(NodeId, Partitioning)>, qcat_pool::PoolError> = {
                 let _mspan = qcat_obs::span!("categorize.level.select.materialize");
                 match &plans[best_idx] {
-                    CandPlan::Leaf => Vec::new(),
-                    CandPlan::Cat { col, plan, .. } => {
-                        let split = pool.map(&s, |_, &id| {
+                    CandPlan::Leaf => Ok(Vec::new()),
+                    CandPlan::Cat { col, plan, .. } => pool
+                        .try_map(&s, |_, &id| {
                             plan.split_grouped(
                                 col,
                                 &tree.node(id).tset,
                                 self.config.categorical_group_threshold,
                                 self.config.grouping_top_k,
                             )
-                        });
-                        s.iter().copied().zip(split).collect()
-                    }
-                    CandPlan::Num { plan, pw } => {
-                        let split = pool.map(&s, |_, &id| {
+                        })
+                        .map(|split| s.iter().copied().zip(split).collect()),
+                    CandPlan::Num { plan, pw } => pool
+                        .try_map(&s, |_, &id| {
                             let node = tree.node(id);
                             let node_window = if id == NodeId::ROOT {
                                 value_window(&relation, attr, &node.tset, query)
@@ -354,12 +375,36 @@ impl<'a> Categorizer<'a> {
                                 node_window,
                             )
                             .unwrap_or_else(|| single_bucket(&relation, attr, &node.tset, &probs))
-                        });
-                        s.iter().copied().zip(split).collect()
-                    }
+                        })
+                        .map(|split| s.iter().copied().zip(split).collect()),
+                }
+            };
+            let parts = match materialized {
+                Ok(parts) => parts,
+                Err(e) => {
+                    degraded = Some(degrade_reason(&e));
+                    break;
                 }
             };
             let categories_created: usize = parts.iter().map(|(_, p)| p.len()).sum();
+            // Charge structural growth before attaching anything: a
+            // level that would bust a cap is dropped whole, keeping
+            // the completed prefix identical to an unbudgeted run.
+            if let Some(g) = &gas {
+                let heap_estimate: usize = parts
+                    .iter()
+                    .flat_map(|(_, p)| p.parts.iter())
+                    .map(|part| part.tset.len() * std::mem::size_of::<u32>() + 64)
+                    .sum();
+                let charged = g
+                    .charge_nodes(categories_created)
+                    .and_then(|()| g.charge_labels(categories_created))
+                    .and_then(|()| g.charge_heap(heap_estimate));
+                if let Err(e) = charged {
+                    degraded = Some(e.into());
+                    break;
+                }
+            }
             if qcat_obs::active() {
                 phase.set("chosen", relation.schema().name_of(attr).to_string());
                 phase.set("cost", candidate_costs[best_idx].1);
@@ -419,9 +464,16 @@ impl<'a> Categorizer<'a> {
             let _span = qcat_obs::span!("categorize.order");
             self.apply_optimal_ordering(&mut tree);
         }
+        if let Some(reason) = degraded {
+            tree.mark_degraded(reason);
+            qcat_obs::counter("categorize.degraded", 1);
+        }
         if qcat_obs::active() {
             root_span.set("levels", tree.level_attrs().len());
             root_span.set("nodes", tree.node_count());
+            if let Some(reason) = tree.degraded() {
+                root_span.set("degraded", reason.as_str());
+            }
         }
         tree
     }
@@ -639,6 +691,18 @@ impl<'a> Categorizer<'a> {
             }
         }
         acc
+    }
+}
+
+/// Map a pool failure to the degradation reason the tree reports:
+/// budget trips keep their reason; panics and injected faults are
+/// internal failures (the completed prefix is still sound).
+fn degrade_reason(e: &qcat_pool::PoolError) -> DegradeReason {
+    match e {
+        qcat_pool::PoolError::Cancelled(b) => DegradeReason::from(*b),
+        qcat_pool::PoolError::TaskPanicked { .. } | qcat_pool::PoolError::Fault(_) => {
+            DegradeReason::Internal
+        }
     }
 }
 
@@ -1059,6 +1123,87 @@ mod tests {
             }
         }
         assert_eq!(best_attr, Some(chosen));
+    }
+
+    #[test]
+    fn node_cap_degrades_to_completed_prefix_at_any_thread_count() {
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let base = CategorizeConfig::default()
+            .with_max_leaf_tuples(20)
+            .with_attr_threshold(0.1)
+            .with_bucket_count(BucketCount::Fixed(5));
+        // Unbudgeted reference: a multilevel tree.
+        let full = Categorizer::new(&st, base).categorize(&result, None);
+        assert!(full.depth() >= 2);
+        assert_eq!(full.degraded(), None);
+        let level1 = full.nodes_at_level(1).len();
+        // Cap nodes so level 1 fits but level 2 cannot: the budgeted
+        // tree must be exactly the unbudgeted tree's first level,
+        // marked degraded — at every thread count (the cap is charged
+        // at serial level boundaries, never from workers).
+        let budget = qcat_fault::Budget::UNLIMITED.with_max_nodes(level1);
+        let mut reference: Option<CategoryTree> = None;
+        for threads in [1, 2, 3, 8] {
+            let gas = budget.start();
+            let tree = qcat_fault::with_budget(&gas, || {
+                Categorizer::new(&st, base.with_threads(threads)).categorize(&result, None)
+            });
+            assert_eq!(tree.degraded(), Some(DegradeReason::Nodes), "threads={threads}");
+            tree.check_invariants().unwrap();
+            assert_eq!(tree.depth(), 1, "threads={threads}");
+            assert_eq!(tree.level_attrs(), &full.level_attrs()[..1]);
+            for (a, b) in tree.dfs().iter().zip(full.dfs().iter()) {
+                if tree.node(*a).level <= 1 && full.node(*b).level <= 1 {
+                    assert_eq!(tree.node(*a).tset, full.node(*b).tset);
+                }
+            }
+            if let Some(r) = &reference {
+                assert_eq!(tree.node_count(), r.node_count());
+            }
+            reference = Some(tree);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_flat_fallback() {
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let config = CategorizeConfig::default().with_attr_threshold(0.1);
+        let gas = qcat_fault::Budget::UNLIMITED
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        let tree = qcat_fault::with_budget(&gas, || {
+            Categorizer::new(&st, config).categorize(&result, None)
+        });
+        // No level completed: root-only tree = flat listing fallback.
+        assert_eq!(tree.degraded(), Some(DegradeReason::Deadline));
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.node(NodeId::ROOT).tset.len(), rel.len());
+    }
+
+    #[test]
+    fn injected_worker_fault_degrades_instead_of_panicking() {
+        let rel = homes(400);
+        let st = stats(&rel, &hot_workload());
+        let result = ResultSet::whole(rel.clone());
+        let base = CategorizeConfig::default().with_attr_threshold(0.1);
+        for spec in ["pool.task:panic", "pool.task:error"] {
+            let plan = qcat_fault::FaultPlan::parse(spec).unwrap();
+            for threads in [1, 4] {
+                let tree = qcat_fault::with_plan(&plan, || {
+                    Categorizer::new(&st, base.with_threads(threads)).categorize(&result, None)
+                });
+                assert_eq!(
+                    tree.degraded(),
+                    Some(DegradeReason::Internal),
+                    "{spec} threads={threads}"
+                );
+                tree.check_invariants().unwrap();
+            }
+        }
     }
 
     #[test]

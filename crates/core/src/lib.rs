@@ -90,4 +90,4 @@ pub use probability::{ProbCache, ProbabilityEstimator};
 pub use rank::WorkloadRanker;
 pub use refine::{refine_query, refined_sql};
 pub use render::render_tree;
-pub use tree::{CategoryTree, Node, NodeId, TreeSummary};
+pub use tree::{CategoryTree, DegradeReason, Node, NodeId, TreeSummary};

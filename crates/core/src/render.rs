@@ -12,6 +12,9 @@ use std::fmt::Write as _;
 pub fn render_tree(tree: &CategoryTree, max_depth: usize) -> String {
     let mut out = String::new();
     render_node(tree, NodeId::ROOT, 0, max_depth, &mut out);
+    if let Some(reason) = tree.degraded() {
+        let _ = writeln!(out, "(degraded: {reason} — best-effort prefix)");
+    }
     out
 }
 
@@ -80,5 +83,14 @@ mod tests {
         let s = render_tree(&tree(), 0);
         assert!(s.contains("… 2 subcategories"), "{s}");
         assert!(!s.contains("n: a ["), "{s}");
+    }
+
+    #[test]
+    fn degraded_trees_carry_a_footer() {
+        let mut t = tree();
+        assert!(!render_tree(&t, usize::MAX).contains("degraded"));
+        t.mark_degraded(crate::tree::DegradeReason::Deadline);
+        let s = render_tree(&t, usize::MAX);
+        assert!(s.ends_with("(degraded: deadline — best-effort prefix)\n"), "{s}");
     }
 }

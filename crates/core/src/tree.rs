@@ -66,6 +66,69 @@ impl Node {
     }
 }
 
+/// Why a tree is a degraded (best-effort) answer rather than the full
+/// Figure-6 categorization. Degradation happens only at serial level
+/// boundaries: a partially built level is discarded wholesale, so the
+/// surviving prefix is exactly what an unbudgeted run would have built
+/// for those levels — at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The result-row cap was exceeded.
+    Rows,
+    /// The tree-node cap was exceeded.
+    Nodes,
+    /// The label cap was exceeded.
+    Labels,
+    /// The estimated-heap cap was exceeded.
+    Heap,
+    /// The budget was cancelled explicitly.
+    Cancelled,
+    /// The server shed this request under admission control before
+    /// categorization started.
+    Shed,
+    /// A worker failed (panic or injected fault); the completed prefix
+    /// is still sound.
+    Internal,
+}
+
+impl DegradeReason {
+    /// Stable lowercase name, used in renders, traces, and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::Rows => "rows",
+            DegradeReason::Nodes => "nodes",
+            DegradeReason::Labels => "labels",
+            DegradeReason::Heap => "heap",
+            DegradeReason::Cancelled => "cancelled",
+            DegradeReason::Shed => "shed",
+            DegradeReason::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<qcat_fault::BudgetExceeded> for DegradeReason {
+    fn from(e: qcat_fault::BudgetExceeded) -> Self {
+        use qcat_fault::BudgetExceeded as B;
+        match e {
+            B::Deadline => DegradeReason::Deadline,
+            B::Rows => DegradeReason::Rows,
+            B::Nodes => DegradeReason::Nodes,
+            B::Labels => DegradeReason::Labels,
+            B::Heap => DegradeReason::Heap,
+            B::Cancelled => DegradeReason::Cancelled,
+        }
+    }
+}
+
 /// Structural diagnostics produced by [`CategoryTree::summary`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TreeSummary {
@@ -93,6 +156,10 @@ pub struct CategoryTree {
     /// `level_attrs[l]` is the categorizing attribute of level `l+1`
     /// (the attribute whose values partition level-`l` nodes).
     level_attrs: Vec<AttrId>,
+    /// `Some` when the builder stopped early (budget/fault); the tree
+    /// then holds the completed level prefix. A root-only degraded
+    /// tree is the flat-listing fallback.
+    degraded: Option<DegradeReason>,
 }
 
 impl CategoryTree {
@@ -110,7 +177,20 @@ impl CategoryTree {
                 p_showtuples: 1.0,
             }],
             level_attrs: Vec::new(),
+            degraded: None,
         }
+    }
+
+    /// Why this tree is a best-effort prefix, or `None` for a full
+    /// categorization.
+    pub fn degraded(&self) -> Option<DegradeReason> {
+        self.degraded
+    }
+
+    /// Mark this tree as a degraded (best-effort) answer. The first
+    /// reason sticks; later calls are ignored.
+    pub fn mark_degraded(&mut self, reason: DegradeReason) {
+        self.degraded.get_or_insert(reason);
     }
 
     /// The base relation.

@@ -14,6 +14,14 @@ pub enum ExecError {
     Sql(SqlError),
     /// Catalog or storage failure.
     Data(DataError),
+    /// The serve budget was exhausted mid-execution. No partial rows
+    /// are returned: a truncated result would silently miscategorize,
+    /// so execution-stage exhaustion is a structured refusal (the
+    /// categorizer, by contrast, degrades — see docs/ROBUSTNESS.md).
+    Budget(qcat_fault::BudgetExceeded),
+    /// An injected fault fired at an executor fault point
+    /// (`QCAT_FAULT`; chaos testing only).
+    Fault(qcat_fault::Fault),
 }
 
 impl fmt::Display for ExecError {
@@ -21,6 +29,8 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Sql(e) => write!(f, "sql error: {e}"),
             ExecError::Data(e) => write!(f, "data error: {e}"),
+            ExecError::Budget(e) => write!(f, "execution stopped: {e}"),
+            ExecError::Fault(e) => write!(f, "execution failed: {e}"),
         }
     }
 }
@@ -36,6 +46,18 @@ impl From<SqlError> for ExecError {
 impl From<DataError> for ExecError {
     fn from(e: DataError) -> Self {
         ExecError::Data(e)
+    }
+}
+
+impl From<qcat_fault::BudgetExceeded> for ExecError {
+    fn from(e: qcat_fault::BudgetExceeded) -> Self {
+        ExecError::Budget(e)
+    }
+}
+
+impl From<qcat_fault::Fault> for ExecError {
+    fn from(e: qcat_fault::Fault) -> Self {
+        ExecError::Fault(e)
     }
 }
 
@@ -94,7 +116,13 @@ pub fn execute_normalized_with(
     path: AccessPath,
 ) -> Result<ResultSet, ExecError> {
     let mut span = qcat_obs::span!("exec.execute", rows_total = relation.len());
+    if let Some(fault) = qcat_fault::point("exec.execute") {
+        return Err(fault.into());
+    }
     let (mut rows, explain) = plan::select_rows(relation, query, path)?;
+    if let Some(gas) = qcat_fault::current_gas() {
+        gas.charge_rows(rows.len())?;
+    }
     if qcat_obs::active() {
         span.set("rows_matched", rows.len());
         span.set("used_index", explain.used_index);
@@ -287,6 +315,54 @@ mod tests {
     #[test]
     fn no_where_returns_everything() {
         let exec = setup();
+        assert_eq!(exec.query("SELECT * FROM listproperty").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn row_cap_refuses_large_results() {
+        let exec = setup();
+        let budget = qcat_fault::Budget::UNLIMITED.with_max_rows(2);
+        let gas = budget.start();
+        let err = qcat_fault::with_budget(&gas, || {
+            exec.query("SELECT * FROM listproperty").unwrap_err()
+        });
+        assert_eq!(
+            err,
+            ExecError::Budget(qcat_fault::BudgetExceeded::Rows),
+            "4 matching rows must trip a 2-row cap"
+        );
+        // Under the cap, a fresh gas on the same budget passes.
+        let gas = budget.start();
+        let ok = qcat_fault::with_budget(&gas, || {
+            exec.query("SELECT * FROM listproperty WHERE bedroomcount >= 4")
+        });
+        assert_eq!(ok.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_scan() {
+        let exec = setup();
+        let budget = qcat_fault::Budget::UNLIMITED.with_deadline(std::time::Duration::ZERO);
+        let gas = budget.start();
+        let err = qcat_fault::with_budget(&gas, || {
+            exec.query("SELECT * FROM listproperty WHERE price > 0")
+                .unwrap_err()
+        });
+        assert_eq!(err, ExecError::Budget(qcat_fault::BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn injected_faults_surface_as_structured_errors() {
+        let exec = setup();
+        for site in ["exec.execute", "exec.plan", "exec.scan"] {
+            let plan = qcat_fault::FaultPlan::parse(&format!("{site}:error")).unwrap();
+            let err = qcat_fault::with_plan(&plan, || {
+                exec.query("SELECT * FROM listproperty").unwrap_err()
+            });
+            assert_eq!(err, ExecError::Fault(qcat_fault::Fault { site }));
+            assert!(err.to_string().contains(site), "display names the site");
+        }
+        // The plan is scoped: outside with_plan the same query succeeds.
         assert_eq!(exec.query("SELECT * FROM listproperty").unwrap().len(), 4);
     }
 }

@@ -28,7 +28,9 @@
 //! bit-compatible with scan output; `tests` pin that equality on
 //! every fixture.
 
+use crate::executor::ExecError;
 use qcat_data::{intersect_sorted, union_sorted, AttrId, IndexSet, Relation};
+use qcat_fault::BudgetExceeded;
 use qcat_sql::eval::CompiledPredicate;
 use qcat_sql::normalize::{AttrCondition, NumericRange};
 use qcat_sql::NormalizedQuery;
@@ -106,7 +108,16 @@ pub fn select_rows(
     relation: &Relation,
     query: &NormalizedQuery,
     path: AccessPath,
-) -> Result<(Vec<u32>, PlanExplain), qcat_sql::error::NormalizeError> {
+) -> Result<(Vec<u32>, PlanExplain), ExecError> {
+    if let Some(fault) = qcat_fault::point("exec.plan") {
+        return Err(fault.into());
+    }
+    // Check once before any work: small relations may finish under
+    // the scan's poll stride, but an already-expired deadline must
+    // still refuse deterministically.
+    if let Some(g) = qcat_fault::current_gas() {
+        g.check()?;
+    }
     let indexes = match path {
         AccessPath::ForceScan => None,
         AccessPath::Auto | AccessPath::ForceIndex => relation.indexes(),
@@ -166,8 +177,17 @@ pub fn select_rows(
         return Ok((Vec::new(), explain));
     }
 
+    let gas = qcat_fault::current_gas();
     let mut rows: Vec<u32> = Vec::new();
     for (i, c) in eligible.iter().enumerate() {
+        // One checkpoint per conjunct: fetching and intersecting a
+        // posting list is the unit of work between cancellation polls.
+        if let Some(g) = &gas {
+            g.check()?;
+        }
+        if let Some(fault) = qcat_fault::point("exec.fetch") {
+            return Err(fault.into());
+        }
         let eager = i == 0
             || path == AccessPath::ForceIndex
             || c.est <= rows.len().saturating_mul(INTERSECT_RATIO);
@@ -207,16 +227,29 @@ fn scan_rows(
     relation: &Relation,
     query: &NormalizedQuery,
     restrict: Option<(&[AttrId], Vec<u32>)>,
-) -> Result<Vec<u32>, qcat_sql::error::NormalizeError> {
-    match restrict {
-        None => {
-            let predicate = CompiledPredicate::compile(query, relation)?;
-            Ok(predicate.filter(relation, None))
-        }
-        Some((attrs, candidates)) => {
-            let predicate =
-                CompiledPredicate::compile_where(query, relation, |a| attrs.contains(&a))?;
-            Ok(predicate.filter(relation, Some(&candidates)))
+) -> Result<Vec<u32>, ExecError> {
+    if let Some(fault) = qcat_fault::point("exec.scan") {
+        return Err(fault.into());
+    }
+    let (predicate, candidates) = match &restrict {
+        None => (CompiledPredicate::compile(query, relation)?, None),
+        Some((attrs, candidates)) => (
+            CompiledPredicate::compile_where(query, relation, |a| attrs.contains(&a))?,
+            Some(candidates.as_slice()),
+        ),
+    };
+    match qcat_fault::current_gas() {
+        None => Ok(predicate.filter(relation, candidates)),
+        Some(gas) => {
+            // filter_cancellable polls this closure every
+            // CANCEL_STRIDE rows; a trip mid-scan discards the
+            // partial result so callers never see truncated rows.
+            let mut cancel = || !gas.checkpoint();
+            predicate
+                .filter_cancellable(relation, candidates, &mut cancel)
+                .ok_or_else(|| {
+                    ExecError::Budget(gas.exceeded().unwrap_or(BudgetExceeded::Cancelled))
+                })
         }
     }
 }
@@ -453,6 +486,29 @@ mod tests {
         assert_paths_agree("SELECT * FROM homes WHERE price >= 411000");
         assert_paths_agree("SELECT * FROM homes WHERE price > 411000");
         assert_paths_agree("SELECT * FROM homes WHERE bedroomcount BETWEEN 3 AND 3");
+    }
+
+    #[test]
+    fn index_path_honors_fault_points_and_deadline() {
+        let rel = homes(true);
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE neighborhood IN ('Issaquah')",
+            rel.schema(),
+        )
+        .unwrap();
+        let plan = qcat_fault::FaultPlan::parse("exec.fetch:error").unwrap();
+        let err = qcat_fault::with_plan(&plan, || {
+            select_rows(&rel, &q, AccessPath::Auto).unwrap_err()
+        });
+        assert_eq!(err, ExecError::Fault(qcat_fault::Fault { site: "exec.fetch" }));
+
+        let budget =
+            qcat_fault::Budget::UNLIMITED.with_deadline(std::time::Duration::ZERO);
+        let gas = budget.start();
+        let err = qcat_fault::with_budget(&gas, || {
+            select_rows(&rel, &q, AccessPath::Auto).unwrap_err()
+        });
+        assert_eq!(err, ExecError::Budget(BudgetExceeded::Deadline));
     }
 
     #[test]

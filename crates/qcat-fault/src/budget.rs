@@ -1,0 +1,404 @@
+//! Budgets and the running [`Gas`] the pipeline charges against.
+//!
+//! A [`Budget`] is a declarative limit set (all optional); calling
+//! [`Budget::start`] stamps the deadline against a monotonic clock and
+//! yields a [`Gas`] — a cheap `Arc` handle that many threads charge
+//! concurrently. Exhaustion is **sticky**: the first failed charge (or
+//! an explicit [`Gas::cancel`]) records its [`BudgetExceeded`] reason
+//! once, and every subsequent [`Gas::check`]/[`Gas::checkpoint`] on
+//! any thread observes it. That is what makes cancellation
+//! cooperative: hot loops poll a relaxed atomic, and only serial
+//! control points decide what a tripped budget *means* (structured
+//! error vs. degraded result).
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budget stopped the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The result-row cap was exceeded.
+    Rows,
+    /// The tree-node cap was exceeded.
+    Nodes,
+    /// The candidate-label cap was exceeded.
+    Labels,
+    /// The estimated-heap cap was exceeded.
+    Heap,
+    /// [`Gas::cancel`] was called (admission control, client gone).
+    Cancelled,
+}
+
+impl BudgetExceeded {
+    /// Stable lowercase name, used in telemetry and rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetExceeded::Deadline => "deadline",
+            BudgetExceeded::Rows => "rows",
+            BudgetExceeded::Nodes => "nodes",
+            BudgetExceeded::Labels => "labels",
+            BudgetExceeded::Heap => "heap",
+            BudgetExceeded::Cancelled => "cancelled",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            BudgetExceeded::Deadline => 1,
+            BudgetExceeded::Rows => 2,
+            BudgetExceeded::Nodes => 3,
+            BudgetExceeded::Labels => 4,
+            BudgetExceeded::Heap => 5,
+            BudgetExceeded::Cancelled => 6,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<BudgetExceeded> {
+        Some(match code {
+            1 => BudgetExceeded::Deadline,
+            2 => BudgetExceeded::Rows,
+            3 => BudgetExceeded::Nodes,
+            4 => BudgetExceeded::Labels,
+            5 => BudgetExceeded::Heap,
+            6 => BudgetExceeded::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "budget exceeded: {}", self.as_str())
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Declarative resource limits for one serve call. All fields are
+/// optional; the default is unlimited, which costs nothing to start
+/// and nothing to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock limit, measured from [`Budget::start`] on the
+    /// monotonic clock.
+    pub deadline: Option<Duration>,
+    /// Cap on result rows the executor may return.
+    pub max_rows: Option<usize>,
+    /// Cap on category-tree nodes the categorizer may attach.
+    pub max_nodes: Option<usize>,
+    /// Cap on candidate labels priced per categorization.
+    pub max_labels: Option<usize>,
+    /// Cap on the estimated working-set heap, in bytes.
+    pub max_heap_bytes: Option<usize>,
+}
+
+impl Budget {
+    /// No limits at all (the `Default`).
+    pub const UNLIMITED: Budget = Budget {
+        deadline: None,
+        max_rows: None,
+        max_nodes: None,
+        max_labels: None,
+        max_heap_bytes: None,
+    };
+
+    /// True when every limit is absent.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::UNLIMITED
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the result-row cap.
+    pub fn with_max_rows(mut self, n: usize) -> Budget {
+        self.max_rows = Some(n);
+        self
+    }
+
+    /// Set the tree-node cap.
+    pub fn with_max_nodes(mut self, n: usize) -> Budget {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Set the candidate-label cap.
+    pub fn with_max_labels(mut self, n: usize) -> Budget {
+        self.max_labels = Some(n);
+        self
+    }
+
+    /// Set the estimated-heap cap.
+    pub fn with_max_heap_bytes(mut self, n: usize) -> Budget {
+        self.max_heap_bytes = Some(n);
+        self
+    }
+
+    /// Start the clock: stamp the deadline and return a fresh gas.
+    pub fn start(&self) -> Gas {
+        Gas {
+            inner: Arc::new(GasInner {
+                deadline: self.deadline.map(|d| Instant::now() + d),
+                budget: *self,
+                rows: AtomicUsize::new(0),
+                nodes: AtomicUsize::new(0),
+                labels: AtomicUsize::new(0),
+                heap: AtomicUsize::new(0),
+                tripped: AtomicU8::new(0),
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GasInner {
+    deadline: Option<Instant>,
+    budget: Budget,
+    rows: AtomicUsize,
+    nodes: AtomicUsize,
+    labels: AtomicUsize,
+    heap: AtomicUsize,
+    tripped: AtomicU8,
+}
+
+/// A running budget. Clones share state, so one gas travels from the
+/// serving thread into pool workers; all charges and checks are
+/// lock-free.
+#[derive(Debug, Clone)]
+pub struct Gas {
+    inner: Arc<GasInner>,
+}
+
+impl Gas {
+    /// Trip the sticky exhaustion flag; the first reason wins and is
+    /// returned (a later tripper learns what actually stopped the
+    /// run). Bumps the `budget.exceeded` counter exactly once.
+    fn trip(&self, reason: BudgetExceeded) -> BudgetExceeded {
+        match self.inner.tripped.compare_exchange(
+            0,
+            reason.code(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                qcat_obs::counter("budget.exceeded", 1);
+                reason
+            }
+            Err(prev) => BudgetExceeded::from_code(prev).unwrap_or(reason),
+        }
+    }
+
+    /// The sticky exhaustion reason, if any charge has failed.
+    pub fn exceeded(&self) -> Option<BudgetExceeded> {
+        BudgetExceeded::from_code(self.inner.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Mark this gas cancelled (admission control, client gone). All
+    /// cooperating loops drain at their next checkpoint.
+    pub fn cancel(&self) {
+        self.trip(BudgetExceeded::Cancelled);
+    }
+
+    /// Cooperative checkpoint: `Err` once the gas is exhausted. Also
+    /// polls the deadline, so call sites strided through hot loops are
+    /// what turns the deadline into cancellation.
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if let Some(reason) = self.exceeded() {
+            return Err(reason);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.trip(BudgetExceeded::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Gas::check`] as a bool, for `while`/`retain`-shaped loops.
+    pub fn checkpoint(&self) -> bool {
+        self.check().is_ok()
+    }
+
+    fn charge(
+        &self,
+        used: &AtomicUsize,
+        cap: Option<usize>,
+        reason: BudgetExceeded,
+        n: usize,
+    ) -> Result<(), BudgetExceeded> {
+        if let Some(reason) = self.exceeded() {
+            return Err(reason);
+        }
+        let Some(cap) = cap else { return Ok(()) };
+        let before = used.fetch_add(n, Ordering::Relaxed);
+        if before.saturating_add(n) > cap {
+            return Err(self.trip(reason));
+        }
+        Ok(())
+    }
+
+    /// Charge `n` result rows against the row cap.
+    pub fn charge_rows(&self, n: usize) -> Result<(), BudgetExceeded> {
+        self.charge(&self.inner.rows, self.inner.budget.max_rows, BudgetExceeded::Rows, n)
+    }
+
+    /// Charge `n` attached tree nodes against the node cap.
+    pub fn charge_nodes(&self, n: usize) -> Result<(), BudgetExceeded> {
+        self.charge(&self.inner.nodes, self.inner.budget.max_nodes, BudgetExceeded::Nodes, n)
+    }
+
+    /// Charge `n` priced candidate labels against the label cap.
+    pub fn charge_labels(&self, n: usize) -> Result<(), BudgetExceeded> {
+        self.charge(
+            &self.inner.labels,
+            self.inner.budget.max_labels,
+            BudgetExceeded::Labels,
+            n,
+        )
+    }
+
+    /// Charge `n` estimated heap bytes against the heap cap.
+    pub fn charge_heap(&self, n: usize) -> Result<(), BudgetExceeded> {
+        self.charge(
+            &self.inner.heap,
+            self.inner.budget.max_heap_bytes,
+            BudgetExceeded::Heap,
+            n,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The current gas: thread-scoped, mirroring qcat_obs::with_recorder.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Gas>> = const { RefCell::new(Vec::new()) };
+    /// Mirror of `CURRENT.len()` readable without a RefCell borrow, so
+    /// the no-budget fast path of [`current_gas`] is one `Cell` read.
+    static CURRENT_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The gas pipeline stages should charge right now: the innermost
+/// [`with_budget`] scope on this thread, if any. There is deliberately
+/// no process-global gas — a budget belongs to one serve call.
+pub fn current_gas() -> Option<Gas> {
+    if CURRENT_DEPTH.with(|d| d.get() > 0) {
+        CURRENT.with(|c| c.borrow().last().cloned())
+    } else {
+        None
+    }
+}
+
+/// Run `f` with `gas` as this thread's current budget. Scopes nest;
+/// the previous gas is restored even if `f` panics.
+pub fn with_budget<T>(gas: &Gas, f: impl FnOnce() -> T) -> T {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+            CURRENT_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+    CURRENT.with(|c| c.borrow_mut().push(gas.clone()));
+    CURRENT_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = PopOnDrop;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let gas = Budget::default().start();
+        assert!(Budget::default().is_unlimited());
+        gas.charge_rows(1 << 30).unwrap();
+        gas.charge_nodes(1 << 30).unwrap();
+        gas.check().unwrap();
+        assert_eq!(gas.exceeded(), None);
+    }
+
+    #[test]
+    fn row_cap_trips_sticky() {
+        let gas = Budget::default().with_max_rows(10).start();
+        gas.charge_rows(8).unwrap();
+        assert_eq!(gas.charge_rows(3), Err(BudgetExceeded::Rows));
+        // Sticky: every later charge and check reports the same reason.
+        assert_eq!(gas.charge_nodes(1), Err(BudgetExceeded::Rows));
+        assert_eq!(gas.check(), Err(BudgetExceeded::Rows));
+        assert!(!gas.checkpoint());
+        assert_eq!(gas.exceeded(), Some(BudgetExceeded::Rows));
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let gas = Budget::default().with_max_rows(0).with_max_nodes(0).start();
+        assert_eq!(gas.charge_rows(1), Err(BudgetExceeded::Rows));
+        // A later node overflow still reports the original trip.
+        assert_eq!(gas.charge_nodes(1), Err(BudgetExceeded::Rows));
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_check() {
+        let gas = Budget::default().with_deadline(Duration::ZERO).start();
+        assert_eq!(gas.check(), Err(BudgetExceeded::Deadline));
+        assert_eq!(gas.exceeded(), Some(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let gas = Budget::default().start();
+        let other = gas.clone();
+        other.cancel();
+        assert_eq!(gas.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn label_and_heap_caps_trip() {
+        let gas = Budget::default().with_max_labels(2).start();
+        gas.charge_labels(2).unwrap();
+        assert_eq!(gas.charge_labels(1), Err(BudgetExceeded::Labels));
+        let gas = Budget::default().with_max_heap_bytes(100).start();
+        assert_eq!(gas.charge_heap(101), Err(BudgetExceeded::Heap));
+    }
+
+    #[test]
+    fn thread_scoped_current_gas() {
+        assert!(current_gas().is_none());
+        let gas = Budget::default().with_max_rows(1).start();
+        with_budget(&gas, || {
+            let seen = current_gas().expect("gas in scope");
+            let _ = seen.charge_rows(2);
+        });
+        assert!(current_gas().is_none());
+        assert_eq!(gas.exceeded(), Some(BudgetExceeded::Rows));
+    }
+
+    #[test]
+    fn display_and_names_are_stable() {
+        assert_eq!(BudgetExceeded::Deadline.to_string(), "budget exceeded: deadline");
+        for r in [
+            BudgetExceeded::Deadline,
+            BudgetExceeded::Rows,
+            BudgetExceeded::Nodes,
+            BudgetExceeded::Labels,
+            BudgetExceeded::Heap,
+            BudgetExceeded::Cancelled,
+        ] {
+            assert_eq!(BudgetExceeded::from_code(r.code()), Some(r));
+        }
+        assert_eq!(BudgetExceeded::from_code(0), None);
+    }
+}

@@ -24,6 +24,12 @@ pub enum Rule {
     /// `QCAT_THREADS` sizing, recorder propagation, and the
     /// deterministic result order the pool guarantees.
     L6RawSpawn,
+    /// L7: `.lock().unwrap()` / `.lock().expect(` in non-test code.
+    /// A panicking peer poisons the mutex and every later lock call
+    /// panics too — one crash becomes a wedge. Lock through a
+    /// designated poison-recovery helper
+    /// (`.lock().unwrap_or_else(|e| e.into_inner())`) instead.
+    L7LockUnwrap,
     /// A1: `P(C)` or `Pw(C)` outside `[0, 1]` (or NaN).
     A1Probability,
     /// A2: leaf node with `Pw != 1`.
@@ -48,6 +54,10 @@ pub enum Rule {
     /// T3: a duration is negative, disagrees with its span's
     /// timestamps, or children outlast their parent.
     T3Durations,
+    /// T4: a `serve.shed`/`serve.degraded`/`serve.cancel` event
+    /// outside an open `serve.query` span on its thread — governance
+    /// events must be attributable to the query they degraded.
+    T4ServeEnclosure,
 }
 
 impl Rule {
@@ -61,6 +71,7 @@ impl Rule {
             Rule::L4MissingDocs => "L4",
             Rule::L5RawPrint => "L5",
             Rule::L6RawSpawn => "L6",
+            Rule::L7LockUnwrap => "L7",
             Rule::A1Probability => "A1",
             Rule::A2LeafPw => "A2",
             Rule::A3TsetDisjoint => "A3",
@@ -72,6 +83,7 @@ impl Rule {
             Rule::T1TraceSyntax => "T1",
             Rule::T2SpanBalance => "T2",
             Rule::T3Durations => "T3",
+            Rule::T4ServeEnclosure => "T4",
         }
     }
 }
@@ -151,6 +163,7 @@ mod tests {
             (Rule::L4MissingDocs, "L4"),
             (Rule::L5RawPrint, "L5"),
             (Rule::L6RawSpawn, "L6"),
+            (Rule::L7LockUnwrap, "L7"),
             (Rule::A1Probability, "A1"),
             (Rule::A2LeafPw, "A2"),
             (Rule::A3TsetDisjoint, "A3"),
@@ -162,6 +175,7 @@ mod tests {
             (Rule::T1TraceSyntax, "T1"),
             (Rule::T2SpanBalance, "T2"),
             (Rule::T3Durations, "T3"),
+            (Rule::T4ServeEnclosure, "T4"),
         ] {
             assert_eq!(rule.id(), id);
         }

@@ -68,9 +68,9 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         let what = match (run_workspace, trace_paths.is_empty()) {
-            (true, true) => "workspace clean (L1-L6 + audit self-check)",
-            (true, false) => "workspace and trace(s) clean (L1-L6 + audit self-check + T1-T3)",
-            _ => "trace(s) clean (T1-T3)",
+            (true, true) => "workspace clean (L1-L7 + audit self-check)",
+            (true, false) => "workspace and trace(s) clean (L1-L7 + audit self-check + T1-T4)",
+            _ => "trace(s) clean (T1-T4)",
         };
         println!("qcat-lint: {what}");
         ExitCode::SUCCESS
@@ -82,11 +82,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: qcat-lint [--workspace] [--root <repo-root>] [--audit-trace <trace.jsonl>]
 
---workspace runs the source lints (L1-L6) over the workspace and the
+--workspace runs the source lints (L1-L7) over the workspace and the
 cost-model auditor self-check. --audit-trace checks a QCAT_TRACE=json
-capture for schema validity, span balance, and duration consistency
-(T1-T3); it may repeat. Exits 0 when clean, 1 on violations, 2 on I/O
-or usage errors. See docs/LINTS.md.";
+capture for schema validity, span balance, duration consistency, and
+governance-event enclosure (T1-T4); it may repeat. Exits 0 when clean,
+1 on violations, 2 on I/O or usage errors. See docs/LINTS.md.";
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("qcat-lint: {problem}\n{USAGE}");

@@ -6,7 +6,9 @@
 //! ```text
 //! qcat-obs                   (observability: depends on nothing)
 //!    ↑
-//! qcat-pool                  (threading substrate: sees only qcat-obs)
+//! qcat-fault                 (budgets + fault points: sees only qcat-obs)
+//!    ↑
+//! qcat-pool                  (threading substrate: sees qcat-obs, qcat-fault)
 //!    ↑
 //! qcat-data, qcat-sql        (foundations: no view of the model)
 //!    ↑
@@ -86,6 +88,7 @@ pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
         // crate may instrument itself, so qcat-obs seeing any of them
         // would be a cycle (and would let tracing drag the model in).
         "qcat-obs" => &[
+            "qcat-fault",
             "qcat-pool",
             "qcat-data",
             "qcat-sql",
@@ -98,9 +101,26 @@ pub fn forbidden_deps(crate_name: &str) -> &'static [&'static str] {
             "qcat-study",
             "qcat-lint",
         ],
-        // The threading substrate sits just above qcat-obs (workers
-        // propagate the recorder) and below everything else: it must
-        // never see the model, data, or drivers.
+        // The governance substrate (budgets + fault points) sits just
+        // above qcat-obs: every crate may consult the current budget
+        // or hit a fault point, so any upward edge would be a cycle.
+        "qcat-fault" => &[
+            "qcat-pool",
+            "qcat-data",
+            "qcat-sql",
+            "qcat-core",
+            "qcat-exec",
+            "qcat-workload",
+            "qcat-serve",
+            "qcat-explore",
+            "qcat-datagen",
+            "qcat-study",
+            "qcat-lint",
+        ],
+        // The threading substrate sits just above qcat-obs and
+        // qcat-fault (workers propagate the recorder, budget, and
+        // fault plan) and below everything else: it must never see
+        // the model, data, or drivers.
         "qcat-pool" => &[
             "qcat-data",
             "qcat-sql",
@@ -266,6 +286,22 @@ slow-tests = []
             let diags = check_layering("qcat-data", "crates/qcat-data/Cargo.toml", &bad);
             assert_eq!(diags.len(), 1, "{banned}");
         }
+    }
+
+    #[test]
+    fn fault_sees_only_obs() {
+        let good = "[dependencies]\nqcat-obs.workspace = true\n";
+        assert_eq!(check_layering("qcat-fault", "x", good), vec![]);
+        let bad = "[dependencies]\nqcat-obs.workspace = true\nqcat-pool.workspace = true\n";
+        let diags = check_layering("qcat-fault", "crates/qcat-fault/Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("qcat-pool"));
+        // And qcat-obs must not complete a cycle back into the faults.
+        let cycle = "[dependencies]\nqcat-fault.workspace = true\n";
+        assert_eq!(check_layering("qcat-obs", "x", cycle).len(), 1);
+        // The pool may see qcat-fault (it propagates budget + plan).
+        let pool = "[dependencies]\nqcat-obs.workspace = true\nqcat-fault.workspace = true\n";
+        assert_eq!(check_layering("qcat-pool", "x", pool), vec![]);
     }
 
     #[test]

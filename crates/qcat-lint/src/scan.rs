@@ -31,6 +31,9 @@ pub struct ScanOptions {
     /// L6: flag raw `std::thread` spawning (`thread::spawn`,
     /// `thread::scope`, `thread::Builder`) outside test code.
     pub check_spawns: bool,
+    /// L7: flag `.lock().unwrap()` / `.lock().expect(` outside test
+    /// code — poison must be recovered, not re-panicked.
+    pub check_locks: bool,
 }
 
 /// Source text after comment/literal blanking, with per-line facts
@@ -333,6 +336,9 @@ pub fn lint_source(path: &str, source: &str, opts: ScanOptions) -> Vec<Diagnosti
     if opts.check_spawns {
         lint_spawns(path, &clean, &mut diags);
     }
+    if opts.check_locks {
+        lint_lock_unwraps(path, &clean, &mut diags);
+    }
     diags.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
     diags
 }
@@ -424,6 +430,37 @@ fn lint_spawns(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
                     idx + 1,
                     Rule::L6RawSpawn,
                     format!("raw `{needle}` outside qcat-pool; use qcat_pool::ThreadPool"),
+                ));
+            }
+        }
+    }
+}
+
+/// L7: `.lock().unwrap()` / `.lock().expect(` in non-test code. Once
+/// any thread panics while holding a mutex, the mutex is poisoned and
+/// every subsequent `.lock().unwrap()` panics too — a single injected
+/// fault cascades into a permanently wedged server. Lock through a
+/// designated poison-recovery helper instead
+/// (`.lock().unwrap_or_else(|e| e.into_inner())`, see
+/// `lock_recover` in qcat-serve), which this rule's needles
+/// deliberately do not match.
+fn lint_lock_unwraps(path: &str, clean: &CleanSource, diags: &mut Vec<Diagnostic>) {
+    const NEEDLES: &[&str] = &[".lock().unwrap()", ".lock().expect("];
+    for (idx, line) in clean.lines.iter().enumerate() {
+        if clean.test_line[idx] {
+            continue;
+        }
+        for needle in NEEDLES {
+            for _pos in find_all(line, needle) {
+                diags.push(Diagnostic::at(
+                    path,
+                    idx + 1,
+                    Rule::L7LockUnwrap,
+                    format!(
+                        "`{needle}…` re-panics on a poisoned mutex; recover with \
+                         `.lock().unwrap_or_else(|e| e.into_inner())` via a \
+                         designated helper"
+                    ),
                 ));
             }
         }
@@ -708,6 +745,7 @@ mod tests {
         check_docs: false,
         check_prints: false,
         check_spawns: false,
+        check_locks: false,
     };
 
     #[test]
@@ -864,6 +902,7 @@ mod tests {
         check_docs: true,
         check_prints: false,
         check_spawns: false,
+        check_locks: false,
     };
 
     #[test]
@@ -921,6 +960,7 @@ mod tests {
         check_docs: false,
         check_prints: true,
         check_spawns: false,
+        check_locks: false,
     };
 
     #[test]
@@ -971,6 +1011,7 @@ mod tests {
         check_docs: false,
         check_prints: false,
         check_spawns: true,
+        check_locks: false,
     };
 
     #[test]
@@ -1001,6 +1042,45 @@ mod tests {
             "}\n",
         );
         assert_eq!(rules(src, SPAWNS), vec![]);
+    }
+
+    const LOCKS: ScanOptions = ScanOptions {
+        check_panics: false,
+        check_float_cmp: false,
+        float_eq_sensitive: false,
+        check_docs: false,
+        check_prints: false,
+        check_spawns: false,
+        check_locks: true,
+    };
+
+    #[test]
+    fn l7_flags_lock_unwrap_and_expect() {
+        let src = concat!(
+            "fn f(m: &std::sync::Mutex<u32>) {\n",
+            "    let a = m.lock().unwrap();\n",
+            "    let b = m.lock().expect(\"poisoned\");\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, LOCKS), vec![(2, "L7"), (3, "L7")]);
+    }
+
+    #[test]
+    fn l7_accepts_poison_recovery_tests_and_lookalikes() {
+        let src = concat!(
+            "fn f(m: &std::sync::Mutex<u32>) {\n",
+            "    // m.lock().unwrap() in a comment\n",
+            "    let s = \".lock().unwrap()\";\n",
+            "    let g = m.lock().unwrap_or_else(|e| e.into_inner());\n",
+            "    let r = result.unwrap(); // not a lock\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t(m: &std::sync::Mutex<u32>) { m.lock().unwrap(); }\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, LOCKS), vec![]);
     }
 
     #[test]

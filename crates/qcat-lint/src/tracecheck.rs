@@ -1,4 +1,4 @@
-//! Engine 3: the JSONL trace auditor (rules T1–T3).
+//! Engine 3: the JSONL trace auditor (rules T1–T4).
 //!
 //! `qcat-obs` emits one JSON object per line (schema in
 //! `docs/OBSERVABILITY.md`). This module re-derives the invariants
@@ -15,6 +15,10 @@
 //!   timestamp difference exactly (the recorder computes `dur_ns`
 //!   from the same two timestamps it prints), and the direct
 //!   children of a span do not collectively outlast it.
+//! - **T4** — governance events (`serve.shed`, `serve.degraded`,
+//!   `serve.cancel`) are emitted inside an open `serve.query` span on
+//!   their thread, so every shed or degraded answer is attributable
+//!   to the query that suffered it.
 //!
 //! Timestamps and sequence numbers travel as JSON numbers, parsed to
 //! `f64` — exact for integers up to 2^53, i.e. ~104 days of
@@ -157,7 +161,25 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
                     ));
                 }
             }
-            _ => {} // "event": no structural obligations beyond T1
+            _ => {
+                // "event": structurally free except for T4 — the
+                // governance events must sit inside the serve.query
+                // span whose outcome they explain.
+                const GOVERNANCE: &[&str] = &["serve.shed", "serve.degraded", "serve.cancel"];
+                if GOVERNANCE.contains(&rec.name.as_str())
+                    && !stack.iter().any(|s| s.name == "serve.query")
+                {
+                    diags.push(Diagnostic::at(
+                        origin,
+                        lineno,
+                        Rule::T4ServeEnclosure,
+                        format!(
+                            "event `{}` on thread `{}` outside an open `serve.query` span",
+                            rec.name, rec.thread
+                        ),
+                    ));
+                }
+            }
         }
     }
 
@@ -434,6 +456,55 @@ mod tests {
                 .any(|d| d.rule.id() == "T3" && d.message.contains("direct children total")),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn t4_governance_events_need_an_open_serve_query_span() {
+        // Inside serve.query (even nested deeper): clean.
+        let text = [
+            line(1, 10, "span_open", "serve.query", 0, None),
+            line(2, 20, "event", "serve.shed", 1, None),
+            line(3, 25, "span_open", "serve.categorize", 1, None),
+            line(4, 30, "event", "serve.degraded", 2, None),
+            line(5, 40, "span_close", "serve.categorize", 1, Some(15)),
+            line(6, 50, "span_close", "serve.query", 0, Some(40)),
+        ]
+        .join("\n");
+        assert_eq!(audit_trace("t.jsonl", &text), vec![]);
+
+        // Outside any span, or inside an unrelated span: flagged.
+        let text = [
+            line(1, 10, "event", "serve.shed", 0, None),
+            line(2, 20, "span_open", "other", 0, None),
+            line(3, 30, "event", "serve.cancel", 1, None),
+            line(4, 40, "span_close", "other", 0, Some(20)),
+            line(5, 50, "event", "cache.hit", 0, None), // non-governance: free
+        ]
+        .join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        assert_eq!(ids(&diags), vec!["T4", "T4"]);
+        assert!(
+            diags[0].message.contains("outside an open `serve.query` span"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn t4_is_per_thread() {
+        // serve.query open on `main` does not license a governance
+        // event on another thread.
+        let a = |seq: u64, ts: u64, kind: &str, name: &str, depth: usize, dur: Option<u64>| {
+            line(seq, ts, kind, name, depth, dur).replace("\"main\"", "\"worker-1\"")
+        };
+        let text = [
+            line(1, 10, "span_open", "serve.query", 0, None),
+            a(2, 20, "event", "serve.degraded", 0, None),
+            line(3, 30, "span_close", "serve.query", 0, Some(20)),
+        ]
+        .join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        assert_eq!(ids(&diags), vec!["T4"]);
+        assert!(diags[0].message.contains("worker-1"), "{diags:?}");
     }
 
     #[test]

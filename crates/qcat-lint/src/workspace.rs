@@ -51,6 +51,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     }
     diags.extend(lint_library_prints(root)?);
     diags.extend(lint_thread_spawns(root)?);
+    diags.extend(lint_lock_discipline(root)?);
     diags.extend(lint_manifests(root)?);
     let allow_path = root.join(ALLOWLIST_PATH);
     if allow_path.exists() {
@@ -78,6 +79,7 @@ fn options_for(crate_name: &str, rel_path: &str) -> ScanOptions {
         check_docs: crate_name == "qcat-core",
         check_prints: false, // L5 runs workspace-wide; see below
         check_spawns: false, // L6 too; see lint_thread_spawns
+        check_locks: false,  // L7 too; see lint_lock_discipline
     }
 }
 
@@ -144,6 +146,36 @@ fn lint_thread_spawns(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.is_dir() && !p.ends_with("qcat-pool"))
+        .map(|p| p.join("src"))
+        .collect();
+    src_dirs.push(root.join("src"));
+    src_dirs.sort();
+    for src in src_dirs {
+        for file in rust_files(&src)? {
+            let source = fs::read_to_string(&file)?;
+            diags.extend(lint_source(&relative(root, &file), &source, opts));
+        }
+    }
+    Ok(diags)
+}
+
+/// L7 over every source in the workspace: all of `crates/*` plus the
+/// facade's `src/`, binaries included. No crate is exempt — poison
+/// recovery is expected everywhere a mutex is shared, and the
+/// sanctioned pattern (`.lock().unwrap_or_else(|e| e.into_inner())`
+/// inside a designated helper such as `lock_recover` in qcat-serve or
+/// `lock_state` in qcat-obs) does not match this rule's needles, so
+/// the helpers themselves lint clean.
+fn lint_lock_discipline(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let opts = ScanOptions {
+        check_locks: true,
+        ..ScanOptions::default()
+    };
+    let mut diags = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
         .map(|p| p.join("src"))
         .collect();
     src_dirs.push(root.join("src"));

@@ -15,20 +15,31 @@
 //!   algorithm, not a degenerate parallel one.
 //! - **Scoped workers.** Workers live only for the duration of one
 //!   `map` call, so item slices and the mapping closure may borrow
-//!   freely from the caller's stack. A panicking worker propagates to
-//!   the caller when the scope joins.
-//! - **Observer plumbing.** Workers run under the caller's `qcat-obs`
-//!   recorder (via [`qcat_obs::with_recorder`]) so counters and
-//!   gauges recorded inside worker closures aggregate into the same
-//!   snapshot as the rest of the categorization. Workers must not
-//!   open spans or emit events — the trace line stream is
-//!   single-threaded by contract (see docs/OBSERVABILITY.md).
+//!   freely from the caller's stack. A panicking task is *caught* in
+//!   the worker and surfaced as [`PoolError::TaskPanicked`] from
+//!   [`ThreadPool::try_map`] (re-raised by [`ThreadPool::map`]), so a
+//!   dying task can never leave results silently missing.
+//! - **Cancellation.** Workers poll the caller's current
+//!   [`qcat_fault::Gas`] before every item; an exhausted budget drains
+//!   the queue early and `try_map` reports
+//!   [`PoolError::Cancelled`]. Each item is also a
+//!   `pool.task` fault point for chaos testing.
+//! - **Context plumbing.** Workers run under the caller's `qcat-obs`
+//!   recorder (via [`qcat_obs::with_recorder`]) and the caller's
+//!   fault/budget context (via [`qcat_fault::Propagation`]), so
+//!   counters land in one snapshot and budget checkpoints keep
+//!   working inside worker closures. Workers must not open spans or
+//!   emit events — the trace line stream is single-threaded by
+//!   contract (see docs/OBSERVABILITY.md).
 //!
 //! Sizing: an explicit request wins; `0` means "auto", which reads
 //! `QCAT_THREADS` once per process and otherwise uses
 //! [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use qcat_fault::BudgetExceeded;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::OnceLock;
 use std::thread;
@@ -56,6 +67,77 @@ pub fn resolve_threads(requested: usize) -> usize {
     })
 }
 
+/// Why a [`ThreadPool::try_map`] call did not return results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task panicked. The panic was caught in the worker; `index`
+    /// is the item and `message` the stringified payload.
+    TaskPanicked {
+        /// Input index of the panicking item.
+        index: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The caller's budget was exhausted; queued items were drained
+    /// without running.
+    Cancelled(BudgetExceeded),
+    /// An `error`-kind fault fired at the `pool.task` fault point.
+    Fault(qcat_fault::Fault),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::TaskPanicked { index, message } => {
+                write!(f, "pool task {index} panicked: {message}")
+            }
+            PoolError::Cancelled(reason) => write!(f, "pool drained early: {reason}"),
+            PoolError::Fault(fault) => write!(f, "pool task failed: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Stringify a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one item through the per-item checkpoints (budget, `pool.task`
+/// fault point) and the closure, catching panics.
+fn run_item<T, R>(
+    gas: Option<&qcat_fault::Gas>,
+    f: &(impl Fn(usize, &T) -> R + Sync),
+    i: usize,
+    item: &T,
+) -> Result<R, PoolError> {
+    if let Some(g) = gas {
+        if let Err(reason) = g.check() {
+            return Err(PoolError::Cancelled(reason));
+        }
+    }
+    match panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(fault) = qcat_fault::point("pool.task") {
+            return Err(PoolError::Fault(fault));
+        }
+        Ok(f(i, item))
+    })) {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(PoolError::TaskPanicked {
+            index: i,
+            message: panic_message(payload),
+        }),
+    }
+}
+
 /// A fixed-width fan-out primitive. Holds no threads while idle —
 /// workers are spawned per [`map`](ThreadPool::map) call inside a
 /// [`std::thread::scope`], which is what lets the mapped closure
@@ -81,76 +163,154 @@ impl ThreadPool {
     /// Apply `f` to every item, in parallel across the pool's
     /// threads, and return the results **in input order**.
     ///
-    /// `f` receives the item's index and the item. Work is pulled
-    /// from a shared atomic cursor, so long and short items balance
-    /// across workers; the calling thread participates, so a pool of
-    /// `n` threads spawns only `n - 1` workers. If any invocation of
-    /// `f` panics the panic propagates to the caller after the scope
-    /// joins.
+    /// Infallible wrapper over [`ThreadPool::try_map`]: a caught task
+    /// panic is re-raised on the calling thread, and budget
+    /// cancellation / injected faults (which cannot happen without a
+    /// budget or fault plan installed) also panic. Callers that run
+    /// under a budget should use `try_map` and degrade.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        match self.try_map(items, f) {
+            Ok(out) => out,
+            Err(PoolError::TaskPanicked { index, message }) => {
+                panic!("pool task {index} panicked: {message}")
+            }
+            Err(e) => panic!("pool map failed: {e}"),
+        }
+    }
+
+    /// Fallible [`ThreadPool::map`]: apply `f` to every item and
+    /// return results in input order, or the first (lowest-index)
+    /// failure.
+    ///
+    /// `f` receives the item's index and the item. Work is pulled
+    /// from a shared atomic cursor, so long and short items balance
+    /// across workers; the calling thread participates, so a pool of
+    /// `n` threads spawns only `n - 1` workers. Before each item every
+    /// worker passes a budget checkpoint on the caller's current
+    /// [`qcat_fault::Gas`] and the `pool.task` fault point; a tripped
+    /// budget, a fired error fault, or a caught task panic makes all
+    /// workers drain the remaining queue without running it.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let n = items.len();
+        let ctx = qcat_fault::capture();
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                match run_item(ctx.gas(), &f, i, item) {
+                    Ok(r) => out.push(r),
+                    Err(e) => {
+                        if matches!(e, PoolError::Cancelled(_)) {
+                            qcat_obs::counter("pool.cancelled", 1);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            return Ok(out);
         }
         qcat_obs::counter("pool.tasks", n as i64);
         qcat_obs::gauge("pool.queue_depth", n as f64);
         let recorder = qcat_obs::current_recorder();
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let run = |tx: mpsc::Sender<(usize, R)>| loop {
+        // Sticky failure latch: once any worker errors, the rest stop
+        // pulling items. The actual error travels over the channel.
+        let abort = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, PoolError>)>();
+        let run = |tx: mpsc::Sender<(usize, Result<R, PoolError>)>| loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
-            let r = f(i, &items[i]);
+            let outcome = run_item(ctx.gas(), &f, i, &items[i]);
             qcat_obs::gauge("pool.queue_depth", (n - (i + 1).min(n)) as f64);
-            if tx.send((i, r)).is_err() {
-                break;
+            match outcome {
+                Ok(r) => {
+                    if tx.send((i, Ok(r))).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    let _ = tx.send((i, Err(e)));
+                    break;
+                }
             }
         };
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
+        let mut first_err: Option<(usize, PoolError)> = None;
         thread::scope(|scope| {
             for w in 1..workers {
                 let tx = tx.clone();
                 let run = &run;
+                let ctx = ctx.clone();
                 let recorder = recorder.clone();
                 let builder = thread::Builder::new().name(format!("qcat-pool-{w}"));
                 builder
-                    .spawn_scoped(scope, move || match &recorder {
-                        Some(rec) => qcat_obs::with_recorder(rec, || run(tx)),
-                        None => run(tx),
+                    .spawn_scoped(scope, move || {
+                        let work = || ctx.scope(|| run(tx));
+                        match &recorder {
+                            Some(rec) => qcat_obs::with_recorder(rec, work),
+                            None => work(),
+                        }
                     })
                     .expect("spawning a pool worker thread failed");
             }
             run(tx);
             // All senders are dropped once the workers finish; drain
-            // whatever they produced. If a worker panicked the scope
-            // re-raises after this closure, and partially-filled
-            // results are discarded with the scope.
+            // whatever they produced. Keep the lowest-index error so
+            // failure selection does not depend on thread timing.
             for (i, r) in rx.iter() {
-                out[i] = Some(r);
+                match r {
+                    Ok(r) => out[i] = Some(r),
+                    Err(e) => match &first_err {
+                        Some((j, _)) if *j <= i => {}
+                        _ => first_err = Some((i, e)),
+                    },
+                }
             }
         });
-        out.into_iter()
-            .enumerate()
-            .map(|(i, r)| match r {
-                Some(r) => r,
-                None => unreachable!("pool worker dropped result for item {i}"),
-            })
-            .collect()
+        if let Some((_, e)) = first_err {
+            if matches!(e, PoolError::Cancelled(_)) {
+                qcat_obs::counter("pool.cancelled", 1);
+            }
+            return Err(e);
+        }
+        if out.iter().any(Option::is_none) {
+            // No explicit error arrived but items are missing: the
+            // budget tripped and workers drained early.
+            let reason = ctx
+                .gas()
+                .and_then(|g| g.exceeded())
+                .unwrap_or(BudgetExceeded::Cancelled);
+            qcat_obs::counter("pool.cancelled", 1);
+            return Err(PoolError::Cancelled(reason));
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("checked above: no result missing"))
+            .collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcat_fault::{with_budget, with_plan, Budget, FaultPlan};
 
     #[test]
     fn results_land_in_input_order() {
@@ -197,6 +357,98 @@ mod tests {
             })
         }));
         assert!(caught.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn try_map_surfaces_task_panic_as_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let err = pool
+                .try_map(&items, |_, &x| {
+                    if x == 13 {
+                        panic!("boom at 13");
+                    }
+                    x
+                })
+                .unwrap_err();
+            match err {
+                PoolError::TaskPanicked { index, message } => {
+                    assert_eq!(index, 13, "threads={threads}");
+                    assert!(message.contains("boom at 13"), "{message}");
+                }
+                other => panic!("expected TaskPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_fault_surfaces_as_pool_error() {
+        // The satellite case: a fault point that panics *inside* a
+        // task must come back as a structured PoolError, not a dead
+        // worker with silently missing results.
+        let plan = FaultPlan::parse("pool.task:panic").unwrap();
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let err = with_plan(&plan, || pool.try_map(&items, |_, &x| x)).unwrap_err();
+            match err {
+                PoolError::TaskPanicked { message, .. } => {
+                    assert!(message.contains("injected fault panic at pool.task"), "{message}");
+                }
+                other => panic!("expected TaskPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_error_fault_fails_the_map() {
+        let plan = FaultPlan::parse("pool.task:error").unwrap();
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..32).collect();
+        let err = with_plan(&plan, || pool.try_map(&items, |_, &x| x)).unwrap_err();
+        assert!(matches!(err, PoolError::Fault(f) if f.site == "pool.task"));
+    }
+
+    #[test]
+    fn exhausted_budget_drains_early() {
+        // A zero deadline is already exceeded at the first per-item
+        // checkpoint on every thread count.
+        let gas = Budget::default().with_deadline(std::time::Duration::ZERO).start();
+        let items: Vec<usize> = (0..128).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let err =
+                with_budget(&gas, || pool.try_map(&items, |_, &x| x)).unwrap_err();
+            assert_eq!(
+                err,
+                PoolError::Cancelled(qcat_fault::BudgetExceeded::Deadline),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_checkpoints_work_inside_worker_closures() {
+        // The gas is propagated into workers: a charge made from
+        // worker threads trips the shared budget.
+        let gas = Budget::default().with_max_rows(10).start();
+        let items: Vec<usize> = (0..64).collect();
+        let pool = ThreadPool::new(4);
+        let result = with_budget(&gas, || {
+            pool.try_map(&items, |_, &x| {
+                let g = qcat_fault::current_gas().expect("gas visible in worker");
+                let _ = g.charge_rows(1);
+                x
+            })
+        });
+        // Either the map finished before enough charges landed (first
+        // 10 items) or it was cancelled — both are valid interleavings;
+        // what must hold is that the budget itself tripped.
+        assert_eq!(gas.exceeded(), Some(qcat_fault::BudgetExceeded::Rows));
+        if let Err(e) = result {
+            assert!(matches!(e, PoolError::Cancelled(_)));
+        }
     }
 
     #[test]

@@ -199,4 +199,147 @@ mod tests {
             ServeError::Exec(_)
         ));
     }
+
+    fn budgeted_server(budget: qcat_fault::Budget) -> Server {
+        let relation = homes(400);
+        let prep = PreprocessConfig::new().infer_missing(&relation, 20);
+        let s = Server::new(ServerConfig {
+            budget,
+            ..ServerConfig::default()
+        });
+        s.register_table("homes", relation, workload(), prep)
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn expired_deadline_serves_flat_fallback_not_error() {
+        let s = budgeted_server(
+            qcat_fault::Budget::UNLIMITED.with_deadline(std::time::Duration::ZERO),
+        );
+        let sql = "SELECT * FROM homes WHERE price <= 400000";
+        let served = s.serve(sql).unwrap();
+        assert_eq!(
+            served.tree.degraded(),
+            Some(qcat_core::DegradeReason::Deadline)
+        );
+        assert_eq!(served.rows, 0, "execution refused: no rows in the fallback");
+        assert!(served.rendered.contains("degraded: deadline"), "{}", served.rendered);
+        // Degraded answers are never cached; the next serve retries in
+        // full (and degrades again under the same hopeless budget).
+        assert_eq!(s.cache_sizes(), (0, 0));
+        assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::Cold);
+    }
+
+    #[test]
+    fn node_cap_degrades_tree_and_skips_tree_cache() {
+        // Generous enough for execution, too tight for a full tree.
+        let s = budgeted_server(qcat_fault::Budget::UNLIMITED.with_max_nodes(2));
+        let sql = "SELECT * FROM homes WHERE price <= 400000";
+        let served = s.serve(sql).unwrap();
+        assert_eq!(served.outcome, ServeOutcome::Cold);
+        assert_eq!(
+            served.tree.degraded(),
+            Some(qcat_core::DegradeReason::Nodes)
+        );
+        assert!(served.rows > 0, "execution itself fit the budget");
+        // Rows are cached (they are complete); the degraded tree is not.
+        assert_eq!(s.cache_sizes(), (1, 0));
+        assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::ResultCacheHit);
+    }
+
+    #[test]
+    fn injected_delay_turns_deadline_into_degraded_answer() {
+        // Pin the degradation deterministically: the fault point at
+        // the categorizer's level boundary sleeps well past the
+        // deadline, so the budget trips at the same place at any
+        // QCAT_THREADS.
+        let s = budgeted_server(
+            qcat_fault::Budget::UNLIMITED
+                .with_deadline(std::time::Duration::from_millis(25)),
+        );
+        let plan = qcat_fault::FaultPlan::parse("core.level:delay:ms=200").unwrap();
+        let served = qcat_fault::with_plan(&plan, || {
+            s.serve("SELECT * FROM homes WHERE price <= 400000")
+        })
+        .unwrap();
+        assert_eq!(
+            served.tree.degraded(),
+            Some(qcat_core::DegradeReason::Deadline)
+        );
+        assert!(served.rendered.contains("degraded: deadline"));
+        let (_, trees) = s.cache_sizes();
+        assert_eq!(trees, 0, "degraded tree must not be cached");
+    }
+
+    #[test]
+    fn admission_cap_sheds_cold_fills() {
+        let relation = homes(200);
+        let prep = PreprocessConfig::new().infer_missing(&relation, 20);
+        let s = Server::new(ServerConfig {
+            max_in_flight: 0,
+            ..ServerConfig::default()
+        });
+        s.register_table("homes", relation, workload(), prep)
+            .unwrap();
+        let served = s.serve("SELECT * FROM homes WHERE price <= 200000").unwrap();
+        assert_eq!(served.outcome, ServeOutcome::Shed);
+        assert_eq!(served.tree.degraded(), Some(qcat_core::DegradeReason::Shed));
+        assert_eq!(served.rows, 0);
+        assert!(served.rendered.contains("degraded: shed"), "{}", served.rendered);
+        assert_eq!(s.cache_sizes(), (0, 0), "shed answers are not cached");
+    }
+
+    #[test]
+    fn injected_fill_fault_is_a_structured_error() {
+        let s = server();
+        let plan = qcat_fault::FaultPlan::parse("serve.fill:error").unwrap();
+        let err = qcat_fault::with_plan(&plan, || {
+            s.serve("SELECT * FROM homes WHERE price <= 200000").unwrap_err()
+        });
+        assert!(matches!(err, ServeError::Fault(f) if f.site == "serve.fill"));
+        // The failed fill released its single-flight slot: the same
+        // query succeeds immediately afterwards.
+        assert_eq!(
+            s.serve("SELECT * FROM homes WHERE price <= 200000")
+                .unwrap()
+                .outcome,
+            ServeOutcome::Cold
+        );
+    }
+
+    #[test]
+    fn concurrent_cold_misses_coalesce_onto_one_fill() {
+        let s = server();
+        let sql = "SELECT * FROM homes WHERE price <= 200000";
+        // Slow the fill down so every thread is in flight while the
+        // leader computes (the single-flight regression this pins:
+        // without coalescing, every thread would execute+categorize).
+        let plan = qcat_fault::FaultPlan::parse("serve.fill:delay:ms=200").unwrap();
+        let outcomes: Vec<ServeOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let plan = plan.clone();
+                    let s = &s;
+                    scope.spawn(move || {
+                        qcat_fault::with_plan(&plan, || s.serve(sql).map(|r| r.outcome))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let cold = outcomes.iter().filter(|&&o| o == ServeOutcome::Cold).count();
+        assert_eq!(cold, 1, "exactly one leader computes: {outcomes:?}");
+        assert!(
+            outcomes
+                .iter()
+                .all(|&o| matches!(o, ServeOutcome::Cold
+                    | ServeOutcome::Coalesced
+                    | ServeOutcome::TreeCacheHit)),
+            "{outcomes:?}"
+        );
+        // One fill populated both caches exactly once.
+        assert_eq!(s.cache_sizes(), (1, 1));
+    }
 }

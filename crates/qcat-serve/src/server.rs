@@ -2,14 +2,17 @@
 
 use crate::cache::EpochLru;
 use crate::fingerprint::fingerprint;
-use qcat_core::{render_tree, CategorizeConfig, Categorizer, CategoryTree};
+use qcat_core::{render_tree, CategorizeConfig, Categorizer, CategoryTree, DegradeReason};
 use qcat_data::{Catalog, DataError, Relation};
 use qcat_exec::{execute_normalized_with, AccessPath, ExecError, ResultSet};
+use qcat_fault::Budget;
 use qcat_sql::{parse_select, NormalizedQuery};
 use qcat_workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Serving-layer errors.
 #[derive(Debug)]
@@ -19,6 +22,9 @@ pub enum ServeError {
     UnregisteredTable(String),
     /// Parse, normalize, or storage failure from the layers below.
     Exec(ExecError),
+    /// An injected fault fired at a serve-layer fault point
+    /// (`QCAT_FAULT`; chaos testing only).
+    Fault(qcat_fault::Fault),
 }
 
 impl fmt::Display for ServeError {
@@ -28,6 +34,7 @@ impl fmt::Display for ServeError {
                 write!(f, "table '{t}' is not registered with the server")
             }
             ServeError::Exec(e) => write!(f, "{e}"),
+            ServeError::Fault(e) => write!(f, "serve failed: {e}"),
         }
     }
 }
@@ -64,6 +71,16 @@ pub struct ServerConfig {
     /// Depth limit for the cached ASCII rendering
     /// (`usize::MAX` = full tree).
     pub render_depth: usize,
+    /// Per-query resource budget applied to every cold fill (execute +
+    /// categorize). [`Budget::UNLIMITED`] (the default) disables
+    /// governance entirely: no gas is installed and trees are
+    /// byte-identical to an unbudgeted build.
+    pub budget: Budget,
+    /// Admission control: at most this many cold fills run at once;
+    /// requests beyond it are shed with [`ServeOutcome::Shed`]
+    /// (cache hits always pass). `usize::MAX` (the default) disables
+    /// shedding.
+    pub max_in_flight: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +90,8 @@ impl Default for ServerConfig {
             tree_cache_capacity: 128,
             categorize: CategorizeConfig::default(),
             render_depth: usize::MAX,
+            budget: Budget::UNLIMITED,
+            max_in_flight: usize::MAX,
         }
     }
 }
@@ -86,6 +105,12 @@ pub enum ServeOutcome {
     ResultCacheHit,
     /// The fully rendered tree came straight from the tree cache.
     TreeCacheHit,
+    /// A concurrent cold miss of the same fingerprint was already
+    /// computing; this request waited and shares its published tree.
+    Coalesced,
+    /// Admission control refused the fill: too many cold fills were
+    /// already in flight. The answer is a root-only degraded tree.
+    Shed,
 }
 
 /// A served answer: the category tree plus its rendering.
@@ -117,6 +142,93 @@ struct Caches {
     trees: EpochLru<(Arc<CategoryTree>, Arc<String>)>,
 }
 
+/// Where one single-flight fill stands.
+enum FillState {
+    /// The leader is computing.
+    Filling,
+    /// The leader finished and published a cacheable tree.
+    Done,
+    /// The leader errored, degraded, or was torn down mid-fill;
+    /// followers must retry (the next one becomes leader).
+    Failed,
+}
+
+/// One fingerprint's single-flight rendezvous point.
+struct FillSlot {
+    state: Mutex<FillState>,
+    cv: Condvar,
+}
+
+/// Longest a follower waits on a leader before giving up and retrying
+/// as leader itself. A wedged leader can therefore never hang its
+/// followers — at worst the fill is recomputed.
+const FILL_WAIT: Duration = Duration::from_secs(5);
+
+/// What a request gets to do about a cold miss.
+enum FillRole<'a> {
+    /// First arrival under the admission cap: compute the fill.
+    Lead(AdmissionGuard<'a>, Arc<FillSlot>),
+    /// Same fingerprint already filling: wait for its tree.
+    Follow(Arc<FillSlot>),
+    /// Admission cap reached: refuse with a degraded answer.
+    Shed,
+}
+
+/// Holds one admission slot; releases it on drop (including unwinds).
+struct AdmissionGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Leader-side cleanup: whatever path the fill exits through —
+/// success, structured error, or panic — the slot is removed from the
+/// map and followers are woken. Anything but an explicit
+/// [`FillGuard::publish`] resolves to `Failed`, so followers retry
+/// rather than trusting a fill that produced nothing cacheable.
+struct FillGuard<'a> {
+    server: &'a Server,
+    key: &'a str,
+    slot: &'a Arc<FillSlot>,
+    resolved: bool,
+}
+
+impl FillGuard<'_> {
+    /// Mark the fill successful (a tree was published to the cache).
+    fn publish(&mut self) {
+        self.resolve(FillState::Done);
+    }
+
+    fn resolve(&mut self, state: FillState) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        // Remove the slot before flipping its state: a new arrival
+        // either finds no slot (and leads a fresh fill) or still holds
+        // this one and observes a final state — never a stale
+        // `Filling` with no live leader.
+        self.server.lock_fills().remove(self.key);
+        *lock_recover(&self.slot.state) = state;
+        self.slot.cv.notify_all();
+    }
+}
+
+impl Drop for FillGuard<'_> {
+    fn drop(&mut self) {
+        self.resolve(FillState::Failed);
+    }
+}
+
+/// Designated poison-recovery lock helper (see docs/LINTS.md, L7): the
+/// guarded state is only mutated while structurally valid, so a
+/// panicking peer cannot leave it half-updated.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A query-to-category-tree server.
 ///
 /// Owns a [`Catalog`] of indexed relations plus per-table workload
@@ -140,6 +252,10 @@ pub struct Server {
     config: ServerConfig,
     tables: Mutex<HashMap<String, TableState>>,
     caches: Mutex<Caches>,
+    /// Single-flight slots for in-progress fills, by fingerprint.
+    fills: Mutex<HashMap<String, Arc<FillSlot>>>,
+    /// Cold fills currently computing (admission control).
+    in_flight: AtomicUsize,
 }
 
 impl Server {
@@ -153,6 +269,8 @@ impl Server {
                 results: EpochLru::new(config.result_cache_capacity),
                 trees: EpochLru::new(config.tree_cache_capacity),
             }),
+            fills: Mutex::new(HashMap::new()),
+            in_flight: AtomicUsize::new(0),
         }
     }
 
@@ -166,11 +284,26 @@ impl Server {
     /// while structurally valid, so a panicking peer cannot leave a
     /// half-updated map behind.
     fn lock_tables(&self) -> MutexGuard<'_, HashMap<String, TableState>> {
-        self.tables.lock().unwrap_or_else(|e| e.into_inner())
+        lock_recover(&self.tables)
     }
 
     fn lock_caches(&self) -> MutexGuard<'_, Caches> {
-        self.caches.lock().unwrap_or_else(|e| e.into_inner())
+        lock_recover(&self.caches)
+    }
+
+    fn lock_fills(&self) -> MutexGuard<'_, HashMap<String, Arc<FillSlot>>> {
+        lock_recover(&self.fills)
+    }
+
+    /// Try to take an admission slot for one cold fill.
+    fn try_admit(&self) -> Option<AdmissionGuard<'_>> {
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.config.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            None
+        } else {
+            Some(AdmissionGuard(&self.in_flight))
+        }
     }
 
     /// Register `relation` under `name` with its workload history.
@@ -186,6 +319,10 @@ impl Server {
         prep: PreprocessConfig,
     ) -> Result<(), DataError> {
         let _span = qcat_obs::span!("serve.register", rows = relation.len());
+        // Chaos hook for slow index builds (delay/alloc kinds);
+        // error-kind faults have no structured channel here and are
+        // deliberately ignored.
+        let _ = qcat_fault::point("serve.index.build");
         relation.build_indexes();
         let stats = Arc::new(WorkloadStatistics::build(&log, relation.schema(), &prep));
         self.catalog.register(name, relation)?;
@@ -289,61 +426,227 @@ impl Server {
         }
         qcat_obs::counter("serve.cache.tree.miss", 1);
 
-        // Middle path: the row ids are cached; re-categorize only.
-        // Same guard-lifetime discipline as above: the `None` arm
-        // re-locks the caches to insert, so the lookup's lock must be
-        // released before the match body.
-        let result_hit = self.lock_caches().results.get(&key, epoch);
-        let (result, outcome) = match result_hit {
-            Some(result) => {
-                qcat_obs::counter("serve.cache.result.hit", 1);
-                (result, ServeOutcome::ResultCacheHit)
+        // Cold/middle path: single-flighted and admission-controlled.
+        // Concurrent misses of one fingerprint coalesce onto a single
+        // leader's fill; fills beyond `max_in_flight` are shed.
+        loop {
+            let role = {
+                let mut fills = self.lock_fills();
+                if let Some(slot) = fills.get(&key) {
+                    FillRole::Follow(Arc::clone(slot))
+                } else if let Some(admission) = self.try_admit() {
+                    let slot = Arc::new(FillSlot {
+                        state: Mutex::new(FillState::Filling),
+                        cv: Condvar::new(),
+                    });
+                    fills.insert(key.clone(), Arc::clone(&slot));
+                    FillRole::Lead(admission, slot)
+                } else {
+                    FillRole::Shed
+                }
+            };
+            match role {
+                FillRole::Shed => {
+                    qcat_obs::counter("serve.shed", 1);
+                    qcat_obs::event!(
+                        "serve.shed",
+                        table = ast.table.as_str(),
+                        in_flight = self.in_flight.load(Ordering::Acquire),
+                    );
+                    if qcat_obs::active() {
+                        span.set("outcome", "shed");
+                    }
+                    let mut tree = CategoryTree::new(relation.clone(), Vec::new());
+                    tree.mark_degraded(DegradeReason::Shed);
+                    let tree = Arc::new(tree);
+                    let rendered = Arc::new(render_tree(&tree, self.config.render_depth));
+                    return Ok(Served {
+                        tree,
+                        rendered,
+                        rows: 0,
+                        outcome: ServeOutcome::Shed,
+                    });
+                }
+                FillRole::Follow(slot) => {
+                    qcat_obs::counter("serve.singleflight.coalesced", 1);
+                    {
+                        let state = lock_recover(&slot.state);
+                        // wait_timeout bounds the wait even if the
+                        // leader wedges; a timed-out follower simply
+                        // retries (and usually becomes leader).
+                        let _unused = slot
+                            .cv
+                            .wait_timeout_while(state, FILL_WAIT, |s| {
+                                matches!(s, FillState::Filling)
+                            })
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    let published = self.lock_caches().trees.get(&key, epoch);
+                    if let Some((tree, rendered)) = published {
+                        qcat_obs::counter("serve.cache.hit", 1);
+                        if qcat_obs::active() {
+                            span.set("outcome", "coalesced");
+                        }
+                        let rows = tree.node(qcat_core::NodeId::ROOT).tuple_count();
+                        return Ok(Served {
+                            tree,
+                            rendered,
+                            rows,
+                            outcome: ServeOutcome::Coalesced,
+                        });
+                    }
+                    // Leader failed, degraded, or the epoch moved:
+                    // this fill never published — go again.
+                    continue;
+                }
+                FillRole::Lead(_admission, slot) => {
+                    let mut guard = FillGuard {
+                        server: self,
+                        key: &key,
+                        slot: &slot,
+                        resolved: false,
+                    };
+                    let served = self.fill(&relation, &stats, epoch, &query, &key);
+                    if let Ok(s) = &served {
+                        if s.tree.degraded().is_none() {
+                            guard.publish();
+                        }
+                        if qcat_obs::active() {
+                            span.set(
+                                "outcome",
+                                match s.outcome {
+                                    ServeOutcome::Cold => "cold",
+                                    ServeOutcome::ResultCacheHit => "result_hit",
+                                    ServeOutcome::TreeCacheHit => "tree_hit",
+                                    ServeOutcome::Coalesced => "coalesced",
+                                    ServeOutcome::Shed => "shed",
+                                },
+                            );
+                            span.set("rows", s.rows);
+                            if let Some(reason) = s.tree.degraded() {
+                                span.set("degraded", reason.as_str());
+                            }
+                        }
+                    }
+                    // Errors and degraded fills resolve to Failed via
+                    // the guard's drop, waking followers to retry.
+                    drop(guard);
+                    return served;
+                }
             }
-            None => {
-                qcat_obs::counter("serve.cache.miss", 1);
-                qcat_obs::counter("serve.cache.result.miss", 1);
-                let result = Arc::new(execute_normalized_with(
-                    &relation,
-                    &query,
-                    AccessPath::Auto,
-                )?);
-                // Compute happened outside the lock; a racing serve of
-                // the same query at worst double-computes the same
-                // deterministic value.
-                self.lock_caches()
-                    .results
-                    .insert(key.clone(), Arc::clone(&result), epoch);
-                (result, ServeOutcome::Cold)
-            }
-        };
-        if outcome == ServeOutcome::ResultCacheHit {
-            qcat_obs::counter("serve.cache.hit", 1);
         }
+    }
 
-        let tree = {
-            let _span = qcat_obs::span!("serve.categorize", rows = result.len());
-            Arc::new(Categorizer::new(&stats, self.config.categorize).categorize(&result, Some(&query)))
-        };
-        let rendered = Arc::new(render_tree(&tree, self.config.render_depth));
-        self.lock_caches().trees.insert(
-            key,
-            (Arc::clone(&tree), Arc::clone(&rendered)),
-            epoch,
-        );
-        if qcat_obs::active() {
-            span.set("outcome", match outcome {
-                ServeOutcome::Cold => "cold",
-                ServeOutcome::ResultCacheHit => "result_hit",
-                ServeOutcome::TreeCacheHit => "tree_hit",
-            });
-            span.set("rows", result.len());
+    /// The expensive path: execute (or reuse cached rows) and
+    /// categorize under the configured budget. Runs at most
+    /// `max_in_flight` times concurrently, once per fingerprint.
+    fn fill(
+        &self,
+        relation: &Relation,
+        stats: &WorkloadStatistics,
+        epoch: u64,
+        query: &NormalizedQuery,
+        key: &str,
+    ) -> Result<Served, ServeError> {
+        if let Some(fault) = qcat_fault::point("serve.fill") {
+            return Err(ServeError::Fault(fault));
         }
-        Ok(Served {
+        let gas = if self.config.budget.is_unlimited() {
+            None
+        } else {
+            Some(self.config.budget.start())
+        };
+        let compute = || -> Result<Served, ServeError> {
+            // Middle path: the row ids are cached; re-categorize only.
+            // The lookup is bound to a local first so the cache
+            // `MutexGuard` (a temporary in the scrutinee) is dropped
+            // before the body runs — re-locking inside the match would
+            // self-deadlock.
+            let result_hit = self.lock_caches().results.get(key, epoch);
+            let (result, outcome) = match result_hit {
+                Some(result) => {
+                    qcat_obs::counter("serve.cache.result.hit", 1);
+                    qcat_obs::counter("serve.cache.hit", 1);
+                    (result, ServeOutcome::ResultCacheHit)
+                }
+                None => {
+                    qcat_obs::counter("serve.cache.miss", 1);
+                    qcat_obs::counter("serve.cache.result.miss", 1);
+                    let executed = execute_normalized_with(relation, query, AccessPath::Auto);
+                    let result = match executed {
+                        Ok(r) => Arc::new(r),
+                        // Execution refuses partial rows on budget
+                        // exhaustion; the serve answer degrades to the
+                        // flat (root-only, empty) fallback instead of
+                        // erroring — the contract is best-effort, not
+                        // all-or-nothing.
+                        Err(ExecError::Budget(b)) => {
+                            return Ok(self.degraded_flat(relation, b.into()));
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    // Compute happened outside the lock; a racing
+                    // serve of the same query at worst double-computes
+                    // the same deterministic value.
+                    self.lock_caches()
+                        .results
+                        .insert(key.to_string(), Arc::clone(&result), epoch);
+                    (result, ServeOutcome::Cold)
+                }
+            };
+
+            let tree = {
+                let _span = qcat_obs::span!("serve.categorize", rows = result.len());
+                Arc::new(
+                    Categorizer::new(stats, self.config.categorize)
+                        .categorize(&result, Some(query)),
+                )
+            };
+            let rendered = Arc::new(render_tree(&tree, self.config.render_depth));
+            if let Some(reason) = tree.degraded() {
+                // Degraded trees are never cached: a later uncontended
+                // serve should get the chance to build the full tree.
+                qcat_obs::counter("serve.degraded", 1);
+                qcat_obs::event!(
+                    "serve.degraded",
+                    reason = reason.as_str(),
+                    rows = result.len(),
+                );
+            } else {
+                self.lock_caches().trees.insert(
+                    key.to_string(),
+                    (Arc::clone(&tree), Arc::clone(&rendered)),
+                    epoch,
+                );
+            }
+            Ok(Served {
+                tree,
+                rendered,
+                rows: result.len(),
+                outcome,
+            })
+        };
+        match &gas {
+            Some(g) => qcat_fault::with_budget(g, compute),
+            None => compute(),
+        }
+    }
+
+    /// The flat fallback: a root-only degraded tree with no rows —
+    /// what a request gets when not even execution fit the budget.
+    fn degraded_flat(&self, relation: &Relation, reason: DegradeReason) -> Served {
+        qcat_obs::counter("serve.degraded", 1);
+        qcat_obs::event!("serve.degraded", reason = reason.as_str(), rows = 0usize);
+        let mut tree = CategoryTree::new(relation.clone(), Vec::new());
+        tree.mark_degraded(reason);
+        let tree = Arc::new(tree);
+        let rendered = Arc::new(render_tree(&tree, self.config.render_depth));
+        Served {
             tree,
             rendered,
-            rows: result.len(),
-            outcome,
-        })
+            rows: 0,
+            outcome: ServeOutcome::Cold,
+        }
     }
 }
 

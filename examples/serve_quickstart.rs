@@ -5,13 +5,57 @@
 //! ```text
 //! cargo run --example serve_quickstart
 //! ```
+//!
+//! Chaos mode: set `QCAT_FAULT` (e.g.
+//! `QCAT_FAULT='pool.task:error:p=0.5:seed=1'`) and the same run
+//! doubles as a fault drill — every serve must still end in an answer
+//! (possibly degraded) or a structured, printed error; the
+//! cache-outcome assertions only apply to fault-free runs.
 
 use qcat::data::{AttrType, Field, RelationBuilder, Schema};
-use qcat::serve::{ServeOutcome, Server, ServerConfig};
+use qcat::serve::{Served, ServeOutcome, Server, ServerConfig};
 use qcat::sql::parse_and_normalize;
 use qcat::workload::{PreprocessConfig, WorkloadLog};
 
+/// One serve, narrated. Fault-free runs propagate errors; under
+/// chaos a structured error is a legitimate outcome and is printed
+/// instead, so the drill keeps going.
+fn serve_step(
+    server: &Server,
+    label: &str,
+    sql: &str,
+    chaos: bool,
+) -> Result<Option<Served>, Box<dyn std::error::Error>> {
+    match server.serve(sql) {
+        Ok(s) => {
+            let note = match s.tree.degraded() {
+                Some(reason) => format!(", degraded: {reason}"),
+                None => String::new(),
+            };
+            println!("{label} {:?} ({} rows{note})", s.outcome, s.rows);
+            Ok(Some(s))
+        }
+        Err(e) if chaos => {
+            println!("{label} structured error: {e}");
+            Ok(None)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 0. Arm fault injection when QCAT_FAULT is set; outcome
+    //    assertions below are skipped under chaos because injected
+    //    faults legitimately change which path answers.
+    let chaos = qcat::fault::init_from_env().map_err(|e| format!("QCAT_FAULT: {e}"))?;
+    if chaos {
+        println!("chaos mode: QCAT_FAULT armed\n");
+    }
+    // Tracing mirrors the repro binary (`QCAT_TRACE=json` +
+    // `QCAT_TRACE_FILE`), so a chaos drill leaves an auditable trace
+    // for `qcat-lint --audit-trace`.
+    qcat::obs::init_from_env();
+
     // 1. A home-listing table. `Server::register_table` will build its
     //    secondary indexes, so selective queries skip the scan.
     let schema = Schema::new(vec![
@@ -52,22 +96,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Serve a broad query: cold on first contact...
     let sql = "SELECT * FROM homes WHERE price BETWEEN 200000 AND 280000";
-    let served = server.serve(sql)?;
-    println!("first serve:  {:?} ({} rows)", served.outcome, served.rows);
-    assert_eq!(served.outcome, ServeOutcome::Cold);
+    let served = serve_step(&server, "first serve: ", sql, chaos)?;
+    if !chaos {
+        assert_eq!(served.as_ref().map(|s| s.outcome), Some(ServeOutcome::Cold));
+    }
 
     // ...cached on the second...
-    let again = server.serve(sql)?;
-    println!("second serve: {:?}", again.outcome);
-    assert_eq!(again.outcome, ServeOutcome::TreeCacheHit);
+    let again = serve_step(&server, "second serve:", sql, chaos)?;
+    if !chaos {
+        assert_eq!(again.map(|s| s.outcome), Some(ServeOutcome::TreeCacheHit));
+    }
 
     // ...and still cached under a different spelling of the same
     // normalized query (case, literal format, conjunct order).
-    let respelled = server.serve("select * from HOMES where PRICE between 2e5 and 280000.0")?;
-    println!("re-spelled:   {:?}", respelled.outcome);
-    assert_eq!(respelled.outcome, ServeOutcome::TreeCacheHit);
+    let respelled = serve_step(
+        &server,
+        "re-spelled:  ",
+        "select * from HOMES where PRICE between 2e5 and 280000.0",
+        chaos,
+    )?;
+    if !chaos {
+        assert_eq!(respelled.map(|s| s.outcome), Some(ServeOutcome::TreeCacheHit));
+    }
 
-    println!("\ncategory tree:\n{}", served.rendered);
+    if let Some(s) = &served {
+        println!("\ncategory tree:\n{}", s.rendered);
+    }
 
     // 5. New workload arrivals rebuild statistics and bump the epoch:
     //    every cached tree for the table is invalidated at once.
@@ -77,9 +131,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     server.log_queries("homes", vec![fresh])?;
     println!("epoch after log_queries: {:?}", server.epoch("homes"));
-    let after = server.serve(sql)?;
-    println!("after epoch bump: {:?} (recomputed)", after.outcome);
-    assert_eq!(after.outcome, ServeOutcome::Cold);
+    let after = serve_step(&server, "after epoch bump:", sql, chaos)?;
+    if !chaos {
+        assert_eq!(after.map(|s| s.outcome), Some(ServeOutcome::Cold));
+    }
 
+    // Flush the JSONL trace (if one was armed) so the file audits
+    // clean under `qcat-lint --audit-trace`.
+    qcat::obs::finish_global();
     Ok(())
 }

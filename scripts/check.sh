@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> qcat-lint (L1-L6 + audit self-check)"
+echo "==> qcat-lint (L1-L7 + audit self-check)"
 cargo run --release -p qcat-lint -- --workspace
 
 echo "==> cargo test -q (root package: integration + lint gate)"
@@ -24,17 +24,32 @@ echo "==> bench smoke (hermetic categorize benchmark)"
     --out target/BENCH_smoke.json > /dev/null
 test -s target/BENCH_smoke.json
 
-echo "==> pipeline smoke (scan-vs-index differential + serve caches)"
-# bench_pipeline exits non-zero on any scan/index row-set mismatch;
-# the grep double-checks the committed evidence in the report.
+echo "==> pipeline smoke (scan-vs-index differential + serve caches + chaos replay)"
+# bench_pipeline exits non-zero on any scan/index row-set mismatch or
+# any chaos-replay request that ends unaccounted; the greps
+# double-check the committed evidence in the report.
 ./target/release/bench_pipeline --runs 2 --queries 100 \
     --out target/BENCH_pipeline_smoke.json > /dev/null
-grep -q '"status": "ok"' target/BENCH_pipeline_smoke.json
+grep -q '"differential": .*"status": "ok"' target/BENCH_pipeline_smoke.json
+grep -q '"chaos": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 
-echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T3)"
+echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T4)"
 trace=target/qcat-trace.jsonl
 QCAT_TRACE=json QCAT_TRACE_FILE="$trace" \
     ./target/release/repro --scale smoke fig13 > /dev/null
 cargo run --release -p qcat-lint -- --audit-trace "$trace"
 
-echo "OK: build + lint + tests + bench smoke + traced smoke all green"
+echo "==> chaos smoke (QCAT_FAULT drill on the serving path + trace audit)"
+# A fixed-seed fault plan must leave the quickstart with structured
+# or degraded outcomes only — and the trace it emits must still pass
+# the auditor, including T4 (governance events inside serve.query).
+chaos_trace=target/qcat-chaos-trace.jsonl
+chaos_out=target/qcat-chaos-out.txt
+cargo build --release --example serve_quickstart --quiet
+QCAT_FAULT='pool.task:error:p=0.6:seed=3;serve.fill:error:p=0.3:seed=5' \
+    QCAT_TRACE=json QCAT_TRACE_FILE="$chaos_trace" \
+    ./target/release/examples/serve_quickstart > "$chaos_out"
+grep -Eq 'degraded|structured error' "$chaos_out"
+cargo run --release -p qcat-lint -- --audit-trace "$chaos_trace"
+
+echo "OK: build + lint + tests + bench smoke + traced smoke + chaos smoke all green"

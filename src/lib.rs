@@ -6,6 +6,7 @@ pub use qcat_data as data;
 pub use qcat_datagen as datagen;
 pub use qcat_exec as exec;
 pub use qcat_explore as explore;
+pub use qcat_fault as fault;
 pub use qcat_obs as obs;
 pub use qcat_pool as pool;
 pub use qcat_serve as serve;
