@@ -250,6 +250,15 @@ impl<'a> Categorizer<'a> {
             // Workers record counters only — never spans or events —
             // so the trace line stream stays single-threaded.
             for &attr in &candidates {
+                // Plan building walks whole columns; poll the budget
+                // per candidate so an exhausted query degrades here
+                // instead of finishing the level's plans first.
+                if let Some(g) = &gas {
+                    if let Err(e) = g.check() {
+                        degraded = Some(e.into());
+                        break;
+                    }
+                }
                 if relation.schema().type_of(attr) == AttrType::Categorical
                     && !plan_cache.contains_key(&attr)
                 {
@@ -260,6 +269,9 @@ impl<'a> Categorizer<'a> {
                         );
                     }
                 }
+            }
+            if degraded.is_some() {
+                break;
             }
             let (plans, priced): (Vec<CandPlan<'_>>, Vec<(f64, usize)>) = {
                 let mut phase = qcat_obs::span!("categorize.level.partition");

@@ -115,8 +115,14 @@ impl CategoricalPlan {
     ) -> Partitioning {
         let codes = cat.codes();
         // Bucket rows by code, preserving table order within buckets.
+        // A budget trip abandons the pass: the truncated partitioning
+        // can never be attached (see `GasPacer`).
+        let mut pacer = super::GasPacer::new();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.values.len()];
         for &row in tset {
+            if !pacer.checkpoint() {
+                break;
+            }
             buckets[codes[row as usize] as usize].push(row);
         }
         let counts: Vec<usize> = buckets.iter().map(Vec::len).collect();
@@ -170,8 +176,14 @@ impl CategoricalPlan {
         top_k: usize,
     ) -> Vec<(f64, usize)> {
         let codes = cat.codes();
+        // As in `split_grouped`, a budget trip abandons the counting
+        // pass; the mispriced result dies with the discarded level.
+        let mut pacer = super::GasPacer::new();
         let mut counts = vec![0usize; self.values.len()];
         for &row in tset {
+            if !pacer.checkpoint() {
+                break;
+            }
             counts[codes[row as usize] as usize] += 1;
         }
         let (singles, tail) = self.layout(&counts, threshold, top_k);

@@ -8,6 +8,46 @@ pub mod numeric;
 use crate::label::CategoryLabel;
 use qcat_data::AttrId;
 
+/// Strided cooperative-cancellation poll for row-grain partition
+/// loops: checks the thread's current [`qcat_fault::Gas`] every
+/// [`GasPacer::STRIDE`] ticks, the same stride the scan layer uses.
+///
+/// A tripped budget makes the enclosing level unchargeable — the
+/// level-grain `charge_nodes`/`charge_heap` in `categorize_inner`
+/// fails before anything is attached — so a partition loop that
+/// breaks early on a trip only ever truncates a value that is then
+/// discarded wholesale. Budgeted output therefore stays byte-identical
+/// to an unbudgeted run's surviving prefix.
+pub(crate) struct GasPacer {
+    gas: Option<qcat_fault::Gas>,
+    since: usize,
+}
+
+impl GasPacer {
+    /// Rows examined between polls: frequent enough to bound deadline
+    /// overshoot, rare enough to stay invisible in partitioning
+    /// throughput.
+    const STRIDE: usize = 1024;
+
+    pub(crate) fn new() -> Self {
+        GasPacer {
+            gas: qcat_fault::current_gas(),
+            since: 0,
+        }
+    }
+
+    /// True while work may continue; false once the budget tripped.
+    pub(crate) fn checkpoint(&mut self) -> bool {
+        let Some(g) = &self.gas else { return true };
+        self.since += 1;
+        if self.since < Self::STRIDE {
+            return true;
+        }
+        self.since = 0;
+        g.checkpoint()
+    }
+}
+
 /// One would-be child of a partitioning: its label, tuple-set, and the
 /// exploration probability `P(C)` the partitioner already derived from
 /// workload statistics. Carrying `p_explore` here is what lets pricing

@@ -242,8 +242,11 @@ fn select_necessary_splits(
     // an inclusive upper sentinel.
     let mut bounds: Vec<f64> = vec![vmin, vmax];
     let mut accepted = Vec::new();
+    // A budget trip stops the greedy selection early; the truncated
+    // prefix only feeds a level that can no longer be charged.
+    let mut pacer = super::GasPacer::new();
     for &v in candidates {
-        if accepted.len() >= max_splits {
+        if accepted.len() >= max_splits || !pacer.checkpoint() {
             break;
         }
         if v <= vmin || v >= vmax {
@@ -343,7 +346,13 @@ fn build_buckets(
 ) -> Partitioning {
     let column = relation.column(attr);
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); splits.len() + 1];
+    // A budget trip abandons bucketing; the partial partitioning dies
+    // with the discarded level (see `GasPacer`).
+    let mut pacer = super::GasPacer::new();
     for &row in tset {
+        if !pacer.checkpoint() {
+            break;
+        }
         let Some(v) = column.numeric_at(row as usize) else {
             continue; // non-numeric cell: cannot be bucketed
         };

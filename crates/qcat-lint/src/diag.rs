@@ -30,6 +30,22 @@ pub enum Rule {
     /// designated poison-recovery helper
     /// (`.lock().unwrap_or_else(|e| e.into_inner())`) instead.
     L7LockUnwrap,
+    /// L8: a cycle in the workspace lock-acquisition graph — some
+    /// path acquires lock B while holding lock A and another path
+    /// acquires A while holding B (or re-acquires the same lock it
+    /// already holds). Either schedule can deadlock.
+    L8LockOrder,
+    /// L9: a loop over rows/candidates/nodes inside a budget-governed
+    /// region whose body reaches no `Gas` poll (`checkpoint`,
+    /// `charge_*`), directly or via a callee — cancellation and
+    /// budget enforcement would stall for the whole loop.
+    L9CheckpointGap,
+    /// L10: a collection-allocating call (`with_capacity`, `insert`,
+    /// `push` in a loop) inside a budget-governed region that is not
+    /// reached by any heap-accounting helper (`charge_heap` /
+    /// `heap_bytes`) — the allocation is invisible to
+    /// `max_heap_bytes`.
+    L10BudgetBlindAlloc,
     /// A1: `P(C)` or `Pw(C)` outside `[0, 1]` (or NaN).
     A1Probability,
     /// A2: leaf node with `Pw != 1`.
@@ -44,8 +60,6 @@ pub enum Rule {
     A6CostSign,
     /// A7: CostAll report disagrees with brute-force Eq. 1 (> 1e-9).
     A7CostEq1,
-    /// ALLOW: the allowlist itself is invalid or stale.
-    AllowlistStale,
     /// T1: a trace line is not valid JSONL of the documented schema,
     /// or `seq` fails to increase.
     T1TraceSyntax,
@@ -62,7 +76,7 @@ pub enum Rule {
 
 impl Rule {
     /// The stable identifier printed in diagnostics and matched by
-    /// tests, e.g. `L1`, `A3`, `ALLOW`.
+    /// tests, e.g. `L1`, `A3`, `T2`.
     pub fn id(self) -> &'static str {
         match self {
             Rule::L1Panic => "L1",
@@ -72,6 +86,9 @@ impl Rule {
             Rule::L5RawPrint => "L5",
             Rule::L6RawSpawn => "L6",
             Rule::L7LockUnwrap => "L7",
+            Rule::L8LockOrder => "L8",
+            Rule::L9CheckpointGap => "L9",
+            Rule::L10BudgetBlindAlloc => "L10",
             Rule::A1Probability => "A1",
             Rule::A2LeafPw => "A2",
             Rule::A3TsetDisjoint => "A3",
@@ -79,7 +96,6 @@ impl Rule {
             Rule::A5LabelPath => "A5",
             Rule::A6CostSign => "A6",
             Rule::A7CostEq1 => "A7",
-            Rule::AllowlistStale => "ALLOW",
             Rule::T1TraceSyntax => "T1",
             Rule::T2SpanBalance => "T2",
             Rule::T3Durations => "T3",
@@ -164,6 +180,9 @@ mod tests {
             (Rule::L5RawPrint, "L5"),
             (Rule::L6RawSpawn, "L6"),
             (Rule::L7LockUnwrap, "L7"),
+            (Rule::L8LockOrder, "L8"),
+            (Rule::L9CheckpointGap, "L9"),
+            (Rule::L10BudgetBlindAlloc, "L10"),
             (Rule::A1Probability, "A1"),
             (Rule::A2LeafPw, "A2"),
             (Rule::A3TsetDisjoint, "A3"),
@@ -171,7 +190,6 @@ mod tests {
             (Rule::A5LabelPath, "A5"),
             (Rule::A6CostSign, "A6"),
             (Rule::A7CostEq1, "A7"),
-            (Rule::AllowlistStale, "ALLOW"),
             (Rule::T1TraceSyntax, "T1"),
             (Rule::T2SpanBalance, "T2"),
             (Rule::T3Durations, "T3"),

@@ -1,9 +1,10 @@
 //! The qcat-lint driver.
 //!
 //! `cargo run -p qcat-lint -- --workspace` (or `cargo lint`) runs
-//! both engines against the repository and exits nonzero when any
-//! rule fires. Diagnostics print as `file:line: [RULE] message`, one
-//! per line, so editors and CI logs can jump to them.
+//! the source, semantic, and audit engines against the repository
+//! and exits nonzero when any rule fires. Diagnostics print as
+//! `file:line: [RULE] message`, one per line, so editors and CI logs
+//! can jump to them.
 
 use qcat_core::label::CategoryLabel;
 use qcat_core::tree::{CategoryTree, NodeId};
@@ -43,8 +44,17 @@ fn main() -> ExitCode {
     let mut diags = Vec::new();
     if run_workspace {
         let root = root.unwrap_or_else(default_root);
-        match workspace::lint_workspace(&root) {
-            Ok(d) => diags.extend(d),
+        let started = std::time::Instant::now();
+        match workspace::lint_workspace_with_stats(&root) {
+            Ok((d, stats)) => {
+                eprintln!(
+                    "qcat-lint: scanned {} files on {} pool thread(s) in {:.1?}",
+                    stats.files,
+                    stats.threads,
+                    started.elapsed()
+                );
+                diags.extend(d);
+            }
             Err(e) => {
                 eprintln!("qcat-lint: cannot scan {}: {e}", root.display());
                 return ExitCode::from(2);
@@ -68,8 +78,8 @@ fn main() -> ExitCode {
     }
     if diags.is_empty() {
         let what = match (run_workspace, trace_paths.is_empty()) {
-            (true, true) => "workspace clean (L1-L7 + audit self-check)",
-            (true, false) => "workspace and trace(s) clean (L1-L7 + audit self-check + T1-T4)",
+            (true, true) => "workspace clean (L1-L10 + audit self-check)",
+            (true, false) => "workspace and trace(s) clean (L1-L10 + audit self-check + T1-T4)",
             _ => "trace(s) clean (T1-T4)",
         };
         println!("qcat-lint: {what}");
@@ -82,11 +92,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: qcat-lint [--workspace] [--root <repo-root>] [--audit-trace <trace.jsonl>]
 
---workspace runs the source lints (L1-L7) over the workspace and the
-cost-model auditor self-check. --audit-trace checks a QCAT_TRACE=json
-capture for schema validity, span balance, duration consistency, and
-governance-event enclosure (T1-T4); it may repeat. Exits 0 when clean,
-1 on violations, 2 on I/O or usage errors. See docs/LINTS.md.";
+--workspace runs the source lints (L1-L7), the cross-file semantic
+lints (L8 lock-order, L9 checkpoint coverage, L10 budget-blind
+allocation), and the cost-model auditor self-check. --audit-trace
+checks a QCAT_TRACE=json capture for schema validity, span balance,
+duration consistency, and governance-event enclosure (T1-T4); it may
+repeat. Exits 0 when clean, 1 on violations, 2 on I/O or usage
+errors. See docs/LINTS.md.";
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("qcat-lint: {problem}\n{USAGE}");
@@ -108,7 +120,7 @@ fn default_root() -> PathBuf {
     }
 }
 
-/// Engine 2 smoke test: the auditor must pass a known-good tree and
+/// Engine 3 smoke test: the auditor must pass a known-good tree and
 /// catch a seeded violation. Guards against the auditor itself
 /// silently degrading into a yes-machine.
 fn audit_self_check() -> Vec<Diagnostic> {

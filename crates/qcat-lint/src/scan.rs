@@ -1,14 +1,17 @@
-//! Engine 1: a lightweight Rust token scanner for rules L1, L2, L4,
-//! L5.
+//! Engine 1: per-file rules L1, L2, L4, L5, L6, L7 over the lexer's
+//! token stream.
 //!
-//! This is deliberately not a parser. The preprocessing pass blanks
-//! out comments, string/char literals, and raw strings while
-//! preserving line structure; a second pass masks `#[cfg(test)]` /
-//! `#[test]` regions by brace matching. The rule passes then work on
-//! clean text where substring searches cannot be fooled by `"panic!"`
-//! inside a string or an `unwrap()` in a comment.
+//! The preprocessing pass reconstructs each line from the real
+//! tokens ([`crate::lexer`]): comments disappear, and string/char
+//! literal contents are blanked (their tokens carry empty text), so
+//! the rule passes work on clean text where substring searches
+//! cannot be fooled by `"panic!"` inside a string, an `unwrap()` in
+//! a comment, a raw string `r#"…"#`, or a nested `/* /* */ */`. A
+//! second pass masks `#[cfg(test)]` / `#[test]` regions by brace
+//! matching.
 
 use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Lexed};
 
 /// Which rule families to run on a file. The workspace driver sets
 /// these per crate/file; tests set them directly.
@@ -54,9 +57,39 @@ pub struct CleanSource {
 impl CleanSource {
     /// Preprocess `source`.
     pub fn parse(source: &str) -> CleanSource {
-        let (cleaned, doc_line) = blank_noncode(source);
-        let lines: Vec<String> = cleaned.split('\n').map(str::to_string).collect();
-        let doc_line = resize(doc_line, lines.len());
+        Self::from_lexed(source, &lex(source))
+    }
+
+    /// Preprocess from an existing lex of the same `source` (the
+    /// workspace driver lexes once and shares the stream with the
+    /// Engine 2 symbol table).
+    pub fn from_lexed(source: &str, lexed: &Lexed) -> CleanSource {
+        // Rebuild each line as spaces, then place every token's text
+        // back at its original byte column. Comments produce no
+        // tokens and literal tokens carry empty text, so both end up
+        // blank while code keeps its exact positions.
+        let mut lines: Vec<Vec<u8>> = source
+            .split('\n')
+            .map(|l| vec![b' '; l.len()])
+            .collect();
+        for t in &lexed.tokens {
+            if t.text.is_empty() {
+                continue;
+            }
+            let Some(line) = lines.get_mut(t.line - 1) else {
+                continue;
+            };
+            for (k, &byte) in t.text.as_bytes().iter().enumerate() {
+                if let Some(slot) = line.get_mut(t.col + k) {
+                    *slot = byte;
+                }
+            }
+        }
+        let lines: Vec<String> = lines
+            .into_iter()
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
+            .collect();
+        let doc_line = resize(lexed.doc_line.clone(), lines.len());
         let attr_line = mark_attr_lines(&lines);
         let test_line = mark_test_regions(&lines);
         CleanSource {
@@ -71,163 +104,6 @@ impl CleanSource {
 fn resize(mut v: Vec<bool>, n: usize) -> Vec<bool> {
     v.resize(n, false);
     v
-}
-
-/// Replace comments and the contents of string/char literals with
-/// spaces, preserving newlines and column positions. Returns the
-/// cleaned text and a per-line "is doc comment" flag.
-fn blank_noncode(source: &str) -> (String, Vec<bool>) {
-    let b = source.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut doc = vec![false; source.split('\n').count()];
-    let mut line = 0usize;
-    let mut i = 0usize;
-
-    // Push one input byte as blanked-or-kept output, tracking lines.
-    macro_rules! emit {
-        ($keep:expr) => {{
-            if b[i] == b'\n' {
-                out.push(b'\n');
-                line += 1;
-            } else if $keep {
-                out.push(b[i]);
-            } else {
-                // Multibyte UTF-8 continuation bytes collapse to one
-                // space via the leading byte; skip continuations.
-                if b[i] & 0xC0 != 0x80 {
-                    out.push(b' ');
-                }
-            }
-            i += 1;
-        }};
-    }
-
-    while i < b.len() {
-        let rest = &b[i..];
-        if rest.starts_with(b"//") {
-            let is_doc = rest.starts_with(b"///") && !rest.starts_with(b"////")
-                || rest.starts_with(b"//!");
-            while i < b.len() && b[i] != b'\n' {
-                if is_doc {
-                    doc[line] = true;
-                }
-                emit!(false);
-            }
-        } else if rest.starts_with(b"/*") {
-            let is_doc = rest.starts_with(b"/**") && !rest.starts_with(b"/***")
-                || rest.starts_with(b"/*!");
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i..].starts_with(b"/*") {
-                    depth += 1;
-                    if is_doc {
-                        doc[line] = true;
-                    }
-                    emit!(false);
-                    emit!(false);
-                } else if b[i..].starts_with(b"*/") {
-                    depth -= 1;
-                    emit!(false);
-                    emit!(false);
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    if is_doc {
-                        doc[line] = true;
-                    }
-                    emit!(false);
-                }
-            }
-        } else if let Some(hashes) = raw_string_start(b, i) {
-            // r"..." / r#"..."# / br##"..."## — consume prefix, then
-            // content until `"` followed by `hashes` `#`s.
-            while i < b.len() && b[i] != b'"' {
-                emit!(false); // the r/b and # prefix
-            }
-            emit!(false); // opening quote
-            loop {
-                if i >= b.len() {
-                    break;
-                }
-                if b[i] == b'"' && b[i + 1..].len() >= hashes && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#') {
-                    emit!(false); // closing quote
-                    for _ in 0..hashes {
-                        emit!(false);
-                    }
-                    break;
-                }
-                emit!(false);
-            }
-        } else if b[i] == b'"' {
-            emit!(false); // opening quote
-            while i < b.len() && b[i] != b'"' {
-                if b[i] == b'\\' && i + 1 < b.len() {
-                    emit!(false);
-                }
-                if i < b.len() {
-                    emit!(false);
-                }
-            }
-            if i < b.len() {
-                emit!(false); // closing quote
-            }
-        } else if b[i] == b'\'' {
-            // Char literal vs lifetime: 'x' or '\..' is a literal;
-            // 'ident (no closing quote right after) is a lifetime.
-            let is_char = match rest.get(1) {
-                Some(b'\\') => true,
-                Some(_) => rest.get(2) == Some(&b'\''),
-                None => false,
-            };
-            if is_char {
-                emit!(false); // opening quote
-                if i < b.len() && b[i] == b'\\' {
-                    emit!(false);
-                }
-                if i < b.len() {
-                    emit!(false); // the char
-                }
-                if i < b.len() && b[i] == b'\'' {
-                    emit!(false); // closing quote
-                }
-            } else {
-                emit!(true); // lifetime tick
-            }
-        } else {
-            emit!(true);
-        }
-    }
-    // emit! replaces multibyte chars with a single space, so the
-    // output is pure ASCII; from_utf8 cannot fail.
-    let cleaned = String::from_utf8(out).unwrap_or_default();
-    (cleaned, doc)
-}
-
-/// If a raw (byte) string literal starts at `i`, return its `#` count.
-fn raw_string_start(b: &[u8], i: usize) -> Option<usize> {
-    let ident_before = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
-    if ident_before {
-        return None;
-    }
-    let mut j = i;
-    if b.get(j) == Some(&b'b') {
-        j += 1;
-    }
-    if b.get(j) != Some(&b'r') {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0;
-    while b.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    if b.get(j) == Some(&b'"') {
-        Some(hashes)
-    } else {
-        None
-    }
 }
 
 /// Mark lines belonging to outer attributes `#[...]`, including
@@ -316,7 +192,12 @@ fn mark_test_regions(lines: &[String]) -> Vec<bool> {
 
 /// Run the enabled rule passes over one file.
 pub fn lint_source(path: &str, source: &str, opts: ScanOptions) -> Vec<Diagnostic> {
-    let clean = CleanSource::parse(source);
+    lint_lexed(path, source, &lex(source), opts)
+}
+
+/// [`lint_source`] over an existing lex of the same `source`.
+pub fn lint_lexed(path: &str, source: &str, lexed: &Lexed, opts: ScanOptions) -> Vec<Diagnostic> {
+    let clean = CleanSource::from_lexed(source, lexed);
     let mut diags = Vec::new();
     if opts.check_panics {
         lint_panics(path, &clean, &mut diags);
@@ -1099,6 +980,48 @@ mod tests {
     fn lifetimes_are_not_char_literals() {
         let src = "fn f<'a>(x: &'a str) -> &'a str {\n    x\n}\nfn g() { h.unwrap(); }\n";
         assert_eq!(rules(src, ALL), vec![(4, "L1")]);
+    }
+
+    /// Adversarial corpus for the lexer-backed rules: every needle
+    /// the engine knows, hidden where only a real lexer can see it is
+    /// not code — multi-hash raw strings, nested block comments, and
+    /// lifetime-heavy generics — with one live violation after each
+    /// hiding place to prove scanning resumes at the right byte.
+    #[test]
+    fn adversarial_hiding_places_fool_no_rule() {
+        let opts = ScanOptions {
+            check_prints: true,
+            check_spawns: true,
+            check_locks: true,
+            ..ALL
+        };
+        // Needles inside a multi-hash raw string spanning lines.
+        let src = concat!(
+            "fn f() {\n",
+            "    let s = r##\"x.unwrap() println!() thread::spawn(|| 1)\n",
+            "        .lock().unwrap() \"# still inside \"#\"##;\n",
+            "    live.unwrap();\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, opts), vec![(4, "L1")]);
+        // Needles inside a nested block comment; code resumes on the
+        // closing line.
+        let src = concat!(
+            "fn f() {\n",
+            "    /* outer /* println!(\"hidden\"); x.unwrap(); */\n",
+            "       thread::spawn still hidden */ live.unwrap();\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, opts), vec![(3, "L1")]);
+        // Lifetimes next to char literals: `'a` must not open a char
+        // and swallow the needle after it.
+        let src = concat!(
+            "fn f<'a, 'b>(x: &'a str, c: char) -> &'b str {\n",
+            "    if c == 'u' { y.unwrap(); }\n",
+            "    x\n",
+            "}\n",
+        );
+        assert_eq!(rules(src, opts), vec![(2, "L1")]);
     }
 
     #[test]

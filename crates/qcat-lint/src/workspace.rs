@@ -1,16 +1,24 @@
 //! Walking the real workspace: applies the source rules to the right
-//! crates/files, the layering rule to every manifest, and the L1/L5
-//! allowlist ratchet.
+//! crates/files, the layering rule to every manifest, and the
+//! cross-file semantic rules (L8–L10) to the whole tree at once.
+//!
+//! Every source file is read once and lexed once; the per-file work
+//! (lexing plus all Engine 1 rules, with the per-file rule selection
+//! merged into a single [`ScanOptions`]) fans out across
+//! `qcat-pool`, and the token streams then feed the Engine 2 symbol
+//! table serially.
 
-use crate::allowlist::Allowlist;
+use crate::conc;
 use crate::diag::Diagnostic;
+use crate::lexer::{lex, Lexed};
 use crate::manifest::check_layering;
-use crate::scan::{lint_source, ScanOptions};
+use crate::scan::{lint_lexed, ScanOptions};
+use crate::syms::SymbolTable;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose sources are scanned for L1/L2 (the library layers
+/// Crates whose sources are scanned for L1/L2/L4 (the library layers
 /// the cost model's correctness rests on, plus the observability
 /// substrate every other crate calls into). `(crate name,
 /// repo-relative source dir)`.
@@ -23,13 +31,31 @@ pub const SCANNED_CRATES: &[(&str, &str)] = &[
     ("qcat-serve", "crates/qcat-serve"),
 ];
 
-/// Repo-relative path of the L1/L5 allowlist.
-pub const ALLOWLIST_PATH: &str = "lint-allowlist.txt";
+/// How a workspace scan went, for wall-time reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanStats {
+    /// Source files read, lexed, and analyzed.
+    pub files: usize,
+    /// Pool threads the per-file pass fanned out across.
+    pub threads: usize,
+}
 
-/// Run Engine 1 (L1–L4 with the allowlist ratchet) over the
-/// workspace rooted at `root`. Returns the surviving diagnostics;
-/// an empty vector means the tree is clean.
+/// One file's scan job: everything the parallel pass needs.
+struct FileJob {
+    rel: String,
+    pkg: String,
+    source: String,
+    opts: ScanOptions,
+}
+
+/// Run Engines 1 and 2 (L1–L10) over the workspace rooted at `root`.
+/// Returns the diagnostics; an empty vector means the tree is clean.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    lint_workspace_with_stats(root).map(|(diags, _)| diags)
+}
+
+/// [`lint_workspace`], also reporting scan statistics.
+pub fn lint_workspace_with_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, ScanStats)> {
     // A root with no crates/ would "pass" by scanning zero files;
     // refuse it instead so a mistyped --root is an error, not a
     // silent clean run.
@@ -39,34 +65,111 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             format!("{} has no crates/ directory", root.display()),
         ));
     }
-    let mut diags = Vec::new();
-    for &(crate_name, rel_dir) in SCANNED_CRATES {
-        let src = root.join(rel_dir).join("src");
-        for file in rust_files(&src)? {
-            let source = fs::read_to_string(&file)?;
+
+    // Serial I/O: enumerate and read every source file once.
+    let mut jobs = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in &crate_dirs {
+        let manifest = dir.join("Cargo.toml");
+        let pkg = if manifest.is_file() {
+            package_name(&fs::read_to_string(&manifest)?)
+        } else {
+            None
+        };
+        let dir_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let pkg = pkg.unwrap_or_else(|| dir_name.clone());
+        for file in rust_files(&dir.join("src"))? {
             let rel = relative(root, &file);
-            let opts = options_for(crate_name, &rel);
-            diags.extend(lint_source(&rel, &source, opts));
+            jobs.push(FileJob {
+                opts: options_for_file(&dir_name, &rel),
+                rel,
+                pkg: pkg.clone(),
+                source: fs::read_to_string(&file)?,
+            });
         }
     }
-    diags.extend(lint_library_prints(root)?);
-    diags.extend(lint_thread_spawns(root)?);
-    diags.extend(lint_lock_discipline(root)?);
-    diags.extend(lint_manifests(root)?);
-    let allow_path = root.join(ALLOWLIST_PATH);
-    if allow_path.exists() {
-        let text = fs::read_to_string(&allow_path)?;
-        let (allow, mut parse_diags) = Allowlist::parse(&text, ALLOWLIST_PATH);
-        parse_diags.extend(allow.apply(ALLOWLIST_PATH, diags));
-        diags = parse_diags;
+    // The facade crate's own src/ (package `qcat`).
+    for file in rust_files(&root.join("src"))? {
+        let rel = relative(root, &file);
+        jobs.push(FileJob {
+            opts: options_for_file("", &rel),
+            rel,
+            pkg: "qcat".to_string(),
+            source: fs::read_to_string(&file)?,
+        });
     }
+
+    // Parallel per-file pass: one lex, all Engine 1 rules.
+    let pool = qcat_pool::ThreadPool::new(0);
+    let per_file: Vec<(Vec<Diagnostic>, Lexed)> = pool.map(&jobs, |_, job| {
+        let lexed = lex(&job.source);
+        let diags = lint_lexed(&job.rel, &job.source, &lexed, job.opts);
+        (diags, lexed)
+    });
+
+    // Serial: fold the token streams into the Engine 2 symbol table.
+    let mut diags = Vec::new();
+    let mut table = SymbolTable::default();
+    for (job, (file_diags, lexed)) in jobs.iter().zip(per_file) {
+        diags.extend(file_diags);
+        table.add_lexed(&job.rel, &job.pkg, lexed.tokens);
+    }
+    diags.extend(conc::analyze_table(&table));
+    diags.extend(lint_manifests(root)?);
     diags.sort_by(|a, b| (a.file.clone(), a.line).cmp(&(b.file.clone(), b.line)));
-    Ok(diags)
+    let stats = ScanStats {
+        files: jobs.len(),
+        threads: pool.threads(),
+    };
+    Ok((diags, stats))
 }
 
-/// Rule selection for one file: L1 everywhere; the float-equality
-/// half of L2 only in cost/order/rank/partition code; L4 only in
-/// `qcat-core`.
+/// The union of every Engine 1 rule's file selection, as one merged
+/// option set:
+///
+/// - L1/L2/L4 only in [`SCANNED_CRATES`], via [`options_for`];
+/// - L5 everywhere except `qcat-obs` (the sanctioned exporter) and
+///   binary entry points (`src/bin/`, `main.rs`), which own
+///   stdout/stderr;
+/// - L6 everywhere except `qcat-pool`, the one crate sanctioned to
+///   create threads (binaries are NOT exempt — an ad-hoc thread in a
+///   binary bypasses `QCAT_THREADS` sizing and recorder propagation
+///   just as thoroughly);
+/// - L7 everywhere, binaries included — poison recovery is expected
+///   wherever a mutex is shared, and the sanctioned pattern
+///   (`.lock().unwrap_or_else(|e| e.into_inner())` inside a
+///   designated helper such as `lock_recover`) does not match the
+///   rule's needles.
+fn options_for_file(crate_dir: &str, rel_path: &str) -> ScanOptions {
+    let scanned = SCANNED_CRATES
+        .iter()
+        .find(|(_, dir)| {
+            rel_path.starts_with(&format!("{dir}/src/"))
+        })
+        .map(|&(name, _)| name);
+    let mut opts = match scanned {
+        Some(name) => options_for(name, rel_path),
+        None => ScanOptions::default(),
+    };
+    opts.check_prints = crate_dir != "qcat-obs"
+        && !rel_path.contains("/bin/")
+        && !rel_path.ends_with("/main.rs");
+    opts.check_spawns = crate_dir != "qcat-pool";
+    opts.check_locks = true;
+    opts
+}
+
+/// Rule selection for one [`SCANNED_CRATES`] file: L1 everywhere; the
+/// float-equality half of L2 only in cost/order/rank/partition code;
+/// L4 only in `qcat-core`.
 fn options_for(crate_name: &str, rel_path: &str) -> ScanOptions {
     let filename = rel_path.rsplit('/').next().unwrap_or(rel_path);
     let sensitive = ["cost", "order", "rank", "partition"]
@@ -77,9 +180,9 @@ fn options_for(crate_name: &str, rel_path: &str) -> ScanOptions {
         check_float_cmp: true,
         float_eq_sensitive: sensitive,
         check_docs: crate_name == "qcat-core",
-        check_prints: false, // L5 runs workspace-wide; see below
-        check_spawns: false, // L6 too; see lint_thread_spawns
-        check_locks: false,  // L7 too; see lint_lock_discipline
+        check_prints: false, // merged in by options_for_file
+        check_spawns: false,
+        check_locks: false,
     }
 }
 
@@ -97,96 +200,6 @@ fn filename_mentions(file: &str, key: &str) -> bool {
         from = pos + 1;
     }
     false
-}
-
-/// L5 over every library source in the workspace: all of `crates/*`
-/// plus the facade's `src/`. Exempt: binary entry points (`src/bin/`,
-/// `main.rs`), which own stdout/stderr, and `qcat-obs` itself, whose
-/// exporters are the one sanctioned place console output is produced.
-fn lint_library_prints(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let opts = ScanOptions {
-        check_prints: true,
-        ..ScanOptions::default()
-    };
-    let mut diags = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir() && !p.ends_with("qcat-obs"))
-        .map(|p| p.join("src"))
-        .collect();
-    src_dirs.push(root.join("src"));
-    src_dirs.sort();
-    for src in src_dirs {
-        for file in rust_files(&src)? {
-            let rel = relative(root, &file);
-            if rel.contains("/bin/") || rel.ends_with("/main.rs") {
-                continue;
-            }
-            let source = fs::read_to_string(&file)?;
-            diags.extend(lint_source(&rel, &source, opts));
-        }
-    }
-    Ok(diags)
-}
-
-/// L6 over every source in the workspace: all of `crates/*` plus the
-/// facade's `src/`. Unlike L5, binaries are NOT exempt — a binary
-/// that spawns its own threads bypasses `QCAT_THREADS` sizing and
-/// recorder propagation just as thoroughly as a library would. The
-/// single exemption is `crates/qcat-pool`, the sanctioned home of the
-/// raw primitives.
-fn lint_thread_spawns(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let opts = ScanOptions {
-        check_spawns: true,
-        ..ScanOptions::default()
-    };
-    let mut diags = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir() && !p.ends_with("qcat-pool"))
-        .map(|p| p.join("src"))
-        .collect();
-    src_dirs.push(root.join("src"));
-    src_dirs.sort();
-    for src in src_dirs {
-        for file in rust_files(&src)? {
-            let source = fs::read_to_string(&file)?;
-            diags.extend(lint_source(&relative(root, &file), &source, opts));
-        }
-    }
-    Ok(diags)
-}
-
-/// L7 over every source in the workspace: all of `crates/*` plus the
-/// facade's `src/`, binaries included. No crate is exempt — poison
-/// recovery is expected everywhere a mutex is shared, and the
-/// sanctioned pattern (`.lock().unwrap_or_else(|e| e.into_inner())`
-/// inside a designated helper such as `lock_recover` in qcat-serve or
-/// `lock_state` in qcat-obs) does not match this rule's needles, so
-/// the helpers themselves lint clean.
-fn lint_lock_discipline(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let opts = ScanOptions {
-        check_locks: true,
-        ..ScanOptions::default()
-    };
-    let mut diags = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut src_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir())
-        .map(|p| p.join("src"))
-        .collect();
-    src_dirs.push(root.join("src"));
-    src_dirs.sort();
-    for src in src_dirs {
-        for file in rust_files(&src)? {
-            let source = fs::read_to_string(&file)?;
-            diags.extend(lint_source(&relative(root, &file), &source, opts));
-        }
-    }
-    Ok(diags)
 }
 
 /// L3 over every crate manifest in `crates/*`.
@@ -290,6 +303,27 @@ mod tests {
     fn docs_only_in_core() {
         assert!(options_for("qcat-core", "crates/core/src/tree.rs").check_docs);
         assert!(!options_for("qcat-sql", "crates/qcat-sql/src/ast.rs").check_docs);
+    }
+
+    #[test]
+    fn merged_options_cover_every_engine1_rule() {
+        // A scanned library file gets everything.
+        let o = options_for_file("core", "crates/core/src/cost.rs");
+        assert!(o.check_panics && o.check_float_cmp && o.check_docs);
+        assert!(o.check_prints && o.check_spawns && o.check_locks);
+        // qcat-obs: prints are its job; everything else still applies.
+        let o = options_for_file("qcat-obs", "crates/qcat-obs/src/recorder.rs");
+        assert!(!o.check_prints && o.check_spawns && o.check_locks);
+        assert!(o.check_panics, "qcat-obs is a scanned crate");
+        // qcat-pool: the sanctioned home of raw threads.
+        let o = options_for_file("qcat-pool", "crates/qcat-pool/src/lib.rs");
+        assert!(o.check_prints && !o.check_spawns && o.check_locks);
+        assert!(!o.check_panics, "qcat-pool is not L1-scanned");
+        // Binaries own stdout but not threads or locks.
+        let o = options_for_file("qcat-lint", "crates/qcat-lint/src/main.rs");
+        assert!(!o.check_prints && o.check_spawns && o.check_locks);
+        let o = options_for_file("", "src/bin/qcat-bench.rs");
+        assert!(!o.check_prints && o.check_spawns && o.check_locks);
     }
 
     #[test]

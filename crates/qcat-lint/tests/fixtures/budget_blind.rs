@@ -1,0 +1,26 @@
+//! SEEDED L10 VIOLATION plus its accounted twin — never compiled,
+//! only analyzed (as crate `qcat-serve`, inside the budget region).
+//!
+//! `build` allocates a collection inside the budget-governed region
+//! with no heap accounting anywhere on its path, so `max_heap_bytes`
+//! cannot see the allocation. `build_charged` charges the estimate
+//! first.
+
+pub fn fill(gas: &Gas, n: usize) -> Vec<u32> {
+    qcat_fault::with_budget(gas, || {
+        let a = build(n);
+        let b = build_charged(gas, n);
+        if a.len() > b.len() { a } else { b }
+    })
+}
+
+/// BUG (seeded): a budget-blind allocation.
+fn build(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}
+
+/// Accounted twin: the heap estimate is charged before allocating.
+fn build_charged(gas: &Gas, n: usize) -> Vec<u32> {
+    gas.charge_heap(n * 4);
+    Vec::with_capacity(n)
+}

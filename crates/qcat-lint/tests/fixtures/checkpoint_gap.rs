@@ -1,0 +1,32 @@
+//! SEEDED L9 VIOLATION plus its fixed twin — never compiled, only
+//! analyzed (as crate `qcat-exec`, inside the budget region).
+//!
+//! `sum_rows` iterates a governed collection reachable from a
+//! `with_budget` root without ever polling the gas: a deadline or a
+//! tripped budget cannot stop it. `sum_rows_polled` is the same loop
+//! with the sanctioned strided checkpoint.
+
+pub fn serve_rows(gas: &Gas, rows: &[u32]) -> u64 {
+    qcat_fault::with_budget(gas, || sum_rows(rows) + sum_rows_polled(gas, rows))
+}
+
+/// BUG (seeded): a row-grain loop with no Gas poll anywhere on it.
+fn sum_rows(rows: &[u32]) -> u64 {
+    let mut total = 0;
+    for r in rows {
+        total += u64::from(*r);
+    }
+    total
+}
+
+/// Fixed twin: the loop polls the budget and drains when it trips.
+fn sum_rows_polled(gas: &Gas, rows: &[u32]) -> u64 {
+    let mut total = 0;
+    for r in rows {
+        if !gas.checkpoint() {
+            break;
+        }
+        total += u64::from(*r);
+    }
+    total
+}

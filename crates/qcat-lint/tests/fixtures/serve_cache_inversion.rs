@@ -1,0 +1,42 @@
+//! SEEDED L8 VIOLATION — never compiled, only analyzed.
+//!
+//! Models the PR 4 double-LRU serve cache deadlock: the query path
+//! locks `results` then `trees`, while eviction locks `trees` then
+//! `results`. Two threads taking the two paths concurrently can each
+//! hold one lock and wait forever on the other.
+
+pub struct CacheServer {
+    results: Mutex<ResultCache>,
+    trees: Mutex<TreeCache>,
+}
+
+impl CacheServer {
+    fn lock_results(&self) -> MutexGuard<'_, ResultCache> {
+        self.results.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_trees(&self) -> MutexGuard<'_, TreeCache> {
+        self.trees.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Query path: probe the result cache, then publish the tree —
+    /// `results` is still held when `trees` is acquired.
+    pub fn serve(&self, key: &str) -> Option<Tree> {
+        let results = self.lock_results();
+        if results.contains(key) {
+            let trees = self.lock_trees();
+            return trees.get(key).cloned();
+        }
+        None
+    }
+
+    /// Eviction sweeps trees first, then the result rows they came
+    /// from — `trees` is still held when `results` is acquired.
+    pub fn evict(&self, epoch: u64) {
+        let sweep = self.lock_trees();
+        for key in sweep.expired(epoch) {
+            let mut results = self.lock_results();
+            results.remove(&key);
+        }
+    }
+}

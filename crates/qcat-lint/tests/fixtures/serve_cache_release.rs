@@ -1,0 +1,47 @@
+//! CLEAN TWIN of `serve_cache_inversion.rs` — never compiled, only
+//! analyzed.
+//!
+//! Same two caches, same two paths, but each guard is dropped before
+//! the other lock is taken, so no thread ever holds both. L8 must
+//! stay silent here: the rule keys on *held* sets, not on the mere
+//! presence of two locks in one function.
+
+pub struct CacheServer {
+    results: Mutex<ResultCache>,
+    trees: Mutex<TreeCache>,
+}
+
+impl CacheServer {
+    fn lock_results(&self) -> MutexGuard<'_, ResultCache> {
+        self.results.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_trees(&self) -> MutexGuard<'_, TreeCache> {
+        self.trees.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Query path: the probe result is bound first and the `results`
+    /// guard released before `trees` is acquired.
+    pub fn serve(&self, key: &str) -> Option<Tree> {
+        let results = self.lock_results();
+        let hit = results.contains(key);
+        drop(results);
+        if hit {
+            let trees = self.lock_trees();
+            return trees.get(key).cloned();
+        }
+        None
+    }
+
+    /// Eviction snapshots the expired keys under `trees`, releases
+    /// it, and only then sweeps `results`.
+    pub fn evict(&self, epoch: u64) {
+        let trees = self.lock_trees();
+        let expired = trees.expired_keys(epoch);
+        drop(trees);
+        let mut results = self.lock_results();
+        for key in expired {
+            results.remove(&key);
+        }
+    }
+}

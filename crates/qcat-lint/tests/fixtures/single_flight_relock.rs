@@ -1,0 +1,29 @@
+//! SEEDED L8 VIOLATION — never compiled, only analyzed.
+//!
+//! The single-flight probe shape from PR 4's bug: a `match` whose
+//! scrutinee acquires the lock holds the guard (a scrutinee
+//! temporary) for every arm, so the miss arm's re-acquisition
+//! self-deadlocks on a non-reentrant mutex.
+
+pub struct FillTable {
+    fills: Mutex<FillSet>,
+}
+
+impl FillTable {
+    fn lock_fills(&self) -> MutexGuard<'_, FillSet> {
+        self.fills.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register this key for filling unless a fill is already in
+    /// flight. The scrutinee guard lives until the match ends.
+    pub fn begin_fill(&self, key: &str) -> bool {
+        match self.lock_fills().contains(key) {
+            true => false,
+            false => {
+                let mut fills = self.lock_fills();
+                fills.insert(key.to_string());
+                true
+            }
+        }
+    }
+}

@@ -7,10 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the root manifest is itself a package, so a bare
+# `cargo build` would skip the other members' binaries (bench_*).
+cargo build --release --workspace
 
-echo "==> qcat-lint (L1-L7 + audit self-check)"
+echo "==> qcat-lint (L1-L10 + audit self-check)"
 cargo run --release -p qcat-lint -- --workspace
 
 echo "==> cargo test -q (root package: integration + lint gate)"
