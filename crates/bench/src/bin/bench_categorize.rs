@@ -149,6 +149,11 @@ fn render_json(args: &Args, env: &BenchEnv, cores: usize, results: &[ThreadResul
     out.push_str("{\n");
     out.push_str("  \"bench\": \"categorize\",\n  \"scale\": \"smoke\",\n");
     out.push_str(&format!(
+        "  \"schema_version\": {}, \"git\": \"{}\",\n",
+        qcat_bench::BENCH_SCHEMA_VERSION,
+        json_escape(&qcat_bench::git_describe())
+    ));
+    out.push_str(&format!(
         "  \"seed\": {}, \"runs\": {}, \"cases\": {}, \"cores\": {},\n",
         args.seed,
         args.runs,

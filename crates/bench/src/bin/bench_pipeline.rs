@@ -17,7 +17,7 @@
 //! bench_pipeline [--runs N] [--seed S] [--queries N] [--out PATH]
 //! ```
 
-use qcat_bench::{bench_env, json_num, summarize, Summary};
+use qcat_bench::{bench_env, json_escape, json_num, summarize, Summary};
 use qcat_exec::{execute_normalized_with, AccessPath};
 use qcat_serve::{ServeOutcome, Server, ServerConfig};
 use qcat_sql::normalize::{AttrCondition, NormalizedQuery};
@@ -306,6 +306,12 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"pipeline\",\n  \"scale\": \"smoke\",\n");
+    let _ = write!(
+        out,
+        "  \"schema_version\": {}, \"git\": \"{}\",\n",
+        qcat_bench::BENCH_SCHEMA_VERSION,
+        json_escape(&qcat_bench::git_describe())
+    );
     let _ = write!(
         out,
         "  \"seed\": {}, \"runs\": {}, \"cores\": {}, \"rows\": {},\n",

@@ -12,6 +12,29 @@ use qcat_sql::NormalizedQuery;
 use qcat_study::{broaden_query, StudyEnv, StudyScale};
 use qcat_workload::WorkloadStatistics;
 
+pub mod report;
+
+/// Schema version stamped into every `BENCH_*.json` report. Version 2
+/// added `schema_version` and `git` provenance fields; version 1
+/// reports predate the stamp (and parse as before — `bench_report`
+/// does not require it).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// The current `git describe --always --dirty` of the working tree,
+/// or `"unknown"` when git is unavailable (hermetic build
+/// environments without a repo). Provenance only — never parsed.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// A benchmark environment: generated dataset, workload statistics,
 /// and a set of broadened queries with their results.
 pub struct BenchEnv {

@@ -247,8 +247,9 @@ impl<'a> Categorizer<'a> {
             // fused with per-item pricing: every (candidate, node)
             // pair becomes one pool work item that *counts* the
             // would-be partitioning and prices it with Equation (1).
-            // Workers record counters only — never spans or events —
-            // so the trace line stream stays single-threaded.
+            // Each item opens a real span on its worker thread,
+            // parented to this phase span via the pool's trace
+            // propagation.
             for &attr in &candidates {
                 // Plan building walks whole columns; poll the budget
                 // per candidate so an exhausted query degrades here
@@ -303,7 +304,14 @@ impl<'a> Categorizer<'a> {
                     .flat_map(|ci| s.iter().map(move |&id| (ci, id)))
                     .collect();
                 let priced = match pool.try_map(&items, |_, &(ci, id)| {
-                    self.price_item(&tree, &relation, &plans_built[ci], id, query, &probs)
+                    let mut item_span =
+                        qcat_obs::span!("categorize.level.partition.item", cand = ci);
+                    let priced = self.price_item(&tree, &relation, &plans_built[ci], id, query, &probs);
+                    if qcat_obs::active() {
+                        item_span.set("tuples", tree.node(id).tuple_count());
+                        item_span.set("categories", priced.1);
+                    }
+                    priced
                 }) {
                     Ok(p) => p,
                     Err(e) => {
@@ -362,6 +370,10 @@ impl<'a> Categorizer<'a> {
                     CandPlan::Leaf => Ok(Vec::new()),
                     CandPlan::Cat { col, plan, .. } => pool
                         .try_map(&s, |_, &id| {
+                            let _item_span = qcat_obs::span!(
+                                "categorize.level.select.materialize.item",
+                                tuples = tree.node(id).tuple_count(),
+                            );
                             plan.split_grouped(
                                 col,
                                 &tree.node(id).tset,
@@ -372,6 +384,10 @@ impl<'a> Categorizer<'a> {
                         .map(|split| s.iter().copied().zip(split).collect()),
                     CandPlan::Num { plan, pw } => pool
                         .try_map(&s, |_, &id| {
+                            let _item_span = qcat_obs::span!(
+                                "categorize.level.select.materialize.item",
+                                tuples = tree.node(id).tuple_count(),
+                            );
                             let node = tree.node(id);
                             let node_window = if id == NodeId::ROOT {
                                 value_window(&relation, attr, &node.tset, query)

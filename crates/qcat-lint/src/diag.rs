@@ -63,7 +63,10 @@ pub enum Rule {
     /// T1: a trace line is not valid JSONL of the documented schema,
     /// or `seq` fails to increase.
     T1TraceSyntax,
-    /// T2: span opens/closes are not balanced LIFO per thread.
+    /// T2: span opens/closes are not balanced LIFO per (thread,
+    /// trace) — a close must name (and carry the span id of) the
+    /// innermost open span of its own trace on its thread, and the
+    /// recorded depth must match the thread's open-span count.
     T2SpanBalance,
     /// T3: a duration is negative, disagrees with its span's
     /// timestamps, or children outlast their parent.
@@ -72,6 +75,10 @@ pub enum Rule {
     /// outside an open `serve.query` span on its thread — governance
     /// events must be attributable to the query they degraded.
     T4ServeEnclosure,
+    /// T5: a line's `parent` id names a span that was never opened in
+    /// its trace (or a span id is reused within a trace) — the causal
+    /// tree must be closed under parent links.
+    T5ParentExists,
 }
 
 impl Rule {
@@ -100,6 +107,7 @@ impl Rule {
             Rule::T2SpanBalance => "T2",
             Rule::T3Durations => "T3",
             Rule::T4ServeEnclosure => "T4",
+            Rule::T5ParentExists => "T5",
         }
     }
 }
@@ -194,6 +202,7 @@ mod tests {
             (Rule::T2SpanBalance, "T2"),
             (Rule::T3Durations, "T3"),
             (Rule::T4ServeEnclosure, "T4"),
+            (Rule::T5ParentExists, "T5"),
         ] {
             assert_eq!(rule.id(), id);
         }

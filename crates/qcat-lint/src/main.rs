@@ -79,8 +79,8 @@ fn main() -> ExitCode {
     if diags.is_empty() {
         let what = match (run_workspace, trace_paths.is_empty()) {
             (true, true) => "workspace clean (L1-L10 + audit self-check)",
-            (true, false) => "workspace and trace(s) clean (L1-L10 + audit self-check + T1-T4)",
-            _ => "trace(s) clean (T1-T4)",
+            (true, false) => "workspace and trace(s) clean (L1-L10 + audit self-check + T1-T5)",
+            _ => "trace(s) clean (T1-T5)",
         };
         println!("qcat-lint: {what}");
         ExitCode::SUCCESS
@@ -96,7 +96,8 @@ const USAGE: &str = "usage: qcat-lint [--workspace] [--root <repo-root>] [--audi
 lints (L8 lock-order, L9 checkpoint coverage, L10 budget-blind
 allocation), and the cost-model auditor self-check. --audit-trace
 checks a QCAT_TRACE=json capture for schema validity, span balance,
-duration consistency, and governance-event enclosure (T1-T4); it may
+duration consistency, governance-event enclosure, and causal parent
+links (T1-T5); it may
 repeat. Exits 0 when clean, 1 on violations, 2 on I/O or usage
 errors. See docs/LINTS.md.";
 

@@ -1,4 +1,4 @@
-//! Engine 3: the JSONL trace auditor (rules T1–T4).
+//! Engine 3: the JSONL trace auditor (rules T1–T5).
 //!
 //! `qcat-obs` emits one JSON object per line (schema in
 //! `docs/OBSERVABILITY.md`). This module re-derives the invariants
@@ -7,10 +7,16 @@
 //!
 //! - **T1** — every line parses as a flat JSON object with the
 //!   required keys and types, `kind` is one of
-//!   `span_open`/`span_close`/`event`, and `seq` strictly increases.
-//! - **T2** — per thread, span opens and closes balance LIFO: a close
-//!   names the innermost open span, recorded depths equal the stack
-//!   position, and every stack is empty at end of file.
+//!   `span_open`/`span_close`/`event`, the optional identity keys
+//!   (`trace`, `span`, `parent`) are non-negative integers, and `seq`
+//!   strictly increases.
+//! - **T2** — per (thread, trace), span opens and closes balance
+//!   LIFO: a close names (and carries the span id of) the innermost
+//!   open span of its own trace on its thread, recorded depths equal
+//!   the thread's open-span count, and every stack is empty at end of
+//!   file. Spans of different traces may interleave on one thread —
+//!   a worker runs parented spans of the caller's trace — but within
+//!   a trace the per-thread discipline is strict.
 //! - **T3** — durations are non-negative, equal the close/open
 //!   timestamp difference exactly (the recorder computes `dur_ns`
 //!   from the same two timestamps it prints), and the direct
@@ -19,6 +25,12 @@
 //!   `serve.cancel`) are emitted inside an open `serve.query` span on
 //!   their thread, so every shed or degraded answer is attributable
 //!   to the query that suffered it.
+//! - **T5** — the causal tree is closed under parent links: a
+//!   nonzero `parent` id names a span previously opened in the same
+//!   trace, and no span id is reused within a trace.
+//!
+//! Lines without the identity keys (pre-trace recordings) default
+//! them to 0 and audit exactly as before — trace 0 is "untraced".
 //!
 //! Timestamps and sequence numbers travel as JSON numbers, parsed to
 //! `f64` — exact for integers up to 2^53, i.e. ~104 days of
@@ -33,9 +45,10 @@ use std::collections::BTreeMap;
 /// platforms. Exact-equality checks get no slack.
 const CHILD_SUM_SLACK_NS: f64 = 1_000.0;
 
-/// One open span on a per-thread stack.
+/// One open span on a per-(thread, trace) stack.
 struct OpenSpan {
     name: String,
+    span_id: u64,
     line: usize,
     ts_ns: f64,
     /// Total `dur_ns` of direct children closed so far.
@@ -51,7 +64,13 @@ struct OpenSpan {
 pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut last_seq: Option<f64> = None;
-    let mut stacks: BTreeMap<String, Vec<OpenSpan>> = BTreeMap::new();
+    // Span stacks keyed by (thread, trace): LIFO holds within a trace
+    // on a thread, while traces may interleave on the same thread.
+    let mut stacks: BTreeMap<(String, u64), Vec<OpenSpan>> = BTreeMap::new();
+    // Open-span count per thread — what the recorder prints as depth.
+    let mut depths: BTreeMap<String, usize> = BTreeMap::new();
+    // Every span id ever opened per trace, with its line (T5).
+    let mut opened: BTreeMap<u64, BTreeMap<u64, usize>> = BTreeMap::new();
     let mut any_line = false;
 
     for (idx, raw) in text.lines().enumerate() {
@@ -63,39 +82,78 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
         let Some(rec) = check_t1(origin, lineno, raw, &mut last_seq, &mut diags) else {
             continue;
         };
-        let stack = stacks.entry(rec.thread.clone()).or_default();
+        // T5: the parent must already exist within this trace. Opens
+        // are registered before their children appear (the recorder
+        // allocates `seq` and writes under one lock), so an ordered
+        // check is exact, not an approximation.
+        if rec.parent != 0
+            && opened
+                .get(&rec.trace)
+                .map_or(true, |ids| !ids.contains_key(&rec.parent))
+        {
+            diags.push(Diagnostic::at(
+                origin,
+                lineno,
+                Rule::T5ParentExists,
+                format!(
+                    "{} `{}` claims parent {} but no such span opened in trace {}",
+                    rec.kind, rec.name, rec.parent, rec.trace
+                ),
+            ));
+        }
         match rec.kind.as_str() {
             "span_open" => {
-                if rec.depth != stack.len() {
+                if rec.span != 0 {
+                    let ids = opened.entry(rec.trace).or_default();
+                    if let Some(first) = ids.get(&rec.span) {
+                        diags.push(Diagnostic::at(
+                            origin,
+                            lineno,
+                            Rule::T5ParentExists,
+                            format!(
+                                "span id {} reused within trace {} (first opened at line {first})",
+                                rec.span, rec.trace
+                            ),
+                        ));
+                    } else {
+                        ids.insert(rec.span, lineno);
+                    }
+                }
+                let depth = depths.entry(rec.thread.clone()).or_insert(0);
+                if rec.depth != *depth {
                     diags.push(Diagnostic::at(
                         origin,
                         lineno,
                         Rule::T2SpanBalance,
                         format!(
                             "span_open `{}` at depth {} but thread `{}` has {} open span(s)",
-                            rec.name,
-                            rec.depth,
-                            rec.thread,
-                            stack.len()
+                            rec.name, rec.depth, rec.thread, depth
                         ),
                     ));
                 }
-                stack.push(OpenSpan {
-                    name: rec.name,
-                    line: lineno,
-                    ts_ns: rec.ts_ns,
-                    children_ns: 0.0,
-                });
+                *depth += 1;
+                stacks
+                    .entry((rec.thread.clone(), rec.trace))
+                    .or_default()
+                    .push(OpenSpan {
+                        name: rec.name,
+                        span_id: rec.span,
+                        line: lineno,
+                        ts_ns: rec.ts_ns,
+                        children_ns: 0.0,
+                    });
             }
             "span_close" => {
+                let key = (rec.thread.clone(), rec.trace);
+                let stack = stacks.entry(key).or_default();
                 let Some(open) = stack.pop() else {
                     diags.push(Diagnostic::at(
                         origin,
                         lineno,
                         Rule::T2SpanBalance,
                         format!(
-                            "span_close `{}` on thread `{}` with no span open",
-                            rec.name, rec.thread
+                            "span_close `{}` on thread `{}` with no span open in trace {}",
+                            rec.name, rec.thread, rec.trace
                         ),
                     ));
                     continue;
@@ -111,16 +169,27 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
                         ),
                     ));
                 }
-                if rec.depth != stack.len() {
+                if rec.span != open.span_id {
+                    diags.push(Diagnostic::at(
+                        origin,
+                        lineno,
+                        Rule::T2SpanBalance,
+                        format!(
+                            "span_close `{}` carries span id {} but the open (line {}) had {}",
+                            rec.name, rec.span, open.line, open.span_id
+                        ),
+                    ));
+                }
+                let depth = depths.entry(rec.thread.clone()).or_insert(0);
+                *depth = depth.saturating_sub(1);
+                if rec.depth != *depth {
                     diags.push(Diagnostic::at(
                         origin,
                         lineno,
                         Rule::T2SpanBalance,
                         format!(
                             "span_close `{}` at depth {} but it sits at depth {}",
-                            rec.name,
-                            rec.depth,
-                            stack.len()
+                            rec.name, rec.depth, depth
                         ),
                     ));
                 }
@@ -146,6 +215,7 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
                         ),
                     ));
                 }
+                let stack = stacks.entry((rec.thread.clone(), rec.trace)).or_default();
                 if let Some(parent) = stack.last_mut() {
                     parent.children_ns += dur;
                 }
@@ -164,10 +234,14 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
             _ => {
                 // "event": structurally free except for T4 — the
                 // governance events must sit inside the serve.query
-                // span whose outcome they explain.
+                // span whose outcome they explain, in any trace open
+                // on the event's thread.
                 const GOVERNANCE: &[&str] = &["serve.shed", "serve.degraded", "serve.cancel"];
                 if GOVERNANCE.contains(&rec.name.as_str())
-                    && !stack.iter().any(|s| s.name == "serve.query")
+                    && !stacks
+                        .iter()
+                        .filter(|((thread, _), _)| *thread == rec.thread)
+                        .any(|(_, stack)| stack.iter().any(|s| s.name == "serve.query"))
                 {
                     diags.push(Diagnostic::at(
                         origin,
@@ -190,14 +264,14 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
             "trace is empty: an instrumented run must emit at least one line",
         ));
     }
-    for (thread, stack) in &stacks {
+    for ((thread, trace), stack) in &stacks {
         for open in stack {
             diags.push(Diagnostic::at(
                 origin,
                 open.line,
                 Rule::T2SpanBalance,
                 format!(
-                    "span `{}` on thread `{thread}` opened here but never closed",
+                    "span `{}` on thread `{thread}` (trace {trace}) opened here but never closed",
                     open.name
                 ),
             ));
@@ -206,7 +280,9 @@ pub fn audit_trace(origin: &str, text: &str) -> Vec<Diagnostic> {
     diags
 }
 
-/// The fields of one schema-valid trace line.
+/// The fields of one schema-valid trace line. The identity triple
+/// defaults to 0 ("untraced") when absent, keeping pre-trace
+/// recordings auditable.
 struct TraceRecord {
     kind: String,
     name: String,
@@ -214,6 +290,9 @@ struct TraceRecord {
     depth: usize,
     ts_ns: f64,
     dur_ns: Option<f64>,
+    trace: u64,
+    span: u64,
+    parent: u64,
 }
 
 /// T1 for one line: parse, check required keys/types and the `seq`
@@ -285,6 +364,26 @@ fn check_t1(
         diags.push(t1(format!("depth {depth} is not a non-negative integer")));
         return None;
     }
+    // Identity keys are optional (0 = none) but must be well-typed
+    // when present.
+    let mut ids = [0u64; 3];
+    for (slot, key) in ids.iter_mut().zip(["trace", "span", "parent"]) {
+        if v.get(key).is_none() {
+            continue;
+        }
+        match num(key) {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 => *slot = n as u64,
+            _ => {
+                diags.push(t1(format!("{key} is not a non-negative integer")));
+                return None;
+            }
+        }
+    }
+    let [trace, span, parent] = ids;
+    if span != 0 && kind == "event" {
+        diags.push(t1("event carries a span id (span ids belong to span lines)".to_string()));
+        return None;
+    }
     if let Some(prev) = *last_seq {
         if seq <= prev {
             diags.push(t1(format!(
@@ -300,6 +399,9 @@ fn check_t1(
         depth: depth as usize,
         ts_ns,
         dur_ns,
+        trace,
+        span,
+        parent,
     })
 }
 
@@ -311,6 +413,30 @@ mod tests {
         let dur = dur.map_or(String::new(), |d| format!(",\"dur_ns\":{d}"));
         format!(
             "{{\"seq\":{seq},\"ts_ns\":{ts},\"thread\":\"main\",\"kind\":\"{kind}\",\"name\":\"{name}\",\"depth\":{depth}{dur},\"fields\":{{}}}}"
+        )
+    }
+
+    /// A line carrying the full identity triple.
+    #[allow(clippy::too_many_arguments)]
+    fn idline(
+        seq: u64,
+        ts: u64,
+        thread: &str,
+        kind: &str,
+        name: &str,
+        depth: usize,
+        ids: (u64, u64, u64),
+        dur: Option<u64>,
+    ) -> String {
+        let (trace, span, parent) = ids;
+        let span = if span != 0 {
+            format!(",\"span\":{span}")
+        } else {
+            String::new()
+        };
+        let dur = dur.map_or(String::new(), |d| format!(",\"dur_ns\":{d}"));
+        format!(
+            "{{\"seq\":{seq},\"ts_ns\":{ts},\"thread\":\"{thread}\",\"kind\":\"{kind}\",\"name\":\"{name}\",\"depth\":{depth},\"trace\":{trace}{span},\"parent\":{parent}{dur},\"fields\":{{}}}}"
         )
     }
 
@@ -348,6 +474,20 @@ mod tests {
     }
 
     #[test]
+    fn real_traced_recorder_output_is_clean() {
+        let rec = qcat_obs::Recorder::buffered();
+        qcat_obs::with_recorder(&rec, || {
+            let scope = qcat_obs::TraceScope::start();
+            assert_ne!(scope.id(), 0);
+            let _a = qcat_obs::span!("serve.query");
+            let _b = qcat_obs::span!("serve.fill");
+            qcat_obs::event!("serve.degraded", reason = "shed");
+        });
+        let text = rec.drain_jsonl();
+        assert_eq!(audit_trace("live.jsonl", &text), vec![], "{text}");
+    }
+
+    #[test]
     fn t1_rejects_garbage_missing_keys_and_bad_seq() {
         let text = [
             "not json at all".to_string(),
@@ -362,6 +502,19 @@ mod tests {
         // The dur-less close is rejected at T1 and never reaches the
         // stack, so the trailing close does not also fire T2.
         assert_eq!(ids(&diags), vec!["T1", "T1", "T1", "T1", "T1"]);
+    }
+
+    #[test]
+    fn t1_rejects_mistyped_identity_keys() {
+        let bad_trace =
+            "{\"seq\":1,\"ts_ns\":5,\"thread\":\"main\",\"kind\":\"event\",\"name\":\"a\",\"depth\":0,\"trace\":-3,\"fields\":{}}";
+        let bad_span =
+            "{\"seq\":2,\"ts_ns\":6,\"thread\":\"main\",\"kind\":\"event\",\"name\":\"a\",\"depth\":0,\"span\":1.5,\"fields\":{}}";
+        let event_with_span =
+            "{\"seq\":3,\"ts_ns\":7,\"thread\":\"main\",\"kind\":\"event\",\"name\":\"a\",\"depth\":0,\"span\":4,\"fields\":{}}";
+        let text = [bad_trace, bad_span, event_with_span].join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        assert_eq!(ids(&diags), vec!["T1", "T1", "T1"], "{diags:?}");
     }
 
     #[test]
@@ -409,6 +562,56 @@ mod tests {
         let diags = audit_trace("t.jsonl", &text);
         assert_eq!(ids(&diags), vec!["T2"]);
         assert!(diags[0].message.contains("depth 5"), "{diags:?}");
+    }
+
+    #[test]
+    fn t2_close_must_carry_the_open_span_id() {
+        let text = [
+            idline(1, 10, "main", "span_open", "a", 0, (7, 1, 0), None),
+            idline(2, 30, "main", "span_close", "a", 0, (7, 2, 0), Some(20)),
+        ]
+        .join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        // The close's span id 2 also never opened (T5) and mismatches
+        // the innermost open (T2).
+        assert!(ids(&diags).contains(&"T2"), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("carries span id 2")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn t2_traces_interleave_on_one_thread_but_stay_lifo_within() {
+        // An untraced outer span (trace 0) around a traced inner pair:
+        // legal, because LIFO is per (thread, trace). The traced span
+        // is a root of its own trace (parent 0) — parenthood never
+        // crosses a trace boundary.
+        let text = [
+            idline(1, 10, "main", "span_open", "outer", 0, (0, 1, 0), None),
+            idline(2, 20, "main", "span_open", "q", 1, (9, 2, 0), None),
+            idline(3, 30, "main", "span_close", "q", 1, (9, 2, 0), Some(10)),
+            idline(4, 40, "main", "span_close", "outer", 0, (0, 1, 0), Some(30)),
+        ]
+        .join("\n");
+        assert_eq!(audit_trace("t.jsonl", &text), vec![]);
+
+        // But closing across traces is not: trace 9's close cannot
+        // consume trace 0's open.
+        let text = [
+            idline(1, 10, "main", "span_open", "outer", 0, (0, 1, 0), None),
+            idline(2, 30, "main", "span_close", "outer", 0, (9, 1, 0), Some(20)),
+        ]
+        .join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule.id() == "T2" && d.message.contains("no span open in trace 9")),
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -505,6 +708,52 @@ mod tests {
         let diags = audit_trace("t.jsonl", &text);
         assert_eq!(ids(&diags), vec!["T4"]);
         assert!(diags[0].message.contains("worker-1"), "{diags:?}");
+    }
+
+    #[test]
+    fn t5_parents_must_exist_within_the_trace() {
+        // A worker span parented to the caller's span in the same
+        // trace, across threads: clean.
+        let text = [
+            idline(1, 10, "main", "span_open", "serve.query", 0, (3, 1, 0), None),
+            idline(2, 20, "qcat-pool-0", "span_open", "item", 0, (3, 2, 1), None),
+            idline(3, 25, "qcat-pool-0", "event", "tick", 1, (3, 0, 2), None),
+            idline(4, 30, "qcat-pool-0", "span_close", "item", 0, (3, 2, 1), Some(10)),
+            idline(5, 50, "main", "span_close", "serve.query", 0, (3, 1, 0), Some(40)),
+        ]
+        .join("\n");
+        assert_eq!(audit_trace("t.jsonl", &text), vec![]);
+
+        // A parent id from a *different* trace does not count, and an
+        // unknown parent is flagged on events too.
+        let text = [
+            idline(1, 10, "main", "span_open", "a", 0, (3, 1, 0), None),
+            idline(2, 20, "main", "span_open", "b", 1, (4, 2, 1), None), // parent 1 is trace 3
+            idline(3, 25, "main", "event", "e", 2, (4, 0, 99), None),    // parent 99 never opened
+            idline(4, 30, "main", "span_close", "b", 1, (4, 2, 1), Some(10)),
+            idline(5, 40, "main", "span_close", "a", 0, (3, 1, 0), Some(30)),
+        ]
+        .join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        assert_eq!(ids(&diags), vec!["T5", "T5", "T5"], "{diags:?}");
+        assert!(
+            diags[0].message.contains("no such span opened in trace 4"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn t5_span_ids_are_not_reused_within_a_trace() {
+        let text = [
+            idline(1, 10, "main", "span_open", "a", 0, (3, 1, 0), None),
+            idline(2, 20, "main", "span_open", "b", 1, (3, 1, 1), None), // id 1 again
+            idline(3, 30, "main", "span_close", "b", 1, (3, 1, 1), Some(10)),
+            idline(4, 40, "main", "span_close", "a", 0, (3, 1, 0), Some(30)),
+        ]
+        .join("\n");
+        let diags = audit_trace("t.jsonl", &text);
+        assert_eq!(ids(&diags), vec!["T5"], "{diags:?}");
+        assert!(diags[0].message.contains("reused within trace 3"), "{diags:?}");
     }
 
     #[test]

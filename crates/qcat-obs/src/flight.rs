@@ -1,0 +1,197 @@
+//! The anomaly flight recorder: bounded per-trace capture with
+//! tail-based sampling.
+//!
+//! While a trace is open (see [`crate::trace::TraceScope`]) the
+//! recorder keeps a copy of its JSONL lines in a fixed-capacity
+//! buffer. When the trace ends, its fate is decided *by how it ended*
+//! — tail-based sampling:
+//!
+//! - **Anomalous** traces (a `serve.shed`/`serve.degraded` event, any
+//!   `fault.*`/`budget.exceeded`-family counter, or an explicit
+//!   [`crate::trace::TraceScope::mark`]) are dumped in full.
+//! - **Slow** traces — total duration at or above
+//!   [`FlightConfig::slow_ns`] — are dumped in full.
+//! - **Healthy** traces are dumped at one in
+//!   [`FlightConfig::sample_every`] (0 disables sampling) and
+//!   otherwise discarded, buffers reused.
+//!
+//! Dumps land in a bounded ring inside the recorder
+//! ([`crate::Recorder::flight_dumps`]); the oldest dump is evicted
+//! when the ring is full. Every buffer is capacity-capped so a
+//! runaway trace cannot grow memory without bound — lines beyond
+//! [`FlightConfig::per_trace_line_cap`] are counted, not stored.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Flight-recorder tunables. The defaults keep only anomalous traces:
+/// no slow threshold, no healthy sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Master switch. Even when `true`, capture only happens on
+    /// recorders that emit events (there are no lines to keep
+    /// otherwise) and only inside a `TraceScope`.
+    pub enabled: bool,
+    /// How many finished dumps the ring retains (oldest evicted).
+    pub dump_capacity: usize,
+    /// Per-trace line cap; lines beyond it are counted as truncated.
+    pub per_trace_line_cap: usize,
+    /// Dump any trace lasting at least this many nanoseconds.
+    /// `u64::MAX` disables the slow path.
+    pub slow_ns: u64,
+    /// Dump one in this many *healthy* traces (0 = none).
+    pub sample_every: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            enabled: true,
+            dump_capacity: 32,
+            per_trace_line_cap: 4096,
+            slow_ns: u64::MAX,
+            sample_every: 0,
+        }
+    }
+}
+
+/// Why a trace was dumped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DumpReason {
+    /// The trace ended anomalously; the payload is the first anomaly
+    /// observed (an event/counter name, or a caller-supplied mark).
+    Anomaly(String),
+    /// Total trace duration reached [`FlightConfig::slow_ns`].
+    Slow,
+    /// A healthy trace chosen by the sampling rate.
+    Sampled,
+}
+
+impl fmt::Display for DumpReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpReason::Anomaly(what) => write!(f, "anomaly:{what}"),
+            DumpReason::Slow => f.write_str("slow"),
+            DumpReason::Sampled => f.write_str("sampled"),
+        }
+    }
+}
+
+/// One dumped trace: the full causal span tree as raw JSONL lines.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The trace id every line carries.
+    pub trace: u64,
+    /// Why this trace was kept.
+    pub reason: DumpReason,
+    /// Wall-clock duration of the whole trace in nanoseconds.
+    pub dur_ns: u64,
+    /// The trace's JSONL lines, in emission (seq) order.
+    pub lines: Vec<String>,
+    /// Lines dropped because the per-trace buffer cap was reached.
+    pub truncated: usize,
+}
+
+impl FlightDump {
+    /// The dump as one JSONL document (auditable by
+    /// `qcat-lint --audit-trace`).
+    pub fn to_jsonl(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    /// Per-phase breakdown: total `dur_ns` of the dump's `span_close`
+    /// lines grouped by span name, sorted by descending total. This is
+    /// what a slow-query log reports as "where the time went".
+    pub fn phase_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for line in &self.lines {
+            let Ok(v) = crate::json::parse(line) else {
+                continue;
+            };
+            if v.get("kind").and_then(JsonValue::as_str) != Some("span_close") {
+                continue;
+            }
+            let (Some(name), Some(dur)) = (
+                v.get("name").and_then(JsonValue::as_str),
+                v.get("dur_ns").and_then(JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            if dur >= 0.0 {
+                *totals.entry(name.to_string()).or_insert(0) += dur as u64;
+            }
+        }
+        let mut out: Vec<(String, u64)> = totals.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Whether a counter or event name marks its trace anomalous: the
+/// governance/failure taxonomy from PR 5 plus pool cancellation.
+pub(crate) fn is_anomaly_signal(name: &str) -> bool {
+    name.starts_with("fault.")
+        || matches!(
+            name,
+            "budget.exceeded"
+                | "pool.cancelled"
+                | "serve.shed"
+                | "serve.degraded"
+                | "serve.cancel"
+                | "categorize.degraded"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_renders() {
+        assert_eq!(DumpReason::Anomaly("serve.shed".into()).to_string(), "anomaly:serve.shed");
+        assert_eq!(DumpReason::Slow.to_string(), "slow");
+        assert_eq!(DumpReason::Sampled.to_string(), "sampled");
+    }
+
+    #[test]
+    fn anomaly_signals_match_the_taxonomy() {
+        for name in [
+            "fault.injected",
+            "fault.error",
+            "budget.exceeded",
+            "pool.cancelled",
+            "serve.shed",
+            "serve.degraded",
+            "categorize.degraded",
+        ] {
+            assert!(is_anomaly_signal(name), "{name}");
+        }
+        for name in ["serve.cache.hit", "pool.tasks", "exec.rows_scanned"] {
+            assert!(!is_anomaly_signal(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn phase_totals_group_span_closes() {
+        let dump = FlightDump {
+            trace: 7,
+            reason: DumpReason::Slow,
+            dur_ns: 100,
+            lines: vec![
+                r#"{"seq":1,"ts_ns":0,"thread":"main","kind":"span_open","name":"a","depth":0,"trace":7,"span":1,"parent":0,"fields":{}}"#.into(),
+                r#"{"seq":2,"ts_ns":40,"thread":"main","kind":"span_close","name":"a","depth":0,"trace":7,"span":1,"parent":0,"dur_ns":40,"fields":{}}"#.into(),
+                r#"{"seq":3,"ts_ns":50,"thread":"main","kind":"span_open","name":"b","depth":0,"trace":7,"span":2,"parent":0,"fields":{}}"#.into(),
+                r#"{"seq":4,"ts_ns":60,"thread":"main","kind":"span_close","name":"b","depth":0,"trace":7,"span":2,"parent":0,"dur_ns":10,"fields":{}}"#.into(),
+                r#"{"seq":5,"ts_ns":70,"thread":"main","kind":"span_open","name":"a","depth":0,"trace":7,"span":3,"parent":0,"fields":{}}"#.into(),
+                r#"{"seq":6,"ts_ns":90,"thread":"main","kind":"span_close","name":"a","depth":0,"trace":7,"span":3,"parent":0,"dur_ns":20,"fields":{}}"#.into(),
+            ],
+            truncated: 0,
+        };
+        assert_eq!(
+            dump.phase_totals(),
+            vec![("a".to_string(), 60), ("b".to_string(), 10)]
+        );
+        assert_eq!(dump.to_jsonl().lines().count(), 6);
+    }
+}

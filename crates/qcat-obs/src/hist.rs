@@ -11,14 +11,41 @@
 /// Bucket count: 16 exact small buckets + 60 exponents × 4 sub-buckets.
 const BUCKETS: usize = 16 + 60 * 4;
 
+/// How many tail exemplars a histogram retains.
+const MAX_EXEMPLARS: usize = 4;
+
+/// A tail exemplar: one of the largest samples recorded, tagged with
+/// the trace it came from, so a p99 outlier in a snapshot links
+/// directly to a flight-recorder dump of the offending query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sample value (nanoseconds by convention).
+    pub value_ns: u64,
+    /// The trace id active when the sample was recorded (never 0 —
+    /// untraced samples are not kept as exemplars).
+    pub trace: u64,
+}
+
 /// A fixed-bucket histogram of `u64` samples (nanoseconds by
 /// convention).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the distribution (buckets, count, sum) only —
+/// tail exemplars carry run-specific trace ids and are excluded.
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u64,
+    exemplars: Vec<Exemplar>,
 }
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.buckets == other.buckets && self.count == other.count && self.sum == other.sum
+    }
+}
+
+impl Eq for Histogram {}
 
 impl Default for Histogram {
     fn default() -> Self {
@@ -66,6 +93,7 @@ impl Histogram {
             buckets: vec![0; BUCKETS],
             count: 0,
             sum: 0,
+            exemplars: Vec::new(),
         }
     }
 
@@ -76,6 +104,33 @@ impl Histogram {
         }
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Record one sample tagged with the trace it came from. When
+    /// `trace` is nonzero and the sample ranks among the largest seen,
+    /// it is kept as a tail [`Exemplar`].
+    pub fn record_with_trace(&mut self, v: u64, trace: u64) {
+        self.record(v);
+        if trace == 0 {
+            return;
+        }
+        if self.exemplars.len() < MAX_EXEMPLARS {
+            self.exemplars.push(Exemplar { value_ns: v, trace });
+            self.exemplars.sort_by(|a, b| b.value_ns.cmp(&a.value_ns));
+        } else if self
+            .exemplars
+            .last()
+            .is_some_and(|smallest| v > smallest.value_ns)
+        {
+            self.exemplars.pop();
+            self.exemplars.push(Exemplar { value_ns: v, trace });
+            self.exemplars.sort_by(|a, b| b.value_ns.cmp(&a.value_ns));
+        }
+    }
+
+    /// The retained tail exemplars, largest first.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
     }
 
     /// Number of samples.
@@ -125,7 +180,9 @@ impl Histogram {
 
     /// Bucket-wise difference `self − baseline` (saturating): the
     /// samples recorded since `baseline` was snapshotted from the
-    /// same histogram.
+    /// same histogram. Exemplars are not differenced — the delta keeps
+    /// the current tail exemplars, which already reflect the largest
+    /// samples seen so far.
     pub fn delta(&self, baseline: &Histogram) -> Histogram {
         let buckets = self
             .buckets
@@ -137,6 +194,7 @@ impl Histogram {
             buckets,
             count: self.count.saturating_sub(baseline.count),
             sum: self.sum.saturating_sub(baseline.sum),
+            exemplars: self.exemplars.clone(),
         }
     }
 }
@@ -196,6 +254,28 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_traced_samples() {
+        let mut h = Histogram::new();
+        h.record_with_trace(50, 0); // untraced: never an exemplar
+        for (v, t) in [(10u64, 1u64), (500, 2), (20, 3), (300, 4), (400, 5), (5, 6)] {
+            h.record_with_trace(v, t);
+        }
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), MAX_EXEMPLARS);
+        let values: Vec<u64> = ex.iter().map(|e| e.value_ns).collect();
+        assert_eq!(values, vec![500, 400, 300, 20]);
+        assert_eq!(ex[0].trace, 2, "p-max links to its trace");
+        assert!(ex.iter().all(|e| e.trace != 0));
+        // Equality ignores exemplars: same distribution, different tags.
+        let mut other = Histogram::new();
+        other.record(50);
+        for v in [10u64, 500, 20, 300, 400, 5] {
+            other.record(v);
+        }
+        assert_eq!(h, other);
     }
 
     #[test]

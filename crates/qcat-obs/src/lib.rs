@@ -21,6 +21,13 @@
 //!   [`gauge`]s, and per-span-name latency histograms.
 //! - **Events** ([`event!`]): point-in-time records with key/value
 //!   [`Value`] fields.
+//! - **Traces** ([`TraceScope`], [`capture_parent`]): a query-scoped
+//!   causal identity — every line carries `trace`/`span`/`parent` ids,
+//!   propagated into `qcat-pool` workers so work items open real
+//!   parented spans on their own threads.
+//! - **Flight recorder** ([`flight`]): bounded per-trace capture with
+//!   tail-based sampling — anomalous, slow, or sampled traces are
+//!   retained as full causal dumps; the rest are discarded.
 //! - **Exporters**: a human-readable summary ([`summary::render`])
 //!   and a machine-readable JSONL event log (one JSON object per
 //!   line; schema in `docs/OBSERVABILITY.md`), auditable by
@@ -48,19 +55,23 @@
 //! assert!(log.lines().count() >= 3);
 //! ```
 
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod span;
 pub mod summary;
+pub mod trace;
 pub mod value;
 
-pub use hist::Histogram;
+pub use flight::{DumpReason, FlightConfig, FlightDump};
+pub use hist::{Exemplar, Histogram};
 pub use recorder::{
     active, counter, current_recorder, event_with, finish_global, gauge, global_mode,
     init_from_env, install_global, with_recorder, Recorder, Snapshot, SpanStats, TraceMode,
 };
 pub use span::{span, span_with, SpanGuard};
+pub use trace::{capture_parent, current_trace, ParentContext, TraceScope};
 pub use value::Value;
 
 /// Open a timed span: `span!("name")` or

@@ -8,12 +8,13 @@
 //! atomic load.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use crate::flight::{is_anomaly_signal, DumpReason, FlightConfig, FlightDump};
 use crate::hist::Histogram;
 use crate::value::Value;
 
@@ -38,6 +39,25 @@ enum Sink {
     Writer(Box<dyn Write + Send>),
 }
 
+/// One in-progress trace's flight-recorder buffer.
+struct TraceBuf {
+    start_ns: u64,
+    lines: Vec<String>,
+    truncated: usize,
+    /// First anomaly signal observed (counter/event name or explicit
+    /// mark); `Some` guarantees a dump at trace end.
+    anomaly: Option<String>,
+}
+
+/// Flight-recorder state: live trace buffers plus the finished-dump
+/// ring. All bounded — see [`FlightConfig`].
+struct FlightState {
+    config: FlightConfig,
+    traces: BTreeMap<u64, TraceBuf>,
+    dumps: VecDeque<FlightDump>,
+    healthy_seen: u64,
+}
+
 /// Mutable recorder state behind one mutex. Instrumented code only
 /// touches it when tracing is *on*, so a plain mutex (not sharded
 /// atomics) keeps the disabled path free and the enabled path simple.
@@ -46,6 +66,17 @@ struct State {
     counters: BTreeMap<String, i64>,
     gauges: BTreeMap<String, f64>,
     spans: BTreeMap<String, Histogram>,
+    flight: FlightState,
+}
+
+/// The causal-identity triple a trace line carries: the trace it
+/// belongs to, its own span id (span kinds only), and its parent span
+/// id (0 = root of its trace).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LineIds {
+    pub trace: u64,
+    pub span: u64,
+    pub parent: u64,
 }
 
 struct Inner {
@@ -91,6 +122,12 @@ impl Recorder {
                     counters: BTreeMap::new(),
                     gauges: BTreeMap::new(),
                     spans: BTreeMap::new(),
+                    flight: FlightState {
+                        config: FlightConfig::default(),
+                        traces: BTreeMap::new(),
+                        dumps: VecDeque::new(),
+                        healthy_seen: 0,
+                    },
                 }),
             }),
         }
@@ -125,6 +162,10 @@ impl Recorder {
     /// Serialize one trace line. `dur_ns` is present only on
     /// `span_close`. Callers pass a pre-captured `ts_ns` so the close
     /// duration equals exactly `close.ts_ns - open.ts_ns`.
+    ///
+    /// The `seq` number is allocated *inside* the sink lock so the
+    /// emitted file order is the seq order even when worker threads
+    /// emit concurrently — the T1 strictly-increasing contract.
     pub(crate) fn emit_line(
         &self,
         ts_ns: u64,
@@ -132,40 +173,62 @@ impl Recorder {
         name: &str,
         depth: usize,
         dur_ns: Option<u64>,
+        ids: LineIds,
         fields: &[(&'static str, Value)],
     ) {
         if !self.inner.emit_events {
             return;
         }
-        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        let mut line = String::with_capacity(128);
-        line.push_str("{\"seq\":");
-        line.push_str(&seq.to_string());
-        line.push_str(",\"ts_ns\":");
-        line.push_str(&ts_ns.to_string());
-        line.push_str(",\"thread\":");
-        line.push_str(&crate::json::escape(&crate::span::thread_label()));
-        line.push_str(",\"kind\":\"");
-        line.push_str(kind);
-        line.push_str("\",\"name\":");
-        line.push_str(&crate::json::escape(name));
-        line.push_str(",\"depth\":");
-        line.push_str(&depth.to_string());
-        if let Some(dur) = dur_ns {
-            line.push_str(",\"dur_ns\":");
-            line.push_str(&dur.to_string());
+        // Everything after the seq number formats outside the lock.
+        let mut tail = String::with_capacity(160);
+        tail.push_str(",\"ts_ns\":");
+        tail.push_str(&ts_ns.to_string());
+        tail.push_str(",\"thread\":");
+        tail.push_str(&crate::json::escape(&crate::span::thread_label()));
+        tail.push_str(",\"kind\":\"");
+        tail.push_str(kind);
+        tail.push_str("\",\"name\":");
+        tail.push_str(&crate::json::escape(name));
+        tail.push_str(",\"depth\":");
+        tail.push_str(&depth.to_string());
+        tail.push_str(",\"trace\":");
+        tail.push_str(&ids.trace.to_string());
+        if ids.span != 0 {
+            tail.push_str(",\"span\":");
+            tail.push_str(&ids.span.to_string());
         }
-        line.push_str(",\"fields\":{");
+        tail.push_str(",\"parent\":");
+        tail.push_str(&ids.parent.to_string());
+        if let Some(dur) = dur_ns {
+            tail.push_str(",\"dur_ns\":");
+            tail.push_str(&dur.to_string());
+        }
+        tail.push_str(",\"fields\":{");
         for (i, (k, v)) in fields.iter().enumerate() {
             if i > 0 {
-                line.push(',');
+                tail.push(',');
             }
-            line.push_str(&crate::json::escape(k));
-            line.push(':');
-            line.push_str(&v.to_json());
+            tail.push_str(&crate::json::escape(k));
+            tail.push(':');
+            tail.push_str(&v.to_json());
         }
-        line.push_str("}}");
+        tail.push_str("}}");
         let mut state = lock_state(&self.inner);
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let line = format!("{{\"seq\":{seq}{tail}");
+        if ids.trace != 0 && state.flight.config.enabled {
+            let cap = state.flight.config.per_trace_line_cap;
+            if let Some(buf) = state.flight.traces.get_mut(&ids.trace) {
+                if buf.lines.len() < cap {
+                    buf.lines.push(line.clone());
+                } else {
+                    buf.truncated += 1;
+                }
+                if kind == "event" && is_anomaly_signal(name) && buf.anomaly.is_none() {
+                    buf.anomaly = Some(name.to_string());
+                }
+            }
+        }
         match &mut state.sink {
             Sink::Null => {}
             Sink::Buffer(buf) => buf.push(line),
@@ -175,25 +238,38 @@ impl Recorder {
         }
     }
 
-    /// Record a closed span's duration into its per-name histogram.
-    pub(crate) fn record_span(&self, name: &str, dur_ns: u64) {
+    /// Record a closed span's duration into its per-name histogram,
+    /// tagging the sample with the trace it belongs to (0 = untraced)
+    /// so tail exemplars can link back to a flight-recorder dump.
+    pub(crate) fn record_span(&self, name: &str, dur_ns: u64, trace: u64) {
         let mut state = lock_state(&self.inner);
         // get_mut-first keeps the steady state allocation-free.
         if let Some(h) = state.spans.get_mut(name) {
-            h.record(dur_ns);
+            h.record_with_trace(dur_ns, trace);
         } else {
             let mut h = Histogram::new();
-            h.record(dur_ns);
+            h.record_with_trace(dur_ns, trace);
             state.spans.insert(name.to_string(), h);
         }
     }
 
     fn add_counter(&self, name: &str, delta: i64) {
+        let trace = crate::trace::current_trace();
         let mut state = lock_state(&self.inner);
         if let Some(v) = state.counters.get_mut(name) {
             *v += delta;
         } else {
             state.counters.insert(name.to_string(), delta);
+        }
+        // Anomaly signals travel as counters (budget.exceeded,
+        // fault.*, pool.cancelled, ...), so the flight recorder hooks
+        // the counter path too, not just events.
+        if trace != 0 && is_anomaly_signal(name) {
+            if let Some(buf) = state.flight.traces.get_mut(&trace) {
+                if buf.anomaly.is_none() {
+                    buf.anomaly = Some(name.to_string());
+                }
+            }
         }
     }
 
@@ -221,6 +297,108 @@ impl Recorder {
         if let Sink::Writer(w) = &mut state.sink {
             let _ = w.flush();
         }
+    }
+
+    /// Replace this recorder's flight-recorder configuration. In-flight
+    /// trace buffers keep capturing under the new caps.
+    pub fn set_flight_config(&self, config: FlightConfig) {
+        lock_state(&self.inner).flight.config = config;
+    }
+
+    /// The current flight-recorder configuration.
+    pub fn flight_config(&self) -> FlightConfig {
+        lock_state(&self.inner).flight.config
+    }
+
+    /// Begin capturing a trace (called by `TraceScope::start`).
+    pub(crate) fn trace_begin(&self, trace: u64) {
+        if !self.inner.emit_events {
+            return;
+        }
+        let now = self.now_ns();
+        let mut state = lock_state(&self.inner);
+        if !state.flight.config.enabled {
+            return;
+        }
+        state.flight.traces.insert(
+            trace,
+            TraceBuf {
+                start_ns: now,
+                lines: Vec::new(),
+                truncated: 0,
+                anomaly: None,
+            },
+        );
+    }
+
+    /// Mark an in-flight trace anomalous, guaranteeing a dump.
+    pub fn mark_trace(&self, trace: u64, reason: &str) {
+        if trace == 0 {
+            return;
+        }
+        let mut state = lock_state(&self.inner);
+        if let Some(buf) = state.flight.traces.get_mut(&trace) {
+            if buf.anomaly.is_none() {
+                buf.anomaly = Some(reason.to_string());
+            }
+        }
+    }
+
+    /// End a trace (called by `TraceScope`'s drop): tail-based
+    /// sampling decides whether the buffered lines become a dump.
+    pub(crate) fn trace_end(&self, trace: u64) {
+        let now = self.now_ns();
+        let mut state = lock_state(&self.inner);
+        let Some(buf) = state.flight.traces.remove(&trace) else {
+            return;
+        };
+        let dur_ns = now.saturating_sub(buf.start_ns);
+        let reason = if let Some(what) = buf.anomaly {
+            DumpReason::Anomaly(what)
+        } else if dur_ns >= state.flight.config.slow_ns {
+            DumpReason::Slow
+        } else {
+            state.flight.healthy_seen += 1;
+            let every = state.flight.config.sample_every;
+            if every > 0 && state.flight.healthy_seen % every == 0 {
+                DumpReason::Sampled
+            } else {
+                return; // healthy and unsampled: discard
+            }
+        };
+        let dump = FlightDump {
+            trace,
+            reason,
+            dur_ns,
+            lines: buf.lines,
+            truncated: buf.truncated,
+        };
+        let cap = state.flight.config.dump_capacity.max(1);
+        while state.flight.dumps.len() >= cap {
+            state.flight.dumps.pop_front();
+        }
+        state.flight.dumps.push_back(dump);
+    }
+
+    /// Copies of the retained flight-recorder dumps, oldest first.
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        lock_state(&self.inner).flight.dumps.iter().cloned().collect()
+    }
+
+    /// Drain the retained flight-recorder dumps, oldest first.
+    pub fn take_flight_dumps(&self) -> Vec<FlightDump> {
+        lock_state(&self.inner).flight.dumps.drain(..).collect()
+    }
+
+    /// The retained dump for one trace id, if still in the ring.
+    pub fn flight_dump_for(&self, trace: u64) -> Option<FlightDump> {
+        lock_state(&self.inner)
+            .flight
+            .dumps
+            .iter()
+            .rev()
+            .find(|d| d.trace == trace)
+            .cloned()
     }
 
     /// Copy out the current aggregate metrics.
@@ -262,6 +440,10 @@ pub struct SpanStats {
     pub p95_ns: u64,
     /// Approximate 99th-percentile duration in nanoseconds.
     pub p99_ns: u64,
+    /// Tail exemplars: the largest traced samples, each linking a
+    /// duration to the trace id that produced it (and thence to a
+    /// flight-recorder dump).
+    pub exemplars: Vec<crate::hist::Exemplar>,
 }
 
 impl Snapshot {
@@ -304,6 +486,7 @@ impl Snapshot {
                 p50_ns: h.quantile(0.50),
                 p95_ns: h.quantile(0.95),
                 p99_ns: h.quantile(0.99),
+                exemplars: h.exemplars().to_vec(),
             })
             .collect();
         stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
@@ -395,12 +578,24 @@ pub fn global_mode() -> TraceMode {
     }
 }
 
+/// Where [`finish_global`] writes the flight-recorder dumps, when
+/// `QCAT_FLIGHT_FILE` was set at init.
+static FLIGHT_FILE: OnceLock<String> = OnceLock::new();
+
 /// Read `QCAT_TRACE` (`off`/`text`/`json`; unset or unknown = off) and
 /// install a matching global recorder. In `json` mode the JSONL stream
 /// goes to the path in `QCAT_TRACE_FILE`, or stderr when unset; if the
 /// file cannot be created, falls back to stderr after one warning
 /// line. Binaries call this once at startup — library crates never
 /// read the environment.
+///
+/// Flight-recorder knobs (JSON mode only):
+/// - `QCAT_SLOW_MS` — dump any trace lasting at least this many
+///   milliseconds (unset = no slow threshold).
+/// - `QCAT_TRACE_SAMPLE` — dump one in N healthy traces (unset = 0,
+///   no healthy sampling).
+/// - `QCAT_FLIGHT_FILE` — [`finish_global`] writes the retained dumps
+///   to this path as concatenated JSONL.
 pub fn init_from_env() -> TraceMode {
     let mode = match std::env::var("QCAT_TRACE").ok().as_deref() {
         Some("text") => TraceMode::Text,
@@ -423,21 +618,53 @@ pub fn init_from_env() -> TraceMode {
                 },
                 None => Box::new(std::io::stderr()),
             };
-            install_global(Recorder::to_writer(sink), TraceMode::Json);
+            let rec = Recorder::to_writer(sink);
+            let env_u64 = |key: &str| {
+                std::env::var(key)
+                    .ok()
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+            };
+            let mut flight = FlightConfig::default();
+            if let Some(ms) = env_u64("QCAT_SLOW_MS") {
+                flight.slow_ns = ms.saturating_mul(1_000_000);
+            }
+            if let Some(every) = env_u64("QCAT_TRACE_SAMPLE") {
+                flight.sample_every = every;
+            }
+            rec.set_flight_config(flight);
+            if let Ok(path) = std::env::var("QCAT_FLIGHT_FILE") {
+                let _ = FLIGHT_FILE.set(path);
+            }
+            install_global(rec, TraceMode::Json);
         }
     }
     mode
 }
 
-/// Finish the global recorder: flush a JSON stream, or render the
-/// text summary to stderr in text mode. Call once before exit.
+/// Finish the global recorder: flush a JSON stream (and write the
+/// flight-recorder dumps to `QCAT_FLIGHT_FILE` if configured), or
+/// render the text summary to stderr in text mode. Call once before
+/// exit.
 pub fn finish_global() {
     let Some(rec) = GLOBAL.get() else {
         return;
     };
     match global_mode() {
         TraceMode::Off => {}
-        TraceMode::Json => rec.flush(),
+        TraceMode::Json => {
+            rec.flush();
+            if let Some(path) = FLIGHT_FILE.get() {
+                let dumps = rec.flight_dumps();
+                let mut out = String::new();
+                for d in &dumps {
+                    out.push_str(&d.to_jsonl());
+                    out.push('\n');
+                }
+                if let Err(e) = std::fs::write(path, out) {
+                    eprintln!("qcat-obs: cannot write QCAT_FLIGHT_FILE `{path}`: {e}");
+                }
+            }
+        }
         TraceMode::Text => {
             eprintln!("{}", crate::summary::render(&rec.snapshot()));
         }
@@ -477,7 +704,12 @@ pub fn gauge(name: &str, v: f64) {
 pub fn event_with(name: &str, fields: Vec<(&'static str, Value)>) {
     if let Some(rec) = current_recorder() {
         let ts = rec.now_ns();
-        rec.emit_line(ts, "event", name, crate::span::current_depth(), None, &fields);
+        let ids = LineIds {
+            trace: crate::trace::current_trace(),
+            span: 0,
+            parent: crate::trace::current_parent(),
+        };
+        rec.emit_line(ts, "event", name, crate::span::current_depth(), None, ids, &fields);
     }
 }
 
@@ -563,12 +795,114 @@ mod tests {
     #[test]
     fn span_stats_sorted_by_total() {
         let rec = Recorder::metrics_only();
-        rec.record_span("t.fast", 10);
-        rec.record_span("t.slow", 1_000_000);
+        rec.record_span("t.fast", 10, 0);
+        rec.record_span("t.slow", 1_000_000, 0);
         let stats = rec.snapshot().span_stats();
         assert_eq!(stats[0].name, "t.slow");
         assert_eq!(stats[1].name, "t.fast");
         assert_eq!(stats[0].count, 1);
         assert!(stats[0].p95_ns >= stats[1].p95_ns);
+    }
+
+    #[test]
+    fn anomalous_trace_is_dumped_in_full() {
+        let rec = Recorder::buffered();
+        let trace = with_recorder(&rec, || {
+            let t = crate::trace::TraceScope::start();
+            let _s = crate::span!("t.flight.query");
+            crate::event!("serve.degraded", reason = "budget");
+            t.id()
+        });
+        assert_ne!(trace, 0);
+        let dumps = rec.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        let d = &dumps[0];
+        assert_eq!(d.trace, trace);
+        assert_eq!(
+            d.reason,
+            crate::flight::DumpReason::Anomaly("serve.degraded".into())
+        );
+        assert_eq!(d.lines.len(), 3, "open + event + close");
+        assert_eq!(d.truncated, 0);
+        assert_eq!(rec.flight_dump_for(trace).map(|d| d.trace), Some(trace));
+        assert!(rec.flight_dump_for(trace + 1).is_none());
+    }
+
+    #[test]
+    fn anomaly_counters_mark_the_trace_too() {
+        let rec = Recorder::buffered();
+        with_recorder(&rec, || {
+            let _t = crate::trace::TraceScope::start();
+            let _s = crate::span!("t.flight.budget");
+            counter("budget.exceeded", 1);
+        });
+        let dumps = rec.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(
+            dumps[0].reason,
+            crate::flight::DumpReason::Anomaly("budget.exceeded".into())
+        );
+    }
+
+    #[test]
+    fn healthy_traces_are_discarded_unless_sampled() {
+        let rec = Recorder::buffered();
+        let mut cfg = crate::flight::FlightConfig::default();
+        cfg.sample_every = 3;
+        rec.set_flight_config(cfg);
+        with_recorder(&rec, || {
+            for _ in 0..6 {
+                let _t = crate::trace::TraceScope::start();
+                let _s = crate::span!("t.flight.healthy");
+            }
+        });
+        let dumps = rec.flight_dumps();
+        assert_eq!(dumps.len(), 2, "one in three healthy traces kept");
+        assert!(dumps
+            .iter()
+            .all(|d| d.reason == crate::flight::DumpReason::Sampled));
+    }
+
+    #[test]
+    fn slow_threshold_dumps_and_ring_is_bounded() {
+        let rec = Recorder::buffered();
+        let mut cfg = crate::flight::FlightConfig::default();
+        cfg.slow_ns = 0; // everything is "slow"
+        cfg.dump_capacity = 2;
+        rec.set_flight_config(cfg);
+        let ids: Vec<u64> = with_recorder(&rec, || {
+            (0..4)
+                .map(|_| {
+                    let t = crate::trace::TraceScope::start();
+                    let _s = crate::span!("t.flight.slow");
+                    t.id()
+                })
+                .collect()
+        });
+        let dumps = rec.take_flight_dumps();
+        assert_eq!(dumps.len(), 2, "ring keeps only the newest two");
+        assert_eq!(dumps[0].trace, ids[2]);
+        assert_eq!(dumps[1].trace, ids[3]);
+        assert!(dumps.iter().all(|d| d.reason == crate::flight::DumpReason::Slow));
+        assert!(rec.flight_dumps().is_empty(), "take drains the ring");
+    }
+
+    #[test]
+    fn per_trace_buffer_caps_and_counts_truncation() {
+        let rec = Recorder::buffered();
+        let mut cfg = crate::flight::FlightConfig::default();
+        cfg.per_trace_line_cap = 4;
+        cfg.slow_ns = 0;
+        rec.set_flight_config(cfg);
+        with_recorder(&rec, || {
+            let _t = crate::trace::TraceScope::start();
+            for _ in 0..4 {
+                let _s = crate::span!("t.flight.chatty");
+            }
+        });
+        let dumps = rec.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].lines.len(), 4);
+        assert_eq!(dumps[0].truncated, 4, "8 lines emitted, 4 kept");
     }
 }

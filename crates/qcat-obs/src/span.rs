@@ -44,6 +44,11 @@ struct SpanData {
     name: &'static str,
     open_ts: u64,
     depth: usize,
+    /// Causal identity: the trace this span belongs to (0 = none),
+    /// its own id, and its parent span's id (0 = trace root).
+    trace: u64,
+    span_id: u64,
+    parent: u64,
     fields: Vec<(&'static str, Value)>,
 }
 
@@ -93,17 +98,29 @@ pub fn span_with(name: &'static str, fields: Vec<(&'static str, Value)>) -> Span
         return SpanGuard::disabled();
     };
     let depth = DEPTH.with(|d| d.get());
+    let trace = crate::trace::current_trace();
+    let parent = crate::trace::current_parent();
+    let span_id = crate::trace::next_span_id();
     let open_ts = rec.now_ns();
     if rec.emits_events() {
-        rec.emit_line(open_ts, "span_open", name, depth, None, &fields);
+        let ids = crate::recorder::LineIds {
+            trace,
+            span: span_id,
+            parent,
+        };
+        rec.emit_line(open_ts, "span_open", name, depth, None, ids, &fields);
     }
     DEPTH.with(|d| d.set(depth + 1));
+    crate::trace::push_span(trace, span_id);
     SpanGuard {
         data: Some(SpanData {
             rec,
             name,
             open_ts,
             depth,
+            trace,
+            span_id,
+            parent,
             fields,
         }),
     }
@@ -116,13 +133,19 @@ impl Drop for SpanGuard {
         };
         // Runs during panic unwind too, keeping the depth stack and
         // the JSONL log balanced on every exit path.
+        crate::trace::pop_span();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let close_ts = data.rec.now_ns();
         let dur_ns = close_ts.saturating_sub(data.open_ts);
-        data.rec.record_span(data.name, dur_ns);
+        data.rec.record_span(data.name, dur_ns, data.trace);
         if data.rec.emits_events() {
+            let ids = crate::recorder::LineIds {
+                trace: data.trace,
+                span: data.span_id,
+                parent: data.parent,
+            };
             data.rec
-                .emit_line(close_ts, "span_close", data.name, data.depth, Some(dur_ns), &data.fields);
+                .emit_line(close_ts, "span_close", data.name, data.depth, Some(dur_ns), ids, &data.fields);
         }
     }
 }

@@ -48,6 +48,17 @@ pub fn render(snap: &Snapshot) -> String {
                 fmt_ns(s.p99_ns as f64),
                 fmt_ns(s.total_ns as f64),
             );
+            // Tail exemplars name the traces behind the p99 column, so
+            // a slow bucket links straight to its flight-recorder dump.
+            if !s.exemplars.is_empty() {
+                let tail = s
+                    .exemplars
+                    .iter()
+                    .map(|e| format!("{} trace={}", fmt_ns(e.value_ns as f64), e.trace))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "{:<name_w$}    tail: {tail}", "");
+            }
         }
     }
     if !snap.counters.is_empty() {
@@ -103,6 +114,21 @@ mod tests {
         assert!(text.contains("42"));
         assert!(text.contains("== gauges"));
         assert!(text.contains("t.frac"));
+    }
+
+    #[test]
+    fn renders_tail_exemplar_trace_ids() {
+        let rec = Recorder::metrics_only();
+        let trace = with_recorder(&rec, || {
+            let scope = crate::TraceScope::start();
+            let id = scope.id();
+            let _s = crate::span!("t.tail");
+            id
+        });
+        assert_ne!(trace, 0);
+        let text = render(&rec.snapshot());
+        assert!(text.contains("tail:"), "{text}");
+        assert!(text.contains(&format!("trace={trace}")), "{text}");
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Query-scoped causal trace identity.
+//!
+//! A *trace* groups every span and event one logical request produced,
+//! across every thread that worked on it. A [`TraceScope`] allocates a
+//! fresh trace id and installs it thread-locally; spans opened while it
+//! is current carry that id plus their own span id and their parent's
+//! span id, so the flat JSONL stream reconstructs into a causal tree.
+//!
+//! Worker threads join the caller's trace through [`capture_parent`] /
+//! [`ParentContext::scope`] — the same capture/install pattern
+//! `qcat_fault::Propagation` uses for budgets — so `qcat-pool` work
+//! items open real parented spans instead of being banned from the
+//! trace stream.
+//!
+//! When tracing is inactive ([`crate::active`] is false),
+//! [`TraceScope::start`] allocates nothing: no ids are drawn from the
+//! process-wide counters and the thread-local trace id stays 0. That
+//! keeps the disabled path at one flag read plus one relaxed atomic
+//! load.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::recorder::{current_recorder, Recorder};
+
+/// Process-wide trace id allocator; 0 means "no trace".
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide span id allocator; 0 means "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The trace id spans opened on this thread belong to (0 = none).
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    /// (trace id, span id) of this thread's open spans, innermost
+    /// last. The trace id rides along so parenthood never crosses a
+    /// trace boundary: a span opened inside a [`TraceScope`] that is
+    /// nested under an untraced (or differently-traced) ancestor span
+    /// is a root of its own trace, keeping every trace's causal tree
+    /// self-contained — a flight dump audits standalone.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Inherited parent span id for spans opened while this thread's
+    /// own stack is empty — how a pool worker's first span parents to
+    /// the caller's phase span.
+    static PARENT_FLOOR: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocate a fresh span id.
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Total span ids ever allocated (test hook for the disabled-path
+/// overhead pin).
+#[doc(hidden)]
+pub fn span_ids_allocated() -> u64 {
+    NEXT_SPAN_ID.load(Ordering::Relaxed).saturating_sub(1)
+}
+
+/// The trace id current on this thread, 0 when none.
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// The span id a newly opened span (or emitted event) should report as
+/// its parent: the innermost open span on this thread *belonging to
+/// the current trace*, else the inherited floor (0 = root of its
+/// trace). An open span of another trace (or of no trace) is not a
+/// parent — traces stay self-contained.
+pub(crate) fn current_parent() -> u64 {
+    let trace = current_trace();
+    match SPAN_STACK.with(|s| s.borrow().last().copied()) {
+        Some((t, id)) if t == trace => id,
+        _ => PARENT_FLOOR.with(Cell::get),
+    }
+}
+
+pub(crate) fn push_span(trace: u64, id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push((trace, id)));
+}
+
+pub(crate) fn pop_span() {
+    SPAN_STACK.with(|s| {
+        s.borrow_mut().pop();
+    });
+}
+
+/// RAII scope that makes every span/event on this thread (and on
+/// workers entered via [`ParentContext::scope`]) part of one trace.
+///
+/// Dropping the scope restores the previous trace id and hands the
+/// finished trace to the recorder's flight recorder, which decides
+/// whether to dump it (anomaly, slow, or sampled) or discard it.
+#[must_use = "a trace ends when its scope drops — bind it with `let _trace = ...`"]
+pub struct TraceScope {
+    id: u64,
+    prev: u64,
+    rec: Option<Recorder>,
+}
+
+impl TraceScope {
+    /// Start a new trace on this thread. When tracing is disabled the
+    /// scope is inert: id 0, nothing allocated, nothing restored.
+    pub fn start() -> TraceScope {
+        if !crate::active() {
+            return TraceScope {
+                id: 0,
+                prev: 0,
+                rec: None,
+            };
+        }
+        let rec = current_recorder();
+        let id = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT_TRACE.with(|c| c.replace(id));
+        if let Some(rec) = &rec {
+            rec.trace_begin(id);
+        }
+        TraceScope { id, prev, rec }
+    }
+
+    /// This trace's id (0 when tracing was disabled at start).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Mark this trace anomalous, guaranteeing a flight-recorder dump
+    /// when the scope ends. Callers use this for outcome-based
+    /// sampling: shed/degraded/errored/over-threshold requests are
+    /// dumped in full regardless of the healthy sampling rate.
+    pub fn mark(&self, reason: &str) {
+        if let Some(rec) = &self.rec {
+            rec.mark_trace(self.id, reason);
+        }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+        if let Some(rec) = &self.rec {
+            rec.trace_end(self.id);
+        }
+    }
+}
+
+/// A captured (trace id, parent span id) pair, installable on another
+/// thread so its spans join the capturing thread's trace. Mirrors
+/// `qcat_fault::Propagation`: capture on the caller, `scope` in the
+/// worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParentContext {
+    trace: u64,
+    parent: u64,
+}
+
+/// Capture the current thread's trace id and innermost span id for
+/// propagation into a worker thread.
+pub fn capture_parent() -> ParentContext {
+    ParentContext {
+        trace: current_trace(),
+        parent: current_parent(),
+    }
+}
+
+impl ParentContext {
+    /// Run `f` with this context installed: spans `f` opens while its
+    /// own stack is empty report the captured span as their parent and
+    /// carry the captured trace id. The previous context is restored
+    /// on every exit path, including panic unwind.
+    pub fn scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        struct Restore {
+            trace: u64,
+            floor: u64,
+        }
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_TRACE.with(|c| c.set(self.trace));
+                PARENT_FLOOR.with(|c| c.set(self.floor));
+            }
+        }
+        let _restore = Restore {
+            trace: CURRENT_TRACE.with(|c| c.replace(self.trace)),
+            floor: PARENT_FLOOR.with(|c| c.replace(self.parent)),
+        };
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{with_recorder, Recorder};
+
+    #[test]
+    fn inactive_scope_allocates_no_ids() {
+        // No recorder on this thread; unless another test installed a
+        // process global (they don't — the obs unit tests use
+        // thread-scoped recorders), the scope must stay inert.
+        if crate::active() {
+            return; // global recorder installed elsewhere; pin is moot
+        }
+        let before = span_ids_allocated();
+        {
+            let t = TraceScope::start();
+            assert_eq!(t.id(), 0);
+            let _s = crate::span!("t.trace.noop");
+        }
+        assert_eq!(current_trace(), 0);
+        assert_eq!(
+            span_ids_allocated(),
+            before,
+            "disabled path must not draw ids"
+        );
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let rec = Recorder::buffered();
+        with_recorder(&rec, || {
+            assert_eq!(current_trace(), 0);
+            let outer = TraceScope::start();
+            assert_ne!(outer.id(), 0);
+            assert_eq!(current_trace(), outer.id());
+            {
+                let inner = TraceScope::start();
+                assert_ne!(inner.id(), outer.id());
+                assert_eq!(current_trace(), inner.id());
+            }
+            assert_eq!(current_trace(), outer.id());
+        });
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn parent_context_installs_trace_and_floor() {
+        let rec = Recorder::buffered();
+        with_recorder(&rec, || {
+            let _t = TraceScope::start();
+            let _outer = crate::span!("t.trace.outer");
+            let ctx = capture_parent();
+            // Simulate a worker: fresh logical stack via scope.
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert_eq!(current_trace(), 0, "worker starts untraced");
+                    ctx.scope(|| {
+                        assert_eq!(current_trace(), ctx.trace);
+                        assert_eq!(current_parent(), ctx.parent);
+                    });
+                    assert_eq!(current_trace(), 0, "context restored");
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn spans_carry_trace_span_parent_ids() {
+        let rec = Recorder::buffered();
+        let trace_id = with_recorder(&rec, || {
+            let t = TraceScope::start();
+            let _a = crate::span!("t.trace.a");
+            {
+                let _b = crate::span!("t.trace.b");
+            }
+            t.id()
+        });
+        let log = rec.drain_jsonl();
+        let lines: Vec<_> = log.lines().map(|l| crate::json::parse(l).expect("jsonl")).collect();
+        assert_eq!(lines.len(), 4);
+        let num = |v: &crate::json::JsonValue, k: &str| {
+            v.get(k).and_then(crate::json::JsonValue::as_f64).unwrap_or(-1.0) as i64
+        };
+        // Every line belongs to the trace.
+        for l in &lines {
+            assert_eq!(num(l, "trace"), trace_id as i64);
+        }
+        let a_open = &lines[0];
+        let b_open = &lines[1];
+        let b_close = &lines[2];
+        assert_eq!(num(a_open, "parent"), 0, "a is a trace root");
+        assert_eq!(num(b_open, "parent"), num(a_open, "span"), "b parents to a");
+        assert_eq!(num(b_close, "span"), num(b_open, "span"));
+        assert_ne!(num(a_open, "span"), num(b_open, "span"));
+    }
+}

@@ -25,12 +25,15 @@
 //!   [`PoolError::Cancelled`]. Each item is also a
 //!   `pool.task` fault point for chaos testing.
 //! - **Context plumbing.** Workers run under the caller's `qcat-obs`
-//!   recorder (via [`qcat_obs::with_recorder`]) and the caller's
-//!   fault/budget context (via [`qcat_fault::Propagation`]), so
-//!   counters land in one snapshot and budget checkpoints keep
-//!   working inside worker closures. Workers must not open spans or
-//!   emit events — the trace line stream is single-threaded by
-//!   contract (see docs/OBSERVABILITY.md).
+//!   recorder (via [`qcat_obs::with_recorder`]), the caller's
+//!   fault/budget context (via [`qcat_fault::Propagation`]), and the
+//!   caller's trace context (via [`qcat_obs::capture_parent`] /
+//!   [`qcat_obs::ParentContext::scope`]), so counters land in one
+//!   snapshot, budget checkpoints keep working inside worker
+//!   closures, and spans opened by work items join the caller's trace
+//!   as real parented spans — the recorder serializes concurrent
+//!   emission, allocating `seq` under the sink lock so the stream
+//!   stays globally ordered (see docs/OBSERVABILITY.md).
 //!
 //! Sizing: an explicit request wins; `0` means "auto", which reads
 //! `QCAT_THREADS` once per process and otherwise uses
@@ -222,6 +225,9 @@ impl ThreadPool {
         qcat_obs::counter("pool.tasks", n as i64);
         qcat_obs::gauge("pool.queue_depth", n as f64);
         let recorder = qcat_obs::current_recorder();
+        // Trace propagation mirrors the fault/budget context: spans a
+        // work item opens parent to the caller's innermost span.
+        let parent = qcat_obs::capture_parent();
         let cursor = AtomicUsize::new(0);
         // Sticky failure latch: once any worker errors, the rest stop
         // pulling items. The actual error travels over the channel.
@@ -262,7 +268,7 @@ impl ThreadPool {
                 let builder = thread::Builder::new().name(format!("qcat-pool-{w}"));
                 builder
                     .spawn_scoped(scope, move || {
-                        let work = || ctx.scope(|| run(tx));
+                        let work = || ctx.scope(|| parent.scope(|| run(tx)));
                         match &recorder {
                             Some(rec) => qcat_obs::with_recorder(rec, work),
                             None => work(),
@@ -477,6 +483,52 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.counters.get("pool.test_work"), Some(&200));
         assert_eq!(snap.counters.get("pool.tasks"), Some(&200));
+    }
+
+    #[test]
+    fn worker_spans_join_the_callers_trace() {
+        use qcat_obs::json::JsonValue;
+        let rec = qcat_obs::Recorder::buffered();
+        let items: Vec<usize> = (0..64).collect();
+        let trace_id = qcat_obs::with_recorder(&rec, || {
+            let t = qcat_obs::TraceScope::start();
+            let _phase = qcat_obs::span!("pool.test.phase");
+            let pool = ThreadPool::new(4);
+            pool.map(&items, |_, &x| {
+                let _item = qcat_obs::span!("pool.test.item");
+                x
+            });
+            t.id()
+        });
+        assert_ne!(trace_id, 0);
+        let log = rec.drain_jsonl();
+        let num = |v: &JsonValue, k: &str| {
+            v.get(k).and_then(JsonValue::as_f64).unwrap_or(-1.0) as i64
+        };
+        let mut phase_span = -1i64;
+        let mut last_seq = -1i64;
+        let mut item_opens = 0usize;
+        for line in log.lines() {
+            let v = qcat_obs::json::parse(line).expect("recorder emits valid JSONL");
+            let seq = num(&v, "seq");
+            assert!(seq > last_seq, "seq strictly increases across threads");
+            last_seq = seq;
+            assert_eq!(num(&v, "trace"), trace_id as i64, "all lines share the trace");
+            let name = v.get("name").and_then(JsonValue::as_str).unwrap_or("");
+            let kind = v.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+            if kind == "span_open" && name == "pool.test.phase" {
+                phase_span = num(&v, "span");
+            }
+            if kind == "span_open" && name == "pool.test.item" {
+                item_opens += 1;
+                assert_eq!(
+                    num(&v, "parent"),
+                    phase_span,
+                    "work-item spans parent to the caller's phase span"
+                );
+            }
+        }
+        assert_eq!(item_opens, items.len(), "every item opened a span");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod server;
 
 pub use cache::EpochLru;
 pub use fingerprint::fingerprint;
-pub use server::{Served, ServeError, ServeOutcome, Server, ServerConfig};
+pub use server::{Served, ServeError, ServeOutcome, Server, ServerConfig, SlowQuery};
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,7 @@ use qcat_exec::{execute_normalized_with, AccessPath, ExecError, ResultSet};
 use qcat_fault::Budget;
 use qcat_sql::{parse_select, NormalizedQuery};
 use qcat_workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -81,6 +81,14 @@ pub struct ServerConfig {
     /// (cache hits always pass). `usize::MAX` (the default) disables
     /// shedding.
     pub max_in_flight: usize,
+    /// Slow-query threshold in nanoseconds: any [`Server::serve`] call
+    /// lasting at least this long lands in the slow-query log (and,
+    /// when tracing, is marked for a flight-recorder dump).
+    /// `u64::MAX` (the default) records only anomalous outcomes.
+    pub slow_query_ns: u64,
+    /// How many [`SlowQuery`] entries the slow-query log retains
+    /// (oldest evicted).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,8 +100,30 @@ impl Default for ServerConfig {
             render_depth: usize::MAX,
             budget: Budget::UNLIMITED,
             max_in_flight: usize::MAX,
+            slow_query_ns: u64::MAX,
+            slow_log_capacity: 32,
         }
     }
+}
+
+/// One slow-query log entry: a served request that was shed, degraded,
+/// errored, or ran past [`ServerConfig::slow_query_ns`].
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// The trace id of the request (0 when tracing was disabled);
+    /// links to the recorder's flight dump of the same id.
+    pub trace: u64,
+    /// End-to-end serve duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Why the entry exists: `shed`, `degraded:<reason>`, `error`, or
+    /// `slow`.
+    pub outcome: String,
+    /// Per-phase breakdown from the flight-recorder dump: total
+    /// nanoseconds per span name, descending. Empty when tracing was
+    /// disabled or the dump already left the ring.
+    pub phases: Vec<(String, u64)>,
 }
 
 /// How a [`Served`] answer was produced.
@@ -256,6 +286,8 @@ pub struct Server {
     fills: Mutex<HashMap<String, Arc<FillSlot>>>,
     /// Cold fills currently computing (admission control).
     in_flight: AtomicUsize,
+    /// Bounded ring of anomalous/slow serves (see [`SlowQuery`]).
+    slow_log: Mutex<VecDeque<SlowQuery>>,
 }
 
 impl Server {
@@ -271,6 +303,7 @@ impl Server {
             }),
             fills: Mutex::new(HashMap::new()),
             in_flight: AtomicUsize::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -386,7 +419,68 @@ impl Server {
     /// Serve `sql`: parse, normalize, execute (index-accelerated when
     /// selective), categorize, render — returning cached artifacts
     /// wherever the fingerprint and epoch allow.
+    ///
+    /// Each call runs under its own trace ([`qcat_obs::TraceScope`]):
+    /// shed, degraded, or errored outcomes — and calls lasting at
+    /// least [`ServerConfig::slow_query_ns`] — are marked for a
+    /// flight-recorder dump and land in the slow-query log
+    /// ([`Server::slow_queries`]) with a per-phase breakdown.
     pub fn serve(&self, sql: &str) -> Result<Served, ServeError> {
+        let scope = qcat_obs::TraceScope::start();
+        let trace = scope.id();
+        let started = std::time::Instant::now();
+        let result = self.serve_inner(sql);
+        let dur_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let outcome = match &result {
+            Ok(s) if matches!(s.outcome, ServeOutcome::Shed) => Some("shed".to_string()),
+            Ok(s) => s
+                .tree
+                .degraded()
+                .map(|reason| format!("degraded:{}", reason.as_str())),
+            Err(_) => Some("error".to_string()),
+        };
+        let slow = dur_ns >= self.config.slow_query_ns;
+        if outcome.is_none() && !slow {
+            return result;
+        }
+        let outcome = outcome.unwrap_or_else(|| "slow".to_string());
+        scope.mark(&outcome);
+        // Close the trace so the recorder finalizes its flight dump,
+        // then pull the per-phase breakdown out of that dump.
+        drop(scope);
+        let phases = if trace != 0 {
+            qcat_obs::current_recorder()
+                .and_then(|rec| rec.flight_dump_for(trace))
+                .map(|d| d.phase_totals())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let mut log = lock_recover(&self.slow_log);
+        while log.len() >= self.config.slow_log_capacity.max(1) {
+            log.pop_front();
+        }
+        log.push_back(SlowQuery {
+            sql: sql.to_string(),
+            trace,
+            dur_ns,
+            outcome,
+            phases,
+        });
+        result
+    }
+
+    /// A snapshot of the slow-query log, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        lock_recover(&self.slow_log).iter().cloned().collect()
+    }
+
+    /// Drain the slow-query log, returning the entries oldest first.
+    pub fn take_slow_queries(&self) -> Vec<SlowQuery> {
+        lock_recover(&self.slow_log).drain(..).collect()
+    }
+
+    fn serve_inner(&self, sql: &str) -> Result<Served, ServeError> {
         let mut span = qcat_obs::span!("serve.query", bytes = sql.len());
         let ast = parse_select(sql)?;
         let relation = self.catalog.get(&ast.table).map_err(|_| {

@@ -35,8 +35,15 @@ echo "==> pipeline smoke (scan-vs-index differential + serve caches + chaos repl
 grep -q '"differential": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 grep -q '"chaos": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 
-echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T4)"
-trace=target/qcat-trace.jsonl
+echo "==> perf observatory (bench_report --check over committed BENCH_pr*.json)"
+# Trajectory tables land in the artifacts dir (uploaded by CI);
+# --check fails on cross-PR regressions beyond the default threshold.
+artifacts=target/qcat-artifacts
+mkdir -p "$artifacts"
+./target/release/bench_report --check --out "$artifacts/bench-trajectory.txt" > /dev/null
+
+echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T5)"
+trace=$artifacts/qcat-trace.jsonl
 QCAT_TRACE=json QCAT_TRACE_FILE="$trace" \
     ./target/release/repro --scale smoke fig13 > /dev/null
 cargo run --release -p qcat-lint -- --audit-trace "$trace"
@@ -45,7 +52,7 @@ echo "==> chaos smoke (QCAT_FAULT drill on the serving path + trace audit)"
 # A fixed-seed fault plan must leave the quickstart with structured
 # or degraded outcomes only — and the trace it emits must still pass
 # the auditor, including T4 (governance events inside serve.query).
-chaos_trace=target/qcat-chaos-trace.jsonl
+chaos_trace=$artifacts/qcat-chaos-trace.jsonl
 chaos_out=target/qcat-chaos-out.txt
 cargo build --release --example serve_quickstart --quiet
 QCAT_FAULT='pool.task:error:p=0.6:seed=3;serve.fill:error:p=0.3:seed=5' \
@@ -54,4 +61,17 @@ QCAT_FAULT='pool.task:error:p=0.6:seed=3;serve.fill:error:p=0.3:seed=5' \
 grep -Eq 'degraded|structured error' "$chaos_out"
 cargo run --release -p qcat-lint -- --audit-trace "$chaos_trace"
 
-echo "OK: build + lint + tests + bench smoke + traced smoke + chaos smoke all green"
+echo "==> flight-recorder smoke (QCAT_SLOW_MS=0 forces a dump per serve) + audit"
+# Every serve trips the zero slow threshold, so the quickstart must
+# leave a non-empty concatenated dump file — and both the full trace
+# and the dumps themselves must pass the T1-T5 auditor (a dump is a
+# self-contained causal tree).
+slow_trace=$artifacts/qcat-slow-trace.jsonl
+flight=$artifacts/qcat-flight-dumps.jsonl
+QCAT_TRACE=json QCAT_TRACE_FILE="$slow_trace" \
+    QCAT_SLOW_MS=0 QCAT_FLIGHT_FILE="$flight" \
+    ./target/release/examples/serve_quickstart > /dev/null
+test -s "$flight"
+cargo run --release -p qcat-lint -- --audit-trace "$slow_trace" --audit-trace "$flight"
+
+echo "OK: build + lint + tests + bench smoke + observatory + traced smoke + chaos smoke + flight smoke all green"

@@ -1,7 +1,7 @@
 //! End-to-end observability: run a real categorization under a JSON
 //! recorder (the same semantics `QCAT_TRACE=json` installs
 //! process-wide), then treat the captured JSONL as evidence — audited
-//! by qcat-lint's trace rules (T1–T3) and checked for the Figure-6
+//! by qcat-lint's trace rules (T1–T5) and checked for the Figure-6
 //! phase structure the categorizer promises.
 
 use qcat::core::Categorizer;
@@ -62,21 +62,30 @@ fn traced_run_passes_the_lint_trace_audit() {
 fn trace_contains_the_figure6_phases_once_per_level() {
     let text = traced_categorization();
 
-    // Reconstruct the span tree from the flat JSONL: a stack of open
-    // span names; at each `categorize.level` close, harvest the names
-    // of the direct-child spans it contained.
-    let mut stack: Vec<(String, Vec<String>)> = Vec::new();
+    // Reconstruct the span tree from the flat JSONL: one stack of
+    // open span names *per thread* (pool workers now open real item
+    // spans on their own threads); at each `categorize.level` close,
+    // harvest the names of the direct-child spans it contained on its
+    // thread.
+    let mut stacks: std::collections::BTreeMap<String, Vec<(String, Vec<String>)>> =
+        std::collections::BTreeMap::new();
     let mut levels: Vec<Vec<String>> = Vec::new();
     let mut root_opens = 0usize;
+    let mut item_spans = 0usize;
     for line in text.lines() {
         let v = obs::json::parse(line).expect("audited JSONL parses");
         let get = |k: &str| v.get(k).and_then(JsonValue::as_str).map(str::to_string);
         let kind = get("kind").expect("kind");
         let name = get("name").expect("name");
+        let thread = get("thread").expect("thread");
+        let stack = stacks.entry(thread).or_default();
         match kind.as_str() {
             "span_open" => {
                 if name == "categorize" {
                     root_opens += 1;
+                }
+                if name.ends_with(".item") {
+                    item_spans += 1;
                 }
                 stack.push((name, Vec::new()));
             }
@@ -90,7 +99,9 @@ fn trace_contains_the_figure6_phases_once_per_level() {
                     levels.push(
                         children
                             .into_iter()
-                            .filter(|c| c.starts_with("categorize.level."))
+                            .filter(|c| {
+                                c.starts_with("categorize.level.") && !c.ends_with(".item")
+                            })
                             .collect(),
                     );
                 }
@@ -98,7 +109,13 @@ fn trace_contains_the_figure6_phases_once_per_level() {
             _ => {}
         }
     }
-    assert!(stack.is_empty(), "spans left open: {stack:?}");
+    for (thread, stack) in &stacks {
+        assert!(stack.is_empty(), "spans left open on {thread}: {stack:?}");
+    }
+    assert!(
+        item_spans > 0,
+        "partition/materialize work items must open real spans"
+    );
     assert_eq!(root_opens, 1, "exactly one categorize root span");
     assert!(!levels.is_empty(), "no categorize.level spans in trace");
 

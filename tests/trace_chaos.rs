@@ -1,0 +1,320 @@
+//! PR-7 chaos storm for the causal tracer and the flight recorder:
+//! a fixed-seed fault storm through `Server::serve` must produce
+//! T1–T5-clean traces (full log *and* every flight dump audited
+//! standalone), a flight dump plus a slow-query log entry for every
+//! anomalous outcome, and tracing itself must never change an
+//! answer — trees are byte-identical with `QCAT_TRACE` off vs json
+//! at 1 and 8 categorization threads.
+
+use qcat::fault::FaultPlan;
+use qcat::obs::{self, DumpReason, FlightConfig};
+use qcat::serve::{ServeOutcome, Server, ServerConfig};
+use qcat::study::{StudyEnv, StudyScale};
+use qcat_lint::audit_trace;
+
+const QUERIES: &[&str] = &[
+    "SELECT * FROM listproperty WHERE neighborhood IN \
+     ('Bellevue','Redmond','Kirkland','Issaquah') \
+     AND price BETWEEN 150000 AND 500000",
+    "SELECT * FROM listproperty WHERE neighborhood IN ('Kirkland','Issaquah')",
+    "SELECT * FROM listproperty WHERE price BETWEEN 200000 AND 400000",
+    "SELECT * FROM listproperty WHERE neighborhood IN ('Bellevue') \
+     AND price BETWEEN 100000 AND 900000",
+];
+
+fn study_env() -> StudyEnv {
+    StudyEnv::generate(StudyScale::Smoke, 777)
+}
+
+fn make_server(env: &StudyEnv, threads: usize, max_in_flight: usize) -> Server {
+    let mut config = ServerConfig::default();
+    config.categorize = env.config;
+    config.categorize.threads = threads;
+    config.max_in_flight = max_in_flight;
+    let server = Server::new(config);
+    server
+        .register_table(
+            "listproperty",
+            env.relation.clone(),
+            env.log.clone(),
+            env.prep.clone(),
+        )
+        .unwrap();
+    server
+}
+
+fn assert_audit_clean(origin: &str, text: &str) {
+    let diags = audit_trace(origin, text);
+    assert!(
+        diags.is_empty(),
+        "{origin}: trace audit violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The tentpole end-to-end: a deterministic-plan fault storm served
+/// under a JSON recorder. The full log passes T1–T5, every
+/// shed/degraded/errored serve leaves a complete flight dump that
+/// audits standalone, and the slow-query log attributes each anomaly
+/// to its trace.
+#[test]
+fn chaos_storm_traces_audit_clean_and_anomalies_dump() {
+    let env = study_env();
+    let server = make_server(&env, 2, usize::MAX);
+    let rec = obs::Recorder::buffered();
+    rec.set_flight_config(FlightConfig {
+        enabled: true,
+        dump_capacity: 256,
+        per_trace_line_cap: 65_536,
+        slow_ns: u64::MAX,
+        sample_every: 0,
+    });
+
+    let mut anomalies = 0usize;
+    obs::with_recorder(&rec, || {
+        for round in 0..12usize {
+            // Every third round injects a certain fill error, the rest
+            // a seeded probabilistic mix — anomalies are guaranteed,
+            // their exact count is plan-determined.
+            let plan = match round % 3 {
+                0 => "serve.fill:error:p=1".to_string(),
+                1 => format!("pool.task:error:p=0.4:seed={round}"),
+                _ => format!("serve.fill:error:p=0.3:seed={round}"),
+            };
+            let plan = FaultPlan::parse(&plan).unwrap();
+            for sql in QUERIES {
+                qcat::fault::with_plan(&plan, || match server.serve(sql) {
+                    Ok(served) => {
+                        assert!(!served.rendered.is_empty());
+                        if served.tree.degraded().is_some() {
+                            anomalies += 1;
+                        }
+                    }
+                    Err(e) => {
+                        assert!(!e.to_string().is_empty());
+                        anomalies += 1;
+                    }
+                });
+            }
+        }
+    });
+    assert!(anomalies >= 4, "the storm must produce anomalies");
+
+    // The whole interleaved log is evidence: schema, balance,
+    // durations, governance enclosure, causal parent links.
+    let text = rec.drain_jsonl();
+    assert!(text.lines().count() >= 100, "storm trace too thin");
+    assert_audit_clean("<storm>", &text);
+
+    // Every anomalous serve left a full-fidelity dump (a fault draw
+    // can mark a trace whose answer recovered, so dumps may exceed
+    // anomalous outcomes), and each dump is a self-contained causal
+    // tree: it re-audits standalone.
+    let dumps = rec.take_flight_dumps();
+    assert!(
+        dumps.len() >= anomalies,
+        "every anomalous serve must dump: {} dumps < {anomalies} anomalies",
+        dumps.len()
+    );
+    for d in &dumps {
+        assert!(matches!(d.reason, DumpReason::Anomaly(_)), "{:?}", d.reason);
+        assert_eq!(d.truncated, 0, "per-trace cap must not truncate the storm");
+        assert!(!d.lines.is_empty());
+        assert_audit_clean(&format!("<dump trace={}>", d.trace), &d.to_jsonl());
+        let phases = d.phase_totals();
+        assert!(
+            phases.iter().any(|(name, _)| name == "serve.query"),
+            "dump must contain the serve.query phase: {phases:?}"
+        );
+    }
+
+    // The slow-query log saw the same anomalies, and every entry's
+    // trace has its dump — outcome to causal tree in one hop.
+    let dumped: std::collections::BTreeSet<u64> = dumps.iter().map(|d| d.trace).collect();
+    let slow = server.take_slow_queries();
+    assert_eq!(slow.len(), anomalies.min(32), "bounded slow log");
+    for q in &slow {
+        assert_ne!(q.trace, 0, "anomalies under tracing carry a trace id");
+        assert!(
+            dumped.contains(&q.trace),
+            "slow-query trace {} has no flight dump",
+            q.trace
+        );
+        assert!(
+            q.outcome == "error"
+                || q.outcome.starts_with("degraded:")
+                || q.outcome == "shed",
+            "unexpected outcome {:?}",
+            q.outcome
+        );
+    }
+    assert!(server.take_slow_queries().is_empty(), "take drains");
+}
+
+/// Deterministic shedding: a zero-admission server sheds every cold
+/// fill, and each shed leaves a flight dump and a slow-query entry
+/// with the per-phase breakdown.
+#[test]
+fn every_shed_produces_a_flight_dump() {
+    let env = study_env();
+    let server = make_server(&env, 1, 0);
+    let rec = obs::Recorder::buffered();
+    rec.set_flight_config(FlightConfig::default());
+
+    obs::with_recorder(&rec, || {
+        for sql in QUERIES {
+            let served = server.serve(sql).unwrap();
+            assert_eq!(served.outcome, ServeOutcome::Shed);
+        }
+    });
+    let dumps = rec.take_flight_dumps();
+    assert_eq!(dumps.len(), QUERIES.len(), "one dump per shed");
+    for d in &dumps {
+        match &d.reason {
+            DumpReason::Anomaly(what) => {
+                assert!(what.contains("serve.shed") || what.contains("shed"), "{what}")
+            }
+            other => panic!("shed dumped for the wrong reason: {other:?}"),
+        }
+        assert_audit_clean(&format!("<dump trace={}>", d.trace), &d.to_jsonl());
+    }
+    let slow = server.take_slow_queries();
+    assert_eq!(slow.len(), QUERIES.len());
+    for q in &slow {
+        assert_eq!(q.outcome, "shed");
+        assert!(
+            q.phases.iter().any(|(name, _)| name == "serve.query"),
+            "shed entries still carry the phase breakdown: {:?}",
+            q.phases
+        );
+    }
+}
+
+/// A zero threshold turns every (healthy) serve into a slow-query
+/// log entry with outcome `slow`; with tracing off the entries still
+/// appear but carry no trace id and no phases — the disabled path
+/// draws no trace identity.
+#[test]
+fn slow_threshold_logs_healthy_queries() {
+    let env = study_env();
+    let mut config = ServerConfig::default();
+    config.categorize = env.config;
+    config.categorize.threads = 1;
+    config.slow_query_ns = 0;
+    config.slow_log_capacity = 8;
+    let server = Server::new(config);
+    server
+        .register_table(
+            "listproperty",
+            env.relation.clone(),
+            env.log.clone(),
+            env.prep.clone(),
+        )
+        .unwrap();
+
+    // Tracing off: logged, but without trace identity.
+    let served = server.serve(QUERIES[0]).unwrap();
+    assert_eq!(served.outcome, ServeOutcome::Cold);
+    let slow = server.take_slow_queries();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].outcome, "slow");
+    assert_eq!(slow[0].trace, 0, "no trace identity with tracing off");
+    assert!(slow[0].phases.is_empty());
+
+    // Tracing on: the same query (tree-cached now) links to a dump.
+    let rec = obs::Recorder::buffered();
+    rec.set_flight_config(FlightConfig::default());
+    obs::with_recorder(&rec, || {
+        let served = server.serve(QUERIES[0]).unwrap();
+        assert_eq!(served.outcome, ServeOutcome::TreeCacheHit);
+    });
+    let slow = server.take_slow_queries();
+    assert_eq!(slow.len(), 1);
+    assert_ne!(slow[0].trace, 0);
+    assert!(
+        slow[0].phases.iter().any(|(name, _)| name == "serve.query"),
+        "{:?}",
+        slow[0].phases
+    );
+    let dump = rec.flight_dump_for(slow[0].trace).expect("dump retained");
+    // The server marks over-threshold traces explicitly (the
+    // recorder's own slow_ns knob is QCAT_SLOW_MS territory), so the
+    // dump reason is the anomaly mark, not the recorder threshold.
+    assert!(
+        matches!(&dump.reason, DumpReason::Anomaly(what) if what == "slow"),
+        "{:?}",
+        dump.reason
+    );
+
+    // The log ring is bounded by slow_log_capacity.
+    for _ in 0..20 {
+        let _ = server.serve(QUERIES[1]).unwrap();
+    }
+    assert!(server.slow_queries().len() <= 8);
+}
+
+/// Tracing must be observation only: with no faults, rendered trees
+/// are byte-identical between `QCAT_TRACE` off and json, at 1, 2,
+/// and 8 categorization threads, cold and warm.
+#[test]
+fn traced_and_untraced_serves_render_identically() {
+    let env = study_env();
+    for threads in [1usize, 2, 8] {
+        let off = render_all(&env, threads, false, None);
+        let json = render_all(&env, threads, true, None);
+        assert_eq!(off, json, "threads={threads}: tracing changed an answer");
+    }
+}
+
+/// Same pin under a deterministic fault plan, serial: at one thread
+/// the fault draw order is fixed, so off-vs-json must agree on every
+/// outcome, degraded or not.
+#[test]
+fn traced_and_untraced_agree_under_faults_at_one_thread() {
+    let plan = "pool.task:error:p=0.35:seed=11;serve.fill:error:p=0.25:seed=12";
+    let off = render_all(&study_env(), 1, false, Some(plan));
+    let json = render_all(&study_env(), 1, true, Some(plan));
+    assert_eq!(off, json, "tracing changed a faulted outcome");
+}
+
+/// Serve every query twice (cold then warm) against a fresh server
+/// and return the outcome/rendering transcript.
+fn render_all(env: &StudyEnv, threads: usize, traced: bool, plan: Option<&str>) -> Vec<String> {
+    let server = make_server(env, threads, usize::MAX);
+    let plan = plan.map(|spec| FaultPlan::parse(spec).unwrap());
+    let serve_all = || {
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            for sql in QUERIES {
+                let one = || match server.serve(sql) {
+                    Ok(served) => format!(
+                        "{:?}|{:?}|{}",
+                        served.outcome,
+                        served.tree.degraded(),
+                        served.rendered
+                    ),
+                    Err(e) => format!("error|{e}"),
+                };
+                out.push(match &plan {
+                    Some(p) => qcat::fault::with_plan(p, one),
+                    None => one(),
+                });
+            }
+        }
+        out
+    };
+    if traced {
+        let rec = obs::Recorder::buffered();
+        rec.set_flight_config(FlightConfig::default());
+        let out = obs::with_recorder(&rec, serve_all);
+        // The observation side must stay internally consistent too.
+        assert_audit_clean("<pin>", &rec.drain_jsonl());
+        out
+    } else {
+        serve_all()
+    }
+}
