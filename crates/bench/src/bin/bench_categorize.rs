@@ -10,8 +10,11 @@
 //! bench_categorize [--runs N] [--cases N] [--seed S] [--out PATH]
 //! ```
 
-use qcat_bench::{bench_env, json_escape, json_num, summarize, BenchEnv, Summary};
+use qcat_bench::{
+    bench_env_at, json_escape, json_num, large_tier_dims, summarize, BenchEnv, Summary,
+};
 use qcat_core::Categorizer;
+use qcat_study::StudyScale;
 use std::time::Instant;
 
 /// Upper bounds of the result-set size buckets; the last bucket is
@@ -35,6 +38,7 @@ struct Args {
     cases: usize,
     seed: u64,
     out: String,
+    scale: String,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +47,7 @@ fn parse_args() -> Args {
         cases: 8,
         seed: 1234,
         out: "BENCH_pr3.json".to_string(),
+        scale: "smoke".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,8 +60,18 @@ fn parse_args() -> Args {
             "--cases" => args.cases = value("--cases").parse().expect("--cases: not a number"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: not a number"),
             "--out" => args.out = value("--out"),
+            "--scale" => {
+                args.scale = value("--scale");
+                assert!(
+                    args.scale == "smoke" || args.scale == "large",
+                    "--scale: smoke or large"
+                );
+            }
             "--help" | "-h" => {
-                println!("bench_categorize [--runs N] [--cases N] [--seed S] [--out PATH]");
+                println!(
+                    "bench_categorize [--runs N] [--cases N] [--seed S] \
+                     [--scale smoke|large] [--out PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -147,7 +162,10 @@ fn summary_json(s: &Summary) -> String {
 fn render_json(args: &Args, env: &BenchEnv, cores: usize, results: &[ThreadResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"categorize\",\n  \"scale\": \"smoke\",\n");
+    out.push_str(&format!(
+        "  \"bench\": \"categorize\",\n  \"scale\": \"{}\",\n",
+        json_escape(&args.scale)
+    ));
     out.push_str(&format!(
         "  \"schema_version\": {}, \"git\": \"{}\",\n",
         qcat_bench::BENCH_SCHEMA_VERSION,
@@ -229,8 +247,8 @@ fn main() {
     // (sweep, JSON, warnings) keys off this one observation.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "bench_categorize: smoke fixture, seed {}, {} runs, {} cores",
-        args.seed, args.runs, cores
+        "bench_categorize: {} fixture, seed {}, {} runs, {} cores",
+        args.scale, args.seed, args.runs, cores
     );
     if cores <= 1 {
         println!(
@@ -238,7 +256,14 @@ fn main() {
              serially and the report is marked \"degraded\": true"
         );
     }
-    let env = bench_env(args.seed, args.cases);
+    let scale = if args.scale == "large" {
+        let (rows, queries, _) = large_tier_dims();
+        println!("  large tier: {rows} rows, {queries} workload queries");
+        StudyScale::Custom { rows, queries }
+    } else {
+        StudyScale::Smoke
+    };
+    let env = bench_env_at(scale, args.seed, args.cases);
     println!(
         "  {} oversized cases (sizes {:?})",
         env.cases.len(),

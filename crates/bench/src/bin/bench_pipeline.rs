@@ -1,43 +1,77 @@
-//! Hermetic end-to-end pipeline benchmark: parse → execute →
-//! categorize over the Smoke fixture, comparing the scan and index
-//! access paths and the cold/warm serving path, and writing a
-//! `BENCH_pr5.json` report.
+//! Hermetic end-to-end pipeline benchmark, two tiers:
 //!
-//! Std-only like `bench_categorize` (same schema conventions; see
-//! docs/PERFORMANCE.md). Besides timings, the report carries a
-//! `differential` section: every sampled workload query is executed
-//! along scan, auto, and forced-index paths and the row sets must be
-//! identical — `"status": "ok"` is asserted by `scripts/check.sh`.
-//! A `chaos` section replays serves against a budgeted server under a
-//! deterministic fault plan and records how every request ended
-//! (ok / degraded / shed / structured error); nothing may fall
-//! through unaccounted.
+//! - `--scale smoke` (default): parse → execute → categorize over the
+//!   Smoke fixture, comparing the scan and index access paths and the
+//!   cold/warm serving path. Besides timings, the report carries a
+//!   `differential` section: every sampled workload query is executed
+//!   along scan, auto, and forced-index paths and the row sets must
+//!   be identical — `"status": "ok"` is asserted by
+//!   `scripts/check.sh`. A `chaos` section replays serves against a
+//!   budgeted server under a deterministic fault plan and records how
+//!   every request ended (ok / degraded / shed / structured error);
+//!   nothing may fall through unaccounted.
+//!
+//! - `--scale large`: the paper-scale data plane. Generates millions
+//!   of rows and a six-figure workload (shrinkable via
+//!   `QCAT_LARGE_ROWS` / `QCAT_LARGE_QUERIES` /
+//!   `QCAT_LARGE_SHARD_ROWS` for CI smokes), reshards the relation
+//!   into pool-sized morsels, and measures index build and full scans
+//!   across a thread sweep against the single-shard serial baseline —
+//!   plus per-phase span breakdowns, shard-pruning counters, a
+//!   layout/path/width differential, and a row-hash determinism
+//!   section. Report schema in docs/PERFORMANCE.md.
+//!
+//! Std-only like `bench_categorize` (same schema conventions).
 //!
 //! ```text
-//! bench_pipeline [--runs N] [--seed S] [--queries N] [--out PATH]
+//! bench_pipeline [--scale smoke|large] [--runs N] [--seed S] [--queries N] [--out PATH]
 //! ```
 
-use qcat_bench::{bench_env, json_escape, json_num, summarize, Summary};
-use qcat_exec::{execute_normalized_with, AccessPath};
+use qcat_bench::{
+    bench_env, fnv1a_rows, json_escape, json_num, large_tier_dims, summarize, Summary,
+};
+use qcat_data::Schema;
+use qcat_exec::{execute_normalized_with, execute_normalized_with_threads, plan, AccessPath};
 use qcat_serve::{ServeOutcome, Server, ServerConfig};
 use qcat_sql::normalize::{AttrCondition, NormalizedQuery};
-use qcat_data::Schema;
+use qcat_study::{StudyEnv, StudyScale};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Args {
-    runs: usize,
+    runs: Option<usize>,
     seed: u64,
     queries: usize,
-    out: String,
+    out: Option<String>,
+    scale: String,
+}
+
+impl Args {
+    /// Runs default 30 at smoke scale (sub-ms probes need samples) and
+    /// 5 at large scale (each run is a multi-second full pass).
+    fn runs(&self) -> usize {
+        self.runs
+            .unwrap_or(if self.scale == "large" { 5 } else { 30 })
+    }
+
+    fn out(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            if self.scale == "large" {
+                "BENCH_pr8.json".to_string()
+            } else {
+                "BENCH_pr5.json".to_string()
+            }
+        })
+    }
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        runs: 30,
+        runs: None,
         seed: 1234,
         queries: 200,
-        out: "BENCH_pr5.json".to_string(),
+        out: None,
+        scale: "smoke".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -46,14 +80,24 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| panic!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--runs" => args.runs = value("--runs").parse().expect("--runs: not a number"),
+            "--runs" => args.runs = Some(value("--runs").parse().expect("--runs: not a number")),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: not a number"),
             "--queries" => {
                 args.queries = value("--queries").parse().expect("--queries: not a number")
             }
-            "--out" => args.out = value("--out"),
+            "--out" => args.out = Some(value("--out")),
+            "--scale" => {
+                args.scale = value("--scale");
+                assert!(
+                    args.scale == "smoke" || args.scale == "large",
+                    "--scale: smoke or large"
+                );
+            }
             "--help" | "-h" => {
-                println!("bench_pipeline [--runs N] [--seed S] [--queries N] [--out PATH]");
+                println!(
+                    "bench_pipeline [--scale smoke|large] [--runs N] [--seed S] \
+                     [--queries N] [--out PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -124,10 +168,19 @@ fn summary_json(s: &Summary) -> String {
 
 fn main() {
     let args = parse_args();
+    if args.scale == "large" {
+        run_large(&args);
+    } else {
+        run_smoke(&args);
+    }
+}
+
+fn run_smoke(args: &Args) {
+    let runs = args.runs();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "bench_pipeline: smoke fixture, seed {}, {} runs, {} cores",
-        args.seed, args.runs, cores
+        args.seed, runs, cores
     );
     let env = bench_env(args.seed, 8);
     let relation = env.env.relation.clone();
@@ -199,9 +252,9 @@ fn main() {
         100.0 * serve_sel
     );
 
-    let mut scan_ns = Vec::with_capacity(args.runs);
-    let mut index_ns = Vec::with_capacity(args.runs);
-    for _ in 0..args.runs {
+    let mut scan_ns = Vec::with_capacity(runs);
+    let mut index_ns = Vec::with_capacity(runs);
+    for _ in 0..runs {
         scan_ns.push(time_ns(|| {
             let rs = execute_normalized_with(&relation, exec_probe, AccessPath::ForceScan)
                 .expect("scan failed");
@@ -236,9 +289,9 @@ fn main() {
         )
         .expect("register study table");
     let probe_sql = sql_of(serve_probe, &schema);
-    let mut cold_ns = Vec::with_capacity(args.runs);
-    let mut warm_ns = Vec::with_capacity(args.runs);
-    for _ in 0..args.runs {
+    let mut cold_ns = Vec::with_capacity(runs);
+    let mut warm_ns = Vec::with_capacity(runs);
+    for _ in 0..runs {
         server.clear_caches();
         cold_ns.push(time_ns(|| {
             let served = server.serve(&probe_sql).expect("cold serve");
@@ -315,7 +368,7 @@ fn main() {
     let _ = write!(
         out,
         "  \"seed\": {}, \"runs\": {}, \"cores\": {}, \"rows\": {},\n",
-        args.seed, args.runs, cores, n
+        args.seed, runs, cores, n
     );
     let _ = write!(out, "  \"index_heap_bytes\": {},\n", index_bytes);
     let _ = write!(
@@ -365,9 +418,444 @@ fn main() {
         chaos_queries, chaos_ok, chaos_degraded, chaos_shed, chaos_errors, chaos_status
     );
     out.push_str("}\n");
-    std::fs::write(&args.out, out).expect("write bench report");
-    println!("  wrote {}", args.out);
+    let out_path = args.out();
+    std::fs::write(&out_path, out).expect("write bench report");
+    println!("  wrote {out_path}");
     if mismatches > 0 || chaos_status != "ok" {
+        std::process::exit(1);
+    }
+}
+
+/// One timed sweep entry of the large tier: a layout/thread-width
+/// combination with its summary and (for non-baseline entries) the
+/// median speedup over the serial single-shard baseline.
+struct SweepEntry {
+    mode: &'static str,
+    threads: usize,
+    summary: Summary,
+    speedup_vs_serial: Option<f64>,
+}
+
+fn sweep_json(entries: &[SweepEntry]) -> String {
+    let mut out = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"summary\": {}",
+            e.mode,
+            e.threads,
+            summary_json(&e.summary)
+        );
+        if let Some(s) = e.speedup_vs_serial {
+            let _ = write!(out, ", \"speedup_vs_serial\": {}", json_num(s));
+        }
+        out.push_str(if i + 1 < entries.len() { "},\n" } else { "}\n" });
+    }
+    out
+}
+
+/// The paper-scale data-plane tier: sharded relation, morsel-parallel
+/// scans and index builds vs. the single-shard serial baseline.
+fn run_large(args: &Args) {
+    let runs = args.runs();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (rows_target, queries_target, shard_rows) = large_tier_dims();
+    println!(
+        "bench_pipeline: large tier, target {} rows / {} queries, shard_rows {}, \
+         seed {}, {} runs, {} cores",
+        rows_target, queries_target, shard_rows, args.seed, runs, cores
+    );
+    if cores <= 1 {
+        println!(
+            "  WARNING: only one core visible — thread-sweep entries share \
+             one CPU and the report is marked \"degraded\": true"
+        );
+    }
+    let gen_start = Instant::now();
+    let env = StudyEnv::generate(
+        StudyScale::Custom {
+            rows: rows_target,
+            queries: queries_target,
+        },
+        args.seed,
+    );
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
+    let single = env.relation.clone();
+    let n = single.len();
+    let workload_queries = env.log.len();
+    println!(
+        "  generated in {:.1}s: {} rows, {} parsed workload queries",
+        gen_seconds, n, workload_queries
+    );
+    let sharded = single.resharded(shard_rows).expect("reshard relation");
+    let shards = sharded.shards().shard_count();
+    println!("  sharded layout: {} shards of <= {} rows", shards, shard_rows);
+    // Thread sweep: serial, a middle width, and the widest. Always
+    // emitted even on narrow hosts so report columns line up; the
+    // cores field says how honest each width is.
+    let sweep: [usize; 3] = [1, 2, 8];
+
+    // ---- Index build: serial single-shard baseline, then per-shard
+    // morsel builds across the sweep. Fresh (index-free) clones of the
+    // same columns each run; clone cost stays outside the timer.
+    let rec = qcat_obs::Recorder::metrics_only();
+    let mut build_entries: Vec<SweepEntry> = Vec::new();
+    let mut scan_entries: Vec<SweepEntry> = Vec::new();
+    let mut det_hash: Option<u64> = None;
+    let mut det_mismatches = 0usize;
+    let mut broad_rows = 0usize;
+    let mut sel_rows = 0usize;
+    let mut auto_summary = Summary {
+        mean_ms: 0.0,
+        median_ms: 0.0,
+        p95_ms: 0.0,
+    };
+    let mut sel_scan_summary = auto_summary;
+    let sample: Vec<&NormalizedQuery> = env.log.queries().iter().take(args.queries).collect();
+    qcat_obs::with_recorder(&rec, || {
+        let serial_ns: Vec<u64> = (0..runs)
+            .map(|_| {
+                let fresh = single.resharded(0).expect("reshard");
+                time_ns(|| {
+                    fresh.try_build_indexes(1).expect("serial index build");
+                })
+            })
+            .collect();
+        let serial = summarize(&serial_ns);
+        println!(
+            "  index build single-shard serial: median {:.1} ms",
+            serial.median_ms
+        );
+        build_entries.push(SweepEntry {
+            mode: "single",
+            threads: 1,
+            summary: serial,
+            speedup_vs_serial: None,
+        });
+        for &t in &sweep {
+            let ns: Vec<u64> = (0..runs)
+                .map(|_| {
+                    let fresh = single.resharded(shard_rows).expect("reshard");
+                    time_ns(|| {
+                        fresh.try_build_indexes(t).expect("sharded index build");
+                    })
+                })
+                .collect();
+            let s = summarize(&ns);
+            let speedup = serial.median_ms / s.median_ms;
+            println!(
+                "  index build sharded threads={t}: median {:.1} ms ({:.2}x vs serial)",
+                s.median_ms, speedup
+            );
+            build_entries.push(SweepEntry {
+                mode: "sharded",
+                threads: t,
+                summary: s,
+                speedup_vs_serial: Some(speedup),
+            });
+        }
+
+        // Both layouts keep cached indexes from here on.
+        single.build_indexes();
+        sharded.build_indexes();
+
+        // ---- Probe selection from the workload sample: the broadest
+        // query stresses the scan path, the most selective non-empty
+        // query stresses the index path.
+        let lens: Vec<usize> = sample
+            .iter()
+            .map(|q| {
+                execute_normalized_with(&single, q, AccessPath::ForceScan)
+                    .expect("probe scan")
+                    .len()
+            })
+            .collect();
+        let bi = (0..lens.len())
+            .max_by_key(|&i| lens[i])
+            .expect("empty workload sample");
+        let si = (0..lens.len())
+            .filter(|&i| lens[i] > 0)
+            .min_by_key(|&i| lens[i])
+            .expect("no non-empty workload query");
+        let (broad_probe, sel_probe) = (sample[bi], sample[si]);
+        (broad_rows, sel_rows) = (lens[bi], lens[si]);
+        println!(
+            "  broad probe {} rows ({:.1}%), selective probe {} rows ({:.3}%)",
+            broad_rows,
+            100.0 * broad_rows as f64 / n as f64,
+            sel_rows,
+            100.0 * sel_rows as f64 / n as f64
+        );
+
+        // ---- Full-scan sweep on the broad probe: single-shard serial
+        // baseline vs. morsel-parallel sharded scans. Every run's row
+        // ids are hashed; all hashes must collide into one value.
+        let mut hash_check = |rows: &[u32]| {
+            let h = fnv1a_rows(rows);
+            match det_hash {
+                None => det_hash = Some(h),
+                Some(expect) if expect != h => det_mismatches += 1,
+                Some(_) => {}
+            }
+        };
+        let serial_scan_ns: Vec<u64> = (0..runs)
+            .map(|_| {
+                time_ns(|| {
+                    let rs = execute_normalized_with_threads(
+                        &single,
+                        broad_probe,
+                        AccessPath::ForceScan,
+                        1,
+                    )
+                    .expect("serial scan");
+                    hash_check(rs.rows());
+                })
+            })
+            .collect();
+        let serial_scan = summarize(&serial_scan_ns);
+        println!(
+            "  scan single-shard serial: median {:.1} ms",
+            serial_scan.median_ms
+        );
+        scan_entries.push(SweepEntry {
+            mode: "single",
+            threads: 1,
+            summary: serial_scan,
+            speedup_vs_serial: None,
+        });
+        for &t in &sweep {
+            let ns: Vec<u64> = (0..runs)
+                .map(|_| {
+                    time_ns(|| {
+                        let rs = execute_normalized_with_threads(
+                            &sharded,
+                            broad_probe,
+                            AccessPath::ForceScan,
+                            t,
+                        )
+                        .expect("sharded scan");
+                        hash_check(rs.rows());
+                    })
+                })
+                .collect();
+            let s = summarize(&ns);
+            let speedup = serial_scan.median_ms / s.median_ms;
+            println!(
+                "  scan sharded threads={t}: median {:.1} ms ({:.2}x vs serial)",
+                s.median_ms, speedup
+            );
+            scan_entries.push(SweepEntry {
+                mode: "sharded",
+                threads: t,
+                summary: s,
+                speedup_vs_serial: Some(speedup),
+            });
+        }
+
+        // ---- Index probe on the selective query: sharded serial scan
+        // vs. the planner's pruned index path.
+        let sel_scan_ns: Vec<u64> = (0..runs)
+            .map(|_| {
+                time_ns(|| {
+                    let rs = execute_normalized_with_threads(
+                        &sharded,
+                        sel_probe,
+                        AccessPath::ForceScan,
+                        1,
+                    )
+                    .expect("selective scan");
+                    std::hint::black_box(rs.len());
+                })
+            })
+            .collect();
+        sel_scan_summary = summarize(&sel_scan_ns);
+        let auto_ns: Vec<u64> = (0..runs)
+            .map(|_| {
+                time_ns(|| {
+                    let rs = execute_normalized_with_threads(
+                        &sharded,
+                        sel_probe,
+                        AccessPath::Auto,
+                        1,
+                    )
+                    .expect("auto path");
+                    std::hint::black_box(rs.len());
+                })
+            })
+            .collect();
+        auto_summary = summarize(&auto_ns);
+    });
+    let index_bytes = sharded.indexes().map_or(0, |ix| ix.heap_bytes());
+    let index_speedup = sel_scan_summary.median_ms / auto_summary.median_ms;
+    let sel_probe = sample
+        .iter()
+        .copied()
+        .find(|q| {
+            execute_normalized_with(&single, q, AccessPath::ForceScan)
+                .map(|rs| rs.len() == sel_rows && sel_rows > 0)
+                .unwrap_or(false)
+        })
+        .expect("selective probe recoverable");
+    let (_, sel_explain) =
+        plan::select_rows(&sharded, sel_probe, AccessPath::Auto).expect("explain probe");
+    println!(
+        "  selective probe: scan median {:.2} ms | index median {:.2} ms | \
+         speedup {:.1}x | {} of {} shards pruned",
+        sel_scan_summary.median_ms,
+        auto_summary.median_ms,
+        index_speedup,
+        sel_explain.shards_pruned,
+        shards
+    );
+
+    // ---- Differential + pruning: every sampled query, sharded layout
+    // vs. the single-shard scan truth, across paths and widths.
+    let mut mismatches = 0usize;
+    let mut shards_pruned_total = 0usize;
+    let mut queries_pruned = 0usize;
+    for q in &sample {
+        let truth = execute_normalized_with(&single, q, AccessPath::ForceScan)
+            .expect("truth scan");
+        for t in [1usize, 8] {
+            for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
+                let (rows, explain) =
+                    plan::select_rows_with_threads(&sharded, q, path, t).expect("sharded path");
+                if rows.as_slice() != truth.rows() {
+                    mismatches += 1;
+                    eprintln!("  MISMATCH ({path:?}, threads={t})");
+                }
+                if path == AccessPath::Auto && t == 1 {
+                    shards_pruned_total += explain.shards_pruned;
+                    if explain.shards_pruned > 0 {
+                        queries_pruned += 1;
+                    }
+                }
+            }
+        }
+    }
+    let diff_status = if mismatches == 0 { "ok" } else { "mismatch" };
+    let det_status = if det_mismatches == 0 { "ok" } else { "mismatch" };
+    println!(
+        "  differential: {} queries x 3 paths x 2 widths, {} mismatches ({})",
+        sample.len(),
+        mismatches,
+        diff_status
+    );
+    println!(
+        "  pruning: {}/{} sampled queries pruned shards ({} shard-skips total)",
+        queries_pruned,
+        sample.len(),
+        shards_pruned_total
+    );
+
+    let phases: Vec<qcat_obs::SpanStats> = rec
+        .snapshot()
+        .span_stats()
+        .into_iter()
+        .filter(|s| s.name.starts_with("exec.") || s.name.starts_with("data.index"))
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pipeline\",\n  \"scale\": \"large\",\n");
+    let _ = write!(
+        out,
+        "  \"schema_version\": {}, \"git\": \"{}\",\n",
+        qcat_bench::BENCH_SCHEMA_VERSION,
+        json_escape(&qcat_bench::git_describe())
+    );
+    let _ = write!(
+        out,
+        "  \"seed\": {}, \"runs\": {}, \"cores\": {}, \"degraded\": {},\n",
+        args.seed,
+        runs,
+        cores,
+        // One visible core means every multi-thread sweep entry ran on
+        // shared hardware: emit the columns, but flag the report.
+        cores <= 1
+    );
+    let _ = write!(
+        out,
+        "  \"rows\": {}, \"workload_queries\": {}, \"shard_rows\": {}, \"shards\": {},\n",
+        n, workload_queries, shard_rows, shards
+    );
+    let _ = write!(
+        out,
+        "  \"gen_seconds\": {}, \"index_heap_bytes\": {},\n",
+        json_num(gen_seconds),
+        index_bytes
+    );
+    let _ = write!(
+        out,
+        "  \"broad_probe\": {{\"rows\": {}, \"selectivity\": {}}},\n",
+        broad_rows,
+        json_num(broad_rows as f64 / n as f64)
+    );
+    let _ = write!(
+        out,
+        "  \"exec_probe\": {{\"rows\": {}, \"selectivity\": {}}},\n",
+        sel_rows,
+        json_num(sel_rows as f64 / n as f64)
+    );
+    out.push_str("  \"index_build\": [\n");
+    out.push_str(&sweep_json(&build_entries));
+    out.push_str("  ],\n  \"scan\": [\n");
+    out.push_str(&sweep_json(&scan_entries));
+    out.push_str("  ],\n  \"access_path\": [\n");
+    let _ = write!(
+        out,
+        "    {{\"path\": \"scan\", \"summary\": {}}},\n",
+        summary_json(&sel_scan_summary)
+    );
+    let _ = write!(
+        out,
+        "    {{\"path\": \"index\", \"summary\": {}, \"speedup_vs_scan\": {}, \"shards_pruned\": {}}}\n",
+        summary_json(&auto_summary),
+        json_num(index_speedup),
+        sel_explain.shards_pruned
+    );
+    out.push_str("  ],\n");
+    let _ = write!(
+        out,
+        "  \"pruning\": {{\"queries\": {}, \"queries_pruned\": {}, \"shards_pruned_total\": {}}},\n",
+        sample.len(),
+        queries_pruned,
+        shards_pruned_total
+    );
+    let _ = write!(
+        out,
+        "  \"determinism\": {{\"scan_runs_hashed\": {}, \"mismatches\": {}, \"row_hash\": \"{:#018x}\", \"status\": \"{}\"}},\n",
+        (1 + sweep.len()) * runs,
+        det_mismatches,
+        det_hash.unwrap_or(0),
+        det_status
+    );
+    let _ = write!(
+        out,
+        "  \"differential\": {{\"queries\": {}, \"paths\": [\"auto\", \"force_scan\", \"force_index\"], \"threads\": [1, 8], \"mismatches\": {}, \"status\": \"{}\"}},\n",
+        sample.len(),
+        mismatches,
+        diff_status
+    );
+    out.push_str("  \"phases\": [\n");
+    for (j, p) in phases.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"count\": {}, \"mean_ms\": {}, \"median_ms\": {}, \"p95_ms\": {}, \"total_ms\": {}}}{}\n",
+            json_escape(&p.name),
+            p.count,
+            json_num(p.mean_ns / 1e6),
+            json_num(p.p50_ns as f64 / 1e6),
+            json_num(p.p95_ns as f64 / 1e6),
+            json_num(p.total_ns as f64 / 1e6),
+            if j + 1 < phases.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    let out_path = args.out();
+    std::fs::write(&out_path, out).expect("write bench report");
+    println!("  wrote {out_path}");
+    if mismatches > 0 || det_mismatches > 0 {
         std::process::exit(1);
     }
 }

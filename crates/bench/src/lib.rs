@@ -50,7 +50,33 @@ pub struct BenchEnv {
 /// Build the Smoke-scale benchmark environment: deterministic for a
 /// given `seed`, capped at `max_cases` oversized result sets.
 pub fn bench_env(seed: u64, max_cases: usize) -> BenchEnv {
-    let env = StudyEnv::generate(StudyScale::Smoke, seed);
+    bench_env_at(StudyScale::Smoke, seed, max_cases)
+}
+
+/// Rows / queries / shard size of the `scale: large` bench tier:
+/// paper volume by default, shrinkable through environment variables
+/// so CI can smoke the same code path in seconds. Returns
+/// `(rows, queries, shard_rows)`.
+pub fn large_tier_dims() -> (usize, usize, usize) {
+    (
+        env_usize("QCAT_LARGE_ROWS", StudyScale::Paper.home_rows()),
+        env_usize("QCAT_LARGE_QUERIES", StudyScale::Paper.workload_queries()),
+        env_usize("QCAT_LARGE_SHARD_ROWS", 65_536),
+    )
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// [`bench_env`] at an explicit [`StudyScale`] (the `scale: large`
+/// tier runs `StudyScale::Custom` at paper volume).
+pub fn bench_env_at(scale: StudyScale, seed: u64, max_cases: usize) -> BenchEnv {
+    let env = StudyEnv::generate(scale, seed);
     let stats = env.stats_for(&env.log);
     let schema = env.relation.schema().clone();
     let mut cases = Vec::new();
@@ -107,6 +133,20 @@ pub fn summarize(samples_ns: &[u64]) -> Summary {
 fn quantile_ns(sorted: &[u64], q: f64) -> f64 {
     let rank = ((sorted.len() as f64) * q).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1] as f64
+}
+
+/// FNV-1a over a row-id list; the determinism sections of bench
+/// reports pin that every (layout, access path, thread width)
+/// combination hashed identical rows.
+pub fn fnv1a_rows(rows: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &r in rows {
+        for b in r.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 /// Escape a string for inclusion in a JSON string literal.

@@ -58,12 +58,12 @@ pub fn parse_bench_file(name: &str, text: &str) -> Result<BenchFile, String> {
         format!("{name}: not a BENCH_pr<N>.json filename")
     })?;
     let v = parse(text).map_err(|e| format!("{name}: {e}"))?;
-    let kind = v
+    let base_kind = v
         .get("bench")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("{name}: missing \"bench\" kind"))?
         .to_string();
-    let metrics = match kind.as_str() {
+    let metrics = match base_kind.as_str() {
         "categorize" => categorize_metrics(&v),
         "pipeline" => pipeline_metrics(&v),
         other => return Err(format!("{name}: unknown bench kind `{other}`")),
@@ -71,6 +71,15 @@ pub fn parse_bench_file(name: &str, text: &str) -> Result<BenchFile, String> {
     if metrics.is_empty() {
         return Err(format!("{name}: no metrics extracted — schema drift?"));
     }
+    // Non-smoke tiers get their own trajectory kind (`pipeline.large`)
+    // so a paper-scale report never gates against a smoke baseline:
+    // the numbers differ by orders of magnitude by design.
+    let scale = v.get("scale").and_then(JsonValue::as_str).unwrap_or("smoke");
+    let kind = if scale == "smoke" {
+        base_kind
+    } else {
+        format!("{base_kind}.{scale}")
+    };
     Ok(BenchFile {
         pr,
         name: name.to_string(),
@@ -155,6 +164,40 @@ fn pipeline_metrics(v: &JsonValue) -> Vec<(String, f64)> {
             out.push(("speedup.serve.warm".to_string(), s));
         }
     }
+    // Large-tier thread sweeps: index build and full scan, one entry
+    // per (layout, thread width), plus each entry's speedup over the
+    // serial single-shard baseline.
+    for section in ["index_build", "scan"] {
+        if let Some(JsonValue::Arr(entries)) = v.get(section) {
+            for e in entries {
+                let mode = e.get("mode").and_then(JsonValue::as_str).unwrap_or("?");
+                let label = match num(e, "threads") {
+                    Some(t) => format!("{section}.{mode}.t{t}"),
+                    None => format!("{section}.{mode}"),
+                };
+                if let Some(s) = e.get("summary") {
+                    summary_metrics(&mut out, &label, s);
+                }
+                if let Some(s) = num(e, "speedup_vs_serial") {
+                    if let Some(t) = num(e, "threads") {
+                        out.push((format!("speedup.{section}.t{t}"), s));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(pruning) = v.get("pruning") {
+        for key in ["queries_pruned", "shards_pruned_total"] {
+            if let Some(m) = num(pruning, key) {
+                out.push((format!("pruning.{key}"), m));
+            }
+        }
+    }
+    if let Some(det) = v.get("determinism") {
+        if let Some(m) = num(det, "mismatches") {
+            out.push(("determinism.mismatches".to_string(), m));
+        }
+    }
     if let Some(diff) = v.get("differential") {
         if let Some(m) = num(diff, "mismatches") {
             out.push(("differential.mismatches".to_string(), m));
@@ -199,16 +242,31 @@ pub fn trajectories(files: &[BenchFile]) -> BTreeMap<String, BTreeMap<String, Tr
 
 /// Render the trajectory tables as text: one table per kind, a
 /// metric per row, a PR per column, `-` where a PR lacks the metric.
+///
+/// PR numbers between the first and last measured PR of a kind that
+/// have *no committed report at all* still get a column — headed
+/// `pr<N>*` with every cell `-`, and a footnote naming the missing
+/// file. Without the placeholder, a skipped PR would silently shift
+/// the columns and make its neighbors look adjacent; the gap is a
+/// fact about the corpus, not a regression.
 pub fn render(files: &[BenchFile]) -> String {
     let groups = trajectories(files);
     let mut out = String::new();
     for (kind, metrics) in &groups {
-        let mut prs: Vec<u32> = metrics
+        let mut measured: Vec<u32> = metrics
             .values()
             .flat_map(|t| t.iter().map(|(pr, _)| *pr))
             .collect();
-        prs.sort_unstable();
-        prs.dedup();
+        measured.sort_unstable();
+        measured.dedup();
+        let (lo, hi) = match (measured.first(), measured.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => continue,
+        };
+        let prs: Vec<(u32, bool)> = (lo..=hi)
+            .map(|pr| (pr, measured.binary_search(&pr).is_ok()))
+            .collect();
+        let gaps: Vec<u32> = prs.iter().filter(|(_, m)| !m).map(|(pr, _)| *pr).collect();
         let name_w = metrics
             .keys()
             .map(String::len)
@@ -217,13 +275,18 @@ pub fn render(files: &[BenchFile]) -> String {
             .max("metric".len());
         let _ = writeln!(out, "== bench: {kind} ==");
         let _ = write!(out, "{:<name_w$}", "metric");
-        for pr in &prs {
-            let _ = write!(out, " {:>12}", format!("pr{pr}"));
+        for (pr, present) in &prs {
+            let head = if *present {
+                format!("pr{pr}")
+            } else {
+                format!("pr{pr}*")
+            };
+            let _ = write!(out, " {head:>12}");
         }
         out.push('\n');
         for (metric, t) in metrics {
             let _ = write!(out, "{metric:<name_w$}");
-            for pr in &prs {
+            for (pr, _) in &prs {
                 match t.iter().find(|(p, _)| p == pr) {
                     Some((_, v)) => {
                         let _ = write!(out, " {v:>12.6}");
@@ -234,6 +297,12 @@ pub fn render(files: &[BenchFile]) -> String {
                 }
             }
             out.push('\n');
+        }
+        for pr in &gaps {
+            let _ = writeln!(
+                out,
+                "* pr{pr}: no BENCH_pr{pr}.json committed — gap, not a regression"
+            );
         }
         out.push('\n');
     }
@@ -272,8 +341,9 @@ impl std::fmt::Display for Regression {
 /// Direction-aware regression check of the newest PR against the one
 /// before it, per kind. Median duration metrics (ending
 /// `.median_ms`) regress when they grow; `speedup.*` metrics regress
-/// when they shrink; correctness counters
-/// (`differential.mismatches`) regress when they become nonzero.
+/// when they shrink; correctness counters (any metric ending
+/// `mismatches` — differential or determinism) regress when they
+/// become nonzero.
 /// Means and p95s are informational only — at sub-millisecond scale
 /// their cross-machine noise (500%+ on the index probe's p95) would
 /// drown any real signal.
@@ -283,7 +353,7 @@ pub fn check(files: &[BenchFile], max_regression_pct: f64) -> Vec<Regression> {
         for (metric, t) in metrics {
             let [.., (prev_pr, prev), (last_pr, last)] = t.as_slice() else {
                 // Mismatches are absolute even with no baseline.
-                if metric == "differential.mismatches" {
+                if metric.ends_with("mismatches") {
                     if let Some(&(pr, v)) = t.last() {
                         if v > 0.0 {
                             findings.push(Regression {
@@ -299,7 +369,7 @@ pub fn check(files: &[BenchFile], max_regression_pct: f64) -> Vec<Regression> {
                 continue;
             };
             let (prev_pr, prev, last_pr, last) = (*prev_pr, *prev, *last_pr, *last);
-            if metric == "differential.mismatches" {
+            if metric.ends_with("mismatches") {
                 if last > 0.0 {
                     findings.push(Regression {
                         kind: kind.clone(),
@@ -427,6 +497,74 @@ mod tests {
         let findings = check(&[f], f64::INFINITY);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].metric, "differential.mismatches");
+    }
+
+    #[test]
+    fn absent_prs_render_as_labeled_gap_columns() {
+        // pr4 and pr7 committed pipeline reports, pr5/pr6 did not: the
+        // table must still show four columns, with the gaps starred
+        // and footnoted rather than silently collapsed.
+        let files = vec![
+            pipeline_fixture(4, 0.30, 30.0),
+            pipeline_fixture(7, 0.31, 29.0),
+        ];
+        let table = render(&files);
+        assert!(table.contains("pr4"), "{table}");
+        assert!(table.contains("pr5*"), "{table}");
+        assert!(table.contains("pr6*"), "{table}");
+        assert!(table.contains("pr7"), "{table}");
+        assert!(
+            table.contains("* pr6: no BENCH_pr6.json committed — gap, not a regression"),
+            "{table}"
+        );
+        // Gap columns carry no values anywhere.
+        for line in table.lines().filter(|l| l.starts_with("serve.")) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cells.len(), 5, "{line}");
+            assert_eq!(cells[2], "-", "pr5 gap cell: {line}");
+            assert_eq!(cells[3], "-", "pr6 gap cell: {line}");
+        }
+    }
+
+    #[test]
+    fn large_scale_reports_key_their_own_kind() {
+        let large = "{\"bench\": \"pipeline\", \"scale\": \"large\",\
+            \"index_build\": [\
+              {\"mode\": \"single\", \"threads\": 1, \"summary\": {\"mean_ms\": 900.0, \"median_ms\": 880.0, \"p95_ms\": 950.0}},\
+              {\"mode\": \"sharded\", \"threads\": 8, \"summary\": {\"mean_ms\": 300.0, \"median_ms\": 290.0, \"p95_ms\": 340.0}, \"speedup_vs_serial\": 3.03}],\
+            \"scan\": [\
+              {\"mode\": \"sharded\", \"threads\": 2, \"summary\": {\"mean_ms\": 20.0, \"median_ms\": 19.0, \"p95_ms\": 24.0}, \"speedup_vs_serial\": 1.8}],\
+            \"pruning\": {\"queries\": 50, \"queries_pruned\": 12, \"shards_pruned_total\": 40},\
+            \"determinism\": {\"mismatches\": 0},\
+            \"differential\": {\"mismatches\": 0}}";
+        let f = parse_bench_file("BENCH_pr8.json", large).expect("parses");
+        assert_eq!(f.kind, "pipeline.large");
+        let get = |k: &str| f.metrics.iter().find(|(m, _)| m == k).map(|(_, v)| *v);
+        assert_eq!(get("index_build.single.t1.median_ms"), Some(880.0));
+        assert_eq!(get("index_build.sharded.t8.median_ms"), Some(290.0));
+        assert_eq!(get("speedup.index_build.t8"), Some(3.03));
+        assert_eq!(get("scan.sharded.t2.median_ms"), Some(19.0));
+        assert_eq!(get("speedup.scan.t2"), Some(1.8));
+        assert_eq!(get("pruning.queries_pruned"), Some(12.0));
+        assert_eq!(get("determinism.mismatches"), Some(0.0));
+
+        // A large report never gates against a smoke baseline: the
+        // kinds differ, so this pair produces no findings even at a
+        // zero-tolerance threshold (large medians are ~2000x smoke's).
+        let smoke = pipeline_fixture(7, 0.30, 30.0);
+        assert_eq!(check(&[smoke, f], 0.1), vec![]);
+    }
+
+    #[test]
+    fn determinism_mismatches_fail_absolutely() {
+        let text = "{\"bench\": \"pipeline\", \"scale\": \"large\",\
+            \"scan\": [{\"mode\": \"single\", \"threads\": 1, \"summary\": {\"median_ms\": 1.0}}],\
+            \"determinism\": {\"mismatches\": 3}}";
+        let f = parse_bench_file("BENCH_pr8.json", text).expect("parses");
+        let findings = check(&[f], f64::INFINITY);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "determinism.mismatches");
+        assert_eq!(findings[0].kind, "pipeline.large");
     }
 
     #[test]

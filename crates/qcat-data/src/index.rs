@@ -2,7 +2,8 @@
 //!
 //! The paper assumes the host DBMS executes the selection query
 //! cheaply (Section 5); this module is our access-path layer. A
-//! frozen relation can carry an [`IndexSet`]:
+//! frozen relation can carry an [`IndexSet`] — one [`ShardIndexes`]
+//! per horizontal shard of the relation, each holding:
 //!
 //! - one **postings index** per categorical column: for every
 //!   dictionary code, the ascending list of row ids holding that code
@@ -11,6 +12,17 @@
 //!   pairs sorted by value, so any interval maps to a contiguous
 //!   slice found by binary search.
 //!
+//! Row ids are **global** (table row ids, not shard-relative), so a
+//! shard's lists concatenate in shard order into globally ascending
+//! lists with no merge step: shard row ranges are disjoint and
+//! increasing. The single-shard build is exactly the pre-shard index —
+//! same arrays, same bytes.
+//!
+//! Shards build independently, so [`IndexSet::build_sharded`] fans the
+//! per-shard builds out as `qcat-pool` morsels: budget `Gas` is polled
+//! before each shard, the caller's recorder/trace context propagates
+//! into workers, and results collect deterministically by shard index.
+//!
 //! All set algebra happens on ascending `u32` row-id lists via the
 //! first-party kernels [`intersect_sorted`] (galloping for skewed
 //! sizes) and [`union_sorted`] (k-way merge). Row-id order equals
@@ -18,7 +30,9 @@
 //! full scan's.
 
 use crate::column::Column;
+use crate::shard::ShardMap;
 use crate::types::AttrId;
+use qcat_pool::{PoolError, ThreadPool};
 
 /// How much larger one list must be before intersection switches
 /// from linear merging to galloping probes into the larger list.
@@ -35,8 +49,10 @@ pub struct PostingsIndex {
 }
 
 impl PostingsIndex {
-    /// Build from per-row dictionary codes (`dict_len` distinct codes).
-    fn build(codes: &[u32], dict_len: usize) -> PostingsIndex {
+    /// Build from per-row dictionary codes (`dict_len` distinct
+    /// codes); stored row ids are offset by `base` so a shard built
+    /// from `codes[start..end]` emits global table row ids.
+    fn build(codes: &[u32], dict_len: usize, base: u32) -> PostingsIndex {
         let mut counts = vec![0u32; dict_len + 1];
         for &c in codes {
             counts[c as usize + 1] += 1;
@@ -48,7 +64,7 @@ impl PostingsIndex {
         let mut cursor = counts;
         let mut rows = vec![0u32; codes.len()];
         for (row, &c) in codes.iter().enumerate() {
-            rows[cursor[c as usize] as usize] = row as u32;
+            rows[cursor[c as usize] as usize] = base + row as u32;
             cursor[c as usize] += 1;
         }
         PostingsIndex { offsets, rows }
@@ -91,11 +107,12 @@ pub struct SortedIndex {
 
 impl SortedIndex {
     /// Build from an `f64` view of the column (NaN is unrepresentable
-    /// in qcat columns, so `total_cmp` agrees with `<` here).
-    fn build(values: impl Iterator<Item = f64>) -> SortedIndex {
+    /// in qcat columns, so `total_cmp` agrees with `<` here); stored
+    /// row ids are offset by `base` for shard builds.
+    fn build(values: impl Iterator<Item = f64>, base: u32) -> SortedIndex {
         let mut pairs: Vec<(f64, u32)> = values
             .enumerate()
-            .map(|(row, v)| (v, row as u32))
+            .map(|(row, v)| (v, base + row as u32))
             .collect();
         pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         SortedIndex {
@@ -126,13 +143,14 @@ impl SortedIndex {
         end - start
     }
 
-    /// Ascending row ids of rows inside the interval. The slice is
-    /// value-ordered, so the ids are re-sorted before returning.
-    pub fn rows_in(&self, lo: f64, lo_inclusive: bool, hi: f64, hi_inclusive: bool) -> Vec<u32> {
+    /// The contiguous projection slice of rows inside the interval,
+    /// **borrowed** — no allocation per probe. The slice is ordered by
+    /// `(value, row id)`, so it is row-ascending only when it spans a
+    /// single value; callers that need table order over a multi-value
+    /// interval copy and sort once per probe (see `qcat-exec::plan`).
+    pub fn slice_in(&self, lo: f64, lo_inclusive: bool, hi: f64, hi_inclusive: bool) -> &[u32] {
         let (start, end) = self.bounds(lo, lo_inclusive, hi, hi_inclusive);
-        let mut out = self.rows[start..end].to_vec();
-        out.sort_unstable();
-        out
+        &self.rows[start..end]
     }
 
     /// Exact number of rows equal to `v`.
@@ -140,9 +158,11 @@ impl SortedIndex {
         self.count_in(v, true, v, true)
     }
 
-    /// Ascending row ids of rows equal to `v`.
-    pub fn rows_eq(&self, v: f64) -> Vec<u32> {
-        self.rows_in(v, true, v, true)
+    /// Row ids equal to `v`, borrowed. Within one value the sort
+    /// tiebreaks on row id, so an equal-range slice is already
+    /// **ascending row ids** — usable directly by the merge kernels.
+    pub fn slice_eq(&self, v: f64) -> &[u32] {
+        self.slice_in(v, true, v, true)
     }
 
     /// Number of indexed rows.
@@ -171,35 +191,33 @@ pub enum AttrIndex {
     Sorted(SortedIndex),
 }
 
-/// The full index complement of one relation: one [`AttrIndex`] per
-/// column.
+/// The indexes of one horizontal shard: one [`AttrIndex`] per column,
+/// covering the shard's row range with global row ids.
 #[derive(Debug, Clone)]
-pub struct IndexSet {
+pub struct ShardIndexes {
     per_attr: Vec<AttrIndex>,
 }
 
-impl IndexSet {
-    /// Build indexes for every column. Cost is one counting pass per
-    /// categorical column and one sort per numeric column.
-    pub fn build(columns: &[Column]) -> IndexSet {
-        let mut span = qcat_obs::span!("data.index.build", columns = columns.len());
+impl ShardIndexes {
+    /// Index rows `[start, end)` of every column.
+    fn build(columns: &[Column], start: usize, end: usize) -> ShardIndexes {
+        let base = start as u32;
         let per_attr = columns
             .iter()
             .map(|col| match col {
                 Column::Categorical { dict, codes } => {
-                    AttrIndex::Postings(PostingsIndex::build(codes, dict.len()))
+                    AttrIndex::Postings(PostingsIndex::build(&codes[start..end], dict.len(), base))
                 }
-                Column::Int(v) => {
-                    AttrIndex::Sorted(SortedIndex::build(v.iter().map(|&i| i as f64)))
+                Column::Int(v) => AttrIndex::Sorted(SortedIndex::build(
+                    v[start..end].iter().map(|&i| i as f64),
+                    base,
+                )),
+                Column::Float(v) => {
+                    AttrIndex::Sorted(SortedIndex::build(v[start..end].iter().copied(), base))
                 }
-                Column::Float(v) => AttrIndex::Sorted(SortedIndex::build(v.iter().copied())),
             })
             .collect();
-        let set = IndexSet { per_attr };
-        if qcat_obs::active() {
-            span.set("heap_bytes", set.heap_bytes());
-        }
-        set
+        ShardIndexes { per_attr }
     }
 
     /// The index on attribute `id`, if `id` is in range.
@@ -223,7 +241,7 @@ impl IndexSet {
         }
     }
 
-    /// Total heap bytes held by all per-attribute indexes.
+    /// Heap bytes held by this shard's indexes.
     pub fn heap_bytes(&self) -> usize {
         self.per_attr
             .iter()
@@ -232,6 +250,127 @@ impl IndexSet {
                 AttrIndex::Sorted(s) => s.heap_bytes(),
             })
             .sum()
+    }
+}
+
+/// The full index complement of one relation: one [`ShardIndexes`]
+/// per horizontal shard.
+#[derive(Debug, Clone)]
+pub struct IndexSet {
+    shards: Vec<ShardIndexes>,
+}
+
+impl IndexSet {
+    /// Build single-shard indexes for every column — the layout every
+    /// unsharded relation uses. Cost is one counting pass per
+    /// categorical column and one sort per numeric column.
+    pub fn build(columns: &[Column]) -> IndexSet {
+        let rows = columns.first().map_or(0, Column::len);
+        IndexSet::build_serial(columns, &ShardMap::single(rows))
+    }
+
+    /// Build per-shard indexes serially on the calling thread, with no
+    /// budget checkpoints — the fallback that keeps
+    /// `Relation::build_indexes` infallible.
+    pub fn build_serial(columns: &[Column], map: &ShardMap) -> IndexSet {
+        let mut span = qcat_obs::span!(
+            "data.index.build",
+            columns = columns.len(),
+            shards = map.shard_count()
+        );
+        let shards = (0..map.shard_count())
+            .map(|s| {
+                let (start, end) = map.bounds(s);
+                ShardIndexes::build(columns, start, end)
+            })
+            .collect();
+        let set = IndexSet { shards };
+        if qcat_obs::active() {
+            span.set("heap_bytes", set.heap_bytes());
+        }
+        set
+    }
+
+    /// Build per-shard indexes as `qcat-pool` morsels: one work item
+    /// per shard, `threads` resolved by [`qcat_pool::resolve_threads`]
+    /// (0 = auto). Workers poll the caller's budget `Gas` before each
+    /// shard and inherit the caller's recorder/trace context; results
+    /// collect by shard index, so the set is identical to
+    /// [`IndexSet::build_serial`]'s at any thread count.
+    pub fn build_sharded(
+        columns: &[Column],
+        map: &ShardMap,
+        threads: usize,
+    ) -> Result<IndexSet, PoolError> {
+        let pool = ThreadPool::new(threads);
+        if map.is_single() || pool.threads() <= 1 {
+            // The serial fast path still honors an installed budget so
+            // `try_build_indexes` refuses consistently at one thread.
+            if let Some(gas) = qcat_fault::current_gas() {
+                if let Err(reason) = gas.check() {
+                    return Err(PoolError::Cancelled(reason));
+                }
+            }
+            return Ok(IndexSet::build_serial(columns, map));
+        }
+        let mut span = qcat_obs::span!(
+            "data.index.build",
+            columns = columns.len(),
+            shards = map.shard_count(),
+            threads = pool.threads()
+        );
+        let shard_ids: Vec<usize> = (0..map.shard_count()).collect();
+        let shards = pool.try_map(&shard_ids, |_, &s| {
+            let (start, end) = map.bounds(s);
+            let _item = qcat_obs::span!("data.index.shard", shard = s, rows = end - start);
+            ShardIndexes::build(columns, start, end)
+        })?;
+        let set = IndexSet { shards };
+        if qcat_obs::active() {
+            span.set("heap_bytes", set.heap_bytes());
+        }
+        Ok(set)
+    }
+
+    /// Number of shards the indexes cover (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard indexes, in shard (= row) order.
+    pub fn shards(&self) -> &[ShardIndexes] {
+        &self.shards
+    }
+
+    /// The index on attribute `id` of the **only** shard. `None` when
+    /// the relation is sharded — shard-aware callers iterate
+    /// [`IndexSet::shards`] instead.
+    pub fn attr(&self, id: AttrId) -> Option<&AttrIndex> {
+        match self.shards.as_slice() {
+            [only] => only.attr(id),
+            _ => None,
+        }
+    }
+
+    /// Single-shard postings accessor; see [`IndexSet::attr`].
+    pub fn postings(&self, id: AttrId) -> Option<&PostingsIndex> {
+        match self.shards.as_slice() {
+            [only] => only.postings(id),
+            _ => None,
+        }
+    }
+
+    /// Single-shard sorted-projection accessor; see [`IndexSet::attr`].
+    pub fn sorted(&self, id: AttrId) -> Option<&SortedIndex> {
+        match self.shards.as_slice() {
+            [only] => only.sorted(id),
+            _ => None,
+        }
+    }
+
+    /// Total heap bytes held by all shards' indexes.
+    pub fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(ShardIndexes::heap_bytes).sum()
     }
 }
 
@@ -357,6 +496,14 @@ mod tests {
         b.finish()
     }
 
+    /// Collect a borrowed interval slice into ascending row ids, the
+    /// way shard-aware callers do.
+    fn rows_in(s: &SortedIndex, lo: f64, li: bool, hi: f64, hi_inc: bool) -> Vec<u32> {
+        let mut out = s.slice_in(lo, li, hi, hi_inc).to_vec();
+        out.sort_unstable();
+        out
+    }
+
     #[test]
     fn postings_group_rows_by_code() {
         let col = cat(&["a", "b", "a", "c", "b", "a"]);
@@ -380,15 +527,29 @@ mod tests {
         let s = set.sorted(AttrId(0)).unwrap();
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
-        assert_eq!(s.rows_in(3.0, true, 5.0, true), vec![0, 2, 3]);
-        assert_eq!(s.rows_in(3.0, false, 5.0, true), vec![0]);
-        assert_eq!(s.rows_in(3.0, true, 5.0, false), vec![2, 3]);
+        assert_eq!(rows_in(s, 3.0, true, 5.0, true), vec![0, 2, 3]);
+        assert_eq!(rows_in(s, 3.0, false, 5.0, true), vec![0]);
+        assert_eq!(rows_in(s, 3.0, true, 5.0, false), vec![2, 3]);
         assert_eq!(s.count_in(f64::NEG_INFINITY, false, f64::INFINITY, false), 5);
-        assert_eq!(s.rows_eq(3.0), vec![2, 3]);
+        assert_eq!(s.slice_eq(3.0), &[2, 3], "equal range is row-ascending");
         assert_eq!(s.count_eq(7.0), 0);
         // Degenerate (empty) interval.
         assert_eq!(s.count_in(5.0, true, 3.0, true), 0);
-        assert_eq!(s.rows_in(5.0, false, 5.0, false), Vec::<u32>::new());
+        assert_eq!(s.slice_in(5.0, false, 5.0, false), &[] as &[u32]);
+    }
+
+    #[test]
+    fn slice_probes_borrow_without_allocating() {
+        let col = Column::Float(vec![2.0, 1.0, 2.0, 3.0]);
+        let set = IndexSet::build(std::slice::from_ref(&col));
+        let s = set.sorted(AttrId(0)).unwrap();
+        // Two probes of the same interval return the same backing
+        // slice — pointer equality proves no per-probe copy.
+        let a = s.slice_in(1.0, true, 3.0, true);
+        let b = s.slice_in(1.0, true, 3.0, true);
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a.len(), 4);
+        assert_eq!(s.slice_eq(2.0), &[0, 2]);
     }
 
     #[test]
@@ -396,10 +557,82 @@ mod tests {
         let col = Column::Int(vec![4, 2, 2, 8]);
         let set = IndexSet::build(std::slice::from_ref(&col));
         let s = set.sorted(AttrId(0)).unwrap();
-        assert_eq!(s.rows_eq(2.0), vec![1, 2]);
-        assert_eq!(s.rows_in(3.0, true, 10.0, true), vec![0, 3]);
+        assert_eq!(s.slice_eq(2.0), &[1, 2]);
+        assert_eq!(rows_in(s, 3.0, true, 10.0, true), vec![0, 3]);
         assert!(set.postings(AttrId(0)).is_none());
         assert!(set.attr(AttrId(1)).is_none());
+    }
+
+    #[test]
+    fn sharded_build_matches_serial_with_global_ids() {
+        let cols = vec![
+            cat(&["a", "b", "a", "c", "b", "a", "c"]),
+            Column::Int(vec![4, 2, 2, 8, 1, 9, 2]),
+        ];
+        let map = ShardMap::new(3, 7);
+        let serial = IndexSet::build_serial(&cols, &map);
+        for threads in [1, 2, 8] {
+            let parallel = IndexSet::build_sharded(&cols, &map, threads).unwrap();
+            assert_eq!(parallel.shard_count(), 3, "threads={threads}");
+            for (s, (a, b)) in serial.shards().iter().zip(parallel.shards()).enumerate() {
+                let (pa, pb) = (a.postings(AttrId(0)).unwrap(), b.postings(AttrId(0)).unwrap());
+                for code in 0..3 {
+                    assert_eq!(pa.rows_for_code(code), pb.rows_for_code(code), "shard {s}");
+                }
+                let (sa, sb) = (a.sorted(AttrId(1)).unwrap(), b.sorted(AttrId(1)).unwrap());
+                assert_eq!(
+                    sa.slice_in(f64::NEG_INFINITY, true, f64::INFINITY, true),
+                    sb.slice_in(f64::NEG_INFINITY, true, f64::INFINITY, true),
+                    "shard {s}"
+                );
+            }
+        }
+        // Global ids: shard 1 covers rows 3..6; code c=2 appears at 3.
+        let p = serial.shards()[1].postings(AttrId(0)).unwrap();
+        assert_eq!(p.rows_for_code(2), &[3]);
+        // Concatenating per-shard eq-slices in shard order is globally
+        // ascending (value 2 lives at rows 1, 2, 6).
+        let mut concat = Vec::new();
+        for sh in serial.shards() {
+            concat.extend_from_slice(sh.sorted(AttrId(1)).unwrap().slice_eq(2.0));
+        }
+        assert_eq!(concat, vec![1, 2, 6]);
+    }
+
+    #[test]
+    fn sharded_accessors_refuse_flat_view() {
+        let cols = vec![Column::Int(vec![1, 2, 3, 4])];
+        let set = IndexSet::build_serial(&cols, &ShardMap::new(2, 4));
+        assert_eq!(set.shard_count(), 2);
+        assert!(set.sorted(AttrId(0)).is_none(), "multi-shard: iterate shards()");
+        assert!(set.attr(AttrId(0)).is_none());
+        assert!(set.shards()[0].sorted(AttrId(0)).is_some());
+    }
+
+    #[test]
+    fn sharded_build_honors_budget() {
+        let cols = vec![Column::Int((0..100).collect())];
+        let map = ShardMap::new(10, 100);
+        let gas = qcat_fault::Budget::UNLIMITED
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        for threads in [1, 4] {
+            let err = qcat_fault::with_budget(&gas, || {
+                IndexSet::build_sharded(&cols, &map, threads).unwrap_err()
+            });
+            assert!(
+                matches!(err, PoolError::Cancelled(qcat_fault::BudgetExceeded::Deadline)),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_relation_builds_one_empty_shard() {
+        let cols = vec![Column::Int(vec![])];
+        let set = IndexSet::build(&cols);
+        assert_eq!(set.shard_count(), 1);
+        assert!(set.sorted(AttrId(0)).unwrap().is_empty());
     }
 
     #[test]
@@ -447,6 +680,11 @@ mod tests {
             set.heap_bytes(),
             set.postings(AttrId(0)).unwrap().heap_bytes()
                 + set.sorted(AttrId(1)).unwrap().heap_bytes()
+        );
+        let sharded = IndexSet::build_serial(&cols, &ShardMap::new(1, 2));
+        assert_eq!(
+            sharded.heap_bytes(),
+            sharded.shards().iter().map(ShardIndexes::heap_bytes).sum::<usize>()
         );
     }
 }

@@ -30,6 +30,7 @@ pub mod dictionary;
 pub mod error;
 pub mod index;
 pub mod relation;
+pub mod shard;
 pub mod types;
 pub mod value;
 
@@ -37,7 +38,10 @@ pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder};
 pub use dictionary::Dictionary;
 pub use error::DataError;
-pub use index::{intersect_sorted, union_sorted, AttrIndex, IndexSet, PostingsIndex, SortedIndex};
+pub use index::{
+    intersect_sorted, union_sorted, AttrIndex, IndexSet, PostingsIndex, ShardIndexes, SortedIndex,
+};
 pub use relation::{Relation, RelationBuilder};
+pub use shard::{ShardMap, ShardSummaries};
 pub use types::{AttrId, AttrType, Field, Schema};
 pub use value::Value;

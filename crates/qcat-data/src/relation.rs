@@ -3,8 +3,10 @@
 use crate::column::{Column, ColumnBuilder};
 use crate::error::DataError;
 use crate::index::IndexSet;
+use crate::shard::{ShardMap, ShardSummaries};
 use crate::types::{AttrId, Schema};
 use crate::value::Value;
+use qcat_pool::PoolError;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -22,6 +24,13 @@ struct RelationInner {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    /// Horizontal shard layout. Columns stay contiguous; the map only
+    /// overlays row ranges, so the default single-shard map is
+    /// byte-for-byte the unsharded layout.
+    shards: ShardMap,
+    /// Per-shard pruning summaries (numeric min/max, categorical
+    /// code presence); present only for multi-shard relations.
+    summaries: Option<ShardSummaries>,
     /// Secondary indexes, built at freeze time (builder opt-in) or on
     /// first [`Relation::build_indexes`] call; absent until then so
     /// plain relations pay nothing.
@@ -29,8 +38,20 @@ struct RelationInner {
 }
 
 impl Relation {
-    /// Build a relation from pre-built columns; validates lengths.
+    /// Build a single-shard relation from pre-built columns;
+    /// validates lengths.
     pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self, DataError> {
+        Relation::from_columns_sharded(schema, columns, 0)
+    }
+
+    /// Build a relation from pre-built columns, split into horizontal
+    /// shards of `shard_rows` rows (`0` = unsharded). Multi-shard
+    /// relations get [`ShardSummaries`] built here, in one pass.
+    pub fn from_columns_sharded(
+        schema: Schema,
+        columns: Vec<Column>,
+        shard_rows: usize,
+    ) -> Result<Self, DataError> {
         if columns.len() != schema.len() {
             return Err(DataError::ColumnLengthMismatch {
                 attribute: "<schema>".into(),
@@ -48,14 +69,34 @@ impl Relation {
                 });
             }
         }
+        let shards = ShardMap::new(shard_rows, rows);
+        let summaries = if shards.is_single() {
+            None
+        } else {
+            Some(ShardSummaries::build(&columns, &shards))
+        };
         Ok(Relation {
             inner: Arc::new(RelationInner {
                 schema,
                 columns,
                 rows,
+                shards,
+                summaries,
                 indexes: OnceLock::new(),
             }),
         })
+    }
+
+    /// The relation's shard layout (single shard unless the builder
+    /// requested otherwise).
+    pub fn shards(&self) -> &ShardMap {
+        &self.inner.shards
+    }
+
+    /// Per-shard pruning summaries; `None` for single-shard relations
+    /// (there is nothing to skip).
+    pub fn shard_summaries(&self) -> Option<&ShardSummaries> {
+        self.inner.summaries.as_ref()
     }
 
     /// The relation's secondary indexes, when they have been built.
@@ -63,16 +104,48 @@ impl Relation {
         self.inner.indexes.get()
     }
 
-    /// Build (or fetch) the secondary indexes for every column.
+    /// Build (or fetch) the secondary indexes for every column,
+    /// fanning per-shard builds out as `qcat-pool` morsels at auto
+    /// thread width.
     ///
-    /// Idempotent and thread-safe: the first caller pays one pass per
-    /// categorical column and one sort per numeric column; everyone
-    /// else gets the cached [`IndexSet`]. All handles to the same
-    /// table share the result.
+    /// Idempotent, thread-safe, and infallible: index building is an
+    /// idempotent shared investment, so if the morsel build is refused
+    /// (tripped budget, injected fault) this falls back to a serial,
+    /// checkpoint-free build rather than failing. Budget-aware callers
+    /// use [`Relation::try_build_indexes`] to get the refusal instead.
     pub fn build_indexes(&self) -> &IndexSet {
-        self.inner
-            .indexes
-            .get_or_init(|| IndexSet::build(&self.inner.columns))
+        if let Some(set) = self.inner.indexes.get() {
+            return set;
+        }
+        let set = IndexSet::build_sharded(&self.inner.columns, &self.inner.shards, 0)
+            .unwrap_or_else(|_| IndexSet::build_serial(&self.inner.columns, &self.inner.shards));
+        self.inner.indexes.get_or_init(|| set)
+    }
+
+    /// Fallible [`Relation::build_indexes`] at an explicit thread
+    /// width (`0` = auto): surfaces budget exhaustion and injected
+    /// faults from the per-shard morsels instead of falling back.
+    pub fn try_build_indexes(&self, threads: usize) -> Result<&IndexSet, PoolError> {
+        if let Some(set) = self.inner.indexes.get() {
+            return Ok(set);
+        }
+        let set = IndexSet::build_sharded(&self.inner.columns, &self.inner.shards, threads)?;
+        Ok(self.inner.indexes.get_or_init(|| set))
+    }
+
+    /// A new relation over clones of this relation's columns, split
+    /// into horizontal shards of `shard_rows` rows (`0` = unsharded).
+    ///
+    /// Indexes do **not** carry over — a different shard layout
+    /// implies differently-partitioned indexes — so the result starts
+    /// index-free. Benches and equivalence tests use this to compare
+    /// layouts over byte-identical data.
+    pub fn resharded(&self, shard_rows: usize) -> Result<Relation, DataError> {
+        Relation::from_columns_sharded(
+            self.inner.schema.clone(),
+            self.inner.columns.clone(),
+            shard_rows,
+        )
     }
 
     /// The schema.
@@ -156,6 +229,7 @@ pub struct RelationBuilder {
     schema: Schema,
     builders: Vec<ColumnBuilder>,
     build_indexes: bool,
+    shard_rows: usize,
 }
 
 impl RelationBuilder {
@@ -175,6 +249,7 @@ impl RelationBuilder {
             schema,
             builders,
             build_indexes: false,
+            shard_rows: 0,
         }
     }
 
@@ -182,6 +257,16 @@ impl RelationBuilder {
     /// frozen, so it is ready before the first query arrives.
     pub fn with_indexes(mut self) -> Self {
         self.build_indexes = true;
+        self
+    }
+
+    /// Split the frozen relation into horizontal shards of
+    /// `shard_rows` rows (`0`, the default, keeps it unsharded).
+    /// Sharding changes how work is scheduled — per-shard index-build
+    /// and scan morsels, per-shard pruning — never which rows any
+    /// query returns.
+    pub fn with_shard_rows(mut self, shard_rows: usize) -> Self {
+        self.shard_rows = shard_rows;
         self
     }
 
@@ -252,7 +337,7 @@ impl RelationBuilder {
             .into_iter()
             .map(ColumnBuilder::finish)
             .collect();
-        let relation = Relation::from_columns(self.schema, columns)?;
+        let relation = Relation::from_columns_sharded(self.schema, columns, self.shard_rows)?;
         if self.build_indexes {
             relation.build_indexes();
         }
@@ -402,6 +487,57 @@ mod tests {
                 .rows_for_code(0),
             &[0]
         );
+    }
+
+    #[test]
+    fn default_relation_is_single_shard() {
+        let r = sample();
+        assert!(r.shards().is_single());
+        assert_eq!(r.shards().bounds(0), (0, 3));
+        assert!(r.shard_summaries().is_none(), "no summaries to pay for");
+    }
+
+    #[test]
+    fn with_shard_rows_splits_and_summarizes() {
+        let mut b = RelationBuilder::with_capacity(schema(), 5).with_shard_rows(2);
+        for i in 0..5i64 {
+            b.push_row(&[
+                "Redmond".into(),
+                (100_000.0 + i as f64).into(),
+                i.into(),
+            ])
+            .unwrap();
+        }
+        let r = b.finish().unwrap();
+        assert_eq!(r.shards().shard_count(), 3);
+        assert_eq!(r.shards().bounds(2), (4, 5), "last shard holds 1 row");
+        let s = r.shard_summaries().expect("sharded relations summarize");
+        assert_eq!(s.numeric_bounds(0, 2), Some((0.0, 1.0)));
+        assert_eq!(s.numeric_bounds(2, 2), Some((4.0, 4.0)));
+        // Reads are unchanged by sharding.
+        assert_eq!(r.value(4, AttrId(2)).unwrap(), Value::Int(4));
+        assert_eq!(r.all_row_ids(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sharded_index_build_is_per_shard() {
+        let mut b = RelationBuilder::with_capacity(schema(), 4)
+            .with_shard_rows(2)
+            .with_indexes();
+        for i in 0..4i64 {
+            b.push_row(&["Redmond".into(), 1.0.into(), i.into()]).unwrap();
+        }
+        let r = b.finish().unwrap();
+        let set = r.indexes().unwrap();
+        assert_eq!(set.shard_count(), 2);
+        // Shard 1's postings carry global row ids.
+        assert_eq!(
+            set.shards()[1].postings(AttrId(0)).unwrap().rows_for_code(0),
+            &[2, 3]
+        );
+        // try_build_indexes returns the cached set once built.
+        let cached = r.try_build_indexes(8).unwrap() as *const _;
+        assert_eq!(cached, set as *const _);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Horizontal sharding of a frozen relation.
+//!
+//! Columns stay physically contiguous; a [`ShardMap`] overlays them
+//! with fixed-size row ranges. A shard of a contiguous column *is* the
+//! slice `column[start..end]`, so the single-shard layout (the
+//! default) is byte-for-byte the pre-shard layout — no accessor pays
+//! anything when sharding is off.
+//!
+//! Sharding exists so the data plane can be driven as per-shard
+//! morsels through `qcat-pool` (index build, scan/filter), and so
+//! queries can *skip* shards outright via [`ShardSummaries`]: a
+//! per-shard min/max for every numeric column and a code-presence
+//! bitmap for every categorical column. Summaries are conservative —
+//! they only ever prove "no row in this shard can match", never the
+//! converse — so pruning can change how much work runs but never which
+//! rows come back.
+
+use crate::column::Column;
+
+/// Fixed-size horizontal partitioning of `rows` rows.
+///
+/// Every shard spans `shard_rows` consecutive rows except the last,
+/// which holds the remainder. An empty relation has exactly one empty
+/// shard so shard index 0 is always valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shard_rows: usize,
+    rows: usize,
+}
+
+impl ShardMap {
+    /// One shard covering all `rows` — the default layout.
+    pub fn single(rows: usize) -> ShardMap {
+        ShardMap {
+            shard_rows: rows.max(1),
+            rows,
+        }
+    }
+
+    /// `rows` rows split into shards of `shard_rows`. A `shard_rows`
+    /// of 0 means "unsharded" and collapses to [`ShardMap::single`].
+    pub fn new(shard_rows: usize, rows: usize) -> ShardMap {
+        if shard_rows == 0 {
+            return ShardMap::single(rows);
+        }
+        ShardMap { shard_rows, rows }
+    }
+
+    /// Rows per shard (the last shard may hold fewer).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Total rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of shards (≥ 1; an empty relation has one empty shard).
+    pub fn shard_count(&self) -> usize {
+        if self.rows == 0 {
+            1
+        } else {
+            self.rows.div_ceil(self.shard_rows)
+        }
+    }
+
+    /// True when the map is a single shard — the fast path everywhere.
+    pub fn is_single(&self) -> bool {
+        self.shard_count() == 1
+    }
+
+    /// Half-open row range `[start, end)` of shard `shard`.
+    ///
+    /// Out-of-range shard indices yield an empty range at the end of
+    /// the relation rather than panicking.
+    pub fn bounds(&self, shard: usize) -> (usize, usize) {
+        let start = (shard * self.shard_rows).min(self.rows);
+        let end = (start + self.shard_rows).min(self.rows);
+        (start, end)
+    }
+}
+
+/// Per-shard, per-attribute pruning summary.
+#[derive(Debug, Clone)]
+enum AttrSummary {
+    /// Closed numeric bounds of the shard's values.
+    Numeric {
+        /// Smallest value in the shard.
+        min: f64,
+        /// Largest value in the shard.
+        max: f64,
+    },
+    /// Dictionary-code presence bitmap (bit `c` set ⇔ some row of the
+    /// shard holds code `c`).
+    Codes(Vec<u64>),
+    /// The shard holds no rows: nothing can match.
+    Empty,
+}
+
+/// Pruning summaries for every (shard, attribute) pair.
+///
+/// Built in one pass over the columns at freeze time for sharded
+/// relations. All queries are value-level — the SQL layer owns the
+/// decision logic, this type only answers "could a row with this
+/// code / in this interval exist in shard `s`?".
+#[derive(Debug, Clone)]
+pub struct ShardSummaries {
+    /// `per_shard[s][a]` summarizes attribute `a` within shard `s`.
+    per_shard: Vec<Vec<AttrSummary>>,
+}
+
+impl ShardSummaries {
+    /// Summarize every column of every shard of `map`.
+    pub fn build(columns: &[Column], map: &ShardMap) -> ShardSummaries {
+        let per_shard = (0..map.shard_count())
+            .map(|s| {
+                let (start, end) = map.bounds(s);
+                columns
+                    .iter()
+                    .map(|col| summarize(col, start, end))
+                    .collect()
+            })
+            .collect();
+        ShardSummaries { per_shard }
+    }
+
+    /// Number of shards summarized.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Closed `[min, max]` of a numeric attribute within a shard;
+    /// `None` for categorical attributes, empty shards, or
+    /// out-of-range indices (callers must treat `None` as "cannot
+    /// prune" unless the shard is provably empty).
+    pub fn numeric_bounds(&self, shard: usize, attr: usize) -> Option<(f64, f64)> {
+        match self.per_shard.get(shard)?.get(attr)? {
+            AttrSummary::Numeric { min, max } => Some((*min, *max)),
+            _ => None,
+        }
+    }
+
+    /// Could a row of `shard` hold dictionary code `code` on `attr`?
+    ///
+    /// Conservative: `true` whenever the summary cannot prove absence
+    /// (numeric attribute, out-of-range indices). Empty shards prove
+    /// absence of everything.
+    pub fn may_have_code(&self, shard: usize, attr: usize, code: u32) -> bool {
+        match self.per_shard.get(shard).and_then(|s| s.get(attr)) {
+            Some(AttrSummary::Codes(words)) => {
+                let (w, b) = (code as usize / 64, code as usize % 64);
+                words.get(w).is_some_and(|word| word & (1 << b) != 0)
+            }
+            Some(AttrSummary::Empty) => false,
+            _ => true,
+        }
+    }
+
+    /// Could a row of `shard` hold *any* of `codes` on `attr`?
+    pub fn may_have_any_code(&self, shard: usize, attr: usize, codes: &[u32]) -> bool {
+        codes.iter().any(|&c| self.may_have_code(shard, attr, c))
+    }
+
+    /// Could a row of `shard` fall inside the interval described by
+    /// `(lo, lo_inclusive, hi, hi_inclusive)` on numeric `attr`?
+    ///
+    /// Conservative: `true` when no numeric bounds are known, unless
+    /// the shard is provably empty.
+    pub fn may_overlap_range(
+        &self,
+        shard: usize,
+        attr: usize,
+        lo: f64,
+        lo_inclusive: bool,
+        hi: f64,
+        hi_inclusive: bool,
+    ) -> bool {
+        match self.per_shard.get(shard).and_then(|s| s.get(attr)) {
+            Some(AttrSummary::Numeric { min, max }) => {
+                let below = hi < *min || (hi == *min && !hi_inclusive);
+                let above = lo > *max || (lo == *max && !lo_inclusive);
+                !(below || above)
+            }
+            Some(AttrSummary::Empty) => false,
+            _ => true,
+        }
+    }
+
+    /// Could a row of `shard` hold any of `values` exactly on numeric
+    /// `attr`? Conservative like [`ShardSummaries::may_overlap_range`].
+    pub fn may_have_value(&self, shard: usize, attr: usize, values: &[f64]) -> bool {
+        match self.per_shard.get(shard).and_then(|s| s.get(attr)) {
+            Some(AttrSummary::Numeric { min, max }) => {
+                values.iter().any(|v| *min <= *v && *v <= *max)
+            }
+            Some(AttrSummary::Empty) => false,
+            _ => true,
+        }
+    }
+
+    /// Heap bytes held by the summaries.
+    pub fn heap_bytes(&self) -> usize {
+        self.per_shard
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .map(|s| match s {
+                AttrSummary::Codes(words) => words.len() * std::mem::size_of::<u64>(),
+                _ => std::mem::size_of::<AttrSummary>(),
+            })
+            .sum()
+    }
+}
+
+/// Summarize one column over rows `[start, end)`.
+fn summarize(col: &Column, start: usize, end: usize) -> AttrSummary {
+    if start >= end {
+        return AttrSummary::Empty;
+    }
+    match col {
+        Column::Categorical { dict, codes } => {
+            let mut words = vec![0u64; dict.len().div_ceil(64)];
+            for &c in &codes[start..end] {
+                words[c as usize / 64] |= 1 << (c as usize % 64);
+            }
+            AttrSummary::Codes(words)
+        }
+        Column::Int(v) => {
+            let slice = &v[start..end];
+            let (mut min, mut max) = (slice[0], slice[0]);
+            for &x in &slice[1..] {
+                min = min.min(x);
+                max = max.max(x);
+            }
+            AttrSummary::Numeric {
+                min: min as f64,
+                max: max as f64,
+            }
+        }
+        Column::Float(v) => {
+            let slice = &v[start..end];
+            let (mut min, mut max) = (slice[0], slice[0]);
+            for &x in &slice[1..] {
+                if x < min {
+                    min = x;
+                }
+                if x > max {
+                    max = x;
+                }
+            }
+            AttrSummary::Numeric { min, max }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::types::AttrType;
+
+    #[test]
+    fn single_map_is_one_shard() {
+        let m = ShardMap::single(100);
+        assert_eq!(m.shard_count(), 1);
+        assert!(m.is_single());
+        assert_eq!(m.bounds(0), (0, 100));
+        assert_eq!(m.bounds(1), (100, 100));
+    }
+
+    #[test]
+    fn zero_shard_rows_collapses_to_single() {
+        let m = ShardMap::new(0, 50);
+        assert!(m.is_single());
+        assert_eq!(m.bounds(0), (0, 50));
+    }
+
+    #[test]
+    fn exact_division() {
+        let m = ShardMap::new(10, 30);
+        assert_eq!(m.shard_count(), 3);
+        assert_eq!(m.bounds(0), (0, 10));
+        assert_eq!(m.bounds(2), (20, 30));
+        assert_eq!(m.bounds(3), (30, 30));
+    }
+
+    #[test]
+    fn remainder_shard() {
+        let m = ShardMap::new(10, 31);
+        assert_eq!(m.shard_count(), 4);
+        assert_eq!(m.bounds(3), (30, 31), "last shard holds 1 row");
+    }
+
+    #[test]
+    fn empty_relation_has_one_empty_shard() {
+        let m = ShardMap::new(10, 0);
+        assert_eq!(m.shard_count(), 1);
+        assert_eq!(m.bounds(0), (0, 0));
+        assert_eq!(ShardMap::single(0).shard_count(), 1);
+    }
+
+    fn cat(vals: &[&str]) -> Column {
+        let mut b = ColumnBuilder::with_capacity(AttrType::Categorical, vals.len());
+        for v in vals {
+            b.push_str(v).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn summaries_prune_codes_and_ranges() {
+        let cols = vec![
+            cat(&["a", "a", "b", "c", "c", "c"]),
+            Column::Int(vec![1, 2, 3, 10, 11, 12]),
+        ];
+        let map = ShardMap::new(3, 6);
+        let s = ShardSummaries::build(&cols, &map);
+        assert_eq!(s.shard_count(), 2);
+        // Codes: shard 0 holds {a=0, b=1}, shard 1 holds {c=2}.
+        assert!(s.may_have_code(0, 0, 0));
+        assert!(s.may_have_code(0, 0, 1));
+        assert!(!s.may_have_code(0, 0, 2));
+        assert!(!s.may_have_code(1, 0, 0));
+        assert!(s.may_have_any_code(1, 0, &[0, 2]));
+        assert!(!s.may_have_any_code(1, 0, &[0, 1]));
+        // Numeric bounds: shard 0 = [1,3], shard 1 = [10,12].
+        assert_eq!(s.numeric_bounds(0, 1), Some((1.0, 3.0)));
+        assert_eq!(s.numeric_bounds(1, 1), Some((10.0, 12.0)));
+        assert!(s.may_overlap_range(0, 1, 2.0, true, 100.0, true));
+        assert!(!s.may_overlap_range(0, 1, 4.0, true, 9.0, true));
+        assert!(s.may_have_value(1, 1, &[11.0]));
+        assert!(!s.may_have_value(1, 1, &[1.0, 9.5]));
+        // Categorical attr has no numeric bounds; numeric attr cannot
+        // prove code absence — both stay conservative.
+        assert_eq!(s.numeric_bounds(0, 0), None);
+        assert!(s.may_overlap_range(0, 0, 0.0, true, 0.0, true));
+        assert!(s.may_have_code(0, 1, 7));
+        assert!(s.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn range_boundary_exclusivity() {
+        let cols = vec![Column::Float(vec![5.0, 7.0])];
+        let s = ShardSummaries::build(&cols, &ShardMap::single(2));
+        // Interval touching max only at an exclusive endpoint prunes.
+        assert!(!s.may_overlap_range(0, 0, 7.0, false, 9.0, true));
+        assert!(s.may_overlap_range(0, 0, 7.0, true, 9.0, true));
+        assert!(!s.may_overlap_range(0, 0, 1.0, true, 5.0, false));
+        assert!(s.may_overlap_range(0, 0, 1.0, true, 5.0, true));
+    }
+
+    #[test]
+    fn empty_shard_prunes_everything() {
+        let cols = vec![cat(&[]), Column::Int(vec![])];
+        let s = ShardSummaries::build(&cols, &ShardMap::single(0));
+        assert!(!s.may_have_code(0, 0, 0));
+        assert!(!s.may_overlap_range(0, 1, f64::NEG_INFINITY, true, f64::INFINITY, true));
+        assert!(!s.may_have_value(0, 1, &[0.0]));
+    }
+
+    #[test]
+    fn out_of_range_lookups_stay_conservative() {
+        let cols = vec![Column::Int(vec![1])];
+        let s = ShardSummaries::build(&cols, &ShardMap::single(1));
+        assert!(s.may_have_code(5, 0, 0), "unknown shard: cannot prune");
+        assert!(s.may_overlap_range(0, 9, 0.0, true, 0.0, true));
+        assert_eq!(s.numeric_bounds(9, 0), None);
+    }
+}

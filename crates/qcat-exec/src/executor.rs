@@ -22,6 +22,10 @@ pub enum ExecError {
     /// An injected fault fired at an executor fault point
     /// (`QCAT_FAULT`; chaos testing only).
     Fault(qcat_fault::Fault),
+    /// A worker running a scan morsel panicked. This is a bug, not an
+    /// operational condition; it is surfaced structurally so one
+    /// poisoned shard cannot take down the serving thread.
+    Internal(String),
 }
 
 impl fmt::Display for ExecError {
@@ -31,6 +35,7 @@ impl fmt::Display for ExecError {
             ExecError::Data(e) => write!(f, "data error: {e}"),
             ExecError::Budget(e) => write!(f, "execution stopped: {e}"),
             ExecError::Fault(e) => write!(f, "execution failed: {e}"),
+            ExecError::Internal(msg) => write!(f, "execution failed internally: {msg}"),
         }
     }
 }
@@ -115,11 +120,24 @@ pub fn execute_normalized_with(
     query: &NormalizedQuery,
     path: AccessPath,
 ) -> Result<ResultSet, ExecError> {
+    execute_normalized_with_threads(relation, query, path, 0)
+}
+
+/// [`execute_normalized_with`] at an explicit thread width (`0` =
+/// auto via `QCAT_THREADS`). Thread width only changes how sharded
+/// scans are scheduled; the result set is byte-identical at every
+/// width.
+pub fn execute_normalized_with_threads(
+    relation: &Relation,
+    query: &NormalizedQuery,
+    path: AccessPath,
+    threads: usize,
+) -> Result<ResultSet, ExecError> {
     let mut span = qcat_obs::span!("exec.execute", rows_total = relation.len());
     if let Some(fault) = qcat_fault::point("exec.execute") {
         return Err(fault.into());
     }
-    let (mut rows, explain) = plan::select_rows(relation, query, path)?;
+    let (mut rows, explain) = plan::select_rows_with_threads(relation, query, path, threads)?;
     if let Some(gas) = qcat_fault::current_gas() {
         gas.charge_rows(rows.len())?;
     }

@@ -1,4 +1,5 @@
-//! Access-path planning: scan vs. index, decided per conjunct.
+//! Access-path planning: scan vs. index, decided per conjunct, with
+//! per-shard pruning and morsel-parallel scans.
 //!
 //! The executor's historical strategy — compile the predicate and
 //! scan every row — costs `O(N)` per query regardless of
@@ -24,13 +25,32 @@
 //! to apply as a **residual** row-at-a-time filter over the candidate
 //! list, exactly like any conjunct no index can answer.
 //!
+//! **Sharded relations.** When the relation is split into horizontal
+//! shards (see `qcat_data::shard`), both paths work per shard:
+//!
+//! - the scan path fans one morsel per shard through `qcat-pool`
+//!   (budget `Gas` polled per shard and every
+//!   `CANCEL_STRIDE` rows inside one, caller's recorder/trace
+//!   propagated, results concatenated by shard index — byte-identical
+//!   to the serial scan at any thread count);
+//! - the index path reads each conjunct's per-shard lists and
+//!   concatenates them in shard order (global row ids over disjoint
+//!   increasing ranges need no merge);
+//! - both paths first **prune** shards the relation's
+//!   [`ShardSummaries`](qcat_data::ShardSummaries) prove cannot match
+//!   — numeric `[min, max]` disjoint from the interval, or no
+//!   accepted dictionary code present. Pruning is proof-based, so it
+//!   changes how much work runs, never which rows come back; exact
+//!   index cardinalities are summed over surviving shards only.
+//!
 //! Every path yields ascending row ids, so index output is
 //! bit-compatible with scan output; `tests` pin that equality on
-//! every fixture.
+//! every fixture, sharded and not.
 
 use crate::executor::ExecError;
-use qcat_data::{intersect_sorted, union_sorted, AttrId, IndexSet, Relation};
+use qcat_data::{intersect_sorted, union_sorted, AttrId, IndexSet, Relation, ShardIndexes};
 use qcat_fault::BudgetExceeded;
+use qcat_pool::{PoolError, ThreadPool};
 use qcat_sql::eval::CompiledPredicate;
 use qcat_sql::normalize::{AttrCondition, NumericRange};
 use qcat_sql::NormalizedQuery;
@@ -73,20 +93,25 @@ pub struct PlanExplain {
     pub residual_conjuncts: usize,
     /// Total row ids fetched from index lists.
     pub rows_fetched: usize,
+    /// Shards skipped outright because the relation's summaries prove
+    /// no row of theirs can match (0 for unsharded relations).
+    pub shards_pruned: usize,
 }
 
 impl PlanExplain {
-    fn scan(conjuncts: usize) -> PlanExplain {
+    fn scan(conjuncts: usize, shards_pruned: usize) -> PlanExplain {
         PlanExplain {
             used_index: false,
             index_conjuncts: 0,
             residual_conjuncts: conjuncts,
             rows_fetched: 0,
+            shards_pruned,
         }
     }
 }
 
-/// One index-answerable conjunct with its exact result cardinality.
+/// One index-answerable conjunct with its exact result cardinality
+/// (summed over surviving shards).
 struct IndexConjunct {
     attr: AttrId,
     est: usize,
@@ -103,11 +128,25 @@ enum Fetch {
 }
 
 /// Select the matching row ids of `query` against `relation` along
-/// `path`. Rows come back ascending (table order) on every path.
+/// `path` at auto thread width. Rows come back ascending (table
+/// order) on every path.
 pub fn select_rows(
     relation: &Relation,
     query: &NormalizedQuery,
     path: AccessPath,
+) -> Result<(Vec<u32>, PlanExplain), ExecError> {
+    select_rows_with_threads(relation, query, path, 0)
+}
+
+/// [`select_rows`] at an explicit thread width (`0` = auto via
+/// `QCAT_THREADS`). Threads only change how sharded scans and index
+/// builds are scheduled; the returned rows are byte-identical at
+/// every width.
+pub fn select_rows_with_threads(
+    relation: &Relation,
+    query: &NormalizedQuery,
+    path: AccessPath,
+    threads: usize,
 ) -> Result<(Vec<u32>, PlanExplain), ExecError> {
     if let Some(fault) = qcat_fault::point("exec.plan") {
         return Err(fault.into());
@@ -123,17 +162,32 @@ pub fn select_rows(
         AccessPath::Auto | AccessPath::ForceIndex => relation.indexes(),
     };
     let Some(indexes) = indexes else {
-        return Ok((
-            scan_rows(relation, query, None)?,
-            PlanExplain::scan(query.conditions.len()),
-        ));
+        let (rows, pruned) = scan_rows(relation, query, None, threads)?;
+        return Ok((rows, PlanExplain::scan(query.conditions.len(), pruned)));
     };
 
     let mut plan_span = qcat_obs::span!("exec.plan", conjuncts = query.conditions.len());
+    // Shard pruning mask: which shards could hold a match at all,
+    // judged per condition against the relation's summaries. The AND
+    // semantics of a conjunction let any conjunct's proven miss
+    // exclude the shard for the whole query.
+    let alive_mask: Option<Vec<bool>> = if relation.shards().is_single() {
+        None
+    } else {
+        CompiledPredicate::compile(query, relation)
+            .map_err(qcat_sql::SqlError::from)?
+            .shard_survival(relation)
+    };
+    let alive = alive_mask.as_deref();
+    let shards_pruned = alive.map_or(0, |a| a.iter().filter(|&&live| !live).count());
+    if shards_pruned > 0 {
+        qcat_obs::counter("exec.plan.shards_pruned", shards_pruned as i64);
+    }
+
     let mut eligible: Vec<IndexConjunct> = Vec::with_capacity(query.conditions.len());
     let mut residual: Vec<AttrId> = Vec::new();
     for (&attr, cond) in &query.conditions {
-        match classify(relation, indexes, attr, cond) {
+        match classify(relation, indexes, attr, cond, alive) {
             Some(c) => eligible.push(c),
             None => residual.push(attr),
         }
@@ -150,15 +204,14 @@ pub fn select_rows(
     };
     if qcat_obs::active() {
         plan_span.set("eligible", eligible.len());
+        plan_span.set("shards_pruned", shards_pruned);
         plan_span.set("path", if use_index { "index" } else { "scan" });
     }
     drop(plan_span);
     if !use_index {
         qcat_obs::counter("exec.plan.scan_fallback", 1);
-        return Ok((
-            scan_rows(relation, query, None)?,
-            PlanExplain::scan(query.conditions.len()),
-        ));
+        let (rows, pruned) = scan_rows(relation, query, None, threads)?;
+        return Ok((rows, PlanExplain::scan(query.conditions.len(), pruned)));
     }
 
     let mut span = qcat_obs::span!("exec.index.select", conjuncts = eligible.len());
@@ -167,6 +220,7 @@ pub fn select_rows(
         index_conjuncts: 0,
         residual_conjuncts: residual.len(),
         rows_fetched: 0,
+        shards_pruned,
     };
     // An unsatisfiable conjunct (cardinality 0) decides the query.
     if eligible.first().is_some_and(|c| c.est == 0) {
@@ -195,7 +249,7 @@ pub fn select_rows(
             residual.push(c.attr);
             continue;
         }
-        let list = fetch_rows(indexes, c);
+        let list = fetch_rows(indexes, c, alive);
         explain.rows_fetched += list.len();
         explain.index_conjuncts += 1;
         rows = if i == 0 {
@@ -212,7 +266,8 @@ pub fn select_rows(
 
     explain.residual_conjuncts = residual.len();
     if !rows.is_empty() && !residual.is_empty() {
-        rows = scan_rows(relation, query, Some((&residual, rows)))?;
+        let (filtered, _) = scan_rows(relation, query, Some((&residual, rows)), threads)?;
+        rows = filtered;
     }
     if qcat_obs::active() {
         span.set("rows_matched", rows.len());
@@ -222,12 +277,16 @@ pub fn select_rows(
 
 /// Scan-side evaluation: compile (a subset of) the conditions and
 /// filter row-at-a-time. `restrict` = `(attrs to keep, candidates)`;
-/// `None` compiles everything and scans the whole relation.
+/// `None` compiles everything and scans the whole relation — as one
+/// pass on a single-shard relation, as per-shard pool morsels on a
+/// sharded one. Returns the matching rows plus how many shards were
+/// pruned.
 fn scan_rows(
     relation: &Relation,
     query: &NormalizedQuery,
     restrict: Option<(&[AttrId], Vec<u32>)>,
-) -> Result<Vec<u32>, ExecError> {
+    threads: usize,
+) -> Result<(Vec<u32>, usize), ExecError> {
     if let Some(fault) = qcat_fault::point("exec.scan") {
         return Err(fault.into());
     }
@@ -238,8 +297,11 @@ fn scan_rows(
             Some(candidates.as_slice()),
         ),
     };
-    match qcat_fault::current_gas() {
-        None => Ok(predicate.filter(relation, candidates)),
+    if candidates.is_none() && !relation.shards().is_single() {
+        return morsel_scan(relation, &predicate, threads);
+    }
+    let rows = match qcat_fault::current_gas() {
+        None => predicate.filter(relation, candidates),
         Some(gas) => {
             // filter_cancellable polls this closure every
             // CANCEL_STRIDE rows; a trip mid-scan discards the
@@ -249,27 +311,129 @@ fn scan_rows(
                 .filter_cancellable(relation, candidates, &mut cancel)
                 .ok_or_else(|| {
                     ExecError::Budget(gas.exceeded().unwrap_or(BudgetExceeded::Cancelled))
-                })
+                })?
+        }
+    };
+    Ok((rows, 0))
+}
+
+/// Full scan of a sharded relation: prune shards the summaries rule
+/// out, then filter each survivor as one `qcat-pool` morsel and
+/// concatenate the per-shard matches by shard index. Shard ranges are
+/// disjoint and increasing, so the concatenation is the same
+/// ascending list the serial scan produces.
+fn morsel_scan(
+    relation: &Relation,
+    predicate: &CompiledPredicate,
+    threads: usize,
+) -> Result<(Vec<u32>, usize), ExecError> {
+    let map = relation.shards();
+    let alive = predicate.shard_survival(relation);
+    let shard_ids: Vec<usize> = (0..map.shard_count())
+        .filter(|&s| {
+            alive
+                .as_ref()
+                .is_none_or(|a| a.get(s).copied().unwrap_or(true))
+        })
+        .collect();
+    let pruned = map.shard_count() - shard_ids.len();
+    if pruned > 0 {
+        qcat_obs::counter("exec.scan.shards_pruned", pruned as i64);
+    }
+    let pool = ThreadPool::new(threads);
+    let mut span = qcat_obs::span!(
+        "exec.scan.morsels",
+        shards = shard_ids.len(),
+        threads = pool.threads()
+    );
+    let parts = pool
+        .try_map(&shard_ids, |_, &s| {
+            let (start, end) = map.bounds(s);
+            let _item = qcat_obs::span!("exec.scan.shard", shard = s, rows = end - start);
+            // The worker sees the caller's gas via pool propagation;
+            // polling it inside the shard bounds deadline overshoot
+            // to CANCEL_STRIDE rows, same as the serial scan.
+            match qcat_fault::current_gas() {
+                None => predicate.filter_range_cancellable(relation, start, end, &mut || false),
+                Some(gas) => {
+                    let mut cancel = || !gas.checkpoint();
+                    predicate.filter_range_cancellable(relation, start, end, &mut cancel)
+                }
+            }
+        })
+        .map_err(pool_to_exec)?;
+    let mut rows = Vec::new();
+    for part in parts {
+        match part {
+            Some(p) => rows.extend_from_slice(&p),
+            // A shard aborted mid-filter on a tripped budget; discard
+            // everything — truncated results never leave the executor.
+            None => {
+                let reason = qcat_fault::current_gas()
+                    .and_then(|g| g.exceeded())
+                    .unwrap_or(BudgetExceeded::Cancelled);
+                return Err(ExecError::Budget(reason));
+            }
+        }
+    }
+    if qcat_obs::active() {
+        span.set("rows_matched", rows.len());
+    }
+    Ok((rows, pruned))
+}
+
+/// Map a pool failure out of a scan/index-build morsel onto the
+/// executor's error taxonomy.
+fn pool_to_exec(e: PoolError) -> ExecError {
+    match e {
+        PoolError::Cancelled(reason) => ExecError::Budget(reason),
+        PoolError::Fault(fault) => ExecError::Fault(fault),
+        PoolError::TaskPanicked { index, message } => {
+            ExecError::Internal(format!("scan morsel {index} panicked: {message}"))
         }
     }
 }
 
+/// Iterate the shards of `indexes` that survive `alive` (`None` =
+/// everything survives).
+fn live_shards<'a>(
+    indexes: &'a IndexSet,
+    alive: Option<&'a [bool]>,
+) -> impl Iterator<Item = &'a ShardIndexes> + 'a {
+    indexes
+        .shards()
+        .iter()
+        .enumerate()
+        .filter(move |(i, _)| alive.is_none_or(|a| a.get(*i).copied().unwrap_or(true)))
+        .map(|(_, sh)| sh)
+}
+
 /// Can `cond` be answered by an index on `attr`? Returns the conjunct
-/// with its exact cardinality; `None` routes it to the residual
-/// filter (which also surfaces any type-drift error the scan path
-/// would report).
+/// with its exact cardinality summed over surviving shards; `None`
+/// routes it to the residual filter (which also surfaces any
+/// type-drift error the scan path would report).
 fn classify(
     relation: &Relation,
     indexes: &IndexSet,
     attr: AttrId,
     cond: &AttrCondition,
+    alive: Option<&[bool]>,
 ) -> Option<IndexConjunct> {
+    // Every shard indexes the same columns; shard 0 (always present)
+    // answers "is this attribute indexed in the right shape?".
+    let shape = &indexes.shards()[0];
     match cond {
         AttrCondition::InStr(values) => {
-            let postings = indexes.postings(attr)?;
+            shape.postings(attr)?;
             let (dict, _) = relation.column(attr).categorical()?;
             let codes: Vec<u32> = values.iter().filter_map(|v| dict.lookup(v)).collect();
-            let est = codes.iter().map(|&c| postings.count_for_code(c)).sum();
+            let est = live_shards(indexes, alive)
+                .map(|sh| {
+                    sh.postings(attr).map_or(0, |p| {
+                        codes.iter().map(|&c| p.count_for_code(c)).sum::<usize>()
+                    })
+                })
+                .sum();
             Some(IndexConjunct {
                 attr,
                 est,
@@ -277,11 +441,16 @@ fn classify(
             })
         }
         AttrCondition::Range(r) => {
-            let sorted = indexes.sorted(attr)?;
+            shape.sorted(attr)?;
             let est = if r.is_empty() {
                 0
             } else {
-                sorted.count_in(r.lo, r.lo_inclusive, r.hi, r.hi_inclusive)
+                live_shards(indexes, alive)
+                    .map(|sh| {
+                        sh.sorted(attr)
+                            .map_or(0, |s| s.count_in(r.lo, r.lo_inclusive, r.hi, r.hi_inclusive))
+                    })
+                    .sum()
             };
             Some(IndexConjunct {
                 attr,
@@ -290,8 +459,14 @@ fn classify(
             })
         }
         AttrCondition::InNum(values) => {
-            let sorted = indexes.sorted(attr)?;
-            let est = values.iter().map(|&v| sorted.count_eq(v)).sum();
+            shape.sorted(attr)?;
+            let est = live_shards(indexes, alive)
+                .map(|sh| {
+                    sh.sorted(attr).map_or(0, |s| {
+                        values.iter().map(|&v| s.count_eq(v)).sum::<usize>()
+                    })
+                })
+                .sum();
             Some(IndexConjunct {
                 attr,
                 est,
@@ -301,36 +476,50 @@ fn classify(
     }
 }
 
-/// Materialize the ascending row-id list of one index conjunct.
-fn fetch_rows(indexes: &IndexSet, c: &IndexConjunct) -> Vec<u32> {
-    match &c.fetch {
-        Fetch::Codes(codes) => {
-            let Some(postings) = indexes.postings(c.attr) else {
-                return Vec::new();
-            };
-            // Postings of distinct codes are disjoint; union = merge.
-            let lists: Vec<&[u32]> = codes.iter().map(|&cd| postings.rows_for_code(cd)).collect();
-            union_sorted(&lists)
-        }
-        Fetch::Range(r) => {
-            let Some(sorted) = indexes.sorted(c.attr) else {
-                return Vec::new();
-            };
-            if r.is_empty() {
-                Vec::new()
-            } else {
-                sorted.rows_in(r.lo, r.lo_inclusive, r.hi, r.hi_inclusive)
+/// Materialize the ascending row-id list of one index conjunct:
+/// per-shard lists (borrowed from the index wherever possible),
+/// concatenated in shard order. Row ids are global and shard ranges
+/// increase, so the concatenation is globally ascending.
+fn fetch_rows(indexes: &IndexSet, c: &IndexConjunct, alive: Option<&[bool]>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for sh in live_shards(indexes, alive) {
+        match &c.fetch {
+            Fetch::Codes(codes) => {
+                let Some(postings) = sh.postings(c.attr) else {
+                    continue;
+                };
+                // Postings of distinct codes are disjoint; union =
+                // merge of borrowed lists.
+                let lists: Vec<&[u32]> =
+                    codes.iter().map(|&cd| postings.rows_for_code(cd)).collect();
+                out.extend_from_slice(&union_sorted(&lists));
+            }
+            Fetch::Range(r) => {
+                let Some(sorted) = sh.sorted(c.attr) else {
+                    continue;
+                };
+                if r.is_empty() {
+                    continue;
+                }
+                // The projection slice is value-ordered; one copy +
+                // sort per (probe, shard) restores table order. This
+                // is the only copy an index probe makes.
+                let from = out.len();
+                out.extend_from_slice(sorted.slice_in(r.lo, r.lo_inclusive, r.hi, r.hi_inclusive));
+                out[from..].sort_unstable();
+            }
+            Fetch::Values(values) => {
+                let Some(sorted) = sh.sorted(c.attr) else {
+                    continue;
+                };
+                // Equal-range slices are already row-ascending (the
+                // sort tiebreaks on row id), so they merge borrowed.
+                let lists: Vec<&[u32]> = values.iter().map(|&v| sorted.slice_eq(v)).collect();
+                out.extend_from_slice(&union_sorted(&lists));
             }
         }
-        Fetch::Values(values) => {
-            let Some(sorted) = indexes.sorted(c.attr) else {
-                return Vec::new();
-            };
-            let lists: Vec<Vec<u32>> = values.iter().map(|&v| sorted.rows_eq(v)).collect();
-            let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
-            union_sorted(&refs)
-        }
     }
+    out
 }
 
 #[cfg(test)]
@@ -341,7 +530,8 @@ mod tests {
 
     /// Small fixture with one attribute of every index shape plus a
     /// single-distinct-value attribute (`city` is always "Seattle").
-    fn homes(indexed: bool) -> Relation {
+    /// `shard_rows` = 0 keeps it unsharded.
+    fn homes_sharded(indexed: bool, shard_rows: usize) -> Relation {
         let schema = Schema::new(vec![
             Field::new("neighborhood", AttrType::Categorical),
             Field::new("price", AttrType::Float),
@@ -359,7 +549,7 @@ mod tests {
             ("Seattle", 411_000.0, 4),
             ("Redmond", 230_000.0, 3),
         ];
-        let mut b = RelationBuilder::with_capacity(schema, rows.len());
+        let mut b = RelationBuilder::with_capacity(schema, rows.len()).with_shard_rows(shard_rows);
         for (n, p, beds) in rows {
             b.push_row(&[(*n).into(), (*p).into(), (*beds).into(), "Seattle".into()])
                 .unwrap();
@@ -370,19 +560,36 @@ mod tests {
         b.finish().unwrap()
     }
 
-    /// Every query must match the same rows on every path; `Auto` on
-    /// an indexed relation must additionally agree with `Auto` on an
-    /// unindexed one.
+    fn homes(indexed: bool) -> Relation {
+        homes_sharded(indexed, 0)
+    }
+
+    /// Every query must match the same rows on every path, every
+    /// shard layout, and every thread width; `Auto` on an indexed
+    /// relation must additionally agree with `Auto` on an unindexed
+    /// one.
     fn assert_paths_agree(sql: &str) -> Vec<u32> {
         let plain = homes(false);
-        let indexed = homes(true);
         let q = parse_and_normalize(sql, plain.schema()).unwrap();
         let (scan, se) = select_rows(&plain, &q, AccessPath::Auto).unwrap();
         assert!(!se.used_index, "unindexed relation must scan: {sql}");
-        for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
-            let (rows, _) = select_rows(&indexed, &q, path).unwrap();
-            assert_eq!(rows, scan, "path {path:?} diverged on {sql}");
+        for shard_rows in [0, 3] {
+            for indexed in [false, true] {
+                let rel = homes_sharded(indexed, shard_rows);
+                for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
+                    for threads in [1, 2, 8] {
+                        let (rows, _) =
+                            select_rows_with_threads(&rel, &q, path, threads).unwrap();
+                        assert_eq!(
+                            rows, scan,
+                            "{path:?} diverged on {sql} (shard_rows={shard_rows}, \
+                             indexed={indexed}, threads={threads})"
+                        );
+                    }
+                }
+            }
         }
+        let indexed = homes(true);
         let (_, fe) = select_rows(&indexed, &q, AccessPath::ForceIndex).unwrap();
         assert!(
             fe.used_index || q.conditions.is_empty(),
@@ -404,6 +611,7 @@ mod tests {
         assert!(e.used_index);
         assert_eq!(e.index_conjuncts, 1);
         assert_eq!(e.residual_conjuncts, 0);
+        assert_eq!(e.shards_pruned, 0, "single shard: nothing to prune");
     }
 
     #[test]
@@ -422,6 +630,35 @@ mod tests {
         let (rows, e) = select_rows(&rel, &q, AccessPath::ForceIndex).unwrap();
         assert_eq!(rows.len(), rel.len());
         assert!(e.used_index);
+    }
+
+    #[test]
+    fn sharded_paths_prune_and_agree() {
+        // Shards of 3 over 8 rows: [0..3), [3..6), [6..8). Issaquah
+        // (row 4) lives only in shard 1; price > 400000 only in
+        // shard 2.
+        let rel = homes_sharded(true, 3);
+        assert_eq!(rel.shards().shard_count(), 3);
+        let q = parse_and_normalize(
+            "SELECT * FROM homes WHERE neighborhood IN ('Issaquah')",
+            rel.schema(),
+        )
+        .unwrap();
+        let (rows, e) = select_rows(&rel, &q, AccessPath::Auto).unwrap();
+        assert_eq!(rows, vec![4]);
+        assert!(e.used_index);
+        assert_eq!(e.shards_pruned, 2, "code 'Issaquah' absent from shards 0 and 2");
+        let q = parse_and_normalize("SELECT * FROM homes WHERE price > 400000", rel.schema())
+            .unwrap();
+        let (rows, e) = select_rows(&rel, &q, AccessPath::Auto).unwrap();
+        assert_eq!(rows, vec![6]);
+        assert_eq!(e.shards_pruned, 2);
+        // The scan path prunes identically.
+        let unindexed = homes_sharded(false, 3);
+        let (rows, e) = select_rows(&unindexed, &q, AccessPath::Auto).unwrap();
+        assert_eq!(rows, vec![6]);
+        assert!(!e.used_index);
+        assert_eq!(e.shards_pruned, 2);
     }
 
     #[test]
@@ -512,16 +749,42 @@ mod tests {
     }
 
     #[test]
+    fn morsel_scan_honors_budget_and_pool_faults() {
+        let rel = homes_sharded(false, 3);
+        let q = parse_and_normalize("SELECT * FROM homes WHERE price >= 0", rel.schema())
+            .unwrap();
+        // An expired deadline refuses at every thread width.
+        let gas = qcat_fault::Budget::UNLIMITED
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        for threads in [1, 2, 8] {
+            let err = qcat_fault::with_budget(&gas, || {
+                select_rows_with_threads(&rel, &q, AccessPath::Auto, threads).unwrap_err()
+            });
+            assert_eq!(err, ExecError::Budget(BudgetExceeded::Deadline), "threads={threads}");
+        }
+        // A pool.task error fault inside a scan morsel surfaces as a
+        // structured executor fault.
+        let plan = qcat_fault::FaultPlan::parse("pool.task:error").unwrap();
+        let err = qcat_fault::with_plan(&plan, || {
+            select_rows_with_threads(&rel, &q, AccessPath::Auto, 2).unwrap_err()
+        });
+        assert_eq!(err, ExecError::Fault(qcat_fault::Fault { site: "pool.task" }));
+    }
+
+    #[test]
     fn rows_are_ascending_on_every_path() {
-        let rel = homes(true);
-        let q = parse_and_normalize(
-            "SELECT * FROM homes WHERE neighborhood IN ('Redmond','Seattle','Bellevue')",
-            rel.schema(),
-        )
-        .unwrap();
-        for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
-            let (rows, _) = select_rows(&rel, &q, path).unwrap();
-            assert!(rows.windows(2).all(|w| w[0] < w[1]), "{path:?}");
+        for shard_rows in [0, 3] {
+            let rel = homes_sharded(true, shard_rows);
+            let q = parse_and_normalize(
+                "SELECT * FROM homes WHERE neighborhood IN ('Redmond','Seattle','Bellevue')",
+                rel.schema(),
+            )
+            .unwrap();
+            for path in [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex] {
+                let (rows, _) = select_rows(&rel, &q, path).unwrap();
+                assert!(rows.windows(2).all(|w| w[0] < w[1]), "{path:?}");
+            }
         }
     }
 }

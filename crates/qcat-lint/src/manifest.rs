@@ -305,6 +305,22 @@ slow-tests = []
     }
 
     #[test]
+    fn sharded_data_plane_edges_are_sanctioned() {
+        // PR 8 put the pool under the data plane: qcat-data builds
+        // per-shard indexes through morsels and qcat-exec schedules
+        // morsel scans. Both edges point downward and must stay legal;
+        // the reverse edge (pool seeing data) stays a cycle.
+        let data = "[dependencies]\nqcat-obs.workspace = true\nqcat-fault.workspace = true\n\
+                    qcat-pool.workspace = true\n";
+        assert_eq!(check_layering("qcat-data", "x", data), vec![]);
+        let exec = "[dependencies]\nqcat-data.workspace = true\nqcat-sql.workspace = true\n\
+                    qcat-pool.workspace = true\n";
+        assert_eq!(check_layering("qcat-exec", "x", exec), vec![]);
+        let cycle = "[dependencies]\nqcat-data.workspace = true\n";
+        assert_eq!(check_layering("qcat-pool", "x", cycle).len(), 1);
+    }
+
+    #[test]
     fn core_cannot_use_datagen() {
         let bad = "[dependencies]\nqcat-datagen.workspace = true\nqcat-data.workspace = true\n";
         let diags = check_layering("qcat-core", "crates/core/Cargo.toml", bad);

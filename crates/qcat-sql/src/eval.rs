@@ -121,10 +121,36 @@ impl CompiledPredicate {
         candidates: Option<&[u32]>,
         cancel: &mut dyn FnMut() -> bool,
     ) -> Option<Vec<u32>> {
-        let mut current: Vec<u32> = match candidates {
+        let current: Vec<u32> = match candidates {
             Some(c) => c.to_vec(),
             None => relation.all_row_ids(),
         };
+        self.filter_current(relation, current, cancel)
+    }
+
+    /// [`CompiledPredicate::filter_cancellable`] over the contiguous
+    /// row range `[start, end)` — the shape of one horizontal shard.
+    /// The executor's morsel-parallel scan calls this once per shard;
+    /// the candidate list is materialized here, per shard, instead of
+    /// one relation-sized list up front.
+    pub fn filter_range_cancellable(
+        &self,
+        relation: &Relation,
+        start: usize,
+        end: usize,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Vec<u32>> {
+        let current: Vec<u32> = (start as u32..end as u32).collect();
+        self.filter_current(relation, current, cancel)
+    }
+
+    /// Shared narrowing loop of the two cancellable filters.
+    fn filter_current(
+        &self,
+        relation: &Relation,
+        mut current: Vec<u32>,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Option<Vec<u32>> {
         let mut since_check = 0usize;
         let mut aborted = false;
         for (attr, cond) in &self.filters {
@@ -161,6 +187,47 @@ impl CompiledPredicate {
     /// bound deadline overshoot to microseconds, rare enough to stay
     /// invisible in scan throughput.
     pub const CANCEL_STRIDE: usize = 1024;
+
+    /// Which shards of `relation` could hold a matching row, judged
+    /// against the relation's [`qcat_data::ShardSummaries`].
+    ///
+    /// `None` when the relation carries no summaries (single shard) —
+    /// there is nothing to skip. Otherwise one bool per shard; `false`
+    /// is a *proof* that no row of the shard satisfies every filter
+    /// (some filter's accepted codes are absent, or its interval /
+    /// value set misses the shard's `[min, max]`), so pruned shards
+    /// can be skipped by scan and index paths alike without changing
+    /// any result. Conditions the summaries cannot judge leave the
+    /// shard alive.
+    pub fn shard_survival(&self, relation: &Relation) -> Option<Vec<bool>> {
+        let summaries = relation.shard_summaries()?;
+        let survival = (0..summaries.shard_count())
+            .map(|shard| {
+                self.filters.iter().all(|(attr, cond)| {
+                    let a = attr.index();
+                    match cond {
+                        // `Nothing` matches no row anywhere.
+                        CompiledCondition::Nothing => false,
+                        CompiledCondition::CodeSet(codes) => codes
+                            .iter()
+                            .any(|&c| summaries.may_have_code(shard, a, c)),
+                        CompiledCondition::NumSet(values) => {
+                            summaries.may_have_value(shard, a, values)
+                        }
+                        CompiledCondition::Range(r) => summaries.may_overlap_range(
+                            shard,
+                            a,
+                            r.lo,
+                            r.lo_inclusive,
+                            r.hi,
+                            r.hi_inclusive,
+                        ),
+                    }
+                })
+            })
+            .collect();
+        Some(survival)
+    }
 
     /// Number of per-attribute filters.
     pub fn len(&self) -> usize {
@@ -399,6 +466,66 @@ mod tests {
             false
         });
         assert_eq!(polls, 3000 / CompiledPredicate::CANCEL_STRIDE);
+    }
+
+    #[test]
+    fn filter_range_agrees_with_candidate_list() {
+        let rel = homes();
+        let q = parse_and_normalize("SELECT * FROM homes WHERE bedroomcount = 3", rel.schema())
+            .unwrap();
+        let p = CompiledPredicate::compile(&q, &rel).unwrap();
+        let range = p
+            .filter_range_cancellable(&rel, 1, 5, &mut || false)
+            .unwrap();
+        let list = p.filter(&rel, Some(&[1, 2, 3, 4]));
+        assert_eq!(range, list);
+        assert_eq!(range, vec![4]);
+        // Empty range matches nothing; cancellation discards.
+        assert_eq!(
+            p.filter_range_cancellable(&rel, 2, 2, &mut || false).unwrap(),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn shard_survival_prunes_proven_misses_only() {
+        let schema = Schema::new(vec![
+            Field::new("n", AttrType::Categorical),
+            Field::new("v", AttrType::Int),
+        ])
+        .unwrap();
+        // Shards of 2: ("a",1)("a",2) | ("b",10)("b",11) | ("c",20)
+        let mut b = RelationBuilder::new(schema).with_shard_rows(2);
+        for (n, v) in [("a", 1i64), ("a", 2), ("b", 10), ("b", 11), ("c", 20)] {
+            b.push_row(&[n.into(), v.into()]).unwrap();
+        }
+        let rel = b.finish().unwrap();
+        let survival = |sql: &str| {
+            let q = parse_and_normalize(sql, rel.schema()).unwrap();
+            CompiledPredicate::compile(&q, &rel)
+                .unwrap()
+                .shard_survival(&rel)
+                .unwrap()
+        };
+        assert_eq!(survival("SELECT * FROM t WHERE n IN ('b')"), vec![false, true, false]);
+        assert_eq!(survival("SELECT * FROM t WHERE v BETWEEN 9 AND 12"), vec![false, true, false]);
+        assert_eq!(survival("SELECT * FROM t WHERE v IN (2, 20)"), vec![true, false, true]);
+        // Unknown code: CodeSet is empty -> Nothing -> all pruned.
+        assert_eq!(survival("SELECT * FROM t WHERE n IN ('zzz')"), vec![false, false, false]);
+        // Conjunction prunes the union of each conjunct's misses.
+        assert_eq!(
+            survival("SELECT * FROM t WHERE n IN ('a','c') AND v >= 15"),
+            vec![false, false, true]
+        );
+        // No filters: everything survives.
+        assert_eq!(survival("SELECT * FROM t"), vec![true, true, true]);
+        // Unsharded relations have nothing to prune.
+        let q = parse_and_normalize("SELECT * FROM homes WHERE bedroomcount = 3", homes().schema())
+            .unwrap();
+        assert!(CompiledPredicate::compile(&q, &homes())
+            .unwrap()
+            .shard_survival(&homes())
+            .is_none());
     }
 
     #[test]

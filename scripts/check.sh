@@ -35,12 +35,26 @@ echo "==> pipeline smoke (scan-vs-index differential + serve caches + chaos repl
 grep -q '"differential": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 grep -q '"chaos": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 
+echo "==> large-tier smoke (sharded data plane, env-capped to CI size)"
+# The same code path as the committed paper-scale BENCH_pr8.json —
+# sharded relation, morsel scans, per-shard index builds, pruning,
+# differential vs the single-shard truth — shrunk via the QCAT_LARGE_*
+# caps so it finishes in seconds. Exits non-zero on any row mismatch.
+QCAT_LARGE_ROWS=20000 QCAT_LARGE_QUERIES=2000 QCAT_LARGE_SHARD_ROWS=2048 \
+    ./target/release/bench_pipeline --scale large --runs 2 --queries 50 \
+    --out target/BENCH_large_smoke.json > /dev/null
+grep -q '"differential": .*"status": "ok"' target/BENCH_large_smoke.json
+grep -q '"determinism": .*"status": "ok"' target/BENCH_large_smoke.json
+
 echo "==> perf observatory (bench_report --check over committed BENCH_pr*.json)"
 # Trajectory tables land in the artifacts dir (uploaded by CI);
 # --check fails on cross-PR regressions beyond the default threshold.
 artifacts=target/qcat-artifacts
 mkdir -p "$artifacts"
 ./target/release/bench_report --check --out "$artifacts/bench-trajectory.txt" > /dev/null
+# The large-tier smoke report rides along in the artifact bundle so a
+# CI run's sharded-plane numbers are inspectable without re-running.
+cp target/BENCH_large_smoke.json "$artifacts/"
 
 echo "==> traced smoke repro (QCAT_TRACE=json) + trace audit (T1-T5)"
 trace=$artifacts/qcat-trace.jsonl
@@ -74,4 +88,4 @@ QCAT_TRACE=json QCAT_TRACE_FILE="$slow_trace" \
 test -s "$flight"
 cargo run --release -p qcat-lint -- --audit-trace "$slow_trace" --audit-trace "$flight"
 
-echo "OK: build + lint + tests + bench smoke + observatory + traced smoke + chaos smoke + flight smoke all green"
+echo "OK: build + lint + tests + bench smoke + large-tier smoke + observatory + traced smoke + chaos smoke + flight smoke all green"

@@ -1,0 +1,222 @@
+//! PR-8 pinning tests: sharding is a scheduling decision, never a
+//! semantic one. A relation split into horizontal shards — scanned as
+//! pool morsels, indexed per shard, pruned by summaries — must return
+//! byte-identical rows and byte-identical category trees to the
+//! single-shard layout, at every thread width and on every access
+//! path.
+
+use qcat::core::{render_tree, Categorizer};
+use qcat::data::{AttrType, Field, Relation, RelationBuilder, Schema};
+use qcat::exec::{
+    execute_normalized_with, execute_normalized_with_threads, AccessPath,
+};
+use qcat::serve::{ServeOutcome, Server, ServerConfig};
+use qcat::sql::parse_and_normalize;
+use qcat::study::{StudyEnv, StudyScale};
+
+const THREAD_WIDTHS: [usize; 3] = [1, 2, 8];
+const PATHS: [AccessPath; 3] = [AccessPath::Auto, AccessPath::ForceScan, AccessPath::ForceIndex];
+
+/// 90 rows of three neighborhoods with clustered prices, so shard
+/// layouts can make shards that summaries actually prune.
+fn fixture(rows: i64, shard_rows: usize, indexed: bool) -> Relation {
+    let schema = Schema::new(vec![
+        Field::new("neighborhood", AttrType::Categorical),
+        Field::new("price", AttrType::Float),
+        Field::new("bedroomcount", AttrType::Int),
+    ])
+    .unwrap();
+    let hoods = ["Redmond", "Bellevue", "Issaquah"];
+    let mut b = RelationBuilder::with_capacity(schema, rows as usize).with_shard_rows(shard_rows);
+    for i in 0..rows {
+        // Neighborhoods rotate per row; prices grow with the row id so
+        // each shard covers a distinct [min, max] band.
+        b.push_row(&[
+            hoods[(i % 3) as usize].into(),
+            (100_000.0 + i as f64 * 1_000.0).into(),
+            (1 + i % 5).into(),
+        ])
+        .unwrap();
+    }
+    if indexed {
+        b = b.with_indexes();
+    }
+    b.finish().unwrap()
+}
+
+/// Rows for `sql` on the single-shard unindexed scan path: the ground
+/// truth every other (layout, path, width) combination must equal.
+fn ground_truth(relation: &Relation, sql: &str) -> Vec<u32> {
+    let q = parse_and_normalize(sql, relation.schema()).unwrap();
+    execute_normalized_with(relation, &q, AccessPath::ForceScan)
+        .unwrap()
+        .rows()
+        .to_vec()
+}
+
+/// Assert every (shard layout, indexed, path, threads) combination
+/// returns exactly `expect` rows for `sql` over `rows`-row data.
+fn assert_equivalent(rows: i64, shard_layouts: &[usize], sql: &str, expect_len: usize) {
+    let baseline = fixture(rows, 0, false);
+    let truth = ground_truth(&baseline, sql);
+    assert_eq!(truth.len(), expect_len, "ground-truth cardinality for {sql}");
+    for &shard_rows in shard_layouts {
+        for indexed in [false, true] {
+            let rel = fixture(rows, shard_rows, indexed);
+            let q = parse_and_normalize(sql, rel.schema()).unwrap();
+            for path in PATHS {
+                for threads in THREAD_WIDTHS {
+                    let got = execute_normalized_with_threads(&rel, &q, path, threads).unwrap();
+                    assert_eq!(
+                        got.rows(),
+                        truth.as_slice(),
+                        "{sql}: shard_rows={shard_rows} indexed={indexed} \
+                         {path:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rows_exactly_divisible_by_shard_size() {
+    // 90 rows / 30-row shards = 3 full shards, no remainder.
+    let rel = fixture(90, 30, false);
+    assert_eq!(rel.shards().shard_count(), 3);
+    assert_eq!(rel.shards().bounds(2), (60, 90));
+    assert_equivalent(
+        90,
+        &[30],
+        "SELECT * FROM homes WHERE neighborhood IN ('Redmond') AND bedroomcount >= 3",
+        18,
+    );
+    // A range landing exactly on a shard boundary row.
+    assert_equivalent(90, &[30], "SELECT * FROM homes WHERE price >= 130000", 60);
+    assert_equivalent(90, &[30], "SELECT * FROM homes WHERE price > 130000", 59);
+}
+
+#[test]
+fn last_shard_holds_a_single_row() {
+    // 91 rows / 30-row shards: shards of 30, 30, 30, 1.
+    let rel = fixture(91, 30, false);
+    assert_eq!(rel.shards().shard_count(), 4);
+    assert_eq!(rel.shards().bounds(3), (90, 91));
+    assert_equivalent(91, &[30], "SELECT * FROM homes WHERE price >= 190000", 1);
+    assert_equivalent(91, &[30], "SELECT * FROM homes", 91);
+}
+
+#[test]
+fn empty_relation_queries_cleanly_at_any_layout() {
+    for shard_rows in [0, 8] {
+        for indexed in [false, true] {
+            let rel = fixture(0, shard_rows, indexed);
+            assert!(rel.is_empty());
+            assert_eq!(rel.shards().shard_count(), 1, "empty = one empty shard");
+            let q = parse_and_normalize(
+                "SELECT * FROM homes WHERE price > 0",
+                rel.schema(),
+            )
+            .unwrap();
+            for path in PATHS {
+                for threads in THREAD_WIDTHS {
+                    let got =
+                        execute_normalized_with_threads(&rel, &q, path, threads).unwrap();
+                    assert!(got.is_empty(), "{path:?} threads={threads}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matches_confined_to_one_shard_survive_pruning() {
+    // Prices grow with row id, so `price >= 170000` (rows 70..90) sits
+    // entirely in the last 30-row shard; the other two must be pruned,
+    // and pruning must not cost a single row.
+    let rel = fixture(90, 30, false);
+    let q = parse_and_normalize("SELECT * FROM homes WHERE price >= 170000", rel.schema())
+        .unwrap();
+    let (rows, explain) =
+        qcat::exec::plan::select_rows(&rel, &q, AccessPath::Auto).unwrap();
+    assert_eq!(rows.len(), 20);
+    assert_eq!(rows.first(), Some(&70));
+    assert_eq!(explain.shards_pruned, 2, "two shards proven priced below 170k");
+    assert_equivalent(90, &[30], "SELECT * FROM homes WHERE price >= 170000", 20);
+}
+
+/// The real-workload guarantee: a smoke-scale study relation resharded
+/// into pool-sized morsels serves byte-identical trees through
+/// qcat-serve, cold and cached, with the cache/epoch interplay
+/// untouched by sharding.
+#[test]
+fn sharded_serving_pins_trees_and_cache_outcomes() {
+    let env = StudyEnv::generate(StudyScale::Smoke, 7777);
+    let schema = env.relation.schema().clone();
+    env.relation.build_indexes();
+    let stats = env.stats_for(&env.log);
+
+    let sql = "SELECT * FROM listproperty WHERE neighborhood IN \
+               ('Bellevue','Redmond','Kirkland','Issaquah') \
+               AND price BETWEEN 150000 AND 500000";
+    let query = parse_and_normalize(sql, &schema).unwrap();
+    let scan = execute_normalized_with(&env.relation, &query, AccessPath::ForceScan).unwrap();
+    assert!(scan.len() > 50, "probe query too narrow: {}", scan.len());
+    let categorizer = Categorizer::new(&stats, env.config);
+    let want_tree = render_tree(&categorizer.categorize(&scan, Some(&query)), usize::MAX);
+
+    // Reshard the same bytes into 512-row shards and index per shard.
+    let sharded = env.relation.resharded(512).unwrap();
+    assert!(sharded.shards().shard_count() > 4);
+    sharded.build_indexes();
+    for path in PATHS {
+        for threads in THREAD_WIDTHS {
+            let got =
+                execute_normalized_with_threads(&sharded, &query, path, threads).unwrap();
+            assert_eq!(got.rows(), scan.rows(), "{path:?} threads={threads}");
+        }
+    }
+
+    let mut config = ServerConfig::default();
+    config.categorize = env.config;
+    let server = Server::new(config);
+    server
+        .register_table("listproperty", sharded, env.log.clone(), env.prep.clone())
+        .unwrap();
+    let cold = server.serve(sql).unwrap();
+    assert_eq!(cold.outcome, ServeOutcome::Cold);
+    assert_eq!(*cold.rendered, want_tree, "sharded serve diverged from scan tree");
+    let cached = server.serve(sql).unwrap();
+    assert_eq!(cached.outcome, ServeOutcome::TreeCacheHit);
+    assert_eq!(cold.rendered, cached.rendered);
+    assert_eq!(cold.rows, scan.len());
+}
+
+/// Sweep real workload queries over the resharded smoke relation: the
+/// planner (with pruning) and morsel scans must match the single-shard
+/// scan on every query.
+#[test]
+fn workload_sweep_matches_across_layouts() {
+    let env = StudyEnv::generate(StudyScale::Smoke, 4242);
+    env.relation.build_indexes();
+    let sharded = env.relation.resharded(700).unwrap();
+    sharded.build_indexes();
+    let mut checked = 0;
+    let mut pruned_total = 0usize;
+    for query in env.log.queries().iter().take(120) {
+        let scan =
+            execute_normalized_with(&env.relation, query, AccessPath::ForceScan).unwrap();
+        for path in [AccessPath::Auto, AccessPath::ForceIndex] {
+            let (rows, explain) =
+                qcat::exec::plan::select_rows(&sharded, query, path).unwrap();
+            assert_eq!(rows.as_slice(), scan.rows(), "{path:?} diverged on {query:?}");
+            pruned_total += explain.shards_pruned;
+        }
+        checked += 1;
+    }
+    assert!(checked >= 100, "workload sweep too small: {checked}");
+    assert!(
+        pruned_total > 0,
+        "a real workload over banded data should prune at least one shard"
+    );
+}
