@@ -11,6 +11,17 @@
 //!   every request ended (ok / degraded / shed / structured error);
 //!   nothing may fall through unaccounted.
 //!
+//! - `--scale refinement`: the drill-down serving tier. Builds
+//!   chains of progressively narrowed queries (conjunct prefixes of
+//!   multi-conjunct workload queries — dropping a conjunct always
+//!   widens, so each prefix provably subsumes the next), replays them
+//!   against a server with answer containment enabled, and reports
+//!   per-class latency summaries (exact hit / containment hit /
+//!   cold), the containment-vs-cold speedup, a byte-identical
+//!   containment differential (`containment.mismatches` is gated
+//!   absolutely by `bench_report --check`), and a speculative
+//!   precomputation section.
+//!
 //! - `--scale large`: the paper-scale data plane. Generates millions
 //!   of rows and a six-figure workload (shrinkable via
 //!   `QCAT_LARGE_ROWS` / `QCAT_LARGE_QUERIES` /
@@ -24,7 +35,7 @@
 //! Std-only like `bench_categorize` (same schema conventions).
 //!
 //! ```text
-//! bench_pipeline [--scale smoke|large] [--runs N] [--seed S] [--queries N] [--out PATH]
+//! bench_pipeline [--scale smoke|refinement|large] [--runs N] [--seed S] [--queries N] [--out PATH]
 //! ```
 
 use qcat_bench::{
@@ -32,7 +43,7 @@ use qcat_bench::{
 };
 use qcat_data::Schema;
 use qcat_exec::{execute_normalized_with, execute_normalized_with_threads, plan, AccessPath};
-use qcat_serve::{ServeOutcome, Server, ServerConfig};
+use qcat_serve::{ServeOutcome, Server, ServerConfig, SpeculateConfig};
 use qcat_sql::normalize::{AttrCondition, NormalizedQuery};
 use qcat_study::{StudyEnv, StudyScale};
 use std::fmt::Write as _;
@@ -47,19 +58,23 @@ struct Args {
 }
 
 impl Args {
-    /// Runs default 30 at smoke scale (sub-ms probes need samples) and
-    /// 5 at large scale (each run is a multi-second full pass).
+    /// Runs default 30 at smoke scale (sub-ms probes need samples),
+    /// 10 at refinement scale (each run replays every chain twice),
+    /// and 5 at large scale (each run is a multi-second full pass).
     fn runs(&self) -> usize {
-        self.runs
-            .unwrap_or(if self.scale == "large" { 5 } else { 30 })
+        self.runs.unwrap_or(match self.scale.as_str() {
+            "large" => 5,
+            "refinement" => 10,
+            _ => 30,
+        })
     }
 
     fn out(&self) -> String {
         self.out.clone().unwrap_or_else(|| {
-            if self.scale == "large" {
-                "BENCH_pr8.json".to_string()
-            } else {
-                "BENCH_pr5.json".to_string()
+            match self.scale.as_str() {
+                "large" => "BENCH_pr8.json".to_string(),
+                "refinement" => "BENCH_pr9.json".to_string(),
+                _ => "BENCH_pr5.json".to_string(),
             }
         })
     }
@@ -89,13 +104,13 @@ fn parse_args() -> Args {
             "--scale" => {
                 args.scale = value("--scale");
                 assert!(
-                    args.scale == "smoke" || args.scale == "large",
-                    "--scale: smoke or large"
+                    ["smoke", "refinement", "large"].contains(&args.scale.as_str()),
+                    "--scale: smoke, refinement, or large"
                 );
             }
             "--help" | "-h" => {
                 println!(
-                    "bench_pipeline [--scale smoke|large] [--runs N] [--seed S] \
+                    "bench_pipeline [--scale smoke|refinement|large] [--runs N] [--seed S] \
                      [--queries N] [--out PATH]"
                 );
                 std::process::exit(0);
@@ -168,10 +183,10 @@ fn summary_json(s: &Summary) -> String {
 
 fn main() {
     let args = parse_args();
-    if args.scale == "large" {
-        run_large(&args);
-    } else {
-        run_smoke(&args);
+    match args.scale.as_str() {
+        "large" => run_large(&args),
+        "refinement" => run_refinement(&args),
+        _ => run_smoke(&args),
     }
 }
 
@@ -422,6 +437,316 @@ fn run_smoke(args: &Args) {
     std::fs::write(&out_path, out).expect("write bench report");
     println!("  wrote {out_path}");
     if mismatches > 0 || chaos_status != "ok" {
+        std::process::exit(1);
+    }
+}
+
+/// The drill-down serving tier: chains of progressively narrowed
+/// queries replayed against a containment-enabled server, classified
+/// into exact hits, containment hits, and cold fills — plus a
+/// byte-identical containment differential and a speculative
+/// precomputation section.
+fn run_refinement(args: &Args) {
+    let runs = args.runs();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_pipeline: refinement tier, seed {}, {} runs, {} cores",
+        args.seed, runs, cores
+    );
+    let env = StudyEnv::generate(
+        StudyScale::Custom {
+            rows: 60_000,
+            queries: 400,
+        },
+        args.seed,
+    );
+    let relation = env.relation.clone();
+    let schema = relation.schema().clone();
+    let n = relation.len();
+    relation.build_indexes();
+    println!("  {} rows", n);
+
+    // ---- Drill-down chains, the paper's exploration pattern: start
+    // broad, keep adding constraints. Each chain conjoins four
+    // *individually broad* conjuncts (15–70% selective) harvested
+    // from the workload, one new attribute per step; every prefix
+    // provably subsumes the next. Broad conjuncts are the
+    // interesting case for containment: the planner's best index on
+    // the cold path still yields a large candidate set, while the
+    // containment donor is the (much smaller) running conjunction.
+    let mut template = env
+        .log
+        .queries()
+        .first()
+        .expect("non-empty workload")
+        .clone();
+    template.projection = None;
+    template.order_by.clear();
+    template.limit = None;
+    let mut by_attr: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+    let mut seen_conj = std::collections::HashSet::new();
+    for q in env.log.queries() {
+        for (attr, cond) in &q.conditions {
+            let mut single = template.clone();
+            single.conditions = [(*attr, cond.clone())].into_iter().collect();
+            if !seen_conj.insert(qcat_serve::fingerprint(&single)) {
+                continue;
+            }
+            let bucket = by_attr.entry(*attr).or_insert_with(Vec::new);
+            if bucket.len() >= 4 {
+                continue;
+            }
+            let rows = execute_normalized_with(&relation, &single, AccessPath::ForceScan)
+                .expect("conjunct probe")
+                .len();
+            let sel = rows as f64 / n as f64;
+            if (0.25..=0.5).contains(&sel) {
+                bucket.push(cond.clone());
+            }
+        }
+    }
+    by_attr.retain(|_, conds| !conds.is_empty());
+    let attrs: Vec<_> = by_attr.keys().copied().collect();
+    assert!(
+        attrs.len() >= 6,
+        "need 6 attributes with broad workload conjuncts, found {}",
+        attrs.len()
+    );
+    // Fingerprints are globally deduplicated so each class stays
+    // honest: a head shared between chains would turn the second
+    // chain's cold leg into a tree hit.
+    let mut seen = std::collections::HashSet::new();
+    let mut chains: Vec<Vec<NormalizedQuery>> = Vec::new();
+    for i in 0..10usize {
+        let mut query = template.clone();
+        query.conditions.clear();
+        let mut chain = Vec::new();
+        // The head already carries three conjuncts: a user who has
+        // refined twice is the one who keeps refining, and it keeps
+        // every timed step's donor (the running conjunction) well
+        // below the cold planner's best single-attribute candidate
+        // set.
+        for step in 0..6usize {
+            let attr = attrs[(i + step) % attrs.len()];
+            let conds = &by_attr[&attr];
+            query
+                .conditions
+                .insert(attr, conds[i % conds.len()].clone());
+            if step >= 2 {
+                chain.push(query.clone());
+            }
+        }
+        if chain
+            .iter()
+            .all(|c| seen.insert(qcat_serve::fingerprint(c)))
+        {
+            chains.push(chain);
+        }
+    }
+    let total_queries: usize = chains.iter().map(Vec::len).sum();
+    assert!(
+        !chains.is_empty(),
+        "no multi-conjunct workload queries to build drill-down chains from"
+    );
+    println!(
+        "  {} chains, {} distinct queries ({} refinement steps)",
+        chains.len(),
+        total_queries,
+        total_queries - chains.len()
+    );
+
+    let table = chains[0][0].table.clone();
+    let server = Server::new(ServerConfig::default());
+    server
+        .register_table(&table, relation.clone(), env.log.clone(), env.prep.clone())
+        .expect("register warm table");
+    // The cold baseline server never keeps donors: its caches are
+    // cleared before every serve, so it measures the full fill for
+    // the *same* queries the warm server answers by containment.
+    let cold_server = Server::new(ServerConfig::default());
+    cold_server
+        .register_table(&table, relation.clone(), env.log.clone(), env.prep.clone())
+        .expect("register cold table");
+
+    let rec = qcat_obs::Recorder::metrics_only();
+    let mut exact_ns = Vec::new();
+    let mut contain_ns = Vec::new();
+    let mut cold_ns = Vec::new();
+    let (mut exact_hits, mut containment_hits, mut colds, mut other) = (0usize, 0, 0, 0);
+    let mut classify = |outcome: ServeOutcome| match outcome {
+        ServeOutcome::TreeCacheHit | ServeOutcome::ResultCacheHit => exact_hits += 1,
+        ServeOutcome::ContainmentHit => containment_hits += 1,
+        ServeOutcome::Cold => colds += 1,
+        _ => other += 1,
+    };
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    qcat_obs::with_recorder(&rec, || {
+        for _ in 0..runs {
+            server.clear_caches();
+            for chain in &chains {
+                // Chain head: cold by construction.
+                let served = server
+                    .serve(&sql_of(&chain[0], &schema))
+                    .expect("head serve");
+                classify(served.outcome);
+                for tight in &chain[1..] {
+                    let sql = sql_of(tight, &schema);
+                    let mut warm_served = None;
+                    contain_ns.push(time_ns(|| {
+                        warm_served = Some(server.serve(&sql).expect("refined serve"));
+                    }));
+                    let warm_served = warm_served.expect("timed serve ran");
+                    classify(warm_served.outcome);
+                    cold_server.clear_caches();
+                    let mut cold_served = None;
+                    cold_ns.push(time_ns(|| {
+                        cold_served = Some(cold_server.serve(&sql).expect("cold serve"));
+                    }));
+                    let cold_served = cold_served.expect("timed serve ran");
+                    checked += 1;
+                    if warm_served.rendered != cold_served.rendered
+                        || warm_served.rows != cold_served.rows
+                    {
+                        mismatches += 1;
+                        eprintln!("  CONTAINMENT MISMATCH: {sql}");
+                    }
+                }
+            }
+            // Second pass: every chain query repeats as an exact hit.
+            for q in chains.iter().flatten() {
+                let sql = sql_of(q, &schema);
+                let mut served = None;
+                exact_ns.push(time_ns(|| {
+                    served = Some(server.serve(&sql).expect("repeat serve"));
+                }));
+                classify(served.expect("timed serve ran").outcome);
+            }
+        }
+    });
+    let exact = summarize(&exact_ns);
+    let contain = summarize(&contain_ns);
+    let cold = summarize(&cold_ns);
+    let containment_speedup = cold.median_ms / contain.median_ms;
+    let contain_status = if mismatches == 0 && containment_hits > 0 {
+        "ok"
+    } else {
+        "mismatch"
+    };
+    println!(
+        "  classes: {} exact, {} containment, {} cold, {} other",
+        exact_hits, containment_hits, colds, other
+    );
+    println!(
+        "  cold median {:.4} ms | containment median {:.4} ms | speedup {:.1}x",
+        cold.median_ms, contain.median_ms, containment_speedup
+    );
+    println!(
+        "  exact median {:.4} ms | differential: {} checked, {} mismatches ({})",
+        exact.median_ms, checked, mismatches, contain_status
+    );
+
+    // ---- Speculation: an idle pass on a fresh server precomputes
+    // the hottest workload queries; serving the whole distinct
+    // workload afterwards must produce exactly `filled` tree hits.
+    let spec_server = Server::new(ServerConfig::default());
+    spec_server
+        .register_table(&table, relation.clone(), env.log.clone(), env.prep.clone())
+        .expect("register speculation table");
+    let spec_cfg = SpeculateConfig {
+        max_fills: 8,
+        ..SpeculateConfig::default()
+    };
+    let report = spec_server
+        .speculate(&table, &spec_cfg)
+        .expect("speculation pass");
+    let mut distinct = std::collections::HashSet::new();
+    let mut spec_tree_hits = 0usize;
+    for q in env.log.queries() {
+        if !distinct.insert(qcat_serve::fingerprint(q)) {
+            continue;
+        }
+        let served = spec_server.serve(&sql_of(q, &schema)).expect("post-spec serve");
+        if served.outcome == ServeOutcome::TreeCacheHit {
+            spec_tree_hits += 1;
+        }
+    }
+    let spec_status = if report.filled > 0 && spec_tree_hits == report.filled {
+        "ok"
+    } else {
+        "bad"
+    };
+    println!(
+        "  speculation: {} considered, {} filled, {} degraded -> {} first-serve tree hits ({})",
+        report.considered, report.filled, report.degraded, spec_tree_hits, spec_status
+    );
+
+    let snap = rec.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pipeline\",\n  \"scale\": \"refinement\",\n");
+    let _ = write!(
+        out,
+        "  \"schema_version\": {}, \"git\": \"{}\",\n",
+        qcat_bench::BENCH_SCHEMA_VERSION,
+        json_escape(&qcat_bench::git_describe())
+    );
+    let _ = write!(
+        out,
+        "  \"seed\": {}, \"runs\": {}, \"cores\": {}, \"rows\": {},\n",
+        args.seed, runs, cores, n
+    );
+    let _ = write!(
+        out,
+        "  \"chains\": {}, \"chain_queries\": {},\n",
+        chains.len(),
+        total_queries
+    );
+    out.push_str("  \"refinement\": {\n");
+    let _ = write!(
+        out,
+        "    \"counts\": {{\"exact_hit\": {}, \"containment_hit\": {}, \"cold\": {}, \"other\": {}}},\n",
+        exact_hits, containment_hits, colds, other
+    );
+    let _ = write!(out, "    \"exact_hit\": {},\n", summary_json(&exact));
+    let _ = write!(out, "    \"containment_hit\": {},\n", summary_json(&contain));
+    let _ = write!(out, "    \"cold\": {},\n", summary_json(&cold));
+    let _ = write!(
+        out,
+        "    \"containment_speedup\": {}\n  }},\n",
+        json_num(containment_speedup)
+    );
+    let _ = write!(
+        out,
+        "  \"containment\": {{\"queries\": {}, \"mismatches\": {}, \"status\": \"{}\"}},\n",
+        checked, mismatches, contain_status
+    );
+    let _ = write!(
+        out,
+        "  \"speculation\": {{\"considered\": {}, \"filled\": {}, \"already_cached\": {}, \"degraded\": {}, \"tree_hits_after\": {}, \"status\": \"{}\"}},\n",
+        report.considered,
+        report.filled,
+        report.already_cached,
+        report.degraded,
+        spec_tree_hits,
+        spec_status
+    );
+    let _ = write!(
+        out,
+        "  \"counters\": {{\"serve.cache.containment_hit\": {}, \"serve.containment.rows_donor\": {}, \"serve.containment.rows_out\": {}, \"serve.cache.result.miss\": {}, \"serve.cache.hit\": {}}}\n",
+        counter("serve.cache.containment_hit"),
+        counter("serve.containment.rows_donor"),
+        counter("serve.containment.rows_out"),
+        counter("serve.cache.result.miss"),
+        counter("serve.cache.hit")
+    );
+    out.push_str("}\n");
+    let out_path = args.out();
+    std::fs::write(&out_path, out).expect("write bench report");
+    println!("  wrote {out_path}");
+    if contain_status != "ok" || spec_status != "ok" {
         std::process::exit(1);
     }
 }

@@ -210,6 +210,49 @@ fn pipeline_metrics(v: &JsonValue) -> Vec<(String, f64)> {
             }
         }
     }
+    // Refinement-tier drill-down classes: the containment summary is
+    // the headline (serve.containment.* is the trajectory the roadmap
+    // tracks), and containment.mismatches gates absolutely via the
+    // blanket `*mismatches` rule.
+    if let Some(refine) = v.get("refinement") {
+        for (class, prefix) in [
+            ("exact_hit", "serve.exact"),
+            ("containment_hit", "serve.containment"),
+            ("cold", "serve.refine_cold"),
+        ] {
+            if let Some(s) = refine.get(class) {
+                summary_metrics(&mut out, prefix, s);
+            }
+        }
+        if let Some(counts) = refine.get("counts") {
+            for key in ["exact_hit", "containment_hit", "cold", "other"] {
+                if let Some(m) = num(counts, key) {
+                    out.push((format!("refinement.count.{key}"), m));
+                }
+            }
+        }
+        if let Some(s) = num(refine, "containment_speedup") {
+            out.push(("speedup.serve.containment".to_string(), s));
+        }
+    }
+    if let Some(contain) = v.get("containment") {
+        if let Some(m) = num(contain, "mismatches") {
+            out.push(("containment.mismatches".to_string(), m));
+        }
+    }
+    if let Some(spec) = v.get("speculation") {
+        for key in [
+            "considered",
+            "filled",
+            "already_cached",
+            "degraded",
+            "tree_hits_after",
+        ] {
+            if let Some(m) = num(spec, key) {
+                out.push((format!("speculation.{key}"), m));
+            }
+        }
+    }
     out
 }
 
@@ -553,6 +596,47 @@ mod tests {
         // zero-tolerance threshold (large medians are ~2000x smoke's).
         let smoke = pipeline_fixture(7, 0.30, 30.0);
         assert_eq!(check(&[smoke, f], 0.1), vec![]);
+    }
+
+    #[test]
+    fn refinement_reports_key_their_own_kind() {
+        let refine = "{\"bench\": \"pipeline\", \"scale\": \"refinement\",\
+            \"refinement\": {\
+              \"counts\": {\"exact_hit\": 200, \"containment_hit\": 160, \"cold\": 40, \"other\": 0},\
+              \"exact_hit\": {\"mean_ms\": 0.009, \"median_ms\": 0.008, \"p95_ms\": 0.016},\
+              \"containment_hit\": {\"mean_ms\": 0.29, \"median_ms\": 0.20, \"p95_ms\": 0.77},\
+              \"cold\": {\"mean_ms\": 1.56, \"median_ms\": 1.40, \"p95_ms\": 2.28},\
+              \"containment_speedup\": 7.0},\
+            \"containment\": {\"queries\": 150, \"mismatches\": 0, \"status\": \"ok\"},\
+            \"speculation\": {\"considered\": 398, \"filled\": 8, \"already_cached\": 0,\
+              \"degraded\": 0, \"tree_hits_after\": 8, \"status\": \"ok\"}}";
+        let f = parse_bench_file("BENCH_pr9.json", refine).expect("parses");
+        assert_eq!(f.kind, "pipeline.refinement");
+        let get = |k: &str| f.metrics.iter().find(|(m, _)| m == k).map(|(_, v)| *v);
+        assert_eq!(get("serve.containment.median_ms"), Some(0.20));
+        assert_eq!(get("serve.containment.p95_ms"), Some(0.77));
+        assert_eq!(get("serve.exact.median_ms"), Some(0.008));
+        assert_eq!(get("serve.refine_cold.median_ms"), Some(1.40));
+        assert_eq!(get("refinement.count.containment_hit"), Some(160.0));
+        assert_eq!(get("speedup.serve.containment"), Some(7.0));
+        assert_eq!(get("containment.mismatches"), Some(0.0));
+        assert_eq!(get("speculation.filled"), Some(8.0));
+        assert_eq!(get("speculation.tree_hits_after"), Some(8.0));
+
+        // A refinement report never gates against a smoke baseline:
+        // the kinds differ, so this pair produces no findings.
+        let smoke = pipeline_fixture(7, 0.30, 30.0);
+        assert_eq!(check(&[smoke, f], 0.1), vec![]);
+    }
+
+    #[test]
+    fn containment_mismatches_fail_absolutely() {
+        let text = "{\"bench\": \"pipeline\", \"scale\": \"refinement\",\
+            \"containment\": {\"queries\": 150, \"mismatches\": 2, \"status\": \"fail\"}}";
+        let f = parse_bench_file("BENCH_pr9.json", text).expect("parses");
+        let findings = check(&[f], 0.1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "containment.mismatches");
     }
 
     #[test]

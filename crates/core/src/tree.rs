@@ -227,6 +227,32 @@ impl CategoryTree {
         self.nodes.iter().filter(|n| n.is_leaf()).count()
     }
 
+    /// Estimated owned heap footprint in bytes: the node arena, every
+    /// node's tuple-set and child list, and label entries (each `In`
+    /// entry holds a code plus an interned `Arc<str>` handle; the
+    /// string bytes themselves are shared with the relation's
+    /// dictionary and not counted). The relation handle is shared and
+    /// likewise excluded. Used by the serving layer's byte-budgeted
+    /// tree cache.
+    pub fn heap_bytes(&self) -> usize {
+        use crate::label::LabelKind;
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.level_attrs.capacity() * std::mem::size_of::<AttrId>();
+        for node in &self.nodes {
+            bytes += node.tset.capacity() * std::mem::size_of::<u32>();
+            bytes += node.children.capacity() * std::mem::size_of::<NodeId>();
+            if let Some(label) = &node.label {
+                bytes += match &label.kind {
+                    // BTreeMap node overhead dominates the entry size;
+                    // 48 bytes per entry is a deliberate overestimate.
+                    LabelKind::In(entries) => entries.len() * 48,
+                    LabelKind::Range(_) => 0,
+                };
+            }
+        }
+        bytes
+    }
+
     /// Depth of the deepest node (root = 0).
     pub fn depth(&self) -> usize {
         self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
@@ -522,6 +548,18 @@ mod tests {
         t.set_p_showtuples(NodeId::ROOT, 0.2);
         t.set_p_showtuples(r, 0.4);
         t
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_structure() {
+        let rel = homes();
+        let root_only = CategoryTree::new(rel, vec![0, 1, 2, 3]);
+        let full = sample_tree();
+        assert!(root_only.heap_bytes() >= 4 * 4, "root tset is counted");
+        assert!(
+            full.heap_bytes() > root_only.heap_bytes(),
+            "children, labels, and level attrs add footprint"
+        );
     }
 
     #[test]

@@ -162,6 +162,77 @@ pub fn execute_normalized_with_threads(
     ))
 }
 
+/// Answer `query` from rows already proven to satisfy a *containing*
+/// query: evaluate only the `residual` conjuncts over `cached_rows`,
+/// then apply `query`'s ordering and limit.
+///
+/// This is the serving layer's containment-hit path (see
+/// `qcat-serve`): when a cached entry's normalized conjuncts are all
+/// implied by `query`'s (`qcat_sql::contain::subsumes`), the cached
+/// row ids are a superset of the answer and only the conjuncts listed
+/// in `residual` (`qcat_sql::contain::residual_attrs`) still
+/// discriminate. The output is byte-identical to a cold
+/// [`execute_normalized_with`] of the same query: the post-filter
+/// preserves candidate order, rows are restored to table order when no
+/// `ORDER BY` is present, and the sort itself is a total order, so the
+/// input order never shows through.
+///
+/// Runs under the ambient budget like every execution: the filter
+/// polls the gas every [`CompiledPredicate::CANCEL_STRIDE`] rows and
+/// the matched rows are charged, so a containment hit can still refuse
+/// cleanly on exhaustion.
+pub fn execute_residual(
+    relation: &Relation,
+    query: &NormalizedQuery,
+    cached_rows: &[u32],
+    residual: &[qcat_data::AttrId],
+) -> Result<ResultSet, ExecError> {
+    use qcat_sql::eval::CompiledPredicate;
+    let mut span = qcat_obs::span!("exec.residual", rows_in = cached_rows.len());
+    if let Some(fault) = qcat_fault::point("exec.residual") {
+        return Err(fault.into());
+    }
+    let predicate = CompiledPredicate::compile_where(query, relation, |a| residual.contains(&a))?;
+    let mut rows = match qcat_fault::current_gas() {
+        None => predicate.filter(relation, Some(cached_rows)),
+        Some(gas) => {
+            let mut cancel = || !gas.checkpoint();
+            predicate
+                .filter_cancellable(relation, Some(cached_rows), &mut cancel)
+                .ok_or_else(|| {
+                    ExecError::Budget(
+                        gas.exceeded()
+                            .unwrap_or(qcat_fault::BudgetExceeded::Cancelled),
+                    )
+                })?
+        }
+    };
+    if let Some(gas) = qcat_fault::current_gas() {
+        gas.charge_rows(rows.len())?;
+    }
+    if qcat_obs::active() {
+        span.set("rows_matched", rows.len());
+        qcat_obs::counter("exec.residual.rows_in", cached_rows.len() as i64);
+        qcat_obs::counter("exec.residual.rows_matched", rows.len() as i64);
+    }
+    if query.order_by.is_empty() {
+        // Donor rows may carry the donor's ordering; the cold path
+        // yields table order, so restore it (a no-op when already
+        // sorted).
+        rows.sort_unstable();
+    } else {
+        sort_rows(relation, &mut rows, &query.order_by);
+    }
+    if let Some(n) = query.limit {
+        rows.truncate(n);
+    }
+    Ok(ResultSet::new(
+        relation.clone(),
+        rows,
+        query.projection.clone(),
+    ))
+}
+
 /// Stable multi-key sort of row ids: numeric columns compare
 /// numerically, categorical columns lexicographically by value.
 fn sort_rows(relation: &Relation, rows: &mut [u32], keys: &[(qcat_data::AttrId, bool)]) {
@@ -367,6 +438,86 @@ mod tests {
                 .unwrap_err()
         });
         assert_eq!(err, ExecError::Budget(qcat_fault::BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn residual_filter_matches_cold_execution() {
+        let exec = setup();
+        let relation = exec.catalog().get("listproperty").unwrap();
+        let schema = relation.schema().clone();
+        let wide =
+            qcat_sql::parse_and_normalize("SELECT * FROM listproperty WHERE price <= 400000", &schema)
+                .unwrap();
+        let tight = qcat_sql::parse_and_normalize(
+            "SELECT * FROM listproperty WHERE price <= 400000 AND bedroomcount >= 4",
+            &schema,
+        )
+        .unwrap();
+        assert!(qcat_sql::subsumes(&wide, &tight));
+        let cached = execute_normalized(&relation, &wide).unwrap();
+        let residual = qcat_sql::residual_attrs(&wide, &tight);
+        let via_cache = execute_residual(&relation, &tight, cached.rows(), &residual).unwrap();
+        let cold = execute_normalized(&relation, &tight).unwrap();
+        assert_eq!(via_cache.rows(), cold.rows());
+        assert_eq!(via_cache.projection(), cold.projection());
+    }
+
+    #[test]
+    fn residual_restores_table_order_and_applies_limit() {
+        let exec = setup();
+        let relation = exec.catalog().get("listproperty").unwrap();
+        let schema = relation.schema().clone();
+        // Donor ordered by price DESC; refinement drops ORDER BY, adds
+        // a LIMIT — cold answers come in table order and truncated.
+        let wide = qcat_sql::parse_and_normalize(
+            "SELECT * FROM listproperty ORDER BY price DESC",
+            &schema,
+        )
+        .unwrap();
+        let tight = qcat_sql::parse_and_normalize(
+            "SELECT * FROM listproperty WHERE bedroomcount >= 3 LIMIT 2",
+            &schema,
+        )
+        .unwrap();
+        assert!(qcat_sql::subsumes(&wide, &tight));
+        let cached = execute_normalized(&relation, &wide).unwrap();
+        assert_ne!(cached.rows(), &[0, 1, 2, 3], "donor really is reordered");
+        let residual = qcat_sql::residual_attrs(&wide, &tight);
+        let via_cache = execute_residual(&relation, &tight, cached.rows(), &residual).unwrap();
+        let cold = execute_normalized(&relation, &tight).unwrap();
+        assert_eq!(via_cache.rows(), cold.rows());
+        // And the ordered refinement sorts by the tight query's keys.
+        let tight_ord = qcat_sql::parse_and_normalize(
+            "SELECT * FROM listproperty WHERE bedroomcount >= 3 ORDER BY price DESC",
+            &schema,
+        )
+        .unwrap();
+        let residual = qcat_sql::residual_attrs(&wide, &tight_ord);
+        let via_cache = execute_residual(&relation, &tight_ord, cached.rows(), &residual).unwrap();
+        let cold = execute_normalized(&relation, &tight_ord).unwrap();
+        assert_eq!(via_cache.rows(), cold.rows());
+    }
+
+    #[test]
+    fn residual_honors_budget_and_faults() {
+        let exec = setup();
+        let relation = exec.catalog().get("listproperty").unwrap();
+        let schema = relation.schema().clone();
+        let tight =
+            qcat_sql::parse_and_normalize("SELECT * FROM listproperty WHERE price > 0", &schema)
+                .unwrap();
+        let all: Vec<u32> = relation.all_row_ids();
+        let budget = qcat_fault::Budget::UNLIMITED.with_max_rows(2);
+        let gas = budget.start();
+        let err = qcat_fault::with_budget(&gas, || {
+            execute_residual(&relation, &tight, &all, &[qcat_data::AttrId(1)]).unwrap_err()
+        });
+        assert_eq!(err, ExecError::Budget(qcat_fault::BudgetExceeded::Rows));
+        let plan = qcat_fault::FaultPlan::parse("exec.residual:error").unwrap();
+        let err = qcat_fault::with_plan(&plan, || {
+            execute_residual(&relation, &tight, &all, &[qcat_data::AttrId(1)]).unwrap_err()
+        });
+        assert!(matches!(err, ExecError::Fault(f) if f.site == "exec.residual"));
     }
 
     #[test]

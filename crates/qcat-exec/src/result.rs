@@ -89,6 +89,19 @@ impl ResultSet {
     pub fn into_rows(self) -> Vec<u32> {
         self.rows
     }
+
+    /// Estimated owned heap footprint in bytes: the row-id vector plus
+    /// the projection list. The relation handle is shared (`Arc`) and
+    /// deliberately not counted — a cached result set must account for
+    /// what *it* pins, not the table everyone pins. Used by the
+    /// serving layer's byte-budgeted caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<u32>()
+            + self
+                .projection
+                .as_ref()
+                .map_or(0, |p| p.capacity() * std::mem::size_of::<AttrId>())
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +144,15 @@ mod tests {
     fn into_rows_consumes() {
         let rs = ResultSet::new(rel(), vec![2, 0], None);
         assert_eq!(rs.into_rows(), vec![2, 0]);
+    }
+
+    #[test]
+    fn heap_bytes_counts_rows_and_projection() {
+        let rs = ResultSet::new(rel(), vec![0, 1, 2], None);
+        assert!(rs.heap_bytes() >= 3 * 4);
+        let projected = ResultSet::new(rel(), vec![0, 1, 2], Some(vec![AttrId(1)]));
+        assert!(projected.heap_bytes() > rs.heap_bytes() - 1);
+        let empty = ResultSet::new(rel(), Vec::new(), None);
+        assert_eq!(empty.heap_bytes(), 0);
     }
 }

@@ -1,4 +1,5 @@
-//! An LRU cache whose entries expire when an epoch counter moves.
+//! A byte-budgeted LRU cache whose entries expire when an epoch
+//! counter moves.
 //!
 //! The serving layer keys cached artifacts by normalized-query
 //! fingerprint, but a cached *tree* is only valid for the workload
@@ -9,18 +10,28 @@
 //! they were inserted under, and a lookup under any other epoch is a
 //! miss that also drops the stale entry.
 //!
+//! Capacity is a **byte budget**, not an entry count: with answer
+//! containment (see `qcat_sql::contain`) the cache holds whole
+//! `ResultSet`s that other queries filter, and one broad donor entry
+//! can outweigh thousands of selective ones. Each insert declares the
+//! entry's `heap_bytes` estimate; eviction removes least-recently-used
+//! entries until the running total fits. An entry alone larger than
+//! the whole budget is refused outright — caching it would evict
+//! everything else for a single answer.
+//!
 //! Recency is tracked with a monotonic tick (touched on get/insert);
-//! eviction removes the smallest tick. That is `O(capacity)` per
-//! eviction, which is fine at the double-digit capacities the server
-//! uses — no intrusive list, no unsafe.
+//! eviction removes the smallest tick. That is `O(entries)` per
+//! eviction, which is fine at the double-to-triple-digit entry counts
+//! the server's budgets imply — no intrusive list, no unsafe.
 
 use std::collections::HashMap;
 
-/// An LRU map with epoch-based invalidation.
+/// A byte-budgeted LRU map with epoch-based invalidation.
 #[derive(Debug)]
 pub struct EpochLru<V> {
-    capacity: usize,
+    capacity_bytes: usize,
     tick: u64,
+    total_bytes: usize,
     map: HashMap<String, Entry<V>>,
 }
 
@@ -29,15 +40,18 @@ struct Entry<V> {
     value: V,
     epoch: u64,
     last_used: u64,
+    bytes: usize,
 }
 
 impl<V: Clone> EpochLru<V> {
-    /// Cache holding at most `capacity` entries (`0` disables caching).
-    pub fn new(capacity: usize) -> Self {
+    /// Cache whose live entries' declared sizes sum to at most
+    /// `capacity_bytes` (`0` disables caching).
+    pub fn new(capacity_bytes: usize) -> Self {
         EpochLru {
-            capacity,
+            capacity_bytes,
             tick: 0,
-            map: HashMap::with_capacity(capacity.min(1024)),
+            total_bytes: 0,
+            map: HashMap::new(),
         }
     }
 
@@ -51,38 +65,68 @@ impl<V: Clone> EpochLru<V> {
                 Some(e.value.clone())
             }
             Some(_) => {
-                self.map.remove(key);
+                self.remove(key);
                 None
             }
             None => None,
         }
     }
 
-    /// Insert `value` under `key` as of `epoch`, evicting the
-    /// least-recently-used entry if the cache is full.
-    pub fn insert(&mut self, key: String, value: V, epoch: u64) {
-        if self.capacity == 0 {
+    /// Is `key` present and live as of `epoch`? Does not touch
+    /// recency and does not drop stale entries — a pure probe for
+    /// index maintenance.
+    pub fn contains_live(&self, key: &str, epoch: u64) -> bool {
+        self.map.get(key).is_some_and(|e| e.epoch == epoch)
+    }
+
+    /// Insert `value` under `key` as of `epoch`, declaring its
+    /// estimated owned footprint `heap_bytes`. Evicts
+    /// least-recently-used entries until the byte budget fits; an
+    /// entry larger than the entire budget is not cached at all.
+    pub fn insert(&mut self, key: String, value: V, epoch: u64, heap_bytes: usize) {
+        if self.capacity_bytes == 0 || heap_bytes > self.capacity_bytes {
+            // Caching disabled, or the entry alone overflows the
+            // budget: drop any previous entry under the key rather
+            // than keep a stale answer visible.
+            self.remove(&key);
             return;
         }
-        self.tick += 1;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+        self.remove(&key);
+        while !self.map.is_empty() && self.total_bytes + heap_bytes > self.capacity_bytes {
             let lru = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone());
-            if let Some(k) = lru {
-                self.map.remove(&k);
+            match lru {
+                Some(k) => self.remove(&k),
+                None => break,
             }
         }
+        self.tick += 1;
+        self.total_bytes += heap_bytes;
         self.map.insert(
             key,
             Entry {
                 value,
                 epoch,
                 last_used: self.tick,
+                bytes: heap_bytes,
             },
         );
+    }
+
+    fn remove(&mut self, key: &str) {
+        if let Some(e) = self.map.remove(key) {
+            self.total_bytes -= e.bytes;
+        }
+    }
+
+    /// Is `key` resident under *any* epoch? Stale entries count until
+    /// touched — for residency sweeps, where "still occupying budget"
+    /// is the question, not "still servable".
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
     }
 
     /// Number of live entries (stale ones included until touched).
@@ -95,14 +139,21 @@ impl<V: Clone> EpochLru<V> {
         self.map.is_empty()
     }
 
-    /// Maximum number of entries.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// The byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Sum of the declared sizes of every resident entry (stale ones
+    /// included until touched) — the `serve.cache.bytes` gauge.
+    pub fn bytes(&self) -> usize {
+        self.total_bytes
     }
 
     /// Drop every entry.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.total_bytes = 0;
     }
 }
 
@@ -112,52 +163,114 @@ mod tests {
 
     #[test]
     fn get_after_insert_same_epoch() {
-        let mut c = EpochLru::new(4);
-        c.insert("a".into(), 1, 0);
+        let mut c = EpochLru::new(1024);
+        c.insert("a".into(), 1, 0, 10);
         assert_eq!(c.get("a", 0), Some(1));
         assert_eq!(c.get("b", 0), None);
+        assert_eq!(c.bytes(), 10);
     }
 
     #[test]
     fn epoch_bump_invalidates() {
-        let mut c = EpochLru::new(4);
-        c.insert("a".into(), 1, 0);
+        let mut c = EpochLru::new(1024);
+        c.insert("a".into(), 1, 0, 10);
         assert_eq!(c.get("a", 1), None);
-        // The stale entry was dropped, not resurrected.
+        // The stale entry was dropped, not resurrected — and its
+        // bytes were released.
         assert_eq!(c.get("a", 0), None);
         assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
     }
 
     #[test]
-    fn eviction_respects_capacity_and_recency() {
-        let mut c = EpochLru::new(2);
-        c.insert("a".into(), 1, 0);
-        c.insert("b".into(), 2, 0);
+    fn eviction_respects_byte_budget_and_recency() {
+        let mut c = EpochLru::new(25);
+        c.insert("a".into(), 1, 0, 10);
+        c.insert("b".into(), 2, 0, 10);
         // Touch "a" so "b" is the LRU when "c" arrives.
         assert_eq!(c.get("a", 0), Some(1));
-        c.insert("c".into(), 3, 0);
+        c.insert("c".into(), 3, 0, 10);
         assert_eq!(c.len(), 2);
+        assert!(c.bytes() <= 25);
         assert_eq!(c.get("b", 0), None);
         assert_eq!(c.get("a", 0), Some(1));
         assert_eq!(c.get("c", 0), Some(3));
     }
 
     #[test]
-    fn reinsert_updates_without_evicting() {
-        let mut c = EpochLru::new(2);
-        c.insert("a".into(), 1, 0);
-        c.insert("b".into(), 2, 0);
-        c.insert("a".into(), 9, 0);
+    fn one_large_entry_evicts_many_small_ones() {
+        let mut c = EpochLru::new(100);
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            c.insert((*k).into(), i, 0, 20);
+        }
+        assert_eq!(c.len(), 4);
+        c.insert("big".into(), 99, 0, 90);
+        assert!(c.bytes() <= 100, "budget holds: {}", c.bytes());
+        assert_eq!(c.get("big", 0), Some(99));
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn oversized_entry_is_refused() {
+        let mut c = EpochLru::new(50);
+        c.insert("a".into(), 1, 0, 10);
+        c.insert("huge".into(), 2, 0, 51);
+        assert_eq!(c.get("huge", 0), None);
+        // The refusal did not disturb resident entries.
+        assert_eq!(c.get("a", 0), Some(1));
+        // Re-inserting an existing key with an oversized value drops
+        // the old entry instead of serving it stale.
+        c.insert("a".into(), 3, 0, 51);
+        assert_eq!(c.get("a", 0), None);
+    }
+
+    #[test]
+    fn reinsert_updates_bytes_without_double_count() {
+        let mut c = EpochLru::new(100);
+        c.insert("a".into(), 1, 0, 30);
+        c.insert("b".into(), 2, 0, 30);
+        c.insert("a".into(), 9, 0, 40);
         assert_eq!(c.len(), 2);
+        assert_eq!(c.bytes(), 70);
         assert_eq!(c.get("a", 0), Some(9));
         assert_eq!(c.get("b", 0), Some(2));
     }
 
     #[test]
+    fn contains_live_is_pure() {
+        let mut c = EpochLru::new(100);
+        c.insert("a".into(), 1, 0, 10);
+        assert!(c.contains_live("a", 0));
+        assert!(!c.contains_live("a", 1));
+        assert!(!c.contains_live("b", 0));
+        // The stale probe did not drop the entry.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
     fn zero_capacity_disables() {
         let mut c = EpochLru::new(0);
-        c.insert("a".into(), 1, 0);
+        c.insert("a".into(), 1, 0, 1);
         assert!(c.is_empty());
         assert_eq!(c.get("a", 0), None);
+    }
+
+    #[test]
+    fn zero_byte_entries_still_cache() {
+        let mut c = EpochLru::new(10);
+        c.insert("a".into(), 1, 0, 0);
+        assert_eq!(c.get("a", 0), Some(1));
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn clear_resets_bytes() {
+        let mut c = EpochLru::new(100);
+        c.insert("a".into(), 1, 0, 30);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        c.insert("a".into(), 2, 0, 30);
+        assert_eq!(c.get("a", 0), Some(2));
     }
 }

@@ -18,23 +18,38 @@
 //!         │                      │ miss
 //!         │            result cache hit? ──▶ categorize + render
 //!         │                      │ miss
+//!         │         containment donor live? ──▶ residual filter
+//!         │                      │ miss        + categorize + render
 //!         └──▶ execute (index-accelerated) ──▶ categorize + render
 //! ```
 //!
 //! Both caches key on the [`fingerprint`](fingerprint::fingerprint)
 //! of the *normalized* query, so `price <= 2e5` and
-//! `PRICE <= 200000` share one entry. Cached trees depend on the
-//! workload statistics; [`Server::log_queries`] rebuilds them and
-//! bumps the table's **epoch**, which lazily invalidates all of that
-//! table's entries (see [`cache::EpochLru`]).
+//! `PRICE <= 200000` share one entry, and both are **byte-budgeted**
+//! ([`ServerConfig::result_cache_bytes`],
+//! [`ServerConfig::tree_cache_bytes`]). A cold miss gets a second
+//! chance before executing: if a cached answer's query provably
+//! *subsumes* the new one (`qcat_sql::subsumes`), its rows are
+//! post-filtered with the residual conjuncts instead — byte-identical
+//! to cold execution at a fraction of the cost. Cached trees depend
+//! on the workload statistics; [`Server::log_queries`] rebuilds them
+//! and bumps the table's **epoch**, which lazily invalidates all of
+//! that table's entries (see [`cache::EpochLru`]).
+//!
+//! The same workload log also *forecasts*: [`Server::speculate`]
+//! precomputes and pins the hottest queries' trees from a background
+//! pool while the server is idle (see [`speculate`]).
 
 pub mod cache;
+pub(crate) mod containment;
 pub mod fingerprint;
 pub mod server;
+pub mod speculate;
 
 pub use cache::EpochLru;
 pub use fingerprint::fingerprint;
 pub use server::{Served, ServeError, ServeOutcome, Server, ServerConfig, SlowQuery};
+pub use speculate::{SpeculateConfig, SpeculateReport};
 
 #[cfg(test)]
 mod tests {
@@ -141,12 +156,14 @@ mod tests {
     }
 
     #[test]
-    fn eviction_respects_capacity() {
-        let relation = homes(50);
+    fn eviction_respects_byte_budget() {
+        let relation = homes(500);
         let prep = PreprocessConfig::new().infer_missing(&relation, 20);
         let s = Server::new(ServerConfig {
-            result_cache_capacity: 2,
-            tree_cache_capacity: 2,
+            // Roughly two of the four result sets below fit; the tree
+            // cache is disabled so outcomes expose the result cache.
+            result_cache_bytes: 3000,
+            tree_cache_bytes: 0,
             ..ServerConfig::default()
         });
         s.register_table("homes", relation, workload(), prep)
@@ -155,23 +172,144 @@ mod tests {
             s.serve(&format!("SELECT * FROM homes WHERE bedroomcount >= {lo}"))
                 .unwrap();
         }
-        let (results, trees) = s.cache_sizes();
-        assert!(results <= 2, "result cache over capacity: {results}");
-        assert!(trees <= 2, "tree cache over capacity: {trees}");
-        // The most recent query is still cached…
+        let (result_bytes, tree_bytes) = s.cache_bytes();
+        assert!(result_bytes <= 3000, "result cache over budget: {result_bytes}");
+        assert_eq!(tree_bytes, 0, "tree cache is disabled");
+        // The most recent query's rows are still cached…
         assert_eq!(
             s.serve("SELECT * FROM homes WHERE bedroomcount >= 4")
                 .unwrap()
                 .outcome,
-            ServeOutcome::TreeCacheHit
+            ServeOutcome::ResultCacheHit
         );
-        // …and the oldest was evicted.
+        // …and the oldest was evicted (and no surviving donor
+        // subsumes it, so it recomputes cold).
         assert_eq!(
             s.serve("SELECT * FROM homes WHERE bedroomcount >= 1")
                 .unwrap()
                 .outcome,
             ServeOutcome::Cold
         );
+    }
+
+    #[test]
+    fn refinement_is_served_by_containment() {
+        let s = server();
+        let wide = "SELECT * FROM homes WHERE price <= 300000";
+        let tight = "SELECT * FROM homes WHERE price <= 250000 AND bedroomcount >= 3";
+        assert_eq!(s.serve(wide).unwrap().outcome, ServeOutcome::Cold);
+        let refined = s.serve(tight).unwrap();
+        assert_eq!(refined.outcome, ServeOutcome::ContainmentHit);
+        // Byte-identical to a cold serve of the same SQL.
+        let cold = server().serve(tight).unwrap();
+        assert_eq!(refined.rendered, cold.rendered);
+        assert_eq!(refined.rows, cold.rows);
+        // The derived answer was itself cached…
+        assert_eq!(s.serve(tight).unwrap().outcome, ServeOutcome::TreeCacheHit);
+        // …and can donate to a further refinement in the chain.
+        let tighter = "SELECT * FROM homes WHERE price <= 200000 AND bedroomcount >= 3";
+        assert_eq!(s.serve(tighter).unwrap().outcome, ServeOutcome::ContainmentHit);
+    }
+
+    #[test]
+    fn containment_donor_goes_stale_with_its_epoch() {
+        let s = server();
+        s.serve("SELECT * FROM homes WHERE price <= 300000").unwrap();
+        let new = parse_and_normalize(
+            "SELECT * FROM homes WHERE bedroomcount IN (4, 5)",
+            &schema(),
+        )
+        .unwrap();
+        s.log_queries("homes", vec![new]).unwrap();
+        // The donor is from epoch 0: the refinement must recompute.
+        assert_eq!(
+            s.serve("SELECT * FROM homes WHERE price <= 250000")
+                .unwrap()
+                .outcome,
+            ServeOutcome::Cold
+        );
+    }
+
+    #[test]
+    fn limited_answers_never_donate() {
+        let s = server();
+        s.serve("SELECT * FROM homes WHERE price <= 300000 LIMIT 5")
+            .unwrap();
+        // The truncated answer proves nothing about the refinement.
+        assert_eq!(
+            s.serve("SELECT * FROM homes WHERE price <= 250000")
+                .unwrap()
+                .outcome,
+            ServeOutcome::Cold
+        );
+    }
+
+    #[test]
+    fn speculation_precomputes_hot_queries() {
+        let s = server();
+        let report = s.speculate("homes", &SpeculateConfig::default()).unwrap();
+        assert_eq!(report.considered, 4);
+        assert_eq!(report.filled, 4, "{report:?}");
+        assert!(!report.skipped_busy);
+        // Every logged workload query is a tree-cache hit on its
+        // first live arrival.
+        for sql in [
+            "SELECT * FROM homes WHERE neighborhood IN ('Redmond')",
+            "SELECT * FROM homes WHERE price BETWEEN 150000 AND 200000",
+            "SELECT * FROM homes WHERE neighborhood IN ('Bellevue') AND bedroomcount >= 3",
+            "SELECT * FROM homes WHERE price <= 180000",
+        ] {
+            assert_eq!(
+                s.serve(sql).unwrap().outcome,
+                ServeOutcome::TreeCacheHit,
+                "{sql}"
+            );
+        }
+        // A repeat pass finds everything pinned already.
+        let again = s.speculate("homes", &SpeculateConfig::default()).unwrap();
+        assert_eq!(again.filled, 0);
+        assert_eq!(again.already_cached, 4);
+    }
+
+    #[test]
+    fn speculation_respects_max_fills_and_budget() {
+        let s = server();
+        let report = s
+            .speculate(
+                "homes",
+                &SpeculateConfig {
+                    max_fills: 2,
+                    ..SpeculateConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.filled, 2);
+        let (_, trees) = s.cache_sizes();
+        assert_eq!(trees, 2);
+        // A hopeless budget degrades quietly instead of caching.
+        let s2 = server();
+        let report = s2
+            .speculate(
+                "homes",
+                &SpeculateConfig {
+                    budget: qcat_fault::Budget::UNLIMITED
+                        .with_deadline(std::time::Duration::ZERO),
+                    ..SpeculateConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.filled, 0);
+        assert_eq!(report.degraded, 4, "{report:?}");
+        assert_eq!(s2.cache_sizes(), (0, 0), "degraded fills cache nothing");
+    }
+
+    #[test]
+    fn speculate_unregistered_table_errors() {
+        let s = server();
+        assert!(matches!(
+            s.speculate("cars", &SpeculateConfig::default()).unwrap_err(),
+            ServeError::UnregisteredTable(t) if t == "cars"
+        ));
     }
 
     #[test]

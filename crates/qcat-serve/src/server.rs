@@ -1,11 +1,14 @@
 //! The serving loop: SQL in, cached category tree out.
 
 use crate::cache::EpochLru;
+use crate::containment::{ContainmentIndex, Donor};
 use crate::fingerprint::fingerprint;
+use crate::speculate::{SpecOutcome, SpeculateConfig, SpeculateReport};
 use qcat_core::{render_tree, CategorizeConfig, Categorizer, CategoryTree, DegradeReason};
 use qcat_data::{Catalog, DataError, Relation};
-use qcat_exec::{execute_normalized_with, AccessPath, ExecError, ResultSet};
+use qcat_exec::{execute_normalized_with, execute_residual, AccessPath, ExecError, ResultSet};
 use qcat_fault::Budget;
+use qcat_pool::ThreadPool;
 use qcat_sql::{parse_select, NormalizedQuery};
 use qcat_workload::{PreprocessConfig, WorkloadLog, WorkloadStatistics};
 use std::collections::{HashMap, VecDeque};
@@ -62,10 +65,12 @@ impl From<qcat_sql::NormalizeError> for ServeError {
 /// Tunables for a [`Server`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Capacity of the fingerprint → row-id cache.
-    pub result_cache_capacity: usize,
-    /// Capacity of the fingerprint → rendered-tree cache.
-    pub tree_cache_capacity: usize,
+    /// Byte budget for the fingerprint → row-id cache (sum of each
+    /// entry's [`ResultSet::heap_bytes`]; `0` disables it).
+    pub result_cache_bytes: usize,
+    /// Byte budget for the fingerprint → rendered-tree cache (sum of
+    /// tree + rendering heap estimates; `0` disables it).
+    pub tree_cache_bytes: usize,
     /// Categorization parameters, applied to every served query.
     pub categorize: CategorizeConfig,
     /// Depth limit for the cached ASCII rendering
@@ -94,8 +99,8 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            result_cache_capacity: 128,
-            tree_cache_capacity: 128,
+            result_cache_bytes: 32 << 20,
+            tree_cache_bytes: 32 << 20,
             categorize: CategorizeConfig::default(),
             render_depth: usize::MAX,
             budget: Budget::UNLIMITED,
@@ -133,6 +138,11 @@ pub enum ServeOutcome {
     Cold,
     /// Row ids came from the result cache; the tree was recomputed.
     ResultCacheHit,
+    /// Row ids were derived from a cached **superset** answer whose
+    /// query provably subsumes this one: the donor's rows were
+    /// post-filtered with the residual conjuncts instead of executing
+    /// from scratch (see `qcat_sql::subsumes`).
+    ContainmentHit,
     /// The fully rendered tree came straight from the tree cache.
     TreeCacheHit,
     /// A concurrent cold miss of the same fingerprint was already
@@ -166,10 +176,68 @@ struct TableState {
     epoch: u64,
 }
 
-/// The cached artifacts, both keyed by normalized-query fingerprint.
+/// The cached artifacts, both keyed by normalized-query fingerprint,
+/// plus the containment index over the result entries.
 struct Caches {
     results: EpochLru<Arc<ResultSet>>,
     trees: EpochLru<(Arc<CategoryTree>, Arc<String>)>,
+    containment: ContainmentIndex,
+}
+
+impl Caches {
+    /// Publish the cache byte gauges (called after any mutation).
+    fn publish_gauges(&self) {
+        let result_bytes = self.results.bytes();
+        let tree_bytes = self.trees.bytes();
+        qcat_obs::gauge("serve.cache.bytes", (result_bytes + tree_bytes) as f64);
+        qcat_obs::gauge("serve.cache.result.bytes", result_bytes as f64);
+        qcat_obs::gauge("serve.cache.tree.bytes", tree_bytes as f64);
+    }
+
+    /// Cache a result set, charging its `heap_bytes` against the
+    /// result byte budget, and register it as a containment donor.
+    fn insert_result(
+        &mut self,
+        key: &str,
+        query: &NormalizedQuery,
+        result: &Arc<ResultSet>,
+        epoch: u64,
+    ) {
+        self.results
+            .insert(key.to_string(), Arc::clone(result), epoch, result.heap_bytes());
+        // Only index what actually cached (oversized entries are
+        // refused): the index must never point at rows the cache does
+        // not hold.
+        if self.results.contains_live(key, epoch) {
+            self.containment.insert(key, query);
+        }
+        if self.containment.len() > self.results.len().saturating_mul(2) + 64 {
+            // Eviction unhooks donors lazily; sweep when the dangling
+            // fraction grows so the index stays proportional.
+            let (containment, results) = (&mut self.containment, &self.results);
+            containment.sweep(|k| results.has(k));
+        }
+        self.publish_gauges();
+    }
+
+    /// Cache a finished tree + rendering, charging their combined
+    /// `heap_bytes` estimate against the tree byte budget.
+    fn insert_tree(
+        &mut self,
+        key: &str,
+        tree: &Arc<CategoryTree>,
+        rendered: &Arc<String>,
+        epoch: u64,
+    ) {
+        let heap_bytes = tree.heap_bytes() + rendered.len();
+        self.trees.insert(
+            key.to_string(),
+            (Arc::clone(tree), Arc::clone(rendered)),
+            epoch,
+            heap_bytes,
+        );
+        self.publish_gauges();
+    }
 }
 
 /// Where one single-flight fill stands.
@@ -298,8 +366,9 @@ impl Server {
             config,
             tables: Mutex::new(HashMap::new()),
             caches: Mutex::new(Caches {
-                results: EpochLru::new(config.result_cache_capacity),
-                trees: EpochLru::new(config.tree_cache_capacity),
+                results: EpochLru::new(config.result_cache_bytes),
+                trees: EpochLru::new(config.tree_cache_bytes),
+                containment: ContainmentIndex::default(),
             }),
             fills: Mutex::new(HashMap::new()),
             in_flight: AtomicUsize::new(0),
@@ -408,12 +477,21 @@ impl Server {
         let mut caches = self.lock_caches();
         caches.results.clear();
         caches.trees.clear();
+        caches.containment.clear();
+        caches.publish_gauges();
     }
 
     /// Number of live entries in (result cache, tree cache).
     pub fn cache_sizes(&self) -> (usize, usize) {
         let caches = self.lock_caches();
         (caches.results.len(), caches.trees.len())
+    }
+
+    /// Resident bytes in (result cache, tree cache) — the declared
+    /// heap estimates summed over resident entries.
+    pub fn cache_bytes(&self) -> (usize, usize) {
+        let caches = self.lock_caches();
+        (caches.results.bytes(), caches.trees.bytes())
     }
 
     /// Serve `sql`: parse, normalize, execute (index-accelerated when
@@ -600,7 +678,8 @@ impl Server {
                         slot: &slot,
                         resolved: false,
                     };
-                    let served = self.fill(&relation, &stats, epoch, &query, &key);
+                    let served =
+                        self.fill(&relation, &stats, epoch, &query, &key, &self.config.budget);
                     if let Ok(s) = &served {
                         if s.tree.degraded().is_none() {
                             guard.publish();
@@ -611,6 +690,7 @@ impl Server {
                                 match s.outcome {
                                     ServeOutcome::Cold => "cold",
                                     ServeOutcome::ResultCacheHit => "result_hit",
+                                    ServeOutcome::ContainmentHit => "containment_hit",
                                     ServeOutcome::TreeCacheHit => "tree_hit",
                                     ServeOutcome::Coalesced => "coalesced",
                                     ServeOutcome::Shed => "shed",
@@ -631,9 +711,10 @@ impl Server {
         }
     }
 
-    /// The expensive path: execute (or reuse cached rows) and
-    /// categorize under the configured budget. Runs at most
-    /// `max_in_flight` times concurrently, once per fingerprint.
+    /// The expensive path: reuse cached rows (exact or by
+    /// containment) or execute, then categorize — all under `budget`.
+    /// Runs at most `max_in_flight` times concurrently for live
+    /// queries, once per fingerprint.
     fn fill(
         &self,
         relation: &Relation,
@@ -641,14 +722,15 @@ impl Server {
         epoch: u64,
         query: &NormalizedQuery,
         key: &str,
+        budget: &Budget,
     ) -> Result<Served, ServeError> {
         if let Some(fault) = qcat_fault::point("serve.fill") {
             return Err(ServeError::Fault(fault));
         }
-        let gas = if self.config.budget.is_unlimited() {
+        let gas = if budget.is_unlimited() {
             None
         } else {
-            Some(self.config.budget.start())
+            Some(budget.start())
         };
         let compute = || -> Result<Served, ServeError> {
             // Middle path: the row ids are cached; re-categorize only.
@@ -664,28 +746,43 @@ impl Server {
                     (result, ServeOutcome::ResultCacheHit)
                 }
                 None => {
-                    qcat_obs::counter("serve.cache.miss", 1);
                     qcat_obs::counter("serve.cache.result.miss", 1);
-                    let executed = execute_normalized_with(relation, query, AccessPath::Auto);
-                    let result = match executed {
-                        Ok(r) => Arc::new(r),
-                        // Execution refuses partial rows on budget
-                        // exhaustion; the serve answer degrades to the
-                        // flat (root-only, empty) fallback instead of
-                        // erroring — the contract is best-effort, not
-                        // all-or-nothing.
+                    // Second chance: a cached *superset* answer whose
+                    // query subsumes this one can donate its rows.
+                    match self.containment_fill(relation, epoch, query, key) {
+                        Ok(Some(result)) => (result, ServeOutcome::ContainmentHit),
+                        Ok(None) => {
+                            qcat_obs::counter("serve.cache.miss", 1);
+                            let executed =
+                                execute_normalized_with(relation, query, AccessPath::Auto);
+                            let result = match executed {
+                                Ok(r) => Arc::new(r),
+                                // Execution refuses partial rows on
+                                // budget exhaustion; the serve answer
+                                // degrades to the flat (root-only,
+                                // empty) fallback instead of erroring
+                                // — the contract is best-effort, not
+                                // all-or-nothing.
+                                Err(ExecError::Budget(b)) => {
+                                    return Ok(self.degraded_flat(relation, b.into()));
+                                }
+                                Err(e) => return Err(e.into()),
+                            };
+                            // Compute happened outside the lock; a
+                            // racing serve of the same query at worst
+                            // double-computes the same deterministic
+                            // value.
+                            self.lock_caches().insert_result(key, query, &result, epoch);
+                            (result, ServeOutcome::Cold)
+                        }
+                        // The residual filter ran out of budget:
+                        // degrade exactly like a budget-refused
+                        // execution would.
                         Err(ExecError::Budget(b)) => {
                             return Ok(self.degraded_flat(relation, b.into()));
                         }
                         Err(e) => return Err(e.into()),
-                    };
-                    // Compute happened outside the lock; a racing
-                    // serve of the same query at worst double-computes
-                    // the same deterministic value.
-                    self.lock_caches()
-                        .results
-                        .insert(key.to_string(), Arc::clone(&result), epoch);
-                    (result, ServeOutcome::Cold)
+                    }
                 }
             };
 
@@ -707,11 +804,7 @@ impl Server {
                     rows = result.len(),
                 );
             } else {
-                self.lock_caches().trees.insert(
-                    key.to_string(),
-                    (Arc::clone(&tree), Arc::clone(&rendered)),
-                    epoch,
-                );
+                self.lock_caches().insert_tree(key, &tree, &rendered, epoch);
             }
             Ok(Served {
                 tree,
@@ -724,6 +817,225 @@ impl Server {
             Some(g) => qcat_fault::with_budget(g, compute),
             None => compute(),
         }
+    }
+
+    /// Containment probe for a cold miss: find the smallest **live**
+    /// cached answer whose query provably subsumes this one, and
+    /// post-filter its rows with the residual conjuncts instead of
+    /// executing from scratch. Returns `Ok(None)` when no live donor
+    /// exists; index entries found dangling along the way (evicted or
+    /// stale-epoch rows) are unhooked.
+    fn containment_fill(
+        &self,
+        relation: &Relation,
+        epoch: u64,
+        query: &NormalizedQuery,
+        key: &str,
+    ) -> Result<Option<Arc<ResultSet>>, ExecError> {
+        let donor = {
+            let mut caches = self.lock_caches();
+            let candidates = caches.containment.candidates(query);
+            let mut best: Option<(Arc<ResultSet>, Donor)> = None;
+            for cand in candidates {
+                match caches.results.get(&cand.key, epoch) {
+                    // The smallest donor filters the fewest rows.
+                    Some(rows) => {
+                        if best.as_ref().map_or(true, |(b, _)| rows.len() < b.len()) {
+                            best = Some((rows, cand));
+                        }
+                    }
+                    None => caches.containment.remove(&query.table, &cand.key),
+                }
+            }
+            best
+        };
+        let Some((donor_rows, donor)) = donor else {
+            return Ok(None);
+        };
+        let residual = qcat_sql::residual_attrs(&donor.query, query);
+        // Filtering happens outside the cache lock: donors are
+        // immutable `Arc`s, so eviction races are harmless.
+        let filtered = execute_residual(relation, query, donor_rows.rows(), &residual)?;
+        qcat_obs::counter("serve.cache.containment_hit", 1);
+        qcat_obs::counter("serve.cache.hit", 1);
+        qcat_obs::counter(
+            "serve.containment.rows_donor",
+            i64::try_from(donor_rows.len()).unwrap_or(i64::MAX),
+        );
+        qcat_obs::counter(
+            "serve.containment.rows_out",
+            i64::try_from(filtered.len()).unwrap_or(i64::MAX),
+        );
+        let result = Arc::new(filtered);
+        // The derived answer is itself cached (and indexed): chains of
+        // refinements each filter their nearest superset.
+        self.lock_caches().insert_result(key, query, &result, epoch);
+        Ok(Some(result))
+    }
+
+    /// One idle-time speculative precomputation pass over `table`:
+    /// rank the hottest logged queries and compute + pin their trees
+    /// so the next live arrival is a tree-cache hit (see
+    /// [`crate::speculate`] for the full contract). Returns
+    /// immediately — with [`SpeculateReport::skipped_busy`] — when
+    /// live fills are in flight.
+    pub fn speculate(
+        &self,
+        table: &str,
+        cfg: &SpeculateConfig,
+    ) -> Result<SpeculateReport, ServeError> {
+        let mut span = qcat_obs::span!("serve.speculate");
+        let key_tbl = table.to_ascii_lowercase();
+        let relation = self
+            .catalog
+            .get(&key_tbl)
+            .map_err(|_| ServeError::UnregisteredTable(table.to_string()))?;
+        let (stats, epoch, logged) = {
+            let tables = self.lock_tables();
+            let Some(state) = tables.get(&key_tbl) else {
+                return Err(ServeError::UnregisteredTable(table.to_string()));
+            };
+            (
+                Arc::clone(&state.stats),
+                state.epoch,
+                state.log.queries().to_vec(),
+            )
+        };
+        let mut report = SpeculateReport::default();
+        // Idle gate: speculation must never compete with live traffic
+        // (workers re-check per fill; admission slots are never taken,
+        // so live queries can never be shed by speculation).
+        if self.in_flight.load(Ordering::Acquire) > 0 {
+            qcat_obs::counter("serve.speculate.skip_busy", 1);
+            report.skipped_busy = true;
+            if qcat_obs::active() {
+                span.set("outcome", "busy");
+            }
+            return Ok(report);
+        }
+        let ranked = crate::speculate::rank_hot_queries(&logged, &stats);
+        report.considered = ranked.len();
+        let mut targets = Vec::new();
+        {
+            let caches = self.lock_caches();
+            for (key, query) in ranked {
+                if targets.len() >= cfg.max_fills {
+                    break;
+                }
+                if caches.trees.contains_live(&key, epoch) {
+                    report.already_cached += 1;
+                    continue;
+                }
+                targets.push((key, query));
+            }
+        }
+        if targets.is_empty() {
+            if qcat_obs::active() {
+                span.set("outcome", "cached");
+            }
+            return Ok(report);
+        }
+        let pool = ThreadPool::new(cfg.threads);
+        let outcomes = pool.try_map(&targets, |_, (key, query)| {
+            self.speculate_one(&relation, &stats, epoch, query, key, &cfg.budget)
+        });
+        match outcomes {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    match outcome {
+                        SpecOutcome::Filled => report.filled += 1,
+                        SpecOutcome::Degraded => report.degraded += 1,
+                        SpecOutcome::Coalesced => report.coalesced += 1,
+                        SpecOutcome::Busy => report.skipped_busy = true,
+                        SpecOutcome::Failed => report.failed += 1,
+                    }
+                }
+            }
+            // Pool-level failure (injected fault, worker panic): the
+            // pass is best-effort, so account and move on — per-fill
+            // slots were released by their guards.
+            Err(_) => report.failed += targets.len(),
+        }
+        if qcat_obs::active() {
+            span.set("filled", report.filled);
+            span.set("outcome", "ran");
+        }
+        Ok(report)
+    }
+
+    /// One speculative fill: single-flighted under the same slot map
+    /// as live queries (a racing live query joins it rather than
+    /// recomputing), budgeted independently, and yielded outright the
+    /// moment live traffic shows up.
+    fn speculate_one(
+        &self,
+        relation: &Relation,
+        stats: &WorkloadStatistics,
+        epoch: u64,
+        query: &NormalizedQuery,
+        key: &str,
+        budget: &Budget,
+    ) -> SpecOutcome {
+        if self.in_flight.load(Ordering::Acquire) > 0 {
+            qcat_obs::counter("serve.speculate.skip_busy", 1);
+            return SpecOutcome::Busy;
+        }
+        let slot = {
+            let mut fills = self.lock_fills();
+            if fills.contains_key(key) {
+                // A live (or sibling) fill already owns the key; its
+                // publication serves us both.
+                qcat_obs::counter("serve.speculate.coalesced", 1);
+                return SpecOutcome::Coalesced;
+            }
+            let slot = Arc::new(FillSlot {
+                state: Mutex::new(FillState::Filling),
+                cv: Condvar::new(),
+            });
+            fills.insert(key.to_string(), Arc::clone(&slot));
+            slot
+        };
+        // The fill runs inside its own `serve.query` span so the
+        // events it emits (degradation, residual filtering) stay
+        // within a query scope on this worker thread, exactly like a
+        // live serve.
+        let mut span = qcat_obs::span!("serve.query", speculative = true);
+        let mut guard = FillGuard {
+            server: self,
+            key,
+            slot: &slot,
+            resolved: false,
+        };
+        let served = self.fill(relation, stats, epoch, query, key, budget);
+        let outcome = match &served {
+            Ok(s) if s.tree.degraded().is_none() => {
+                guard.publish();
+                qcat_obs::counter("serve.speculate.filled", 1);
+                SpecOutcome::Filled
+            }
+            Ok(_) => {
+                qcat_obs::counter("serve.speculate.degraded", 1);
+                SpecOutcome::Degraded
+            }
+            Err(_) => {
+                qcat_obs::counter("serve.speculate.failed", 1);
+                SpecOutcome::Failed
+            }
+        };
+        if qcat_obs::active() {
+            span.set(
+                "outcome",
+                match outcome {
+                    SpecOutcome::Filled => "speculative_fill",
+                    SpecOutcome::Degraded => "speculative_degraded",
+                    SpecOutcome::Coalesced => "speculative_coalesced",
+                    SpecOutcome::Busy => "speculative_busy",
+                    SpecOutcome::Failed => "speculative_failed",
+                },
+            );
+        }
+        drop(guard);
+        outcome
     }
 
     /// The flat fallback: a root-only degraded tree with no rows —

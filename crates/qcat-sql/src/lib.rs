@@ -26,6 +26,7 @@
 //! once per query string.
 
 pub mod ast;
+pub mod contain;
 pub mod error;
 pub mod eval;
 pub mod lexer;
@@ -34,6 +35,7 @@ pub mod parser;
 pub mod token;
 
 pub use ast::{Expr, Literal, Projection, SelectQuery};
+pub use contain::{condition_implies, residual_attrs, subsumes};
 pub use error::{NormalizeError, ParseError, SqlError};
 pub use normalize::{AttrCondition, NormalizedQuery, NumericRange};
 pub use parser::parse_select;

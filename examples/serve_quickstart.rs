@@ -13,7 +13,7 @@
 //! cache-outcome assertions only apply to fault-free runs.
 
 use qcat::data::{AttrType, Field, RelationBuilder, Schema};
-use qcat::serve::{Served, ServeOutcome, Server, ServerConfig};
+use qcat::serve::{Served, ServeOutcome, Server, ServerConfig, SpeculateConfig};
 use qcat::sql::parse_and_normalize;
 use qcat::workload::{PreprocessConfig, WorkloadLog};
 
@@ -123,7 +123,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\ncategory tree:\n{}", s.rendered);
     }
 
-    // 5. New workload arrivals rebuild statistics and bump the epoch:
+    // 5. Drill down: the refined query was never served, but the
+    //    broad answer from step 4 provably contains it, so the server
+    //    post-filters those cached rows instead of re-executing.
+    let refined = serve_step(
+        &server,
+        "refinement:  ",
+        "SELECT * FROM homes WHERE price BETWEEN 200000 AND 280000 \
+         AND bedroomcount >= 4",
+        chaos,
+    )?;
+    if !chaos {
+        assert_eq!(
+            refined.map(|s| s.outcome),
+            Some(ServeOutcome::ContainmentHit)
+        );
+    }
+
+    // 6. Idle-time speculation: precompute the workload's hottest
+    //    trees from the background pool, so the next arrival is a
+    //    cache hit before it is ever asked.
+    let report = server.speculate("homes", &SpeculateConfig::default())?;
+    println!(
+        "speculation: {} considered, {} filled, {} coalesced",
+        report.considered, report.filled, report.coalesced
+    );
+    let hot = serve_step(
+        &server,
+        "hot serve:   ",
+        "SELECT * FROM homes WHERE neighborhood IN ('Redmond')",
+        chaos,
+    )?;
+    if !chaos {
+        assert!(report.filled > 0, "idle pass should have filled trees");
+        assert_eq!(hot.map(|s| s.outcome), Some(ServeOutcome::TreeCacheHit));
+    }
+
+    // 7. New workload arrivals rebuild statistics and bump the epoch:
     //    every cached tree for the table is invalidated at once.
     let fresh = parse_and_normalize(
         "SELECT * FROM homes WHERE bedroomcount IN (4, 5)",

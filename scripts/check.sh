@@ -35,6 +35,17 @@ echo "==> pipeline smoke (scan-vs-index differential + serve caches + chaos repl
 grep -q '"differential": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 grep -q '"chaos": .*"status": "ok"' target/BENCH_pipeline_smoke.json
 
+echo "==> refinement smoke (containment differential + speculation contract)"
+# The same code path as the committed BENCH_pr9.json: drill-down
+# chains served off cached superset answers, every containment hit
+# compared byte-for-byte against a cleared-cache cold serve, and a
+# speculation pass whose fills must all be first-serve tree hits.
+# bench_pipeline exits non-zero if either contract breaks.
+./target/release/bench_pipeline --scale refinement --runs 2 \
+    --out target/BENCH_refine_smoke.json > /dev/null
+grep -q '"containment": .*"status": "ok"' target/BENCH_refine_smoke.json
+grep -q '"speculation": .*"status": "ok"' target/BENCH_refine_smoke.json
+
 echo "==> large-tier smoke (sharded data plane, env-capped to CI size)"
 # The same code path as the committed paper-scale BENCH_pr8.json —
 # sharded relation, morsel scans, per-shard index builds, pruning,
@@ -65,11 +76,14 @@ cargo run --release -p qcat-lint -- --audit-trace "$trace"
 echo "==> chaos smoke (QCAT_FAULT drill on the serving path + trace audit)"
 # A fixed-seed fault plan must leave the quickstart with structured
 # or degraded outcomes only — and the trace it emits must still pass
-# the auditor, including T4 (governance events inside serve.query).
+# the auditor, including T4 (governance events inside serve.query;
+# the quickstart's speculation pass runs under the same storm, so
+# speculative fills are audited too). exec.residual faults hit the
+# containment post-filter specifically.
 chaos_trace=$artifacts/qcat-chaos-trace.jsonl
 chaos_out=target/qcat-chaos-out.txt
 cargo build --release --example serve_quickstart --quiet
-QCAT_FAULT='pool.task:error:p=0.6:seed=3;serve.fill:error:p=0.3:seed=5' \
+QCAT_FAULT='pool.task:error:p=0.6:seed=3;serve.fill:error:p=0.3:seed=5;exec.residual:error:p=0.5:seed=7' \
     QCAT_TRACE=json QCAT_TRACE_FILE="$chaos_trace" \
     ./target/release/examples/serve_quickstart > "$chaos_out"
 grep -Eq 'degraded|structured error' "$chaos_out"
@@ -88,4 +102,4 @@ QCAT_TRACE=json QCAT_TRACE_FILE="$slow_trace" \
 test -s "$flight"
 cargo run --release -p qcat-lint -- --audit-trace "$slow_trace" --audit-trace "$flight"
 
-echo "OK: build + lint + tests + bench smoke + large-tier smoke + observatory + traced smoke + chaos smoke + flight smoke all green"
+echo "OK: build + lint + tests + bench smoke + refinement smoke + large-tier smoke + observatory + traced smoke + chaos smoke + flight smoke all green"
