@@ -32,10 +32,21 @@
 //!   layout/path/width differential, and a row-hash determinism
 //!   section. Report schema in docs/PERFORMANCE.md.
 //!
+//! - `--scale ingest`: the mutable-tail serving tier. Warms two
+//!   servers with the same distinct workload queries — one with
+//!   selective invalidation (the default), one with the whole-table
+//!   epoch-bump baseline — then interleaves append rounds through
+//!   `Server::append_rows` and replays the warm set. It reports the
+//!   append latency summaries, how many cached entries each server
+//!   kept alive (selective must retain strictly more than the
+//!   baseline), and `ingest.mismatches`: every answer the surviving
+//!   caches serve must be byte-identical to a from-scratch recompute
+//!   (gated absolutely by `bench_report --check`).
+//!
 //! Std-only like `bench_categorize` (same schema conventions).
 //!
 //! ```text
-//! bench_pipeline [--scale smoke|refinement|large] [--runs N] [--seed S] [--queries N] [--out PATH]
+//! bench_pipeline [--scale smoke|refinement|large|ingest] [--runs N] [--seed S] [--queries N] [--out PATH]
 //! ```
 
 use qcat_bench::{
@@ -60,11 +71,13 @@ struct Args {
 impl Args {
     /// Runs default 30 at smoke scale (sub-ms probes need samples),
     /// 10 at refinement scale (each run replays every chain twice),
-    /// and 5 at large scale (each run is a multi-second full pass).
+    /// 5 at large scale (each run is a multi-second full pass), and
+    /// 12 at ingest scale (each run is one append round per server).
     fn runs(&self) -> usize {
         self.runs.unwrap_or(match self.scale.as_str() {
             "large" => 5,
             "refinement" => 10,
+            "ingest" => 12,
             _ => 30,
         })
     }
@@ -74,6 +87,7 @@ impl Args {
             match self.scale.as_str() {
                 "large" => "BENCH_pr8.json".to_string(),
                 "refinement" => "BENCH_pr9.json".to_string(),
+                "ingest" => "BENCH_pr10.json".to_string(),
                 _ => "BENCH_pr5.json".to_string(),
             }
         })
@@ -104,14 +118,14 @@ fn parse_args() -> Args {
             "--scale" => {
                 args.scale = value("--scale");
                 assert!(
-                    ["smoke", "refinement", "large"].contains(&args.scale.as_str()),
-                    "--scale: smoke, refinement, or large"
+                    ["smoke", "refinement", "large", "ingest"].contains(&args.scale.as_str()),
+                    "--scale: smoke, refinement, large, or ingest"
                 );
             }
             "--help" | "-h" => {
                 println!(
-                    "bench_pipeline [--scale smoke|refinement|large] [--runs N] [--seed S] \
-                     [--queries N] [--out PATH]"
+                    "bench_pipeline [--scale smoke|refinement|large|ingest] [--runs N] \
+                     [--seed S] [--queries N] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -186,6 +200,7 @@ fn main() {
     match args.scale.as_str() {
         "large" => run_large(&args),
         "refinement" => run_refinement(&args),
+        "ingest" => run_ingest(&args),
         _ => run_smoke(&args),
     }
 }
@@ -747,6 +762,214 @@ fn run_refinement(args: &Args) {
     std::fs::write(&out_path, out).expect("write bench report");
     println!("  wrote {out_path}");
     if contain_status != "ok" || spec_status != "ok" {
+        std::process::exit(1);
+    }
+}
+
+/// The mutable-tail serving tier: two warmed servers — selective
+/// invalidation vs. the whole-table epoch-bump baseline — take the
+/// same append rounds, then replay the warm set. Selective must keep
+/// strictly more exact cache hits alive, and nothing the surviving
+/// caches serve may differ from a from-scratch recompute.
+fn run_ingest(args: &Args) {
+    let runs = args.runs();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_pipeline: ingest tier, seed {}, {} append rounds, {} cores",
+        args.seed, runs, cores
+    );
+    let env = StudyEnv::generate(
+        StudyScale::Custom {
+            rows: 60_000,
+            queries: 400,
+        },
+        args.seed,
+    );
+    let relation = env.relation.clone();
+    let schema = relation.schema().clone();
+    let n = relation.len();
+    relation.build_indexes();
+    println!("  {} rows", n);
+
+    // Distinct workload queries form the warm set both servers cache
+    // before any append lands.
+    let mut seen = std::collections::HashSet::new();
+    let sample: Vec<&NormalizedQuery> = env
+        .log
+        .queries()
+        .iter()
+        .filter(|q| seen.insert(qcat_serve::fingerprint(q)))
+        .take(args.queries)
+        .collect();
+    assert!(!sample.is_empty(), "empty distinct workload");
+    let table = sample[0].table.clone();
+
+    let selective = Server::new(ServerConfig::default());
+    selective
+        .register_table(&table, relation.clone(), env.log.clone(), env.prep.clone())
+        .expect("register selective table");
+    let mut epoch_cfg = ServerConfig::default();
+    epoch_cfg.selective_invalidation = false;
+    let epoch = Server::new(epoch_cfg);
+    epoch
+        .register_table(&table, relation.clone(), env.log.clone(), env.prep.clone())
+        .expect("register epoch-baseline table");
+
+    let mut warmed = 0usize;
+    for q in &sample {
+        let sql = sql_of(q, &schema);
+        selective.serve(&sql).expect("selective warm serve");
+        epoch.serve(&sql).expect("epoch warm serve");
+        warmed += 1;
+    }
+    println!("  warmed {} distinct queries on both servers", warmed);
+
+    // Every append round lands the same narrow batch: copies of row 0,
+    // so the delta's per-column footprint is one point and the
+    // workload's predicates split cleanly into provably-disjoint
+    // (keepable) and possibly-intersecting (must-evict) entries.
+    let template_row = relation.row(0).expect("row 0 of the study relation");
+    let batch: Vec<Vec<qcat_data::Value>> = (0..32).map(|_| template_row.clone()).collect();
+
+    let mut sel_append_ns = Vec::with_capacity(runs);
+    let mut epoch_append_ns = Vec::with_capacity(runs);
+    let (mut evicted_total, mut kept_total) = (0usize, 0usize);
+    let mut rows_appended = 0usize;
+    for _ in 0..runs {
+        let mut outcome = None;
+        sel_append_ns.push(time_ns(|| {
+            outcome = Some(
+                selective
+                    .append_rows(&table, &batch)
+                    .expect("selective append"),
+            );
+        }));
+        let outcome = outcome.expect("timed append ran");
+        assert_eq!(outcome.added, batch.len());
+        evicted_total += outcome.evicted;
+        kept_total += outcome.kept;
+        rows_appended += outcome.added;
+        epoch_append_ns.push(time_ns(|| {
+            epoch.append_rows(&table, &batch).expect("epoch append");
+        }));
+    }
+    assert_eq!(
+        selective.generation(&table),
+        Some(runs as u64),
+        "every append round advanced the generation"
+    );
+    let sel_append = summarize(&sel_append_ns);
+    let epoch_append = summarize(&epoch_append_ns);
+    println!(
+        "  append median: selective {:.4} ms | epoch baseline {:.4} ms",
+        sel_append.median_ms, epoch_append.median_ms
+    );
+    println!(
+        "  selective invalidation: {} entries evicted, {} kept across {} rounds",
+        evicted_total, kept_total, runs
+    );
+
+    // Retention replay: the first post-append serve of each warmed
+    // query. Only exact hits count as "retained" — a containment hit
+    // could come from a donor refilled moments earlier in this same
+    // pass, which would credit the epoch baseline with entries it
+    // actually dropped.
+    let retained = |outcome: ServeOutcome| {
+        matches!(
+            outcome,
+            ServeOutcome::TreeCacheHit | ServeOutcome::ResultCacheHit
+        )
+    };
+    let (mut selective_live, mut epoch_live) = (0usize, 0usize);
+    for q in &sample {
+        let sql = sql_of(q, &schema);
+        if retained(selective.serve(&sql).expect("selective replay").outcome) {
+            selective_live += 1;
+        }
+        if retained(epoch.serve(&sql).expect("epoch replay").outcome) {
+            epoch_live += 1;
+        }
+    }
+    let retention_status = if selective_live > epoch_live { "ok" } else { "bad" };
+    println!(
+        "  retention: selective {} / epoch {} of {} warmed entries still exact hits ({})",
+        selective_live, epoch_live, warmed, retention_status
+    );
+
+    // Zero-staleness differential: whatever the surviving caches
+    // answer must match a recompute from flushed caches, byte for
+    // byte — rows and rendered tree both.
+    let mut cached_pass = Vec::with_capacity(sample.len());
+    for q in &sample {
+        let served = selective.serve(&sql_of(q, &schema)).expect("cached pass");
+        cached_pass.push((served.rows, served.rendered));
+    }
+    selective.clear_caches();
+    let mut mismatches = 0usize;
+    for (q, (rows, rendered)) in sample.iter().zip(&cached_pass) {
+        let sql = sql_of(q, &schema);
+        let fresh = selective.serve(&sql).expect("fresh pass");
+        if fresh.rows != *rows || fresh.rendered != *rendered {
+            mismatches += 1;
+            eprintln!("  STALE ANSWER: {sql}");
+        }
+    }
+    let ingest_status = if mismatches == 0 { "ok" } else { "stale" };
+    println!(
+        "  staleness: {} queries checked, {} mismatches ({})",
+        sample.len(),
+        mismatches,
+        ingest_status
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pipeline\",\n  \"scale\": \"ingest\",\n");
+    let _ = write!(
+        out,
+        "  \"schema_version\": {}, \"git\": \"{}\",\n",
+        qcat_bench::BENCH_SCHEMA_VERSION,
+        json_escape(&qcat_bench::git_describe())
+    );
+    let _ = write!(
+        out,
+        "  \"seed\": {}, \"runs\": {}, \"cores\": {}, \"rows\": {},\n",
+        args.seed, runs, cores, n
+    );
+    let _ = write!(
+        out,
+        "  \"warmed\": {}, \"batch_rows\": {},\n",
+        warmed,
+        batch.len()
+    );
+    out.push_str("  \"ingest\": {\n");
+    let _ = write!(
+        out,
+        "    \"appends\": {}, \"rows_appended\": {},\n",
+        runs, rows_appended
+    );
+    let _ = write!(out, "    \"append\": {},\n", summary_json(&sel_append));
+    let _ = write!(
+        out,
+        "    \"append_epoch\": {},\n",
+        summary_json(&epoch_append)
+    );
+    let _ = write!(
+        out,
+        "    \"evicted\": {}, \"kept\": {}, \"mismatches\": {}, \"status\": \"{}\"\n",
+        evicted_total, kept_total, mismatches, ingest_status
+    );
+    out.push_str("  },\n");
+    let _ = write!(
+        out,
+        "  \"retention\": {{\"queries\": {}, \"selective_live\": {}, \"epoch_live\": {}, \"status\": \"{}\"}}\n",
+        warmed, selective_live, epoch_live, retention_status
+    );
+    out.push_str("}\n");
+    let out_path = args.out();
+    std::fs::write(&out_path, out).expect("write bench report");
+    println!("  wrote {out_path}");
+    if ingest_status != "ok" || retention_status != "ok" {
         std::process::exit(1);
     }
 }

@@ -240,6 +240,29 @@ fn pipeline_metrics(v: &JsonValue) -> Vec<(String, f64)> {
             out.push(("containment.mismatches".to_string(), m));
         }
     }
+    // Ingest-tier append/invalidation telemetry: append latency for
+    // the selective server and the epoch-bump baseline, selective
+    // eviction counters, the retention split, and `ingest.mismatches`
+    // — which gates absolutely via the blanket `*mismatches` rule.
+    if let Some(ing) = v.get("ingest") {
+        for (key, prefix) in [("append", "ingest.append"), ("append_epoch", "ingest.append_epoch")] {
+            if let Some(s) = ing.get(key) {
+                summary_metrics(&mut out, prefix, s);
+            }
+        }
+        for key in ["appends", "rows_appended", "evicted", "kept", "mismatches"] {
+            if let Some(m) = num(ing, key) {
+                out.push((format!("ingest.{key}"), m));
+            }
+        }
+    }
+    if let Some(ret) = v.get("retention") {
+        for key in ["selective_live", "epoch_live"] {
+            if let Some(m) = num(ret, key) {
+                out.push((format!("retention.{key}"), m));
+            }
+        }
+    }
     if let Some(spec) = v.get("speculation") {
         for key in [
             "considered",
@@ -627,6 +650,43 @@ mod tests {
         // the kinds differ, so this pair produces no findings.
         let smoke = pipeline_fixture(7, 0.30, 30.0);
         assert_eq!(check(&[smoke, f], 0.1), vec![]);
+    }
+
+    #[test]
+    fn ingest_reports_key_their_own_kind() {
+        let ingest = "{\"bench\": \"pipeline\", \"scale\": \"ingest\",\
+            \"warmed\": 120, \"batch_rows\": 32,\
+            \"ingest\": {\
+              \"appends\": 12, \"rows_appended\": 384,\
+              \"append\": {\"mean_ms\": 0.9, \"median_ms\": 0.8, \"p95_ms\": 1.4},\
+              \"append_epoch\": {\"mean_ms\": 0.5, \"median_ms\": 0.4, \"p95_ms\": 0.8},\
+              \"evicted\": 40, \"kept\": 80, \"mismatches\": 0, \"status\": \"ok\"},\
+            \"retention\": {\"queries\": 120, \"selective_live\": 80, \"epoch_live\": 0, \"status\": \"ok\"}}";
+        let f = parse_bench_file("BENCH_pr10.json", ingest).expect("parses");
+        assert_eq!(f.kind, "pipeline.ingest");
+        let get = |k: &str| f.metrics.iter().find(|(m, _)| m == k).map(|(_, v)| *v);
+        assert_eq!(get("ingest.append.median_ms"), Some(0.8));
+        assert_eq!(get("ingest.append_epoch.median_ms"), Some(0.4));
+        assert_eq!(get("ingest.evicted"), Some(40.0));
+        assert_eq!(get("ingest.kept"), Some(80.0));
+        assert_eq!(get("ingest.mismatches"), Some(0.0));
+        assert_eq!(get("retention.selective_live"), Some(80.0));
+        assert_eq!(get("retention.epoch_live"), Some(0.0));
+
+        // An ingest report never gates against a smoke baseline.
+        let smoke = pipeline_fixture(7, 0.30, 30.0);
+        assert_eq!(check(&[smoke, f], 0.1), vec![]);
+    }
+
+    #[test]
+    fn ingest_mismatches_fail_absolutely() {
+        let text = "{\"bench\": \"pipeline\", \"scale\": \"ingest\",\
+            \"ingest\": {\"appends\": 12, \"mismatches\": 1, \"status\": \"stale\"}}";
+        let f = parse_bench_file("BENCH_pr10.json", text).expect("parses");
+        let findings = check(&[f], f64::INFINITY);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "ingest.mismatches");
+        assert_eq!(findings[0].kind, "pipeline.ingest");
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub enum DataError {
     DuplicateTable(String),
     /// Malformed input while parsing external data (e.g. CSV).
     Malformed(String),
+    /// A deterministic fault-injection point fired (`QCAT_FAULT`).
+    Fault {
+        /// The `qcat-fault` site that fired (e.g. `data.append`).
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -76,6 +81,7 @@ impl fmt::Display for DataError {
             DataError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
             DataError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
             DataError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            DataError::Fault { site } => write!(f, "injected fault at {site}"),
         }
     }
 }

@@ -33,6 +33,7 @@ use crate::column::Column;
 use crate::shard::ShardMap;
 use crate::types::AttrId;
 use qcat_pool::{PoolError, ThreadPool};
+use std::sync::Arc;
 
 /// How much larger one list must be before intersection switches
 /// from linear merging to galloping probes into the larger list.
@@ -199,8 +200,10 @@ pub struct ShardIndexes {
 }
 
 impl ShardIndexes {
-    /// Index rows `[start, end)` of every column.
-    fn build(columns: &[Column], start: usize, end: usize) -> ShardIndexes {
+    /// Index rows `[start, end)` of every column. Crate-visible so the
+    /// ingest layer can build indexes for just the shards an append
+    /// dirtied, carrying the untouched shards' indexes by `Arc`.
+    pub(crate) fn build(columns: &[Column], start: usize, end: usize) -> ShardIndexes {
         let base = start as u32;
         let per_attr = columns
             .iter()
@@ -255,9 +258,13 @@ impl ShardIndexes {
 
 /// The full index complement of one relation: one [`ShardIndexes`]
 /// per horizontal shard.
+///
+/// Shards are held by `Arc` so an appended relation can carry the
+/// untouched base shards' indexes by reference — an append rebuilds
+/// only the shards it dirtied, and the shared prefix costs no copy.
 #[derive(Debug, Clone)]
 pub struct IndexSet {
-    shards: Vec<ShardIndexes>,
+    shards: Vec<Arc<ShardIndexes>>,
 }
 
 impl IndexSet {
@@ -281,7 +288,7 @@ impl IndexSet {
         let shards = (0..map.shard_count())
             .map(|s| {
                 let (start, end) = map.bounds(s);
-                ShardIndexes::build(columns, start, end)
+                Arc::new(ShardIndexes::build(columns, start, end))
             })
             .collect();
         let set = IndexSet { shards };
@@ -289,6 +296,13 @@ impl IndexSet {
             span.set("heap_bytes", set.heap_bytes());
         }
         set
+    }
+
+    /// Assemble an index set from pre-built per-shard indexes, in
+    /// shard order. The ingest layer uses this to splice carried-over
+    /// base shards together with freshly built tail shards.
+    pub(crate) fn from_shards(shards: Vec<Arc<ShardIndexes>>) -> IndexSet {
+        IndexSet { shards }
     }
 
     /// Build per-shard indexes as `qcat-pool` morsels: one work item
@@ -323,7 +337,7 @@ impl IndexSet {
         let shards = pool.try_map(&shard_ids, |_, &s| {
             let (start, end) = map.bounds(s);
             let _item = qcat_obs::span!("data.index.shard", shard = s, rows = end - start);
-            ShardIndexes::build(columns, start, end)
+            Arc::new(ShardIndexes::build(columns, start, end))
         })?;
         let set = IndexSet { shards };
         if qcat_obs::active() {
@@ -338,7 +352,7 @@ impl IndexSet {
     }
 
     /// The per-shard indexes, in shard (= row) order.
-    pub fn shards(&self) -> &[ShardIndexes] {
+    pub fn shards(&self) -> &[Arc<ShardIndexes>] {
         &self.shards
     }
 
@@ -370,7 +384,7 @@ impl IndexSet {
 
     /// Total heap bytes held by all shards' indexes.
     pub fn heap_bytes(&self) -> usize {
-        self.shards.iter().map(ShardIndexes::heap_bytes).sum()
+        self.shards.iter().map(|s| s.heap_bytes()).sum()
     }
 }
 
@@ -684,7 +698,7 @@ mod tests {
         let sharded = IndexSet::build_serial(&cols, &ShardMap::new(1, 2));
         assert_eq!(
             sharded.heap_bytes(),
-            sharded.shards().iter().map(ShardIndexes::heap_bytes).sum::<usize>()
+            sharded.shards().iter().map(|s| s.heap_bytes()).sum::<usize>()
         );
     }
 }

@@ -12,7 +12,11 @@
 //! - Relations are **immutable once built** ([`RelationBuilder`] /
 //!   [`Relation::freeze`]); every downstream structure (result sets,
 //!   category trees) refers to rows by `u32` row id, so categorization
-//!   never copies tuples.
+//!   never copies tuples. Growth happens by shadow paging:
+//!   [`Relation::begin_append`] stages a tail batch and commits it as
+//!   a *new* relation, and [`IngestTable`] (see the [`ingest`] module)
+//!   layers a generation counter on top for snapshot-isolated readers
+//!   and all-or-nothing batch visibility.
 //! - Categorical values are interned per column in a [`Dictionary`];
 //!   all set operations in the categorizer work on `u32` codes.
 //! - Numeric attributes may be integer- or float-typed; both expose an
@@ -29,6 +33,7 @@ pub mod csv;
 pub mod dictionary;
 pub mod error;
 pub mod index;
+pub mod ingest;
 pub mod relation;
 pub mod shard;
 pub mod types;
@@ -41,7 +46,8 @@ pub use error::DataError;
 pub use index::{
     intersect_sorted, union_sorted, AttrIndex, IndexSet, PostingsIndex, ShardIndexes, SortedIndex,
 };
-pub use relation::{Relation, RelationBuilder};
+pub use ingest::{AppendReceipt, IngestSnapshot, IngestTable};
+pub use relation::{AppendCommit, Relation, RelationBuilder, TailAppend};
 pub use shard::{ShardMap, ShardSummaries};
 pub use types::{AttrId, AttrType, Field, Schema};
 pub use value::Value;

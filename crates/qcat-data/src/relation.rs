@@ -2,7 +2,7 @@
 
 use crate::column::{Column, ColumnBuilder};
 use crate::error::DataError;
-use crate::index::IndexSet;
+use crate::index::{IndexSet, ShardIndexes};
 use crate::shard::{ShardMap, ShardSummaries};
 use crate::types::{AttrId, Schema};
 use crate::value::Value;
@@ -28,6 +28,11 @@ struct RelationInner {
     /// overlays row ranges, so the default single-shard map is
     /// byte-for-byte the unsharded layout.
     shards: ShardMap,
+    /// The builder-requested rows-per-shard (`0` = unsharded), kept
+    /// apart from [`ShardMap`] so an append can lay out the grown
+    /// relation under the same policy: an unsharded base stays one
+    /// shard at any size, a sharded base grows new tail shards.
+    shard_rows_config: usize,
     /// Per-shard pruning summaries (numeric min/max, categorical
     /// code presence); present only for multi-shard relations.
     summaries: Option<ShardSummaries>,
@@ -81,10 +86,41 @@ impl Relation {
                 columns,
                 rows,
                 shards,
+                shard_rows_config: shard_rows,
                 summaries,
                 indexes: OnceLock::new(),
             }),
         })
+    }
+
+    /// Stage an append batch against this relation. Rows pushed into
+    /// the returned [`TailAppend`] are invisible until
+    /// [`TailAppend::commit`] returns a *new* [`Relation`]; this
+    /// handle is never mutated, so abandoning or failing a batch
+    /// leaves every existing reader byte-identical to pre-batch state.
+    pub fn begin_append(&self) -> TailAppend {
+        let builders = self
+            .inner
+            .schema
+            .fields()
+            .iter()
+            .zip(&self.inner.columns)
+            .map(|(field, col)| match col {
+                // Seed categorical builders with a clone of the base
+                // dictionary so tail rows intern to codes consistent
+                // with the base encoding (existing values reuse their
+                // code, new values extend the dictionary).
+                Column::Categorical { dict, .. } => ColumnBuilder::Categorical {
+                    dict: dict.clone(),
+                    codes: Vec::new(),
+                },
+                _ => ColumnBuilder::with_capacity(field.ty, 0),
+            })
+            .collect();
+        TailAppend {
+            base: self.clone(),
+            builders,
+        }
     }
 
     /// The relation's shard layout (single shard unless the builder
@@ -223,6 +259,201 @@ impl fmt::Debug for Relation {
     }
 }
 
+/// A staged append batch: rows pushed here are invisible until
+/// [`TailAppend::commit`] produces a new [`Relation`]. The base
+/// relation is never touched, so rollback (dropping this value, or a
+/// failed commit) is byte-identical to pre-batch state by construction.
+#[derive(Debug)]
+pub struct TailAppend {
+    base: Relation,
+    builders: Vec<ColumnBuilder>,
+}
+
+/// The outcome of a committed append: the grown relation plus a
+/// digest of exactly what changed, for selective cache invalidation.
+#[derive(Debug)]
+pub struct AppendCommit {
+    /// The relation with the batch applied (base rows first, appended
+    /// rows after, in push order).
+    pub relation: Relation,
+    /// Row id of the first appended row (== base row count).
+    pub first_row: usize,
+    /// Number of rows the batch appended.
+    pub added: usize,
+    /// Per-column min/max/code-presence digest of the appended rows,
+    /// as one synthetic shard (query with `shard = 0`). Codes refer to
+    /// the *committed* relation's dictionaries.
+    pub delta: ShardSummaries,
+}
+
+impl TailAppend {
+    /// The relation this batch was staged against.
+    pub fn base(&self) -> &Relation {
+        &self.base
+    }
+
+    /// Rows staged so far.
+    pub fn staged(&self) -> usize {
+        self.builders.first().map_or(0, ColumnBuilder::len)
+    }
+
+    /// Stage one row given values in schema order. Validates the whole
+    /// row before touching any builder, so a failed push stages
+    /// nothing (all columns stay the same length).
+    pub fn push_row(&mut self, values: &[Value]) -> Result<(), DataError> {
+        let schema = self.base.schema().clone();
+        validate_row(&schema, values)?;
+        for (i, v) in values.iter().enumerate() {
+            self.builders[i].push(&schema.fields()[i].name, v)?;
+        }
+        Ok(())
+    }
+
+    /// Commit the staged batch: assemble a **new** relation holding
+    /// base rows plus the tail, with incrementally maintained shard
+    /// summaries and secondary indexes.
+    ///
+    /// - Shard layout follows the base policy: an unsharded base stays
+    ///   one shard; a sharded base keeps its rows-per-shard and grows
+    ///   tail shards.
+    /// - Summaries and indexes of base shards whose row range is
+    ///   unchanged carry over (indexes by `Arc`, no copy); only the
+    ///   last partial shard and new tail shards are rebuilt. Indexes
+    ///   are maintained only when the base had them built.
+    /// - Fault sites `data.append` (before assembly) and
+    ///   `data.index.delta` (before the delta index build) abort the
+    ///   commit with [`DataError::Fault`]; the base relation is
+    ///   untouched either way.
+    pub fn commit(self) -> Result<AppendCommit, DataError> {
+        if let Some(fault) = qcat_fault::point("data.append") {
+            return Err(DataError::Fault { site: fault.site });
+        }
+        let base = &self.base.inner;
+        let added = self.builders.first().map_or(0, ColumnBuilder::len);
+        let first_row = base.rows;
+        let new_rows = base.rows + added;
+        let mut span = qcat_obs::span!("data.append.commit", base_rows = base.rows, added = added);
+        let columns: Vec<Column> = base
+            .columns
+            .iter()
+            .zip(self.builders)
+            .map(|(col, b)| append_column(col, b))
+            .collect();
+        let shards = ShardMap::new(base.shard_rows_config, new_rows);
+        // A base shard carries over iff the new layout gives it the
+        // exact same row range (append-only: those rows are unchanged).
+        // The last partial shard and any new tail shards are dirty.
+        let first_dirty = (0..shards.shard_count())
+            .take_while(|&s| {
+                s < base.shards.shard_count() && shards.bounds(s) == base.shards.bounds(s)
+            })
+            .count();
+        let summaries = if shards.is_single() {
+            None
+        } else if let Some(existing) = &base.summaries {
+            Some(existing.extended(&columns, &shards, first_dirty))
+        } else {
+            Some(ShardSummaries::build(&columns, &shards))
+        };
+        let delta = ShardSummaries::build_range(&columns, first_row, new_rows);
+        let indexes = OnceLock::new();
+        if let Some(base_set) = base.indexes.get() {
+            if let Some(fault) = qcat_fault::point("data.index.delta") {
+                return Err(DataError::Fault { site: fault.site });
+            }
+            let mut shard_indexes: Vec<Arc<ShardIndexes>> =
+                base_set.shards()[..first_dirty.min(base_set.shard_count())].to_vec();
+            for s in shard_indexes.len()..shards.shard_count() {
+                let (start, end) = shards.bounds(s);
+                shard_indexes.push(Arc::new(ShardIndexes::build(&columns, start, end)));
+            }
+            let _ = indexes.set(IndexSet::from_shards(shard_indexes));
+        }
+        if qcat_obs::active() {
+            span.set("dirty_shards", shards.shard_count() - first_dirty);
+        }
+        let relation = Relation {
+            inner: Arc::new(RelationInner {
+                schema: base.schema.clone(),
+                columns,
+                rows: new_rows,
+                shards,
+                shard_rows_config: base.shard_rows_config,
+                summaries,
+                indexes,
+            }),
+        };
+        Ok(AppendCommit {
+            relation,
+            first_row,
+            added,
+            delta,
+        })
+    }
+}
+
+/// Extend a base column with a staged tail builder into a new column.
+fn append_column(base: &Column, tail: ColumnBuilder) -> Column {
+    match (base, tail.finish()) {
+        (Column::Categorical { codes, .. }, Column::Categorical { dict, codes: tail_codes }) => {
+            // The tail dictionary was seeded from the base dictionary,
+            // so it is a superset with identical codes for base values.
+            let mut all = Vec::with_capacity(codes.len() + tail_codes.len());
+            all.extend_from_slice(codes);
+            all.extend_from_slice(&tail_codes);
+            Column::Categorical { dict, codes: all }
+        }
+        (Column::Int(v), Column::Int(t)) => {
+            let mut all = Vec::with_capacity(v.len() + t.len());
+            all.extend_from_slice(v);
+            all.extend_from_slice(&t);
+            Column::Int(all)
+        }
+        (Column::Float(v), Column::Float(t)) => {
+            let mut all = Vec::with_capacity(v.len() + t.len());
+            all.extend_from_slice(v);
+            all.extend_from_slice(&t);
+            Column::Float(all)
+        }
+        // Builders are constructed from the base columns in
+        // `begin_append`, so the types always line up; an empty tail of
+        // the right shape is the safe fallback.
+        (base, _) => base.clone(),
+    }
+}
+
+/// Validate one row of `values` against `schema` without mutating
+/// anything — shared by [`RelationBuilder::push_row`] and
+/// [`TailAppend::push_row`] so both are all-or-nothing per row.
+fn validate_row(schema: &Schema, values: &[Value]) -> Result<(), DataError> {
+    if values.len() != schema.len() {
+        return Err(DataError::ColumnLengthMismatch {
+            attribute: "<row>".into(),
+            expected: schema.len(),
+            actual: values.len(),
+        });
+    }
+    for (field, v) in schema.fields().iter().zip(values) {
+        let ok = matches!(
+            (field.ty, v),
+            (crate::types::AttrType::Categorical, Value::Str(_))
+                | (crate::types::AttrType::Int, Value::Int(_))
+                | (
+                    crate::types::AttrType::Float,
+                    Value::Int(_) | Value::Float(_)
+                )
+        ) && !matches!(v, Value::Float(x) if x.is_nan());
+        if !ok {
+            return Err(DataError::TypeMismatch {
+                attribute: field.name.clone(),
+                expected: field.ty.name(),
+                actual: v.type_name(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Row-at-a-time relation construction.
 #[derive(Debug)]
 pub struct RelationBuilder {
@@ -230,6 +461,7 @@ pub struct RelationBuilder {
     builders: Vec<ColumnBuilder>,
     build_indexes: bool,
     shard_rows: usize,
+    cluster: Option<AttrId>,
 }
 
 impl RelationBuilder {
@@ -250,6 +482,7 @@ impl RelationBuilder {
             builders,
             build_indexes: false,
             shard_rows: 0,
+            cluster: None,
         }
     }
 
@@ -270,40 +503,28 @@ impl RelationBuilder {
         self
     }
 
+    /// Reorder rows by `attr` at freeze time (stable: ties keep input
+    /// order), so shard min/max and code-presence summaries cover
+    /// narrow, disjoint value ranges and actually prune. Categorical
+    /// attributes cluster lexicographically, numeric ones by value.
+    /// Row *ids* are assigned after the reorder, so every downstream
+    /// guarantee (row id = table order) is untouched — only the
+    /// physical placement of tuples changes.
+    pub fn cluster_by(mut self, attr: AttrId) -> Self {
+        self.cluster = Some(attr);
+        self
+    }
+
     /// The schema being built against.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
-    /// Append one row given values in schema order.
+    /// Append one row given values in schema order. The whole row is
+    /// validated before any builder mutates, so a failed push cannot
+    /// leave columns at different lengths.
     pub fn push_row(&mut self, values: &[Value]) -> Result<(), DataError> {
-        if values.len() != self.schema.len() {
-            return Err(DataError::ColumnLengthMismatch {
-                attribute: "<row>".into(),
-                expected: self.schema.len(),
-                actual: values.len(),
-            });
-        }
-        // Validate the whole row before mutating any builder so a
-        // failed push cannot leave columns at different lengths.
-        for (field, v) in self.schema.fields().iter().zip(values) {
-            let ok = matches!(
-                (field.ty, v),
-                (crate::types::AttrType::Categorical, Value::Str(_))
-                    | (crate::types::AttrType::Int, Value::Int(_))
-                    | (
-                        crate::types::AttrType::Float,
-                        Value::Int(_) | Value::Float(_)
-                    )
-            ) && !matches!(v, Value::Float(x) if x.is_nan());
-            if !ok {
-                return Err(DataError::TypeMismatch {
-                    attribute: field.name.clone(),
-                    expected: field.ty.name(),
-                    actual: v.type_name(),
-                });
-            }
-        }
+        validate_row(&self.schema, values)?;
         for (i, v) in values.iter().enumerate() {
             self.builders[i].push(&self.schema.fields()[i].name, v)?;
         }
@@ -332,16 +553,67 @@ impl RelationBuilder {
     /// [`RelationBuilder::with_indexes`] was requested, the
     /// [`IndexSet`] is built here, at freeze time.
     pub fn finish(self) -> Result<Relation, DataError> {
-        let columns: Vec<Column> = self
+        let mut columns: Vec<Column> = self
             .builders
             .into_iter()
             .map(ColumnBuilder::finish)
             .collect();
+        if let Some(attr) = self.cluster {
+            let key = columns
+                .get(attr.index())
+                .ok_or(DataError::AttributeIdOutOfRange(attr.index()))?;
+            let perm = cluster_permutation(key);
+            for col in &mut columns {
+                *col = gather(col, &perm);
+            }
+        }
         let relation = Relation::from_columns_sharded(self.schema, columns, self.shard_rows)?;
         if self.build_indexes {
             relation.build_indexes();
         }
         Ok(relation)
+    }
+}
+
+/// The row permutation that clusters `col`'s values: row positions
+/// sorted by value (categorical: lexicographic by dictionary string;
+/// numeric: by value), stable on input order.
+fn cluster_permutation(col: &Column) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..col.len() as u32).collect();
+    match col {
+        Column::Categorical { dict, codes } => {
+            // Codes intern in first-seen order, so rank them by their
+            // string value first — clustered shards then cover
+            // contiguous lexicographic ranges.
+            let mut order: Vec<u32> = (0..dict.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                dict.value_unchecked(a).cmp(dict.value_unchecked(b))
+            });
+            let mut rank = vec![0u32; dict.len()];
+            for (i, &c) in order.iter().enumerate() {
+                rank[c as usize] = i as u32;
+            }
+            perm.sort_unstable_by_key(|&r| (rank[codes[r as usize] as usize], r));
+        }
+        Column::Int(v) => perm.sort_unstable_by_key(|&r| (v[r as usize], r)),
+        Column::Float(v) => perm.sort_unstable_by(|&a, &b| {
+            v[a as usize]
+                .total_cmp(&v[b as usize])
+                .then(a.cmp(&b))
+        }),
+    }
+    perm
+}
+
+/// Gather `col`'s rows in `perm` order into a new column.
+fn gather(col: &Column, perm: &[u32]) -> Column {
+    match col {
+        Column::Categorical { dict, codes } => Column::Categorical {
+            dict: dict.clone(),
+            codes: perm.iter().map(|&r| codes[r as usize]).collect(),
+        },
+        Column::Int(v) => Column::Int(perm.iter().map(|&r| v[r as usize]).collect()),
+        Column::Float(v) => Column::Float(perm.iter().map(|&r| v[r as usize]).collect()),
     }
 }
 
@@ -538,6 +810,143 @@ mod tests {
         // try_build_indexes returns the cached set once built.
         let cached = r.try_build_indexes(8).unwrap() as *const _;
         assert_eq!(cached, set as *const _);
+    }
+
+    #[test]
+    fn append_carries_clean_shard_indexes_by_arc() {
+        let mut b = RelationBuilder::with_capacity(schema(), 5)
+            .with_shard_rows(2)
+            .with_indexes();
+        for i in 0..5i64 {
+            b.push_row(&["Redmond".into(), (10.0 * i as f64).into(), i.into()])
+                .unwrap();
+        }
+        let base = b.finish().unwrap();
+        let mut tail = base.begin_append();
+        tail.push_row(&["Kirkland".into(), 99.0.into(), 9.into()])
+            .unwrap();
+        tail.push_row(&["Kirkland".into(), 98.0.into(), 8.into()])
+            .unwrap();
+        assert_eq!(tail.staged(), 2);
+        assert!(tail.base().same_table(&base));
+        let commit = tail.commit().unwrap();
+        let grown = commit.relation;
+        assert_eq!(grown.len(), 7);
+        assert_eq!(grown.shards().shard_count(), 4);
+        let (base_set, grown_set) = (base.indexes().unwrap(), grown.indexes().unwrap());
+        // Shards 0 and 1 cover unchanged row ranges: shared by Arc.
+        for s in 0..2 {
+            assert!(
+                Arc::ptr_eq(&base_set.shards()[s], &grown_set.shards()[s]),
+                "clean shard {s} must carry over without a rebuild"
+            );
+        }
+        // The old partial shard 2 and new shard 3 are freshly built,
+        // with global row ids and the grown dictionary.
+        let (dict, _) = grown.column(AttrId(0)).categorical().unwrap();
+        let kirkland = dict.lookup("Kirkland").unwrap();
+        assert_eq!(
+            grown_set.shards()[2].postings(AttrId(0)).unwrap().rows_for_code(kirkland),
+            &[5]
+        );
+        assert_eq!(
+            grown_set.shards()[3].postings(AttrId(0)).unwrap().rows_for_code(kirkland),
+            &[6]
+        );
+        // Carried base shards conservatively report no Kirkland rows.
+        assert_eq!(
+            grown_set.shards()[0].postings(AttrId(0)).unwrap().rows_for_code(kirkland),
+            &[] as &[u32]
+        );
+        // Incrementally maintained state matches a from-scratch build.
+        let rebuilt = grown.resharded(2).unwrap();
+        let fresh = rebuilt.build_indexes();
+        for s in 0..4 {
+            let (a, b) = (&grown_set.shards()[s], &fresh.shards()[s]);
+            assert_eq!(
+                a.sorted(AttrId(1)).unwrap().slice_in(f64::NEG_INFINITY, true, f64::INFINITY, true),
+                b.sorted(AttrId(1)).unwrap().slice_in(f64::NEG_INFINITY, true, f64::INFINITY, true),
+                "shard {s} sorted projection"
+            );
+        }
+        // Summaries carried + extended: tail shard bounds are tight.
+        let sums = grown.shard_summaries().unwrap();
+        assert_eq!(sums.shard_count(), 4);
+        assert_eq!(sums.numeric_bounds(3, 1), Some((98.0, 98.0)));
+        assert!(sums.may_have_code(2, 0, kirkland));
+        assert!(!sums.may_have_code(0, 0, kirkland));
+    }
+
+    #[test]
+    fn append_to_unsharded_base_stays_single_shard() {
+        let base = sample();
+        base.build_indexes();
+        let mut tail = base.begin_append();
+        tail.push_row(&["Kirkland".into(), 1.0.into(), 1.into()])
+            .unwrap();
+        let grown = tail.commit().unwrap().relation;
+        assert!(grown.shards().is_single());
+        assert!(grown.shard_summaries().is_none());
+        assert_eq!(grown.len(), 4);
+        // The single shard was dirty: indexes rebuilt over all rows.
+        let s = grown.indexes().unwrap().sorted(AttrId(1)).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(grown.row(3).unwrap()[0], Value::from("Kirkland"));
+        // Base relation is untouched.
+        assert_eq!(base.len(), 3);
+    }
+
+    #[test]
+    fn append_without_base_indexes_stays_index_free() {
+        let base = sample();
+        let mut tail = base.begin_append();
+        tail.push_row(&["Kirkland".into(), 1.0.into(), 1.into()])
+            .unwrap();
+        let grown = tail.commit().unwrap().relation;
+        assert!(grown.indexes().is_none(), "no indexes to maintain");
+    }
+
+    #[test]
+    fn cluster_by_reorders_for_tight_shard_summaries() {
+        // Interleaved values: without clustering, every shard spans the
+        // full value range and nothing prunes.
+        let mut b = RelationBuilder::with_capacity(schema(), 8)
+            .with_shard_rows(4)
+            .cluster_by(AttrId(0));
+        for i in 0..8i64 {
+            let city = if i % 2 == 0 { "Aurora" } else { "Zenith" };
+            b.push_row(&[city.into(), (i as f64).into(), i.into()])
+                .unwrap();
+        }
+        let r = b.finish().unwrap();
+        let (dict, codes) = r.column(AttrId(0)).categorical().unwrap();
+        // Lexicographic clustering: all Aurora rows first.
+        let aurora = dict.lookup("Aurora").unwrap();
+        assert!(codes[..4].iter().all(|&c| c == aurora));
+        assert!(codes[4..].iter().all(|&c| c != aurora));
+        // Ties keep input order: prices stay ascending within a city.
+        let prices = r.column(AttrId(1)).floats().unwrap();
+        assert_eq!(prices, &[0.0, 2.0, 4.0, 6.0, 1.0, 3.0, 5.0, 7.0]);
+        // Summaries now prove absence per shard.
+        let s = r.shard_summaries().unwrap();
+        assert!(s.may_have_code(0, 0, aurora));
+        assert!(!s.may_have_code(1, 0, aurora));
+    }
+
+    #[test]
+    fn cluster_by_numeric_sorts_by_value() {
+        let mut b = RelationBuilder::with_capacity(schema(), 4).cluster_by(AttrId(1));
+        for p in [9.0, 1.0, 5.0, 3.0] {
+            b.push_row(&["x".into(), p.into(), 0.into()]).unwrap();
+        }
+        let r = b.finish().unwrap();
+        assert_eq!(r.column(AttrId(1)).floats().unwrap(), &[1.0, 3.0, 5.0, 9.0]);
+        let mut bad = RelationBuilder::new(schema()).cluster_by(AttrId(9));
+        bad.push_row(&["x".into(), 1.0.into(), 0.into()]).unwrap();
+        assert!(matches!(
+            bad.finish(),
+            Err(DataError::AttributeIdOutOfRange(9))
+        ));
     }
 
     #[test]

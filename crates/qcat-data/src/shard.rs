@@ -125,6 +125,47 @@ impl ShardSummaries {
         ShardSummaries { per_shard }
     }
 
+    /// Summarize rows `[start, end)` of `columns` as one synthetic
+    /// shard — the per-column min/max/code-presence digest of an
+    /// append delta. Query it through the usual conservative accessors
+    /// with `shard = 0`: "could any appended row match?".
+    pub fn build_range(columns: &[Column], start: usize, end: usize) -> ShardSummaries {
+        ShardSummaries {
+            per_shard: vec![columns
+                .iter()
+                .map(|col| summarize(col, start, end))
+                .collect()],
+        }
+    }
+
+    /// Summaries for `map` after an append: shards below `first_dirty`
+    /// carry over verbatim (their rows did not change — a carried code
+    /// bitmap stays conservative under dictionary growth because
+    /// [`ShardSummaries::may_have_code`] reads absent high words as
+    /// "absent"), the rest are summarized fresh from `columns`.
+    pub(crate) fn extended(
+        &self,
+        columns: &[Column],
+        map: &ShardMap,
+        first_dirty: usize,
+    ) -> ShardSummaries {
+        let per_shard = (0..map.shard_count())
+            .map(|s| {
+                if s < first_dirty {
+                    if let Some(existing) = self.per_shard.get(s) {
+                        return existing.clone();
+                    }
+                }
+                let (start, end) = map.bounds(s);
+                columns
+                    .iter()
+                    .map(|col| summarize(col, start, end))
+                    .collect()
+            })
+            .collect();
+        ShardSummaries { per_shard }
+    }
+
     /// Number of shards summarized.
     pub fn shard_count(&self) -> usize {
         self.per_shard.len()

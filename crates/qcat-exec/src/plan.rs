@@ -405,7 +405,7 @@ fn live_shards<'a>(
         .iter()
         .enumerate()
         .filter(move |(i, _)| alive.is_none_or(|a| a.get(*i).copied().unwrap_or(true)))
-        .map(|(_, sh)| sh)
+        .map(|(_, sh)| &**sh)
 }
 
 /// Can `cond` be answered by an index on `attr`? Returns the conjunct

@@ -77,6 +77,28 @@ pub struct FaultPlan {
     rules: Arc<Vec<FaultRule>>,
 }
 
+/// Every fault site compiled into the workspace.
+///
+/// [`FaultPlan::parse`] rejects rules naming any other site (except
+/// `*` and the reserved `test.` prefix), so a typo'd chaos drill fails
+/// loudly instead of passing vacuously with zero injected faults.
+/// When a crate gains a new `point("...")` call, its site must be
+/// added here or every spec arming it will be refused.
+pub const KNOWN_SITES: &[&str] = &[
+    "core.level",
+    "data.append",
+    "data.index.delta",
+    "exec.execute",
+    "exec.fetch",
+    "exec.plan",
+    "exec.residual",
+    "exec.scan",
+    "pool.task",
+    "serve.fill",
+    "serve.index.build",
+    "workload.stats.delta",
+];
+
 /// splitmix64: the standard 64-bit finalizer-based stream generator.
 fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -105,7 +127,11 @@ impl FaultPlan {
     /// `[0,1]`, default 1), `seed` (u64, default 0), `ms` (delay
     /// milliseconds, default 1), and `bytes` (alloc size, default
     /// 1 MiB). `site` is an instrumentation point name like
-    /// `exec.scan`, or `*` to arm every site.
+    /// `exec.scan`, or `*` to arm every site. Sites must appear in
+    /// [`KNOWN_SITES`] — a misspelled site is a parse error, not a
+    /// drill that silently injects nothing — except names under the
+    /// reserved `test.` prefix, which are accepted for unit tests
+    /// exercising the machinery without a compiled-in site.
     ///
     /// ```
     /// let plan = qcat_fault::FaultPlan::parse(
@@ -124,6 +150,12 @@ impl FaultPlan {
             let site = parts.next().unwrap_or_default().trim();
             if site.is_empty() {
                 return Err(format!("fault rule {rule:?} is missing a site"));
+            }
+            if site != "*" && !site.starts_with("test.") && !KNOWN_SITES.contains(&site) {
+                return Err(format!(
+                    "unknown fault site {site:?} (known sites: {})",
+                    KNOWN_SITES.join(", ")
+                ));
             }
             let kind_name = parts
                 .next()
@@ -343,18 +375,39 @@ mod tests {
 
     #[test]
     fn disabled_points_are_none() {
-        assert!(point("nowhere").is_none());
+        assert!(point("test.nowhere").is_none());
     }
 
     #[test]
     fn parse_rejects_malformed_specs() {
         assert!(FaultPlan::parse("").is_err());
         assert!(FaultPlan::parse("siteonly").is_err());
-        assert!(FaultPlan::parse("a.b:explode").is_err());
-        assert!(FaultPlan::parse("a.b:error:p=2").is_err());
-        assert!(FaultPlan::parse("a.b:error:p").is_err());
-        assert!(FaultPlan::parse("a.b:error:seed=x").is_err());
-        assert!(FaultPlan::parse("a.b:error:color=red").is_err());
+        assert!(FaultPlan::parse("test.rule:explode").is_err());
+        assert!(FaultPlan::parse("test.rule:error:p=2").is_err());
+        assert!(FaultPlan::parse("test.rule:error:p").is_err());
+        assert!(FaultPlan::parse("test.rule:error:seed=x").is_err());
+        assert!(FaultPlan::parse("test.rule:error:color=red").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_sites() {
+        // A typo'd site must fail the drill at parse time, not pass
+        // vacuously by never firing.
+        let err = FaultPlan::parse("exec.scna:error").unwrap_err();
+        assert!(err.contains("unknown fault site"), "{err}");
+        assert!(err.contains("exec.scna"), "{err}");
+        assert!(err.contains("exec.scan"), "error lists known sites: {err}");
+        // One bad rule poisons the whole spec, even alongside good ones.
+        assert!(FaultPlan::parse("exec.scan:error;serve.fil:panic").is_err());
+        // Known sites, the wildcard, and the reserved test prefix pass.
+        for site in KNOWN_SITES {
+            assert!(
+                FaultPlan::parse(&format!("{site}:error")).is_ok(),
+                "known site {site} must parse"
+            );
+        }
+        assert!(FaultPlan::parse("*:error").is_ok());
+        assert!(FaultPlan::parse("test.anything:error").is_ok());
     }
 
     #[test]
@@ -372,16 +425,16 @@ mod tests {
     fn wildcard_arms_every_site() {
         let plan = FaultPlan::parse("*:error").unwrap();
         with_plan(&plan, || {
-            assert!(point("a.one").is_some());
-            assert!(point("b.two").is_some());
+            assert!(point("test.one").is_some());
+            assert!(point("test.two").is_some());
         });
     }
 
     #[test]
     fn probability_stream_is_deterministic() {
         let sequence = |seed: u64| -> Vec<bool> {
-            let plan = FaultPlan::parse(&format!("s.x:error:p=0.5:seed={seed}")).unwrap();
-            with_plan(&plan, || (0..64).map(|_| point("s.x").is_some()).collect())
+            let plan = FaultPlan::parse(&format!("test.x:error:p=0.5:seed={seed}")).unwrap();
+            with_plan(&plan, || (0..64).map(|_| point("test.x").is_some()).collect())
         };
         let a = sequence(7);
         assert_eq!(a, sequence(7), "same seed, same stream");
@@ -392,58 +445,58 @@ mod tests {
 
     #[test]
     fn delay_rule_sleeps_and_returns_none() {
-        let plan = FaultPlan::parse("s.y:delay:ms=5").unwrap();
+        let plan = FaultPlan::parse("test.y:delay:ms=5").unwrap();
         with_plan(&plan, || {
             let start = std::time::Instant::now();
-            assert!(point("s.y").is_none());
+            assert!(point("test.y").is_none());
             assert!(start.elapsed() >= Duration::from_millis(5));
         });
     }
 
     #[test]
     fn panic_rule_panics_with_site_name() {
-        let plan = FaultPlan::parse("s.z:panic").unwrap();
-        let caught = std::panic::catch_unwind(|| with_plan(&plan, || point("s.z")));
+        let plan = FaultPlan::parse("test.z:panic").unwrap();
+        let caught = std::panic::catch_unwind(|| with_plan(&plan, || point("test.z")));
         let err = caught.expect_err("panic rule must panic");
         let message = err
             .downcast_ref::<String>()
             .cloned()
             .unwrap_or_default();
-        assert!(message.contains("injected fault panic at s.z"), "{message}");
+        assert!(message.contains("injected fault panic at test.z"), "{message}");
         // The with_plan guard restored the previous (empty) context.
-        assert!(point("s.z").is_none());
+        assert!(point("test.z").is_none());
     }
 
     #[test]
     fn alloc_rule_is_transient_pressure() {
-        let plan = FaultPlan::parse("s.a:alloc:bytes=4096").unwrap();
-        with_plan(&plan, || assert!(point("s.a").is_none()));
+        let plan = FaultPlan::parse("test.a:alloc:bytes=4096").unwrap();
+        with_plan(&plan, || assert!(point("test.a").is_none()));
     }
 
     #[test]
     fn clones_share_one_hit_stream() {
         // p=0.5: the stream of a plan and its clone interleave into
         // the same 64-roll prefix a single handle would produce.
-        let plan = FaultPlan::parse("s.c:error:p=0.5:seed=3").unwrap();
-        let solo = FaultPlan::parse("s.c:error:p=0.5:seed=3").unwrap();
+        let plan = FaultPlan::parse("test.c:error:p=0.5:seed=3").unwrap();
+        let solo = FaultPlan::parse("test.c:error:p=0.5:seed=3").unwrap();
         let clone = plan.clone();
         let mut interleaved = Vec::new();
         for i in 0..64 {
             let handle = if i % 2 == 0 { &plan } else { &clone };
-            interleaved.push(with_plan(handle, || point("s.c").is_some()));
+            interleaved.push(with_plan(handle, || point("test.c").is_some()));
         }
         let straight: Vec<bool> =
-            with_plan(&solo, || (0..64).map(|_| point("s.c").is_some()).collect());
+            with_plan(&solo, || (0..64).map(|_| point("test.c").is_some()).collect());
         assert_eq!(interleaved, straight);
     }
 
     #[test]
     fn faults_bump_obs_counters() {
         let rec = qcat_obs::Recorder::metrics_only();
-        let plan = FaultPlan::parse("s.m:error").unwrap();
+        let plan = FaultPlan::parse("test.m:error").unwrap();
         qcat_obs::with_recorder(&rec, || {
             with_plan(&plan, || {
-                assert!(point("s.m").is_some());
+                assert!(point("test.m").is_some());
             });
         });
         let snap = rec.snapshot();

@@ -90,17 +90,17 @@ mod tests {
 
     #[test]
     fn propagation_carries_plan_and_gas() {
-        let plan = FaultPlan::parse("x.site:error").unwrap();
+        let plan = FaultPlan::parse("test.site:error").unwrap();
         let budget = Budget::default().with_max_rows(10);
         let gas = budget.start();
         let ctx = with_plan(&plan, || with_budget(&gas, capture));
         assert!(!ctx.is_empty());
         ctx.scope(|| {
-            assert!(point("x.site").is_some());
+            assert!(point("test.site").is_some());
             assert!(current_gas().is_some());
         });
         // Outside the scope both are gone again.
-        assert!(point("x.site").is_none());
+        assert!(point("test.site").is_none());
         assert!(current_gas().is_none());
     }
 }

@@ -116,7 +116,11 @@ impl<V: Clone> EpochLru<V> {
         );
     }
 
-    fn remove(&mut self, key: &str) {
+    /// Remove `key` outright (any epoch), releasing its declared
+    /// bytes. No-op when absent. This is the surgical complement to
+    /// epoch invalidation: selective invalidation evicts exactly the
+    /// entries an append can affect instead of bumping the epoch.
+    pub fn remove(&mut self, key: &str) {
         if let Some(e) = self.map.remove(key) {
             self.total_bytes -= e.bytes;
         }
@@ -261,6 +265,56 @@ mod tests {
         c.insert("a".into(), 1, 0, 0);
         assert_eq!(c.get("a", 0), Some(1));
         assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_of_an_evicted_key_is_a_fresh_entry() {
+        let mut c = EpochLru::new(25);
+        c.insert("a".into(), 1, 0, 10);
+        c.insert("b".into(), 2, 0, 10);
+        // "a" is the LRU; "c" evicts it.
+        assert_eq!(c.get("b", 0), Some(2));
+        c.insert("c".into(), 3, 0, 10);
+        assert_eq!(c.get("a", 0), None, "evicted");
+        // Re-inserting the evicted key works and charges bytes once.
+        c.insert("a".into(), 9, 0, 10);
+        assert_eq!(c.get("a", 0), Some(9));
+        assert!(c.bytes() <= 25, "budget holds: {}", c.bytes());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn bytes_gauge_is_exact_after_every_eviction() {
+        let mut c = EpochLru::new(30);
+        c.insert("a".into(), 1, 0, 10);
+        c.insert("b".into(), 2, 0, 10);
+        c.insert("c".into(), 3, 0, 10);
+        assert_eq!(c.bytes(), 30);
+        // One more 10-byte entry evicts exactly one LRU entry.
+        c.insert("d".into(), 4, 0, 10);
+        assert_eq!(c.bytes(), 30);
+        assert_eq!(c.len(), 3);
+        // Explicit removal releases exactly the declared size…
+        c.remove("d");
+        assert_eq!(c.bytes(), 20);
+        // …and removing a missing key changes nothing.
+        c.remove("nope");
+        assert_eq!(c.bytes(), 20);
+        // Stale-epoch drop via get releases bytes too.
+        assert_eq!(c.get("c", 7), None);
+        assert_eq!(c.bytes(), 10);
+    }
+
+    #[test]
+    fn entry_exactly_at_budget_caches_alone() {
+        let mut c = EpochLru::new(50);
+        c.insert("a".into(), 1, 0, 10);
+        // Exactly the budget: admitted, everything else evicted.
+        c.insert("full".into(), 2, 0, 50);
+        assert_eq!(c.get("full", 0), Some(2));
+        assert_eq!(c.get("a", 0), None);
+        assert_eq!(c.bytes(), 50);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

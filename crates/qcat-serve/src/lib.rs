@@ -48,7 +48,9 @@ pub mod speculate;
 
 pub use cache::EpochLru;
 pub use fingerprint::fingerprint;
-pub use server::{Served, ServeError, ServeOutcome, Server, ServerConfig, SlowQuery};
+pub use server::{
+    AppendOutcome, Served, ServeError, ServeOutcome, Server, ServerConfig, SlowQuery,
+};
 pub use speculate::{SpeculateConfig, SpeculateReport};
 
 #[cfg(test)]
@@ -148,9 +150,11 @@ mod tests {
         s.log_queries("homes", vec![new]).unwrap();
         assert_eq!(s.epoch("homes"), Some(1));
 
-        // Stale entries miss; the query is fully recomputed.
+        // The cached tree is stale (trees depend on the statistics),
+        // but the cached row ids are not: the tree is recomputed from
+        // the surviving result entry rather than re-executed.
         let again = s.serve(sql).unwrap();
-        assert_eq!(again.outcome, ServeOutcome::Cold);
+        assert_eq!(again.outcome, ServeOutcome::ResultCacheHit);
         // And the refreshed entry serves the new epoch.
         assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::TreeCacheHit);
     }
@@ -212,7 +216,7 @@ mod tests {
     }
 
     #[test]
-    fn containment_donor_goes_stale_with_its_epoch() {
+    fn containment_donor_survives_stats_refresh() {
         let s = server();
         s.serve("SELECT * FROM homes WHERE price <= 300000").unwrap();
         let new = parse_and_normalize(
@@ -221,12 +225,14 @@ mod tests {
         )
         .unwrap();
         s.log_queries("homes", vec![new]).unwrap();
-        // The donor is from epoch 0: the refinement must recompute.
+        // Row ids do not depend on the workload statistics: the donor
+        // stays live across the stats refresh and the refinement is a
+        // containment hit (only trees went stale).
         assert_eq!(
             s.serve("SELECT * FROM homes WHERE price <= 250000")
                 .unwrap()
                 .outcome,
-            ServeOutcome::Cold
+            ServeOutcome::ContainmentHit
         );
     }
 
@@ -242,6 +248,130 @@ mod tests {
                 .outcome,
             ServeOutcome::Cold
         );
+    }
+
+    fn append_row(hood: &str, price: f64, beds: i64) -> Vec<qcat_data::Value> {
+        vec![hood.into(), price.into(), beds.into()]
+    }
+
+    #[test]
+    fn append_makes_new_rows_visible() {
+        let s = server();
+        let sql = "SELECT * FROM homes WHERE price <= 600000";
+        let before = s.serve(sql).unwrap();
+        assert_eq!(before.outcome, ServeOutcome::Cold);
+        assert_eq!(before.rows, 200);
+        assert_eq!(s.generation("homes"), Some(0));
+
+        let outcome = s
+            .append_rows("homes", &[append_row("Issaquah", 500_000.0, 2)])
+            .unwrap();
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(outcome.added, 1);
+        assert_eq!(s.generation("homes"), Some(1));
+
+        // The cached answer intersected the batch, so it was evicted
+        // and the recomputed answer sees the appended row.
+        let after = s.serve(sql).unwrap();
+        assert_eq!(after.outcome, ServeOutcome::Cold);
+        assert_eq!(after.rows, 201);
+    }
+
+    #[test]
+    fn selective_invalidation_keeps_provably_disjoint_entries() {
+        let s = server();
+        // Three cached answers: categorical-disjoint, range-disjoint,
+        // and one the batch intersects.
+        let q_hood = "SELECT * FROM homes WHERE neighborhood IN ('Redmond')";
+        let q_low = "SELECT * FROM homes WHERE price <= 160000";
+        let q_wide = "SELECT * FROM homes WHERE price <= 600000";
+        for sql in [q_hood, q_low, q_wide] {
+            assert_eq!(s.serve(sql).unwrap().outcome, ServeOutcome::Cold);
+        }
+
+        // The batch is all-Issaquah at a price far above q_low's
+        // bound: it can only change q_wide's answer.
+        let outcome = s
+            .append_rows("homes", &[append_row("Issaquah", 500_000.0, 2)])
+            .unwrap();
+        assert_eq!(outcome.evicted, 1, "{outcome:?}");
+        assert_eq!(outcome.kept, 2, "{outcome:?}");
+
+        // Disjoint entries keep serving straight from the tree cache…
+        assert_eq!(s.serve(q_hood).unwrap().outcome, ServeOutcome::TreeCacheHit);
+        assert_eq!(s.serve(q_low).unwrap().outcome, ServeOutcome::TreeCacheHit);
+        // …and the intersecting one recomputes with the new row.
+        let wide = s.serve(q_wide).unwrap();
+        assert_eq!(wide.outcome, ServeOutcome::Cold);
+        assert_eq!(wide.rows, 201);
+    }
+
+    #[test]
+    fn condition_free_answers_always_evict_on_append() {
+        let s = server();
+        let sql = "SELECT * FROM homes";
+        assert_eq!(s.serve(sql).unwrap().rows, 200);
+        s.append_rows("homes", &[append_row("Redmond", 151_000.0, 3)])
+            .unwrap();
+        // A query with no conjuncts matches every appended row: no
+        // conjunct can prove disjointness, so it must recompute.
+        let after = s.serve(sql).unwrap();
+        assert_eq!(after.outcome, ServeOutcome::Cold);
+        assert_eq!(after.rows, 201);
+    }
+
+    #[test]
+    fn epoch_bump_baseline_evicts_disjoint_entries_too() {
+        let relation = homes(200);
+        let prep = PreprocessConfig::new().infer_missing(&relation, 20);
+        let s = Server::new(ServerConfig {
+            selective_invalidation: false,
+            ..ServerConfig::default()
+        });
+        s.register_table("homes", relation, workload(), prep)
+            .unwrap();
+        let q_hood = "SELECT * FROM homes WHERE neighborhood IN ('Redmond')";
+        s.serve(q_hood).unwrap();
+        let outcome = s
+            .append_rows("homes", &[append_row("Issaquah", 500_000.0, 2)])
+            .unwrap();
+        assert_eq!((outcome.evicted, outcome.kept), (0, 0), "legacy mode is epoch-based");
+        // The batch provably cannot change this answer, but the
+        // whole-table bump kills it anyway — the retention gap the
+        // selective policy closes.
+        assert_eq!(s.serve(q_hood).unwrap().outcome, ServeOutcome::Cold);
+    }
+
+    #[test]
+    fn failed_append_leaves_data_and_caches_intact() {
+        let s = server();
+        let sql = "SELECT * FROM homes WHERE neighborhood IN ('Redmond')";
+        let before = s.serve(sql).unwrap();
+        let plan = qcat_fault::FaultPlan::parse("data.append:error").unwrap();
+        let err = qcat_fault::with_plan(&plan, || {
+            s.append_rows("homes", &[append_row("Kirkland", 1.0, 1)])
+                .unwrap_err()
+        });
+        assert!(matches!(
+            err,
+            ServeError::Exec(qcat_exec::ExecError::Data(
+                qcat_data::DataError::Fault { site: "data.append" }
+            ))
+        ));
+        assert_eq!(s.generation("homes"), Some(0), "generation holds");
+        // Nothing became visible and nothing was evicted.
+        let after = s.serve(sql).unwrap();
+        assert_eq!(after.outcome, ServeOutcome::TreeCacheHit);
+        assert_eq!(after.rows, before.rows);
+    }
+
+    #[test]
+    fn append_to_unregistered_table_errors() {
+        let s = server();
+        assert!(matches!(
+            s.append_rows("cars", &[append_row("x", 1.0, 1)]).unwrap_err(),
+            ServeError::UnregisteredTable(t) if t == "cars"
+        ));
     }
 
     #[test]

@@ -5,7 +5,10 @@ use crate::containment::{ContainmentIndex, Donor};
 use crate::fingerprint::fingerprint;
 use crate::speculate::{SpecOutcome, SpeculateConfig, SpeculateReport};
 use qcat_core::{render_tree, CategorizeConfig, Categorizer, CategoryTree, DegradeReason};
-use qcat_data::{Catalog, DataError, Relation};
+use qcat_data::{
+    Catalog, DataError, IngestTable, Relation, ShardSummaries, Value,
+};
+use qcat_sql::AttrCondition;
 use qcat_exec::{execute_normalized_with, execute_residual, AccessPath, ExecError, ResultSet};
 use qcat_fault::Budget;
 use qcat_pool::ThreadPool;
@@ -94,6 +97,13 @@ pub struct ServerConfig {
     /// How many [`SlowQuery`] entries the slow-query log retains
     /// (oldest evicted).
     pub slow_log_capacity: usize,
+    /// Invalidation policy for [`Server::append_rows`]. `true` (the
+    /// default) evicts only cached answers whose predicates may
+    /// intersect the appended batch's per-column summary; `false`
+    /// falls back to the legacy whole-table epoch bump (every cached
+    /// entry of the table dies). The flag exists so benchmarks can
+    /// measure retention against the baseline.
+    pub selective_invalidation: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +117,7 @@ impl Default for ServerConfig {
             max_in_flight: usize::MAX,
             slow_query_ns: u64::MAX,
             slow_log_capacity: 32,
+            selective_invalidation: true,
         }
     }
 }
@@ -166,14 +177,40 @@ pub struct Served {
     pub outcome: ServeOutcome,
 }
 
+/// What one [`Server::append_rows`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The table's ingest generation after the commit.
+    pub generation: u64,
+    /// Rows appended by the batch.
+    pub added: usize,
+    /// Cached entries evicted by selective invalidation (0 in legacy
+    /// epoch-bump mode, where entries die lazily instead).
+    pub evicted: usize,
+    /// Tracked cached entries proven disjoint from the batch and kept
+    /// alive (0 in legacy mode).
+    pub kept: usize,
+}
+
 /// Everything the server knows about one registered table.
 struct TableState {
     log: WorkloadLog,
-    prep: PreprocessConfig,
     stats: Arc<WorkloadStatistics>,
-    /// Bumped whenever `stats` is rebuilt; cache entries from older
-    /// epochs are stale.
-    epoch: u64,
+    /// The mutable-tail ingest handle: appends go through it and
+    /// queries pin a snapshot from it, so a commit racing a query
+    /// cannot change what the query sees.
+    ingest: Arc<IngestTable>,
+    /// Bumped whenever `stats` absorbs new workload queries. Cached
+    /// *trees* depend on the statistics; result sets do not.
+    stats_epoch: u64,
+    /// Epoch guarding cached result sets and containment donors.
+    /// Selective invalidation leaves it alone (evicting surgically);
+    /// the legacy whole-bump baseline advances it per append.
+    data_epoch: u64,
+    /// Epoch guarding cached trees: advances whenever either
+    /// `stats_epoch` or `data_epoch` does (trees depend on both the
+    /// statistics and the data).
+    tree_epoch: u64,
 }
 
 /// The cached artifacts, both keyed by normalized-query fingerprint,
@@ -182,6 +219,12 @@ struct Caches {
     results: EpochLru<Arc<ResultSet>>,
     trees: EpochLru<(Arc<CategoryTree>, Arc<String>)>,
     containment: ContainmentIndex,
+    /// table → fingerprint → the normalized query behind every cached
+    /// artifact. Selective invalidation walks this to decide, per
+    /// entry, whether an appended batch can intersect its predicate.
+    /// Maintained lazily like the containment index: LRU-evicted keys
+    /// linger until a sweep.
+    queries: HashMap<String, HashMap<String, Arc<NormalizedQuery>>>,
 }
 
 impl Caches {
@@ -217,6 +260,7 @@ impl Caches {
             let (containment, results) = (&mut self.containment, &self.results);
             containment.sweep(|k| results.has(k));
         }
+        self.record_query(key, query);
         self.publish_gauges();
     }
 
@@ -225,6 +269,7 @@ impl Caches {
     fn insert_tree(
         &mut self,
         key: &str,
+        query: &NormalizedQuery,
         tree: &Arc<CategoryTree>,
         rendered: &Arc<String>,
         epoch: u64,
@@ -236,8 +281,107 @@ impl Caches {
             epoch,
             heap_bytes,
         );
+        self.record_query(key, query);
         self.publish_gauges();
     }
+
+    /// Remember which normalized query sits behind a cached key, and
+    /// sweep dangling records when the map outgrows the caches.
+    fn record_query(&mut self, key: &str, query: &NormalizedQuery) {
+        if !self.results.has(key) && !self.trees.has(key) {
+            // Nothing actually cached (zero budget, oversized entry):
+            // recording would leave a permanent dangling entry.
+            return;
+        }
+        let bucket = self.queries.entry(query.table.clone()).or_default();
+        if !bucket.contains_key(key) {
+            bucket.insert(key.to_string(), Arc::new(query.clone()));
+        }
+        let tracked: usize = self.queries.values().map(HashMap::len).sum();
+        if tracked > self.results.len() + self.trees.len() + 64 {
+            let (results, trees) = (&self.results, &self.trees);
+            for bucket in self.queries.values_mut() {
+                bucket.retain(|k, _| results.has(k) || trees.has(k));
+            }
+            self.queries.retain(|_, b| !b.is_empty());
+        }
+    }
+
+    /// Selective invalidation after an append to `table`: evict every
+    /// cached answer (result rows, tree, containment donor) whose
+    /// predicate *may* intersect the batch summarized by `delta`, and
+    /// keep the rest alive. Returns `(evicted, kept)`.
+    ///
+    /// Keeping is sound because appends only add rows: an entry whose
+    /// conjuncts provably exclude every appended row has an unchanged
+    /// answer (prefix row ids are stable across commits), and with
+    /// unchanged statistics its tree is unchanged too. Eviction is
+    /// conservative — any doubt (condition-free query, unknown
+    /// summary) evicts.
+    fn invalidate_delta(
+        &mut self,
+        table: &str,
+        relation: &Relation,
+        delta: &ShardSummaries,
+    ) -> (usize, usize) {
+        let Some(bucket) = self.queries.get_mut(table) else {
+            return (0, 0);
+        };
+        let dead: Vec<String> = bucket
+            .iter()
+            .filter(|(_, q)| !delta_disjoint(q, relation, delta))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &dead {
+            bucket.remove(key);
+            self.results.remove(key);
+            self.trees.remove(key);
+            self.containment.remove(table, key);
+        }
+        let kept = bucket.len();
+        if bucket.is_empty() {
+            self.queries.remove(table);
+        }
+        self.publish_gauges();
+        (dead.len(), kept)
+    }
+}
+
+/// Does some conjunct of `query` provably exclude **every** row of the
+/// appended batch summarized by `delta` (a single-shard summary over
+/// exactly the new rows)?
+///
+/// - `IN` over strings resolves each value through the *committed*
+///   relation's dictionary; values the dictionary has never seen match
+///   nothing. The conjunct excludes the batch when none of its codes
+///   appear in the delta's code-presence bitmap.
+/// - Numeric `IN` / range conjuncts check the delta's min/max.
+/// - A query with no conditions matches everything: never disjoint.
+///
+/// Conservative in the safe direction: when the summary cannot prove
+/// absence the conjunct is treated as intersecting.
+fn delta_disjoint(
+    query: &NormalizedQuery,
+    relation: &Relation,
+    delta: &ShardSummaries,
+) -> bool {
+    query.conditions.iter().any(|(&attr, cond)| {
+        let a = attr.index();
+        match cond {
+            AttrCondition::InStr(values) => {
+                let Some((dict, _)) = relation.column(attr).categorical() else {
+                    return false;
+                };
+                let codes: Vec<u32> =
+                    values.iter().filter_map(|v| dict.lookup(v)).collect();
+                !delta.may_have_any_code(0, a, &codes)
+            }
+            AttrCondition::InNum(values) => !delta.may_have_value(0, a, values),
+            AttrCondition::Range(r) => {
+                !delta.may_overlap_range(0, a, r.lo, r.lo_inclusive, r.hi, r.hi_inclusive)
+            }
+        }
+    })
 }
 
 /// Where one single-flight fill stands.
@@ -270,6 +414,19 @@ enum FillRole<'a> {
     Follow(Arc<FillSlot>),
     /// Admission cap reached: refuse with a degraded answer.
     Shed,
+}
+
+/// Everything a fill carries from the moment its snapshot was pinned:
+/// the pinned relation + generation, the statistics snapshot, and the
+/// cache epochs read atomically with the pin.
+#[derive(Clone, Copy)]
+struct FillCtx<'a> {
+    relation: &'a Relation,
+    stats: &'a WorkloadStatistics,
+    ingest: &'a IngestTable,
+    generation: u64,
+    data_epoch: u64,
+    tree_epoch: u64,
 }
 
 /// Holds one admission slot; releases it on drop (including unwinds).
@@ -369,6 +526,7 @@ impl Server {
                 results: EpochLru::new(config.result_cache_bytes),
                 trees: EpochLru::new(config.tree_cache_bytes),
                 containment: ContainmentIndex::default(),
+                queries: HashMap::new(),
             }),
             fills: Mutex::new(HashMap::new()),
             in_flight: AtomicUsize::new(0),
@@ -427,39 +585,56 @@ impl Server {
         let _ = qcat_fault::point("serve.index.build");
         relation.build_indexes();
         let stats = Arc::new(WorkloadStatistics::build(&log, relation.schema(), &prep));
-        self.catalog.register(name, relation)?;
+        self.catalog.register(name, relation.clone())?;
         self.lock_tables().insert(
             name.to_ascii_lowercase(),
             TableState {
                 log,
-                prep,
                 stats,
-                epoch: 0,
+                ingest: Arc::new(IngestTable::new(relation)),
+                stats_epoch: 0,
+                data_epoch: 0,
+                tree_epoch: 0,
             },
         );
         Ok(())
     }
 
-    /// Append freshly observed workload queries for `table`, rebuild
-    /// its statistics, and bump its epoch (invalidating its cached
-    /// trees and result sets).
+    /// Append freshly observed workload queries for `table`,
+    /// incrementally absorb them into its statistics, and bump the
+    /// **stats** epoch. Cached trees (which depend on the statistics)
+    /// go stale; cached result sets and containment donors survive —
+    /// row ids do not depend on the workload.
+    ///
+    /// The absorb is all-or-nothing: if the `workload.stats.delta`
+    /// fault site fires, statistics, log, and epochs are untouched.
+    /// The attribute-correlation index is the one component absorb
+    /// does not extend; new correlation pairs take effect at the next
+    /// full rebuild ([`Server::register_table`]).
     pub fn log_queries(&self, table: &str, queries: Vec<NormalizedQuery>) -> Result<(), DataError> {
         let key = table.to_ascii_lowercase();
-        let relation = self.catalog.get(&key)?;
         let mut tables = self.lock_tables();
         let Some(state) = tables.get_mut(&key) else {
             return Err(DataError::UnknownTable(table.to_string()));
         };
+        // Copy-on-write: in-flight serves hold `Arc` clones of the old
+        // statistics and keep categorizing against them (snapshot
+        // semantics); the fault check inside `absorb` runs before any
+        // mutation, so a refusal leaves the fresh copy identical.
+        let stats = Arc::make_mut(&mut state.stats);
+        stats
+            .absorb(&queries)
+            .map_err(|f| DataError::Fault { site: f.site })?;
         let mut merged: Vec<NormalizedQuery> = state.log.queries().to_vec();
         merged.extend(queries);
         state.log = WorkloadLog::from_normalized(merged);
-        state.stats = Arc::new(WorkloadStatistics::build(
-            &state.log,
-            relation.schema(),
-            &state.prep,
-        ));
-        state.epoch += 1;
-        qcat_obs::event!("serve.stats.rebuilt", table = key.as_str(), epoch = state.epoch);
+        state.stats_epoch += 1;
+        state.tree_epoch += 1;
+        qcat_obs::event!(
+            "serve.stats.absorbed",
+            table = key.as_str(),
+            epoch = state.stats_epoch,
+        );
         Ok(())
     }
 
@@ -468,7 +643,111 @@ impl Server {
     pub fn epoch(&self, table: &str) -> Option<u64> {
         self.lock_tables()
             .get(&table.to_ascii_lowercase())
-            .map(|s| s.epoch)
+            .map(|s| s.stats_epoch)
+    }
+
+    /// Current ingest generation for `table` (0 until the first
+    /// [`Server::append_rows`]).
+    pub fn generation(&self, table: &str) -> Option<u64> {
+        self.lock_tables()
+            .get(&table.to_ascii_lowercase())
+            .map(|s| s.ingest.generation())
+    }
+
+    /// Append a batch of rows to `table` with all-or-nothing
+    /// visibility, then invalidate exactly the cached answers the
+    /// batch can affect.
+    ///
+    /// The commit itself is the storage layer's shadow-paging append
+    /// ([`qcat_data::IngestTable::append_rows`]): concurrent queries
+    /// keep reading their pinned snapshots, and a mid-batch failure
+    /// (validation, or the `data.append` / `data.index.delta` fault
+    /// sites) leaves the table byte-identical to pre-batch. Under
+    /// selective invalidation the caches too are only touched after a
+    /// successful commit; the legacy baseline bumps its epoch before
+    /// committing (required for its stale-read exclusion), so a failed
+    /// append there may evict conservatively — never serve stale.
+    ///
+    /// With [`ServerConfig::selective_invalidation`] (the default),
+    /// only entries whose predicates may intersect the batch's
+    /// per-column min/max/code-presence summary are evicted; disjoint
+    /// entries keep serving. With the flag off, the table's data epoch
+    /// bumps and every cached entry dies (the legacy baseline).
+    ///
+    /// The commit and the cache sweep run under the cache lock, so no
+    /// reader can pin the new generation and still hit a stale entry:
+    /// a reader that observes generation `g+1` cannot reach the caches
+    /// until the sweep for `g+1` has finished.
+    pub fn append_rows(&self, table: &str, rows: &[Vec<Value>]) -> Result<AppendOutcome, ServeError> {
+        let mut span = qcat_obs::span!("serve.append", rows = rows.len());
+        let key = table.to_ascii_lowercase();
+        let ingest = {
+            let tables = self.lock_tables();
+            let Some(state) = tables.get(&key) else {
+                return Err(ServeError::UnregisteredTable(table.to_string()));
+            };
+            Arc::clone(&state.ingest)
+        };
+        if self.config.selective_invalidation {
+            // Hold the cache lock across commit + sweep (see doc
+            // comment). Appends serialize on the ingest table's own
+            // lock as well, so two appenders cannot interleave sweeps.
+            let mut caches = self.lock_caches();
+            let receipt = ingest
+                .append_rows(rows)
+                .map_err(|e| ServeError::Exec(ExecError::Data(e)))?;
+            self.catalog
+                .register_or_replace(&key, receipt.snapshot.relation().clone());
+            let (evicted, kept) = caches.invalidate_delta(
+                &key,
+                receipt.snapshot.relation(),
+                &receipt.commit.delta,
+            );
+            qcat_obs::counter("serve.append.committed", 1);
+            qcat_obs::counter("serve.invalidate.evicted", i64::try_from(evicted).unwrap_or(i64::MAX));
+            qcat_obs::counter("serve.invalidate.kept", i64::try_from(kept).unwrap_or(i64::MAX));
+            if qcat_obs::active() {
+                span.set("generation", receipt.snapshot.generation());
+                span.set("evicted", evicted);
+                span.set("kept", kept);
+            }
+            Ok(AppendOutcome {
+                generation: receipt.snapshot.generation(),
+                added: receipt.commit.added,
+                evicted,
+                kept,
+            })
+        } else {
+            // Legacy baseline: bump the data epoch *before* the commit
+            // becomes visible. A reader that pins the new generation
+            // reads its epochs afterwards (both under the table lock),
+            // so it can never pair the new data with a stale epoch;
+            // the worst case is a reader that sees the bumped epoch
+            // with the old generation and recomputes conservatively.
+            {
+                let mut tables = self.lock_tables();
+                let Some(state) = tables.get_mut(&key) else {
+                    return Err(ServeError::UnregisteredTable(table.to_string()));
+                };
+                state.data_epoch += 1;
+                state.tree_epoch += 1;
+            }
+            let receipt = ingest
+                .append_rows(rows)
+                .map_err(|e| ServeError::Exec(ExecError::Data(e)))?;
+            self.catalog
+                .register_or_replace(&key, receipt.snapshot.relation().clone());
+            qcat_obs::counter("serve.append.committed", 1);
+            if qcat_obs::active() {
+                span.set("generation", receipt.snapshot.generation());
+            }
+            Ok(AppendOutcome {
+                generation: receipt.snapshot.generation(),
+                added: receipt.commit.added,
+                evicted: 0,
+                kept: 0,
+            })
+        }
     }
 
     /// Drop every cached result set and tree (measurement hook; the
@@ -478,6 +757,7 @@ impl Server {
         caches.results.clear();
         caches.trees.clear();
         caches.containment.clear();
+        caches.queries.clear();
         caches.publish_gauges();
     }
 
@@ -561,27 +841,43 @@ impl Server {
     fn serve_inner(&self, sql: &str) -> Result<Served, ServeError> {
         let mut span = qcat_obs::span!("serve.query", bytes = sql.len());
         let ast = parse_select(sql)?;
-        let relation = self.catalog.get(&ast.table).map_err(|_| {
-            ServeError::UnregisteredTable(ast.table.clone())
-        })?;
-        let (stats, epoch) = {
-            // Table state is keyed by lowercased name, matching the
-            // catalog's case-insensitive lookup above.
+        let (relation, generation, ingest, stats, data_epoch, tree_epoch) = {
+            // Table state is keyed by lowercased name (the catalog's
+            // lookup is case-insensitive too). Pinning the snapshot
+            // *inside* the table lock pairs the relation with epochs
+            // read no earlier than an appender's pre-commit bump, so a
+            // reader can never combine fresh data with stale epochs.
             let tables = self.lock_tables();
             let Some(state) = tables.get(&ast.table.to_ascii_lowercase()) else {
                 return Err(ServeError::UnregisteredTable(ast.table.clone()));
             };
-            (Arc::clone(&state.stats), state.epoch)
+            let snap = state.ingest.pin();
+            (
+                snap.relation().clone(),
+                snap.generation(),
+                Arc::clone(&state.ingest),
+                Arc::clone(&state.stats),
+                state.data_epoch,
+                state.tree_epoch,
+            )
         };
         let query = qcat_sql::normalize::normalize(&ast, relation.schema())?;
         let key = fingerprint(&query);
+        let ctx = FillCtx {
+            relation: &relation,
+            stats: &stats,
+            ingest: &ingest,
+            generation,
+            data_epoch,
+            tree_epoch,
+        };
 
         // Fast path: the finished tree is cached for this epoch. The
         // lookup is bound to a local first so the cache `MutexGuard`
         // (a temporary in the scrutinee) is dropped before the body
         // runs — scrutinee temporaries live to the end of the whole
         // `if let`/`match`, and re-locking inside would self-deadlock.
-        let tree_hit = self.lock_caches().trees.get(&key, epoch);
+        let tree_hit = self.lock_caches().trees.get(&key, tree_epoch);
         if let Some((tree, rendered)) = tree_hit {
             qcat_obs::counter("serve.cache.hit", 1);
             qcat_obs::counter("serve.cache.tree.hit", 1);
@@ -653,7 +949,7 @@ impl Server {
                             })
                             .unwrap_or_else(|e| e.into_inner());
                     }
-                    let published = self.lock_caches().trees.get(&key, epoch);
+                    let published = self.lock_caches().trees.get(&key, tree_epoch);
                     if let Some((tree, rendered)) = published {
                         qcat_obs::counter("serve.cache.hit", 1);
                         if qcat_obs::active() {
@@ -678,8 +974,7 @@ impl Server {
                         slot: &slot,
                         resolved: false,
                     };
-                    let served =
-                        self.fill(&relation, &stats, epoch, &query, &key, &self.config.budget);
+                    let served = self.fill(&ctx, &query, &key, &self.config.budget);
                     if let Ok(s) = &served {
                         if s.tree.degraded().is_none() {
                             guard.publish();
@@ -711,19 +1006,34 @@ impl Server {
         }
     }
 
+    /// Is `table`'s ingest still at the generation this fill pinned?
+    /// Called *inside* the cache lock right before an insert: a fill
+    /// that raced a commit must not publish rows computed against the
+    /// superseded snapshot. (An appender sweeps under the same cache
+    /// lock after committing, so an insert that passes this check is
+    /// either pre-commit — and gets swept — or provably current.)
+    fn still_current(&self, ctx: &FillCtx<'_>) -> bool {
+        ctx.ingest.generation() == ctx.generation
+    }
+
     /// The expensive path: reuse cached rows (exact or by
     /// containment) or execute, then categorize — all under `budget`.
     /// Runs at most `max_in_flight` times concurrently for live
     /// queries, once per fingerprint.
     fn fill(
         &self,
-        relation: &Relation,
-        stats: &WorkloadStatistics,
-        epoch: u64,
+        ctx: &FillCtx<'_>,
         query: &NormalizedQuery,
         key: &str,
         budget: &Budget,
     ) -> Result<Served, ServeError> {
+        let FillCtx {
+            relation,
+            stats,
+            data_epoch,
+            tree_epoch,
+            ..
+        } = *ctx;
         if let Some(fault) = qcat_fault::point("serve.fill") {
             return Err(ServeError::Fault(fault));
         }
@@ -738,7 +1048,7 @@ impl Server {
             // `MutexGuard` (a temporary in the scrutinee) is dropped
             // before the body runs — re-locking inside the match would
             // self-deadlock.
-            let result_hit = self.lock_caches().results.get(key, epoch);
+            let result_hit = self.lock_caches().results.get(key, data_epoch);
             let (result, outcome) = match result_hit {
                 Some(result) => {
                     qcat_obs::counter("serve.cache.result.hit", 1);
@@ -749,7 +1059,7 @@ impl Server {
                     qcat_obs::counter("serve.cache.result.miss", 1);
                     // Second chance: a cached *superset* answer whose
                     // query subsumes this one can donate its rows.
-                    match self.containment_fill(relation, epoch, query, key) {
+                    match self.containment_fill(ctx, query, key) {
                         Ok(Some(result)) => (result, ServeOutcome::ContainmentHit),
                         Ok(None) => {
                             qcat_obs::counter("serve.cache.miss", 1);
@@ -771,8 +1081,13 @@ impl Server {
                             // Compute happened outside the lock; a
                             // racing serve of the same query at worst
                             // double-computes the same deterministic
-                            // value.
-                            self.lock_caches().insert_result(key, query, &result, epoch);
+                            // value. Skip the insert if an append
+                            // superseded the pinned snapshot.
+                            let mut caches = self.lock_caches();
+                            if self.still_current(ctx) {
+                                caches.insert_result(key, query, &result, data_epoch);
+                            }
+                            drop(caches);
                             (result, ServeOutcome::Cold)
                         }
                         // The residual filter ran out of budget:
@@ -804,7 +1119,10 @@ impl Server {
                     rows = result.len(),
                 );
             } else {
-                self.lock_caches().insert_tree(key, &tree, &rendered, epoch);
+                let mut caches = self.lock_caches();
+                if self.still_current(ctx) {
+                    caches.insert_tree(key, query, &tree, &rendered, tree_epoch);
+                }
             }
             Ok(Served {
                 tree,
@@ -827,17 +1145,21 @@ impl Server {
     /// stale-epoch rows) are unhooked.
     fn containment_fill(
         &self,
-        relation: &Relation,
-        epoch: u64,
+        ctx: &FillCtx<'_>,
         query: &NormalizedQuery,
         key: &str,
     ) -> Result<Option<Arc<ResultSet>>, ExecError> {
+        let FillCtx {
+            relation,
+            data_epoch,
+            ..
+        } = *ctx;
         let donor = {
             let mut caches = self.lock_caches();
             let candidates = caches.containment.candidates(query);
             let mut best: Option<(Arc<ResultSet>, Donor)> = None;
             for cand in candidates {
-                match caches.results.get(&cand.key, epoch) {
+                match caches.results.get(&cand.key, data_epoch) {
                     // The smallest donor filters the fewest rows.
                     Some(rows) => {
                         if best.as_ref().map_or(true, |(b, _)| rows.len() < b.len()) {
@@ -868,8 +1190,13 @@ impl Server {
         );
         let result = Arc::new(filtered);
         // The derived answer is itself cached (and indexed): chains of
-        // refinements each filter their nearest superset.
-        self.lock_caches().insert_result(key, query, &result, epoch);
+        // refinements each filter their nearest superset — unless an
+        // append superseded the pinned snapshot mid-fill.
+        let mut caches = self.lock_caches();
+        if self.still_current(ctx) {
+            caches.insert_result(key, query, &result, data_epoch);
+        }
+        drop(caches);
         Ok(Some(result))
     }
 
@@ -886,18 +1213,19 @@ impl Server {
     ) -> Result<SpeculateReport, ServeError> {
         let mut span = qcat_obs::span!("serve.speculate");
         let key_tbl = table.to_ascii_lowercase();
-        let relation = self
-            .catalog
-            .get(&key_tbl)
-            .map_err(|_| ServeError::UnregisteredTable(table.to_string()))?;
-        let (stats, epoch, logged) = {
+        let (relation, generation, ingest, stats, data_epoch, tree_epoch, logged) = {
             let tables = self.lock_tables();
             let Some(state) = tables.get(&key_tbl) else {
                 return Err(ServeError::UnregisteredTable(table.to_string()));
             };
+            let snap = state.ingest.pin();
             (
+                snap.relation().clone(),
+                snap.generation(),
+                Arc::clone(&state.ingest),
                 Arc::clone(&state.stats),
-                state.epoch,
+                state.data_epoch,
+                state.tree_epoch,
                 state.log.queries().to_vec(),
             )
         };
@@ -922,7 +1250,7 @@ impl Server {
                 if targets.len() >= cfg.max_fills {
                     break;
                 }
-                if caches.trees.contains_live(&key, epoch) {
+                if caches.trees.contains_live(&key, tree_epoch) {
                     report.already_cached += 1;
                     continue;
                 }
@@ -935,9 +1263,17 @@ impl Server {
             }
             return Ok(report);
         }
+        let ctx = FillCtx {
+            relation: &relation,
+            stats: &stats,
+            ingest: &ingest,
+            generation,
+            data_epoch,
+            tree_epoch,
+        };
         let pool = ThreadPool::new(cfg.threads);
         let outcomes = pool.try_map(&targets, |_, (key, query)| {
-            self.speculate_one(&relation, &stats, epoch, query, key, &cfg.budget)
+            self.speculate_one(&ctx, query, key, &cfg.budget)
         });
         match outcomes {
             Ok(outcomes) => {
@@ -969,9 +1305,7 @@ impl Server {
     /// moment live traffic shows up.
     fn speculate_one(
         &self,
-        relation: &Relation,
-        stats: &WorkloadStatistics,
-        epoch: u64,
+        ctx: &FillCtx<'_>,
         query: &NormalizedQuery,
         key: &str,
         budget: &Budget,
@@ -1006,7 +1340,7 @@ impl Server {
             slot: &slot,
             resolved: false,
         };
-        let served = self.fill(relation, stats, epoch, query, key, budget);
+        let served = self.fill(ctx, query, key, budget);
         let outcome = match &served {
             Ok(s) if s.tree.degraded().is_none() => {
                 guard.publish();

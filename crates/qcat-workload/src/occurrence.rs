@@ -41,6 +41,28 @@ impl OccurrenceCounts {
         OccurrenceCounts { tables }
     }
 
+    /// Tally additional `queries` into the existing tables — the
+    /// incremental complement of [`OccurrenceCounts::build`]. Counts
+    /// are per-value sums, so absorbing a delta equals rebuilding over
+    /// the concatenated workload. Only attributes that already have a
+    /// table (the schema's categorical attributes) accumulate.
+    pub fn absorb<'a, I>(&mut self, queries: I)
+    where
+        I: IntoIterator<Item = &'a NormalizedQuery>,
+    {
+        for q in queries {
+            for (&attr, cond) in &q.conditions {
+                if let (AttrCondition::InStr(values), Some(table)) =
+                    (cond, self.tables.get_mut(&attr))
+                {
+                    for v in values {
+                        *table.entry(v.clone()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// `occ(v)` for attribute `attr`.
     pub fn occ(&self, attr: AttrId, value: &str) -> usize {
         self.tables

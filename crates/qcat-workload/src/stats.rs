@@ -123,6 +123,57 @@ impl WorkloadStatistics {
         }
     }
 
+    /// Absorb `queries` into the statistics incrementally — no full
+    /// rebuild. Every component is additive over queries: usage and
+    /// occurrence counts sum, splitpoint grids record more endpoint
+    /// ranges, and range indexes record then re-seal. The result is
+    /// identical to [`WorkloadStatistics::build`] over the
+    /// concatenated workload, at cost proportional to the delta (plus
+    /// one re-sort per touched range index).
+    ///
+    /// All-or-nothing: the `workload.stats.delta` fault site is
+    /// checked *before* any component mutates, so a refused absorb
+    /// leaves the statistics exactly as they were. The correlation
+    /// index (when present) is **not** extended — callers that keep
+    /// one must rebuild via
+    /// [`WorkloadStatistics::build_with_correlation`].
+    pub fn absorb(&mut self, queries: &[qcat_sql::NormalizedQuery]) -> Result<(), qcat_fault::Fault> {
+        if let Some(fault) = qcat_fault::point("workload.stats.delta") {
+            return Err(fault);
+        }
+        let mut span = qcat_obs::span!("workload.stats.absorb", queries = queries.len());
+        self.usage.absorb(queries);
+        self.occurrence.absorb(queries);
+        let mut touched = 0usize;
+        for q in queries {
+            for (&attr, cond) in &q.conditions {
+                if self.schema.type_of(attr).is_numeric() {
+                    if let Some(range) = cond.covering_range() {
+                        if range.is_empty() {
+                            continue;
+                        }
+                        if let Some(t) = self.splitpoints.get_mut(&attr) {
+                            t.record_range(&range);
+                        }
+                        if let Some(idx) = self.ranges.get_mut(&attr) {
+                            idx.record(&range);
+                            touched += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if touched > 0 {
+            for idx in self.ranges.values_mut() {
+                idx.seal();
+            }
+        }
+        if qcat_obs::active() {
+            span.set("ranges_recorded", touched);
+        }
+        Ok(())
+    }
+
     /// The correlation index, when built with
     /// [`WorkloadStatistics::build_with_correlation`].
     pub fn correlation_index(&self) -> Option<&CorrelationIndex> {
@@ -373,6 +424,76 @@ mod tests {
             0
         );
         assert!(st.splitpoints_by_goodness(AttrId(1), 0.0, 1e9).is_empty());
+    }
+
+    #[test]
+    fn absorb_matches_rebuild_over_concatenated_workload() {
+        let first = &[
+            "SELECT * FROM t WHERE neighborhood IN ('Bellevue') AND price BETWEEN 2000 AND 5000",
+            "SELECT * FROM t WHERE beds = 3",
+        ];
+        let second = &[
+            "SELECT * FROM t WHERE neighborhood IN ('Bellevue','Redmond')",
+            "SELECT * FROM t WHERE price BETWEEN 4000 AND 9000",
+        ];
+        let mut incremental = stats(first);
+        let s = schema();
+        let delta = WorkloadLog::parse(second.iter().copied(), &s, None);
+        incremental.absorb(delta.queries()).unwrap();
+        let all: Vec<&str> = first.iter().chain(second.iter()).copied().collect();
+        let rebuilt = stats(&all);
+        assert_eq!(incremental.n_queries(), rebuilt.n_queries());
+        for a in [AttrId(0), AttrId(1), AttrId(2)] {
+            assert_eq!(incremental.n_attr(a), rebuilt.n_attr(a), "{a:?}");
+        }
+        assert_eq!(
+            incremental.occ(AttrId(0), "Bellevue"),
+            rebuilt.occ(AttrId(0), "Bellevue")
+        );
+        assert_eq!(
+            incremental.occ(AttrId(0), "Redmond"),
+            rebuilt.occ(AttrId(0), "Redmond")
+        );
+        for probe in [
+            NumericRange::half_open(1000.0, 3000.0),
+            NumericRange::closed(4500.0, 8000.0),
+            NumericRange::closed(9000.0, 9999.0),
+        ] {
+            assert_eq!(
+                incremental.n_overlap_range(AttrId(1), &probe),
+                rebuilt.n_overlap_range(AttrId(1), &probe),
+                "{probe:?}"
+            );
+        }
+        let (si, sr) = (
+            incremental.splitpoint_table(AttrId(1)).unwrap(),
+            rebuilt.splitpoint_table(AttrId(1)).unwrap(),
+        );
+        assert_eq!(si.ranges_recorded(), sr.ranges_recorded());
+        for v in [2000.0, 4000.0, 5000.0, 9000.0] {
+            let (a, b) = (si.at(v), sr.at(v));
+            assert_eq!((a.start, a.end), (b.start, b.end), "splitpoint {v}");
+        }
+    }
+
+    #[test]
+    fn absorb_fault_leaves_statistics_untouched() {
+        let mut st = stats(&["SELECT * FROM t WHERE price > 100"]);
+        let s = schema();
+        let delta = WorkloadLog::parse(
+            ["SELECT * FROM t WHERE neighborhood = 'a'"].into_iter(),
+            &s,
+            None,
+        );
+        let plan = qcat_fault::FaultPlan::parse("workload.stats.delta:error").unwrap();
+        let err = qcat_fault::with_plan(&plan, || st.absorb(delta.queries()).unwrap_err());
+        assert_eq!(err.site, "workload.stats.delta");
+        assert_eq!(st.n_queries(), 1, "refused absorb must not tally");
+        assert_eq!(st.occ(AttrId(0), "a"), 0);
+        // Without the fault the same delta lands.
+        st.absorb(delta.queries()).unwrap();
+        assert_eq!(st.n_queries(), 2);
+        assert_eq!(st.occ(AttrId(0), "a"), 1);
     }
 
     #[test]

@@ -38,6 +38,24 @@ impl AttributeUsageCounts {
         }
     }
 
+    /// Tally additional `queries` into the existing counts — the
+    /// incremental complement of [`AttributeUsageCounts::build`].
+    /// Usage counts are plain sums over queries, so absorbing a delta
+    /// equals rebuilding over the concatenated workload.
+    pub fn absorb<'a, I>(&mut self, queries: I)
+    where
+        I: IntoIterator<Item = &'a NormalizedQuery>,
+    {
+        for q in queries {
+            self.total_queries += 1;
+            for &attr in q.conditions.keys() {
+                if attr.index() < self.counts.len() {
+                    self.counts[attr.index()] += 1;
+                }
+            }
+        }
+    }
+
     /// `NAttr(A)`.
     pub fn n_attr(&self, attr: AttrId) -> usize {
         self.counts.get(attr.index()).copied().unwrap_or(0)

@@ -57,6 +57,18 @@ QCAT_LARGE_ROWS=20000 QCAT_LARGE_QUERIES=2000 QCAT_LARGE_SHARD_ROWS=2048 \
 grep -q '"differential": .*"status": "ok"' target/BENCH_large_smoke.json
 grep -q '"determinism": .*"status": "ok"' target/BENCH_large_smoke.json
 
+echo "==> ingest smoke (append latency + selective invalidation retention)"
+# The same code path as the committed BENCH_pr10.json: two warmed
+# servers take identical append rounds; selective invalidation must
+# keep strictly more exact cache hits alive than the whole-table
+# epoch-bump baseline, and every answer the surviving caches serve
+# must be byte-identical to a from-scratch recompute. bench_pipeline
+# exits non-zero if either contract breaks.
+./target/release/bench_pipeline --scale ingest --runs 2 --queries 60 \
+    --out target/BENCH_ingest_smoke.json > /dev/null
+grep -q '"mismatches": 0, "status": "ok"' target/BENCH_ingest_smoke.json
+grep -q '"retention": .*"status": "ok"' target/BENCH_ingest_smoke.json
+
 echo "==> perf observatory (bench_report --check over committed BENCH_pr*.json)"
 # Trajectory tables land in the artifacts dir (uploaded by CI);
 # --check fails on cross-PR regressions beyond the default threshold.
@@ -102,4 +114,15 @@ QCAT_TRACE=json QCAT_TRACE_FILE="$slow_trace" \
 test -s "$flight"
 cargo run --release -p qcat-lint -- --audit-trace "$slow_trace" --audit-trace "$flight"
 
-echo "OK: build + lint + tests + bench smoke + refinement smoke + large-tier smoke + observatory + traced smoke + chaos smoke + flight smoke all green"
+echo "==> ingest chaos smoke (concurrent append/read storm at pinned widths)"
+# The tier-1 suite already sweeps reader widths {1, 2, 8}; this
+# re-runs the chaos harness pinned to the serial and widest widths so
+# a width-specific interleaving failure is attributable to its width.
+# QCAT_FLIGHT_FILE points into the artifact bundle: a failing run
+# leaves its flight-recorder dumps where CI uploads them.
+for w in 1 8; do
+    QCAT_THREADS=$w QCAT_FLIGHT_FILE="$artifacts/qcat-ingest-flight-w$w.jsonl" \
+        cargo test -q --release --test ingest_stress > /dev/null
+done
+
+echo "OK: build + lint + tests + bench smoke + refinement smoke + large-tier smoke + ingest smoke + observatory + traced smoke + chaos smoke + flight smoke + ingest chaos smoke all green"

@@ -6,7 +6,7 @@
 //! path.
 
 use qcat::core::{render_tree, Categorizer};
-use qcat::data::{AttrType, Field, Relation, RelationBuilder, Schema};
+use qcat::data::{AttrId, AttrType, Field, Relation, RelationBuilder, Schema};
 use qcat::exec::{
     execute_normalized_with, execute_normalized_with_threads, AccessPath,
 };
@@ -143,6 +143,125 @@ fn matches_confined_to_one_shard_survive_pruning() {
     assert_eq!(rows.first(), Some(&70));
     assert_eq!(explain.shards_pruned, 2, "two shards proven priced below 170k");
     assert_equivalent(90, &[30], "SELECT * FROM homes WHERE price >= 170000", 20);
+}
+
+/// Value clustering is the satellite that makes categorical pruning
+/// real: the rotating fixture puts every neighborhood in every shard
+/// (nothing prunable), while `cluster_by` reorders rows so each
+/// neighborhood occupies contiguous shards the code-presence summaries
+/// can skip wholesale.
+#[test]
+fn value_clustering_enables_categorical_pruning() {
+    let sql = "SELECT * FROM homes WHERE neighborhood IN ('Redmond')";
+    // Baseline: neighborhoods rotate per row, so every 30-row shard
+    // contains all three values and nothing can be pruned.
+    let rotating = fixture(90, 30, false);
+    let q = parse_and_normalize(sql, rotating.schema()).unwrap();
+    let (base_rows, base_explain) =
+        qcat::exec::plan::select_rows(&rotating, &q, AccessPath::Auto).unwrap();
+    assert_eq!(base_rows.len(), 30);
+    assert_eq!(base_explain.shards_pruned, 0, "rotating layout is unprunable");
+
+    // Clustered: same 90 rows, reordered by neighborhood at freeze
+    // time. One value spans exactly one 30-row shard.
+    let schema = rotating.schema().clone();
+    let hoods = ["Redmond", "Bellevue", "Issaquah"];
+    let mut b = RelationBuilder::with_capacity(schema, 90)
+        .with_shard_rows(30)
+        .cluster_by(AttrId(0));
+    for i in 0..90i64 {
+        b.push_row(&[
+            hoods[(i % 3) as usize].into(),
+            (100_000.0 + i as f64 * 1_000.0).into(),
+            (1 + i % 5).into(),
+        ])
+        .unwrap();
+    }
+    let clustered = b.finish().unwrap();
+    let (rows, explain) =
+        qcat::exec::plan::select_rows(&clustered, &q, AccessPath::Auto).unwrap();
+    assert_eq!(rows.len(), 30, "clustering must not change the answer cardinality");
+    assert!(
+        explain.shards_pruned > 0,
+        "value-clustered shards must prune: {explain:?}"
+    );
+    // Same answer by value, not by row id (clustering reorders rows):
+    // every matched row is Redmond and the price multiset is intact.
+    let (dict, codes) = clustered.column(AttrId(0)).categorical().unwrap();
+    let redmond = dict.lookup("Redmond").unwrap();
+    assert!(rows.iter().all(|&r| codes[r as usize] == redmond));
+    let price = |rel: &Relation, rows: &[u32]| -> f64 {
+        rows.iter()
+            .map(|&r| rel.column(AttrId(1)).numeric_at(r as usize).unwrap())
+            .sum()
+    };
+    assert_eq!(price(&clustered, &rows), price(&rotating, &base_rows));
+}
+
+/// Tail shards appended after freeze are planned, pruned, and scanned
+/// exactly like built-in shards: an appended relation must be
+/// byte-identical to a from-scratch build of the same rows on every
+/// access path and thread width — and a selective query whose matches
+/// predate the tail must prune the appended shards via summaries.
+#[test]
+fn appended_tail_plans_and_prunes_like_a_fresh_build() {
+    let hoods = ["Redmond", "Bellevue", "Issaquah"];
+    let row = |i: i64| -> Vec<qcat::data::Value> {
+        vec![
+            hoods[(i % 3) as usize].into(),
+            (100_000.0 + i as f64 * 1_000.0).into(),
+            (1 + i % 5).into(),
+        ]
+    };
+    // 90 base rows + 30 appended, vs 120 rows built in one shot.
+    let appended = {
+        let base = fixture(90, 30, true);
+        let mut tail = base.begin_append();
+        for i in 90..120 {
+            tail.push_row(&row(i)).unwrap();
+        }
+        tail.commit().unwrap().relation
+    };
+    let fresh = fixture(120, 30, true);
+    assert_eq!(appended.len(), 120);
+    assert_eq!(
+        appended.shards().shard_count(),
+        fresh.shards().shard_count(),
+        "appends preserve the shard policy"
+    );
+    for sql in [
+        "SELECT * FROM homes WHERE neighborhood IN ('Bellevue') AND bedroomcount >= 2",
+        "SELECT * FROM homes WHERE price >= 195000",
+        "SELECT * FROM homes WHERE price < 115000",
+        "SELECT * FROM homes",
+    ] {
+        let q = parse_and_normalize(sql, appended.schema()).unwrap();
+        let truth = execute_normalized_with(&fresh, &q, AccessPath::ForceScan).unwrap();
+        for path in PATHS {
+            for threads in THREAD_WIDTHS {
+                let got =
+                    execute_normalized_with_threads(&appended, &q, path, threads).unwrap();
+                assert_eq!(got.rows(), truth.rows(), "{sql}: {path:?} threads={threads}");
+            }
+        }
+    }
+    // Matches confined to the pre-append prefix prune the tail shard,
+    // and matches confined to the tail prune the base shards — the
+    // incremental summaries work in both directions.
+    let old_only =
+        parse_and_normalize("SELECT * FROM homes WHERE price < 115000", appended.schema())
+            .unwrap();
+    let (rows, explain) =
+        qcat::exec::plan::select_rows(&appended, &old_only, AccessPath::Auto).unwrap();
+    assert_eq!(rows.len(), 15);
+    assert!(explain.shards_pruned >= 1, "tail shard must be pruned: {explain:?}");
+    let new_only =
+        parse_and_normalize("SELECT * FROM homes WHERE price >= 195000", appended.schema())
+            .unwrap();
+    let (rows, explain) =
+        qcat::exec::plan::select_rows(&appended, &new_only, AccessPath::Auto).unwrap();
+    assert_eq!(rows.len(), 25);
+    assert!(explain.shards_pruned >= 2, "base shards must be pruned: {explain:?}");
 }
 
 /// The real-workload guarantee: a smoke-scale study relation resharded
